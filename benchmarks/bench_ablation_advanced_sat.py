@@ -1,0 +1,84 @@
+"""Ablation — the advanced SAT heuristics of §2.3.
+
+Compares plain BSAT against the three heuristics the paper credits with
+large speed-ups (select-zero clauses, dominator two-pass, test-set
+partitioning) on a shared workload.  Reported per variant: wall time,
+solver decisions/conflicts, suspect-set sizes, and a solution-set equality
+check (heuristics must not lose single-error solutions).
+"""
+
+import time
+
+from conftest import write_artifact
+
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    dominator_sat_diagnose,
+    partitioned_sat_diagnose,
+    select_zero_sat_diagnose,
+)
+from repro.experiments import make_workload
+
+
+def run_ablation():
+    workload = make_workload("sim1423", p=1, m_max=16, seed=4)
+    faulty, tests = workload.faulty, workload.tests
+    rows = []
+    results = {}
+
+    def measure(name, fn):
+        start = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - start
+        stats = result.extras.get("solver_stats", {})
+        results[name] = result
+        rows.append(
+            f"{name:<14} {wall:>7.2f}s  sol={result.n_solutions:<4} "
+            f"decisions={stats.get('decisions', '-'):<9} "
+            f"conflicts={stats.get('conflicts', '-')}"
+        )
+
+    measure("BSAT", lambda: basic_sat_diagnose(faulty, tests, k=1))
+    measure(
+        "BSAT+sc0", lambda: select_zero_sat_diagnose(faulty, tests, k=1)
+    )
+    measure(
+        "dominators",
+        lambda: dominator_sat_diagnose(faulty, tests, k=1),
+    )
+    measure(
+        "partitioned",
+        lambda: partitioned_sat_diagnose(faulty, tests, k=1, chunk=4),
+    )
+
+    base = set(results["BSAT"].solutions)
+    lines = [
+        f"workload: {faulty.name}, p=1, m={tests.m}, "
+        f"|I|={faulty.num_gates}",
+        *rows,
+        "",
+        "solution-set checks vs BSAT:",
+    ]
+    for name in ("BSAT+sc0", "dominators", "partitioned"):
+        same = set(results[name].solutions) == base
+        lines.append(f"  {name}: {'identical' if same else 'DIFFERS'}")
+        assert same, f"{name} lost single-error solutions"
+    dom = results["dominators"]
+    lines.append(
+        f"  dominator pass-1 suspects: {dom.extras['pass1_suspects']} "
+        f"of {faulty.num_gates} gates "
+        f"({100 * dom.extras['pass1_suspects'] / faulty.num_gates:.0f}%)"
+    )
+    sc0 = results["BSAT+sc0"].extras["solver_stats"]["decisions"]
+    plain = results["BSAT"].extras["solver_stats"]["decisions"]
+    lines.append(
+        f"  select-zero clauses: {plain} -> {sc0} decisions "
+        f"({plain / max(sc0, 1):.1f}x fewer)"
+    )
+    return "\n".join(lines)
+
+
+def test_advanced_sat_ablation(benchmark):
+    text = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    write_artifact("ablation_advanced_sat.txt", text)
+    print("\n" + text)

@@ -1,0 +1,72 @@
+"""Ablation — the §6 hybrid approaches against their ingredients.
+
+* PT-guided SAT vs plain BSAT: identical solutions; decisions-to-first-
+  solution and wall time compared (the guidance seeds VSIDS with M(g)).
+* COV + repair vs full BSAT "One": the repair searches a structural
+  neighbourhood of a cheap initial correction instead of all gates.
+"""
+
+import time
+
+from conftest import write_artifact
+
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    pt_guided_sat_diagnose,
+    repair_correction_sat,
+    sc_diagnose,
+)
+from repro.experiments import make_workload
+
+
+def run_hybrid_ablation():
+    workload = make_workload("sim1423", p=2, m_max=8, seed=6)
+    faulty, tests = workload.faulty, workload.tests
+    lines = [
+        f"workload: {faulty.name}, p=2, m={tests.m}, "
+        f"|I|={faulty.num_gates}",
+    ]
+
+    start = time.perf_counter()
+    plain = basic_sat_diagnose(faulty, tests, k=2, solution_limit=100)
+    t_plain = time.perf_counter() - start
+    start = time.perf_counter()
+    guided = pt_guided_sat_diagnose(faulty, tests, k=2, solution_limit=100)
+    t_guided = time.perf_counter() - start
+    assert set(plain.solutions) == set(guided.solutions)
+    lines += [
+        "",
+        "hybrid 1 — PT-guided decision seeding (identical solutions):",
+        f"  BSAT    : {t_plain:.2f}s, first solution {plain.t_first:.3f}s, "
+        f"{plain.extras['solver_stats']['decisions']} decisions",
+        f"  guided  : {t_guided:.2f}s, first solution "
+        f"{guided.t_first:.3f}s, "
+        f"{guided.extras['solver_stats']['decisions']} decisions",
+    ]
+
+    start = time.perf_counter()
+    cov = sc_diagnose(faulty, tests, k=2, solution_limit=3)
+    initial = cov.solutions[0]
+    repaired = repair_correction_sat(faulty, tests, initial)
+    t_repair = time.perf_counter() - start
+    start = time.perf_counter()
+    one = basic_sat_diagnose(faulty, tests, k=2, solution_limit=1)
+    t_one = time.perf_counter() - start
+    lines += [
+        "",
+        "hybrid 2 — repair an initial COV correction:",
+        f"  COV seed {sorted(initial)} -> {repaired.n_solutions} valid "
+        f"corrections at radius {repaired.extras.get('radius')} "
+        f"({repaired.extras.get('suspects', '?')} suspects) "
+        f"in {t_repair:.2f}s",
+        f"  BSAT 'One' baseline: {t_one:.2f}s over "
+        f"{faulty.num_gates} suspects",
+    ]
+    assert repaired.solutions, "repair must produce a valid correction"
+    return "\n".join(lines)
+
+
+def test_hybrid_ablation(benchmark):
+    text = benchmark.pedantic(run_hybrid_ablation, rounds=1, iterations=1)
+    write_artifact("ablation_hybrid.txt", text)
+    print("\n" + text)

@@ -1,0 +1,55 @@
+"""Ablation — path-tracing tie-break policies (DESIGN.md decision 5).
+
+The paper leaves the "mark one of these inputs" choice open.  This bench
+quantifies its impact: for each policy, the BSIM union size, whether an
+actual error site gets the top mark count, and the downstream COV solution
+count/quality.
+"""
+
+from conftest import write_artifact
+
+from repro.diagnosis import (
+    POLICIES,
+    basic_sim_diagnose,
+    bsim_quality,
+    sc_diagnose,
+    solution_quality,
+)
+from repro.experiments import make_workload
+
+
+def run_policy_ablation():
+    workload = make_workload("sim1423", p=2, m_max=16, seed=9)
+    faulty, tests, sites = workload.faulty, workload.tests, workload.sites
+    header = (
+        f"{'policy':<9} {'|uCi|':>6} {'avgA':>6} {'Gmax':>5} "
+        f"{'hit':>4} | {'COV #sol':>8} {'avg dist':>8}"
+    )
+    lines = [
+        f"workload: {faulty.name}, p=2, m={tests.m}",
+        header,
+        "-" * len(header),
+    ]
+    for policy in POLICIES:
+        sim = basic_sim_diagnose(faulty, tests, policy=policy)
+        q = bsim_quality(faulty, sim, sites)
+        cov = sc_diagnose(
+            faulty, tests, k=2, sim_result=sim, solution_limit=500
+        )
+        sq = solution_quality(faulty, cov.solutions, sites)
+        lines.append(
+            f"{policy:<9} {q.union_size:>6} {q.avg_all:>6.2f} "
+            f"{q.gmax_size:>5} {str(q.error_in_gmax):>4} | "
+            f"{sq.n_solutions:>8} {sq.avg_avg:>8.2f}"
+        )
+    lines.append(
+        "\n'all' over-marks (largest union) but never misses a sensitized "
+        "path; single-choice policies trade recall for resolution."
+    )
+    return "\n".join(lines)
+
+
+def test_pt_policy_ablation(benchmark):
+    text = benchmark.pedantic(run_policy_ablation, rounds=1, iterations=1)
+    write_artifact("ablation_pt_policies.txt", text)
+    print("\n" + text)

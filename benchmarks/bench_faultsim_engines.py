@@ -1,0 +1,82 @@
+"""Substrate bench — fault-simulation engine comparison.
+
+Three ways to answer "which stuck-at faults does this pattern detect":
+
+* serial — one forced-value simulation per fault (baseline oracle);
+* deductive — one pass propagating fault lists (all faults at once);
+* bit-parallel table — golden-vs-faulty response comparison over many
+  patterns at once (per *error*, not per fault — included to show where
+  each engine pays).
+
+The deductive engine should beat serial by roughly the fault count over
+pattern-wise work; this records the actual factor for EXPERIMENTS.md.
+
+Artifact: ``benchmarks/out/faultsim_engines.txt``.
+"""
+
+import random
+import time
+
+from conftest import write_artifact
+
+from repro.circuits import random_circuit
+from repro.faults import full_stuck_at_universe
+from repro.sim import deductive_detected, response, stuck_at_response
+
+N_GATES = 120
+
+
+def _setup():
+    circuit = random_circuit(n_inputs=10, n_outputs=5, n_gates=N_GATES, seed=11)
+    rng = random.Random(2)
+    vector = {pi: rng.getrandbits(1) for pi in circuit.inputs}
+    faults = full_stuck_at_universe(circuit)
+    return circuit, vector, faults
+
+
+def _serial(circuit, vector, faults):
+    good = response(circuit, vector)
+    return frozenset(
+        f
+        for f in faults
+        if stuck_at_response(circuit, vector, f.signal, f.value) != good
+    )
+
+
+def test_serial_fault_simulation(benchmark):
+    circuit, vector, faults = _setup()
+    detected = benchmark(lambda: _serial(circuit, vector, faults))
+    assert detected
+
+
+def test_deductive_fault_simulation(benchmark):
+    circuit, vector, faults = _setup()
+    detected = benchmark(lambda: deductive_detected(circuit, vector, faults))
+    assert detected == _serial(circuit, vector, faults)
+
+
+def test_record_speedup_artifact(benchmark):
+    circuit, vector, faults = _setup()
+    t0 = time.perf_counter()
+    serial = _serial(circuit, vector, faults)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    deductive = benchmark.pedantic(
+        lambda: deductive_detected(circuit, vector, faults),
+        rounds=1,
+        iterations=1,
+    )
+    t_deductive = time.perf_counter() - t0
+    assert serial == deductive
+    write_artifact(
+        "faultsim_engines.txt",
+        "\n".join(
+            [
+                f"circuit: {N_GATES} gates, {len(faults)} faults, 1 pattern",
+                f"serial (forced simulation per fault): {t_serial * 1e3:.1f} ms",
+                f"deductive (one pass):                 {t_deductive * 1e3:.1f} ms",
+                f"speedup: {t_serial / max(t_deductive, 1e-9):.1f}x",
+                f"detected: {len(deductive)}/{len(faults)}",
+            ]
+        ),
+    )

@@ -1,0 +1,27 @@
+"""Figure 6 — quality of BSAT vs COV, scatter over all benchmark cells.
+
+Panel (a): per-cell average solution distance; panel (b): number of
+solutions (log-log).  The paper's reading — "BSAT usually returns a
+smaller number of solutions of a better quality" — is asserted as a
+majority property over the grid.
+
+The benchmark figure tracks series construction + ASCII rendering.
+"""
+
+from conftest import get_grid_cells, write_artifact
+
+from repro.experiments import fig6_series, format_fig6
+
+
+def test_fig6(benchmark):
+    cells = get_grid_cells()
+    text = benchmark.pedantic(
+        format_fig6, args=(cells,), rounds=1, iterations=1
+    )
+    quality, counts = fig6_series(cells)
+    better_quality = sum(1 for p in quality if p.sat <= p.cov)
+    fewer = sum(1 for p in counts if p.sat <= p.cov)
+    write_artifact("fig6.txt", text)
+    print("\n" + text)
+    assert better_quality * 2 > len(quality), "BSAT quality majority lost"
+    assert fewer * 2 > len(counts), "BSAT solution-count majority lost"

@@ -1,0 +1,106 @@
+"""Substrate bench — DRAT certification cost.
+
+Certifying "no correction with ≤ k candidates" (Lemma 3's UNSAT side)
+costs three things: proof logging during the solve, proof size, and the
+independent RUP re-check.  This bench measures all three on a real
+diagnosis refutation and on pigeonhole formulas, recording the overhead
+factor a user pays for a checkable verdict.
+
+Artifact: ``benchmarks/out/proof_overhead.txt``.
+"""
+
+import time
+from itertools import combinations
+
+from conftest import write_artifact
+
+from repro.circuits import random_circuit
+from repro.diagnosis import certify_correction_bound
+from repro.experiments import make_workload
+from repro.sat import CNF, Solver, check_drat, solve_with_proof
+
+
+def _pigeonhole_cnf(holes):
+    cnf = CNF()
+    pigeons = holes + 1
+    var = {
+        (p, h): cnf.new_var(f"p{p}h{h}")
+        for p in range(pigeons)
+        for h in range(holes)
+    }
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1, p2 in combinations(range(pigeons), 2):
+            cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return cnf
+
+
+def test_solve_without_proof(benchmark):
+    def run():
+        solver = Solver()
+        _pigeonhole_cnf(5).to_solver(solver)
+        return solver.solve()
+
+    assert benchmark(run) is False
+
+
+def test_solve_with_proof_logging(benchmark):
+    def run():
+        return solve_with_proof(_pigeonhole_cnf(5))
+
+    sat, proof = benchmark(run)
+    assert not sat and proof.ends_with_empty_clause
+
+
+def test_proof_checking(benchmark):
+    cnf = _pigeonhole_cnf(4)
+    _sat, proof = solve_with_proof(cnf)
+
+    assert benchmark.pedantic(
+        lambda: check_drat(cnf.clauses, proof), rounds=1, iterations=1
+    )
+
+
+def test_certified_diagnosis_verdict(benchmark):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=303)
+    workload = make_workload(circuit, p=2, m_max=4, seed=6)
+
+    verdict = benchmark.pedantic(
+        lambda: certify_correction_bound(workload.faulty, workload.tests, k=0),
+        rounds=1,
+        iterations=1,
+    )
+    assert not verdict.has_correction and verdict.verified
+
+
+def test_record_overhead_artifact(benchmark):
+    def measure():
+        return _measure_rows()
+
+    lines = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_artifact("proof_overhead.txt", "\n".join(lines))
+
+
+def _measure_rows():
+    lines = ["DRAT certification overhead", ""]
+    for holes in (4, 5):
+        cnf = _pigeonhole_cnf(holes)
+        solver = Solver()
+        cnf.to_solver(solver)
+        t0 = time.perf_counter()
+        assert solver.solve() is False
+        t_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _sat, proof = solve_with_proof(cnf)
+        t_logged = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        assert check_drat(cnf.clauses, proof)
+        t_check = time.perf_counter() - t0
+        lines.append(
+            f"PHP({holes + 1},{holes}): solve {t_plain * 1e3:.1f} ms, "
+            f"with logging {t_logged * 1e3:.1f} ms "
+            f"({t_logged / max(t_plain, 1e-9):.2f}x), "
+            f"proof {len(proof)} steps, check {t_check * 1e3:.1f} ms"
+        )
+    return lines

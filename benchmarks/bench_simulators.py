@@ -1,0 +1,70 @@
+"""Substrate bench — simulation engine throughput.
+
+Quantifies the paper's premise that simulation-based approaches "can use
+efficient parallel simulation techniques": gate-evaluations/second for the
+scalar engine vs the bit-parallel engine (1024 patterns per pass) vs the
+numpy uint64 variant, all on the sim1423 stand-in.
+"""
+
+import random
+
+import numpy as np
+
+from repro.circuits import library
+from repro.sim import (
+    pack_patterns,
+    simulate,
+    simulate_words,
+    simulate_words_numpy,
+)
+
+N_PATTERNS = 1024
+
+
+def setup_patterns():
+    circuit = library.sim1423()
+    rng = random.Random(3)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs}
+        for _ in range(N_PATTERNS)
+    ]
+    return circuit, patterns
+
+
+def test_scalar_simulation(benchmark):
+    circuit, patterns = setup_patterns()
+    # scalar engine: one pattern per pass; bench a 32-pattern slice
+    def run():
+        for p in patterns[:32]:
+            simulate(circuit, p)
+
+    benchmark(run)
+
+
+def test_bit_parallel_simulation(benchmark):
+    circuit, patterns = setup_patterns()
+    words = pack_patterns(patterns, circuit.inputs)
+
+    def run():
+        return simulate_words(circuit, words, N_PATTERNS)
+
+    result = benchmark(run)
+    assert len(result) == len(circuit.nodes)
+
+
+def test_numpy_simulation(benchmark):
+    circuit, patterns = setup_patterns()
+    lanes = N_PATTERNS // 64
+    input_words = {}
+    for pi in circuit.inputs:
+        arr = np.zeros(lanes, dtype=np.uint64)
+        for j, p in enumerate(patterns):
+            if p[pi]:
+                arr[j // 64] |= np.uint64(1) << np.uint64(j % 64)
+        input_words[pi] = arr
+
+    def run():
+        return simulate_words_numpy(circuit, input_words)
+
+    result = benchmark(run)
+    assert len(result) == len(circuit.nodes)

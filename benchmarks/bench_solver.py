@@ -1,0 +1,82 @@
+"""Substrate bench — the CDCL SAT solver.
+
+Micro-benchmarks of the solver on three workload classes relevant to the
+diagnosis instances: circuit-SAT descents (decision-heavy, conflict-light
+— the BSAT profile), pigeonhole (conflict-heavy, exercises learning), and
+incremental re-solving under assumptions (the k-loop profile).
+"""
+
+import random
+
+from repro.circuits import library
+from repro.sat import CNF, Solver, encode_circuit
+
+
+def build_circuit_instance():
+    circuit = library.sim1423()
+    cnf = CNF()
+    var_of = encode_circuit(cnf, circuit)
+    rng = random.Random(1)
+    assumptions = [
+        var_of[pi] if rng.getrandbits(1) else -var_of[pi]
+        for pi in circuit.inputs
+    ]
+    return cnf, assumptions
+
+
+def test_circuit_sat_descent(benchmark):
+    cnf, assumptions = build_circuit_instance()
+
+    def solve_fresh():
+        solver = cnf.to_solver()
+        assert solver.solve(assumptions) is True
+        return solver.stats["propagations"]
+
+    props = benchmark(solve_fresh)
+    assert props > 0
+
+
+def test_pigeonhole_unsat(benchmark):
+    def php():
+        solver = Solver()
+        var = {}
+        n_p, n_h = 7, 6
+        for p in range(n_p):
+            for h in range(n_h):
+                var[p, h] = solver.new_var()
+        for p in range(n_p):
+            solver.add_clause([var[p, h] for h in range(n_h)])
+        for h in range(n_h):
+            for p1 in range(n_p):
+                for p2 in range(p1 + 1, n_p):
+                    solver.add_clause([-var[p1, h], -var[p2, h]])
+        assert solver.solve() is False
+        return solver.stats["conflicts"]
+
+    conflicts = benchmark(php)
+    assert conflicts > 0
+
+
+def test_incremental_assumption_loop(benchmark):
+    cnf, _ = build_circuit_instance()
+    solver = cnf.to_solver()
+    circuit = library.sim1423()
+    var_of = {  # rebuild the name->var map from the CNF names
+        name: var
+        for var in range(1, cnf.num_vars + 1)
+        if (name := cnf.name_of(var)) is not None
+    }
+    rng = random.Random(2)
+    pi_vars = [var_of[pi] for pi in circuit.inputs]
+
+    def incremental_loop():
+        total = 0
+        for _ in range(10):
+            assumptions = [
+                v if rng.getrandbits(1) else -v for v in pi_vars
+            ]
+            assert solver.solve(assumptions) is True
+            total += solver.stats["decisions"]
+        return total
+
+    benchmark.pedantic(incremental_loop, rounds=1, iterations=1)

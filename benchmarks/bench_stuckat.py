@@ -1,0 +1,57 @@
+"""Extension bench — production-test stuck-at diagnosis throughput.
+
+Times the serial-fault / parallel-pattern fault-dictionary diagnosis on
+the sim1423 stand-in: all ~1 500 candidate faults against a 64-pattern
+tester log.  Included because the paper motivates diagnosis "after failing
+a post-production test"; this quantifies what the simulation substrate
+delivers for that use case.
+"""
+
+import random
+
+from conftest import write_artifact
+
+from repro.circuits import library
+from repro.diagnosis import diagnose_stuck_at
+from repro.faults import StuckAtFault, apply_error
+from repro.sim import output_values
+
+
+def setup_dut():
+    design = library.sim1423()
+    rng = random.Random(7)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in design.inputs} for _ in range(64)
+    ]
+    defect = None
+    for gate in design.gates[100:]:
+        candidate = StuckAtFault(gate.name, 1)
+        dut = apply_error(design, candidate)
+        observed = [output_values(dut, p) for p in patterns]
+        if any(
+            o != output_values(design, p)
+            for p, o in zip(patterns, observed)
+        ):
+            defect = candidate
+            break
+    assert defect is not None
+    return design, patterns, observed, defect
+
+
+def test_stuckat_dictionary(benchmark):
+    design, patterns, observed, defect = setup_dut()
+
+    def run():
+        return diagnose_stuck_at(design, patterns, observed)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert frozenset({defect.signal}) in set(result.solutions)
+    text = (
+        f"stuck-at diagnosis on {design.name}: "
+        f"{result.extras['n_faults']} faults x {len(patterns)} patterns "
+        f"in {result.t_all:.2f}s; "
+        f"{len(result.solutions)} exact candidate sites "
+        f"(defect {defect.describe()} found)"
+    )
+    write_artifact("bench_stuckat.txt", text)
+    print("\n" + text)

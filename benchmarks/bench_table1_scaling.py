@@ -1,0 +1,115 @@
+"""Table 1 — empirical validation of the complexity *rows*.
+
+Table 1's runtime/size complexities are analytic; this bench measures the
+ones our instrumentation can see and checks the claimed growth shape:
+
+* BSIM time O(|I|·m): runtime vs circuit size at fixed m, and vs m at
+  fixed size — both must scale ~linearly;
+* BSAT size Θ(|I|·m): CNF variable and clause counts per (|I|, m) —
+  the count divided by |I|·m must be ~constant;
+* COV size O(|I|·m): total candidate-set storage is bounded by marked
+  gates per test.
+
+Artifact: ``benchmarks/out/table1_scaling.txt``.
+"""
+
+import time
+
+from conftest import write_artifact
+
+from repro.circuits import random_circuit
+from repro.diagnosis import basic_sim_diagnose, build_diagnosis_instance
+from repro.experiments import make_workload
+
+SIZES = (100, 200, 400)
+M_VALUES = (4, 8, 16)
+
+
+def _bsim_rows():
+    rows = []
+    for n_gates in SIZES:
+        circuit = random_circuit(
+            n_inputs=16, n_outputs=8, n_gates=n_gates, seed=9
+        )
+        workload = make_workload(circuit, p=1, m_max=16, seed=2)
+        for m in M_VALUES:
+            tests = workload.tests.prefix(m)
+            start = time.perf_counter()
+            basic_sim_diagnose(workload.faulty, tests)
+            elapsed = time.perf_counter() - start
+            rows.append((workload.faulty.num_gates, m, elapsed))
+    return rows
+
+
+def _bsat_size_rows():
+    rows = []
+    for n_gates in SIZES:
+        circuit = random_circuit(
+            n_inputs=16, n_outputs=8, n_gates=n_gates, seed=9
+        )
+        workload = make_workload(circuit, p=1, m_max=16, seed=2)
+        for m in M_VALUES:
+            instance = build_diagnosis_instance(
+                workload.faulty, workload.tests.prefix(m), k_max=1
+            )
+            rows.append(
+                (
+                    workload.faulty.num_gates,
+                    m,
+                    instance.cnf.num_vars,
+                    instance.cnf.num_clauses,
+                )
+            )
+    return rows
+
+
+def test_bsim_linear_time(benchmark):
+    rows = benchmark.pedantic(_bsim_rows, rounds=1, iterations=1)
+    lines = ["BSIM runtime — claim O(|I|·m)", f"{'|I|':>6} {'m':>4} {'ms':>8} {'ms/(|I|·m)':>12}"]
+    normalized = []
+    for gates, m, elapsed in rows:
+        norm = elapsed / (gates * m)
+        normalized.append(norm)
+        lines.append(f"{gates:>6} {m:>4} {elapsed * 1e3:>8.2f} {norm * 1e9:>10.1f}ns")
+    # Linearity: the per-(|I|·m) cost varies by < 8x across a 12x range of
+    # |I|·m (generous: Python constant factors wobble at small sizes).
+    spread = max(normalized) / min(normalized)
+    lines.append(f"normalized spread: {spread:.2f}x (linear ⇒ small)")
+    write_artifact("table1_scaling.txt", "\n".join(lines))
+    assert spread < 8.0
+
+
+def test_bsat_instance_size_bilinear(benchmark):
+    rows = benchmark.pedantic(_bsat_size_rows, rounds=1, iterations=1)
+    lines = [
+        "",
+        "BSAT CNF size — claim Θ(|I|·m)",
+        f"{'|I|':>6} {'m':>4} {'vars':>8} {'clauses':>9} {'vars/(|I|·m)':>13}",
+    ]
+    ratios = []
+    for gates, m, n_vars, n_clauses in rows:
+        ratio = n_vars / (gates * m)
+        ratios.append(ratio)
+        lines.append(
+            f"{gates:>6} {m:>4} {n_vars:>8} {n_clauses:>9} {ratio:>13.2f}"
+        )
+    spread = max(ratios) / min(ratios)
+    lines.append(f"vars/(|I|·m) spread: {spread:.2f}x (Θ(|I|·m) ⇒ ~1)")
+    # Append to the artifact written by the BSIM half.
+    from conftest import OUT_DIR
+
+    path = OUT_DIR / "table1_scaling.txt"
+    existing = path.read_text() if path.exists() else ""
+    write_artifact("table1_scaling.txt", existing + "\n".join(lines))
+    assert spread < 2.0
+
+
+def test_cov_storage_bounded(benchmark):
+    """COV stores at most |I| candidates per test: O(|I|·m)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    circuit = random_circuit(n_inputs=16, n_outputs=8, n_gates=200, seed=9)
+    workload = make_workload(circuit, p=1, m_max=16, seed=2)
+    sim = basic_sim_diagnose(workload.faulty, workload.tests)
+    total = sum(len(s) for s in sim.candidate_sets)
+    bound = workload.faulty.num_gates * workload.tests.m
+    assert total <= bound

@@ -1,0 +1,48 @@
+"""Table 2 — runtimes of the basic approaches.
+
+Reruns the paper's measurement protocol over the experiment grid (see
+``conftest.scale_params``): per (circuit, p, m) cell, BSIM wall time, COV
+CNF/One/All and BSAT CNF/One/All.  Absolute numbers differ from the paper
+(pure-Python engines vs. Zchaff on a 2004 Athlon); the *shape* to check —
+recorded in EXPERIMENTS.md — is BSIM << COV-All << BSAT-All, and BSAT's
+"All" dominated by effect analysis.
+
+The pytest-benchmark figure tracks one representative cell (smallest
+circuit, m=4) so regressions are visible without re-running the grid; the
+full grid is computed once and shared with the Table 3 / Figure 6 benches.
+"""
+
+from conftest import get_grid_cells, scale_params, write_artifact
+
+from repro.experiments import format_table2, make_workload, run_cell
+
+
+def representative_cell():
+    params = scale_params()
+    circuit_name, p = params["grid"][0]
+    workload = make_workload(circuit_name, p=p, m_max=4, seed=p)
+    return run_cell(
+        workload,
+        m=4,
+        solution_limit=params["solution_limit"],
+        conflict_limit=params["conflict_limit"],
+    )
+
+
+def test_table2(benchmark):
+    cells = get_grid_cells()
+    benchmark.pedantic(representative_cell, rounds=1, iterations=1)
+    text = format_table2(cells)
+
+    # The paper's headline runtime ordering must hold per cell.
+    violations = [
+        c.cell_id
+        for c in cells
+        if not (c.bsim_time <= c.cov_all + 0.5 and c.bsim_time < c.bsat_all)
+    ]
+    text += "\n\nruntime ordering BSIM <= COV-All and BSIM < BSAT-All: " + (
+        "OK" if not violations else f"VIOLATED in {violations}"
+    )
+    write_artifact("table2.txt", text)
+    print("\n" + text)
+    assert not violations

@@ -1,0 +1,55 @@
+"""Table 3 — diagnosis quality of the basic approaches.
+
+For every grid cell: BSIM's |∪Ci|, avgA, Gmax and its min/max/avg distance
+to the nearest actual error; COV's and BSAT's solution counts and
+per-solution average distances.  The paper's headline (checked here and
+recorded in EXPERIMENTS.md): BSAT returns the best-quality solutions in
+(nearly) all cells, and an actual error site usually — but not always —
+carries the maximal path-tracing mark count.
+
+The benchmark figure tracks the quality-metric computation itself.
+"""
+
+import math
+
+from conftest import get_grid_cells, write_artifact
+
+from repro.diagnosis import bsim_quality, basic_sim_diagnose, solution_quality
+from repro.experiments import format_table3, make_workload
+
+
+def compute_metrics_once():
+    workload = make_workload("sim1423", p=2, m_max=8, seed=2)
+    sim = basic_sim_diagnose(workload.faulty, workload.tests)
+    q = bsim_quality(workload.faulty, sim, workload.sites)
+    sq = solution_quality(
+        workload.faulty, sim.candidate_sets, workload.sites
+    )
+    return q, sq
+
+
+def test_table3(benchmark):
+    cells = get_grid_cells()
+    benchmark.pedantic(compute_metrics_once, rounds=1, iterations=1)
+    text = format_table3(cells)
+
+    comparable = [
+        c
+        for c in cells
+        if not (math.isnan(c.cov.avg_avg) or math.isnan(c.sat.avg_avg))
+    ]
+    bsat_better = sum(
+        1 for c in comparable if c.sat.avg_avg <= c.cov.avg_avg
+    )
+    gmax_hits = sum(1 for c in cells if c.bsim.error_in_gmax)
+    text += (
+        f"\n\nBSAT avg distance <= COV avg distance in "
+        f"{bsat_better}/{len(comparable)} cells"
+        f"\nactual error site in Gmax in {gmax_hits}/{len(cells)} cells "
+        f"(paper: 'almost all', not guaranteed)"
+    )
+    write_artifact("table3.txt", text)
+    print("\n" + text)
+    # the paper's conclusion: BSAT wins in (nearly) all cells — require
+    # a strict majority to guard the reproduction's shape.
+    assert bsat_better * 2 > len(comparable)

@@ -1,0 +1,89 @@
+"""Shared infrastructure for the benchmark suite.
+
+The Table 2 / Table 3 / Figure 6 benches all consume the same experiment
+grid — the paper's (circuit, p) x m sweep — computed once per session by
+:func:`get_grid_cells` and cached.  Artifacts (rendered tables/figures) are
+written to ``benchmarks/out/`` so EXPERIMENTS.md can cite them.
+
+Scale control via the environment:
+
+* ``REPRO_BENCH_SCALE=quick``  — sim1423 only, m in {4, 8}; minutes.
+* ``REPRO_BENCH_SCALE=paper`` (default) — the full paper grid (three
+  circuits, m in {4, 8, 16, 32}) with enumeration caps standing in for the
+  paper's 512 MB / 30 min resource limits.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import M_VALUES, PAPER_GRID, make_workload, run_cell
+
+OUT_DIR = Path(__file__).parent / "out"
+
+_SCALES = {
+    "quick": {
+        "grid": (("sim1423", 2),),
+        "m_values": (4, 8),
+        "solution_limit": 100,
+        "conflict_limit": 50_000,
+    },
+    "paper": {
+        "grid": PAPER_GRID,
+        "m_values": M_VALUES,
+        "solution_limit": 200,
+        "conflict_limit": 100_000,
+    },
+}
+
+_grid_cache: dict[str, list] = {}
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "paper")
+    if scale not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return scale
+
+
+def scale_params() -> dict:
+    return _SCALES[bench_scale()]
+
+
+def get_grid_cells() -> list:
+    """Run (once) and cache the full experiment grid."""
+    scale = bench_scale()
+    if scale in _grid_cache:
+        return _grid_cache[scale]
+    params = _SCALES[scale]
+    cells = []
+    for circuit_name, p in params["grid"]:
+        workload = make_workload(
+            circuit_name, p=p, m_max=max(params["m_values"]), seed=p
+        )
+        for m in params["m_values"]:
+            cells.append(
+                run_cell(
+                    workload,
+                    m=m,
+                    solution_limit=params["solution_limit"],
+                    conflict_limit=params["conflict_limit"],
+                )
+            )
+    _grid_cache[scale] = cells
+    return cells
+
+
+def write_artifact(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def grid_cells():
+    return get_grid_cells()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Production test end to end: ATPG, tester response, fault diagnosis.
+
+The paper's §1 lists post-production test as a source of diagnosis
+problems.  This example runs that flow completely:
+
+1. collapse the stuck-at fault universe of a design (equivalence +
+   dominance collapsing);
+2. generate a compact pattern set with PODEM (fault dropping by deductive
+   simulation, reverse-order compaction) and report coverage;
+3. manufacture a "defective chip" (inject a stuck-at defect);
+4. apply the pattern set on the virtual tester and record the failing
+   responses;
+5. diagnose: fault-dictionary matching plus the paper's BSAT on the
+   failing tests.
+
+Run:  python examples/atpg_flow.py
+"""
+
+from repro.circuits.library import ripple_carry_adder
+from repro.diagnosis import basic_sat_diagnose, diagnose_stuck_at
+from repro.faults import StuckAtFault, apply_error, collapse_faults
+from repro.sim import response
+from repro.testgen import Test, TestSet, generate_tests
+
+
+def main() -> None:
+    design = ripple_carry_adder(8)
+    print(f"design: {design.name} with {design.num_gates} gates")
+
+    # --- 1. fault list ---------------------------------------------------
+    collapsed = collapse_faults(design)
+    print(
+        f"stuck-at universe: {len(collapsed.universe)} faults, "
+        f"collapsed to {len(collapsed.representatives)} "
+        f"({100 * collapsed.collapse_ratio:.0f}%)"
+    )
+
+    # --- 2. ATPG ----------------------------------------------------------
+    result = generate_tests(design, backend="podem", seed=42)
+    print(result.summary())
+    print(f"patterns after reverse-order compaction: {result.test_count}\n")
+
+    # --- 3. a defective chip ----------------------------------------------
+    defect = StuckAtFault("c3", 0)  # carry chain broken mid-way
+    chip = apply_error(design, defect)
+    print(f"defective chip manufactured with hidden defect: {defect.describe()}")
+
+    # --- 4. the virtual tester --------------------------------------------
+    failing: list[Test] = []
+    tester_log: list[dict[str, int]] = []
+    for pattern in result.patterns:
+        expected = response(design, pattern)
+        observed = response(chip, pattern)
+        tester_log.append(dict(zip(design.outputs, observed)))
+        if expected != observed:
+            idx = next(
+                i for i, (e, g) in enumerate(zip(expected, observed)) if e != g
+            )
+            failing.append(
+                Test(
+                    vector=dict(pattern),
+                    output=design.outputs[idx],
+                    value=expected[idx],
+                )
+            )
+    print(f"tester: {len(failing)}/{result.test_count} patterns fail\n")
+
+    # --- 5a. cause-effect diagnosis (fault dictionary) ---------------------
+    dictionary = diagnose_stuck_at(
+        design, [dict(p) for p in result.patterns], tester_log
+    )
+    print("fault-dictionary diagnosis (top candidates):")
+    for match in dictionary.extras["matches"][:5]:
+        tag = "  <-- actual defect" if match.fault == defect else ""
+        print(
+            f"   {match.fault.describe()}: "
+            f"{match.mismatch_bits} mismatching response bits{tag}"
+        )
+
+    # --- 5b. the paper's BSAT on the failing tests -------------------------
+    tests = TestSet(tuple(failing))
+    sat = basic_sat_diagnose(chip, tests, k=1)
+    print(f"\nBSAT corrections (k=1): {sat.n_solutions} solutions")
+    for sol in sat.solutions[:5]:
+        (gate,) = sol
+        tag = "  <-- actual defect site" if gate == defect.signal else ""
+        print(f"   {{{gate}}}{tag}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Realistic debug scenario: a ripple-carry adder with a wrong gate.
+
+An engineer implemented a 4-bit adder but typed OR where a XOR belonged
+(a classic design error).  The verification flow found mismatching vectors
+against the golden model; this script shows the full debug loop:
+
+1. failing tests from the mismatching vectors,
+2. BSAT diagnosis to get every possible single-gate correction,
+3. validity/essentialness double-check,
+4. the per-test correction values revealing the intended function.
+
+Run:  python examples/locate_design_error.py
+"""
+
+from repro.circuits import GateType, library
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    has_only_essential_candidates,
+)
+from repro.faults import GateChangeError, apply_error
+from repro.testgen import distinguishing_tests
+
+
+def main() -> None:
+    golden = library.ripple_carry_adder(4)
+    # The typo: sum bit 2 computed with OR instead of XOR.
+    buggy = apply_error(
+        golden, GateChangeError("s2", GateType.XOR, GateType.OR)
+    )
+    print("golden:", golden.name, "| buggy gate: s2 (XOR typed as OR)\n")
+
+    tests = distinguishing_tests(golden, buggy, m=12)
+    print(f"verification produced {tests.m} failing tests, e.g.:")
+    t0 = tests[0]
+    assignment = {k: t0.vector[k] for k in sorted(t0.vector)}
+    print(f"   inputs {assignment}")
+    print(f"   output {t0.output} should be {t0.value}\n")
+
+    result = basic_sat_diagnose(buggy, tests, k=1, collect_corrections=True)
+    print(f"BSAT corrections of size 1 ({result.n_solutions} total):")
+    for sol in result.solutions:
+        essential = has_only_essential_candidates(buggy, tests, sol)
+        (gate,) = sol
+        mark = " <-- the typo" if gate == "s2" else ""
+        print(f"   {{{gate}}} essential={essential}{mark}")
+
+    corrections = result.extras["corrections"]
+    s2_fix = next(
+        (vals["s2"] for sol, vals in corrections.items() if "s2" in sol),
+        None,
+    )
+    if s2_fix is not None:
+        print("\nwhat value should s2 take per test? ", s2_fix)
+        print("cross-check against XOR of its fanins per test:")
+        from repro.sim import simulate
+
+        agree = True
+        for i, test in enumerate(tests):
+            values = simulate(buggy, test.vector)
+            intended = values["p2"] ^ values["c1"]  # XOR semantics
+            got = s2_fix[i]
+            if got != -1 and got != intended:
+                agree = False
+        print(
+            "   the correction values match the XOR function on every "
+            "test" if agree else "   (values constrain only some tests)"
+        )
+    print("\nconclusion: replace the OR at s2 by XOR.")
+
+
+if __name__ == "__main__":
+    main()

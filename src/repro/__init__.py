@@ -1,0 +1,56 @@
+"""repro — reproduction of Fey, Safarpour, Veneris, Drechsler:
+"On the Relation Between Simulation-based and SAT-based Diagnosis"
+(DATE 2006).
+
+The package is organized as the paper's stack:
+
+* :mod:`repro.circuits` — gate-level netlists, ``.bench``/Verilog I/O,
+  structure, generators, synthesis-like rewrites.
+* :mod:`repro.sim` — scalar / bit-parallel / ternary / event-driven /
+  deductive-fault simulation.
+* :mod:`repro.sat` — from-scratch incremental CDCL solver, encodings,
+  DRAT proofs with an independent checker.
+* :mod:`repro.bdd` — ROBDD engine and the intro's BDD diagnosis baseline.
+* :mod:`repro.faults` — error models (gate-change, stuck-at, wire),
+  injection, fault collapsing.
+* :mod:`repro.testgen` — failing-test generation (random and SAT/miter),
+  SCOAP, PODEM and the production-test ATPG flow.
+* :mod:`repro.diagnosis` — BSIM, COV, BSAT, advanced and hybrid approaches,
+  validity checking, quality metrics, structural baseline, certified
+  verdicts.
+* :mod:`repro.verify` — equivalence checking and bounded model checking.
+* :mod:`repro.experiments` — the Table 2 / Table 3 / Figure 6 harness.
+
+Quickstart::
+
+    from repro.experiments import make_workload, run_cell, format_cell_summary
+    w = make_workload("sim1423", p=2, m_max=8, seed=1)
+    print(format_cell_summary(run_cell(w, m=8)))
+"""
+
+from . import (
+    bdd,
+    circuits,
+    diagnosis,
+    experiments,
+    faults,
+    sat,
+    sim,
+    testgen,
+    verify,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "circuits",
+    "sim",
+    "sat",
+    "bdd",
+    "faults",
+    "testgen",
+    "diagnosis",
+    "experiments",
+    "verify",
+    "__version__",
+]

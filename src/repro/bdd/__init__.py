@@ -1,0 +1,46 @@
+"""BDD substrate: ROBDD manager, circuit builder, diagnosis baseline.
+
+The paper's introduction contrasts the test-vector-based approaches it
+studies with BDD-based diagnosis (refs [6, 8]), dismissed for "space
+complexity issues" on large designs.  This package makes that baseline —
+and its blowup — executable:
+
+* :class:`~repro.bdd.manager.BddManager` — from-scratch ROBDD engine
+  (unique table, memoized ``ite``, quantification, counting).
+* :mod:`~repro.bdd.circuit` — circuit → output BDDs under configurable
+  static variable orders.
+* :mod:`~repro.bdd.diag` — canonical equivalence checking and
+  single-fix rectification diagnosis (all input vectors at once).
+* :mod:`~repro.bdd.cover` — a third, BDD-path engine for the COV covering
+  step, cross-checked against the SAT and branch-and-bound engines.
+"""
+
+from .manager import BddManager, BddBlowupError, ZERO, ONE
+from .circuit import BuiltCircuit, build_output_bdds, dfs_input_order
+from .diag import (
+    Rectification,
+    bdd_counterexample,
+    bdd_equivalent,
+    single_fix_candidates,
+)
+from .cover import cover_bdd, minimal_covers_bdd
+from .reorder import evaluate_order, exhaustive_best_order, sift_order
+
+__all__ = [
+    "evaluate_order",
+    "exhaustive_best_order",
+    "sift_order",
+    "BddManager",
+    "BddBlowupError",
+    "ZERO",
+    "ONE",
+    "BuiltCircuit",
+    "build_output_bdds",
+    "dfs_input_order",
+    "Rectification",
+    "bdd_counterexample",
+    "bdd_equivalent",
+    "single_fix_candidates",
+    "cover_bdd",
+    "minimal_covers_bdd",
+]

@@ -1,0 +1,190 @@
+"""BDD-based equivalence checking and rectification diagnosis.
+
+The baseline family of the paper's introduction (refs [6, 8]): represent
+the specification and the implementation canonically, then decide — for
+*all* input vectors at once — whether a candidate gate can be rectified.
+
+* :func:`bdd_equivalent` / :func:`bdd_counterexample` — combinational
+  equivalence by root identity in a shared manager (the canonical-form
+  alternative to the SAT miter of :func:`repro.testgen.satgen.are_equivalent`).
+* :func:`single_fix_candidates` — Hoffmann/Kropf-style single-gate
+  rectification: gate ``g`` is a candidate iff replacing its function by
+  *some* Boolean function of the primary inputs makes the implementation
+  equivalent to the specification.  The check is one quantifier-free BDD
+  formula per gate: with a fresh variable β spliced in at ``g``,
+
+      rectifiable(g)  ⇔  agree₀ ∨ agree₁  ≡ 1,
+
+  where agreeᵥ := ∧ₒ (impl_o[β←v] ≡ spec_o).  The witness function β(x) =
+  agree₁ rectifies wherever rectification is possible.
+
+Because the check quantifies over all inputs it is *stronger* than the
+test-set-based BSAT: every BDD single-fix candidate is also a BSAT
+solution for any test set of the same error (asserted by a cross test),
+while BSAT may keep additional candidates that only survive the given
+tests.  The cost is canonicity: node counts can explode with circuit size
+(the intro's criticism), which :mod:`benchmarks.bench_bdd_blowup`
+quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..circuits.gates import GateType
+from ..circuits.netlist import Circuit
+from .circuit import BuiltCircuit, build_output_bdds, dfs_input_order, fold_gate
+from .manager import ONE, BddManager
+
+__all__ = [
+    "bdd_equivalent",
+    "bdd_counterexample",
+    "Rectification",
+    "single_fix_candidates",
+]
+
+#: Name of the spliced-in replacement variable.
+_FIX_VAR = "__fix__"
+
+
+def _shared_build(
+    golden: Circuit, impl: Circuit, max_nodes: int | None
+) -> tuple[BddManager, BuiltCircuit, BuiltCircuit]:
+    if golden.inputs != impl.inputs:
+        raise ValueError("circuits must share primary inputs")
+    if set(golden.outputs) != set(impl.outputs):
+        raise ValueError("circuits must share primary outputs")
+    manager = BddManager(order=dfs_input_order(golden), max_nodes=max_nodes)
+    built_g = build_output_bdds(golden, manager=manager)
+    built_i = build_output_bdds(impl, manager=manager)
+    return manager, built_g, built_i
+
+
+def bdd_equivalent(
+    golden: Circuit, impl: Circuit, max_nodes: int | None = None
+) -> bool:
+    """Combinational equivalence via canonical BDDs.
+
+    >>> from repro.circuits.library import c17
+    >>> bdd_equivalent(c17(), c17())
+    True
+    """
+    _manager, built_g, built_i = _shared_build(golden, impl, max_nodes)
+    return all(
+        built_g.roots[o] == built_i.roots[o] for o in golden.outputs
+    )
+
+
+def bdd_counterexample(
+    golden: Circuit, impl: Circuit, max_nodes: int | None = None
+) -> dict[str, int] | None:
+    """A distinguishing input vector, or None when equivalent.
+
+    Don't-care inputs of the BDD witness are filled with 0, so the result
+    is a complete assignment directly usable by the simulators.
+    """
+    manager, built_g, built_i = _shared_build(golden, impl, max_nodes)
+    for out in golden.outputs:
+        diff = manager.apply_xor(built_g.roots[out], built_i.roots[out])
+        witness = manager.sat_one(diff)
+        if witness is not None:
+            return {pi: witness.get(pi, 0) for pi in golden.inputs}
+    return None
+
+
+@dataclass(frozen=True)
+class Rectification:
+    """A single-fix diagnosis: ``gate`` plus the witness function.
+
+    ``function`` is a BDD over the primary inputs inside ``manager``;
+    forcing the gate's output to ``function(x)`` for every input vector
+    ``x`` makes the implementation equivalent to the specification.
+    """
+
+    gate: str
+    function: int
+    manager: BddManager
+
+    def value_for(self, vector: Mapping[str, int]) -> int:
+        """Witness output value for one input vector (for simulators)."""
+        return self.manager.evaluate(self.function, vector)
+
+    def is_constant(self) -> bool:
+        """True when the rectification is a stuck-at-style constant."""
+        return self.function in (0, 1)
+
+
+def single_fix_candidates(
+    golden: Circuit,
+    impl: Circuit,
+    candidates: Sequence[str] | None = None,
+    max_nodes: int | None = None,
+) -> list[Rectification]:
+    """All gates of ``impl`` rectifiable by a single function replacement.
+
+    ``candidates`` restricts the gates examined (default: all functional
+    gates).  Each result carries the witness function β(x) = agree₁.
+
+    >>> from repro.circuits import GateType
+    >>> from repro.circuits.library import majority
+    >>> from repro.faults import GateChangeError, apply_error
+    >>> impl = apply_error(majority(), GateChangeError("ab", GateType.AND, GateType.OR))
+    >>> names = [r.gate for r in single_fix_candidates(majority(), impl)]
+    >>> "ab" in names
+    True
+    """
+    if golden.inputs != impl.inputs:
+        raise ValueError("circuits must share primary inputs")
+    if set(golden.outputs) != set(impl.outputs):
+        raise ValueError("circuits must share primary outputs")
+    pool = list(candidates) if candidates is not None else list(impl.gate_names)
+    order = dfs_input_order(golden) + [_FIX_VAR]
+    manager = BddManager(order=order, max_nodes=max_nodes)
+    built_g = build_output_bdds(golden, manager=manager)
+    beta = manager.var(_FIX_VAR)
+    results: list[Rectification] = []
+    for gate_name in pool:
+        if gate_name not in impl:
+            raise ValueError(f"unknown candidate gate {gate_name!r}")
+        spliced = _build_with_replacement(manager, impl, gate_name, beta)
+        agree0 = ONE
+        agree1 = ONE
+        for out in golden.outputs:
+            spec = built_g.roots[out]
+            agree0 = manager.apply_and(
+                agree0,
+                manager.apply_equiv(
+                    manager.restrict(spliced[out], _FIX_VAR, 0), spec
+                ),
+            )
+            agree1 = manager.apply_and(
+                agree1,
+                manager.apply_equiv(
+                    manager.restrict(spliced[out], _FIX_VAR, 1), spec
+                ),
+            )
+        if manager.apply_or(agree0, agree1) == ONE:
+            results.append(
+                Rectification(gate=gate_name, function=agree1, manager=manager)
+            )
+    return results
+
+
+def _build_with_replacement(
+    manager: BddManager, circuit: Circuit, gate_name: str, replacement: int
+) -> dict[str, int]:
+    """Output BDDs of ``circuit`` with ``gate_name`` replaced by a BDD node."""
+    node_of: dict[str, int] = {}
+    for name in circuit.topological_order():
+        if name == gate_name:
+            node_of[name] = replacement
+            continue
+        gate = circuit.node(name)
+        if gate.gtype is GateType.INPUT:
+            node_of[name] = manager.var(name)
+            continue
+        node_of[name] = fold_gate(
+            manager, gate.gtype, [node_of[f] for f in gate.fanins]
+        )
+    return {out: node_of[out] for out in circuit.outputs}

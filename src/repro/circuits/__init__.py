@@ -1,0 +1,58 @@
+"""Gate-level circuit substrate: netlists, parsing, structure, generation.
+
+Public surface:
+
+* :class:`~repro.circuits.netlist.Circuit`, :class:`~repro.circuits.netlist.Gate`
+  — the netlist model.
+* :class:`~repro.circuits.gates.GateType` and gate evaluation helpers.
+* :mod:`~repro.circuits.bench` — ISCAS ``.bench`` I/O.
+* :mod:`~repro.circuits.structure` — levels, cones, dominators, distances.
+* :mod:`~repro.circuits.generator` — seeded synthetic netlists.
+* :mod:`~repro.circuits.library` — embedded circuits incl. the paper's
+  Figure 5 examples and the ISCAS89 stand-ins.
+* :mod:`~repro.circuits.scan` — full-scan (DFF → PPI/PPO) conversion.
+"""
+
+from .gates import GateType, eval_gate, eval_gate_ternary, X
+from .netlist import Circuit, CircuitError, Gate
+from .bench import parse_bench, load, write_bench, dump, BenchFormatError
+from .verilog import (
+    parse_verilog,
+    load_verilog,
+    write_verilog,
+    dump_verilog,
+    VerilogFormatError,
+)
+from .generator import GeneratorConfig, random_circuit, random_sequential_circuit
+from .scan import ScanResult, to_combinational
+from .rewrite import de_morgan_rewrite, decompose_wide_gates
+from . import library, structure
+
+__all__ = [
+    "GateType",
+    "eval_gate",
+    "eval_gate_ternary",
+    "X",
+    "Circuit",
+    "CircuitError",
+    "Gate",
+    "parse_bench",
+    "load",
+    "write_bench",
+    "dump",
+    "BenchFormatError",
+    "parse_verilog",
+    "load_verilog",
+    "write_verilog",
+    "dump_verilog",
+    "VerilogFormatError",
+    "GeneratorConfig",
+    "random_circuit",
+    "random_sequential_circuit",
+    "ScanResult",
+    "de_morgan_rewrite",
+    "decompose_wide_gates",
+    "to_combinational",
+    "library",
+    "structure",
+]

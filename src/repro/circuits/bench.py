@@ -1,0 +1,145 @@
+"""Reader and writer for the ISCAS85/ISCAS89 ``.bench`` netlist format.
+
+The format is line oriented::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G14 = NOT(G0)
+    G8  = AND(G14, G6)
+    G5  = DFF(G10)
+
+``BUFF`` is accepted as an alias for ``BUF``.  Parsing is forward-reference
+tolerant (gates may use signals defined later); :func:`parse_bench` validates
+the finished circuit.
+
+This module lets real ISCAS89 benchmark files (s1423, s6669, s38417, ...)
+drop straight into the experiment harness when available; the bundled
+experiments use the synthetic stand-ins from :mod:`repro.circuits.generator`
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import TextIO
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["parse_bench", "load", "write_bench", "dump", "BenchFormatError"]
+
+
+class BenchFormatError(ValueError):
+    """Raised on malformed ``.bench`` input, with the offending line number."""
+
+
+_TYPE_ALIASES = {
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "DFF": GateType.DFF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(\s*([^()]*?)\s*\)$"
+)
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` source ``text`` into a validated :class:`Circuit`.
+
+    >>> c = parse_bench("INPUT(a)\\nOUTPUT(y)\\ny = NOT(a)\\n")
+    >>> c.num_gates
+    1
+    """
+    circuit = Circuit(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, signal = io_match.group(1).upper(), io_match.group(2)
+            try:
+                if kind == "INPUT":
+                    circuit.add_input(signal)
+                else:
+                    circuit.add_output(signal)
+            except CircuitError as exc:
+                raise BenchFormatError(f"line {lineno}: {exc}") from exc
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            out, type_name, arg_text = gate_match.groups()
+            gtype = _TYPE_ALIASES.get(type_name.upper())
+            if gtype is None:
+                raise BenchFormatError(
+                    f"line {lineno}: unknown gate type {type_name!r}"
+                )
+            fanins = [a.strip() for a in arg_text.split(",") if a.strip()]
+            try:
+                circuit.add_gate(out, gtype, fanins)
+            except CircuitError as exc:
+                raise BenchFormatError(f"line {lineno}: {exc}") from exc
+            continue
+        raise BenchFormatError(f"line {lineno}: cannot parse {raw.strip()!r}")
+    try:
+        circuit.validate()
+    except CircuitError as exc:
+        raise BenchFormatError(str(exc)) from exc
+    return circuit
+
+
+def load(path: str | Path) -> Circuit:
+    """Load a ``.bench`` file from ``path``; circuit name is the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit, stream: TextIO) -> None:
+    """Serialize ``circuit`` to ``stream`` in ``.bench`` syntax.
+
+    Node order follows the circuit's insertion order, so a parse/write
+    round-trip is stable.
+    """
+    stream.write(f"# {circuit.name}\n")
+    stream.write(
+        f"# {len(circuit.inputs)} inputs, {len(circuit.outputs)} outputs, "
+        f"{len(circuit.dffs)} DFFs, {circuit.num_gates} gates\n"
+    )
+    for signal in circuit.inputs:
+        stream.write(f"INPUT({signal})\n")
+    for signal in circuit.outputs:
+        stream.write(f"OUTPUT({signal})\n")
+    stream.write("\n")
+    for gate in circuit:
+        if gate.gtype is GateType.INPUT:
+            continue
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            stream.write(f"{gate.name} = {gate.gtype.value}()\n")
+        else:
+            args = ", ".join(gate.fanins)
+            stream.write(f"{gate.name} = {gate.gtype.value}({args})\n")
+
+
+def dump(circuit: Circuit, path: str | Path | None = None) -> str:
+    """Serialize ``circuit`` to a string, optionally also writing ``path``."""
+    buf = io.StringIO()
+    write_bench(circuit, buf)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,246 @@
+"""Gate types and gate-level evaluation primitives.
+
+This module defines the vocabulary of gate functions used throughout the
+library: the :class:`GateType` enumeration, evaluation of a gate over plain
+Boolean values, over bit-parallel integer words, and over the three-valued
+(0/1/X) domain used by X-list style diagnosis.
+
+The gate set matches what the ISCAS85/ISCAS89 ``.bench`` format uses
+(AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF, DFF) plus constants and
+primary inputs.  ``DFF`` is the only sequential element; all diagnosis
+algorithms in this library operate on the combinational (full-scan) view
+produced by :mod:`repro.circuits.scan`.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import reduce
+from typing import Iterable, Sequence
+
+__all__ = [
+    "GateType",
+    "CONTROLLING_VALUE",
+    "INVERTING",
+    "COMBINATIONAL_TYPES",
+    "FUNCTIONAL_TYPES",
+    "eval_gate",
+    "eval_gate_words",
+    "eval_gate_ternary",
+    "X",
+]
+
+
+class GateType(enum.Enum):
+    """Enumeration of supported gate/node types.
+
+    ``INPUT`` marks a primary input (or pseudo-primary input after scan
+    conversion); it has no fanin.  ``CONST0``/``CONST1`` are constant
+    drivers.  Every other member is a combinational gate except ``DFF``.
+    """
+
+    INPUT = "INPUT"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    DFF = "DFF"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types that compute a Boolean function of their fanins.  Constants
+#: are included: a stuck-at defect replaces a gate by a constant function,
+#: and such a gate must remain a diagnosis suspect (correction candidate).
+FUNCTIONAL_TYPES: frozenset[GateType] = frozenset(
+    {
+        GateType.BUF,
+        GateType.NOT,
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.CONST0,
+        GateType.CONST1,
+    }
+)
+
+#: Gate types allowed in a purely combinational circuit.
+COMBINATIONAL_TYPES: frozenset[GateType] = FUNCTIONAL_TYPES | {
+    GateType.INPUT,
+    GateType.CONST0,
+    GateType.CONST1,
+}
+
+#: The controlling input value of a gate type, or ``None`` if the gate has
+#: no controlling value (XOR/XNOR/BUF/NOT).  An input at its controlling
+#: value determines the gate output regardless of the other inputs; this is
+#: the notion path tracing (Fig. 1 of the paper) relies on.
+CONTROLLING_VALUE: dict[GateType, int | None] = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.BUF: None,
+    GateType.NOT: None,
+}
+
+#: Whether the gate inverts (output = NOT(base function)).
+INVERTING: dict[GateType, bool] = {
+    GateType.AND: False,
+    GateType.NAND: True,
+    GateType.OR: False,
+    GateType.NOR: True,
+    GateType.XOR: False,
+    GateType.XNOR: True,
+    GateType.BUF: False,
+    GateType.NOT: True,
+}
+
+
+def eval_gate(gtype: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate ``gtype`` over Boolean ``inputs`` (each 0 or 1).
+
+    ``DFF`` is evaluated as a buffer (its combinational view); ``INPUT``
+    and constants take no inputs.
+
+    >>> eval_gate(GateType.NAND, [1, 1])
+    0
+    >>> eval_gate(GateType.XOR, [1, 0, 1])
+    0
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype is GateType.INPUT:
+        raise ValueError("primary inputs have no gate function")
+    if gtype in (GateType.BUF, GateType.DFF):
+        (a,) = inputs
+        return a & 1
+    if gtype is GateType.NOT:
+        (a,) = inputs
+        return (a & 1) ^ 1
+    if not inputs:
+        raise ValueError(f"{gtype} gate requires at least one input")
+    if gtype is GateType.AND:
+        return int(all(inputs))
+    if gtype is GateType.NAND:
+        return int(not all(inputs))
+    if gtype is GateType.OR:
+        return int(any(inputs))
+    if gtype is GateType.NOR:
+        return int(not any(inputs))
+    if gtype is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, (v & 1 for v in inputs))
+    if gtype is GateType.XNOR:
+        return reduce(lambda a, b: a ^ b, (v & 1 for v in inputs)) ^ 1
+    raise ValueError(f"cannot evaluate gate type {gtype}")
+
+
+def eval_gate_words(gtype: GateType, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate ``gtype`` bit-parallel over integer words.
+
+    Each bit position of the input words is an independent pattern; ``mask``
+    is the all-ones word for the active pattern width.  Used by the
+    pure-Python parallel simulator (the numpy simulator uses ufuncs
+    directly).
+
+    >>> eval_gate_words(GateType.NOR, [0b0011, 0b0101], 0b1111)
+    8
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return mask
+    if gtype in (GateType.BUF, GateType.DFF):
+        (a,) = inputs
+        return a & mask
+    if gtype is GateType.NOT:
+        (a,) = inputs
+        return ~a & mask
+    if not inputs:
+        raise ValueError(f"{gtype} gate requires at least one input")
+    if gtype is GateType.AND:
+        return reduce(lambda a, b: a & b, inputs) & mask
+    if gtype is GateType.NAND:
+        return ~reduce(lambda a, b: a & b, inputs) & mask
+    if gtype is GateType.OR:
+        return reduce(lambda a, b: a | b, inputs) & mask
+    if gtype is GateType.NOR:
+        return ~reduce(lambda a, b: a | b, inputs) & mask
+    if gtype is GateType.XOR:
+        return reduce(lambda a, b: a ^ b, inputs) & mask
+    if gtype is GateType.XNOR:
+        return ~reduce(lambda a, b: a ^ b, inputs) & mask
+    raise ValueError(f"cannot evaluate gate type {gtype}")
+
+
+#: The unknown value of the three-valued domain.  Encoded as the integer 2 so
+#: that ternary signal arrays stay small integer arrays.
+X: int = 2
+
+
+def _ternary_not(a: int) -> int:
+    if a == X:
+        return X
+    return a ^ 1
+
+
+def eval_gate_ternary(gtype: GateType, inputs: Iterable[int]) -> int:
+    """Evaluate ``gtype`` in the three-valued (0/1/X) domain.
+
+    Controlling values dominate X: ``AND(0, X) = 0`` but ``AND(1, X) = X``.
+    XOR with any X input is X.
+
+    >>> eval_gate_ternary(GateType.AND, [0, X])
+    0
+    >>> eval_gate_ternary(GateType.OR, [0, X])
+    2
+    """
+    vals = list(inputs)
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype in (GateType.BUF, GateType.DFF):
+        (a,) = vals
+        return a
+    if gtype is GateType.NOT:
+        (a,) = vals
+        return _ternary_not(a)
+    if not vals:
+        raise ValueError(f"{gtype} gate requires at least one input")
+    if gtype in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in vals):
+            base = 0
+        elif all(v == 1 for v in vals):
+            base = 1
+        else:
+            base = X
+        return _ternary_not(base) if gtype is GateType.NAND else base
+    if gtype in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in vals):
+            base = 1
+        elif all(v == 0 for v in vals):
+            base = 0
+        else:
+            base = X
+        return _ternary_not(base) if gtype is GateType.NOR else base
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if any(v == X for v in vals):
+            return X
+        base = reduce(lambda a, b: a ^ b, vals)
+        return _ternary_not(base) if gtype is GateType.XNOR else base
+    raise ValueError(f"cannot evaluate gate type {gtype}")

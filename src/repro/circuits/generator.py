@@ -1,0 +1,214 @@
+"""Seeded synthetic netlist generation.
+
+The paper's experiments run on ISCAS89 circuits (s1423, s6669, s38417).
+Those ``.bench`` files are not bundled in this offline environment, so the
+experiment harness uses *synthetic stand-ins* produced here: random
+combinational netlists with an ISCAS89-like profile (mostly 2-input
+AND/NAND/OR/NOR, some inverters, bounded fan-in, every gate reaching an
+output).  Generation is fully deterministic in the seed, so every benchmark
+row in EXPERIMENTS.md is reproducible.
+
+Real ISCAS89 netlists can be substituted at any time through
+:func:`repro.circuits.bench.load`; all downstream code is agnostic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .gates import GateType
+from .netlist import Circuit
+
+__all__ = ["GeneratorConfig", "random_circuit", "random_sequential_circuit"]
+
+#: Default gate-type mix, roughly matching ISCAS89 statistics (dominated by
+#: NAND/NOR/AND/OR with a sprinkle of inverters; XORs are rare).
+_DEFAULT_WEIGHTS: dict[GateType, float] = {
+    GateType.AND: 0.22,
+    GateType.NAND: 0.22,
+    GateType.OR: 0.18,
+    GateType.NOR: 0.18,
+    GateType.NOT: 0.12,
+    GateType.XOR: 0.04,
+    GateType.XNOR: 0.02,
+    GateType.BUF: 0.02,
+}
+
+
+@dataclass
+class GeneratorConfig:
+    """Parameters of :func:`random_circuit`.
+
+    ``locality`` controls depth: fanins are drawn from the most recent
+    ``locality``-fraction of existing signals with high probability, which
+    produces long sensitizable paths instead of a shallow blob.
+    """
+
+    n_inputs: int = 8
+    n_outputs: int = 4
+    n_gates: int = 40
+    max_fanin: int = 4
+    seed: int = 0
+    weights: dict[GateType, float] = field(
+        default_factory=lambda: dict(_DEFAULT_WEIGHTS)
+    )
+    locality: float = 0.25
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValueError("need at least one input")
+        if self.n_gates < self.n_outputs:
+            raise ValueError("need at least as many gates as outputs")
+        if not 0.0 < self.locality <= 1.0:
+            raise ValueError("locality must be in (0, 1]")
+
+
+def _pick_type(rng: random.Random, weights: dict[GateType, float]) -> GateType:
+    types = list(weights)
+    cum: list[float] = []
+    total = 0.0
+    for t in types:
+        total += weights[t]
+        cum.append(total)
+    r = rng.random() * total
+    for t, c in zip(types, cum):
+        if r <= c:
+            return t
+    return types[-1]
+
+
+def _pick_fanins(
+    rng: random.Random, pool: list[str], count: int, locality: float
+) -> list[str]:
+    """Draw ``count`` distinct fanins, biased toward the tail of ``pool``."""
+    window = max(count, int(len(pool) * locality))
+    recent = pool[-window:]
+    chosen: list[str] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(chosen) < count and attempts < 20 * count:
+        source = recent if rng.random() < 0.8 else pool
+        cand = source[rng.randrange(len(source))]
+        attempts += 1
+        if cand not in seen:
+            seen.add(cand)
+            chosen.append(cand)
+    if len(chosen) < count:  # tiny pools: fall back to a deterministic fill
+        for cand in reversed(pool):
+            if cand not in seen:
+                chosen.append(cand)
+                seen.add(cand)
+                if len(chosen) == count:
+                    break
+    return chosen
+
+
+def random_circuit(config: GeneratorConfig | None = None, **kwargs) -> Circuit:
+    """Generate a random combinational circuit.
+
+    Accepts either a :class:`GeneratorConfig` or the same fields as keyword
+    arguments::
+
+        >>> c = random_circuit(n_inputs=4, n_outputs=2, n_gates=10, seed=7)
+        >>> c.num_gates >= 10
+        True
+
+    Guarantees: acyclic, every declared gate has existing fanins, every
+    signal without fanout is funneled into an output tree so the circuit has
+    exactly ``n_outputs`` outputs and no dead logic.  A few extra 2-input
+    gates may be added by the funneling step, so ``num_gates`` can slightly
+    exceed ``n_gates``.
+    """
+    if config is None:
+        config = GeneratorConfig(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a config object or keyword fields, not both")
+    rng = random.Random(config.seed)
+    name = config.name or f"rand_{config.n_gates}g_s{config.seed}"
+    circuit = Circuit(name)
+    pool: list[str] = []
+    for i in range(config.n_inputs):
+        pi = f"pi{i}"
+        circuit.add_input(pi)
+        pool.append(pi)
+    for i in range(config.n_gates):
+        gtype = _pick_type(rng, config.weights)
+        if gtype in (GateType.NOT, GateType.BUF):
+            arity = 1
+        else:
+            arity = rng.randint(2, max(2, min(config.max_fanin, len(pool))))
+        fanins = _pick_fanins(rng, pool, arity, config.locality)
+        gname = f"g{i}"
+        circuit.add_gate(gname, gtype, fanins)
+        pool.append(gname)
+
+    # Funnel dangling signals into exactly n_outputs outputs.
+    fanouts = circuit.fanouts()
+    dangling = [n for n in pool if not fanouts[n]]
+    if not dangling:  # all consumed (possible for tiny configs): tap the tail
+        dangling = pool[-config.n_outputs:]
+    extra = 0
+    while len(dangling) > config.n_outputs:
+        a = dangling.pop(rng.randrange(len(dangling)))
+        b = dangling.pop(rng.randrange(len(dangling)))
+        gname = f"j{extra}"
+        extra += 1
+        gtype = rng.choice([GateType.AND, GateType.OR, GateType.XOR, GateType.NAND])
+        circuit.add_gate(gname, gtype, [a, b])
+        dangling.append(gname)
+    while len(dangling) < config.n_outputs:
+        cand = pool[rng.randrange(len(pool))]
+        if cand not in dangling:
+            dangling.append(cand)
+    for out in dangling:
+        circuit.add_output(out)
+    circuit.validate()
+    return circuit
+
+
+def random_sequential_circuit(
+    n_inputs: int = 4,
+    n_outputs: int = 2,
+    n_gates: int = 30,
+    n_dffs: int = 4,
+    seed: int = 0,
+    name: str | None = None,
+) -> Circuit:
+    """Generate a random sequential circuit with ``n_dffs`` flip-flops.
+
+    DFF outputs act as extra sources for the combinational part; DFF inputs
+    are tapped from late combinational signals, so state actually evolves.
+    Used by the sequential-diagnosis extension and the scan-conversion tests.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    comb = random_circuit(
+        n_inputs=n_inputs + n_dffs,
+        n_outputs=n_outputs + n_dffs,
+        n_gates=n_gates,
+        seed=rng.randrange(1 << 30),
+        name=name or f"randseq_{n_gates}g_s{seed}",
+    )
+    circuit = Circuit(comb.name)
+    state_names = [f"st{i}" for i in range(n_dffs)]
+    renamed_inputs = list(comb.inputs[:n_inputs])
+    for pi in renamed_inputs:
+        circuit.add_input(pi)
+    # The last n_dffs "inputs" of the combinational core become DFF outputs.
+    dff_driven = {
+        old: new for old, new in zip(comb.inputs[n_inputs:], state_names)
+    }
+    comb_outputs = list(comb.outputs)
+    next_state = comb_outputs[n_outputs:]
+    for state, nxt in zip(state_names, next_state):
+        circuit.add_gate(state, GateType.DFF, [dff_driven.get(nxt, nxt)])
+    for gate in comb:
+        if gate.is_input:
+            continue
+        fanins = [dff_driven.get(f, f) for f in gate.fanins]
+        circuit.add_gate(gate.name, gate.gtype, fanins)
+    for out in comb_outputs[:n_outputs]:
+        circuit.add_output(dff_driven.get(out, out))
+    circuit.validate()
+    return circuit

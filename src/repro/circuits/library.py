@@ -1,0 +1,382 @@
+"""Built-in circuit library.
+
+Contains:
+
+* **Real benchmark circuits** small enough to embed verbatim: ISCAS85 c17
+  and ISCAS89 s27.
+* **The paper's Figure 5 circuits** (reconstructed): ``fig5a`` witnesses
+  Lemma 2 (a set-covering solution that is not a valid correction) and
+  ``fig5b`` witnesses Lemma 4 (a valid correction missed by set covering).
+* **Parametric circuits** with known golden functions (adders, parity,
+  majority, mux trees) used heavily by the test-suite.
+* **Synthetic ISCAS89 stand-ins** ``sim1423``, ``sim6669``, ``sim38417``
+  sized for a pure-Python SAT solver (see DESIGN.md substitution table).
+
+Use :func:`get_circuit` to obtain any registered circuit by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .bench import parse_bench
+from .gates import GateType
+from .netlist import Circuit
+from .generator import random_circuit
+
+__all__ = [
+    "c17",
+    "s27",
+    "fig5a",
+    "fig5b",
+    "FIG5A_TEST",
+    "FIG5B_TEST",
+    "ripple_carry_adder",
+    "parity_tree",
+    "majority",
+    "mux_tree",
+    "array_multiplier",
+    "equality_comparator",
+    "sim1423",
+    "sim6669",
+    "sim38417",
+    "get_circuit",
+    "available_circuits",
+]
+
+_C17_BENCH = """
+# ISCAS85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+_S27_BENCH = """
+# ISCAS89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def c17() -> Circuit:
+    """The 6-NAND ISCAS85 c17 benchmark (5 inputs, 2 outputs)."""
+    return parse_bench(_C17_BENCH, name="c17")
+
+
+def s27() -> Circuit:
+    """The ISCAS89 s27 benchmark (4 inputs, 1 output, 3 DFFs)."""
+    return parse_bench(_S27_BENCH, name="s27")
+
+
+def fig5a() -> Circuit:
+    """Reconstruction of the paper's Figure 5(a) — Lemma 2 witness.
+
+    Under the test vector ``(i1, i2) = (1, 1)`` the output ``D`` evaluates
+    to 0 while the correct value is 1.  Path tracing marks ``{A, B, D}``
+    (or ``{A, C, D}`` depending on the tie-break), so ``{B}`` covers the
+    single candidate set — but changing only ``B`` cannot rectify ``D``
+    because the reconvergent branch ``C`` still forces the AND to 0.
+    """
+    c = Circuit("fig5a")
+    c.add_input("i1")
+    c.add_input("i2")
+    c.add_gate("A", GateType.NAND, ["i1", "i2"])
+    c.add_gate("B", GateType.BUF, ["A"])
+    c.add_gate("C", GateType.BUF, ["A"])
+    c.add_gate("D", GateType.AND, ["B", "C"])
+    c.add_output("D")
+    c.validate()
+    return c
+
+
+#: The single failing test of Figure 5(a): vector, erroneous output, correct value.
+FIG5A_TEST: tuple[dict[str, int], str, int] = ({"i1": 1, "i2": 1}, "D", 1)
+
+
+def fig5b() -> Circuit:
+    """Reconstruction of the paper's Figure 5(b) — Lemma 4 witness.
+
+    Under the test vector ``(x, y, z, w) = (0, 0, 1, 0)`` the output ``E``
+    is 0 instead of 1.  Path tracing yields the single candidate set
+    ``{A, C, D, E}``; the correction ``{A, B}`` is valid (force ``A`` and
+    ``B`` to 1) and contains only essential candidates — flipping ``A``
+    alone is undone through ``B = NOR(A, w)`` — yet set covering can never
+    return it because ``B`` is not in the candidate set.
+    """
+    c = Circuit("fig5b")
+    for pi in ("x", "y", "z", "w"):
+        c.add_input(pi)
+    c.add_gate("A", GateType.BUF, ["x"])
+    c.add_gate("B", GateType.NOR, ["A", "w"])
+    c.add_gate("C", GateType.OR, ["A", "y"])
+    c.add_gate("D", GateType.AND, ["C", "z"])
+    c.add_gate("E", GateType.AND, ["D", "B"])
+    c.add_output("E")
+    c.validate()
+    return c
+
+
+#: The single failing test of Figure 5(b).
+FIG5B_TEST: tuple[dict[str, int], str, int] = (
+    {"x": 0, "y": 0, "z": 1, "w": 0},
+    "E",
+    1,
+)
+
+
+def ripple_carry_adder(width: int, name: str | None = None) -> Circuit:
+    """``width``-bit ripple-carry adder: inputs a0.., b0.., cin; outputs s0.., cout."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    c = Circuit(name or f"rca{width}")
+    for i in range(width):
+        c.add_input(f"a{i}")
+    for i in range(width):
+        c.add_input(f"b{i}")
+    c.add_input("cin")
+    carry = "cin"
+    for i in range(width):
+        c.add_gate(f"p{i}", GateType.XOR, [f"a{i}", f"b{i}"])
+        c.add_gate(f"s{i}", GateType.XOR, [f"p{i}", carry])
+        c.add_gate(f"g{i}", GateType.AND, [f"a{i}", f"b{i}"])
+        c.add_gate(f"t{i}", GateType.AND, [f"p{i}", carry])
+        c.add_gate(f"c{i}", GateType.OR, [f"g{i}", f"t{i}"])
+        carry = f"c{i}"
+    for i in range(width):
+        c.add_output(f"s{i}")
+    c.add_output(carry)
+    c.validate()
+    return c
+
+
+def parity_tree(width: int, name: str | None = None) -> Circuit:
+    """XOR tree computing the parity of ``width`` inputs."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    c = Circuit(name or f"parity{width}")
+    layer = []
+    for i in range(width):
+        c.add_input(f"x{i}")
+        layer.append(f"x{i}")
+    idx = 0
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            g = f"p{idx}"
+            idx += 1
+            c.add_gate(g, GateType.XOR, [layer[i], layer[i + 1]])
+            nxt.append(g)
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    c.add_output(layer[0])
+    c.validate()
+    return c
+
+
+def majority(name: str = "maj3") -> Circuit:
+    """3-input majority voter: out = ab | bc | ac."""
+    c = Circuit(name)
+    for pi in ("a", "b", "c"):
+        c.add_input(pi)
+    c.add_gate("ab", GateType.AND, ["a", "b"])
+    c.add_gate("bc", GateType.AND, ["b", "c"])
+    c.add_gate("ac", GateType.AND, ["a", "c"])
+    c.add_gate("o1", GateType.OR, ["ab", "bc"])
+    c.add_gate("out", GateType.OR, ["o1", "ac"])
+    c.add_output("out")
+    c.validate()
+    return c
+
+
+def mux_tree(select_bits: int, name: str | None = None) -> Circuit:
+    """A ``2**select_bits``-to-1 multiplexer built from AND/OR/NOT gates."""
+    if select_bits < 1:
+        raise ValueError("select_bits must be positive")
+    n = 1 << select_bits
+    c = Circuit(name or f"mux{n}")
+    data = [f"d{i}" for i in range(n)]
+    for d in data:
+        c.add_input(d)
+    sels = [f"s{i}" for i in range(select_bits)]
+    for s in sels:
+        c.add_input(s)
+    for s in sels:
+        c.add_gate(f"n_{s}", GateType.NOT, [s])
+    terms = []
+    for i, d in enumerate(data):
+        lits = [d]
+        for b, s in enumerate(sels):
+            lits.append(s if (i >> b) & 1 else f"n_{s}")
+        c.add_gate(f"t{i}", GateType.AND, lits)
+        terms.append(f"t{i}")
+    c.add_gate("out", GateType.OR, terms)
+    c.add_output("out")
+    c.validate()
+    return c
+
+
+def array_multiplier(width: int, name: str | None = None) -> Circuit:
+    """``width``×``width`` unsigned array multiplier (outputs m0..m2w-1).
+
+    Built from AND partial products and ripple carry-save rows — the
+    classic BDD worst case: the middle product bits have exponential BDDs
+    under *every* variable order (Bryant), which the BDD blowup benchmark
+    exploits.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    c = Circuit(name or f"mul{width}")
+    for i in range(width):
+        c.add_input(f"a{i}")
+    for i in range(width):
+        c.add_input(f"b{i}")
+    # Partial products.
+    for i in range(width):
+        for j in range(width):
+            c.add_gate(f"pp{i}_{j}", GateType.AND, [f"a{i}", f"b{j}"])
+    # Row-by-row addition: row i adds pp*_i shifted by i.
+    acc = [f"pp{i}_0" for i in range(width)]  # bits i of a*b0
+    outputs = [acc[0]]
+    for j in range(1, width):
+        row = [f"pp{i}_{j}" for i in range(width)]
+        new_acc: list[str] = []
+        carry: str | None = None
+        for pos in range(width):
+            x = acc[pos + 1] if pos + 1 < len(acc) else None
+            y = row[pos]
+            operands = [s for s in (x, y, carry) if s is not None]
+            base = f"r{j}_{pos}"
+            if len(operands) == 1:
+                c.add_gate(f"{base}_s", GateType.BUF, operands)
+                new_carry = None
+            elif len(operands) == 2:
+                c.add_gate(f"{base}_s", GateType.XOR, operands)
+                c.add_gate(f"{base}_c", GateType.AND, operands)
+                new_carry = f"{base}_c"
+            else:  # full adder
+                c.add_gate(f"{base}_s", GateType.XOR, operands)
+                c.add_gate(f"{base}_c1", GateType.AND, [operands[0], operands[1]])
+                c.add_gate(f"{base}_c2", GateType.AND, [operands[0], operands[2]])
+                c.add_gate(f"{base}_c3", GateType.AND, [operands[1], operands[2]])
+                c.add_gate(
+                    f"{base}_c", GateType.OR, [f"{base}_c1", f"{base}_c2", f"{base}_c3"]
+                )
+                new_carry = f"{base}_c"
+            new_acc.append(f"{base}_s")
+            carry = new_carry
+        if carry is not None:
+            c.add_gate(f"r{j}_top", GateType.BUF, [carry])
+            new_acc.append(f"r{j}_top")
+        outputs.append(new_acc[0])
+        acc = new_acc
+    # Remaining accumulator bits are the high product bits.
+    outputs.extend(acc[1:])
+    for idx, sig in enumerate(outputs[: 2 * width]):
+        c.add_gate(f"m{idx}", GateType.BUF, [sig])
+        c.add_output(f"m{idx}")
+    c.validate()
+    return c
+
+
+def equality_comparator(width: int, name: str | None = None) -> Circuit:
+    """``width``-bit equality comparator: out = (a == b)."""
+    if width < 1:
+        raise ValueError("width must be positive")
+    c = Circuit(name or f"eq{width}")
+    for i in range(width):
+        c.add_input(f"a{i}")
+    for i in range(width):
+        c.add_input(f"b{i}")
+    bits = []
+    for i in range(width):
+        c.add_gate(f"e{i}", GateType.XNOR, [f"a{i}", f"b{i}"])
+        bits.append(f"e{i}")
+    if width == 1:
+        c.add_gate("out", GateType.BUF, bits)
+    else:
+        c.add_gate("out", GateType.AND, bits)
+    c.add_output("out")
+    c.validate()
+    return c
+
+
+# ----------------------------------------------------------------------
+# ISCAS89 stand-ins (see DESIGN.md): synthetic circuits sized so the full
+# Table 2 / Table 3 sweep completes with a pure-Python CDCL solver, with
+# the same relative size ordering as s1423 < s6669 < s38417.
+# ----------------------------------------------------------------------
+
+def sim1423() -> Circuit:
+    """Synthetic stand-in for ISCAS89 s1423 (~650 gates, 17+74 PIs/FF-PPIs)."""
+    return random_circuit(
+        n_inputs=91, n_outputs=79, n_gates=650, seed=1423, name="sim1423"
+    )
+
+
+def sim6669() -> Circuit:
+    """Synthetic stand-in for ISCAS89 s6669 (scaled to ~1 600 gates)."""
+    return random_circuit(
+        n_inputs=322, n_outputs=294, n_gates=1600, seed=6669, name="sim6669"
+    )
+
+
+def sim38417() -> Circuit:
+    """Synthetic stand-in for ISCAS89 s38417 (scaled to ~3 600 gates)."""
+    return random_circuit(
+        n_inputs=1000, n_outputs=1100, n_gates=3600, seed=38417, name="sim38417"
+    )
+
+
+_REGISTRY: dict[str, Callable[[], Circuit]] = {
+    "c17": c17,
+    "s27": s27,
+    "fig5a": fig5a,
+    "fig5b": fig5b,
+    "maj3": majority,
+    "sim1423": sim1423,
+    "sim6669": sim6669,
+    "sim38417": sim38417,
+}
+
+
+def get_circuit(name: str) -> Circuit:
+    """Look up a registered circuit by name (see :func:`available_circuits`)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_circuits() -> tuple[str, ...]:
+    """Names accepted by :func:`get_circuit`."""
+    return tuple(sorted(_REGISTRY))

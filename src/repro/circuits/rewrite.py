@@ -1,0 +1,121 @@
+"""Equivalence-preserving netlist rewrites (a stand-in for synthesis).
+
+The paper's introduction dismisses structural diagnosis approaches
+(ref [12]) because the similarity they rely on "may not be present,
+e.g. due to optimizations during synthesis".  To demonstrate that failure
+mode reproducibly, this module provides two function-preserving rewrites
+that mimic what synthesis does to a netlist:
+
+* :func:`de_morgan_rewrite` — rewrites AND/OR/NAND/NOR gates through De
+  Morgan's laws, inserting fresh inverter signals (changes structure,
+  keeps every original signal's function);
+* :func:`decompose_wide_gates` — splits wide associative gates into
+  binary trees with fresh intermediate signals whose functions typically
+  exist nowhere in the original netlist (breaks signal correspondence,
+  which is what defeats signature matching).
+
+Every rewrite is checked equivalence-preserving by the test-suite via the
+SAT CEC engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .gates import GateType
+from .netlist import Circuit
+
+__all__ = ["de_morgan_rewrite", "decompose_wide_gates"]
+
+#: De Morgan dual of each rewriteable gate type.
+_DUAL: dict[GateType, GateType] = {
+    GateType.AND: GateType.NOR,
+    GateType.NAND: GateType.OR,
+    GateType.OR: GateType.NAND,
+    GateType.NOR: GateType.AND,
+}
+
+
+def _fresh(circuit: Circuit, base: str) -> str:
+    name = base
+    suffix = 0
+    while name in circuit:
+        suffix += 1
+        name = f"{base}_{suffix}"
+    return name
+
+
+def de_morgan_rewrite(
+    circuit: Circuit, fraction: float = 1.0, seed: int = 0
+) -> Circuit:
+    """Rewrite a random ``fraction`` of AND/OR/NAND/NOR gates via De Morgan.
+
+    ``AND(a, b, …)`` becomes ``NOR(¬a, ¬b, …)`` with fresh inverter nodes
+    (and dually for the other types).  Original signal names keep their
+    functions, so the result is combinationally equivalent.
+
+    >>> from repro.circuits.library import c17
+    >>> rewritten = de_morgan_rewrite(c17(), seed=1)
+    >>> rewritten.num_gates > c17().num_gates  # inverters were added
+    True
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    result = circuit.copy(name=f"{circuit.name}_dm")
+    targets = [
+        g.name
+        for g in circuit.gates
+        if g.gtype in _DUAL and rng.random() < fraction
+    ]
+    for name in targets:
+        gate = result.node(name)
+        inverted = []
+        for fin in gate.fanins:
+            inv = _fresh(result, f"{name}__n_{fin}")
+            result.add_gate(inv, GateType.NOT, [fin])
+            inverted.append(inv)
+        result.replace_gate(name, gtype=_DUAL[gate.gtype], fanins=inverted)
+    result.validate()
+    return result
+
+
+def decompose_wide_gates(
+    circuit: Circuit, max_fanin: int = 2, seed: int = 0
+) -> Circuit:
+    """Split gates wider than ``max_fanin`` into trees of binary gates.
+
+    AND/OR decompose directly; NAND/NOR decompose into an AND/OR tree with
+    the inverting type kept at the root.  XOR/XNOR chain likewise.  The
+    fresh intermediate signals compute *new* sub-functions, which is what
+    destroys one-to-one signal correspondence with the original netlist.
+    """
+    if max_fanin < 2:
+        raise ValueError("max_fanin must be at least 2")
+    rng = random.Random(seed)
+    inner_of: dict[GateType, GateType] = {
+        GateType.AND: GateType.AND,
+        GateType.NAND: GateType.AND,
+        GateType.OR: GateType.OR,
+        GateType.NOR: GateType.OR,
+        GateType.XOR: GateType.XOR,
+        GateType.XNOR: GateType.XOR,
+    }
+    result = circuit.copy(name=f"{circuit.name}_dec")
+    for gate in circuit.gates:
+        if gate.gtype not in inner_of or len(gate.fanins) <= max_fanin:
+            continue
+        inner = inner_of[gate.gtype]
+        operands = list(gate.fanins)
+        rng.shuffle(operands)
+        counter = 0
+        while len(operands) > max_fanin:
+            chunk = operands[:max_fanin]
+            operands = operands[max_fanin:]
+            aux = _fresh(result, f"{gate.name}__t{counter}")
+            counter += 1
+            result.add_gate(aux, inner, chunk)
+            operands.append(aux)
+        result.replace_gate(gate.name, fanins=operands)
+    result.validate()
+    return result

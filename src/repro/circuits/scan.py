@@ -1,0 +1,70 @@
+"""Full-scan conversion of sequential circuits.
+
+The paper's diagnosis experiments treat the ISCAS89 circuits as
+combinational, which corresponds to the standard full-scan assumption: every
+flip-flop is directly controllable and observable, so each DFF output
+becomes a pseudo-primary input (PPI) and each DFF input a pseudo-primary
+output (PPO).  :func:`to_combinational` performs that conversion; the
+mapping back to the sequential elements is retained for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from .netlist import Circuit
+
+__all__ = ["ScanResult", "to_combinational"]
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Output of :func:`to_combinational`.
+
+    ``ppi_of`` maps each original DFF name to the PPI signal replacing its
+    output; ``ppo_of`` maps it to the PPO (the signal that fed the DFF).
+    """
+
+    circuit: Circuit
+    ppi_of: dict[str, str]
+    ppo_of: dict[str, str]
+
+
+def to_combinational(circuit: Circuit, suffix: str = "_scan") -> ScanResult:
+    """Return the full-scan combinational view of ``circuit``.
+
+    Combinational circuits pass through unchanged (with empty maps).  For a
+    sequential circuit every ``DFF q = DFF(d)`` is removed; ``q`` becomes a
+    primary input and ``d`` becomes an additional primary output.
+
+    >>> from repro.circuits.library import s27
+    >>> result = to_combinational(s27())
+    >>> result.circuit.is_combinational
+    True
+    >>> len(result.ppi_of)
+    3
+    """
+    if not circuit.is_sequential:
+        return ScanResult(circuit.copy(), {}, {})
+    scan = Circuit(circuit.name + suffix)
+    ppi_of: dict[str, str] = {}
+    ppo_of: dict[str, str] = {}
+    for pi in circuit.inputs:
+        scan.add_input(pi)
+    for gate in circuit:
+        if gate.is_dff:
+            scan.add_input(gate.name)
+            ppi_of[gate.name] = gate.name
+            ppo_of[gate.name] = gate.fanins[0]
+    for gate in circuit:
+        if gate.is_input or gate.is_dff:
+            continue
+        scan.add_gate(gate.name, gate.gtype, gate.fanins)
+    for out in circuit.outputs:
+        scan.add_output(out)
+    for dff, d_signal in ppo_of.items():
+        if d_signal not in scan.outputs:
+            scan.add_output(d_signal)
+    scan.validate()
+    return ScanResult(scan, ppi_of, ppo_of)

@@ -1,0 +1,183 @@
+"""Structural Verilog netlist reader/writer (gate-primitive subset).
+
+ISCAS-style benchmark circuits circulate both as ``.bench`` and as flat
+structural Verilog.  This module handles the subset those netlists use:
+
+* one ``module`` with a port list,
+* ``input`` / ``output`` / ``wire`` declarations (comma lists),
+* gate primitive instances ``and/nand/or/nor/xor/xnor/not/buf`` with the
+  output as the first connection (Verilog primitive convention), and a
+  ``dff`` cell (output, input) for flip-flops,
+* ``//`` and ``/* ... */`` comments.
+
+Anything else (behavioural code, vectors, parameters) is rejected with a
+clear error — the diagnosis flow only consumes flat gate-level netlists.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import TextIO
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = [
+    "parse_verilog",
+    "load_verilog",
+    "write_verilog",
+    "dump_verilog",
+    "VerilogFormatError",
+]
+
+
+class VerilogFormatError(ValueError):
+    """Raised on input outside the supported structural subset."""
+
+
+_PRIMITIVES = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "dff": GateType.DFF,
+}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*|\\[^\s]+"
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def parse_verilog(text: str, name: str | None = None) -> Circuit:
+    """Parse structural Verilog into a validated :class:`Circuit`.
+
+    >>> src = '''
+    ... module inv (a, y);
+    ...   input a; output y;
+    ...   not n1 (y, a);
+    ... endmodule
+    ... '''
+    >>> parse_verilog(src).num_gates
+    1
+    """
+    stripped = _strip_comments(text)
+    module_match = re.search(
+        rf"module\s+({_IDENT})\s*\(([^)]*)\)\s*;(.*?)endmodule",
+        stripped,
+        flags=re.DOTALL,
+    )
+    if not module_match:
+        raise VerilogFormatError("no structural module found")
+    module_name, _ports, body = module_match.groups()
+    circuit = Circuit(name or module_name)
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    for stmt in statements:
+        keyword_match = re.match(rf"({_IDENT})\s*(.*)", stmt, flags=re.DOTALL)
+        if not keyword_match:
+            raise VerilogFormatError(f"cannot parse statement {stmt!r}")
+        keyword, rest = keyword_match.groups()
+        if keyword in ("input", "output", "wire"):
+            if re.match(r"\s*\[", rest):
+                raise VerilogFormatError(
+                    f"vector declarations are not supported: {stmt!r}"
+                )
+            names = [n.strip() for n in rest.split(",") if n.strip()]
+            if keyword == "input":
+                inputs.extend(names)
+            elif keyword == "output":
+                outputs.extend(names)
+            # wires carry no information we need
+            continue
+        if keyword in _PRIMITIVES:
+            gtype = _PRIMITIVES[keyword]
+            inst = re.match(
+                rf"(?:({_IDENT})\s*)?\(\s*([^)]*)\)\s*$", rest, flags=re.DOTALL
+            )
+            if not inst:
+                raise VerilogFormatError(f"cannot parse instance {stmt!r}")
+            _inst_name, conn_text = inst.groups()
+            conns = [c.strip() for c in conn_text.split(",") if c.strip()]
+            if len(conns) < 2:
+                raise VerilogFormatError(
+                    f"primitive needs an output and at least one input: "
+                    f"{stmt!r}"
+                )
+            out, fanins = conns[0], conns[1:]
+            try:
+                circuit.add_gate(out, gtype, fanins)
+            except CircuitError as exc:
+                raise VerilogFormatError(str(exc)) from exc
+            continue
+        raise VerilogFormatError(
+            f"unsupported construct {keyword!r} (structural subset only)"
+        )
+
+    final = Circuit(circuit.name)
+    for pi in inputs:
+        final.add_input(pi)
+    for gate in circuit:
+        final.add_gate(gate.name, gate.gtype, gate.fanins)
+    for po in outputs:
+        final.add_output(po)
+    try:
+        final.validate()
+    except CircuitError as exc:
+        raise VerilogFormatError(str(exc)) from exc
+    return final
+
+
+def load_verilog(path: str | Path) -> Circuit:
+    path = Path(path)
+    return parse_verilog(path.read_text(), name=path.stem)
+
+
+def write_verilog(circuit: Circuit, stream: TextIO) -> None:
+    """Serialize ``circuit`` as a flat structural Verilog module."""
+    ports = list(circuit.inputs) + list(circuit.outputs)
+    stream.write(f"// {circuit.name}\n")
+    stream.write(f"module {circuit.name} ({', '.join(ports)});\n")
+    if circuit.inputs:
+        stream.write(f"  input {', '.join(circuit.inputs)};\n")
+    if circuit.outputs:
+        stream.write(f"  output {', '.join(circuit.outputs)};\n")
+    internal = [
+        g.name
+        for g in circuit
+        if not g.is_input and g.name not in circuit.outputs
+    ]
+    if internal:
+        stream.write(f"  wire {', '.join(internal)};\n")
+    reverse = {v: k for k, v in _PRIMITIVES.items()}
+    for idx, gate in enumerate(circuit):
+        if gate.is_input:
+            continue
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            raise VerilogFormatError(
+                "constant drivers have no primitive; replace with tie cells"
+            )
+        prim = reverse[gate.gtype]
+        conns = ", ".join((gate.name, *gate.fanins))
+        stream.write(f"  {prim} g{idx} ({conns});\n")
+    stream.write("endmodule\n")
+
+
+def dump_verilog(circuit: Circuit, path: str | Path | None = None) -> str:
+    buf = io.StringIO()
+    write_verilog(circuit, buf)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

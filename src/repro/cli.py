@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin, scriptable front-end over the library for users who work with
+``.bench`` files rather than Python:
+
+* ``stats``    — print circuit statistics.
+* ``inject``   — inject gate-change errors, write the faulty netlist and a
+  ground-truth sidecar.
+* ``testgen``  — generate failing tests for a golden/faulty pair.
+* ``diagnose`` — run BSIM / COV / BSAT / hybrid on a faulty netlist plus
+  a test file.
+* ``table1``   — print the paper's comparison matrix.
+* ``atpg``     — run the stuck-at ATPG flow (PODEM or SAT) and report
+  coverage.
+* ``cec``      — combinational equivalence check (random/SAT/BDD engines).
+* ``certify``  — decide "correction with ≤ k candidates?" with a DRAT
+  proof, re-checked independently.
+
+Test files are plain text: one test per line, ``<bits> <output> <value>``
+with ``<bits>`` in primary-input declaration order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .circuits import bench, library
+from .circuits.netlist import Circuit
+from .diagnosis import (
+    basic_sat_diagnose,
+    basic_sim_diagnose,
+    format_table1,
+    pt_guided_sat_diagnose,
+    sc_diagnose,
+)
+from .faults import random_gate_changes
+from .testgen import TestSet, random_failing_tests
+from .testgen.testset import Test
+
+__all__ = ["main"]
+
+
+def _load_circuit(spec: str) -> Circuit:
+    """A circuit argument is a library name or a ``.bench`` path."""
+    if spec in library.available_circuits():
+        return library.get_circuit(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {spec!r} is neither a library circuit "
+            f"({', '.join(library.available_circuits())}) nor a file"
+        )
+    return bench.load(path)
+
+
+def _write_tests(tests: TestSet, circuit: Circuit, path: Path) -> None:
+    with path.open("w") as stream:
+        stream.write("# bits (input order: " + ",".join(circuit.inputs) + ")")
+        stream.write(" output correct_value\n")
+        for t in tests:
+            bits = "".join(str(t.vector[pi]) for pi in circuit.inputs)
+            stream.write(f"{bits} {t.output} {t.value}\n")
+
+
+def _read_tests(path: Path, circuit: Circuit) -> TestSet:
+    tests = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            bits, output, value = line.split()
+            vector = {
+                pi: int(b) for pi, b in zip(circuit.inputs, bits, strict=True)
+            }
+            tests.append(Test(vector, output, int(value)))
+        except (ValueError, KeyError) as exc:
+            raise SystemExit(f"{path}:{lineno}: bad test line: {exc}")
+    return TestSet(tuple(tests))
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    print(json.dumps(circuit.stats(), indent=2))
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    from .circuits.scan import to_combinational
+    from .faults import random_wire_errors
+
+    if circuit.is_sequential:
+        circuit = to_combinational(circuit).circuit
+    injector = (
+        random_gate_changes if args.error_model == "gate" else random_wire_errors
+    )
+    injection = injector(circuit, p=args.p, seed=args.seed)
+    bench.dump(injection.faulty, args.out)
+    sidecar = Path(args.out).with_suffix(".truth.json")
+    sidecar.write_text(
+        json.dumps(
+            {"errors": [e.describe() for e in injection.errors]}, indent=2
+        )
+    )
+    print(f"wrote {args.out} and {sidecar}")
+    for e in injection.errors:
+        print(f"  injected: {e.describe()}")
+    return 0
+
+
+def _cmd_testgen(args: argparse.Namespace) -> int:
+    golden = _load_circuit(args.golden)
+    faulty = _load_circuit(args.faulty)
+    tests = random_failing_tests(golden, faulty, m=args.m, seed=args.seed)
+    _write_tests(tests, golden, Path(args.out))
+    print(f"wrote {tests.m} failing tests to {args.out}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    faulty = _load_circuit(args.faulty)
+    tests = _read_tests(Path(args.tests), faulty)
+    if not tests.m:
+        raise SystemExit("error: empty test file")
+    print(
+        f"diagnosing {faulty.name}: {faulty.num_gates} gates, "
+        f"{tests.m} tests, k={args.k}, approach={args.approach}"
+    )
+    if args.approach == "bsim":
+        result = basic_sim_diagnose(faulty, tests)
+        ranked = sorted(result.marks, key=lambda g: -result.marks[g])
+        print(f"{len(result.union)} candidate gates; top marks:")
+        for g in ranked[: args.top]:
+            print(f"  {g}: {result.marks[g]}/{tests.m}")
+        return 0
+    if args.approach == "cov":
+        result = sc_diagnose(
+            faulty, tests, k=args.k, solution_limit=args.limit
+        )
+    elif args.approach == "bsat":
+        result = basic_sat_diagnose(
+            faulty, tests, k=args.k, solution_limit=args.limit
+        )
+    else:  # hybrid
+        result = pt_guided_sat_diagnose(
+            faulty, tests, k=args.k, solution_limit=args.limit
+        )
+    print(
+        f"{result.n_solutions} solutions in {result.t_all:.2f}s "
+        f"(build {result.t_build:.2f}s)"
+        + ("" if result.complete else "  [truncated]")
+    )
+    for sol in result.solutions[: args.top]:
+        print("  " + ", ".join(sorted(sol)))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from .testgen import generate_tests
+
+    circuit = _load_circuit(args.circuit)
+    from .circuits.scan import to_combinational
+
+    if circuit.is_sequential:
+        circuit = to_combinational(circuit).circuit
+    result = generate_tests(
+        circuit,
+        backend=args.backend,
+        collapse=not args.no_collapse,
+        seed=args.seed,
+        compact=not args.no_compact,
+    )
+    print(result.summary())
+    if args.out:
+        path = Path(args.out)
+        with path.open("w") as stream:
+            stream.write(
+                "# patterns (input order: " + ",".join(circuit.inputs) + ")\n"
+            )
+            for pattern in result.patterns:
+                stream.write(
+                    "".join(str(pattern[pi]) for pi in circuit.inputs) + "\n"
+                )
+        print(f"wrote {result.test_count} patterns to {path}")
+    return 0
+
+
+def _cmd_cec(args: argparse.Namespace) -> int:
+    from .verify import check_equivalence
+
+    golden = _load_circuit(args.golden)
+    impl = _load_circuit(args.impl)
+    result = check_equivalence(
+        golden, impl, method=args.method, seed=args.seed
+    )
+    print(result.summary())
+    if result.counterexample is not None:
+        bits = "".join(
+            str(result.counterexample[pi]) for pi in golden.inputs
+        )
+        print(f"counterexample inputs: {bits}")
+    if result.equivalent is False:
+        return 1
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from .diagnosis import certify_correction_bound
+
+    faulty = _load_circuit(args.faulty)
+    tests = _read_tests(Path(args.tests), faulty)
+    if not tests.m:
+        raise SystemExit("error: empty test file")
+    verdict = certify_correction_bound(
+        faulty, tests, k=args.k, check=not args.no_check
+    )
+    print(verdict.summary())
+    if verdict.proof is not None and args.proof_out:
+        Path(args.proof_out).write_text(verdict.proof.to_drat_text())
+        print(f"wrote DRAT proof to {args.proof_out}")
+    return 0 if verdict.has_correction or verdict.verified is not False else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print circuit statistics")
+    p_stats.add_argument("circuit")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_inject = sub.add_parser("inject", help="inject design errors")
+    p_inject.add_argument("circuit")
+    p_inject.add_argument("--p", type=int, default=1)
+    p_inject.add_argument("--seed", type=int, default=0)
+    p_inject.add_argument(
+        "--error-model", choices=("gate", "wire"), default="gate",
+        help="gate-change (paper §2.1) or Abadir wire errors (ref [18])",
+    )
+    p_inject.add_argument("--out", required=True)
+    p_inject.set_defaults(func=_cmd_inject)
+
+    p_testgen = sub.add_parser("testgen", help="generate failing tests")
+    p_testgen.add_argument("golden")
+    p_testgen.add_argument("faulty")
+    p_testgen.add_argument("--m", type=int, default=8)
+    p_testgen.add_argument("--seed", type=int, default=0)
+    p_testgen.add_argument("--out", required=True)
+    p_testgen.set_defaults(func=_cmd_testgen)
+
+    p_diag = sub.add_parser("diagnose", help="run a diagnosis approach")
+    p_diag.add_argument("faulty")
+    p_diag.add_argument("tests")
+    p_diag.add_argument(
+        "--approach",
+        choices=("bsim", "cov", "bsat", "hybrid"),
+        default="bsat",
+    )
+    p_diag.add_argument("--k", type=int, default=1)
+    p_diag.add_argument("--limit", type=int, default=100)
+    p_diag.add_argument("--top", type=int, default=10)
+    p_diag.set_defaults(func=_cmd_diagnose)
+
+    p_t1 = sub.add_parser("table1", help="print the comparison matrix")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_atpg = sub.add_parser("atpg", help="stuck-at ATPG flow with coverage")
+    p_atpg.add_argument("circuit")
+    p_atpg.add_argument("--backend", choices=("podem", "sat"), default="podem")
+    p_atpg.add_argument("--seed", type=int, default=0)
+    p_atpg.add_argument("--no-collapse", action="store_true")
+    p_atpg.add_argument("--no-compact", action="store_true")
+    p_atpg.add_argument("--out", help="write the pattern set to this file")
+    p_atpg.set_defaults(func=_cmd_atpg)
+
+    p_cec = sub.add_parser("cec", help="combinational equivalence check")
+    p_cec.add_argument("golden")
+    p_cec.add_argument("impl")
+    p_cec.add_argument(
+        "--method", choices=("auto", "sat", "bdd", "random"), default="auto"
+    )
+    p_cec.add_argument("--seed", type=int, default=0)
+    p_cec.set_defaults(func=_cmd_cec)
+
+    p_cert = sub.add_parser(
+        "certify", help="certified correction-bound verdict (DRAT)"
+    )
+    p_cert.add_argument("faulty")
+    p_cert.add_argument("tests")
+    p_cert.add_argument("--k", type=int, default=1)
+    p_cert.add_argument("--no-check", action="store_true")
+    p_cert.add_argument("--proof-out", help="write the DRAT proof here")
+    p_cert.set_defaults(func=_cmd_certify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

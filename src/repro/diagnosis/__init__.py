@@ -1,0 +1,149 @@
+"""Diagnosis algorithms — the paper's primary subject.
+
+Basic approaches (§2, §3):
+
+* :func:`~repro.diagnosis.pathtrace.basic_sim_diagnose` — **BSIM** (Fig. 1).
+* :func:`~repro.diagnosis.cover.sc_diagnose` — **COV** / SCDiagnose (Fig. 4).
+* :func:`~repro.diagnosis.satdiag.basic_sat_diagnose` — **BSAT** (Figs. 2-3).
+
+Advanced approaches (§2.2, §2.3):
+
+* :mod:`~repro.diagnosis.advanced_sat` — select-zero clauses, dominator
+  two-pass, test-set partitioning.
+* :mod:`~repro.diagnosis.advanced_sim` — effect-analysis search with greedy
+  ordering and backtracking.
+* :mod:`~repro.diagnosis.xlist` — forward X-injection diagnosis (ref [5]).
+
+Hybrids (§6) and extensions:
+
+* :mod:`~repro.diagnosis.hybrid` — PT-guided SAT decisions; SAT repair of an
+  initial correction.
+* :mod:`~repro.diagnosis.sequential` — time-frame expansion diagnosis.
+
+Infrastructure: validity/essentialness checking (Defs. 3-4) in
+:mod:`~repro.diagnosis.validity`; Table-3 metrics in
+:mod:`~repro.diagnosis.metrics`.
+"""
+
+from .base import (
+    APPROACH_PROPERTIES,
+    Correction,
+    SimDiagnosisResult,
+    SolutionSetResult,
+    format_table1,
+)
+from .pathtrace import basic_sim_diagnose, path_trace, POLICIES
+from .cover import sc_diagnose, minimal_covers_sat, minimal_covers_bnb
+from .satdiag import (
+    DiagnosisInstance,
+    build_diagnosis_instance,
+    basic_sat_diagnose,
+    auto_k_sat_diagnose,
+)
+from .resynthesis import (
+    RepairResult,
+    correction_constraints,
+    consistent_gate_types,
+    repair_and_verify,
+    resynthesize,
+)
+from .validity import (
+    rectifiable_by_forcing,
+    is_valid_correction,
+    has_only_essential_candidates,
+    all_valid_corrections,
+)
+from .metrics import (
+    BsimQuality,
+    SolutionQuality,
+    bsim_quality,
+    solution_quality,
+    distance_map,
+    hit_rate,
+)
+from .advanced_sat import (
+    dominator_representatives,
+    select_zero_sat_diagnose,
+    dominator_sat_diagnose,
+    partitioned_sat_diagnose,
+)
+from .advanced_sim import enumerate_sim_corrections, incremental_sim_diagnose
+from .xlist import xlist_candidates, xlist_diagnose
+from .hybrid import (
+    pt_guided_sat_diagnose,
+    repair_correction_sat,
+    structural_neighbourhood,
+)
+from .sequential import SequenceTest, failing_sequences, seq_sat_diagnose
+from .certify import CertifiedVerdict, certify_correction_bound
+from .structural import (
+    StructuralDiagnosis,
+    signature_map,
+    structural_diagnose,
+    suspects_within_error_cones,
+)
+from .stuckat import (
+    FaultDictionary,
+    FaultMatch,
+    diagnose_stuck_at,
+    fault_signature,
+    full_fault_list,
+)
+
+__all__ = [
+    "APPROACH_PROPERTIES",
+    "Correction",
+    "SimDiagnosisResult",
+    "SolutionSetResult",
+    "format_table1",
+    "basic_sim_diagnose",
+    "path_trace",
+    "POLICIES",
+    "sc_diagnose",
+    "minimal_covers_sat",
+    "minimal_covers_bnb",
+    "DiagnosisInstance",
+    "build_diagnosis_instance",
+    "basic_sat_diagnose",
+    "auto_k_sat_diagnose",
+    "RepairResult",
+    "correction_constraints",
+    "consistent_gate_types",
+    "repair_and_verify",
+    "resynthesize",
+    "rectifiable_by_forcing",
+    "is_valid_correction",
+    "has_only_essential_candidates",
+    "all_valid_corrections",
+    "BsimQuality",
+    "SolutionQuality",
+    "bsim_quality",
+    "solution_quality",
+    "distance_map",
+    "hit_rate",
+    "dominator_representatives",
+    "select_zero_sat_diagnose",
+    "dominator_sat_diagnose",
+    "partitioned_sat_diagnose",
+    "enumerate_sim_corrections",
+    "incremental_sim_diagnose",
+    "xlist_candidates",
+    "xlist_diagnose",
+    "pt_guided_sat_diagnose",
+    "repair_correction_sat",
+    "structural_neighbourhood",
+    "SequenceTest",
+    "failing_sequences",
+    "seq_sat_diagnose",
+    "CertifiedVerdict",
+    "StructuralDiagnosis",
+    "signature_map",
+    "structural_diagnose",
+    "suspects_within_error_cones",
+    "certify_correction_bound",
+    "FaultDictionary",
+    "FaultMatch",
+    "diagnose_stuck_at",
+    "fault_signature",
+    "full_fault_list",
+]

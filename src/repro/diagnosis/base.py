@@ -1,0 +1,175 @@
+"""Shared diagnosis types and the paper's Table 1 comparison matrix.
+
+A *candidate* is a gate name; a *correction* is a set of gates whose
+functions must change (Definition 2); solutions returned by the multi-error
+approaches are corrections.  Result dataclasses keep timing split the way
+Table 2 reports it (instance construction vs. first solution vs. all
+solutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "Correction",
+    "SimDiagnosisResult",
+    "SolutionSetResult",
+    "APPROACH_PROPERTIES",
+    "format_table1",
+]
+
+#: A correction: the set of candidate gates to change (Definition 2/3).
+Correction = frozenset[str]
+
+
+@dataclass(frozen=True)
+class SimDiagnosisResult:
+    """Output of ``BasicSimDiagnose`` (BSIM).
+
+    ``candidate_sets[i]`` is the path-tracing candidate set ``C_i`` of test
+    ``i``; ``marks`` is the paper's ``M(g)`` — how many tests marked gate
+    ``g``; ``union`` is ``∪ C_i``; ``gmax`` the gates marked by the maximal
+    number of tests (the set whose size Table 3 reports as ``Gmax``).
+    """
+
+    candidate_sets: tuple[Correction, ...]
+    marks: Mapping[str, int]
+    runtime: float = 0.0
+
+    @property
+    def union(self) -> Correction:
+        result: set[str] = set()
+        for cs in self.candidate_sets:
+            result |= cs
+        return frozenset(result)
+
+    @property
+    def gmax(self) -> Correction:
+        if not self.marks:
+            return frozenset()
+        top = max(self.marks.values())
+        return frozenset(g for g, m in self.marks.items() if m == top)
+
+    @property
+    def m(self) -> int:
+        """Number of tests diagnosed."""
+        return len(self.candidate_sets)
+
+
+@dataclass(frozen=True)
+class SolutionSetResult:
+    """Solutions of a multi-error approach (COV, BSAT and variants).
+
+    ``solutions`` are corrections in discovery order; ``complete`` is False
+    when enumeration stopped early (limit); ``per_size`` groups solution
+    counts by correction size; timing mirrors Table 2's columns: ``t_build``
+    ("CNF"), ``t_first`` ("One"), ``t_all`` ("All").
+    """
+
+    approach: str
+    k: int
+    solutions: tuple[Correction, ...]
+    complete: bool = True
+    t_build: float = 0.0
+    t_first: float = 0.0
+    t_all: float = 0.0
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def n_solutions(self) -> int:
+        return len(self.solutions)
+
+    @property
+    def per_size(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for sol in self.solutions:
+            counts[len(sol)] = counts.get(len(sol), 0) + 1
+        return dict(sorted(counts.items()))
+
+    def contains(self, correction: Correction | set[str]) -> bool:
+        return frozenset(correction) in set(self.solutions)
+
+
+#: The qualitative comparison of the paper's Table 1, kept as data so the
+#: Table 1 bench prints it and the docs stay in sync with the code.
+APPROACH_PROPERTIES: dict[str, dict[str, str]] = {
+    "BSIM": {
+        "candidates": "O(|I|)",
+        "valid_correction": "not guaranteed, guides the designer",
+        "effect_analysis": "none",
+        "structural_information": "available",
+        "engine": "efficient, circuit-based",
+        "time_complexity": "O(|I| * m)",
+        "size_complexity": "O(|I| + m)",
+    },
+    "COV": {
+        "candidates": "k, user defined (or incrementally determined)",
+        "valid_correction": "not guaranteed, guides the designer",
+        "effect_analysis": "none",
+        "structural_information": "none for correction",
+        "engine": "efficient, circuit-based",
+        "time_complexity": "O(|I|^k)",
+        "size_complexity": "O(|I| * m)",
+    },
+    "adv. sim.-based": {
+        "candidates": "k, user defined (or incrementally determined)",
+        "valid_correction": "guaranteed, correct values per test are supplied",
+        "effect_analysis": "simulation-based",
+        "structural_information": "available",
+        "engine": "efficient, circuit-based",
+        "time_complexity": "O(|I|^(k+1) * m)",
+        "size_complexity": "O(k * |I| * m)",
+    },
+    "BSAT": {
+        "candidates": "k, user defined (or incrementally determined)",
+        "valid_correction": "guaranteed, correct values per test are supplied",
+        "effect_analysis": "inherent",
+        "structural_information": "none",
+        "engine": "BCP",
+        "time_complexity": "O(k * 2^(|I|*m))",
+        "size_complexity": "Theta(|I| * m)",
+    },
+    "adv. SAT-based": {
+        "candidates": "k, user defined (or incrementally determined)",
+        "valid_correction": "guaranteed, correct values per test are supplied",
+        "effect_analysis": "inherent",
+        "structural_information": "exploited during CNF generation",
+        "engine": "BCP",
+        "time_complexity": "O(2^(|I|*m))",
+        "size_complexity": "Theta(|I| * m)",
+    },
+}
+
+
+def format_table1() -> str:
+    """Render :data:`APPROACH_PROPERTIES` as an aligned text table."""
+    rows = [
+        "candidates",
+        "valid_correction",
+        "effect_analysis",
+        "structural_information",
+        "engine",
+        "time_complexity",
+        "size_complexity",
+    ]
+    approaches = list(APPROACH_PROPERTIES)
+    col_width = max(
+        len(APPROACH_PROPERTIES[a][r]) for a in approaches for r in rows
+    )
+    header_width = max(len(r) for r in rows)
+    lines = [
+        " " * header_width
+        + " | "
+        + " | ".join(a.ljust(col_width) for a in approaches)
+    ]
+    for row in rows:
+        lines.append(
+            row.ljust(header_width)
+            + " | "
+            + " | ".join(
+                APPROACH_PROPERTIES[a][row].ljust(col_width) for a in approaches
+            )
+        )
+    return "\n".join(lines)

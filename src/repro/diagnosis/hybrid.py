@@ -1,0 +1,193 @@
+"""Hybrid simulation/SAT diagnosis — the paper's future-work section (§6).
+
+The paper closes with two concrete hybrid directions; both are implemented
+here as "the initial steps towards building a hybrid technique":
+
+1. **PT-guided SAT** (:func:`pt_guided_sat_diagnose`) — "The fast engines
+   of BSIM and COV can be used to direct the SAT-search by tuning the
+   decision heuristics of the solver."  Path tracing runs first; every
+   select variable's VSIDS activity is seeded with its mark count ``M(g)``
+   (and its phase preset to *selected* for the top candidates), steering
+   the solver toward likely error sites.  The solution space is untouched
+   — only the search order changes — so results equal BSAT's.
+
+2. **Correction repair** (:func:`repair_correction_sat`) — "choose an
+   initial correction (that may not be valid) and use SAT-based diagnosis
+   to turn it into a valid correction."  Starting from e.g. a COV solution,
+   multiplexers are inserted only in a structural neighbourhood of the
+   initial correction, with the radius grown until valid corrections
+   appear.  The search space per attempt is a small fraction of BSAT's.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Iterable, Sequence
+
+from ..circuits.netlist import Circuit
+from ..testgen.testset import TestSet
+from .base import Correction, SimDiagnosisResult, SolutionSetResult
+from .pathtrace import basic_sim_diagnose
+from .satdiag import basic_sat_diagnose, build_diagnosis_instance
+
+__all__ = [
+    "pt_guided_sat_diagnose",
+    "repair_correction_sat",
+    "structural_neighbourhood",
+]
+
+
+def pt_guided_sat_diagnose(
+    circuit: Circuit,
+    tests: TestSet,
+    k: int,
+    policy: str = "first",
+    phase_top: int = 8,
+    activity_scale: float = 10.0,
+    sim_result: SimDiagnosisResult | None = None,
+    select_zero_clauses: bool = False,
+    **kwargs,
+) -> SolutionSetResult:
+    """Hybrid 1: seed the SAT decision heuristic with path-tracing marks.
+
+    ``activity_scale`` converts mark counts into VSIDS bumps;
+    ``phase_top`` select variables with the highest marks also get their
+    phase preset to 1 (try "this gate is the error" first).
+    """
+    start = time.perf_counter()
+    if sim_result is None:
+        sim_result = basic_sim_diagnose(circuit, tests, policy=policy)
+    instance = build_diagnosis_instance(
+        circuit,
+        tests,
+        k_max=k,
+        select_zero_clauses=select_zero_clauses,
+    )
+    marks = sim_result.marks
+    for gate, select_var in instance.select_of.items():
+        count = marks.get(gate, 0)
+        if count:
+            instance.solver.bump_activity(select_var, count * activity_scale)
+    ranked = sorted(marks, key=lambda g: -marks[g])
+    for gate in ranked[:phase_top]:
+        if gate in instance.select_of:
+            instance.solver.set_phase(instance.select_of[gate], True)
+    guidance_time = time.perf_counter() - start
+
+    result = basic_sat_diagnose(
+        circuit, tests, k, instance=instance, **kwargs
+    )
+    extras = dict(result.extras)
+    extras["guidance_time"] = guidance_time
+    extras["sim_result"] = sim_result
+    return SolutionSetResult(
+        approach="HYBRID/pt-guided",
+        k=k,
+        solutions=result.solutions,
+        complete=result.complete,
+        t_build=instance.build_time + guidance_time,
+        t_first=result.t_first,
+        t_all=result.t_all,
+        extras=extras,
+    )
+
+
+def structural_neighbourhood(
+    circuit: Circuit, seeds: Iterable[str], radius: int
+) -> set[str]:
+    """Functional gates within ``radius`` undirected hops of ``seeds``."""
+    fanouts = circuit.fanouts()
+    dist: dict[str, int] = {s: 0 for s in seeds}
+    queue: deque[str] = deque(dist)
+    while queue:
+        name = queue.popleft()
+        d = dist[name]
+        if d >= radius:
+            continue
+        gate = circuit.node(name)
+        for neighbour in (*gate.fanins, *fanouts[name]):
+            if neighbour not in dist:
+                dist[neighbour] = d + 1
+                queue.append(neighbour)
+    gates = set(circuit.gate_names)
+    return {g for g in dist if g in gates}
+
+
+def repair_correction_sat(
+    circuit: Circuit,
+    tests: TestSet,
+    initial: Correction | Sequence[str],
+    k: int | None = None,
+    max_radius: int | None = None,
+    select_zero_clauses: bool = False,
+    **kwargs,
+) -> SolutionSetResult:
+    """Hybrid 2: repair a (possibly invalid) initial correction with SAT.
+
+    Runs BSAT restricted to the structural neighbourhood of ``initial``,
+    growing the radius from 0 until solutions appear (or ``max_radius`` is
+    exhausted, falling back to the full gate set).  ``k`` defaults to
+    ``len(initial)`` — the repair looks for a correction of the same size
+    near the initial guess.
+    """
+    initial = frozenset(initial)
+    if not initial:
+        raise ValueError("initial correction must not be empty")
+    if k is None:
+        k = len(initial)
+    start = time.perf_counter()
+    if max_radius is None:
+        max_radius = 6
+    last: SolutionSetResult | None = None
+    for radius in range(max_radius + 1):
+        suspects = sorted(structural_neighbourhood(circuit, initial, radius))
+        if not suspects:
+            continue
+        result = basic_sat_diagnose(
+            circuit,
+            tests,
+            k,
+            suspects=suspects,
+            select_zero_clauses=select_zero_clauses,
+            approach_name="HYBRID/repair",
+            **kwargs,
+        )
+        last = result
+        if result.solutions:
+            extras = dict(result.extras)
+            extras["radius"] = radius
+            extras["suspects"] = len(suspects)
+            extras["initial"] = initial
+            return SolutionSetResult(
+                approach="HYBRID/repair",
+                k=k,
+                solutions=result.solutions,
+                complete=result.complete,
+                t_build=result.t_build,
+                t_first=result.t_first,
+                t_all=time.perf_counter() - start,
+                extras=extras,
+            )
+    # Neighbourhood never produced a valid correction: full BSAT fallback.
+    result = basic_sat_diagnose(
+        circuit,
+        tests,
+        k,
+        select_zero_clauses=select_zero_clauses,
+        approach_name="HYBRID/repair-fallback",
+        **kwargs,
+    )
+    extras = dict(result.extras)
+    extras["radius"] = None
+    extras["initial"] = initial
+    return SolutionSetResult(
+        approach="HYBRID/repair-fallback",
+        k=k,
+        solutions=result.solutions,
+        complete=result.complete,
+        t_build=result.t_build,
+        t_first=result.t_first,
+        t_all=time.perf_counter() - start,
+        extras=extras,
+    )

@@ -1,0 +1,136 @@
+"""Diagnosis quality metrics — everything Table 3 and Figure 6 report.
+
+The central measure is the *distance to the nearest actual error site*:
+the number of gates on a shortest path (in the undirected gate graph)
+between a candidate and any injected error — "an intuition up to which
+depth the designer has to analyze the circuit" (§5).  Distance 0 is an
+exact hit.
+
+For BSIM the table reports the union size ``|∪Ci|``, the average distance
+over all marked gates (``avgA``), the gates marked by the maximal number of
+tests (``Gmax``) and their min/max/average distance.  For COV and BSAT it
+reports the number of solutions and, over the per-solution *average*
+distances, the min/max/average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..circuits.netlist import Circuit
+from ..circuits.structure import undirected_distance_to_nearest
+from .base import Correction, SimDiagnosisResult
+
+__all__ = [
+    "BsimQuality",
+    "SolutionQuality",
+    "distance_map",
+    "bsim_quality",
+    "solution_quality",
+    "hit_rate",
+]
+
+
+@dataclass(frozen=True)
+class BsimQuality:
+    """Table 3's BSIM columns."""
+
+    union_size: int          # |∪Ci|
+    avg_all: float           # avgA: mean distance of every marked gate
+    gmax_size: int           # Gmax: #gates marked by the max number of tests
+    gmax_min: float          # min distance among Gmax gates
+    gmax_max: float          # max distance among Gmax gates
+    gmax_avg: float          # avgG
+
+    @property
+    def error_in_gmax(self) -> bool:
+        """True iff an actual error site got the maximal mark count
+        (``gmax_min == 0``)."""
+        return self.gmax_min == 0
+
+
+@dataclass(frozen=True)
+class SolutionQuality:
+    """Table 3's COV/SAT columns: per-solution average distances."""
+
+    n_solutions: int
+    min_avg: float
+    max_avg: float
+    avg_avg: float           # the "avg" column; Figure 6(a) plots this
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_solutions == 0
+
+
+def distance_map(circuit: Circuit, error_sites: Iterable[str]) -> dict[str, int]:
+    """Distance of every signal to the nearest actual error site."""
+    return undirected_distance_to_nearest(circuit, list(error_sites))
+
+
+def bsim_quality(
+    circuit: Circuit,
+    result: SimDiagnosisResult,
+    error_sites: Iterable[str],
+) -> BsimQuality:
+    """Compute the BSIM quality columns of Table 3."""
+    dist = distance_map(circuit, error_sites)
+    union = sorted(result.union)
+    gmax = sorted(result.gmax)
+    union_d = [dist[g] for g in union]
+    gmax_d = [dist[g] for g in gmax]
+    return BsimQuality(
+        union_size=len(union),
+        avg_all=_mean(union_d),
+        gmax_size=len(gmax),
+        gmax_min=min(gmax_d) if gmax_d else float("nan"),
+        gmax_max=max(gmax_d) if gmax_d else float("nan"),
+        gmax_avg=_mean(gmax_d),
+    )
+
+
+def solution_quality(
+    circuit: Circuit,
+    solutions: Sequence[Correction],
+    error_sites: Iterable[str],
+) -> SolutionQuality:
+    """Compute the COV/SAT quality columns of Table 3.
+
+    For each solution the average candidate distance is taken; the summary
+    reports min/max/average of those per-solution averages.
+    """
+    dist = distance_map(circuit, error_sites)
+    per_solution = [
+        _mean([dist[g] for g in sol]) for sol in solutions if sol
+    ]
+    if not per_solution:
+        nan = float("nan")
+        return SolutionQuality(len(solutions), nan, nan, nan)
+    return SolutionQuality(
+        n_solutions=len(solutions),
+        min_avg=min(per_solution),
+        max_avg=max(per_solution),
+        avg_avg=_mean(per_solution),
+    )
+
+
+def hit_rate(
+    solutions: Sequence[Correction], error_sites: Iterable[str]
+) -> float:
+    """Fraction of solutions containing at least one actual error site.
+
+    Not in the paper's tables but a natural summary used by the extended
+    ablation benches.
+    """
+    sites = set(error_sites)
+    if not solutions:
+        return float("nan")
+    hits = sum(1 for sol in solutions if sol & sites)
+    return hits / len(solutions)
+
+
+def _mean(values: Sequence[float]) -> float:
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)

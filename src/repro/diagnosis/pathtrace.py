@@ -1,0 +1,132 @@
+"""Path tracing and ``BasicSimDiagnose`` — the paper's BSIM (Fig. 1).
+
+``PathTrace(I, i, t, o)`` walks backward from the erroneous primary output
+through the sensitized structure: at each marked gate, if some inputs carry
+the gate's *controlling* value, exactly one of them is marked (they alone
+determine the output); otherwise — all inputs non-controlling, or the gate
+has no controlling value (XOR/NOT/BUF) — all inputs are marked.
+
+The choice among several controlling inputs is the algorithm's only
+nondeterminism; the paper leaves it open ("mark one of these inputs").  The
+``policy`` parameter pins it down:
+
+* ``"first"``   — fanin order (default, deterministic),
+* ``"lowest"``  — the input with the smallest topological level (walks
+  toward the primary inputs fastest),
+* ``"highest"`` — the input with the largest level,
+* ``"random"``  — seeded random choice,
+* ``"all"``     — mark *every* controlling input (a conservative variant,
+  kept for the ablation bench: it over-marks but never drops a sensitized
+  path).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Mapping
+
+from ..circuits.gates import CONTROLLING_VALUE
+from ..circuits.netlist import Circuit
+from ..circuits.structure import levels
+from ..sim.logicsim import simulate
+from ..testgen.testset import TestSet
+from .base import SimDiagnosisResult
+
+__all__ = ["path_trace", "basic_sim_diagnose", "POLICIES"]
+
+POLICIES = ("first", "lowest", "highest", "random", "all")
+
+
+def path_trace(
+    circuit: Circuit,
+    values: Mapping[str, int],
+    output: str,
+    policy: str = "first",
+    rng: random.Random | None = None,
+    level_map: Mapping[str, int] | None = None,
+) -> frozenset[str]:
+    """Candidate gates on sensitized paths to ``output`` (paper Fig. 1).
+
+    ``values`` is the full signal valuation of the faulty circuit under the
+    test vector (from :func:`repro.sim.simulate`).  Returns the candidate
+    set ``C_i`` — functional gates only; primary inputs terminate the walk.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+    if policy == "random" and rng is None:
+        rng = random.Random(0)
+    if policy in ("lowest", "highest") and level_map is None:
+        level_map = levels(circuit)
+
+    candidates: set[str] = set()
+    visited: set[str] = set()
+    stack = [output]
+    while stack:
+        name = stack.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        gate = circuit.node(name)
+        if gate.is_input:
+            continue
+        if gate.is_functional:
+            candidates.add(name)
+        if not gate.fanins:  # constants terminate the walk
+            continue
+        ctrl = CONTROLLING_VALUE.get(gate.gtype)
+        if ctrl is None:
+            stack.extend(gate.fanins)
+            continue
+        controlling = [f for f in gate.fanins if values[f] == ctrl]
+        if not controlling:
+            stack.extend(gate.fanins)
+        elif policy == "all":
+            stack.extend(controlling)
+        elif len(controlling) == 1 or policy == "first":
+            stack.append(controlling[0])
+        elif policy == "random":
+            stack.append(rng.choice(controlling))
+        elif policy == "lowest":
+            stack.append(min(controlling, key=lambda f: level_map[f]))
+        else:  # highest
+            stack.append(max(controlling, key=lambda f: level_map[f]))
+    return frozenset(candidates)
+
+
+def basic_sim_diagnose(
+    circuit: Circuit,
+    tests: TestSet,
+    policy: str = "first",
+    seed: int = 0,
+) -> SimDiagnosisResult:
+    """``BasicSimDiagnose`` (BSIM): run path tracing for every test.
+
+    Simulates the faulty implementation under each test vector and traces
+    from the erroneous output.  Returns the per-test candidate sets, mark
+    counts ``M(g)`` and runtime.
+    """
+    rng = random.Random(seed)
+    level_map = levels(circuit) if policy in ("lowest", "highest") else None
+    start = time.perf_counter()
+    candidate_sets: list[frozenset[str]] = []
+    marks: dict[str, int] = {}
+    for test in tests:
+        values = simulate(circuit, test.vector)
+        cand = path_trace(
+            circuit,
+            values,
+            test.output,
+            policy=policy,
+            rng=rng,
+            level_map=level_map,
+        )
+        candidate_sets.append(cand)
+        for g in cand:
+            marks[g] = marks.get(g, 0) + 1
+    runtime = time.perf_counter() - start
+    return SimDiagnosisResult(
+        candidate_sets=tuple(candidate_sets),
+        marks=marks,
+        runtime=runtime,
+    )

@@ -1,0 +1,225 @@
+"""Correction resynthesis: from diagnosis witness to an actual fix.
+
+The paper notes (§4) that the SAT-based approaches supply "with respect to
+each test a new value for each gate in the correction", which "can be
+exploited to determine the 'correct' function of the gate".  This module
+closes that loop:
+
+1. :func:`correction_constraints` extracts, per corrected gate, the
+   observed (fanin values → required output) pairs across the test-set;
+2. :func:`consistent_gate_types` finds the standard cell functions
+   compatible with those pairs;
+3. :func:`resynthesize` rewrites the circuit with a chosen replacement and
+   :func:`repair_and_verify` checks the result against the golden model
+   (SAT equivalence) — the full debug → rectify → verify flow.
+
+Resynthesis is exact with respect to the test-set; equivalence against a
+golden model (when one exists) certifies it for all inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice, product
+from typing import Iterable, Mapping, Sequence
+
+from ..circuits.gates import FUNCTIONAL_TYPES, GateType, eval_gate
+from ..circuits.netlist import Circuit
+from ..sim.logicsim import simulate
+from ..testgen.satgen import are_equivalent
+from ..testgen.testset import TestSet
+from .base import Correction
+from .satdiag import basic_sat_diagnose
+
+__all__ = [
+    "correction_constraints",
+    "consistent_gate_types",
+    "resynthesize",
+    "RepairResult",
+    "repair_and_verify",
+]
+
+
+def correction_constraints(
+    circuit: Circuit,
+    tests: TestSet,
+    correction_values: Mapping[str, Sequence[int]],
+) -> dict[str, list[tuple[tuple[int, ...], int]]]:
+    """Per corrected gate: observed (fanin values, required output) pairs.
+
+    ``correction_values`` comes from
+    :meth:`~repro.diagnosis.satdiag.DiagnosisInstance.correction_values`
+    (``-1`` entries, where the solver left ``c`` unassigned, are skipped —
+    those tests do not constrain the gate).  Fanin values are taken from
+    simulating the *faulty* circuit with the other corrected gates forced
+    to their witness values, so multi-gate corrections are handled
+    consistently.
+    """
+    constraints: dict[str, list[tuple[tuple[int, ...], int]]] = {
+        g: [] for g in correction_values
+    }
+    gates = list(correction_values)
+    for i, test in enumerate(tests):
+        forced = {
+            g: vals[i]
+            for g, vals in correction_values.items()
+            if vals[i] != -1
+        }
+        values = simulate(circuit, test.vector, forced=forced)
+        for g in gates:
+            required = correction_values[g][i]
+            if required == -1:
+                continue
+            fanins = tuple(values[f] for f in circuit.node(g).fanins)
+            constraints[g].append((fanins, required))
+    return constraints
+
+
+def consistent_gate_types(
+    arity: int,
+    pairs: Iterable[tuple[tuple[int, ...], int]],
+    candidates: Iterable[GateType] | None = None,
+) -> list[GateType]:
+    """Standard cell types whose function matches every observed pair.
+
+    >>> consistent_gate_types(2, [((0, 0), 0), ((1, 1), 0), ((0, 1), 1)])
+    [<GateType.XOR: 'XOR'>]
+    """
+    if candidates is None:
+        candidates = FUNCTIONAL_TYPES
+    constants = (GateType.CONST0, GateType.CONST1)
+    result = []
+    for gtype in candidates:
+        if gtype in constants:
+            continue  # constant cells are defects, never proposed repairs
+        if gtype in (GateType.BUF, GateType.NOT) and arity != 1:
+            continue
+        if gtype not in (GateType.BUF, GateType.NOT) and arity < 2:
+            continue  # no degenerate single-input AND/OR/XOR cells
+        ok = True
+        for fanins, out in pairs:
+            if len(fanins) != arity:
+                raise ValueError("inconsistent arity in constraint pairs")
+            if eval_gate(gtype, list(fanins)) != out:
+                ok = False
+                break
+        if ok:
+            result.append(gtype)
+    order = [
+        GateType.BUF,
+        GateType.NOT,
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    ]
+    return sorted(result, key=order.index)
+
+
+def resynthesize(
+    circuit: Circuit, replacements: Mapping[str, GateType]
+) -> Circuit:
+    """Copy of ``circuit`` with the given gates' functions replaced."""
+    fixed = circuit.copy(name=f"{circuit.name}_repaired")
+    for gate, gtype in replacements.items():
+        fixed.replace_gate(gate, gtype=gtype)
+    return fixed
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of :func:`repair_and_verify`."""
+
+    solution: Correction
+    replacements: dict[str, GateType]
+    repaired: Circuit
+    passes_tests: bool
+    equivalent_to_golden: bool | None
+
+    @property
+    def success(self) -> bool:
+        return self.passes_tests and self.equivalent_to_golden in (True, None)
+
+
+def repair_and_verify(
+    faulty: Circuit,
+    tests: TestSet,
+    k: int,
+    golden: Circuit | None = None,
+    solution_limit: int = 50,
+) -> list[RepairResult]:
+    """End-to-end rectification: diagnose → resynthesize → verify.
+
+    Runs BSAT with correction collection, derives type replacements for
+    each solution whose gates admit a consistent standard cell, re-checks
+    the repaired circuit against the test-set, and (when a golden model is
+    available) performs a full SAT equivalence check.  Solutions whose
+    witness values match no standard cell are skipped (the correct fix may
+    need different fanins, which type replacement cannot express).
+    """
+    result = basic_sat_diagnose(
+        faulty,
+        tests,
+        k,
+        collect_corrections=True,
+        solution_limit=solution_limit,
+    )
+    corrections = result.extras["corrections"]
+    repairs: list[RepairResult] = []
+    for solution in result.solutions:
+        constraint_map = correction_constraints(
+            faulty, tests, corrections[solution]
+        )
+        gate_list = sorted(solution)
+        per_gate_options: list[list[GateType]] = []
+        feasible = True
+        for gate in gate_list:
+            arity = len(faulty.node(gate).fanins)
+            current = faulty.node(gate).gtype
+            options = [
+                t
+                for t in consistent_gate_types(arity, constraint_map[gate])
+                if t is not current
+            ]
+            if not options:
+                feasible = False
+                break
+            per_gate_options.append(options)
+        if not feasible:
+            continue
+        # Several cell types may fit the witness values (the tests only
+        # constrain part of the truth table); try the combinations — best
+        # combination first means "equivalent to golden" when checkable,
+        # otherwise "passes all tests".
+        best: RepairResult | None = None
+        for combo in islice(product(*per_gate_options), 64):
+            replacements = dict(zip(gate_list, combo))
+            repaired = resynthesize(faulty, replacements)
+            passes = all(
+                simulate(repaired, t.vector)[t.output] == t.value
+                for t in tests
+            )
+            if not passes:
+                continue
+            equivalent = (
+                are_equivalent(golden, repaired)
+                if golden is not None
+                else None
+            )
+            candidate = RepairResult(
+                solution=solution,
+                replacements=replacements,
+                repaired=repaired,
+                passes_tests=True,
+                equivalent_to_golden=equivalent,
+            )
+            if equivalent or golden is None:
+                best = candidate
+                break
+            if best is None:
+                best = candidate
+        if best is not None:
+            repairs.append(best)
+    return repairs

@@ -1,0 +1,352 @@
+"""SAT-based diagnosis — the paper's BSAT (Figs. 2 and 3).
+
+The diagnosis instance ``F`` is constructed exactly as in the paper:
+
+* one copy of the implementation per test ``(t_i, o_i, v_i)``, inputs
+  constrained to ``t_i`` and the erroneous output to its correct value
+  ``v_i`` (other outputs are free — Definition 1 semantics; the stricter
+  all-outputs mode is available when tests carry golden values);
+* a correction multiplexer at every candidate gate ``g``: the select line
+  ``s_g`` is *shared across copies* while the injected value ``c_g^i`` is
+  free per test — so a selected gate may realize any Boolean function;
+* a cardinality bound: at most ``i`` select lines may be 1, with ``i``
+  incremented from 1 to ``k`` while blocking found solutions — which makes
+  every reported correction contain only essential candidates (Lemma 3).
+
+``BasicSATDiagnose`` returns every solution; each solution also carries the
+per-test correction values ("the 'correct' function of the gate", §4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..circuits.netlist import Circuit
+from ..sat.cardinality import totalizer
+from ..sat.cnf import CNF
+from ..sat.enumerate import enumerate_solutions
+from ..sat.solver import Solver
+from ..sat.tseitin import encode_gate, encode_mux
+from ..testgen.testset import TestSet
+from .base import Correction, SolutionSetResult
+
+__all__ = [
+    "DiagnosisInstance",
+    "build_diagnosis_instance",
+    "basic_sat_diagnose",
+    "auto_k_sat_diagnose",
+]
+
+
+@dataclass
+class DiagnosisInstance:
+    """The SAT instance ``F`` plus the bookkeeping to interpret models."""
+
+    circuit: Circuit
+    tests: TestSet
+    cnf: CNF
+    solver: Solver
+    select_of: dict[str, int]
+    gate_of: dict[int, str]
+    correction_of: dict[tuple[int, str], int]
+    signal_of: dict[tuple[int, str], int]
+    bound_outputs: list[int]
+    k_max: int
+    suspects: tuple[str, ...]
+    build_time: float = 0.0
+    extras: dict[str, object] = field(default_factory=dict)
+
+    def bound_assumptions(self, bound: int) -> list[int]:
+        """Assumption literals enforcing "at most ``bound`` selects"."""
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if bound >= len(self.bound_outputs):
+            return []
+        return [-self.bound_outputs[bound]]
+
+    def solution_from_model(self) -> Correction:
+        """Selected gates in the solver's current model."""
+        return frozenset(
+            g for g, s in self.select_of.items() if self.solver.value(s)
+        )
+
+    def correction_values(self, solution: Iterable[str]) -> dict[str, list[int]]:
+        """Per-test injected values ``c_g^i`` for each gate of ``solution``.
+
+        Must be called while the solver still holds the model.  These values
+        are the witness of *how* to fix each gate per test — the paper notes
+        they can be exploited to determine the corrected function.
+        """
+        result: dict[str, list[int]] = {}
+        for gate in solution:
+            vals: list[int] = []
+            for i in range(len(self.tests)):
+                var = self.correction_of[(i, gate)]
+                val = self.solver.value(var)
+                vals.append(-1 if val is None else int(val))
+            result[gate] = vals
+        return result
+
+
+def build_diagnosis_instance(
+    circuit: Circuit,
+    tests: TestSet,
+    k_max: int,
+    suspects: Sequence[str] | None = None,
+    constrain_all_outputs: bool = False,
+    select_zero_clauses: bool = False,
+    solver: Solver | None = None,
+) -> DiagnosisInstance:
+    """Construct the SAT instance of Fig. 2(b)/Fig. 3 step (1).
+
+    Parameters
+    ----------
+    suspects:
+        Gates receiving a correction multiplexer (default: every functional
+        gate — BSAT; the advanced approach passes dominators here).
+    constrain_all_outputs:
+        Constrain every primary output to its golden value (requires tests
+        built with ``attach_expected``); default is the paper's
+        single-output semantics.
+    select_zero_clauses:
+        Add the advanced heuristic clauses ``(s_g ∨ ¬c_g^i)`` forcing the
+        free value to 0 while its multiplexer is unselected, which "prevents
+        up to |I| decisions of the SAT-solver" (§2.3).
+    """
+    if not circuit.is_combinational:
+        raise ValueError(
+            "diagnosis instances require a combinational circuit; "
+            "apply repro.circuits.to_combinational first"
+        )
+    if not len(tests):
+        raise ValueError("diagnosis requires at least one failing test")
+    start = time.perf_counter()
+    if suspects is None:
+        suspect_list: tuple[str, ...] = circuit.gate_names
+    else:
+        suspect_list = tuple(dict.fromkeys(suspects))
+        for s in suspect_list:
+            if not circuit.node(s).is_functional:
+                raise ValueError(f"suspect {s!r} is not a functional gate")
+    suspect_set = set(suspect_list)
+
+    cnf = CNF()
+    select_of = {g: cnf.new_var(f"s:{g}") for g in suspect_list}
+    gate_of = {v: g for g, v in select_of.items()}
+    correction_of: dict[tuple[int, str], int] = {}
+    signal_of: dict[tuple[int, str], int] = {}
+    topo = circuit.topological_order()
+
+    for i, test in enumerate(tests):
+        if constrain_all_outputs and test.expected_outputs is None:
+            raise ValueError(
+                "constrain_all_outputs requires tests with expected_outputs"
+            )
+        for name in topo:
+            gate = circuit.node(name)
+            if gate.is_input:
+                var = cnf.new_var(f"t{i}:{name}")
+                signal_of[(i, name)] = var
+                try:
+                    value = test.vector[name]
+                except KeyError:
+                    raise ValueError(
+                        f"test {i} does not assign primary input {name!r}"
+                    ) from None
+                cnf.add_clause([var if value else -var])
+                continue
+            fanin_vars = [signal_of[(i, f)] for f in gate.fanins]
+            if name in suspect_set:
+                raw = cnf.new_var(f"t{i}:{name}:raw")
+                encode_gate(cnf, gate.gtype, raw, fanin_vars)
+                c_var = cnf.new_var(f"t{i}:c:{name}")
+                correction_of[(i, name)] = c_var
+                eff = cnf.new_var(f"t{i}:{name}")
+                encode_mux(cnf, eff, select_of[name], c_var, raw)
+                if select_zero_clauses:
+                    cnf.add_clause([select_of[name], -c_var])
+                signal_of[(i, name)] = eff
+            else:
+                var = cnf.new_var(f"t{i}:{name}")
+                encode_gate(cnf, gate.gtype, var, fanin_vars)
+                signal_of[(i, name)] = var
+        if constrain_all_outputs:
+            assert test.expected_outputs is not None
+            for out in circuit.outputs:
+                var = signal_of[(i, out)]
+                expected = test.expected_outputs[out]
+                cnf.add_clause([var if expected else -var])
+        else:
+            var = signal_of[(i, test.output)]
+            cnf.add_clause([var if test.value else -var])
+
+    bound_outputs = totalizer(
+        cnf, [select_of[g] for g in suspect_list], min(k_max, len(suspect_list))
+    )
+    built_solver = cnf.to_solver(solver)
+    return DiagnosisInstance(
+        circuit=circuit,
+        tests=tests,
+        cnf=cnf,
+        solver=built_solver,
+        select_of=select_of,
+        gate_of=gate_of,
+        correction_of=correction_of,
+        signal_of=signal_of,
+        bound_outputs=bound_outputs,
+        k_max=k_max,
+        suspects=suspect_list,
+        build_time=time.perf_counter() - start,
+    )
+
+
+def basic_sat_diagnose(
+    circuit: Circuit,
+    tests: TestSet,
+    k: int,
+    suspects: Sequence[str] | None = None,
+    constrain_all_outputs: bool = False,
+    select_zero_clauses: bool = False,
+    solution_limit: int | None = None,
+    conflict_limit: int | None = None,
+    collect_corrections: bool = False,
+    instance: DiagnosisInstance | None = None,
+    approach_name: str = "BSAT",
+) -> SolutionSetResult:
+    """``BasicSATDiagnose(I, T, k)`` — Fig. 3 of the paper.
+
+    Enumerates *all* corrections with at most ``k`` essential candidates
+    (Lemma 3): for each bound ``i = 1 .. k`` all solutions are enumerated
+    under the cardinality assumption and blocked with superset clauses, so
+    no later solution contains an earlier one.
+
+    Returns a :class:`SolutionSetResult`; when ``collect_corrections`` is
+    set, ``extras["corrections"]`` maps each solution to its per-test
+    injected values.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if instance is None:
+        instance = build_diagnosis_instance(
+            circuit,
+            tests,
+            k_max=k,
+            suspects=suspects,
+            constrain_all_outputs=constrain_all_outputs,
+            select_zero_clauses=select_zero_clauses,
+        )
+    solver = instance.solver
+    select_vars = [instance.select_of[g] for g in instance.suspects]
+    solutions: list[Correction] = []
+    corrections: dict[Correction, dict[str, list[int]]] = {}
+    t_first: float | None = None
+    complete = True
+    search_start = time.perf_counter()
+    for bound in range(1, k + 1):
+        assumptions = instance.bound_assumptions(bound)
+        budget_left = (
+            None if solution_limit is None else solution_limit - len(solutions)
+        )
+        if budget_left is not None and budget_left <= 0:
+            complete = False
+            break
+        try:
+            for model_vars in enumerate_solutions(
+                solver,
+                select_vars,
+                assumptions=assumptions,
+                block="superset",
+                limit=budget_left,
+                conflict_limit=conflict_limit,
+            ):
+                solution = frozenset(instance.gate_of[v] for v in model_vars)
+                if t_first is None:
+                    t_first = time.perf_counter() - search_start
+                if collect_corrections:
+                    corrections[solution] = instance.correction_values(solution)
+                solutions.append(solution)
+        except TimeoutError:
+            complete = False
+            break
+        if solution_limit is not None and len(solutions) >= solution_limit:
+            complete = len(solutions) < solution_limit
+            break
+    t_all = time.perf_counter() - search_start
+    extras: dict[str, object] = {
+        "solver_stats": dict(solver.stats),
+        "n_vars": instance.cnf.num_vars,
+        "n_clauses": instance.cnf.num_clauses,
+    }
+    if collect_corrections:
+        extras["corrections"] = corrections
+    return SolutionSetResult(
+        approach=approach_name,
+        k=k,
+        solutions=tuple(solutions),
+        complete=complete,
+        t_build=instance.build_time,
+        t_first=t_first if t_first is not None else t_all,
+        t_all=t_all,
+        extras=extras,
+    )
+
+
+def auto_k_sat_diagnose(
+    circuit: Circuit,
+    tests: TestSet,
+    k_max: int = 4,
+    **kwargs,
+) -> SolutionSetResult:
+    """Automatically determine the error cardinality (Table 1: "or
+    incrementally determined").
+
+    Builds one instance with a totalizer sized for ``k_max`` and solves
+    under increasing bound assumptions until the first bound that admits
+    solutions; all solutions of that bound are enumerated.  Because bounds
+    are assumptions on a shared incremental solver, learned clauses carry
+    over between the attempts.
+
+    Returns a :class:`SolutionSetResult` whose ``k`` is the *smallest*
+    cardinality with a valid correction; ``extras["k_found"]`` records it
+    (0 solutions and ``k == k_max`` when even ``k_max`` is insufficient).
+    """
+    if k_max < 1:
+        raise ValueError("k_max must be at least 1")
+    instance = build_diagnosis_instance(
+        circuit, tests, k_max=k_max,
+        suspects=kwargs.pop("suspects", None),
+        constrain_all_outputs=kwargs.pop("constrain_all_outputs", False),
+        select_zero_clauses=kwargs.pop("select_zero_clauses", False),
+    )
+    solver = instance.solver
+    for k in range(1, k_max + 1):
+        feasible = solver.solve(assumptions=instance.bound_assumptions(k))
+        if feasible:
+            result = basic_sat_diagnose(
+                circuit, tests, k, instance=instance,
+                approach_name="BSAT/auto-k", **kwargs,
+            )
+            extras = dict(result.extras)
+            extras["k_found"] = k
+            return SolutionSetResult(
+                approach="BSAT/auto-k",
+                k=k,
+                solutions=result.solutions,
+                complete=result.complete,
+                t_build=instance.build_time,
+                t_first=result.t_first,
+                t_all=result.t_all,
+                extras=extras,
+            )
+    return SolutionSetResult(
+        approach="BSAT/auto-k",
+        k=k_max,
+        solutions=(),
+        complete=True,
+        t_build=instance.build_time,
+        t_first=0.0,
+        t_all=0.0,
+        extras={"k_found": None},
+    )

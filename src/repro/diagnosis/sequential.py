@@ -1,0 +1,220 @@
+"""Sequential diagnosis via time-frame expansion (extension; paper ref [4]).
+
+The paper's experiments treat the ISCAS89 circuits combinationally
+(full-scan view), but notes that the SAT-based approach "has also been
+applied to diagnose sequential errors efficiently" [4].  This module
+implements that extension: the circuit is unrolled over the frames of a
+failing input *sequence*; a gate-change error is modelled by one select
+line per original gate, shared across all frames *and* all tests, with the
+injected value free per (test, frame) — an arbitrary function of the
+gate's inputs over time.
+
+Entry points: :func:`failing_sequences` finds failing sequence tests by
+comparing against the golden model, :func:`seq_sat_diagnose` enumerates
+the corrections.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..circuits.netlist import Circuit
+from ..sat.cardinality import totalizer
+from ..sat.cnf import CNF
+from ..sat.enumerate import enumerate_solutions
+from ..sat.tseitin import encode_gate, encode_mux
+from ..sim.logicsim import simulate_sequence
+from .base import Correction, SolutionSetResult
+
+__all__ = ["SequenceTest", "failing_sequences", "seq_sat_diagnose"]
+
+
+@dataclass(frozen=True)
+class SequenceTest:
+    """A failing input sequence: vectors per frame, erroneous output, frame,
+    and the correct value there."""
+
+    vectors: tuple[Mapping[str, int], ...]
+    output: str
+    frame: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.frame < len(self.vectors):
+            raise ValueError("frame index out of range")
+        if self.value not in (0, 1):
+            raise ValueError("correct value must be 0 or 1")
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.vectors)
+
+
+def failing_sequences(
+    golden: Circuit,
+    faulty: Circuit,
+    m: int,
+    n_frames: int = 4,
+    seed: int = 0,
+    max_tries: int = 2000,
+) -> list[SequenceTest]:
+    """Random failing sequences (golden vs. faulty sequential simulation).
+
+    Both circuits start from the all-0 state.  The first (frame, output)
+    mismatch of each failing sequence becomes the test's observation point.
+    """
+    rng = random.Random(seed)
+    found: list[SequenceTest] = []
+    seen: set[tuple] = set()
+    for _ in range(max_tries):
+        if len(found) >= m:
+            break
+        vectors = tuple(
+            {pi: rng.getrandbits(1) for pi in golden.inputs}
+            for _ in range(n_frames)
+        )
+        key = tuple(tuple(sorted(v.items())) for v in vectors)
+        if key in seen:
+            continue
+        seen.add(key)
+        good = simulate_sequence(golden, vectors)
+        bad = simulate_sequence(faulty, vectors)
+        hit = None
+        for frame in range(n_frames):
+            for out in golden.outputs:
+                if good[frame][out] != bad[frame][out]:
+                    hit = (frame, out, good[frame][out])
+                    break
+            if hit:
+                break
+        if hit:
+            frame, out, value = hit
+            found.append(SequenceTest(vectors, out, frame, value))
+    return found
+
+
+def _encode_unrolled_test(
+    cnf: CNF,
+    circuit: Circuit,
+    test: SequenceTest,
+    test_idx: int,
+    select_of: Mapping[str, int],
+    initial_state: int = 0,
+) -> dict[tuple[int, str], int]:
+    """Encode one test's unrolled copies; returns (frame, signal) → var."""
+    topo = circuit.topological_order()
+    var_of: dict[tuple[int, str], int] = {}
+    for frame in range(test.n_frames):
+        vector = test.vectors[frame]
+        for name in topo:
+            gate = circuit.node(name)
+            tag = f"t{test_idx}f{frame}:{name}"
+            if gate.is_input:
+                var = cnf.new_var(tag)
+                var_of[(frame, name)] = var
+                cnf.add_clause([var if vector[name] else -var])
+                continue
+            if gate.is_dff:
+                var = cnf.new_var(tag)
+                var_of[(frame, name)] = var
+                if frame == 0:
+                    cnf.add_clause([var] if initial_state else [-var])
+                else:
+                    prev = var_of[(frame - 1, gate.fanins[0])]
+                    cnf.add_clause([-var, prev])
+                    cnf.add_clause([var, -prev])
+                continue
+            fanin_vars = [var_of[(frame, f)] for f in gate.fanins]
+            if name in select_of:
+                raw = cnf.new_var(tag + ":raw")
+                encode_gate(cnf, gate.gtype, raw, fanin_vars)
+                c_var = cnf.new_var(tag + ":c")
+                eff = cnf.new_var(tag)
+                encode_mux(cnf, eff, select_of[name], c_var, raw)
+                var_of[(frame, name)] = eff
+            else:
+                var = cnf.new_var(tag)
+                encode_gate(cnf, gate.gtype, var, fanin_vars)
+                var_of[(frame, name)] = var
+    out_var = var_of[(test.frame, test.output)]
+    cnf.add_clause([out_var if test.value else -out_var])
+    return var_of
+
+
+def seq_sat_diagnose(
+    circuit: Circuit,
+    tests: Sequence[SequenceTest],
+    k: int,
+    suspects: Sequence[str] | None = None,
+    solution_limit: int | None = None,
+    conflict_limit: int | None = None,
+) -> SolutionSetResult:
+    """SAT-based sequential diagnosis over time-frame expanded copies.
+
+    Selects are shared across frames and tests; enumeration mirrors
+    ``BasicSATDiagnose`` (incremental bound, superset blocking), so the
+    reported corrections contain only essential candidates.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not tests:
+        raise ValueError("need at least one failing sequence")
+    build_start = time.perf_counter()
+    suspect_list = (
+        tuple(dict.fromkeys(suspects))
+        if suspects is not None
+        else circuit.gate_names
+    )
+    cnf = CNF()
+    select_of = {g: cnf.new_var(f"s:{g}") for g in suspect_list}
+    gate_of = {v: g for g, v in select_of.items()}
+    for idx, test in enumerate(tests):
+        _encode_unrolled_test(cnf, circuit, test, idx, select_of)
+    bound_outs = totalizer(
+        cnf, [select_of[g] for g in suspect_list], min(k, len(suspect_list))
+    )
+    solver = cnf.to_solver()
+    t_build = time.perf_counter() - build_start
+
+    search_start = time.perf_counter()
+    solutions: list[Correction] = []
+    t_first: float | None = None
+    complete = True
+    select_vars = [select_of[g] for g in suspect_list]
+    for bound in range(1, k + 1):
+        assumptions = [-bound_outs[bound]] if bound < len(bound_outs) else []
+        budget = (
+            None if solution_limit is None else solution_limit - len(solutions)
+        )
+        if budget is not None and budget <= 0:
+            complete = False
+            break
+        try:
+            for sol in enumerate_solutions(
+                solver,
+                select_vars,
+                assumptions=assumptions,
+                block="superset",
+                limit=budget,
+                conflict_limit=conflict_limit,
+            ):
+                solutions.append(frozenset(gate_of[v] for v in sol))
+                if t_first is None:
+                    t_first = time.perf_counter() - search_start
+        except TimeoutError:
+            complete = False
+            break
+    t_all = time.perf_counter() - search_start
+    return SolutionSetResult(
+        approach="seqSAT",
+        k=k,
+        solutions=tuple(solutions),
+        complete=complete,
+        t_build=t_build,
+        t_first=t_first if t_first is not None else t_all,
+        t_all=t_all,
+        extras={"n_vars": cnf.num_vars, "n_clauses": cnf.num_clauses},
+    )

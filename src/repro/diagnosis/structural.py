@@ -1,0 +1,158 @@
+"""Structural (signature-correspondence) diagnosis — the intro's baseline.
+
+The oldest family of error-location techniques (paper ref [12]) assumes
+the implementation still *resembles* the specification: internal signals
+correspond one-to-one, so any signal whose behaviour has no counterpart in
+the specification is suspicious.  This module implements the classic
+simulation-signature version:
+
+1. simulate the same random patterns bit-parallel on both netlists;
+2. a signal's *signature* is its response word; two signals correspond
+   when their signatures are equal (optionally up to inversion);
+3. implementation gates without any corresponding specification signal
+   are the **suspects**; suspects whose fanins all still correspond are
+   the **sources** — the frontier where the mismatch begins, which is
+   where the error sits when the similarity assumption holds.
+
+The paper's criticism — "such similarities may not be present, e.g. due
+to optimizations during synthesis" — is reproduced by the test-suite and
+the ablation bench: after :func:`repro.circuits.rewrite.decompose_wide_gates`
+the implementation contains sub-functions that exist nowhere in the
+specification, so the suspect set fills with false positives unrelated to
+any error, while the test-vector approaches (BSIM/COV/BSAT) are
+unaffected.
+
+Signatures are necessary, not sufficient: with ``n_patterns`` random
+vectors two different functions collide with probability ``2^-n``; the
+default of 256 makes false correspondences negligible for the circuit
+sizes here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..circuits.netlist import Circuit
+from ..circuits.structure import fanout_cone
+from ..sim.parallel import pack_patterns, simulate_words
+
+__all__ = ["StructuralDiagnosis", "signature_map", "structural_diagnose"]
+
+
+def signature_map(
+    circuit: Circuit,
+    patterns: Sequence[Mapping[str, int]],
+) -> dict[str, int]:
+    """Response word of every signal under ``patterns`` (bit ``j`` =
+    pattern ``j``)."""
+    words = pack_patterns(patterns, circuit.inputs)
+    return simulate_words(circuit, words, len(patterns))
+
+
+@dataclass(frozen=True)
+class StructuralDiagnosis:
+    """Result of :func:`structural_diagnose`.
+
+    ``matched`` maps implementation signals to a corresponding
+    specification signal (its own name where unchanged).  ``suspects``
+    are implementation gates with no correspondence; ``sources`` the
+    suspects whose fanins all correspond — the candidates this baseline
+    reports to the designer.
+    """
+
+    matched: Mapping[str, str]
+    suspects: tuple[str, ...]
+    sources: tuple[str, ...]
+    n_patterns: int
+
+    @property
+    def suspect_count(self) -> int:
+        return len(self.suspects)
+
+    def is_suspect(self, signal: str) -> bool:
+        return signal in set(self.suspects)
+
+
+def structural_diagnose(
+    spec: Circuit,
+    impl: Circuit,
+    n_patterns: int = 256,
+    seed: int = 0,
+    match_inverted: bool = True,
+) -> StructuralDiagnosis:
+    """Locate error suspects by signature correspondence.
+
+    Both circuits must share primary inputs.  ``match_inverted`` also
+    accepts complemented counterparts (synthesis freely moves inverters).
+
+    >>> from repro.circuits.library import majority
+    >>> from repro.circuits import GateType
+    >>> from repro.faults import GateChangeError, apply_error
+    >>> impl = apply_error(
+    ...     majority(), GateChangeError("bc", GateType.AND, GateType.NOR)
+    ... )
+    >>> diag = structural_diagnose(majority(), impl, seed=3)
+    >>> "bc" in diag.suspects and "bc" in diag.sources
+    True
+    """
+    if spec.inputs != impl.inputs:
+        raise ValueError("spec and impl must share primary inputs")
+    if n_patterns < 1:
+        raise ValueError("n_patterns must be positive")
+    rng = random.Random(seed)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in spec.inputs}
+        for _ in range(n_patterns)
+    ]
+    mask = (1 << n_patterns) - 1
+    spec_sig = signature_map(spec, patterns)
+    impl_sig = signature_map(impl, patterns)
+    # Index specification signatures (prefer the identically-named signal).
+    by_word: dict[int, str] = {}
+    for name, word in spec_sig.items():
+        by_word.setdefault(word, name)
+    matched: dict[str, str] = {}
+    suspects: list[str] = []
+    for gate in impl:
+        if not gate.is_functional:
+            matched[gate.name] = gate.name
+            continue
+        word = impl_sig[gate.name]
+        if gate.name in spec_sig and spec_sig[gate.name] == word:
+            matched[gate.name] = gate.name
+            continue
+        hit = by_word.get(word)
+        if hit is None and match_inverted:
+            hit = by_word.get(~word & mask)
+        if hit is not None:
+            matched[gate.name] = hit
+        else:
+            suspects.append(gate.name)
+    suspect_set = set(suspects)
+    sources = tuple(
+        s
+        for s in suspects
+        if all(f not in suspect_set for f in impl.node(s).fanins)
+    )
+    return StructuralDiagnosis(
+        matched=matched,
+        suspects=tuple(suspects),
+        sources=sources,
+        n_patterns=n_patterns,
+    )
+
+
+def suspects_within_error_cones(
+    diag: StructuralDiagnosis, impl: Circuit, sites: Sequence[str]
+) -> bool:
+    """True when every suspect lies in the fanout cone of some error site.
+
+    This is the tightness property the similarity assumption buys — it
+    holds for plain injections and breaks after restructuring.
+    """
+    cones: set[str] = set()
+    for site in sites:
+        cones |= fanout_cone(impl, site, include_self=True)
+    return set(diag.suspects) <= cones

@@ -1,0 +1,247 @@
+"""Stuck-at fault diagnosis for production test (paper §1 motivation).
+
+The paper opens with diagnosis arising in "dynamic verification, property
+checking, equivalence checking and production test", and ref [1] treats
+error location and fault diagnosis as the same problem.  This module
+implements the classic *cause-effect* flavour for the production-test
+setting: a device fails on the tester with observed output responses; the
+candidate stuck-at faults are those whose simulated faulty behaviour
+matches the observation.
+
+The signature of each fault is computed serial-fault / parallel-pattern —
+one bit-parallel simulation pass per fault over all patterns — using the
+same forced-value machinery as the effect analysis elsewhere in the
+package, so the module doubles as a demonstration that the paper's
+"simulation engines can be used for what-if analysis".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..circuits.netlist import Circuit
+from ..faults.models import StuckAtFault
+from ..sim.parallel import pack_patterns, simulate_words
+from .base import SolutionSetResult
+
+__all__ = [
+    "FaultMatch",
+    "FaultDictionary",
+    "full_fault_list",
+    "fault_signature",
+    "diagnose_stuck_at",
+]
+
+
+@dataclass(frozen=True)
+class FaultMatch:
+    """One ranked candidate fault.
+
+    ``mismatch_bits`` counts output-bits (over all patterns and outputs)
+    where the fault's simulated behaviour differs from the observation;
+    0 means a perfect explanation.
+    """
+
+    fault: StuckAtFault
+    mismatch_bits: int
+
+    @property
+    def exact(self) -> bool:
+        return self.mismatch_bits == 0
+
+
+def full_fault_list(
+    circuit: Circuit, include_inputs: bool = True
+) -> list[StuckAtFault]:
+    """Both stuck-at polarities on every gate output (and optionally every
+    primary-input stem).
+
+    Primary-input stuck-ats are modelled by forcing the input signal, which
+    the checker supports even though the *injector* cannot rewrite an input
+    node.  Classic equivalence collapsing is deliberately not applied: the
+    diagnosis ranks all sites so ties expose equivalent faults naturally.
+    """
+    faults: list[StuckAtFault] = []
+    for gate in circuit.gates:
+        faults.append(StuckAtFault(gate.name, 0))
+        faults.append(StuckAtFault(gate.name, 1))
+    if include_inputs:
+        for pi in circuit.inputs:
+            faults.append(StuckAtFault(pi, 0))
+            faults.append(StuckAtFault(pi, 1))
+    return faults
+
+
+def fault_signature(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    input_words: Mapping[str, int],
+    n_patterns: int,
+) -> dict[str, int]:
+    """Output words of ``circuit`` with ``fault`` active on all patterns."""
+    mask = (1 << n_patterns) - 1
+    forced = {fault.signal: mask if fault.value else 0}
+    values = simulate_words(
+        circuit, input_words, n_patterns, forced_words=forced
+    )
+    return {out: values[out] for out in circuit.outputs}
+
+
+class FaultDictionary:
+    """Precomputed cause-effect dictionary for one pattern set.
+
+    Production test lines diagnose *many* devices against the *same*
+    pattern set; simulating every fault per device (what
+    :func:`diagnose_stuck_at` does) wastes that structure.  This class
+    simulates each candidate fault once up front and then matches any
+    number of observed responses in O(faults × outputs) integer XORs.
+
+    >>> from repro.circuits.library import c17
+    >>> from repro.testgen import generate_tests
+    >>> circuit = c17()
+    >>> patterns = [dict(p) for p in generate_tests(circuit).patterns]
+    >>> fd = FaultDictionary(circuit, patterns)
+    >>> fd.n_faults > 0
+    True
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        patterns: Sequence[Mapping[str, int]],
+        faults: Sequence[StuckAtFault] | None = None,
+    ) -> None:
+        if not patterns:
+            raise ValueError("need at least one pattern")
+        self._circuit = circuit
+        self._patterns = [dict(p) for p in patterns]
+        self._n = len(self._patterns)
+        input_words = pack_patterns(self._patterns, circuit.inputs)
+        self._faults = (
+            list(faults) if faults is not None else full_fault_list(circuit)
+        )
+        self._signatures: list[dict[str, int]] = [
+            fault_signature(circuit, fault, input_words, self._n)
+            for fault in self._faults
+        ]
+        good = simulate_words(circuit, input_words, self._n)
+        self._good = {out: good[out] for out in circuit.outputs}
+
+    @property
+    def n_faults(self) -> int:
+        return len(self._faults)
+
+    @property
+    def n_patterns(self) -> int:
+        return self._n
+
+    def match(
+        self,
+        observed: Sequence[Mapping[str, int]],
+        max_candidates: int | None = None,
+    ) -> list[FaultMatch]:
+        """Rank the dictionary's faults against one device's responses.
+
+        ``observed`` holds the device's full output response per pattern,
+        in the dictionary's pattern order.
+        """
+        if len(observed) != self._n:
+            raise ValueError(
+                f"observed {len(observed)} responses for {self._n} patterns"
+            )
+        observed_words = {out: 0 for out in self._circuit.outputs}
+        for j, response in enumerate(observed):
+            for out in self._circuit.outputs:
+                if response[out] & 1:
+                    observed_words[out] |= 1 << j
+        matches = [
+            FaultMatch(
+                fault,
+                sum(
+                    bin(signature[out] ^ observed_words[out]).count("1")
+                    for out in self._circuit.outputs
+                ),
+            )
+            for fault, signature in zip(self._faults, self._signatures)
+        ]
+        matches.sort(
+            key=lambda m: (m.mismatch_bits, m.fault.signal, m.fault.value)
+        )
+        if max_candidates is not None:
+            matches = matches[:max_candidates]
+        return matches
+
+    def passes(self, observed: Sequence[Mapping[str, int]]) -> bool:
+        """True when the responses equal the fault-free ones (a good die)."""
+        if len(observed) != self._n:
+            raise ValueError(
+                f"observed {len(observed)} responses for {self._n} patterns"
+            )
+        for j, response in enumerate(observed):
+            for out in self._circuit.outputs:
+                if (response[out] & 1) != ((self._good[out] >> j) & 1):
+                    return False
+        return True
+
+
+def diagnose_stuck_at(
+    circuit: Circuit,
+    patterns: Sequence[Mapping[str, int]],
+    observed: Sequence[Mapping[str, int]],
+    faults: Sequence[StuckAtFault] | None = None,
+    max_candidates: int | None = None,
+) -> SolutionSetResult:
+    """Rank stuck-at faults by how well they explain ``observed``.
+
+    Parameters
+    ----------
+    patterns:
+        The tester's input patterns.
+    observed:
+        The DUT's observed output values per pattern (full responses, as a
+        tester log provides).
+    faults:
+        Candidate list (default: :func:`full_fault_list`).
+
+    Returns a :class:`SolutionSetResult` whose solutions are the signal
+    names of the *exact-match* faults (perfect explanations), with the full
+    ranking in ``extras["matches"]``.
+    """
+    if len(patterns) != len(observed):
+        raise ValueError("patterns and observed responses must align")
+    if not patterns:
+        raise ValueError("need at least one pattern")
+    start = time.perf_counter()
+    n = len(patterns)
+    input_words = pack_patterns(list(patterns), circuit.inputs)
+    observed_words: dict[str, int] = {out: 0 for out in circuit.outputs}
+    for j, response in enumerate(observed):
+        for out in circuit.outputs:
+            if response[out] & 1:
+                observed_words[out] |= 1 << j
+    if faults is None:
+        faults = full_fault_list(circuit)
+    matches: list[FaultMatch] = []
+    for fault in faults:
+        signature = fault_signature(circuit, fault, input_words, n)
+        mismatch = 0
+        for out in circuit.outputs:
+            mismatch += bin(signature[out] ^ observed_words[out]).count("1")
+        matches.append(FaultMatch(fault, mismatch))
+    matches.sort(key=lambda m: (m.mismatch_bits, m.fault.signal, m.fault.value))
+    if max_candidates is not None:
+        matches = matches[:max_candidates]
+    exact = [m for m in matches if m.exact]
+    runtime = time.perf_counter() - start
+    return SolutionSetResult(
+        approach="STUCKAT",
+        k=1,
+        solutions=tuple(frozenset({m.fault.signal}) for m in exact),
+        complete=True,
+        t_build=0.0,
+        t_first=runtime,
+        t_all=runtime,
+        extras={"matches": matches, "n_faults": len(faults)},
+    )

@@ -1,0 +1,192 @@
+"""Valid-correction and essential-candidate checking (Definitions 3 and 4).
+
+A correction ``C`` is *valid* for a test-set when, for every test, some
+assignment of values to the gates in ``C`` produces the correct value at
+the erroneous output.  Because an arbitrary function replacement at a gate
+is — under a fixed input vector — exactly a forced output value, validity
+reduces to a per-test exists-check over ``2^|C|`` forced combinations.
+
+The simulation checker evaluates *all* combinations in a single
+bit-parallel pass (combination ``j`` lives in bit ``j`` of every signal
+word); a SAT fallback covers large corrections.  These checkers are the
+executable form of Lemmas 1-4 and the cross-validation oracle for BSAT.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..circuits.netlist import Circuit
+from ..sat.cnf import CNF
+from ..sat.tseitin import encode_gate
+from ..sim.parallel import simulate_words
+from ..testgen.testset import Test, TestSet
+from .base import Correction
+
+__all__ = [
+    "rectifiable_by_forcing",
+    "is_valid_correction",
+    "has_only_essential_candidates",
+    "all_valid_corrections",
+]
+
+#: Above this correction size the 2^|C| bit-parallel check yields to SAT.
+_SIM_LIMIT = 14
+
+
+def _counter_words(n_gates: int) -> list[int]:
+    """Word ``j`` has bit ``i`` set iff combination index ``i`` sets gate ``j``.
+
+    This lays out all ``2^n_gates`` forced-value combinations across the
+    bit-parallel patterns.
+    """
+    n_patterns = 1 << n_gates
+    words = []
+    for j in range(n_gates):
+        block = 1 << j
+        run_mask = (1 << block) - 1
+        w = 0
+        i = block  # bit j of the pattern index: runs of 2^j, period 2^(j+1)
+        while i < n_patterns:
+            w |= run_mask << i
+            i += 2 * block
+        words.append(w)
+    return words
+
+
+def rectifiable_by_forcing(
+    circuit: Circuit,
+    test: Test,
+    gates: Sequence[str],
+    constrain_all_outputs: bool = False,
+) -> bool:
+    """Can forcing values at ``gates`` produce the correct response to ``test``?
+
+    Checks all ``2^len(gates)`` combinations in one bit-parallel simulation.
+    With ``constrain_all_outputs`` every output must match the test's
+    ``expected_outputs`` simultaneously.
+    """
+    if not gates:
+        # Empty correction: the implementation itself must already pass.
+        gates = ()
+    n = len(gates)
+    if n > _SIM_LIMIT:
+        return _rectifiable_sat(circuit, test, gates, constrain_all_outputs)
+    n_patterns = 1 << n
+    mask = (1 << n_patterns) - 1
+    input_words = {
+        pi: (mask if test.vector[pi] else 0) for pi in circuit.inputs
+    }
+    forced = dict(zip(gates, _counter_words(n)))
+    values = simulate_words(circuit, input_words, n_patterns, forced_words=forced)
+    if constrain_all_outputs:
+        if test.expected_outputs is None:
+            raise ValueError("test lacks expected_outputs")
+        match = mask
+        for out in circuit.outputs:
+            want = mask if test.expected_outputs[out] else 0
+            match &= ~(values[out] ^ want) & mask
+        return match != 0
+    want = mask if test.value else 0
+    return (~(values[test.output] ^ want) & mask) != 0
+
+
+def _rectifiable_sat(
+    circuit: Circuit,
+    test: Test,
+    gates: Sequence[str],
+    constrain_all_outputs: bool,
+) -> bool:
+    """SAT fallback: free the gates' outputs and ask for a correct response."""
+    gate_set = set(gates)
+    cnf = CNF()
+    var_of: dict[str, int] = {}
+    for name in circuit.topological_order():
+        gate = circuit.node(name)
+        var = cnf.new_var()
+        var_of[name] = var
+        if gate.is_input:
+            cnf.add_clause([var if test.vector[name] else -var])
+        elif name in gate_set:
+            continue  # free output value
+        else:
+            encode_gate(cnf, gate.gtype, var, [var_of[f] for f in gate.fanins])
+    if constrain_all_outputs:
+        if test.expected_outputs is None:
+            raise ValueError("test lacks expected_outputs")
+        for out in circuit.outputs:
+            want = test.expected_outputs[out]
+            cnf.add_clause([var_of[out] if want else -var_of[out]])
+    else:
+        cnf.add_clause([var_of[test.output] if test.value else -var_of[test.output]])
+    return bool(cnf.to_solver().solve())
+
+
+def is_valid_correction(
+    circuit: Circuit,
+    tests: TestSet | Iterable[Test],
+    gates: Iterable[str],
+    constrain_all_outputs: bool = False,
+) -> bool:
+    """Definition 3: every test is rectifiable by changing ``gates``."""
+    gate_list = tuple(gates)
+    return all(
+        rectifiable_by_forcing(
+            circuit, test, gate_list, constrain_all_outputs
+        )
+        for test in tests
+    )
+
+
+def has_only_essential_candidates(
+    circuit: Circuit,
+    tests: TestSet | Iterable[Test],
+    gates: Iterable[str],
+    constrain_all_outputs: bool = False,
+) -> bool:
+    """Definition 4: valid, and no proper subset of it is valid.
+
+    (Checking immediate one-removals suffices: validity is monotone — any
+    valid subset extends to a valid ``C \\ {g}``.)
+    """
+    tests = TestSet(tuple(tests)) if not isinstance(tests, TestSet) else tests
+    gate_list = tuple(gates)
+    if not is_valid_correction(
+        circuit, tests, gate_list, constrain_all_outputs
+    ):
+        return False
+    for g in gate_list:
+        rest = tuple(x for x in gate_list if x != g)
+        if is_valid_correction(circuit, tests, rest, constrain_all_outputs):
+            return False
+    return True
+
+
+def all_valid_corrections(
+    circuit: Circuit,
+    tests: TestSet,
+    k: int,
+    pool: Sequence[str] | None = None,
+    essential_only: bool = True,
+    constrain_all_outputs: bool = False,
+) -> list[Correction]:
+    """Exhaustive reference enumeration of valid corrections up to size ``k``.
+
+    Exponential in ``k`` over ``pool`` (default: all gates) — intended for
+    the test-suite, where it is the ground truth BSAT must match exactly.
+    With ``essential_only`` the result contains exactly the corrections with
+    only essential candidates (what BSAT returns per Lemma 3).
+    """
+    gate_pool = tuple(pool) if pool is not None else circuit.gate_names
+    found: list[Correction] = []
+    for size in range(1, k + 1):
+        for subset in combinations(gate_pool, size):
+            candidate = frozenset(subset)
+            if essential_only and any(sol <= candidate for sol in found):
+                continue
+            if is_valid_correction(
+                circuit, tests, subset, constrain_all_outputs
+            ):
+                found.append(candidate)
+    return found

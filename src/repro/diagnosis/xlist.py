@@ -1,0 +1,111 @@
+"""X-list style diagnosis by forward X-injection (paper §2.2, ref [5]).
+
+Boppana et al.'s alternative to path tracing: instead of backtracing
+sensitized paths, inject an unknown ``X`` at a suspect and propagate it
+*forward* with three-valued simulation.  Only if the ``X`` reaches the
+erroneous output can a function change at the suspect possibly fix that
+test — "the effect of changing a value at a certain position is
+considered", giving a cheap necessary condition without full effect
+analysis.
+
+Like path tracing this yields candidates, not guaranteed corrections; the
+optional ``verify`` step upgrades candidates to valid corrections via the
+exact checker, giving an X-list-pruned variant of the advanced
+simulation-based search.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Sequence
+
+from ..circuits.netlist import Circuit
+from ..sim.threevalued import x_reaches
+from ..testgen.testset import TestSet
+from .base import Correction, SimDiagnosisResult, SolutionSetResult
+from .validity import is_valid_correction
+
+__all__ = ["xlist_candidates", "xlist_diagnose"]
+
+
+def xlist_candidates(
+    circuit: Circuit, tests: TestSet, suspects: Sequence[str] | None = None
+) -> SimDiagnosisResult:
+    """Per-test X-list candidate sets.
+
+    Gate ``g`` is a candidate for test ``i`` when forcing ``g`` to ``X``
+    makes the erroneous output ``o_i`` unknown.  Analogous to path
+    tracing's ``C_i`` but derived by forward implication; the same mark
+    counts ``M(g)`` apply.
+    """
+    pool = tuple(suspects) if suspects is not None else circuit.gate_names
+    start = time.perf_counter()
+    candidate_sets: list[frozenset[str]] = []
+    marks: dict[str, int] = {}
+    for test in tests:
+        cand = frozenset(
+            g
+            for g in pool
+            if x_reaches(circuit, test.vector, (g,), test.output)
+        )
+        candidate_sets.append(cand)
+        for g in cand:
+            marks[g] = marks.get(g, 0) + 1
+    return SimDiagnosisResult(
+        candidate_sets=tuple(candidate_sets),
+        marks=marks,
+        runtime=time.perf_counter() - start,
+    )
+
+
+def xlist_diagnose(
+    circuit: Circuit,
+    tests: TestSet,
+    k: int,
+    verify: bool = True,
+    suspects: Sequence[str] | None = None,
+) -> SolutionSetResult:
+    """Multi-error X-list diagnosis.
+
+    Enumerates subsets (size ≤ k) of the X-list candidate union whose
+    *joint* X-injection reaches every erroneous output — the multi-error
+    necessary condition — and, with ``verify`` (default), keeps only the
+    minimal subsets that are valid corrections.  Without verification the
+    result is candidate guidance like COV (Lemma-2-style invalid solutions
+    are possible).
+    """
+    start = time.perf_counter()
+    sim_result = xlist_candidates(circuit, tests, suspects=suspects)
+    pool = sorted(sim_result.union, key=lambda g: -sim_result.marks[g])
+    t_build = time.perf_counter() - start
+
+    search_start = time.perf_counter()
+    solutions: list[Correction] = []
+    t_first: float | None = None
+    for size in range(1, k + 1):
+        for subset in combinations(pool, size):
+            candidate = frozenset(subset)
+            if any(sol <= candidate for sol in solutions):
+                continue
+            reaches_all = all(
+                x_reaches(circuit, t.vector, subset, t.output) for t in tests
+            )
+            if not reaches_all:
+                continue
+            if verify and not is_valid_correction(circuit, tests, subset):
+                continue
+            solutions.append(candidate)
+            if t_first is None:
+                t_first = time.perf_counter() - search_start
+    t_all = time.perf_counter() - search_start
+    return SolutionSetResult(
+        approach="XLIST" + ("+v" if verify else ""),
+        k=k,
+        solutions=tuple(solutions),
+        complete=True,
+        t_build=t_build,
+        t_first=t_first if t_first is not None else t_all,
+        t_all=t_all,
+        extras={"sim_result": sim_result, "pool_size": len(pool)},
+    )

@@ -1,0 +1,22 @@
+"""Experiment harness: workloads, runner, table/figure reproduction."""
+
+from .workloads import Workload, make_workload, PAPER_GRID, M_VALUES
+from .runner import CellResult, run_cell
+from .tables import format_table2, format_table3, format_cell_summary
+from .figures import ScatterPoint, fig6_series, render_scatter, format_fig6
+
+__all__ = [
+    "Workload",
+    "make_workload",
+    "PAPER_GRID",
+    "M_VALUES",
+    "CellResult",
+    "run_cell",
+    "format_table2",
+    "format_table3",
+    "format_cell_summary",
+    "ScatterPoint",
+    "fig6_series",
+    "render_scatter",
+    "format_fig6",
+]

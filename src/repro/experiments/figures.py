@@ -1,0 +1,112 @@
+"""Figure 6 data series and ASCII rendering.
+
+Figure 6 compares BSAT against COV per benchmark cell: (a) the average
+solution distance ("avg" of Table 3) on linear axes, (b) the number of
+solutions on log-log axes.  Points below the diagonal favour BSAT.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .runner import CellResult
+
+__all__ = ["ScatterPoint", "fig6_series", "render_scatter", "format_fig6"]
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    cell_id: str
+    cov: float
+    sat: float
+
+    @property
+    def bsat_wins(self) -> bool:
+        return self.sat < self.cov
+
+    @property
+    def tie(self) -> bool:
+        return self.sat == self.cov
+
+
+def fig6_series(
+    cells: Sequence[CellResult],
+) -> tuple[list[ScatterPoint], list[ScatterPoint]]:
+    """Build the two scatter series: (a) avg distance, (b) #solutions."""
+    quality: list[ScatterPoint] = []
+    counts: list[ScatterPoint] = []
+    for c in cells:
+        if not (math.isnan(c.cov.avg_avg) or math.isnan(c.sat.avg_avg)):
+            quality.append(ScatterPoint(c.cell_id, c.cov.avg_avg, c.sat.avg_avg))
+        counts.append(
+            ScatterPoint(
+                c.cell_id, float(c.cov.n_solutions), float(c.sat.n_solutions)
+            )
+        )
+    return quality, counts
+
+
+def render_scatter(
+    points: Sequence[ScatterPoint],
+    width: int = 41,
+    height: int = 21,
+    log: bool = False,
+    xlabel: str = "COV",
+    ylabel: str = "BSAT",
+) -> str:
+    """Plain-text scatter plot with the y=x diagonal marked.
+
+    Points plotted as ``o``; the diagonal as ``.``; overlaps as ``O``.
+    """
+    if not points:
+        return "(no points)"
+
+    def tx(v: float) -> float:
+        if log:
+            return math.log10(max(v, 0.5))
+        return v
+
+    xs = [tx(p.cov) for p in points]
+    ys = [tx(p.sat) for p in points]
+    lo = min(min(xs), min(ys))
+    hi = max(max(xs), max(ys))
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i in range(min(width, height)):
+        gx = int(i * (width - 1) / (min(width, height) - 1))
+        gy = int(i * (height - 1) / (min(width, height) - 1))
+        grid[height - 1 - gy][gx] = "."
+    for p in points:
+        gx = int(round((tx(p.cov) - lo) / (hi - lo) * (width - 1)))
+        gy = int(round((tx(p.sat) - lo) / (hi - lo) * (height - 1)))
+        row, col = height - 1 - gy, gx
+        grid[row][col] = "O" if grid[row][col] == "o" else "o"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: {xlabel}{' (log10)' if log else ''}  "
+                 f"y: {ylabel}{' (log10)' if log else ''}  "
+                 f"range [{lo:.2f}, {hi:.2f}]")
+    return "\n".join(lines)
+
+
+def format_fig6(cells: Sequence[CellResult]) -> str:
+    """Render both panels plus the headline statistic the paper draws from
+    them: BSAT usually returns fewer solutions of better quality."""
+    quality, counts = fig6_series(cells)
+    q_wins = sum(1 for p in quality if p.bsat_wins)
+    q_ties = sum(1 for p in quality if p.tie)
+    c_wins = sum(1 for p in counts if p.bsat_wins)
+    c_ties = sum(1 for p in counts if p.tie)
+    parts = [
+        "Figure 6(a): avg solution distance, BSAT vs COV",
+        render_scatter(quality),
+        f"BSAT better (below diagonal): {q_wins}/{len(quality)}"
+        f" (ties: {q_ties})",
+        "",
+        "Figure 6(b): number of solutions, BSAT vs COV (log-log)",
+        render_scatter(counts, log=True),
+        f"BSAT fewer solutions: {c_wins}/{len(counts)} (ties: {c_ties})",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,149 @@
+"""Experiment runner: one Table 2/Table 3 cell at a time.
+
+``run_cell`` executes the three basic approaches on one (circuit, p, m)
+cell with the paper's measurement protocol:
+
+* BSIM — wall time of ``BasicSimDiagnose``;
+* COV — "CNF" (path tracing + covering-instance construction; the paper
+  notes this *includes* the BSIM time), "One" (first solution; separate
+  run with a solution limit of 1, as the paper reports separate columns),
+  "All" (full enumeration);
+* BSAT — "CNF" (instance construction), "One", "All".
+
+Quality metrics (Table 3) come from the ground-truth error sites of the
+workload's injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..diagnosis.base import SolutionSetResult
+from ..diagnosis.cover import sc_diagnose
+from ..diagnosis.metrics import (
+    BsimQuality,
+    SolutionQuality,
+    bsim_quality,
+    solution_quality,
+)
+from ..diagnosis.pathtrace import basic_sim_diagnose
+from ..diagnosis.satdiag import basic_sat_diagnose, build_diagnosis_instance
+from .workloads import Workload
+
+__all__ = ["CellResult", "run_cell"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All measurements of one experiment cell."""
+
+    circuit: str
+    p: int
+    m: int
+    k: int
+    # Table 2 columns (seconds)
+    bsim_time: float
+    cov_cnf: float
+    cov_one: float
+    cov_all: float
+    bsat_cnf: float
+    bsat_one: float
+    bsat_all: float
+    # Table 3 columns
+    bsim: BsimQuality
+    cov: SolutionQuality
+    sat: SolutionQuality
+    # full solution sets (for cross-checks and Figure 6)
+    cov_result: SolutionSetResult = field(repr=False, default=None)
+    sat_result: SolutionSetResult = field(repr=False, default=None)
+    notes: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.circuit}/p{self.p}/m{self.m}"
+
+
+def run_cell(
+    workload: Workload,
+    m: int,
+    k: int | None = None,
+    policy: str = "first",
+    solution_limit: int | None = None,
+    conflict_limit: int | None = None,
+    select_zero_clauses: bool = False,
+) -> CellResult:
+    """Run BSIM, COV and BSAT on the first ``m`` tests of ``workload``.
+
+    ``k`` defaults to the number of injected errors ("The limit k was
+    always set to the number of errors injected previously", §5).
+    ``solution_limit``/``conflict_limit`` bound the "All" enumerations the
+    way the paper's 512 MB / 30 min limits did; a truncated enumeration is
+    flagged in ``notes``.
+    """
+    cell = workload.cell(m)
+    if k is None:
+        k = workload.p
+    faulty = cell.faulty
+    tests = cell.tests
+    sites = cell.sites
+
+    # ---- BSIM ----
+    sim_result = basic_sim_diagnose(faulty, tests, policy=policy)
+    bsim_q = bsim_quality(faulty, sim_result, sites)
+
+    # ---- COV ----
+    cov_one_res = sc_diagnose(
+        faulty, tests, k, policy=policy, sim_result=sim_result,
+        solution_limit=1, conflict_limit=conflict_limit,
+    )
+    cov_all_res = sc_diagnose(
+        faulty, tests, k, policy=policy, sim_result=sim_result,
+        solution_limit=solution_limit, conflict_limit=conflict_limit,
+    )
+    cov_q = solution_quality(faulty, cov_all_res.solutions, sites)
+
+    # ---- BSAT ----
+    instance = build_diagnosis_instance(
+        faulty, tests, k_max=k, select_zero_clauses=select_zero_clauses
+    )
+    bsat_one_res = basic_sat_diagnose(
+        faulty, tests, k, instance=instance,
+        solution_limit=1, conflict_limit=conflict_limit,
+    )
+    # Fresh instance for the "All" run (the One run added blocking clauses).
+    instance_all = build_diagnosis_instance(
+        faulty, tests, k_max=k, select_zero_clauses=select_zero_clauses
+    )
+    bsat_all_res = basic_sat_diagnose(
+        faulty, tests, k, instance=instance_all,
+        solution_limit=solution_limit, conflict_limit=conflict_limit,
+    )
+    sat_q = solution_quality(faulty, bsat_all_res.solutions, sites)
+
+    notes: dict[str, object] = {}
+    if not cov_all_res.complete:
+        notes["cov_truncated"] = True
+    if not bsat_all_res.complete:
+        notes["bsat_truncated"] = True
+
+    return CellResult(
+        circuit=workload.name,
+        p=workload.p,
+        m=m,
+        k=k,
+        bsim_time=sim_result.runtime,
+        # Paper: COV's CNF column includes the BSIM time.
+        cov_cnf=sim_result.runtime + cov_all_res.t_build,
+        cov_one=cov_one_res.t_all,
+        cov_all=cov_all_res.t_all,
+        bsat_cnf=instance_all.build_time,
+        bsat_one=bsat_one_res.t_all,
+        bsat_all=bsat_all_res.t_all,
+        bsim=bsim_q,
+        cov=cov_q,
+        sat=sat_q,
+        cov_result=cov_all_res,
+        sat_result=bsat_all_res,
+        notes=notes,
+    )

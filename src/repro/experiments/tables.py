@@ -1,0 +1,86 @@
+"""Text rendering of the paper's tables from measured cells."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .runner import CellResult
+
+__all__ = ["format_table2", "format_table3", "format_cell_summary"]
+
+
+def _fmt_t(seconds: float) -> str:
+    return f"{seconds:.2f}"
+
+
+def _fmt_d(value: float) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return f"{value:.2f}"
+
+
+def format_table2(cells: Sequence[CellResult]) -> str:
+    """Table 2: runtimes of the basic approaches."""
+    header = (
+        f"{'I':<10} {'p':>2} {'m':>3} | {'BSIM':>7} | "
+        f"{'COV CNF':>8} {'One':>7} {'All':>8} | "
+        f"{'BSAT CNF':>8} {'One':>8} {'All':>9}"
+    )
+    lines = ["Table 2. Runtime of the basic approaches (seconds)", header,
+             "-" * len(header)]
+    for c in cells:
+        flag = "*" if c.notes else " "
+        lines.append(
+            f"{c.circuit:<10} {c.p:>2} {c.m:>3} | {_fmt_t(c.bsim_time):>7} | "
+            f"{_fmt_t(c.cov_cnf):>8} {_fmt_t(c.cov_one):>7} "
+            f"{_fmt_t(c.cov_all):>8} | "
+            f"{_fmt_t(c.bsat_cnf):>8} {_fmt_t(c.bsat_one):>8} "
+            f"{_fmt_t(c.bsat_all):>8}{flag}"
+        )
+    if any(c.notes for c in cells):
+        lines.append("* enumeration truncated by solution/conflict limit")
+    return "\n".join(lines)
+
+
+def format_table3(cells: Sequence[CellResult]) -> str:
+    """Table 3: quality of the basic approaches."""
+    header = (
+        f"{'I':<10} {'p':>2} {'m':>3} | "
+        f"{'|uCi|':>6} {'avgA':>6} {'Gmax':>5} {'min':>5} {'max':>5} "
+        f"{'avgG':>6} | "
+        f"{'#sol':>6} {'min':>5} {'max':>6} {'avg':>6} | "
+        f"{'#sol':>6} {'min':>5} {'max':>6} {'avg':>6}"
+    )
+    title = (
+        "Table 3. Quality of the basic approaches "
+        "(BSIM | COV | SAT; distances to nearest actual error)"
+    )
+    lines = [title, header, "-" * len(header)]
+    for c in cells:
+        lines.append(
+            f"{c.circuit:<10} {c.p:>2} {c.m:>3} | "
+            f"{c.bsim.union_size:>6} {_fmt_d(c.bsim.avg_all):>6} "
+            f"{c.bsim.gmax_size:>5} {_fmt_d(c.bsim.gmax_min):>5} "
+            f"{_fmt_d(c.bsim.gmax_max):>5} {_fmt_d(c.bsim.gmax_avg):>6} | "
+            f"{c.cov.n_solutions:>6} {_fmt_d(c.cov.min_avg):>5} "
+            f"{_fmt_d(c.cov.max_avg):>6} {_fmt_d(c.cov.avg_avg):>6} | "
+            f"{c.sat.n_solutions:>6} {_fmt_d(c.sat.min_avg):>5} "
+            f"{_fmt_d(c.sat.max_avg):>6} {_fmt_d(c.sat.avg_avg):>6}"
+        )
+    return "\n".join(lines)
+
+
+def format_cell_summary(cell: CellResult) -> str:
+    """One-cell human-readable summary used by the examples."""
+    lines = [
+        f"cell {cell.cell_id} (k={cell.k})",
+        f"  BSIM : {cell.bsim.union_size} marked gates in "
+        f"{cell.bsim_time:.3f}s; Gmax={cell.bsim.gmax_size} "
+        f"(min dist {cell.bsim.gmax_min})",
+        f"  COV  : {cell.cov.n_solutions} solutions in {cell.cov_all:.3f}s; "
+        f"avg dist {_fmt_d(cell.cov.avg_avg)}",
+        f"  BSAT : {cell.sat.n_solutions} solutions in {cell.bsat_all:.3f}s; "
+        f"avg dist {_fmt_d(cell.sat.avg_avg)} (all valid corrections)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Error models, injection and fault-list tooling.
+
+Covers the paper's 1-4 gate-change errors (ground truth for Tables 2/3)
+plus the classic stuck-at machinery — fault universe and structural
+collapsing — that the production-test motivation (§1, ref [1]) builds on.
+"""
+
+from .models import (
+    ErrorModel,
+    ExtraWireError,
+    GateChangeError,
+    InverterError,
+    MissingWireError,
+    StuckAtFault,
+    WrongWireError,
+)
+from .inject import (
+    Injection,
+    apply_error,
+    inject_errors,
+    random_gate_changes,
+    random_wire_errors,
+)
+from .collapse import (
+    CollapsedFaults,
+    full_stuck_at_universe,
+    collapse_faults,
+    checkpoint_signals,
+)
+
+__all__ = [
+    "ErrorModel",
+    "GateChangeError",
+    "StuckAtFault",
+    "InverterError",
+    "WrongWireError",
+    "ExtraWireError",
+    "MissingWireError",
+    "Injection",
+    "apply_error",
+    "inject_errors",
+    "random_gate_changes",
+    "random_wire_errors",
+    "CollapsedFaults",
+    "full_stuck_at_universe",
+    "collapse_faults",
+    "checkpoint_signals",
+]

@@ -1,0 +1,260 @@
+"""Stuck-at fault universe and structural fault collapsing.
+
+The paper treats error location and fault diagnosis as "similar problems"
+(ref [1]) and motivates diagnosis with post-production test.  A production
+test flow starts from the *stuck-at fault universe* of the circuit, and
+every industrial tool first shrinks that universe by structural collapsing:
+
+* **Equivalence collapsing** — two faults are equivalent when the faulty
+  circuits compute the same Boolean function; only one representative per
+  class needs a test.  For an AND gate, s-a-0 on a (fanout-free) input is
+  equivalent to s-a-0 on the output; inverters/buffers map faults 1:1
+  through the gate.
+* **Dominance collapsing** — fault *B* dominates fault *A* when every test
+  for *A* also detects *B*; *B* can then be dropped.  For an AND gate the
+  output s-a-1 dominates each input s-a-1.
+
+This module works on the *signal-level* (stem) fault model that matches the
+netlist representation of :mod:`repro.circuits`: a fault site is a signal
+name, not an individual gate input pin.  Input-pin faults coincide with
+signal faults exactly when the signal has a single fanout, so equivalence
+and dominance rules are applied only across such fanout-free edges — a
+sound (never drops a distinguishable fault) but slightly conservative
+collapse.  The classic *checkpoint* set (primary inputs plus fanout stems)
+is exposed by :func:`checkpoint_signals` under the same approximation.
+
+>>> from repro.circuits.library import c17
+>>> from repro.faults.collapse import collapse_faults
+>>> c = collapse_faults(c17())
+>>> len(c.universe) > len(c.representatives)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..circuits.gates import CONTROLLING_VALUE, GateType, eval_gate
+from ..circuits.netlist import Circuit
+from .models import StuckAtFault
+
+__all__ = [
+    "CollapsedFaults",
+    "full_stuck_at_universe",
+    "collapse_faults",
+    "checkpoint_signals",
+]
+
+
+def full_stuck_at_universe(
+    circuit: Circuit, include_inputs: bool = True
+) -> tuple[StuckAtFault, ...]:
+    """Both stuck-at faults on every signal of ``circuit``.
+
+    Constant nodes contribute only the fault opposite to their tied value
+    (a CONST0 stuck at 0 is the fault-free circuit).  With
+    ``include_inputs`` (default) primary inputs are fault sites too — they
+    are checkpoints and the simulation engines can force them — but note
+    that :func:`repro.faults.inject.apply_error` cannot *inject* a PI fault
+    as a circuit mutation.
+
+    >>> from repro.circuits.library import majority
+    >>> len(full_stuck_at_universe(majority()))
+    16
+    """
+    faults: list[StuckAtFault] = []
+    for gate in circuit:
+        if gate.is_input:
+            if include_inputs:
+                faults.append(StuckAtFault(gate.name, 0))
+                faults.append(StuckAtFault(gate.name, 1))
+        elif gate.gtype is GateType.CONST0:
+            faults.append(StuckAtFault(gate.name, 1))
+        elif gate.gtype is GateType.CONST1:
+            faults.append(StuckAtFault(gate.name, 0))
+        else:
+            faults.append(StuckAtFault(gate.name, 0))
+            faults.append(StuckAtFault(gate.name, 1))
+    return tuple(faults)
+
+
+class _UnionFind:
+    """Minimal union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: dict[object, object] = {}
+
+    def find(self, item: object) -> object:
+        parent = self._parent.setdefault(item, item)
+        if parent is item or parent == item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+@dataclass(frozen=True)
+class CollapsedFaults:
+    """Result of structural fault collapsing.
+
+    ``universe`` is the uncollapsed fault list; ``classes`` the equivalence
+    classes partitioning it; ``representative`` maps every fault to its
+    class representative; ``dominance_dropped`` holds the representatives
+    removed by dominance (their detection is implied by a kept fault).
+    """
+
+    universe: tuple[StuckAtFault, ...]
+    classes: tuple[tuple[StuckAtFault, ...], ...]
+    representative: Mapping[StuckAtFault, StuckAtFault]
+    dominance_dropped: frozenset[StuckAtFault]
+
+    @property
+    def representatives(self) -> tuple[StuckAtFault, ...]:
+        """The collapsed fault list: one kept representative per class."""
+        return tuple(
+            cls[0]
+            for cls in self.classes
+            if cls[0] not in self.dominance_dropped
+        )
+
+    @property
+    def collapse_ratio(self) -> float:
+        """|collapsed| / |universe| — the headline collapsing metric."""
+        if not self.universe:
+            return 1.0
+        return len(self.representatives) / len(self.universe)
+
+    def expand(self, faults: Iterable[StuckAtFault]) -> set[StuckAtFault]:
+        """All universe faults whose representative is in ``faults``.
+
+        Used to translate detection of the collapsed list back to the full
+        universe (equivalent faults are detected by exactly the same
+        tests).
+        """
+        wanted = set(faults)
+        return {f for f in self.universe if self.representative[f] in wanted}
+
+
+def _controlled_output(gtype: GateType) -> int:
+    """Output value of ``gtype`` when some input is at its controlling value."""
+    control = CONTROLLING_VALUE[gtype]
+    if control is None:  # pragma: no cover - callers check first
+        raise ValueError(f"{gtype} has no controlling value")
+    # Evaluate with one controlling input; remaining inputs are irrelevant.
+    return eval_gate(gtype, [control, control ^ 1])
+
+
+def collapse_faults(
+    circuit: Circuit,
+    include_inputs: bool = True,
+    dominance: bool = True,
+) -> CollapsedFaults:
+    """Structurally collapse the stuck-at universe of ``circuit``.
+
+    Equivalence rules (applied when the fanin signal has exactly one fanout
+    and is not itself a primary output, so the signal fault coincides with
+    the pin fault):
+
+    * AND/NAND/OR/NOR: input s-a-*c* ≡ output s-a-(gate value under a
+      controlling input), where *c* is the controlling value.
+    * BUF/NOT: both input faults map through the gate function.
+
+    Dominance (same fanout-free condition): the output fault opposite to
+    the controlled value is dominated by any input fault at the
+    non-controlling value and is dropped.  XOR/XNOR gates admit neither
+    rule.  DFFs are sequential boundaries and are never collapsed across.
+    """
+    universe = full_stuck_at_universe(circuit, include_inputs=include_inputs)
+    in_universe = set(universe)
+    fanouts = circuit.fanouts()
+    outputs = set(circuit.outputs)
+    uf = _UnionFind()
+    for fault in universe:
+        uf.find(fault)
+
+    def fanout_free(signal: str) -> bool:
+        return len(fanouts[signal]) == 1 and signal not in outputs
+
+    dropped: set[StuckAtFault] = set()
+    for gate in circuit:
+        if not gate.is_functional:
+            continue
+        gtype = gate.gtype
+        if gtype in (GateType.CONST0, GateType.CONST1):
+            continue
+        if gtype in (GateType.BUF, GateType.NOT):
+            (fin,) = gate.fanins
+            if not fanout_free(fin):
+                continue
+            for value in (0, 1):
+                a = StuckAtFault(fin, value)
+                z = StuckAtFault(gate.name, eval_gate(gtype, [value]))
+                if a in in_universe and z in in_universe:
+                    uf.union(a, z)
+            continue
+        control = CONTROLLING_VALUE[gtype]
+        if control is None:  # XOR/XNOR: no structural collapsing
+            continue
+        controlled_out = _controlled_output(gtype)
+        any_free_fanin = False
+        for fin in set(gate.fanins):
+            if not fanout_free(fin):
+                continue
+            any_free_fanin = True
+            a = StuckAtFault(fin, control)
+            z = StuckAtFault(gate.name, controlled_out)
+            if a in in_universe and z in in_universe:
+                uf.union(a, z)
+        if dominance and any_free_fanin:
+            dominated = StuckAtFault(gate.name, controlled_out ^ 1)
+            if dominated in in_universe:
+                dropped.add(dominated)
+
+    groups: dict[object, list[StuckAtFault]] = {}
+    for fault in universe:
+        groups.setdefault(uf.find(fault), []).append(fault)
+    classes = tuple(
+        tuple(sorted(group, key=lambda f: (f.signal, f.value)))
+        for group in groups.values()
+    )
+    classes = tuple(sorted(classes, key=lambda cls: (cls[0].signal, cls[0].value)))
+    representative = {
+        fault: cls[0] for cls in classes for fault in cls
+    }
+    # A dominance drop removes the *class* of the dominated output fault
+    # (equivalent faults share all tests, so dominance transfers).  A class
+    # is only dropped when every drop-marked member agrees; since classes
+    # merge output faults of chained BUF/NOT gates this is the common case.
+    dropped_reps = frozenset(representative[f] for f in dropped)
+    return CollapsedFaults(
+        universe=universe,
+        classes=classes,
+        representative=representative,
+        dominance_dropped=dropped_reps,
+    )
+
+
+def checkpoint_signals(circuit: Circuit) -> set[str]:
+    """Primary inputs plus fanout stems (signals driving ≥ 2 gates).
+
+    The checkpoint theorem states that a test set detecting all stuck-at
+    faults on the checkpoints of an irredundant combinational circuit
+    detects all single stuck-at faults.  In the signal-level fault model
+    the classic "fanout branches" collapse onto their stems.
+
+    >>> from repro.circuits.library import c17
+    >>> sorted(checkpoint_signals(c17()))
+    ['G1', 'G11', 'G16', 'G2', 'G3', 'G6', 'G7']
+    """
+    fanouts = circuit.fanouts()
+    points = set(circuit.inputs)
+    for name, outs in fanouts.items():
+        if len(outs) >= 2:
+            points.add(name)
+    return points

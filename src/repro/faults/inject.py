@@ -1,0 +1,291 @@
+"""Error injection: turning a golden circuit into a faulty implementation.
+
+Reproduces the paper's experimental setup: "A number of 1-4 gate change
+errors were injected into circuits from the ISCAS89 benchmark set."  The
+random injector is deterministic in its seed and can be asked to guarantee
+that the injected errors are *detectable* (some input vector exposes them),
+which the paper's setup implies — every experiment uses failing tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..circuits.gates import GateType
+from ..circuits.netlist import Circuit
+from .models import (
+    ErrorModel,
+    ExtraWireError,
+    GateChangeError,
+    InverterError,
+    MissingWireError,
+    StuckAtFault,
+    WrongWireError,
+)
+
+__all__ = [
+    "Injection",
+    "apply_error",
+    "inject_errors",
+    "random_gate_changes",
+    "random_wire_errors",
+]
+
+#: Complement function per gate type (used by :class:`InverterError`).
+_COMPLEMENT: dict[GateType, GateType] = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.BUF: GateType.NOT,
+    GateType.NOT: GateType.BUF,
+    GateType.CONST0: GateType.CONST1,
+    GateType.CONST1: GateType.CONST0,
+}
+
+#: Candidate replacement types per arity.  Single-input gates swap between
+#: BUF and NOT; multi-input gates move within the standard cell set.
+_MULTI_INPUT_TYPES = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+_SINGLE_INPUT_TYPES = (GateType.BUF, GateType.NOT)
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A faulty implementation together with its ground truth.
+
+    ``faulty`` is the implementation ``I`` handed to the diagnosis
+    algorithms; ``golden`` the specification used to judge test responses;
+    ``errors`` the actual error sites ``e_1 .. e_p``.
+    """
+
+    golden: Circuit
+    faulty: Circuit
+    errors: tuple[ErrorModel, ...]
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(e.site for e in self.errors)
+
+    @property
+    def p(self) -> int:
+        """Number of injected errors (the paper's ``p``)."""
+        return len(self.errors)
+
+
+def apply_error(circuit: Circuit, error: ErrorModel) -> Circuit:
+    """Return a copy of ``circuit`` with ``error`` applied."""
+    faulty = circuit.copy()
+    if isinstance(error, GateChangeError):
+        gate = faulty.node(error.gate)
+        if gate.gtype != error.old_type:
+            raise ValueError(
+                f"gate {error.gate!r} has type {gate.gtype}, expected "
+                f"{error.old_type}"
+            )
+        faulty.replace_gate(error.gate, gtype=error.new_type)
+    elif isinstance(error, StuckAtFault):
+        target = faulty.node(error.signal)
+        if target.is_input:
+            raise ValueError("stuck-at on primary inputs is not supported")
+        const = GateType.CONST1 if error.value else GateType.CONST0
+        faulty.replace_gate(error.signal, gtype=const, fanins=())
+    elif isinstance(error, InverterError):
+        gate = faulty.node(error.gate)
+        complement = _COMPLEMENT.get(gate.gtype)
+        if complement is None:
+            raise ValueError(f"cannot invert {gate.gtype} node {error.gate!r}")
+        faulty.replace_gate(error.gate, gtype=complement)
+    elif isinstance(error, WrongWireError):
+        gate = faulty.node(error.gate)
+        if error.old_wire not in gate.fanins:
+            raise ValueError(
+                f"{error.old_wire!r} is not a fanin of {error.gate!r}"
+            )
+        if error.new_wire not in faulty:
+            raise ValueError(f"unknown signal {error.new_wire!r}")
+        fanins = [
+            error.new_wire if f == error.old_wire else f for f in gate.fanins
+        ]
+        faulty.replace_gate(error.gate, fanins=fanins)
+        faulty.validate()  # rejects swaps that would create a cycle
+    elif isinstance(error, ExtraWireError):
+        gate = faulty.node(error.gate)
+        if error.wire not in faulty:
+            raise ValueError(f"unknown signal {error.wire!r}")
+        if gate.gtype in (GateType.BUF, GateType.NOT):
+            raise ValueError("cannot add a fanin to a single-input gate")
+        faulty.replace_gate(error.gate, fanins=[*gate.fanins, error.wire])
+        faulty.validate()
+    elif isinstance(error, MissingWireError):
+        gate = faulty.node(error.gate)
+        if error.wire not in gate.fanins:
+            raise ValueError(
+                f"{error.wire!r} is not a fanin of {error.gate!r}"
+            )
+        remaining = list(gate.fanins)
+        remaining.remove(error.wire)  # drops one occurrence only
+        if not remaining:
+            raise ValueError("cannot drop the last fanin of a gate")
+        faulty.replace_gate(error.gate, fanins=remaining)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unsupported error model {error!r}")
+    return faulty
+
+
+def inject_errors(circuit: Circuit, errors: list[ErrorModel]) -> Injection:
+    """Apply several errors (at distinct sites) to ``circuit``."""
+    sites = [e.site for e in errors]
+    if len(set(sites)) != len(sites):
+        raise ValueError("errors must target distinct sites")
+    faulty = circuit
+    for error in errors:
+        faulty = apply_error(faulty, error)
+    faulty = faulty.copy(name=f"{circuit.name}_faulty")
+    return Injection(golden=circuit, faulty=faulty, errors=tuple(errors))
+
+
+def _random_change(rng: random.Random, gate_name: str, gtype: GateType) -> GateChangeError:
+    if gtype in _SINGLE_INPUT_TYPES:
+        pool = [t for t in _SINGLE_INPUT_TYPES if t is not gtype]
+    else:
+        pool = [t for t in _MULTI_INPUT_TYPES if t is not gtype]
+    return GateChangeError(gate_name, gtype, rng.choice(pool))
+
+
+def random_gate_changes(
+    circuit: Circuit,
+    p: int,
+    seed: int = 0,
+    ensure_detectable: bool = True,
+    detect_patterns: int = 256,
+) -> Injection:
+    """Inject ``p`` random gate-change errors at distinct gates.
+
+    With ``ensure_detectable`` (default) the injector redraws until the
+    faulty circuit differs from the golden one on at least one of
+    ``detect_patterns`` random vectors — mirroring the paper's setup where
+    every experiment starts from failing tests.  Raises RuntimeError if no
+    detectable combination is found after a generous number of redraws.
+    """
+    if p < 1:
+        raise ValueError("p must be at least 1")
+    gates = list(circuit.gate_names)
+    if len(gates) < p:
+        raise ValueError(f"circuit has only {len(gates)} gates, cannot inject {p}")
+    rng = random.Random(seed)
+    from ..sim.faultsim import fault_table  # local import to avoid a cycle
+
+    for _attempt in range(200):
+        chosen = rng.sample(gates, p)
+        errors: list[ErrorModel] = [
+            _random_change(rng, g, circuit.node(g).gtype) for g in chosen
+        ]
+        injection = inject_errors(circuit, errors)
+        if not ensure_detectable:
+            return injection
+        patterns = [
+            {pi: rng.getrandbits(1) for pi in circuit.inputs}
+            for _ in range(detect_patterns)
+        ]
+        table = fault_table(circuit, injection.faulty, patterns)
+        if any(table):
+            return injection
+    raise RuntimeError(
+        f"no detectable {p}-error injection found for {circuit.name} "
+        f"(seed {seed})"
+    )
+
+
+def _random_wire_error(
+    rng: random.Random,
+    circuit: Circuit,
+    gate_name: str,
+    levels: dict[str, int],
+) -> ErrorModel:
+    """Draw one Abadir-style design error at ``gate_name``.
+
+    Wire donors are restricted to strictly lower levels, which keeps the
+    mutated netlist acyclic by construction.
+    """
+    gate = circuit.node(gate_name)
+    donors = [
+        name
+        for name, level in levels.items()
+        if level < levels[gate_name]
+        and name != gate_name
+        and name not in gate.fanins
+        and not circuit.node(name).is_dff
+    ]
+    kinds = ["inverter"]
+    if donors:
+        kinds.append("wrong")
+        if gate.gtype not in (GateType.BUF, GateType.NOT):
+            kinds.append("extra")
+    if len(gate.fanins) >= 2:
+        kinds.append("missing")
+    kind = rng.choice(kinds)
+    if kind == "inverter":
+        return InverterError(gate_name)
+    if kind == "wrong":
+        return WrongWireError(
+            gate_name, rng.choice(gate.fanins), rng.choice(donors)
+        )
+    if kind == "extra":
+        return ExtraWireError(gate_name, rng.choice(donors))
+    return MissingWireError(gate_name, rng.choice(list(gate.fanins)))
+
+
+def random_wire_errors(
+    circuit: Circuit,
+    p: int,
+    seed: int = 0,
+    ensure_detectable: bool = True,
+    detect_patterns: int = 256,
+) -> Injection:
+    """Inject ``p`` random Abadir-style design errors at distinct gates.
+
+    The error mix covers extra/missing inverters and wrong/extra/missing
+    wires (ref [18]'s model zoo); mirrors :func:`random_gate_changes`
+    otherwise, including the detectability redraw loop.
+    """
+    if p < 1:
+        raise ValueError("p must be at least 1")
+    gates = list(circuit.gate_names)
+    if len(gates) < p:
+        raise ValueError(f"circuit has only {len(gates)} gates, cannot inject {p}")
+    from ..circuits.structure import levels as signal_levels
+    from ..sim.faultsim import fault_table  # local import to avoid a cycle
+
+    levels = signal_levels(circuit)
+    rng = random.Random(seed)
+    for _attempt in range(200):
+        chosen = rng.sample(gates, p)
+        try:
+            errors: list[ErrorModel] = [
+                _random_wire_error(rng, circuit, g, levels) for g in chosen
+            ]
+            injection = inject_errors(circuit, errors)
+        except ValueError:
+            continue  # e.g. the drawn swap had no legal donor; redraw
+        if not ensure_detectable:
+            return injection
+        patterns = [
+            {pi: rng.getrandbits(1) for pi in circuit.inputs}
+            for _ in range(detect_patterns)
+        ]
+        if any(fault_table(circuit, injection.faulty, patterns)):
+            return injection
+    raise RuntimeError(
+        f"no detectable {p}-wire-error injection found for {circuit.name} "
+        f"(seed {seed})"
+    )

@@ -1,0 +1,162 @@
+"""Error and fault models.
+
+The paper's experiments inject *gate change* errors: "An error is
+considered to be the replacement of the function of a gate by another
+arbitrary Boolean function" (§2.1).  :class:`GateChangeError` captures the
+concrete replacement used to build a faulty implementation; the diagnosis
+algorithms never see it — it is ground truth for the quality metrics
+(distance to the nearest actual error site, Table 3).
+
+Classic stuck-at faults are also provided since the paper notes error
+location and fault diagnosis are interchangeable problems (ref [1]), and
+the Abadir-style *design error* types the advanced simulation-based
+lineage targets (ref [18]: wrong wires, extra/missing inverters) complete
+the model zoo.  Note that a wire error changes the gate's *support*, not
+just its function over fixed fanins — BSAT still locates the gate (its
+per-test correction value realizes the needed output), but resynthesizing
+the exact original connection needs the wire models here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.gates import GateType
+
+__all__ = [
+    "GateChangeError",
+    "StuckAtFault",
+    "InverterError",
+    "WrongWireError",
+    "ExtraWireError",
+    "MissingWireError",
+    "ErrorModel",
+]
+
+
+@dataclass(frozen=True)
+class GateChangeError:
+    """Replacement of the function of ``gate`` by ``new_type``.
+
+    The fanins are unchanged; only the Boolean function computed over them
+    differs.  ``old_type`` is retained for reporting.
+    """
+
+    gate: str
+    old_type: GateType
+    new_type: GateType
+
+    def __post_init__(self) -> None:
+        if self.old_type == self.new_type:
+            raise ValueError(f"gate change on {self.gate!r} must alter the type")
+
+    @property
+    def site(self) -> str:
+        """The error site (the gate name), used by distance metrics."""
+        return self.gate
+
+    def describe(self) -> str:
+        return f"{self.gate}: {self.old_type} -> {self.new_type}"
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """Signal ``signal`` permanently at ``value`` (0 or 1)."""
+
+    signal: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    @property
+    def site(self) -> str:
+        return self.signal
+
+    def describe(self) -> str:
+        return f"{self.signal}: stuck-at-{self.value}"
+
+
+@dataclass(frozen=True)
+class InverterError:
+    """An extra (or missing) inversion at the output of ``gate``.
+
+    Modelled as replacing the gate's function by its complement —
+    AND↔NAND, OR↔NOR, XOR↔XNOR, BUF↔NOT, CONST0↔CONST1.
+    """
+
+    gate: str
+
+    @property
+    def site(self) -> str:
+        return self.gate
+
+    def describe(self) -> str:
+        return f"{self.gate}: output inverted"
+
+
+@dataclass(frozen=True)
+class WrongWireError:
+    """Fanin ``old_wire`` of ``gate`` is connected to ``new_wire`` instead.
+
+    The classic "wrong wire" design error: the gate type is right, one
+    connection is not.  Injection validates that the swap keeps the
+    netlist acyclic.
+    """
+
+    gate: str
+    old_wire: str
+    new_wire: str
+
+    def __post_init__(self) -> None:
+        if self.old_wire == self.new_wire:
+            raise ValueError("wrong-wire error must change the connection")
+
+    @property
+    def site(self) -> str:
+        return self.gate
+
+    def describe(self) -> str:
+        return f"{self.gate}: fanin {self.old_wire} -> {self.new_wire}"
+
+
+@dataclass(frozen=True)
+class ExtraWireError:
+    """``gate`` has the spurious additional fanin ``wire``."""
+
+    gate: str
+    wire: str
+
+    @property
+    def site(self) -> str:
+        return self.gate
+
+    def describe(self) -> str:
+        return f"{self.gate}: extra fanin {self.wire}"
+
+
+@dataclass(frozen=True)
+class MissingWireError:
+    """Fanin ``wire`` of ``gate`` is not connected (dropped)."""
+
+    gate: str
+    wire: str
+
+    @property
+    def site(self) -> str:
+        return self.gate
+
+    def describe(self) -> str:
+        return f"{self.gate}: missing fanin {self.wire}"
+
+
+#: Union type accepted by the injector.
+ErrorModel = (
+    GateChangeError
+    | StuckAtFault
+    | InverterError
+    | WrongWireError
+    | ExtraWireError
+    | MissingWireError
+)

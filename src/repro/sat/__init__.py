@@ -1,0 +1,52 @@
+"""SAT substrate: CDCL solver, CNF tooling, encodings, enumeration.
+
+Everything the SAT-based diagnosis side of the paper needs, implemented
+from scratch (the paper used Zchaff; see DESIGN.md substitutions):
+
+* :class:`~repro.sat.solver.Solver` — incremental CDCL solver.
+* :class:`~repro.sat.cnf.CNF` — formula container with named variables.
+* :mod:`~repro.sat.tseitin` — circuit → CNF encodings, incl. correction
+  multiplexers.
+* :mod:`~repro.sat.cardinality` — at-most-k encodings (pairwise,
+  sequential counter, incremental totalizer).
+* :func:`~repro.sat.enumerate.enumerate_solutions` — all-solutions
+  enumeration with superset/exact blocking clauses.
+* :mod:`~repro.sat.dimacs` — DIMACS I/O.
+"""
+
+from .solver import Solver, SolveResult
+from .cnf import CNF
+from .tseitin import encode_circuit, encode_gate, encode_mux, encode_equivalence
+from .cardinality import (
+    at_most_k_pairwise,
+    at_most_k_sequential,
+    totalizer,
+    at_least_one,
+)
+from .enumerate import enumerate_solutions
+from .dimacs import parse_dimacs, load_dimacs, write_dimacs, dump_dimacs
+from .proof import ProofLog, ProofStep, check_rup, check_drat, solve_with_proof
+
+__all__ = [
+    "Solver",
+    "SolveResult",
+    "CNF",
+    "encode_circuit",
+    "encode_gate",
+    "encode_mux",
+    "encode_equivalence",
+    "at_most_k_pairwise",
+    "at_most_k_sequential",
+    "totalizer",
+    "at_least_one",
+    "enumerate_solutions",
+    "ProofLog",
+    "ProofStep",
+    "check_rup",
+    "check_drat",
+    "solve_with_proof",
+    "parse_dimacs",
+    "load_dimacs",
+    "write_dimacs",
+    "dump_dimacs",
+]

@@ -1,0 +1,123 @@
+"""Cardinality constraint encodings.
+
+``BasicSATDiagnose`` bounds the number of asserted multiplexer select lines
+by ``k`` ("Constrain the number of select-inputs with value 1 to be at most
+i", paper Fig. 3).  Three encodings are provided:
+
+* **pairwise** — O(n²) clauses, no auxiliary variables; best for tiny k/n
+  and used as the ground truth in the encoding equivalence tests.
+* **sequential counter** (Sinz 2005) — O(n·k) clauses, the classic
+  at-most-k circuit.
+* **totalizer** (Bailleul & Boufkhad 2003) — O(n·k) clauses with *reusable
+  bound outputs*: unit assumptions ``¬out[i]`` enforce "at most i", so the
+  incremental loop ``i = 1 .. k`` of the paper reuses one encoding, exactly
+  like an incremental SAT use of Zchaff would.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from .cnf import CNF
+
+__all__ = [
+    "at_most_k_pairwise",
+    "at_most_k_sequential",
+    "totalizer",
+    "at_least_one",
+]
+
+
+def at_least_one(cnf: CNF, lits: Sequence[int]) -> None:
+    """Add the clause requiring at least one of ``lits``."""
+    if not lits:
+        raise ValueError("at_least_one of nothing is unsatisfiable")
+    cnf.add_clause(lits)
+
+
+def at_most_k_pairwise(cnf: CNF, lits: Sequence[int], k: int) -> None:
+    """Naive binomial encoding: every (k+1)-subset contains a false literal.
+
+    >>> cnf = CNF()
+    >>> lits = [cnf.new_var() for _ in range(3)]
+    >>> at_most_k_pairwise(cnf, lits, 1)
+    >>> cnf.num_clauses  # C(3, 2) blocking pairs
+    3
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k >= len(lits):
+        return
+    for subset in combinations(lits, k + 1):
+        cnf.add_clause([-lit for lit in subset])
+
+
+def at_most_k_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
+    """Sinz's sequential-counter encoding of ``sum(lits) <= k``.
+
+    Introduces registers ``r[i][j]`` = "at least j+1 of the first i+1
+    literals are true"; O(n·k) clauses.
+    """
+    n = len(lits)
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k >= n:
+        return
+    if k == 0:
+        for lit in lits:
+            cnf.add_clause([-lit])
+        return
+    regs = [[cnf.new_var() for _ in range(k)] for _ in range(n)]
+    cnf.add_clause([-lits[0], regs[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-regs[0][j]])
+    for i in range(1, n):
+        cnf.add_clause([-lits[i], regs[i][0]])
+        cnf.add_clause([-regs[i - 1][0], regs[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([-lits[i], -regs[i - 1][j - 1], regs[i][j]])
+            cnf.add_clause([-regs[i - 1][j], regs[i][j]])
+        cnf.add_clause([-lits[i], -regs[i - 1][k - 1]])
+    # The final clause for i = n-1 already forbids k+1; nothing else needed.
+
+
+def totalizer(cnf: CNF, lits: Sequence[int], max_bound: int) -> list[int]:
+    """Build a truncated totalizer over ``lits``.
+
+    Returns output variables ``out`` with ``out[j]`` ⇔ "at least j+1 input
+    literals are true", truncated to ``max_bound + 1`` outputs.  Enforce
+    "at most i" (for any ``i <= max_bound``) by asserting the unit or
+    assumption ``-out[i]``.
+
+    The encoding only constrains the outputs *upward* (inputs true ⇒
+    outputs true), which is sufficient for at-most bounds.
+    """
+    if max_bound < 0:
+        raise ValueError("max_bound must be non-negative")
+    width = max_bound + 1
+
+    def build(segment: Sequence[int]) -> list[int]:
+        if len(segment) == 1:
+            return [segment[0]]
+        mid = len(segment) // 2
+        left = build(segment[:mid])
+        right = build(segment[mid:])
+        m = min(len(segment), width)
+        outs = [cnf.new_var() for _ in range(m)]
+        # sum_left >= a and sum_right >= b  ==>  sum >= a+b
+        for a in range(len(left) + 1):
+            for b in range(len(right) + 1):
+                if a + b == 0 or a + b > m:
+                    continue
+                clause = [outs[a + b - 1]]
+                if a > 0:
+                    clause.append(-left[a - 1])
+                if b > 0:
+                    clause.append(-right[b - 1])
+                cnf.add_clause(clause)
+        return outs
+
+    if not lits:
+        return []
+    return build(list(lits))

@@ -1,0 +1,109 @@
+"""CNF formula container with named variables.
+
+:class:`CNF` accumulates clauses before they are loaded into a
+:class:`~repro.sat.solver.Solver`.  It tracks an optional name per variable
+(signal names, select lines, ...) which the diagnosis code uses to map
+models back to gates, and which makes DIMACS dumps debuggable via comment
+lines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .solver import Solver
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A growable CNF formula.
+
+    >>> f = CNF()
+    >>> a = f.new_var("a"); b = f.new_var("b")
+    >>> f.add_clause([a, -b])
+    >>> f.num_clauses
+    1
+    """
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: list[tuple[int, ...]] = []
+        self._names: dict[int, str] = {}
+        self._by_name: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a variable, optionally registering a unique name."""
+        self._num_vars += 1
+        var = self._num_vars
+        if name is not None:
+            if name in self._by_name:
+                raise ValueError(f"duplicate variable name {name!r}")
+            self._names[var] = name
+            self._by_name[name] = var
+        return var
+
+    def new_vars(self, count: int, prefix: str | None = None) -> list[int]:
+        """Allocate ``count`` variables (named ``prefix0..`` if given)."""
+        return [
+            self.new_var(None if prefix is None else f"{prefix}{i}")
+            for i in range(count)
+        ]
+
+    def var(self, name: str) -> int:
+        """Variable index registered under ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no variable named {name!r}") from None
+
+    def name_of(self, var: int) -> str | None:
+        """Registered name of ``var`` (None if anonymous)."""
+        return self._names.get(var)
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    # ------------------------------------------------------------------
+    # clauses
+    # ------------------------------------------------------------------
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = tuple(lits)
+        for lit in clause:
+            if lit == 0 or abs(lit) > self._num_vars:
+                raise ValueError(f"literal {lit} out of range")
+        self._clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    @property
+    def clauses(self) -> Sequence[tuple[int, ...]]:
+        return self._clauses
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._clauses)
+
+    # ------------------------------------------------------------------
+    # hand-off
+    # ------------------------------------------------------------------
+    def to_solver(self, solver: Solver | None = None) -> Solver:
+        """Load the formula into a solver (creating one if needed)."""
+        if solver is None:
+            solver = Solver()
+        solver.ensure_vars(self._num_vars)
+        for clause in self._clauses:
+            solver.add_clause(clause)
+        return solver
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CNF(vars={self._num_vars}, clauses={len(self._clauses)})"

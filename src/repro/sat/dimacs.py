@@ -1,0 +1,89 @@
+"""DIMACS CNF reading and writing.
+
+Round-tripping through the standard exchange format keeps the solver
+interoperable: instances built here can be cross-checked with any external
+solver, and standard benchmark files exercise the solver in the test-suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+from .cnf import CNF
+
+__all__ = ["parse_dimacs", "load_dimacs", "write_dimacs", "dump_dimacs"]
+
+
+class DimacsFormatError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    Tolerates clauses spanning several lines and missing/underspecified
+    ``p cnf`` headers (the variable count grows as needed).
+    """
+    cnf = CNF()
+    declared_vars = 0
+    pending: list[int] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsFormatError(f"line {lineno}: bad header {line!r}")
+            try:
+                declared_vars = int(parts[2])
+            except ValueError as exc:
+                raise DimacsFormatError(f"line {lineno}: {exc}") from exc
+            while cnf.num_vars < declared_vars:
+                cnf.new_var()
+            continue
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsFormatError(
+                    f"line {lineno}: bad literal {token!r}"
+                ) from exc
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                while cnf.num_vars < abs(lit):
+                    cnf.new_var()
+                pending.append(lit)
+    if pending:
+        cnf.add_clause(pending)
+    return cnf
+
+
+def load_dimacs(path: str | Path) -> CNF:
+    return parse_dimacs(Path(path).read_text())
+
+
+def write_dimacs(cnf: CNF, stream: TextIO, comments: bool = True) -> None:
+    """Write ``cnf`` in DIMACS format, with named variables as comments."""
+    if comments:
+        for var in range(1, cnf.num_vars + 1):
+            name = cnf.name_of(var)
+            if name is not None:
+                stream.write(f"c var {var} = {name}\n")
+    stream.write(f"p cnf {cnf.num_vars} {cnf.num_clauses}\n")
+    for clause in cnf:
+        stream.write(" ".join(str(l) for l in clause) + " 0\n")
+
+
+def dump_dimacs(cnf: CNF, path: str | Path | None = None) -> str:
+    import io
+
+    buf = io.StringIO()
+    write_dimacs(cnf, buf)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,84 @@
+"""All-solutions enumeration over a projection of the variables.
+
+``BasicSATDiagnose`` needs *every* solution of the diagnosis instance,
+projected onto the multiplexer select lines ("Enumerate all solutions and
+add a blocking clause for each solution", paper Fig. 3).  The enumerator
+repeatedly solves, yields the set of true projection variables, and blocks
+it:
+
+* ``block="superset"`` adds ``(¬s_a ∨ ¬s_b ∨ …)`` — no later solution may
+  contain this one, which combined with increasing cardinality bounds
+  yields exactly the inclusion-minimal ("essential candidates only",
+  Lemma 3) solutions;
+* ``block="exact"`` blocks only the precise projection assignment,
+  enumerating all distinct projections.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from .solver import Solver
+
+__all__ = ["enumerate_solutions"]
+
+
+def enumerate_solutions(
+    solver: Solver,
+    projection: Sequence[int],
+    assumptions: Sequence[int] = (),
+    block: str = "superset",
+    limit: int | None = None,
+    conflict_limit: int | None = None,
+    on_solution: Callable[[frozenset[int]], None] | None = None,
+) -> Iterator[frozenset[int]]:
+    """Yield sets of true projection variables, blocking each one found.
+
+    Parameters
+    ----------
+    projection:
+        The variables solutions are projected onto (select lines).
+    assumptions:
+        Extra assumptions per solve call (e.g. the totalizer bound literal).
+    block:
+        ``"superset"`` or ``"exact"`` (see module docstring).
+    limit:
+        Stop after this many solutions (None = all).
+    conflict_limit:
+        Per-solve conflict budget; raises :class:`TimeoutError` when hit so
+        callers can distinguish exhaustion from completion.
+
+    Notes
+    -----
+    Blocking clauses are added permanently: enumerating with bound ``i``
+    and then ``i+1`` never repeats (or extends, under superset blocking) a
+    solution — this is what makes the paper's incremental ``k`` loop return
+    only corrections with essential candidates.
+    """
+    if block not in ("superset", "exact"):
+        raise ValueError("block must be 'superset' or 'exact'")
+    count = 0
+    while limit is None or count < limit:
+        result = solver.solve(
+            assumptions=assumptions, conflict_limit=conflict_limit
+        )
+        if result is None:
+            raise TimeoutError(
+                f"enumeration hit the conflict limit ({conflict_limit})"
+            )
+        if not result:
+            return
+        true_vars = frozenset(v for v in projection if solver.value(v))
+        if on_solution is not None:
+            on_solution(true_vars)
+        yield true_vars
+        count += 1
+        if block == "superset":
+            clause = [-v for v in true_vars]
+        else:
+            clause = [(-v if v in true_vars else v) for v in projection]
+        if not clause:
+            # The empty projection solution blocks everything else.
+            return
+        if not solver.add_clause(clause):
+            return

@@ -1,0 +1,245 @@
+"""DRAT proofs: logging containers and an independent checker.
+
+A diagnosis answer of the form "there is **no** correction with at most
+``k`` candidates" (the UNSAT side of BSAT's incremental loop, Lemma 3) is
+only as trustworthy as the SAT solver.  Modern practice is to have the
+solver emit a *DRAT proof* — the sequence of learnt clauses plus deletions
+— and re-check it with an independent, much simpler verifier.  This module
+provides both halves:
+
+* :class:`ProofLog` — the event list produced by
+  :meth:`repro.sat.solver.Solver.start_proof`, with DRAT text round-trip.
+* :func:`check_drat` — a reverse-unit-propagation (RUP) checker: every
+  added clause must be derivable by unit propagation from the formula plus
+  the earlier proof clauses; the proof must end in the empty clause.  The
+  checker shares no code with the solver, favouring obvious correctness
+  over speed.
+
+The checker verifies the RUP property, which is a (strict) subset of full
+RAT — every clause the CDCL solver here learns is RUP, so nothing is lost.
+
+>>> from repro.sat.cnf import CNF
+>>> cnf = CNF()
+>>> a = cnf.new_var("a")
+>>> cnf.add_clauses([[a], [-a]])
+>>> ok, proof = solve_with_proof(cnf)
+>>> ok, check_drat(cnf.clauses, proof)
+(False, True)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .cnf import CNF
+from .solver import Solver
+
+__all__ = [
+    "ProofStep",
+    "ProofLog",
+    "check_rup",
+    "check_drat",
+    "solve_with_proof",
+]
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One DRAT line: an added (learnt) or deleted clause."""
+
+    delete: bool
+    lits: tuple[int, ...]
+
+    def to_drat(self) -> str:
+        body = " ".join(str(l) for l in self.lits)
+        prefix = "d " if self.delete else ""
+        return f"{prefix}{body} 0".replace("  ", " ").strip()
+
+
+class ProofLog:
+    """Ordered list of proof steps emitted by the solver."""
+
+    def __init__(self) -> None:
+        self._steps: list[ProofStep] = []
+
+    def add(self, lits: Iterable[int]) -> None:
+        """Record a learnt clause (the empty clause closes the proof)."""
+        self._steps.append(ProofStep(delete=False, lits=tuple(lits)))
+
+    def delete(self, lits: Iterable[int]) -> None:
+        """Record the deletion of a previously added clause."""
+        self._steps.append(ProofStep(delete=True, lits=tuple(lits)))
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[ProofStep]:
+        return iter(self._steps)
+
+    @property
+    def steps(self) -> tuple[ProofStep, ...]:
+        return tuple(self._steps)
+
+    @property
+    def ends_with_empty_clause(self) -> bool:
+        return any(not s.delete and not s.lits for s in self._steps)
+
+    def to_drat_text(self) -> str:
+        """Serialize in the standard DRAT text format."""
+        return "\n".join(step.to_drat() for step in self._steps) + "\n"
+
+    @classmethod
+    def from_drat_text(cls, text: str) -> "ProofLog":
+        """Parse the standard DRAT text format.
+
+        >>> log = ProofLog.from_drat_text("1 2 0\\nd 1 2 0\\n0\\n")
+        >>> [s.delete for s in log], [s.lits for s in log]
+        ([False, True, False], [(1, 2), (1, 2), ()])
+        """
+        log = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            delete = line.startswith("d ") or line == "d"
+            body = line[1:].strip() if delete else line
+            tokens = [int(t) for t in body.split()] if body else []
+            if not tokens or tokens[-1] != 0:
+                raise ValueError(f"DRAT line must end in 0: {raw!r}")
+            lits = tuple(tokens[:-1])
+            if delete:
+                log.delete(lits)
+            else:
+                log.add(lits)
+        return log
+
+
+class _ClauseDb:
+    """Active clause multiset with unit propagation (checker-internal)."""
+
+    def __init__(self, clauses: Iterable[Sequence[int]]) -> None:
+        self._count: dict[tuple[int, ...], int] = {}
+        self._clauses: list[tuple[int, ...]] = []
+        for clause in clauses:
+            self.insert(clause)
+
+    @staticmethod
+    def _key(clause: Sequence[int]) -> tuple[int, ...]:
+        return tuple(sorted(set(clause)))
+
+    def insert(self, clause: Sequence[int]) -> None:
+        key = self._key(clause)
+        self._count[key] = self._count.get(key, 0) + 1
+        self._clauses.append(key)
+
+    def remove(self, clause: Sequence[int]) -> bool:
+        """Deactivate one instance of ``clause``; False when absent."""
+        key = self._key(clause)
+        if self._count.get(key, 0) == 0:
+            return False
+        self._count[key] -= 1
+        return True
+
+    def active_clauses(self) -> list[tuple[int, ...]]:
+        remaining = dict(self._count)
+        result = []
+        for key in self._clauses:
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                result.append(key)
+        return result
+
+    def propagates_to_conflict(self, assumed_false: Sequence[int]) -> bool:
+        """Unit-propagate with the literals of ``assumed_false`` set false.
+
+        Returns True when propagation derives a conflict — i.e. the clause
+        made of ``assumed_false`` is RUP w.r.t. the active database.
+        """
+        assign: dict[int, int] = {}
+        for lit in assumed_false:
+            var, val = abs(lit), int(lit < 0)  # lit is false
+            if var in assign and assign[var] != val:
+                return True  # the clause is a tautology: trivially RUP
+            assign[var] = val
+        active = self.active_clauses()
+        changed = True
+        while changed:
+            changed = False
+            for clause in active:
+                unassigned: list[int] = []
+                satisfied = False
+                for lit in clause:
+                    var = abs(lit)
+                    val = assign.get(var)
+                    if val is None:
+                        unassigned.append(lit)
+                    elif (val == 1) == (lit > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if not unassigned:
+                    return True  # conflict
+                if len(unassigned) == 1:
+                    lit = unassigned[0]
+                    assign[abs(lit)] = int(lit > 0)
+                    changed = True
+        return False
+
+
+def check_rup(
+    clauses: Iterable[Sequence[int]], clause: Sequence[int]
+) -> bool:
+    """Is ``clause`` derivable from ``clauses`` by reverse unit propagation?
+
+    >>> check_rup([[1, 2], [-1, 2]], [2])
+    True
+    >>> check_rup([[1, 2]], [1])
+    False
+    """
+    return _ClauseDb(clauses).propagates_to_conflict(list(clause))
+
+
+def check_drat(
+    clauses: Iterable[Sequence[int]],
+    proof: ProofLog,
+    require_empty: bool = True,
+) -> bool:
+    """Verify ``proof`` against the original formula ``clauses``.
+
+    Every added clause must be RUP with respect to the formula plus the
+    not-yet-deleted earlier proof clauses; with ``require_empty`` (the
+    default) the proof must also contain the empty clause, certifying
+    unsatisfiability.  Deletion steps of unknown clauses are rejected.
+    """
+    db = _ClauseDb(clauses)
+    saw_empty = False
+    for step in proof:
+        if step.delete:
+            if not db.remove(step.lits):
+                return False
+            continue
+        if not db.propagates_to_conflict(list(step.lits)):
+            return False
+        if not step.lits:
+            saw_empty = True
+            break  # everything after the empty clause is irrelevant
+        db.insert(step.lits)
+    return saw_empty or not require_empty
+
+
+def solve_with_proof(
+    cnf: CNF, assumptions: Sequence[int] = ()
+) -> tuple[bool, ProofLog]:
+    """Solve ``cnf`` on a fresh solver with DRAT logging enabled.
+
+    Returns ``(satisfiable, proof)``.  The proof certifies UNSAT only for
+    assumption-free calls (see :meth:`Solver.start_proof`); it is still
+    returned for SAT outcomes (useful to measure logging overhead).
+    """
+    solver = Solver()
+    proof = solver.start_proof()
+    cnf.to_solver(solver)
+    result = solver.solve(assumptions=assumptions)
+    return bool(result), proof

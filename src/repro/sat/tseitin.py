@@ -1,0 +1,137 @@
+"""Tseitin encoding of gate-level circuits into CNF.
+
+Used to build the SAT instance ``F`` of Fig. 2/3 of the paper: one circuit
+copy per test, with correction multiplexers inserted at candidate gates.
+The primitives here are deliberately composable — :func:`encode_gate`
+encodes one gate, :func:`encode_mux` one correction multiplexer — so the
+diagnosis instance builder, the miter-based test generator and the validity
+checker all share them.
+
+Encoding is linear in circuit size; n-ary XOR/XNOR gates are folded into
+chains of binary XORs with auxiliary variables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..circuits.gates import GateType
+from ..circuits.netlist import Circuit
+from .cnf import CNF
+
+__all__ = ["encode_gate", "encode_mux", "encode_circuit", "encode_equivalence"]
+
+
+def _encode_and(cnf: CNF, out: int, ins: Sequence[int], negate: bool) -> None:
+    y = -out if negate else out
+    for x in ins:
+        cnf.add_clause([-y, x])
+    cnf.add_clause([y] + [-x for x in ins])
+
+
+def _encode_or(cnf: CNF, out: int, ins: Sequence[int], negate: bool) -> None:
+    y = -out if negate else out
+    for x in ins:
+        cnf.add_clause([y, -x])
+    cnf.add_clause([-y] + list(ins))
+
+
+def _encode_xor2(cnf: CNF, out: int, a: int, b: int) -> None:
+    cnf.add_clause([-out, a, b])
+    cnf.add_clause([-out, -a, -b])
+    cnf.add_clause([out, -a, b])
+    cnf.add_clause([out, a, -b])
+
+
+def encode_gate(
+    cnf: CNF, gtype: GateType, out: int, ins: Sequence[int]
+) -> None:
+    """Add clauses asserting ``out == gtype(ins)``.
+
+    ``DFF`` is rejected: the SAT formulations work on the combinational
+    (full-scan or time-frame expanded) view where no DFFs remain.
+    """
+    if gtype is GateType.CONST0:
+        cnf.add_clause([-out])
+    elif gtype is GateType.CONST1:
+        cnf.add_clause([out])
+    elif gtype is GateType.BUF:
+        (a,) = ins
+        cnf.add_clause([-out, a])
+        cnf.add_clause([out, -a])
+    elif gtype is GateType.NOT:
+        (a,) = ins
+        cnf.add_clause([-out, -a])
+        cnf.add_clause([out, a])
+    elif gtype is GateType.AND:
+        _encode_and(cnf, out, ins, negate=False)
+    elif gtype is GateType.NAND:
+        _encode_and(cnf, out, ins, negate=True)
+    elif gtype is GateType.OR:
+        _encode_or(cnf, out, ins, negate=False)
+    elif gtype is GateType.NOR:
+        _encode_or(cnf, out, ins, negate=True)
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        acc = ins[0]
+        for nxt in ins[1:-1]:
+            aux = cnf.new_var()
+            _encode_xor2(cnf, aux, acc, nxt)
+            acc = aux
+        if len(ins) == 1:
+            # Degenerate single-input XOR behaves as a buffer.
+            last = acc
+            if gtype is GateType.XOR:
+                cnf.add_clause([-out, last])
+                cnf.add_clause([out, -last])
+            else:
+                cnf.add_clause([-out, -last])
+                cnf.add_clause([out, last])
+            return
+        target = out if gtype is GateType.XOR else -out
+        _encode_xor2(cnf, target, acc, ins[-1])
+    else:
+        raise ValueError(f"cannot Tseitin-encode gate type {gtype}")
+
+
+def encode_mux(cnf: CNF, out: int, select: int, correction: int, orig: int) -> None:
+    """Correction multiplexer of Fig. 2(a): ``out = select ? correction : orig``."""
+    cnf.add_clause([-select, -correction, out])
+    cnf.add_clause([-select, correction, -out])
+    cnf.add_clause([select, -orig, out])
+    cnf.add_clause([select, orig, -out])
+
+
+def encode_circuit(
+    cnf: CNF,
+    circuit: Circuit,
+    prefix: str = "",
+    input_vars: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Encode one plain copy of ``circuit``; returns signal → variable.
+
+    ``input_vars`` lets several copies share primary-input variables (used
+    by the miter construction); otherwise fresh input variables are created.
+    Variable names are registered as ``prefix + signal``.
+    """
+    if not circuit.is_combinational:
+        raise ValueError(
+            "encode_circuit requires a combinational circuit; "
+            "apply repro.circuits.to_combinational first"
+        )
+    var_of: dict[str, int] = {}
+    input_vars = input_vars or {}
+    for name in circuit.topological_order():
+        gate = circuit.node(name)
+        if gate.is_input:
+            var_of[name] = input_vars.get(name) or cnf.new_var(prefix + name)
+            continue
+        out = cnf.new_var(prefix + name)
+        var_of[name] = out
+        encode_gate(cnf, gate.gtype, out, [var_of[f] for f in gate.fanins])
+    return var_of
+
+
+def encode_equivalence(cnf: CNF, a: int, b: int) -> None:
+    """Assert ``a == b``."""
+    cnf.add_clause([-a, b])
+    cnf.add_clause([a, -b])

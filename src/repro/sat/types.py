@@ -1,0 +1,51 @@
+"""Literal conventions shared by the SAT subsystem.
+
+Externally (everywhere outside :mod:`repro.sat.solver`) literals follow the
+DIMACS convention: variables are positive integers ``1, 2, ...`` and a
+negative integer denotes negation.  Internally the solver packs a literal
+into ``var << 1 | sign`` so that arrays can be indexed directly; the helpers
+here convert between the two forms and are shared by the solver, the
+enumerator and the tests.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "to_internal",
+    "to_dimacs",
+    "internal_negate",
+    "UNASSIGNED",
+]
+
+#: Sentinel truth value for an unassigned variable (see ``Solver._assigns``):
+#: values are 1 (true), 0 (false) and >= 2 (unassigned).  ``value ^ sign``
+#: then evaluates a literal without branching.
+UNASSIGNED = 2
+
+
+def to_internal(lit: int) -> int:
+    """DIMACS literal → internal packed form.
+
+    >>> to_internal(3), to_internal(-3)
+    (6, 7)
+    """
+    if lit > 0:
+        return lit << 1
+    if lit < 0:
+        return ((-lit) << 1) | 1
+    raise ValueError("0 is not a DIMACS literal")
+
+
+def to_dimacs(lit: int) -> int:
+    """Internal packed literal → DIMACS form.
+
+    >>> to_dimacs(6), to_dimacs(7)
+    (3, -3)
+    """
+    var = lit >> 1
+    return -var if lit & 1 else var
+
+
+def internal_negate(lit: int) -> int:
+    """Negate an internal literal (flip the sign bit)."""
+    return lit ^ 1

@@ -1,0 +1,59 @@
+"""Simulation substrate: scalar, bit-parallel, ternary, event-driven engines.
+
+All engines agree on two-valued semantics (asserted by cross-engine property
+tests) and support *forced values* — the primitive behind the paper's
+simulation-based effect analysis.  :mod:`repro.sim.deductive` adds the
+classic deductive fault simulator (one pass per pattern, all faults at
+once) used by the production-test ATPG flow.
+"""
+
+from .compiled import CompiledCircuit, compile_circuit
+from .logicsim import simulate, output_values, simulate_sequence
+from .parallel import (
+    pack_patterns,
+    unpack_word,
+    simulate_words,
+    simulate_patterns,
+    simulate_words_numpy,
+)
+from .threevalued import simulate_ternary, x_reaches, x_propagation_set
+from .event import EventSimulator
+from .faultsim import (
+    response,
+    failing_outputs,
+    fault_table,
+    detects,
+    stuck_at_response,
+)
+from .deductive import (
+    deductive_fault_lists,
+    deductive_detected,
+    FaultCoverage,
+    deductive_coverage,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "compile_circuit",
+    "simulate",
+    "output_values",
+    "simulate_sequence",
+    "pack_patterns",
+    "unpack_word",
+    "simulate_words",
+    "simulate_patterns",
+    "simulate_words_numpy",
+    "simulate_ternary",
+    "x_reaches",
+    "x_propagation_set",
+    "EventSimulator",
+    "response",
+    "failing_outputs",
+    "fault_table",
+    "detects",
+    "stuck_at_response",
+    "deductive_fault_lists",
+    "deductive_detected",
+    "FaultCoverage",
+    "deductive_coverage",
+]

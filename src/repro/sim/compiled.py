@@ -1,0 +1,80 @@
+"""Compiled (index-based) circuit form shared by the simulators.
+
+Name-keyed dictionaries are convenient for construction and diagnosis
+book-keeping but slow to simulate.  :class:`CompiledCircuit` freezes a
+:class:`~repro.circuits.netlist.Circuit` into parallel arrays — names,
+gate-type codes, fanin index tuples, topological evaluation order — that the
+single-pattern, bit-parallel and event-driven engines all share.
+
+The compiled form is cached on the circuit and invalidated automatically
+when the circuit mutates (the circuit's internal cache is cleared on every
+structural change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.gates import GateType
+from ..circuits.netlist import Circuit
+
+__all__ = ["CompiledCircuit", "compile_circuit"]
+
+
+@dataclass(frozen=True)
+class CompiledCircuit:
+    """Immutable index-based view of a circuit.
+
+    ``eval_order`` lists node indices in topological order *excluding*
+    sources (inputs, constants are included since they still need a value,
+    DFF handling is the engine's business).  ``fanins`` is parallel to
+    ``names``.
+    """
+
+    circuit: Circuit
+    names: tuple[str, ...]
+    index: dict[str, int]
+    gtypes: tuple[GateType, ...]
+    fanins: tuple[tuple[int, ...], ...]
+    eval_order: tuple[int, ...]
+    input_indices: tuple[int, ...]
+    output_indices: tuple[int, ...]
+    dff_indices: tuple[int, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.names)
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile (and cache) ``circuit`` into array form."""
+    cached = circuit._cache.get("compiled")
+    if isinstance(cached, CompiledCircuit):
+        return cached
+    topo = circuit.topological_order()
+    names = tuple(topo)
+    index = {name: i for i, name in enumerate(names)}
+    gtypes = tuple(circuit.node(name).gtype for name in names)
+    fanins = tuple(
+        tuple(index[f] for f in circuit.node(name).fanins) for name in names
+    )
+    eval_order = tuple(
+        i
+        for i, name in enumerate(names)
+        if gtypes[i] is not GateType.INPUT
+    )
+    compiled = CompiledCircuit(
+        circuit=circuit,
+        names=names,
+        index=index,
+        gtypes=gtypes,
+        fanins=fanins,
+        eval_order=eval_order,
+        input_indices=tuple(index[name] for name in circuit.inputs),
+        output_indices=tuple(index[name] for name in circuit.outputs),
+        dff_indices=tuple(
+            i for i, t in enumerate(gtypes) if t is GateType.DFF
+        ),
+    )
+    circuit._cache["compiled"] = compiled
+    return compiled

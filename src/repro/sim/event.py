@@ -1,0 +1,171 @@
+"""Event-driven incremental simulation.
+
+The advanced simulation-based diagnosis loop (paper §2.2) repeatedly asks
+"what happens at the outputs if this gate's value is forced to v?" — a
+workload where full re-simulation wastes time re-evaluating untouched logic.
+:class:`EventSimulator` keeps the current valuation and propagates only the
+fanout cone of whatever changed, processing gates in level order so each
+gate is evaluated at most once per update.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+from ..circuits.gates import GateType, eval_gate
+from ..circuits.netlist import Circuit
+from ..circuits.structure import levels
+from .compiled import compile_circuit
+
+__all__ = ["EventSimulator"]
+
+
+class EventSimulator:
+    """Incremental two-valued simulator with forced-value support.
+
+    Example
+    -------
+    >>> from repro.circuits.library import majority
+    >>> sim = EventSimulator(majority(), {"a": 1, "b": 1, "c": 0})
+    >>> sim.value("out")
+    1
+    >>> changed = sim.force("ab", 0)   # what-if: AND(a,b) stuck at 0
+    >>> sim.value("out")
+    0
+    >>> _ = sim.unforce("ab")
+    >>> sim.value("out")
+    1
+    """
+
+    def __init__(self, circuit: Circuit, assignment: Mapping[str, int]) -> None:
+        self._circuit = circuit
+        self._comp = compile_circuit(circuit)
+        comp = self._comp
+        level_by_name = levels(circuit)
+        self._level = [level_by_name[name] for name in comp.names]
+        self._fanouts: list[list[int]] = [[] for _ in range(comp.n)]
+        for idx in range(comp.n):
+            for f in comp.fanins[idx]:
+                self._fanouts[f].append(idx)
+        self._values: list[int] = [0] * comp.n
+        self._forced: dict[int, int] = {}
+        self._assignment = {name: 0 for name in circuit.inputs}
+        self.set_inputs(assignment, _initial=True)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def value(self, name: str) -> int:
+        return self._values[self._comp.index[name]]
+
+    def values(self) -> dict[str, int]:
+        comp = self._comp
+        return {name: self._values[comp.index[name]] for name in comp.names}
+
+    def output_values(self) -> dict[str, int]:
+        comp = self._comp
+        return {
+            comp.names[idx]: self._values[idx] for idx in comp.output_indices
+        }
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def set_inputs(
+        self, assignment: Mapping[str, int], _initial: bool = False
+    ) -> set[str]:
+        """Update primary-input values; returns the names of changed signals."""
+        comp = self._comp
+        dirty: list[int] = []
+        for name, val in assignment.items():
+            idx = comp.index[name]
+            if comp.gtypes[idx] is not GateType.INPUT:
+                raise ValueError(f"{name!r} is not a primary input")
+            self._assignment[name] = val & 1
+            effective = self._forced.get(idx, val & 1)
+            if _initial or self._values[idx] != effective:
+                self._values[idx] = effective
+                dirty.append(idx)
+        if _initial:
+            dirty = list(range(comp.n))
+        return self._propagate(dirty, full=_initial)
+
+    def force(self, name: str, value: int) -> set[str]:
+        """Force signal ``name`` to ``value``; returns changed signal names."""
+        idx = self._comp.index[name]
+        self._forced[idx] = value & 1
+        if self._values[idx] == value & 1:
+            return set()
+        self._values[idx] = value & 1
+        return self._propagate([idx])
+
+    def unforce(self, name: str) -> set[str]:
+        """Remove a forced value, restoring normal evaluation."""
+        idx = self._comp.index[name]
+        self._forced.pop(idx, None)
+        fresh = self._evaluate(idx)
+        if fresh == self._values[idx]:
+            return set()
+        self._values[idx] = fresh
+        return self._propagate([idx])
+
+    def clear_forces(self) -> set[str]:
+        """Drop all forced values at once."""
+        forced = list(self._forced)
+        self._forced.clear()
+        dirty: list[int] = []
+        for idx in forced:
+            fresh = self._evaluate(idx)
+            if fresh != self._values[idx]:
+                self._values[idx] = fresh
+                dirty.append(idx)
+        return self._propagate(dirty)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _evaluate(self, idx: int) -> int:
+        comp = self._comp
+        gtype = comp.gtypes[idx]
+        if gtype is GateType.INPUT:
+            return self._assignment[comp.names[idx]]
+        if gtype is GateType.DFF:
+            return 0
+        if gtype is GateType.CONST0:
+            return 0
+        if gtype is GateType.CONST1:
+            return 1
+        return eval_gate(gtype, [self._values[f] for f in comp.fanins[idx]])
+
+    def _propagate(self, dirty: list[int], full: bool = False) -> set[str]:
+        comp = self._comp
+        heap: list[tuple[int, int]] = []
+        queued = set()
+        changed: set[str] = set()
+
+        def schedule(idx: int) -> None:
+            if idx not in queued:
+                queued.add(idx)
+                heapq.heappush(heap, (self._level[idx], idx))
+
+        for idx in dirty:
+            changed.add(comp.names[idx])
+            for fo in self._fanouts[idx]:
+                schedule(fo)
+        if full:
+            for idx in comp.eval_order:
+                schedule(idx)
+        while heap:
+            _, idx = heapq.heappop(heap)
+            queued.discard(idx)
+            if idx in self._forced:
+                continue
+            fresh = self._evaluate(idx)
+            if fresh != self._values[idx] or full:
+                if fresh != self._values[idx]:
+                    changed.add(comp.names[idx])
+                self._values[idx] = fresh
+                for fo in self._fanouts[idx]:
+                    schedule(fo)
+        return changed

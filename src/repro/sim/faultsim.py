@@ -1,0 +1,80 @@
+"""Fault/error simulation: comparing an implementation against its spec.
+
+Used by the workload pipeline to find *failing* tests (vectors whose
+response differs from the golden circuit) and by validity checking to
+confirm that a proposed correction rectifies every test.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..circuits.netlist import Circuit
+from .logicsim import output_values
+from .parallel import pack_patterns, simulate_words
+
+__all__ = [
+    "response",
+    "failing_outputs",
+    "fault_table",
+    "detects",
+    "stuck_at_response",
+]
+
+
+def response(circuit: Circuit, vector: Mapping[str, int]) -> tuple[int, ...]:
+    """Output response of ``circuit`` to ``vector`` in output order."""
+    values = output_values(circuit, vector)
+    return tuple(values[o] for o in circuit.outputs)
+
+
+def failing_outputs(
+    golden: Circuit, faulty: Circuit, vector: Mapping[str, int]
+) -> list[str]:
+    """Outputs where ``faulty`` disagrees with ``golden`` under ``vector``.
+
+    Both circuits must share input and output names (error injection never
+    renames signals).
+    """
+    good = output_values(golden, vector)
+    bad = output_values(faulty, vector)
+    return [o for o in golden.outputs if good[o] != bad[o]]
+
+
+def fault_table(
+    golden: Circuit, faulty: Circuit, patterns: Sequence[Mapping[str, int]]
+) -> list[list[str]]:
+    """Per-pattern failing outputs, computed bit-parallel.
+
+    Returns one list of failing output names per pattern; empty list means
+    the pattern does not detect the error.
+    """
+    n = len(patterns)
+    if n == 0:
+        return []
+    words = pack_patterns(patterns, golden.inputs)
+    good = simulate_words(golden, words, n)
+    bad = simulate_words(faulty, words, n)
+    table: list[list[str]] = [[] for _ in range(n)]
+    for out in golden.outputs:
+        diff = good[out] ^ bad[out]
+        while diff:
+            j = (diff & -diff).bit_length() - 1
+            table[j].append(out)
+            diff &= diff - 1
+    return table
+
+
+def detects(
+    golden: Circuit, faulty: Circuit, vector: Mapping[str, int]
+) -> bool:
+    """True if ``vector`` exposes any output mismatch."""
+    return bool(failing_outputs(golden, faulty, vector))
+
+
+def stuck_at_response(
+    circuit: Circuit, vector: Mapping[str, int], signal: str, value: int
+) -> tuple[int, ...]:
+    """Output response with ``signal`` stuck at ``value`` (classic s-a-v)."""
+    values = output_values(circuit, vector, forced={signal: value})
+    return tuple(values[o] for o in circuit.outputs)

@@ -1,0 +1,152 @@
+"""Single-pattern two-valued logic simulation.
+
+The workhorse used by path tracing, effect analysis and the test-suite
+oracles.  Supports *forced values* — overriding the computed output of any
+set of signals — which is exactly the "what-if analysis" the paper's
+simulation-based effect analysis performs (changing the functionality of a
+gate to an arbitrary Boolean function is, for a fixed input vector,
+equivalent to forcing its output value).
+
+Sequential circuits are simulated frame by frame with
+:func:`simulate_sequence`; combinational diagnosis uses the full-scan view
+(:mod:`repro.circuits.scan`) instead.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..circuits.gates import GateType
+from ..circuits.netlist import Circuit
+from .compiled import compile_circuit
+
+__all__ = ["simulate", "output_values", "simulate_sequence"]
+
+
+def simulate(
+    circuit: Circuit,
+    assignment: Mapping[str, int],
+    forced: Mapping[str, int] | None = None,
+    state: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Evaluate every signal of ``circuit`` under primary-input ``assignment``.
+
+    Parameters
+    ----------
+    assignment:
+        Value (0/1) for every primary input.  Missing inputs raise.
+    forced:
+        Optional signal → value overrides applied *after* gate evaluation
+        (the gate's fanout sees the forced value).  Forcing a primary input
+        overrides the assignment.
+    state:
+        Present-state value per DFF name for sequential circuits
+        (default 0).
+
+    Returns a dict with the value of every signal.
+
+    >>> from repro.circuits.library import majority
+    >>> simulate(majority(), {"a": 1, "b": 1, "c": 0})["out"]
+    1
+    """
+    comp = compile_circuit(circuit)
+    forced = forced or {}
+    values: list[int] = [0] * comp.n
+    for name in circuit.inputs:
+        idx = comp.index[name]
+        if name in forced:
+            values[idx] = forced[name] & 1
+        elif name in assignment:
+            values[idx] = assignment[name] & 1
+        else:
+            raise KeyError(f"no value for primary input {name!r}")
+    state = state or {}
+    for idx in comp.dff_indices:
+        name = comp.names[idx]
+        values[idx] = state.get(name, 0) & 1
+    forced_idx = {
+        comp.index[name]: val & 1
+        for name, val in forced.items()
+        if not circuit.node(name).is_input
+    }
+    for idx in comp.eval_order:
+        gtype = comp.gtypes[idx]
+        if gtype is GateType.DFF:
+            pass  # present state already loaded
+        elif gtype is GateType.CONST0:
+            values[idx] = 0
+        elif gtype is GateType.CONST1:
+            values[idx] = 1
+        else:
+            fin = comp.fanins[idx]
+            if gtype is GateType.AND:
+                v = 1
+                for f in fin:
+                    v &= values[f]
+            elif gtype is GateType.NAND:
+                v = 1
+                for f in fin:
+                    v &= values[f]
+                v ^= 1
+            elif gtype is GateType.OR:
+                v = 0
+                for f in fin:
+                    v |= values[f]
+            elif gtype is GateType.NOR:
+                v = 0
+                for f in fin:
+                    v |= values[f]
+                v ^= 1
+            elif gtype is GateType.XOR:
+                v = 0
+                for f in fin:
+                    v ^= values[f]
+            elif gtype is GateType.XNOR:
+                v = 0
+                for f in fin:
+                    v ^= values[f]
+                v ^= 1
+            elif gtype is GateType.NOT:
+                v = values[fin[0]] ^ 1
+            else:  # BUF
+                v = values[fin[0]]
+            values[idx] = v
+        if idx in forced_idx:
+            values[idx] = forced_idx[idx]
+    return {name: values[comp.index[name]] for name in comp.names}
+
+
+def output_values(
+    circuit: Circuit,
+    assignment: Mapping[str, int],
+    forced: Mapping[str, int] | None = None,
+    state: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Primary-output slice of :func:`simulate`."""
+    values = simulate(circuit, assignment, forced=forced, state=state)
+    return {out: values[out] for out in circuit.outputs}
+
+
+def simulate_sequence(
+    circuit: Circuit,
+    vectors: Sequence[Mapping[str, int]],
+    initial_state: Mapping[str, int] | None = None,
+    forced_per_frame: Sequence[Mapping[str, int] | None] | None = None,
+) -> list[dict[str, int]]:
+    """Frame-by-frame simulation of a sequential circuit.
+
+    Each element of ``vectors`` assigns the primary inputs of one clock
+    cycle; DFFs start at ``initial_state`` (default all-0) and capture their
+    fanin value at the end of each frame.  Returns the full signal valuation
+    of every frame.
+    """
+    state = dict(initial_state or {})
+    frames: list[dict[str, int]] = []
+    for frame_no, vector in enumerate(vectors):
+        forced = None
+        if forced_per_frame is not None:
+            forced = forced_per_frame[frame_no]
+        values = simulate(circuit, vector, forced=forced, state=state)
+        frames.append(values)
+        state = {dff.name: values[dff.fanins[0]] for dff in circuit.dffs}
+    return frames

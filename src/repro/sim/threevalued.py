@@ -1,0 +1,89 @@
+"""Three-valued (0/1/X) simulation.
+
+Backs the X-list style diagnosis of Boppana et al. (paper ref [5]): inject
+``X`` at suspect gates and check by forward implication whether the unknown
+can reach — and therefore possibly correct — the erroneous outputs.  An
+``X`` that does *not* reach the erroneous output proves the suspect cannot
+rectify that test, which is a cheap necessary condition used for pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..circuits.gates import GateType, X, eval_gate_ternary
+from ..circuits.netlist import Circuit
+from .compiled import compile_circuit
+
+__all__ = ["X", "simulate_ternary", "x_reaches", "x_propagation_set"]
+
+
+def simulate_ternary(
+    circuit: Circuit,
+    assignment: Mapping[str, int],
+    forced: Mapping[str, int] | None = None,
+) -> dict[str, int]:
+    """Evaluate every signal over {0, 1, X}.
+
+    ``assignment`` may assign 0, 1 or X to each primary input (missing
+    inputs default to X rather than raising — partial vectors are the
+    normal case in X-analysis).  ``forced`` overrides signal values after
+    evaluation, typically injecting X at suspect gates.
+
+    >>> from repro.circuits.library import majority
+    >>> simulate_ternary(majority(), {"a": 1, "b": 1})["out"]
+    1
+    """
+    comp = compile_circuit(circuit)
+    forced = forced or {}
+    values: list[int] = [X] * comp.n
+    for name in circuit.inputs:
+        idx = comp.index[name]
+        if name in forced:
+            values[idx] = forced[name]
+        else:
+            values[idx] = assignment.get(name, X)
+    forced_idx = {
+        comp.index[name]: val
+        for name, val in forced.items()
+        if not circuit.node(name).is_input
+    }
+    for idx in comp.eval_order:
+        gtype = comp.gtypes[idx]
+        if gtype is GateType.DFF:
+            v = X
+        else:
+            fin = comp.fanins[idx]
+            v = eval_gate_ternary(gtype, (values[f] for f in fin))
+        values[idx] = forced_idx.get(idx, v)
+    return {name: values[comp.index[name]] for name in comp.names}
+
+
+def x_reaches(
+    circuit: Circuit,
+    assignment: Mapping[str, int],
+    inject_at: Iterable[str],
+    output: str,
+) -> bool:
+    """True if injecting X at ``inject_at`` makes ``output`` unknown.
+
+    This is the X-list necessary condition: only if the X reaches the
+    erroneous output can changing the injected gates' functions possibly
+    change (and hence correct) that output under this test.
+    """
+    forced = {name: X for name in inject_at}
+    values = simulate_ternary(circuit, assignment, forced=forced)
+    return values[output] == X
+
+
+def x_propagation_set(
+    circuit: Circuit, assignment: Mapping[str, int], inject_at: str
+) -> set[str]:
+    """All signals that become X when ``inject_at`` is forced to X."""
+    baseline = simulate_ternary(circuit, assignment)
+    with_x = simulate_ternary(circuit, assignment, forced={inject_at: X})
+    return {
+        name
+        for name in circuit.nodes
+        if with_x[name] == X and baseline[name] != X
+    }

@@ -1,0 +1,55 @@
+"""Test generation: test triples, random failing vectors, and ATPG.
+
+Three generations of test generation live here:
+
+* random vectors filtered against a golden model
+  (:mod:`~repro.testgen.random_gen`);
+* SAT-based distinguishing tests via the miter construction
+  (:mod:`~repro.testgen.satgen`, Larrabee — paper ref [11]);
+* structural stuck-at ATPG: SCOAP testability, the D-calculus, PODEM and
+  the full production-test flow with fault dropping and compaction
+  (:mod:`~repro.testgen.scoap`, :mod:`~repro.testgen.dcalc`,
+  :mod:`~repro.testgen.podem`, :mod:`~repro.testgen.atpg`).
+"""
+
+from .testset import Test, TestSet
+from .random_gen import random_failing_tests, tests_from_vectors
+from .satgen import MiterGenerator, distinguishing_tests, are_equivalent
+from .scoap import Testability, analyze_testability, controllability, observability
+from .dcalc import (
+    Composite,
+    D,
+    DBAR,
+    simulate_composite,
+    d_frontier,
+    error_at_output,
+)
+from .podem import PodemOutcome, PodemStatus, podem
+from .atpg import AtpgResult, generate_tests, sat_stuck_at_test, compact_patterns
+
+__all__ = [
+    "Test",
+    "TestSet",
+    "random_failing_tests",
+    "tests_from_vectors",
+    "MiterGenerator",
+    "distinguishing_tests",
+    "are_equivalent",
+    "Testability",
+    "analyze_testability",
+    "controllability",
+    "observability",
+    "Composite",
+    "D",
+    "DBAR",
+    "simulate_composite",
+    "d_frontier",
+    "error_at_output",
+    "PodemOutcome",
+    "PodemStatus",
+    "podem",
+    "AtpgResult",
+    "generate_tests",
+    "sat_stuck_at_test",
+    "compact_patterns",
+]

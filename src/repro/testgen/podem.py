@@ -1,0 +1,255 @@
+"""PODEM — path-oriented structural test generation for stuck-at faults.
+
+The classic complete ATPG algorithm (Goel 1981): decisions are made only on
+primary inputs, chosen by backtracing an *objective* through the circuit;
+each decision is followed by composite good/faulty implication
+(:mod:`repro.testgen.dcalc`); exhausting both values of every decided input
+proves the fault untestable (redundant).
+
+The search is guided by SCOAP testability measures: backtrace picks the
+cheapest-to-control input, and propagation picks the D-frontier gate that
+is cheapest to observe.  Guidance affects only speed — completeness follows
+from the PI decision tree.
+
+This complements the SAT-based generation of :mod:`repro.testgen.satgen`
+(Larrabee's formulation, paper ref [11]); the ATPG flow in
+:mod:`repro.testgen.atpg` can run either engine and the test-suite checks
+they agree on detectability.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..circuits.gates import CONTROLLING_VALUE, INVERTING, GateType, X
+from ..circuits.netlist import Circuit
+from ..faults.models import StuckAtFault
+from .dcalc import (
+    Composite,
+    d_frontier,
+    error_at_output,
+    is_error,
+    is_unknown,
+    simulate_composite,
+)
+from .scoap import Testability, analyze_testability
+
+__all__ = ["PodemStatus", "PodemOutcome", "podem"]
+
+
+class PodemStatus(enum.Enum):
+    """Outcome of a PODEM run."""
+
+    FOUND = "found"
+    UNDETECTABLE = "undetectable"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class PodemOutcome:
+    """Result of :func:`podem`.
+
+    ``vector`` is a complete primary-input assignment when ``status`` is
+    FOUND (don't-care positions filled per the ``fill`` policy), otherwise
+    None.  ``backtracks`` and ``decisions`` expose search effort for the
+    benchmark harness.
+    """
+
+    status: PodemStatus
+    vector: dict[str, int] | None
+    decisions: int
+    backtracks: int
+
+    @property
+    def found(self) -> bool:
+        return self.status is PodemStatus.FOUND
+
+
+def podem(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    backtrack_limit: int = 20_000,
+    fill: str = "random",
+    seed: int = 0,
+    testability: Testability | None = None,
+) -> PodemOutcome:
+    """Generate a test vector for ``fault`` in combinational ``circuit``.
+
+    Returns FOUND with a vector, UNDETECTABLE when the complete decision
+    tree is exhausted (the fault is redundant), or ABORTED past
+    ``backtrack_limit`` backtracks.
+
+    ``fill`` controls don't-care inputs of a found vector: ``"random"``
+    (seeded), ``"zero"`` or ``"one"``.  Pass a precomputed ``testability``
+    when generating many tests for the same circuit.
+
+    >>> from repro.circuits.library import c17
+    >>> outcome = podem(c17(), StuckAtFault("G16", 0))
+    >>> outcome.found
+    True
+    """
+    if fault.signal not in circuit:
+        raise ValueError(f"unknown fault site {fault.signal!r}")
+    if fill not in ("random", "zero", "one"):
+        raise ValueError(f"unknown fill policy {fill!r}")
+    measures = testability if testability is not None else analyze_testability(circuit)
+    assignment: dict[str, int] = {}
+    # Decision stack: (pi, value, both_tried).
+    stack: list[tuple[str, int, bool]] = []
+    decisions = 0
+    backtracks = 0
+    values = simulate_composite(circuit, assignment, fault)
+    while True:
+        if error_at_output(circuit, values) is not None:
+            return PodemOutcome(
+                status=PodemStatus.FOUND,
+                vector=_filled(circuit, assignment, fill, seed),
+                decisions=decisions,
+                backtracks=backtracks,
+            )
+        objective = _objective(circuit, values, fault, measures)
+        if objective is not None:
+            pi, value = _backtrace(circuit, values, objective, measures)
+            assignment[pi] = value
+            stack.append((pi, value, False))
+            decisions += 1
+            values = simulate_composite(circuit, assignment, fault)
+            continue
+        # Dead end: flip the most recent decision whose alternative is untried.
+        backtracks += 1
+        if backtracks > backtrack_limit:
+            return PodemOutcome(
+                status=PodemStatus.ABORTED,
+                vector=None,
+                decisions=decisions,
+                backtracks=backtracks,
+            )
+        while stack:
+            pi, value, both_tried = stack.pop()
+            del assignment[pi]
+            if not both_tried:
+                assignment[pi] = value ^ 1
+                stack.append((pi, value ^ 1, True))
+                break
+        else:
+            return PodemOutcome(
+                status=PodemStatus.UNDETECTABLE,
+                vector=None,
+                decisions=decisions,
+                backtracks=backtracks,
+            )
+        values = simulate_composite(circuit, assignment, fault)
+
+
+def _filled(
+    circuit: Circuit, assignment: Mapping[str, int], fill: str, seed: int
+) -> dict[str, int]:
+    """Complete ``assignment`` over all primary inputs per the fill policy."""
+    rng = random.Random(seed)
+    vector = {}
+    for pi in circuit.inputs:
+        if pi in assignment:
+            vector[pi] = assignment[pi]
+        elif fill == "zero":
+            vector[pi] = 0
+        elif fill == "one":
+            vector[pi] = 1
+        else:
+            vector[pi] = rng.getrandbits(1)
+    return vector
+
+
+def _objective(
+    circuit: Circuit,
+    values: Mapping[str, Composite],
+    fault: StuckAtFault,
+    measures: Testability,
+) -> tuple[str, int] | None:
+    """Next (signal, value) goal, or None when this branch is a dead end.
+
+    Activation first: the fault site's good value must become the
+    complement of the stuck value.  Then propagation: drive an unknown
+    input of the most observable D-frontier gate to its non-controlling
+    value.  The X-path check prunes branches whose fault effect cannot
+    reach an output anymore.
+    """
+    site = values[fault.signal]
+    if site[0] == X:
+        return fault.signal, fault.value ^ 1
+    if not is_error(site):
+        return None  # good value equals the stuck value: not activatable
+    frontier = d_frontier(circuit, values)
+    if not frontier:
+        return None  # effect masked everywhere
+    if not _x_path_exists(circuit, values):
+        return None
+    frontier.sort(key=lambda g: (measures.co.get(g, 0), g))
+    for gate_name in frontier:
+        gate = circuit.node(gate_name)
+        control = CONTROLLING_VALUE.get(gate.gtype)
+        target = 0 if control is None else control ^ 1
+        for fin in gate.fanins:
+            if values[fin][0] == X:
+                return fin, target
+    return None  # frontier inputs all bound: implication will resolve it
+
+
+def _x_path_exists(circuit: Circuit, values: Mapping[str, Composite]) -> bool:
+    """True when some D/D̄ signal reaches a primary output through
+    unknown-valued signals (the classic X-path check)."""
+    fanouts = circuit.fanouts()
+    outputs = set(circuit.outputs)
+    seeds = [name for name, v in values.items() if is_error(v)]
+    seen: set[str] = set()
+    stack = list(seeds)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        ok = is_error(values[name]) or is_unknown(values[name])
+        if not ok:
+            continue
+        if name in outputs:
+            return True
+        stack.extend(fanouts[name])
+    return False
+
+
+def _backtrace(
+    circuit: Circuit,
+    values: Mapping[str, Composite],
+    objective: tuple[str, int],
+    measures: Testability,
+) -> tuple[str, int]:
+    """Walk the objective back to an unassigned primary input.
+
+    At each gate the unknown input with the lowest controllability cost for
+    the required value is chosen; inversions flip the target value.  The
+    walk always terminates at a PI with an unknown good value (a gate with
+    unknown output has at least one unknown input).
+    """
+    signal, value = objective
+    while True:
+        gate = circuit.node(signal)
+        if gate.is_input:
+            return signal, value
+        if gate.gtype is GateType.DFF:  # pragma: no cover - scan view only
+            raise ValueError("PODEM requires a combinational (full-scan) circuit")
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            # Constants cannot be driven; pick any unknown PI to split on.
+            for pi in circuit.inputs:
+                if values[pi][0] == X:
+                    return pi, value
+            raise AssertionError("backtrace reached a constant with no free PI")
+        inverting = INVERTING.get(gate.gtype, False)
+        unknown = [f for f in gate.fanins if values[f][0] == X]
+        if not unknown:  # pragma: no cover - defensive
+            raise AssertionError("backtrace invariant violated: no X input")
+        next_value = value ^ 1 if inverting else value
+        cost = measures.cc1 if next_value == 1 else measures.cc0
+        signal = min(unknown, key=lambda f: (cost.get(f, 0), f))
+        value = next_value

@@ -1,0 +1,104 @@
+"""Random generation of failing tests.
+
+Draws random input vectors, simulates golden and faulty circuits
+bit-parallel, and keeps vectors whose responses differ — each becomes one
+or more ``(t, o, v)`` triples.  This is how test-bench simulation or
+post-production test would surface failing tests in the paper's setting.
+
+For hard-to-excite errors the SAT-based generator
+(:mod:`repro.testgen.satgen`) completes the test-set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from ..circuits.netlist import Circuit
+from ..sim.faultsim import fault_table
+from ..sim.logicsim import output_values
+from .testset import Test, TestSet
+
+__all__ = ["random_failing_tests", "tests_from_vectors"]
+
+
+def tests_from_vectors(
+    golden: Circuit,
+    faulty: Circuit,
+    vectors: Iterable[dict[str, int]],
+    per_vector_outputs: int = 1,
+    attach_expected: bool = False,
+) -> list[Test]:
+    """Turn failing vectors into test triples.
+
+    ``per_vector_outputs`` bounds how many erroneous outputs of one vector
+    become separate triples (the paper's Definition 1 ties each test to a
+    single output ``o``).
+    """
+    vec_list = list(vectors)
+    table = fault_table(golden, faulty, vec_list)
+    tests: list[Test] = []
+    for vector, failing in zip(vec_list, table):
+        if not failing:
+            continue
+        expected = output_values(golden, vector) if attach_expected else None
+        for out in failing[:per_vector_outputs]:
+            tests.append(
+                Test(
+                    vector=vector,
+                    output=out,
+                    value=expected[out]
+                    if expected is not None
+                    else output_values(golden, vector)[out],
+                    expected_outputs=expected,
+                )
+            )
+    return tests
+
+
+def random_failing_tests(
+    golden: Circuit,
+    faulty: Circuit,
+    m: int,
+    seed: int = 0,
+    batch: int = 128,
+    max_batches: int = 200,
+    per_vector_outputs: int = 1,
+    attach_expected: bool = False,
+    unique_vectors: bool = True,
+) -> TestSet:
+    """Collect ``m`` failing tests from random vectors.
+
+    Vectors are drawn uniformly; each batch is simulated bit-parallel on
+    both circuits.  Raises RuntimeError when ``max_batches`` batches do not
+    yield enough failing tests (callers then fall back to SAT-based
+    generation).
+    """
+    rng = random.Random(seed)
+    collected: list[Test] = []
+    seen_vectors: set[tuple[int, ...]] = set()
+    inputs = golden.inputs
+    for _ in range(max_batches):
+        batch_vectors: list[dict[str, int]] = []
+        for _ in range(batch):
+            bits = tuple(rng.getrandbits(1) for _ in inputs)
+            if unique_vectors:
+                if bits in seen_vectors:
+                    continue
+                seen_vectors.add(bits)
+            batch_vectors.append(dict(zip(inputs, bits)))
+        collected.extend(
+            tests_from_vectors(
+                golden,
+                faulty,
+                batch_vectors,
+                per_vector_outputs=per_vector_outputs,
+                attach_expected=attach_expected,
+            )
+        )
+        if len(collected) >= m:
+            return TestSet(tuple(collected[:m]))
+    raise RuntimeError(
+        f"only {len(collected)} of {m} failing tests found after "
+        f"{max_batches} batches; use satgen.distinguishing_tests to complete"
+    )

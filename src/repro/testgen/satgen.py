@@ -1,0 +1,113 @@
+"""SAT-based distinguishing-test generation (miter construction).
+
+When random search cannot excite an error, a *miter* — golden and faulty
+copies sharing primary inputs, with the requirement that some output pair
+differs — turns test generation into a SAT query, exactly the ATPG-via-SAT
+idea of Larrabee (paper ref [11]).  Blocking clauses over the input
+variables enumerate *distinct* distinguishing vectors.
+"""
+
+from __future__ import annotations
+
+from ..circuits.netlist import Circuit
+from ..sat.cnf import CNF
+from ..sat.solver import Solver
+from ..sat.tseitin import encode_circuit
+from ..sim.logicsim import output_values
+from .testset import Test, TestSet
+
+__all__ = ["MiterGenerator", "distinguishing_tests", "are_equivalent"]
+
+
+class MiterGenerator:
+    """Incremental enumerator of distinguishing input vectors.
+
+    Builds the miter once; every :meth:`next_test` call returns a fresh
+    failing test and blocks its input vector.
+
+    >>> # doctest setup omitted; see tests/testgen/test_satgen.py
+    """
+
+    def __init__(self, golden: Circuit, faulty: Circuit) -> None:
+        if golden.inputs != faulty.inputs:
+            raise ValueError("golden and faulty must share primary inputs")
+        if set(golden.outputs) != set(faulty.outputs):
+            raise ValueError("golden and faulty must share primary outputs")
+        self._golden = golden
+        self._faulty = faulty
+        cnf = CNF()
+        self._gold_vars = encode_circuit(cnf, golden, prefix="g:")
+        self._fault_vars = encode_circuit(
+            cnf,
+            faulty,
+            prefix="f:",
+            input_vars={pi: self._gold_vars[pi] for pi in golden.inputs},
+        )
+        # One difference indicator per output; at least one must be set.
+        diff_vars = []
+        for out in golden.outputs:
+            d = cnf.new_var(f"diff:{out}")
+            a, b = self._gold_vars[out], self._fault_vars[out]
+            # d -> (a xor b)
+            cnf.add_clause([-d, a, b])
+            cnf.add_clause([-d, -a, -b])
+            diff_vars.append(d)
+        cnf.add_clause(diff_vars)
+        self._diff_of = dict(zip(golden.outputs, diff_vars))
+        self._cnf = cnf
+        self._solver: Solver = cnf.to_solver()
+
+    def next_test(
+        self, output: str | None = None, attach_expected: bool = False
+    ) -> Test | None:
+        """Return a fresh failing test (None when none remains).
+
+        ``output`` restricts the search to vectors that fail at that
+        specific primary output.
+        """
+        assumptions = [self._diff_of[output]] if output is not None else []
+        if not self._solver.solve(assumptions):
+            return None
+        vector = {
+            pi: int(bool(self._solver.value(self._gold_vars[pi])))
+            for pi in self._golden.inputs
+        }
+        expected = output_values(self._golden, vector)
+        observed = output_values(self._faulty, vector)
+        failing = [o for o in self._golden.outputs if expected[o] != observed[o]]
+        chosen = output if output is not None else failing[0]
+        # Block this exact input vector.
+        self._solver.add_clause(
+            [
+                (-self._gold_vars[pi] if vector[pi] else self._gold_vars[pi])
+                for pi in self._golden.inputs
+            ]
+        )
+        return Test(
+            vector=vector,
+            output=chosen,
+            value=expected[chosen],
+            expected_outputs=expected if attach_expected else None,
+        )
+
+
+def distinguishing_tests(
+    golden: Circuit,
+    faulty: Circuit,
+    m: int,
+    attach_expected: bool = False,
+) -> TestSet:
+    """Enumerate up to ``m`` distinct failing tests via the miter."""
+    gen = MiterGenerator(golden, faulty)
+    tests: list[Test] = []
+    while len(tests) < m:
+        test = gen.next_test(attach_expected=attach_expected)
+        if test is None:
+            break
+        tests.append(test)
+    return TestSet(tuple(tests))
+
+
+def are_equivalent(golden: Circuit, faulty: Circuit) -> bool:
+    """Combinational equivalence check (the miter is UNSAT)."""
+    return MiterGenerator(golden, faulty).next_test() is None

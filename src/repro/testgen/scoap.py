@@ -1,0 +1,161 @@
+"""SCOAP testability measures (controllability and observability).
+
+The Sandia Controllability/Observability Analysis Program metrics guide the
+structural ATPG in :mod:`repro.testgen.podem`: backtrace prefers the input
+that is cheapest to set (controllability) and the D-frontier gate whose
+output is cheapest to observe (observability).  They are classic linear-time
+structural estimates — no simulation involved.
+
+Definitions (combinational SCOAP):
+
+* ``CC0(s)`` / ``CC1(s)`` — the number of signal assignments needed to set
+  ``s`` to 0 / 1.  Primary inputs cost 1; every gate adds 1 to the cost of
+  its cheapest way of producing the value.
+* ``CO(s)`` — the number of assignments needed to propagate a change on
+  ``s`` to a primary output.  Primary outputs cost 0; driving a gate adds
+  the cost of setting its other inputs to non-controlling values plus 1.
+
+>>> from repro.circuits.library import c17
+>>> cc0, cc1 = controllability(c17())
+>>> cc0["G1"], cc1["G1"]
+(1, 1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..circuits.gates import GateType
+from ..circuits.netlist import Circuit
+
+__all__ = ["controllability", "observability", "Testability", "analyze_testability"]
+
+#: Effectively-infinite cost for unreachable values (e.g. CC1 of CONST0).
+INFINITE_COST = 10**9
+
+
+def _xor_costs(in_costs: list[tuple[int, int]]) -> tuple[int, int]:
+    """Min cost of parity 0 / parity 1 over the inputs (DP over parity)."""
+    even, odd = 0, INFINITE_COST
+    for c0, c1 in in_costs:
+        new_even = min(even + c0, odd + c1)
+        new_odd = min(even + c1, odd + c0)
+        even, odd = min(new_even, INFINITE_COST), min(new_odd, INFINITE_COST)
+    return even, odd
+
+
+def controllability(circuit: Circuit) -> tuple[dict[str, int], dict[str, int]]:
+    """SCOAP combinational controllabilities ``(CC0, CC1)`` per signal.
+
+    DFF outputs are treated as pseudo-primary inputs (cost 1), matching the
+    full-scan view every ATPG flow here operates on.
+    """
+    cc0: dict[str, int] = {}
+    cc1: dict[str, int] = {}
+    for name in circuit.topological_order():
+        gate = circuit.node(name)
+        gtype = gate.gtype
+        if gtype in (GateType.INPUT, GateType.DFF):
+            cc0[name], cc1[name] = 1, 1
+            continue
+        if gtype is GateType.CONST0:
+            cc0[name], cc1[name] = 0, INFINITE_COST
+            continue
+        if gtype is GateType.CONST1:
+            cc0[name], cc1[name] = INFINITE_COST, 0
+            continue
+        costs = [(cc0[f], cc1[f]) for f in gate.fanins]
+        if gtype is GateType.BUF:
+            c0, c1 = costs[0]
+        elif gtype is GateType.NOT:
+            c1, c0 = costs[0]
+        elif gtype in (GateType.AND, GateType.NAND):
+            all1 = sum(c[1] for c in costs)
+            any0 = min(c[0] for c in costs)
+            c0, c1 = any0, all1
+            if gtype is GateType.NAND:
+                c0, c1 = c1, c0
+        elif gtype in (GateType.OR, GateType.NOR):
+            all0 = sum(c[0] for c in costs)
+            any1 = min(c[1] for c in costs)
+            c0, c1 = all0, any1
+            if gtype is GateType.NOR:
+                c0, c1 = c1, c0
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            even, odd = _xor_costs(costs)
+            c0, c1 = (even, odd) if gtype is GateType.XOR else (odd, even)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"no SCOAP rule for {gtype}")
+        cc0[name] = min(c0 + 1, INFINITE_COST)
+        cc1[name] = min(c1 + 1, INFINITE_COST)
+    return cc0, cc1
+
+
+def observability(
+    circuit: Circuit,
+    cc: tuple[Mapping[str, int], Mapping[str, int]] | None = None,
+) -> dict[str, int]:
+    """SCOAP combinational observability ``CO`` per signal.
+
+    A fanout stem takes the minimum over its branches; primary outputs have
+    observability 0.  Signals that cannot reach an output get
+    :data:`INFINITE_COST`.
+    """
+    cc0, cc1 = cc if cc is not None else controllability(circuit)
+    co: dict[str, int] = {name: INFINITE_COST for name in circuit.nodes}
+    for out in circuit.outputs:
+        co[out] = 0
+    for name in reversed(circuit.topological_order()):
+        gate = circuit.node(name)
+        if gate.is_input or gate.gtype is GateType.DFF:
+            continue
+        gtype = gate.gtype
+        out_cost = co[name]
+        if out_cost >= INFINITE_COST:
+            continue
+        for fin in gate.fanins:
+            if gtype in (GateType.BUF, GateType.NOT):
+                side = 0
+            elif gtype in (GateType.AND, GateType.NAND):
+                side = sum(cc1[o] for o in gate.fanins if o != fin)
+            elif gtype in (GateType.OR, GateType.NOR):
+                side = sum(cc0[o] for o in gate.fanins if o != fin)
+            elif gtype in (GateType.XOR, GateType.XNOR):
+                side = sum(min(cc0[o], cc1[o]) for o in gate.fanins if o != fin)
+            else:  # pragma: no cover - constants have no fanins
+                continue
+            candidate = min(out_cost + side + 1, INFINITE_COST)
+            if candidate < co[fin]:
+                co[fin] = candidate
+    return co
+
+
+@dataclass(frozen=True)
+class Testability:
+    """Bundle of SCOAP measures for a circuit."""
+
+    __test__ = False  # not a pytest class despite the name
+
+    cc0: Mapping[str, int]
+    cc1: Mapping[str, int]
+    co: Mapping[str, int]
+
+    def hardest_signals(self, n: int = 10) -> list[tuple[str, int]]:
+        """Signals ranked by combined testability cost (hardest first).
+
+        The cost of signal ``s`` is ``min(CC0, CC1) + CO`` — a cheap proxy
+        for how hard the stuck-at faults at ``s`` are to test.
+        """
+        scored = [
+            (name, min(self.cc0[name], self.cc1[name]) + self.co[name])
+            for name in self.cc0
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:n]
+
+
+def analyze_testability(circuit: Circuit) -> Testability:
+    """Compute all SCOAP measures for ``circuit`` in two linear passes."""
+    cc = controllability(circuit)
+    return Testability(cc0=cc[0], cc1=cc[1], co=observability(circuit, cc))

@@ -1,0 +1,115 @@
+"""Test and test-set types (Definition 1 of the paper).
+
+A :class:`Test` is the triple ``(t, o, v)``: an input vector ``t`` that
+causes an erroneous value at primary output ``o`` whose correct value is
+``v``.  A :class:`TestSet` is an ordered collection of tests; the paper's
+experiments slice one test-set into prefixes of 4, 8, 16 and 32 tests,
+which :meth:`TestSet.prefix` supports directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping, Sequence
+
+__all__ = ["Test", "TestSet"]
+
+
+@dataclass(frozen=True)
+class Test:
+    """One diagnosis test triple ``(t, o, v)``.
+
+    ``vector`` maps every primary input to its value; ``output`` names the
+    primary output observed to be erroneous; ``value`` is the *correct*
+    value of that output.  ``expected_outputs`` optionally carries golden
+    values for *all* outputs, enabling the stricter all-outputs-constrained
+    formulation used by the advanced debug approaches (refs [17, 4]).
+    """
+
+    vector: Mapping[str, int]
+    output: str
+    value: int
+    expected_outputs: Mapping[str, int] | None = None
+
+    #: Tell pytest this is not a test-case class.
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vector", MappingProxyType(dict(self.vector)))
+        if self.value not in (0, 1):
+            raise ValueError("correct value must be 0 or 1")
+        if self.expected_outputs is not None:
+            object.__setattr__(
+                self,
+                "expected_outputs",
+                MappingProxyType(dict(self.expected_outputs)),
+            )
+            if self.expected_outputs.get(self.output) != self.value:
+                raise ValueError(
+                    "expected_outputs must agree with (output, value)"
+                )
+
+    @property
+    def wrong_value(self) -> int:
+        """The erroneous value the implementation produces at ``output``."""
+        return self.value ^ 1
+
+    def key(self) -> tuple:
+        """Hashable identity (vectors are mappings, so Tests need help)."""
+        return (tuple(sorted(self.vector.items())), self.output, self.value)
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """An ordered set of tests (the paper's ``T``, ``m = len(T)``)."""
+
+    tests: tuple[Test, ...] = field(default_factory=tuple)
+
+    #: Tell pytest this is not a test-case class.
+    __test__ = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tests", tuple(self.tests))
+
+    def __len__(self) -> int:
+        return len(self.tests)
+
+    def __iter__(self) -> Iterator[Test]:
+        return iter(self.tests)
+
+    def __getitem__(self, idx: int) -> Test:
+        return self.tests[idx]
+
+    @property
+    def m(self) -> int:
+        """Number of tests (paper notation)."""
+        return len(self.tests)
+
+    def prefix(self, m: int) -> "TestSet":
+        """First ``m`` tests — "a part of the same test-set has been used"
+        (paper §5)."""
+        if m > len(self.tests):
+            raise ValueError(f"test-set has only {len(self.tests)} tests")
+        return TestSet(self.tests[:m])
+
+    def partition(self, chunk: int) -> list["TestSet"]:
+        """Split into chunks of at most ``chunk`` tests (advanced SAT
+        heuristic: test-set partitioning)."""
+        if chunk < 1:
+            raise ValueError("chunk must be positive")
+        return [
+            TestSet(self.tests[i : i + chunk])
+            for i in range(0, len(self.tests), chunk)
+        ]
+
+    def outputs(self) -> set[str]:
+        """All erroneous outputs referenced by the tests."""
+        return {t.output for t in self.tests}
+
+    @staticmethod
+    def from_triples(
+        triples: Sequence[tuple[Mapping[str, int], str, int]]
+    ) -> "TestSet":
+        """Build a test-set from raw ``(vector, output, value)`` triples."""
+        return TestSet(tuple(Test(v, o, val) for v, o, val in triples))

@@ -1,0 +1,30 @@
+"""Verification front-ends: equivalence checking and bounded model checking.
+
+The paper's §1 lists the flows that *produce* diagnosis problems —
+equivalence checking, property checking, dynamic verification.  This
+package implements those producers so the library covers the loop end to
+end: check, fail, extract tests, diagnose.
+
+* :func:`~repro.verify.cec.check_equivalence` — combinational equivalence
+  with random/SAT/BDD engines behind one interface.
+* :func:`~repro.verify.bmc.bmc_assertion` /
+  :func:`~repro.verify.bmc.bmc_equivalence` — bounded model checking of
+  sequential circuits with counterexample traces.
+* :func:`~repro.verify.bmc.trace_to_sequence_tests` — the bridge into
+  :func:`repro.diagnosis.sequential.seq_sat_diagnose`.
+"""
+
+from .cec import CecResult, check_equivalence
+from .bmc import BmcResult, bmc_assertion, bmc_equivalence, trace_to_sequence_tests
+from .unroll import Unrolling, unroll
+
+__all__ = [
+    "CecResult",
+    "check_equivalence",
+    "BmcResult",
+    "bmc_assertion",
+    "bmc_equivalence",
+    "trace_to_sequence_tests",
+    "Unrolling",
+    "unroll",
+]

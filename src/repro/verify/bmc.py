@@ -1,0 +1,230 @@
+"""Bounded model checking over sequential circuits.
+
+The paper motivates diagnosis with "dynamic verification, property
+checking" (§1): a property checker finds a violating trace, and the trace
+becomes the failing test the diagnosis algorithms consume.  This module
+closes that loop:
+
+* :func:`bmc_assertion` — search for an input sequence driving a monitor
+  output to its bad value within a bound (incremental frame expansion,
+  one assumption query per depth);
+* :func:`bmc_equivalence` — product-machine BMC: do two sequential
+  circuits agree on all outputs for every input sequence up to a bound?
+* :func:`trace_to_sequence_tests` — convert a violating trace into the
+  :class:`~repro.diagnosis.sequential.SequenceTest` objects that
+  :func:`~repro.diagnosis.sequential.seq_sat_diagnose` diagnoses.
+
+BMC answers are *bounded*: "no violation up to k frames" is not a proof of
+safety, and results say so explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..circuits.netlist import Circuit
+from ..diagnosis.sequential import SequenceTest
+from ..sat.cnf import CNF
+from ..sim.logicsim import simulate_sequence
+from .unroll import Unrolling, unroll
+
+__all__ = ["BmcResult", "bmc_assertion", "bmc_equivalence", "trace_to_sequence_tests"]
+
+
+@dataclass(frozen=True)
+class BmcResult:
+    """Outcome of a bounded model-checking run.
+
+    On violation ``trace`` holds one input vector per frame (up to and
+    including the violating frame), ``frame`` the violating frame and
+    ``output`` the monitor/differing output.  Otherwise the property held
+    for every depth up to ``bound`` (and only up to there).
+    """
+
+    violated: bool
+    bound: int
+    frame: int | None
+    output: str | None
+    trace: tuple[dict[str, int], ...]
+    elapsed: float
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.trace)
+
+    def summary(self) -> str:
+        if self.violated:
+            return (
+                f"violated at frame {self.frame} (output {self.output!r}); "
+                f"trace of {self.n_frames} vectors"
+            )
+        return f"no violation within {self.bound} frames (bounded claim)"
+
+
+def _extract_trace(
+    solver, unrolling: Unrolling, inputs: tuple[str, ...], frames: int
+) -> tuple[dict[str, int], ...]:
+    trace = []
+    for frame in range(frames):
+        vec = {}
+        for pi in inputs:
+            val = solver.value(unrolling.var_of[(frame, pi)])
+            vec[pi] = int(bool(val))
+        trace.append(vec)
+    return tuple(trace)
+
+
+def bmc_assertion(
+    circuit: Circuit,
+    monitor: str,
+    bound: int,
+    bad_value: int = 1,
+    initial_state: int = 0,
+) -> BmcResult:
+    """Can ``monitor`` (a primary output) reach ``bad_value`` within ``bound``
+    frames from the reset state?
+
+    The circuit is unrolled frame by frame on one incremental solver; each
+    depth is a single assumption query, so learned clauses carry over
+    between depths (the standard incremental-BMC loop).
+    """
+    if monitor not in circuit.outputs:
+        raise ValueError(f"monitor {monitor!r} is not a primary output")
+    if bound < 1:
+        raise ValueError("bound must be at least 1")
+    start = time.perf_counter()
+    cnf = CNF()
+    unrolling = unroll(
+        cnf, circuit, bound, prefix="b:", initial_state=initial_state
+    )
+    solver = cnf.to_solver()
+    for depth in range(1, bound + 1):
+        bad_var = unrolling.output_var(depth - 1, monitor)
+        assumption = bad_var if bad_value else -bad_var
+        if solver.solve(assumptions=[assumption]):
+            trace = _extract_trace(solver, unrolling, circuit.inputs, depth)
+            return BmcResult(
+                violated=True,
+                bound=bound,
+                frame=depth - 1,
+                output=monitor,
+                trace=trace,
+                elapsed=time.perf_counter() - start,
+            )
+    return BmcResult(
+        violated=False,
+        bound=bound,
+        frame=None,
+        output=None,
+        trace=(),
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def bmc_equivalence(
+    golden: Circuit,
+    impl: Circuit,
+    bound: int,
+    initial_state: int = 0,
+) -> BmcResult:
+    """Product-machine BMC: do the circuits agree on every output for all
+    input sequences of length ≤ ``bound``?
+
+    Both machines are unrolled over *shared* input variables; a violation
+    is the shortest distinguishing input sequence, reported with the first
+    differing output.
+    """
+    if golden.inputs != impl.inputs:
+        raise ValueError("circuits must share primary inputs")
+    if set(golden.outputs) != set(impl.outputs):
+        raise ValueError("circuits must share primary outputs")
+    if bound < 1:
+        raise ValueError("bound must be at least 1")
+    start = time.perf_counter()
+    cnf = CNF()
+    gold = unroll(cnf, golden, bound, prefix="g:", initial_state=initial_state)
+    shared = {
+        (frame, pi): gold.var_of[(frame, pi)]
+        for frame in range(bound)
+        for pi in golden.inputs
+    }
+    bad = unroll(
+        cnf,
+        impl,
+        bound,
+        prefix="i:",
+        initial_state=initial_state,
+        shared_inputs=shared,
+    )
+    # One "some output differs in frame f" indicator per frame; querying
+    # them in order on one incremental solver yields the shortest trace.
+    frame_diff: list[int] = []
+    diff_of_frame: dict[int, list[tuple[int, str]]] = {}
+    for frame in range(bound):
+        diff_vars = []
+        diff_of_frame[frame] = []
+        for out in golden.outputs:
+            d = cnf.new_var(f"diff:f{frame}:{out}")
+            a = gold.output_var(frame, out)
+            b = bad.output_var(frame, out)
+            cnf.add_clause([-d, a, b])
+            cnf.add_clause([-d, -a, -b])
+            diff_vars.append(d)
+            diff_of_frame[frame].append((d, out))
+        any_d = cnf.new_var(f"anydiff:f{frame}")
+        cnf.add_clause([-any_d] + diff_vars)
+        frame_diff.append(any_d)
+    solver = cnf.to_solver()
+    for frame in range(bound):
+        if solver.solve(assumptions=[frame_diff[frame]]):
+            hit_out = next(
+                out
+                for d, out in diff_of_frame[frame]
+                if solver.value(d)
+            )
+            trace = _extract_trace(solver, gold, golden.inputs, frame + 1)
+            return BmcResult(
+                violated=True,
+                bound=bound,
+                frame=frame,
+                output=hit_out,
+                trace=trace,
+                elapsed=time.perf_counter() - start,
+            )
+    return BmcResult(
+        violated=False,
+        bound=bound,
+        frame=None,
+        output=None,
+        trace=(),
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def trace_to_sequence_tests(
+    golden: Circuit,
+    faulty: Circuit,
+    trace: tuple[dict[str, int], ...],
+) -> list[SequenceTest]:
+    """Turn a distinguishing trace into sequential diagnosis tests.
+
+    Simulates both machines over ``trace`` and emits one
+    :class:`SequenceTest` per (frame, output) mismatch — the bridge from
+    property/equivalence checking (§1) to the diagnosis engines.
+    """
+    good = simulate_sequence(golden, trace)
+    bad = simulate_sequence(faulty, trace)
+    tests: list[SequenceTest] = []
+    for frame in range(len(trace)):
+        for out in golden.outputs:
+            if good[frame][out] != bad[frame][out]:
+                tests.append(
+                    SequenceTest(
+                        vectors=tuple(trace),
+                        output=out,
+                        frame=frame,
+                        value=good[frame][out],
+                    )
+                )
+    return tests

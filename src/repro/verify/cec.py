@@ -1,0 +1,165 @@
+"""Combinational equivalence checking with selectable engines.
+
+Equivalence checking is one of the paper's motivating diagnosis sources
+(§1): when a CEC run fails, the counterexample becomes the failing test
+the diagnosis approaches start from.  This module unifies the library's
+three engines behind one interface:
+
+* ``"random"`` — bit-parallel random simulation: a fast falsifier that can
+  prove *in*equivalence only;
+* ``"sat"`` — the miter construction of :mod:`repro.testgen.satgen`
+  (Larrabee-style), complete;
+* ``"bdd"`` — canonical comparison via :mod:`repro.bdd`, complete but
+  subject to the intro's space blowup;
+* ``"auto"`` — random falsification first, SAT to settle the remainder
+  (the standard industrial recipe).
+
+>>> from repro.circuits.library import c17
+>>> check_equivalence(c17(), c17()).equivalent
+True
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..bdd.diag import bdd_counterexample
+from ..circuits.netlist import Circuit
+from ..sim.faultsim import fault_table
+from ..testgen.satgen import MiterGenerator
+
+__all__ = ["CecResult", "check_equivalence"]
+
+
+@dataclass(frozen=True)
+class CecResult:
+    """Outcome of an equivalence check.
+
+    ``equivalent`` is True/False for complete methods; None when the
+    random falsifier found no counterexample (inconclusive).  On
+    inequivalence ``counterexample`` holds a complete input vector and
+    ``failing_output`` one output where the circuits differ.
+    """
+
+    equivalent: bool | None
+    method: str
+    counterexample: dict[str, int] | None
+    failing_output: str | None
+    elapsed: float
+
+    @property
+    def conclusive(self) -> bool:
+        return self.equivalent is not None
+
+    def summary(self) -> str:
+        if self.equivalent:
+            return f"equivalent [{self.method}, {self.elapsed:.3f}s]"
+        if self.equivalent is None:
+            return (
+                f"inconclusive after random simulation "
+                f"[{self.method}, {self.elapsed:.3f}s]"
+            )
+        return (
+            f"NOT equivalent at output {self.failing_output!r} "
+            f"[{self.method}, {self.elapsed:.3f}s]"
+        )
+
+
+def _random_search(
+    golden: Circuit, faulty: Circuit, patterns: int, seed: int
+) -> tuple[dict[str, int], str] | None:
+    rng = random.Random(seed)
+    vectors = [
+        {pi: rng.getrandbits(1) for pi in golden.inputs}
+        for _ in range(patterns)
+    ]
+    table = fault_table(golden, faulty, vectors)
+    for vector, fails in zip(vectors, table):
+        if fails:
+            return vector, fails[0]
+    return None
+
+
+def check_equivalence(
+    golden: Circuit,
+    impl: Circuit,
+    method: str = "auto",
+    random_patterns: int = 256,
+    seed: int = 0,
+    max_nodes: int | None = None,
+) -> CecResult:
+    """Check combinational equivalence of two circuits.
+
+    Both circuits must share primary inputs and outputs (by name).
+    ``max_nodes`` bounds the BDD engine;
+    :class:`~repro.bdd.manager.BddBlowupError` propagates so callers can
+    fall back to SAT — exactly the trade-off the paper's intro describes.
+    """
+    if method not in ("auto", "sat", "bdd", "random"):
+        raise ValueError(f"unknown CEC method {method!r}")
+    if golden.inputs != impl.inputs:
+        raise ValueError("circuits must share primary inputs")
+    if set(golden.outputs) != set(impl.outputs):
+        raise ValueError("circuits must share primary outputs")
+    start = time.perf_counter()
+
+    if method in ("auto", "random"):
+        hit = _random_search(golden, impl, random_patterns, seed)
+        if hit is not None:
+            vector, out = hit
+            return CecResult(
+                equivalent=False,
+                method="random",
+                counterexample=vector,
+                failing_output=out,
+                elapsed=time.perf_counter() - start,
+            )
+        if method == "random":
+            return CecResult(
+                equivalent=None,
+                method="random",
+                counterexample=None,
+                failing_output=None,
+                elapsed=time.perf_counter() - start,
+            )
+
+    if method == "bdd":
+        cex = bdd_counterexample(golden, impl, max_nodes=max_nodes)
+        if cex is None:
+            return CecResult(
+                equivalent=True,
+                method="bdd",
+                counterexample=None,
+                failing_output=None,
+                elapsed=time.perf_counter() - start,
+            )
+        from ..sim.faultsim import failing_outputs
+
+        return CecResult(
+            equivalent=False,
+            method="bdd",
+            counterexample=cex,
+            failing_output=failing_outputs(golden, impl, cex)[0],
+            elapsed=time.perf_counter() - start,
+        )
+
+    # SAT miter ("sat", or the settle phase of "auto").
+    gen = MiterGenerator(golden, impl)
+    test = gen.next_test()
+    if test is None:
+        return CecResult(
+            equivalent=True,
+            method=method if method == "sat" else "auto(random+sat)",
+            counterexample=None,
+            failing_output=None,
+            elapsed=time.perf_counter() - start,
+        )
+    return CecResult(
+        equivalent=False,
+        method=method if method == "sat" else "auto(random+sat)",
+        counterexample=dict(test.vector),
+        failing_output=test.output,
+        elapsed=time.perf_counter() - start,
+    )

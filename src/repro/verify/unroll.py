@@ -1,0 +1,92 @@
+"""Time-frame expansion with free inputs (the BMC unrolling).
+
+Unlike the diagnosis unrolling of :mod:`repro.diagnosis.sequential` —
+which pins primary inputs to a known failing sequence — bounded model
+checking leaves inputs *free* and lets the SAT solver search for a
+violating sequence.  This module provides that unrolling as a reusable
+primitive shared by :mod:`repro.verify.bmc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..circuits.netlist import Circuit
+from ..sat.cnf import CNF
+from ..sat.tseitin import encode_gate
+
+__all__ = ["Unrolling", "unroll"]
+
+
+@dataclass(frozen=True)
+class Unrolling:
+    """Variable map of an unrolled circuit.
+
+    ``var_of[(frame, signal)]`` is the CNF variable of ``signal`` in frame
+    ``frame`` (0-based).  Primary-input variables are free unless they were
+    shared in from another unrolling (product-machine construction).
+    """
+
+    circuit_name: str
+    n_frames: int
+    var_of: Mapping[tuple[int, str], int]
+
+    def input_vars(self, frame: int, inputs: tuple[str, ...]) -> dict[str, int]:
+        return {pi: self.var_of[(frame, pi)] for pi in inputs}
+
+    def output_var(self, frame: int, output: str) -> int:
+        return self.var_of[(frame, output)]
+
+
+def unroll(
+    cnf: CNF,
+    circuit: Circuit,
+    n_frames: int,
+    prefix: str = "",
+    initial_state: int = 0,
+    shared_inputs: Mapping[tuple[int, str], int] | None = None,
+) -> Unrolling:
+    """Encode ``n_frames`` time frames of ``circuit`` into ``cnf``.
+
+    DFFs hold ``initial_state`` (all-0 or all-1) in frame 0 and their
+    fanin's previous-frame value afterwards.  ``shared_inputs`` maps
+    ``(frame, input_name)`` to existing variables, so two machines can be
+    unrolled over the same input sequence (the product construction used
+    by sequential equivalence checking).
+    """
+    if n_frames < 1:
+        raise ValueError("n_frames must be at least 1")
+    if initial_state not in (0, 1):
+        raise ValueError("initial_state must be 0 or 1")
+    shared_inputs = shared_inputs or {}
+    topo = circuit.topological_order()
+    var_of: dict[tuple[int, str], int] = {}
+    for frame in range(n_frames):
+        for name in topo:
+            gate = circuit.node(name)
+            tag = f"{prefix}f{frame}:{name}"
+            if gate.is_input:
+                shared = shared_inputs.get((frame, name))
+                var_of[(frame, name)] = (
+                    shared if shared is not None else cnf.new_var(tag)
+                )
+                continue
+            if gate.is_dff:
+                var = cnf.new_var(tag)
+                var_of[(frame, name)] = var
+                if frame == 0:
+                    cnf.add_clause([var] if initial_state else [-var])
+                else:
+                    prev = var_of[(frame - 1, gate.fanins[0])]
+                    cnf.add_clause([-var, prev])
+                    cnf.add_clause([var, -prev])
+                continue
+            var = cnf.new_var(tag)
+            encode_gate(
+                cnf, gate.gtype, var, [var_of[(frame, f)] for f in gate.fanins]
+            )
+            var_of[(frame, name)] = var
+    return Unrolling(
+        circuit_name=circuit.name, n_frames=n_frames, var_of=var_of
+    )

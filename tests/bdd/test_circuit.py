@@ -1,0 +1,150 @@
+"""Tests for circuit → BDD construction."""
+
+from itertools import product
+
+import pytest
+
+from repro.bdd import BddBlowupError, BddManager, build_output_bdds, dfs_input_order
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.library import (
+    array_multiplier,
+    c17,
+    parity_tree,
+    ripple_carry_adder,
+    s27,
+)
+from repro.sim import simulate
+
+
+def _assert_matches_simulator(circuit, built, vectors):
+    for vec in vectors:
+        vals = simulate(circuit, vec)
+        for out, root in built.roots.items():
+            assert built.manager.evaluate(root, vec) == vals[out], (out, vec)
+
+
+def _exhaustive_vectors(circuit):
+    return [
+        dict(zip(circuit.inputs, bits))
+        for bits in product((0, 1), repeat=len(circuit.inputs))
+    ]
+
+
+def test_c17_matches_simulator_exhaustively(c17):
+    built = build_output_bdds(c17)
+    _assert_matches_simulator(c17, built, _exhaustive_vectors(c17))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_circuits_match_simulator(seed):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=seed)
+    built = build_output_bdds(circuit)
+    _assert_matches_simulator(circuit, built, _exhaustive_vectors(circuit))
+
+
+def test_adder_semantics():
+    rca = ripple_carry_adder(3)
+    built = build_output_bdds(rca)
+    for a in range(8):
+        for b in range(8):
+            vec = {f"a{i}": (a >> i) & 1 for i in range(3)}
+            vec.update({f"b{i}": (b >> i) & 1 for i in range(3)})
+            vec["cin"] = 0
+            total = sum(
+                built.manager.evaluate(built.roots[o], vec) << i
+                for i, o in enumerate(rca.outputs)
+            )
+            assert total == a + b
+
+
+def test_constants_and_buffers():
+    c = Circuit("consts")
+    c.add_input("a")
+    c.add_gate("zero", GateType.CONST0)
+    c.add_gate("one", GateType.CONST1)
+    c.add_gate("buf", GateType.BUF, ["a"])
+    c.add_gate("z", GateType.AND, ["buf", "one"])
+    c.add_output("z")
+    c.add_output("zero")
+    c.validate()
+    built = build_output_bdds(c)
+    assert built.roots["zero"] == 0
+    assert built.roots["z"] == built.manager.var("a")
+
+
+def test_sequential_circuit_rejected(s27):
+    with pytest.raises(ValueError, match="combinational"):
+        build_output_bdds(s27)
+
+
+def test_dfs_order_interleaves_adder():
+    assert dfs_input_order(ripple_carry_adder(2)) == ["a0", "b0", "cin", "a1", "b1"]
+
+
+def test_dfs_order_covers_dangling_inputs():
+    c = Circuit("dangling")
+    c.add_input("used")
+    c.add_input("unused")
+    c.add_gate("z", GateType.NOT, ["used"])
+    c.add_output("z")
+    c.validate()
+    assert set(dfs_input_order(c)) == {"used", "unused"}
+
+
+def test_explicit_order_accepted_and_checked(c17):
+    order = list(reversed(c17.inputs))
+    built = build_output_bdds(c17, order=order)
+    assert built.manager.variable_order == tuple(order)
+    with pytest.raises(ValueError, match="misses inputs"):
+        build_output_bdds(c17, order=order[:-1])
+
+
+def test_unknown_order_keyword_rejected(c17):
+    with pytest.raises(ValueError, match="unknown BDD input order"):
+        build_output_bdds(c17, order="sifted")
+
+
+def test_order_matters_for_adder_size():
+    rca = ripple_carry_adder(6)
+    interleaved = build_output_bdds(rca, order="dfs")
+    separated = build_output_bdds(rca, order="declaration")
+    assert interleaved.node_count < separated.node_count
+
+
+def test_multiplier_grows_faster_than_adder():
+    mul_counts = [
+        build_output_bdds(array_multiplier(w)).node_count for w in (2, 3, 4)
+    ]
+    add_counts = [
+        build_output_bdds(ripple_carry_adder(w)).node_count for w in (2, 3, 4)
+    ]
+    mul_ratio = mul_counts[-1] / mul_counts[0]
+    add_ratio = add_counts[-1] / add_counts[0]
+    assert mul_ratio > add_ratio
+
+
+def test_node_budget_enforced():
+    with pytest.raises(BddBlowupError):
+        build_output_bdds(array_multiplier(8), max_nodes=20_000)
+
+
+def test_shared_manager_allows_root_comparison(c17):
+    manager = BddManager(order=dfs_input_order(c17))
+    a = build_output_bdds(c17, manager=manager)
+    b = build_output_bdds(c17, manager=manager)
+    assert a.roots == b.roots
+
+
+def test_parity_tree_linear_in_width():
+    # The parity BDD has exactly 2w+1 nodes (1 top + 2 per later level +
+    # 2 terminals) regardless of order — the classic linear case.
+    for w in (4, 8, 16):
+        assert build_output_bdds(parity_tree(w)).node_count == 2 * w + 1
+
+
+def test_signals_exposed_for_internal_gates(c17):
+    built = build_output_bdds(c17)
+    assert "G10" in built.signals
+    vec = {pi: 1 for pi in c17.inputs}
+    vals = simulate(c17, vec)
+    assert built.manager.evaluate(built.signals["G10"], vec) == vals["G10"]

@@ -1,0 +1,85 @@
+"""Tests for the BDD covering engine, incl. the 3-way engine differential."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import cover_bdd, minimal_covers_bdd
+from repro.diagnosis import minimal_covers_bnb, minimal_covers_sat
+
+
+def test_paper_example_1():
+    """Example 1 of the paper: candidate sets over gates A..H, k=2."""
+    sets = [
+        frozenset("ABFG"),
+        frozenset("CDEFG"),
+        frozenset("BCEH"),
+    ]
+    covers = minimal_covers_bdd(sets, k=2)
+    assert frozenset("BD") in covers
+    # {A, D, H} has size 3: excluded at k=2, included at k=3.
+    assert frozenset("ADH") not in covers
+    covers3 = minimal_covers_bdd(sets, k=3)
+    assert frozenset("ADH") in covers3
+
+
+def test_single_set_each_element_is_cover():
+    covers = minimal_covers_bdd([frozenset("AB")], k=2)
+    assert sorted(covers) == [frozenset("A"), frozenset("B")]
+
+
+def test_empty_input_has_empty_cover():
+    assert minimal_covers_bdd([], k=3) == [frozenset()]
+
+
+def test_uncoverable_empty_set():
+    assert minimal_covers_bdd([frozenset(), frozenset("A")], k=2) == []
+
+
+def test_minimality_enforced():
+    sets = [frozenset("AB"), frozenset("A")]
+    covers = minimal_covers_bdd(sets, k=2)
+    # {A} covers both; {A, B} is not minimal.
+    assert covers == [frozenset("A")]
+
+
+def test_k_bound_respected():
+    sets = [frozenset("A"), frozenset("B"), frozenset("C")]
+    assert minimal_covers_bdd(sets, k=2) == []
+    assert minimal_covers_bdd(sets, k=3) == [frozenset("ABC")]
+
+
+def test_cover_bdd_root_semantics():
+    sets = [frozenset("AB"), frozenset("BC")]
+    manager, root = cover_bdd(sets)
+    assert manager.evaluate(root, {"A": 0, "B": 1, "C": 0}) == 1
+    assert manager.evaluate(root, {"A": 1, "B": 0, "C": 0}) == 0
+
+
+def _random_instance(rng, n_elems, n_sets, max_size):
+    universe = [f"g{i}" for i in range(n_elems)]
+    return [
+        frozenset(rng.sample(universe, rng.randint(1, max_size)))
+        for _ in range(n_sets)
+    ]
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_three_engines_agree(seed):
+    rng = random.Random(seed)
+    sets = _random_instance(rng, n_elems=7, n_sets=rng.randint(1, 5), max_size=4)
+    k = rng.randint(1, 4)
+    via_bdd = set(minimal_covers_bdd(sets, k))
+    via_bnb = set(minimal_covers_bnb(sets, k))
+    via_sat, complete = minimal_covers_sat(sets, k)
+    assert complete
+    assert via_bdd == via_bnb == set(via_sat)
+
+
+def test_large_instance_matches_bnb():
+    rng = random.Random(7)
+    sets = _random_instance(rng, n_elems=12, n_sets=8, max_size=5)
+    assert set(minimal_covers_bdd(sets, 3)) == set(minimal_covers_bnb(sets, 3))

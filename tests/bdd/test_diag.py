@@ -1,0 +1,209 @@
+"""Tests for BDD-based equivalence checking and rectification diagnosis."""
+
+from itertools import product
+
+import pytest
+
+from repro.bdd import (
+    bdd_counterexample,
+    bdd_equivalent,
+    single_fix_candidates,
+)
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.library import c17, majority
+from repro.faults import GateChangeError, StuckAtFault, apply_error, inject_errors
+from repro.sim import simulate
+from repro.testgen import are_equivalent
+
+
+def _exhaustive_vectors(circuit):
+    return [
+        dict(zip(circuit.inputs, bits))
+        for bits in product((0, 1), repeat=len(circuit.inputs))
+    ]
+
+
+# ----------------------------------------------------------------------
+# equivalence
+# ----------------------------------------------------------------------
+
+
+def test_self_equivalence(c17):
+    assert bdd_equivalent(c17, c17.copy())
+
+
+def test_inequivalence_detected(maj3):
+    impl = apply_error(maj3, GateChangeError("ab", GateType.AND, GateType.OR))
+    assert not bdd_equivalent(maj3, impl)
+
+
+def test_counterexample_is_real(maj3):
+    impl = apply_error(maj3, StuckAtFault("bc", 1))
+    cex = bdd_counterexample(maj3, impl)
+    assert cex is not None
+    assert simulate(maj3, cex)["out"] != simulate(impl, cex)["out"]
+
+
+def test_counterexample_none_when_equivalent(maj3):
+    assert bdd_counterexample(maj3, maj3.copy()) is None
+
+
+def test_equivalence_of_restructured_logic():
+    # x ∧ (y ∨ z) vs (x ∧ y) ∨ (x ∧ z): distributivity.
+    a = Circuit("lhs")
+    for pi in "xyz":
+        a.add_input(pi)
+    a.add_gate("or1", GateType.OR, ["y", "z"])
+    a.add_gate("out", GateType.AND, ["x", "or1"])
+    a.add_output("out")
+    a.validate()
+    b = Circuit("rhs")
+    for pi in "xyz":
+        b.add_input(pi)
+    b.add_gate("t1", GateType.AND, ["x", "y"])
+    b.add_gate("t2", GateType.AND, ["x", "z"])
+    b.add_gate("out", GateType.OR, ["t1", "t2"])
+    b.add_output("out")
+    b.validate()
+    assert bdd_equivalent(a, b)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_agrees_with_sat_miter(seed):
+    golden = random_circuit(n_inputs=5, n_outputs=3, n_gates=25, seed=seed)
+    from repro.faults import random_gate_changes
+
+    inj = random_gate_changes(golden, p=1, seed=seed, ensure_detectable=False)
+    assert bdd_equivalent(golden, golden.copy()) == are_equivalent(
+        golden, golden.copy()
+    )
+    assert bdd_equivalent(golden, inj.faulty) == are_equivalent(
+        golden, inj.faulty
+    )
+
+
+def test_mismatched_interfaces_rejected(maj3, c17):
+    with pytest.raises(ValueError, match="inputs"):
+        bdd_equivalent(maj3, c17)
+
+
+# ----------------------------------------------------------------------
+# single-fix rectification
+# ----------------------------------------------------------------------
+
+
+def _simulation_rectifiable(golden, impl, gate):
+    """Oracle: for every vector some forced value at `gate` fixes all outputs."""
+    for vec in _exhaustive_vectors(golden):
+        good = {o: simulate(golden, vec)[o] for o in golden.outputs}
+        ok = False
+        for b in (0, 1):
+            vals = simulate(impl, vec, forced={gate: b})
+            if all(vals[o] == good[o] for o in golden.outputs):
+                ok = True
+                break
+        if not ok:
+            return False
+    return True
+
+
+def test_error_site_is_candidate(maj3):
+    impl = apply_error(maj3, GateChangeError("ab", GateType.AND, GateType.OR))
+    names = [r.gate for r in single_fix_candidates(maj3, impl)]
+    assert "ab" in names
+
+
+def test_candidates_match_simulation_oracle(maj3):
+    impl = apply_error(maj3, GateChangeError("ab", GateType.AND, GateType.NAND))
+    names = {r.gate for r in single_fix_candidates(maj3, impl)}
+    oracle = {
+        g for g in impl.gate_names if _simulation_rectifiable(maj3, impl, g)
+    }
+    assert names == oracle
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_candidates_match_oracle_random(seed):
+    golden = random_circuit(n_inputs=5, n_outputs=2, n_gates=15, seed=seed)
+    from repro.faults import random_gate_changes
+
+    inj = random_gate_changes(golden, p=1, seed=seed + 10)
+    names = {r.gate for r in single_fix_candidates(golden, inj.faulty)}
+    oracle = {
+        g
+        for g in inj.faulty.gate_names
+        if _simulation_rectifiable(golden, inj.faulty, g)
+    }
+    assert names == oracle
+    assert inj.sites[0] in names  # the actual error site is always fixable
+
+
+def test_witness_function_rectifies_everywhere(maj3):
+    impl = apply_error(maj3, GateChangeError("out", GateType.OR, GateType.XNOR))
+    fixes = {r.gate: r for r in single_fix_candidates(maj3, impl)}
+    assert fixes
+    for gate, fix in fixes.items():
+        for vec in _exhaustive_vectors(maj3):
+            forced = {gate: fix.value_for(vec)}
+            vals = simulate(impl, vec, forced=forced)
+            good = simulate(maj3, vec)
+            assert all(vals[o] == good[o] for o in maj3.outputs)
+
+
+def test_equivalent_circuits_every_gate_is_candidate(maj3):
+    # With no error, every gate can be "rectified" by its own function.
+    fixes = single_fix_candidates(maj3, maj3.copy())
+    assert {r.gate for r in fixes} == set(maj3.gate_names)
+
+
+def test_double_error_usually_has_no_single_fix():
+    golden = random_circuit(n_inputs=5, n_outputs=1, n_gates=12, seed=42)
+    errors = [
+        GateChangeError(
+            "g3", golden.node("g3").gtype, _other_type(golden, "g3")
+        ),
+        GateChangeError(
+            "g9", golden.node("g9").gtype, _other_type(golden, "g9")
+        ),
+    ]
+    inj = inject_errors(golden, errors)
+    names = {r.gate for r in single_fix_candidates(golden, inj.faulty)}
+    oracle = {
+        g
+        for g in inj.faulty.gate_names
+        if _simulation_rectifiable(golden, inj.faulty, g)
+    }
+    assert names == oracle  # whatever the answer, it must match simulation
+
+
+def _other_type(circuit, gate):
+    current = circuit.node(gate).gtype
+    if len(circuit.node(gate).fanins) == 1:
+        return GateType.BUF if current is GateType.NOT else GateType.NOT
+    return GateType.NOR if current is not GateType.NOR else GateType.NAND
+
+
+def test_candidate_restriction(maj3):
+    impl = apply_error(maj3, GateChangeError("ab", GateType.AND, GateType.OR))
+    fixes = single_fix_candidates(maj3, impl, candidates=["ab", "bc"])
+    assert {r.gate for r in fixes} <= {"ab", "bc"}
+
+
+def test_unknown_candidate_rejected(maj3):
+    with pytest.raises(ValueError, match="unknown candidate"):
+        single_fix_candidates(maj3, maj3.copy(), candidates=["ghost"])
+
+
+def test_stuck_at_rectification_is_constant(maj3):
+    # The inverse error of a stuck-at-1 is the constant function 1 … but any
+    # witness is acceptable; check the reported function via simulation.
+    impl = apply_error(maj3, StuckAtFault("ab", 0))
+    fixes = {r.gate: r for r in single_fix_candidates(maj3, impl)}
+    assert "ab" in fixes
+    fix = fixes["ab"]
+    for vec in _exhaustive_vectors(maj3):
+        forced = {"ab": fix.value_for(vec)}
+        assert (
+            simulate(impl, vec, forced=forced)["out"]
+            == simulate(maj3, vec)["out"]
+        )

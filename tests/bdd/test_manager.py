@@ -1,0 +1,303 @@
+"""Tests for the ROBDD manager: canonicity, operations, queries."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import ONE, ZERO, BddBlowupError, BddManager
+
+
+def _fresh_xyz():
+    m = BddManager(order=["x", "y", "z"])
+    return m, m.var("x"), m.var("y"), m.var("z")
+
+
+# ----------------------------------------------------------------------
+# construction and canonicity
+# ----------------------------------------------------------------------
+
+
+def test_terminals_are_fixed():
+    m = BddManager()
+    assert ZERO == 0 and ONE == 1
+    assert m.num_nodes == 2
+
+
+def test_variable_nodes_are_shared():
+    m, x, _y, _z = _fresh_xyz()
+    assert m.var("x") == x
+    assert m.declare("x") == x
+
+
+def test_undeclared_variable_rejected():
+    m = BddManager()
+    with pytest.raises(KeyError, match="undeclared"):
+        m.var("ghost")
+
+
+def test_canonicity_same_function_same_node():
+    m, x, y, _z = _fresh_xyz()
+    # De Morgan: ¬(x ∧ y) == ¬x ∨ ¬y
+    a = m.apply_not(m.apply_and(x, y))
+    b = m.apply_or(m.apply_not(x), m.apply_not(y))
+    assert a == b
+
+
+def test_reduction_no_redundant_tests():
+    m, x, y, _z = _fresh_xyz()
+    # (x ∧ y) ∨ (x ∧ ¬y) == x: the y test must vanish.
+    f = m.apply_or(
+        m.apply_and(x, y), m.apply_and(x, m.apply_not(y))
+    )
+    assert f == x
+
+
+def test_constants_from_contradiction_and_tautology():
+    m, x, _y, _z = _fresh_xyz()
+    assert m.apply_and(x, m.apply_not(x)) == ZERO
+    assert m.apply_or(x, m.apply_not(x)) == ONE
+
+
+# ----------------------------------------------------------------------
+# operations agree with truth tables
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "op,oracle",
+    [
+        ("apply_and", lambda a, b: a & b),
+        ("apply_or", lambda a, b: a | b),
+        ("apply_xor", lambda a, b: a ^ b),
+        ("apply_xnor", lambda a, b: 1 - (a ^ b)),
+        ("apply_implies", lambda a, b: (1 - a) | b),
+    ],
+)
+def test_binary_ops_truth_tables(op, oracle):
+    m, x, y, _z = _fresh_xyz()
+    f = getattr(m, op)(x, y)
+    for a, b in product((0, 1), repeat=2):
+        assert m.evaluate(f, {"x": a, "y": b, "z": 0}) == oracle(a, b)
+
+
+def test_ite_truth_table():
+    m, x, y, z = _fresh_xyz()
+    f = m.ite(x, y, z)
+    for a, b, c in product((0, 1), repeat=3):
+        expected = b if a else c
+        assert m.evaluate(f, {"x": a, "y": b, "z": c}) == expected
+
+
+def test_nary_and_or():
+    m, x, y, z = _fresh_xyz()
+    assert m.apply_and(x, y, z) == m.apply_and(m.apply_and(x, y), z)
+    assert m.apply_or() == ZERO
+    assert m.apply_and() == ONE
+
+
+# ----------------------------------------------------------------------
+# structural operations
+# ----------------------------------------------------------------------
+
+
+def test_restrict_cofactors():
+    m, x, y, _z = _fresh_xyz()
+    f = m.apply_and(x, y)
+    assert m.restrict(f, "x", 1) == y
+    assert m.restrict(f, "x", 0) == ZERO
+    assert m.restrict(f, "z", 0) == f  # independent variable
+
+
+def test_compose_substitutes_function():
+    m, x, y, z = _fresh_xyz()
+    f = m.apply_and(x, y)
+    g = m.apply_or(y, z)
+    composed = m.compose(f, "x", g)
+    for a, b, c in product((0, 1), repeat=3):
+        env = {"x": a, "y": b, "z": c}
+        assert m.evaluate(composed, env) == ((b | c) & b)
+
+
+def test_exists_and_forall():
+    m, x, y, _z = _fresh_xyz()
+    f = m.apply_and(x, y)
+    assert m.exists(f, "x") == y
+    assert m.forall(f, "x") == ZERO
+    g = m.apply_or(x, y)
+    assert m.forall(g, "x") == y
+    assert m.exists(g, ["x", "y"]) == ONE
+
+
+def test_shannon_expansion_identity():
+    m, x, y, z = _fresh_xyz()
+    f = m.apply_xor(m.apply_and(x, y), z)
+    rebuilt = m.ite(x, m.restrict(f, "x", 1), m.restrict(f, "x", 0))
+    assert rebuilt == f
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+
+
+def test_satcount_simple():
+    m, x, y, _z = _fresh_xyz()
+    assert m.satcount(m.apply_and(x, y)) == 2.0  # over 3 vars: x=y=1, z free
+    assert m.satcount(m.apply_and(x, y), n_vars=2) == 1.0
+    assert m.satcount(ONE) == 8.0
+    assert m.satcount(ZERO) == 0.0
+
+
+def test_satcount_xor_half():
+    m, x, y, _z = _fresh_xyz()
+    f = m.apply_xor(x, y)
+    assert m.satcount(f, n_vars=2) == 2.0
+
+
+def test_sat_one_satisfies():
+    m, x, y, z = _fresh_xyz()
+    f = m.apply_and(m.apply_or(x, y), m.apply_not(z))
+    witness = m.sat_one(f)
+    full = {"x": 0, "y": 0, "z": 0, **witness}
+    assert m.evaluate(f, full) == 1
+    assert m.sat_one(ZERO) is None
+
+
+def test_sat_all_paths_cover_solutions():
+    m, x, y, _z = _fresh_xyz()
+    f = m.apply_or(x, y)
+    total = 0
+    for partial in m.sat_all(f):
+        free = 3 - len(partial)  # z always free
+        total += 2**free
+    assert total == m.satcount(f)
+
+
+def test_support():
+    m, x, y, z = _fresh_xyz()
+    f = m.apply_and(x, z)
+    assert m.support(f) == {"x", "z"}
+    assert m.support(ONE) == set()
+
+
+def test_count_nodes_shares_terminals():
+    m, x, y, _z = _fresh_xyz()
+    f = m.apply_and(x, y)
+    assert m.count_nodes(f) == 4  # two internal + two terminals
+    assert m.count_nodes(x, y) == 4
+
+
+def test_evaluate_missing_variable_raises():
+    m, x, y, _z = _fresh_xyz()
+    f = m.apply_and(x, y)
+    with pytest.raises(KeyError):
+        m.evaluate(f, {"x": 1})
+
+
+# ----------------------------------------------------------------------
+# node budget
+# ----------------------------------------------------------------------
+
+
+def test_blowup_error_raised():
+    m = BddManager(order=[f"v{i}" for i in range(16)], max_nodes=40)
+    with pytest.raises(BddBlowupError):
+        f = ZERO
+        # Build a parity function: linear nodes, but the budget is tiny.
+        for i in range(16):
+            f = m.apply_xor(f, m.var(f"v{i}"))
+
+
+# ----------------------------------------------------------------------
+# transfer (static reordering)
+# ----------------------------------------------------------------------
+
+
+def test_transfer_preserves_function():
+    m, x, y, z = _fresh_xyz()
+    f = m.apply_or(m.apply_and(x, y), z)
+    target = BddManager(order=["z", "y", "x"])
+    g = m.transfer(f, target)
+    for a, b, c in product((0, 1), repeat=3):
+        env = {"x": a, "y": b, "z": c}
+        assert m.evaluate(f, env) == target.evaluate(g, env)
+
+
+def test_order_changes_node_count():
+    # f = (a1∧b1) ∨ (a2∧b2) ∨ (a3∧b3): interleaved order is linear,
+    # separated order is exponential (the textbook example).
+    n = 6
+    inter = [f"{side}{i}" for i in range(n) for side in ("a", "b")]
+    sep = [f"a{i}" for i in range(n)] + [f"b{i}" for i in range(n)]
+
+    def build(manager):
+        f = ZERO
+        for i in range(n):
+            f = manager.apply_or(
+                f, manager.apply_and(manager.var(f"a{i}"), manager.var(f"b{i}"))
+            )
+        return f
+
+    m_inter = BddManager(order=inter)
+    m_sep = BddManager(order=sep)
+    f_inter = build(m_inter)
+    f_sep = build(m_sep)
+    assert m_inter.count_nodes(f_inter) < m_sep.count_nodes(f_sep)
+    assert m_sep.count_nodes(f_sep) > 2**n  # exponential lower bound
+
+
+# ----------------------------------------------------------------------
+# property: BDD semantics == direct evaluation of random expressions
+# ----------------------------------------------------------------------
+
+
+def _random_expr(draw, depth, n_vars):
+    kind = draw(
+        st.sampled_from(["var", "not", "and", "or", "xor"])
+        if depth > 0
+        else st.just("var")
+    )
+    if kind == "var":
+        return ("var", draw(st.integers(min_value=0, max_value=n_vars - 1)))
+    if kind == "not":
+        return ("not", _random_expr(draw, depth - 1, n_vars))
+    return (
+        kind,
+        _random_expr(draw, depth - 1, n_vars),
+        _random_expr(draw, depth - 1, n_vars),
+    )
+
+
+def _eval_expr(expr, env):
+    if expr[0] == "var":
+        return env[expr[1]]
+    if expr[0] == "not":
+        return 1 - _eval_expr(expr[1], env)
+    a = _eval_expr(expr[1], env)
+    b = _eval_expr(expr[2], env)
+    return {"and": a & b, "or": a | b, "xor": a ^ b}[expr[0]]
+
+
+def _build_expr(m, expr):
+    if expr[0] == "var":
+        return m.var(f"v{expr[1]}")
+    if expr[0] == "not":
+        return m.apply_not(_build_expr(m, expr[1]))
+    a = _build_expr(m, expr[1])
+    b = _build_expr(m, expr[2])
+    return getattr(m, f"apply_{expr[0]}")(a, b)
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_random_expressions_match_semantics(data):
+    n_vars = 4
+    expr = _random_expr(data.draw, depth=4, n_vars=n_vars)
+    m = BddManager(order=[f"v{i}" for i in range(n_vars)])
+    f = _build_expr(m, expr)
+    for bits in product((0, 1), repeat=n_vars):
+        env_expr = dict(enumerate(bits))
+        env_bdd = {f"v{i}": b for i, b in enumerate(bits)}
+        assert m.evaluate(f, env_bdd) == _eval_expr(expr, env_expr)

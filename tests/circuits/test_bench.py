@@ -1,0 +1,95 @@
+"""Tests for the .bench parser/writer."""
+
+import pytest
+
+from repro.circuits import (
+    BenchFormatError,
+    GateType,
+    dump,
+    parse_bench,
+)
+from repro.circuits.library import c17, s27
+from repro.circuits.generator import random_circuit
+
+
+def test_parse_minimal():
+    c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+    assert c.inputs == ("a",)
+    assert c.outputs == ("y",)
+    assert c.node("y").gtype is GateType.NOT
+
+
+def test_parse_comments_and_blank_lines():
+    text = """
+    # a comment
+    INPUT(a)   # trailing comment
+
+    OUTPUT(y)
+    y = BUFF(a)
+    """
+    c = parse_bench(text)
+    assert c.node("y").gtype is GateType.BUF  # BUFF alias
+
+
+def test_parse_case_insensitive_types():
+    c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = nand(a, b)\n")
+    assert c.node("y").gtype is GateType.NAND
+
+
+def test_parse_multi_input_gate():
+    c = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = OR(a, b, c)\n"
+    )
+    assert c.node("y").fanins == ("a", "b", "c")
+
+
+def test_parse_rejects_unknown_type():
+    with pytest.raises(BenchFormatError, match="unknown gate type"):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+
+def test_parse_rejects_garbage_line():
+    with pytest.raises(BenchFormatError, match="line 1"):
+        parse_bench("this is not bench\n")
+
+
+def test_parse_rejects_dangling_output():
+    with pytest.raises(BenchFormatError):
+        parse_bench("INPUT(a)\nOUTPUT(ghost)\n")
+
+
+def test_parse_rejects_duplicate_definition():
+    with pytest.raises(BenchFormatError):
+        parse_bench("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n")
+
+
+def test_roundtrip_c17():
+    original = c17()
+    text = dump(original)
+    again = parse_bench(text, name="c17")
+    assert again.structurally_equal(original)
+
+
+def test_roundtrip_s27_sequential():
+    original = s27()
+    again = parse_bench(dump(original), name="s27")
+    assert again.structurally_equal(original)
+    assert len(again.dffs) == 3
+
+
+def test_roundtrip_random_circuits():
+    for seed in range(5):
+        original = random_circuit(
+            n_inputs=5, n_outputs=3, n_gates=25, seed=seed
+        )
+        again = parse_bench(dump(original), name=original.name)
+        assert again.structurally_equal(original)
+
+
+def test_dump_writes_file(tmp_path):
+    path = tmp_path / "c17.bench"
+    dump(c17(), path)
+    from repro.circuits import load
+
+    assert load(path).structurally_equal(c17())
+    assert load(path).name == "c17"

@@ -1,0 +1,128 @@
+"""Unit tests for gate evaluation over all three domains."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuits.gates import (
+    CONTROLLING_VALUE,
+    FUNCTIONAL_TYPES,
+    GateType,
+    X,
+    eval_gate,
+    eval_gate_ternary,
+    eval_gate_words,
+)
+
+MULTI = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+def ref_eval(gtype, ins):
+    """Independent reference implementation."""
+    if gtype is GateType.AND:
+        return int(all(ins))
+    if gtype is GateType.NAND:
+        return 1 - int(all(ins))
+    if gtype is GateType.OR:
+        return int(any(ins))
+    if gtype is GateType.NOR:
+        return 1 - int(any(ins))
+    if gtype is GateType.XOR:
+        return sum(ins) % 2
+    if gtype is GateType.XNOR:
+        return 1 - sum(ins) % 2
+    if gtype is GateType.BUF:
+        return ins[0]
+    if gtype is GateType.NOT:
+        return 1 - ins[0]
+    raise AssertionError(gtype)
+
+
+@pytest.mark.parametrize("gtype", MULTI)
+@pytest.mark.parametrize("arity", [2, 3, 4])
+def test_eval_gate_matches_reference(gtype, arity):
+    for ins in itertools.product([0, 1], repeat=arity):
+        assert eval_gate(gtype, list(ins)) == ref_eval(gtype, ins)
+
+
+@pytest.mark.parametrize("gtype", [GateType.BUF, GateType.NOT])
+def test_single_input_gates(gtype):
+    for v in (0, 1):
+        assert eval_gate(gtype, [v]) == ref_eval(gtype, [v])
+
+
+def test_constants():
+    assert eval_gate(GateType.CONST0, []) == 0
+    assert eval_gate(GateType.CONST1, []) == 1
+
+
+def test_input_has_no_function():
+    with pytest.raises(ValueError):
+        eval_gate(GateType.INPUT, [])
+
+
+def test_empty_fanin_rejected():
+    with pytest.raises(ValueError):
+        eval_gate(GateType.AND, [])
+
+
+def test_dff_acts_as_buffer_combinationally():
+    assert eval_gate(GateType.DFF, [1]) == 1
+    assert eval_gate(GateType.DFF, [0]) == 0
+
+
+@pytest.mark.parametrize("gtype", MULTI)
+def test_words_agree_with_scalar(gtype):
+    mask = 0xFF
+    for a in range(4):
+        for b in range(4):
+            word = eval_gate_words(gtype, [a, b], mask)
+            for bit in range(8):
+                scalar = eval_gate(gtype, [(a >> bit) & 1, (b >> bit) & 1])
+                assert (word >> bit) & 1 == scalar
+
+
+@given(
+    st.sampled_from(MULTI),
+    st.lists(st.integers(0, 1), min_size=2, max_size=5),
+)
+def test_ternary_agrees_on_binary_values(gtype, ins):
+    assert eval_gate_ternary(gtype, ins) == eval_gate(gtype, ins)
+
+
+def test_ternary_controlling_dominates_x():
+    assert eval_gate_ternary(GateType.AND, [0, X]) == 0
+    assert eval_gate_ternary(GateType.NAND, [0, X]) == 1
+    assert eval_gate_ternary(GateType.OR, [1, X]) == 1
+    assert eval_gate_ternary(GateType.NOR, [1, X]) == 0
+
+
+def test_ternary_x_propagates_when_undetermined():
+    assert eval_gate_ternary(GateType.AND, [1, X]) == X
+    assert eval_gate_ternary(GateType.OR, [0, X]) == X
+    assert eval_gate_ternary(GateType.XOR, [1, X]) == X
+    assert eval_gate_ternary(GateType.NOT, [X]) == X
+
+
+def test_controlling_values_table():
+    # An input at the controlling value must determine the output.
+    for gtype, ctrl in CONTROLLING_VALUE.items():
+        if ctrl is None or gtype not in MULTI:
+            continue
+        out_with_0 = eval_gate(gtype, [ctrl, 0])
+        out_with_1 = eval_gate(gtype, [ctrl, 1])
+        assert out_with_0 == out_with_1
+
+
+def test_functional_types_is_consistent():
+    assert GateType.INPUT not in FUNCTIONAL_TYPES
+    assert GateType.DFF not in FUNCTIONAL_TYPES
+    assert GateType.AND in FUNCTIONAL_TYPES

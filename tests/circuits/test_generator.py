@@ -1,0 +1,82 @@
+"""Tests for the synthetic circuit generator."""
+
+import pytest
+
+from repro.circuits import GeneratorConfig, random_circuit, random_sequential_circuit
+from repro.circuits.bench import dump, parse_bench
+
+
+def test_determinism():
+    a = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=5)
+    b = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=5)
+    assert a.structurally_equal(b)
+
+
+def test_different_seeds_differ():
+    a = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=5)
+    b = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=6)
+    assert not a.structurally_equal(b)
+
+
+@pytest.mark.parametrize("n_gates", [5, 40, 200])
+def test_shape_constraints(n_gates):
+    c = random_circuit(n_inputs=8, n_outputs=4, n_gates=n_gates, seed=1)
+    c.validate()
+    assert len(c.inputs) == 8
+    assert len(c.outputs) == 4
+    assert c.num_gates >= n_gates  # funneling may add a few
+    assert c.is_combinational
+
+
+def test_no_dead_logic():
+    c = random_circuit(n_inputs=8, n_outputs=4, n_gates=50, seed=2)
+    fanouts = c.fanouts()
+    outputs = set(c.outputs)
+    dead = [
+        n for n in c.nodes if not fanouts[n] and n not in outputs
+    ]
+    assert dead == []
+
+
+def test_max_fanin_respected():
+    c = random_circuit(
+        GeneratorConfig(n_inputs=6, n_outputs=2, n_gates=60, max_fanin=3, seed=3)
+    )
+    for gate in c.gates:
+        assert len(gate.fanins) <= 3
+
+
+def test_config_and_kwargs_are_exclusive():
+    with pytest.raises(TypeError):
+        random_circuit(GeneratorConfig(), n_gates=5)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(n_inputs=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(n_gates=2, n_outputs=5)
+    with pytest.raises(ValueError):
+        GeneratorConfig(locality=0.0)
+
+
+def test_generated_circuits_roundtrip_bench():
+    c = random_circuit(n_inputs=5, n_outputs=2, n_gates=20, seed=9)
+    assert parse_bench(dump(c), name=c.name).structurally_equal(c)
+
+
+def test_sequential_generator():
+    c = random_sequential_circuit(
+        n_inputs=4, n_outputs=2, n_gates=25, n_dffs=3, seed=4
+    )
+    c.validate()
+    assert c.is_sequential
+    assert len(c.dffs) == 3
+    assert len(c.inputs) == 4
+    assert len(c.outputs) == 2
+
+
+def test_sequential_generator_deterministic():
+    a = random_sequential_circuit(seed=8)
+    b = random_sequential_circuit(seed=8)
+    assert a.structurally_equal(b)

@@ -1,0 +1,117 @@
+"""Tests for the embedded circuit library (incl. paper Figure 5 witnesses)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import library
+from repro.sim import simulate
+
+
+def test_c17_shape(c17):
+    assert len(c17.inputs) == 5
+    assert len(c17.outputs) == 2
+    assert c17.num_gates == 6
+    assert all(g.gtype.value == "NAND" for g in c17.gates)
+
+
+def test_s27_shape(s27):
+    assert len(s27.inputs) == 4
+    assert s27.outputs == ("G17",)
+    assert len(s27.dffs) == 3
+    assert s27.num_gates == 10
+
+
+def test_registry_roundtrip():
+    for name in library.available_circuits():
+        c = library.get_circuit(name)
+        c.validate()
+        assert c.name == name or c.name.startswith(name)
+
+
+def test_registry_unknown_name():
+    with pytest.raises(KeyError, match="unknown circuit"):
+        library.get_circuit("s99999")
+
+
+def test_fig5a_semantics(fig5a_circuit):
+    vec, out, correct = library.FIG5A_TEST
+    values = simulate(fig5a_circuit, vec)
+    assert values[out] == 1 - correct  # the test fails
+    # {A} and {D} rectify; {B} and {C} alone cannot.
+    assert simulate(fig5a_circuit, vec, forced={"A": 1})[out] == correct
+    assert simulate(fig5a_circuit, vec, forced={"D": 1})[out] == correct
+    for g in ("B", "C"):
+        for v in (0, 1):
+            assert simulate(fig5a_circuit, vec, forced={g: v})[out] != correct
+
+
+def test_fig5b_semantics(fig5b_circuit):
+    vec, out, correct = library.FIG5B_TEST
+    values = simulate(fig5b_circuit, vec)
+    assert values[out] == 1 - correct
+    # {A, B} rectifies but neither {A} nor {B} alone does.
+    assert (
+        simulate(fig5b_circuit, vec, forced={"A": 1, "B": 1})[out] == correct
+    )
+    for forced in ({"A": 0}, {"A": 1}, {"B": 0}, {"B": 1}):
+        assert simulate(fig5b_circuit, vec, forced=forced)[out] != correct
+
+
+def test_ripple_carry_adder_exhaustive():
+    rca = library.ripple_carry_adder(3)
+    for a, b, cin in itertools.product(range(8), range(8), range(2)):
+        vec = {f"a{i}": (a >> i) & 1 for i in range(3)}
+        vec |= {f"b{i}": (b >> i) & 1 for i in range(3)}
+        vec["cin"] = cin
+        vals = simulate(rca, vec)
+        got = sum(vals[f"s{i}"] << i for i in range(3)) + (vals["c2"] << 3)
+        assert got == a + b + cin
+
+
+def test_parity_tree():
+    par = library.parity_tree(5)
+    for bits in itertools.product([0, 1], repeat=5):
+        vec = {f"x{i}": bits[i] for i in range(5)}
+        assert simulate(par, vec)[par.outputs[0]] == sum(bits) % 2
+
+
+def test_majority():
+    maj = library.majority()
+    for bits in itertools.product([0, 1], repeat=3):
+        vec = dict(zip("abc", bits))
+        assert simulate(maj, vec)["out"] == int(sum(bits) >= 2)
+
+
+def test_mux_tree():
+    mux = library.mux_tree(2)
+    for sel in range(4):
+        for data in range(16):
+            vec = {f"d{i}": (data >> i) & 1 for i in range(4)}
+            vec |= {f"s{i}": (sel >> i) & 1 for i in range(2)}
+            assert simulate(mux, vec)["out"] == (data >> sel) & 1
+
+
+def test_equality_comparator():
+    eq = library.equality_comparator(3)
+    for a, b in itertools.product(range(8), repeat=2):
+        vec = {f"a{i}": (a >> i) & 1 for i in range(3)}
+        vec |= {f"b{i}": (b >> i) & 1 for i in range(3)}
+        assert simulate(eq, vec)["out"] == int(a == b)
+
+
+def test_standin_sizes_ordered():
+    small = library.sim1423()
+    mid = library.sim6669()
+    large = library.sim38417()
+    assert small.num_gates < mid.num_gates < large.num_gates
+    # Same relative ordering as the real s1423 < s6669 < s38417.
+
+
+def test_parametric_validation():
+    with pytest.raises(ValueError):
+        library.ripple_carry_adder(0)
+    with pytest.raises(ValueError):
+        library.parity_tree(1)
+    with pytest.raises(ValueError):
+        library.mux_tree(0)

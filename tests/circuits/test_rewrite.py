@@ -1,0 +1,94 @@
+"""Tests for equivalence-preserving netlist rewrites."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    GateType,
+    de_morgan_rewrite,
+    decompose_wide_gates,
+    random_circuit,
+)
+from repro.circuits.library import c17, mux_tree
+from repro.verify import check_equivalence
+
+
+def test_de_morgan_preserves_function(c17):
+    rewritten = de_morgan_rewrite(c17, seed=0)
+    assert check_equivalence(c17, rewritten, method="sat").equivalent
+
+
+def test_de_morgan_rewrites_types(c17):
+    rewritten = de_morgan_rewrite(c17, fraction=1.0, seed=0)
+    # c17 is all NANDs; every one becomes an OR over fresh inverters.
+    for name in c17.gate_names:
+        assert rewritten.node(name).gtype is GateType.OR
+    assert rewritten.num_gates > c17.num_gates
+
+
+def test_de_morgan_fraction_zero_is_identity(c17):
+    rewritten = de_morgan_rewrite(c17, fraction=0.0, seed=0)
+    assert rewritten.structurally_equal(c17.copy(name=rewritten.name))
+
+
+def test_de_morgan_fraction_validated(c17):
+    with pytest.raises(ValueError, match="fraction"):
+        de_morgan_rewrite(c17, fraction=1.5)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_de_morgan_on_random_circuits(seed):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=seed)
+    rewritten = de_morgan_rewrite(circuit, fraction=0.5, seed=seed)
+    assert check_equivalence(circuit, rewritten, method="sat").equivalent
+
+
+def test_decompose_splits_wide_gates():
+    mux = mux_tree(2)  # contains a 4-input OR and 3-input ANDs
+    decomposed = decompose_wide_gates(mux, max_fanin=2, seed=0)
+    assert all(len(g.fanins) <= 2 for g in decomposed.gates)
+    assert decomposed.num_gates > mux.num_gates
+    assert check_equivalence(mux, decomposed, method="sat").equivalent
+
+
+def test_decompose_keeps_output_names():
+    mux = mux_tree(2)
+    decomposed = decompose_wide_gates(mux, seed=1)
+    assert decomposed.outputs == mux.outputs
+    for out in mux.outputs:
+        assert out in decomposed
+
+
+def test_decompose_handles_inverting_roots():
+    c = Circuit("wide_nor")
+    for pi in ("a", "b", "c", "d"):
+        c.add_input(pi)
+    c.add_gate("z", GateType.NOR, ["a", "b", "c", "d"])
+    c.add_output("z")
+    c.validate()
+    decomposed = decompose_wide_gates(c, seed=0)
+    assert decomposed.node("z").gtype is GateType.NOR
+    assert len(decomposed.node("z").fanins) == 2
+    assert check_equivalence(c, decomposed, method="sat").equivalent
+
+
+def test_decompose_xor_chains():
+    c = Circuit("wide_xnor")
+    for pi in ("a", "b", "c", "d", "e"):
+        c.add_input(pi)
+    c.add_gate("z", GateType.XNOR, ["a", "b", "c", "d", "e"])
+    c.add_output("z")
+    c.validate()
+    decomposed = decompose_wide_gates(c, seed=0)
+    assert check_equivalence(c, decomposed, method="sat").equivalent
+
+
+def test_decompose_max_fanin_validated(c17):
+    with pytest.raises(ValueError, match="max_fanin"):
+        decompose_wide_gates(c17, max_fanin=1)
+
+
+def test_rewrites_compose():
+    mux = mux_tree(2)
+    both = de_morgan_rewrite(decompose_wide_gates(mux, seed=3), seed=3)
+    assert check_equivalence(mux, both, method="sat").equivalent

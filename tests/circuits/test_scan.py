@@ -1,0 +1,66 @@
+"""Tests for full-scan conversion (DFF -> PPI/PPO)."""
+
+from repro.circuits import random_sequential_circuit, to_combinational
+from repro.sim import simulate
+
+
+def test_combinational_passthrough(c17):
+    result = to_combinational(c17)
+    assert result.circuit.structurally_equal(c17)
+    assert result.ppi_of == {}
+    assert result.ppo_of == {}
+
+
+def test_s27_scan_shape(s27):
+    result = to_combinational(s27)
+    scan = result.circuit
+    assert scan.is_combinational
+    assert set(result.ppi_of) == {"G5", "G6", "G7"}
+    # DFF outputs become PPIs, DFF inputs become PPOs.
+    assert set(scan.inputs) == set(s27.inputs) | {"G5", "G6", "G7"}
+    assert set(result.ppo_of.values()) <= set(scan.outputs)
+    scan.validate()
+
+
+def test_scan_preserves_combinational_logic(s27):
+    """One frame of sequential simulation == scan simulation with the same
+    present state on the PPIs."""
+    result = to_combinational(s27)
+    scan = result.circuit
+    import itertools
+
+    for bits in itertools.product([0, 1], repeat=7):
+        pi_vals = dict(zip(("G0", "G1", "G2", "G3"), bits[:4]))
+        state = dict(zip(("G5", "G6", "G7"), bits[4:]))
+        seq_vals = simulate(s27, pi_vals, state=state)
+        scan_vals = simulate(scan, {**pi_vals, **state})
+        for out in s27.outputs:
+            assert seq_vals[out] == scan_vals[out]
+        for dff, d_sig in result.ppo_of.items():
+            assert seq_vals[d_sig] == scan_vals[d_sig]
+
+
+def test_scan_random_sequential():
+    seq = random_sequential_circuit(
+        n_inputs=4, n_outputs=2, n_gates=20, n_dffs=3, seed=17
+    )
+    result = to_combinational(seq)
+    scan = result.circuit
+    scan.validate()
+    assert scan.is_combinational
+    assert len(scan.inputs) == len(seq.inputs) + 3
+
+
+def test_scan_does_not_duplicate_output_ppos():
+    """A DFF fed directly by a primary output must not double-declare it."""
+    from repro.circuits import Circuit, GateType
+
+    c = Circuit("loop")
+    c.add_input("a")
+    c.add_gate("g", GateType.NOT, ["a"])
+    c.add_gate("q", GateType.DFF, ["g"])
+    c.add_gate("h", GateType.AND, ["q", "a"])
+    c.add_output("g")  # g is both PO and DFF input
+    c.add_output("h")
+    result = to_combinational(c)
+    assert sorted(result.circuit.outputs) == ["g", "h"]

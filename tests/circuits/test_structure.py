@@ -1,0 +1,147 @@
+"""Tests for structural analysis: levels, cones, dominators, distances."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.structure import (
+    depth,
+    dominated_region,
+    dominator_gates,
+    dominator_chain,
+    fanin_cone,
+    fanout_cone,
+    immediate_dominators,
+    levels,
+    undirected_distance_to_nearest,
+)
+
+
+def chain_circuit():
+    """a -> g1 -> g2 -> g3 (output)."""
+    c = Circuit("chain")
+    c.add_input("a")
+    c.add_gate("g1", GateType.NOT, ["a"])
+    c.add_gate("g2", GateType.NOT, ["g1"])
+    c.add_gate("g3", GateType.NOT, ["g2"])
+    c.add_output("g3")
+    c.validate()
+    return c
+
+
+def diamond_circuit():
+    """a -> (b, c) -> d (output): reconvergent fanout."""
+    c = Circuit("diamond")
+    c.add_input("a")
+    c.add_gate("b", GateType.NOT, ["a"])
+    c.add_gate("c", GateType.BUF, ["a"])
+    c.add_gate("d", GateType.AND, ["b", "c"])
+    c.add_output("d")
+    c.validate()
+    return c
+
+
+def test_levels_chain():
+    lv = levels(chain_circuit())
+    assert lv == {"a": 0, "g1": 1, "g2": 2, "g3": 3}
+    assert depth(chain_circuit()) == 3
+
+
+def test_levels_dff_is_source():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("q", GateType.DFF, ["d"])
+    c.add_gate("d", GateType.AND, ["a", "q"])
+    c.add_output("d")
+    lv = levels(c)
+    assert lv["q"] == 0
+    assert lv["d"] == 1
+
+
+def test_cones():
+    c = diamond_circuit()
+    assert fanin_cone(c, "d") == {"a", "b", "c", "d"}
+    assert fanin_cone(c, "d", include_self=False) == {"a", "b", "c"}
+    assert fanout_cone(c, "a") == {"a", "b", "c", "d"}
+    assert fanout_cone(c, "b") == {"b", "d"}
+
+
+def test_distances_chain():
+    c = chain_circuit()
+    d = undirected_distance_to_nearest(c, ["g2"])
+    assert d["g2"] == 0
+    assert d["g1"] == 1 and d["g3"] == 1
+    assert d["a"] == 2
+
+
+def test_distances_multiple_targets():
+    c = chain_circuit()
+    d = undirected_distance_to_nearest(c, ["g1", "g3"])
+    assert d["g1"] == 0 and d["g3"] == 0
+    assert d["g2"] == 1
+    assert d["a"] == 1
+
+
+def test_distances_unknown_target_raises():
+    with pytest.raises(Exception):
+        undirected_distance_to_nearest(chain_circuit(), ["ghost"])
+
+
+def test_immediate_dominators_chain():
+    c = chain_circuit()
+    idom = immediate_dominators(c)
+    assert idom["g1"] == "g2"
+    assert idom["g2"] == "g3"
+    assert idom["g3"] is None  # only the virtual sink dominates the output
+    assert dominator_chain(c, "a") == ["g1", "g2", "g3"]
+
+
+def test_immediate_dominators_diamond():
+    c = diamond_circuit()
+    idom = immediate_dominators(c)
+    # Both branch gates are dominated by the reconvergence gate d, and so
+    # is the stem a (its only output path family re-merges at d).
+    assert idom["b"] == "d"
+    assert idom["c"] == "d"
+    assert idom["a"] == "d"
+
+
+def test_dominator_gates_and_regions():
+    c = diamond_circuit()
+    heads = dominator_gates(c)
+    assert heads == {"d"}
+    region = dominated_region(c, "d")
+    assert region == {"a", "b", "c"}
+
+
+def test_multi_output_breaks_domination():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g1", GateType.NOT, ["a"])
+    c.add_gate("o1", GateType.BUF, ["g1"])
+    c.add_gate("o2", GateType.BUF, ["g1"])
+    c.add_output("o1")
+    c.add_output("o2")
+    idom = immediate_dominators(c)
+    assert idom["g1"] is None  # reaches outputs via two disjoint paths
+
+
+def test_dominators_on_random_circuits_are_sound():
+    """Every path from g to any output must pass through each dominator."""
+    import networkx as nx
+    from repro.circuits.structure import gate_graph
+
+    for seed in range(3):
+        c = random_circuit(n_inputs=4, n_outputs=2, n_gates=18, seed=seed)
+        graph = gate_graph(c)
+        idom = immediate_dominators(c)
+        for g, dom in idom.items():
+            if dom is None:
+                continue
+            pruned = graph.copy()
+            pruned.remove_node(dom)
+            reachable = (
+                nx.descendants(pruned, g) | {g} if g in pruned else set()
+            )
+            assert not any(o in reachable for o in c.outputs), (
+                f"{g} reaches an output avoiding its dominator {dom}"
+            )

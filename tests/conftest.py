@@ -1,0 +1,70 @@
+"""Shared fixtures for the test-suite.
+
+Small, fast circuits and pre-built diagnosis workloads used across test
+modules.  Workload construction is deterministic (fixed seeds) so failures
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import library, random_circuit
+from repro.experiments import make_workload
+
+
+@pytest.fixture
+def c17():
+    return library.c17()
+
+
+@pytest.fixture
+def s27():
+    return library.s27()
+
+
+@pytest.fixture
+def fig5a_circuit():
+    return library.fig5a()
+
+
+@pytest.fixture
+def fig5b_circuit():
+    return library.fig5b()
+
+
+@pytest.fixture
+def maj3():
+    return library.majority()
+
+
+@pytest.fixture
+def rca4():
+    return library.ripple_carry_adder(4)
+
+
+@pytest.fixture
+def small_random():
+    """A 20-gate random circuit for structural/simulation tests."""
+    return random_circuit(n_inputs=6, n_outputs=3, n_gates=20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """Single gate-change error in a ~15-gate circuit, 4 failing tests."""
+    circuit = random_circuit(n_inputs=5, n_outputs=3, n_gates=15, seed=301)
+    return make_workload(circuit, p=1, m_max=4, seed=5)
+
+
+@pytest.fixture(scope="session")
+def double_error_workload():
+    """Two gate-change errors in a ~25-gate circuit, 8 failing tests."""
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=25, seed=302)
+    return make_workload(circuit, p=2, m_max=8, seed=6)
+
+
+@pytest.fixture(scope="session")
+def medium_workload():
+    """Two errors in a ~120-gate circuit, 16 failing tests (integration)."""
+    circuit = random_circuit(n_inputs=12, n_outputs=6, n_gates=120, seed=303)
+    return make_workload(circuit, p=2, m_max=16, seed=7)

@@ -1,0 +1,98 @@
+"""Tests for the advanced SAT-based diagnosis heuristics."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    dominator_representatives,
+    dominator_sat_diagnose,
+    is_valid_correction,
+    partitioned_sat_diagnose,
+    select_zero_sat_diagnose,
+)
+
+
+def test_select_zero_same_solutions(tiny_workload):
+    w = tiny_workload
+    plain = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    fast = select_zero_sat_diagnose(w.faulty, w.tests, k=2)
+    assert set(plain.solutions) == set(fast.solutions)
+    assert fast.approach == "BSAT+sc0"
+
+
+def test_select_zero_reduces_decisions(medium_workload):
+    """The paper: the s=0 -> c=0 clauses 'prevent up to |I| decisions'."""
+    w = medium_workload
+    plain = basic_sat_diagnose(w.faulty, w.tests.prefix(4), k=1)
+    fast = select_zero_sat_diagnose(w.faulty, w.tests.prefix(4), k=1)
+    assert (
+        fast.extras["solver_stats"]["decisions"]
+        < plain.extras["solver_stats"]["decisions"]
+    )
+
+
+def test_dominator_representatives_chain():
+    c = Circuit("chain")
+    c.add_input("a")
+    c.add_gate("g1", GateType.NOT, ["a"])
+    c.add_gate("g2", GateType.NOT, ["g1"])
+    c.add_gate("g3", GateType.NOT, ["g2"])
+    c.add_output("g3")
+    rep = dominator_representatives(c)
+    assert rep == {"g1": "g2", "g2": "g3", "g3": "g3"}
+
+
+def test_dominator_diagnosis_single_error_exact(tiny_workload):
+    """For single errors the two-pass dominator approach is exact."""
+    w = tiny_workload
+    full = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    dom = dominator_sat_diagnose(w.faulty, w.tests, k=1)
+    assert set(dom.solutions) == set(full.solutions)
+    assert dom.extras["pass1_suspects"] <= len(w.faulty.gate_names)
+
+
+def test_dominator_pass1_smaller(medium_workload):
+    w = medium_workload
+    dom = dominator_sat_diagnose(w.faulty, w.tests.prefix(4), k=1)
+    assert dom.extras["pass1_suspects"] < len(w.faulty.gate_names)
+
+
+def test_dominator_solutions_always_valid(double_error_workload):
+    w = double_error_workload
+    dom = dominator_sat_diagnose(w.faulty, w.tests, k=2)
+    for sol in dom.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)
+
+
+def test_partitioned_single_error_exact(medium_workload):
+    w = medium_workload
+    full = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    part = partitioned_sat_diagnose(w.faulty, w.tests, k=1, chunk=4)
+    assert set(part.solutions) == set(full.solutions)
+    assert part.extras["stages"] >= 2
+    assert part.extras["final_suspects"] <= len(w.faulty.gate_names)
+
+
+def test_partitioned_solutions_valid_for_full_set(double_error_workload):
+    w = double_error_workload
+    part = partitioned_sat_diagnose(w.faulty, w.tests, k=2, chunk=3)
+    for sol in part.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)
+
+
+def test_partitioned_single_chunk_equals_bsat(tiny_workload):
+    w = tiny_workload
+    full = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    part = partitioned_sat_diagnose(
+        w.faulty, w.tests, k=2, chunk=len(w.tests)
+    )
+    assert set(part.solutions) == set(full.solutions)
+
+
+def test_partitioned_subset_of_bsat(double_error_workload):
+    """Partitioning may lose multi-error solutions but never invents any."""
+    w = double_error_workload
+    full = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    part = partitioned_sat_diagnose(w.faulty, w.tests, k=2, chunk=3)
+    assert set(part.solutions) <= set(full.solutions)

@@ -1,0 +1,81 @@
+"""Tests for advanced simulation-based diagnosis (effect analysis search)."""
+
+from repro.circuits.library import FIG5B_TEST
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    enumerate_sim_corrections,
+    has_only_essential_candidates,
+    incremental_sim_diagnose,
+    is_valid_correction,
+)
+from repro.testgen import Test, TestSet
+
+
+def test_exhaustive_pool_equals_bsat(tiny_workload):
+    """With the full gate pool, the sim-based search is an oracle for BSAT."""
+    w = tiny_workload
+    sat = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    sim = enumerate_sim_corrections(
+        w.faulty, w.tests, k=2, pool=w.faulty.gate_names
+    )
+    assert set(sim.solutions) == set(sat.solutions)
+
+
+def test_pt_pool_reproduces_lemma4_gap(fig5b_circuit):
+    """Restricted to the PT pool, the advanced sim approach misses {A,B} —
+    exactly the incompleteness the paper attributes to COV-like pruning."""
+    vec, out, val = FIG5B_TEST
+    tests = TestSet((Test(vec, out, val),))
+    sat = basic_sat_diagnose(fig5b_circuit, tests, k=2)
+    sim = enumerate_sim_corrections(fig5b_circuit, tests, k=2)  # PT pool
+    ab = frozenset({"A", "B"})
+    assert ab in set(sat.solutions)
+    assert ab not in set(sim.solutions)
+    assert set(sim.solutions) < set(sat.solutions)
+
+
+def test_all_solutions_valid_and_essential(double_error_workload):
+    w = double_error_workload
+    sim = enumerate_sim_corrections(w.faulty, w.tests, k=2)
+    assert sim.solutions  # something must be found (error sites are in pool
+    # or their region is)
+    for sol in sim.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)
+        assert has_only_essential_candidates(w.faulty, w.tests, sol)
+
+
+def test_incremental_solutions_valid(double_error_workload):
+    w = double_error_workload
+    inc = incremental_sim_diagnose(w.faulty, w.tests, k=2)
+    assert inc.solutions
+    for sol in inc.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)
+
+
+def test_incremental_subset_of_bsat(tiny_workload):
+    w = tiny_workload
+    sat = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    inc = incremental_sim_diagnose(w.faulty, w.tests, k=2)
+    assert set(inc.solutions) <= set(sat.solutions)
+
+
+def test_incremental_max_solutions(double_error_workload):
+    w = double_error_workload
+    inc = incremental_sim_diagnose(w.faulty, w.tests, k=2, max_solutions=1)
+    assert len(inc.solutions) <= 1
+    assert not inc.complete
+
+
+def test_solutions_are_minimal(double_error_workload):
+    w = double_error_workload
+    inc = incremental_sim_diagnose(w.faulty, w.tests, k=2)
+    for a in inc.solutions:
+        for b in inc.solutions:
+            assert not (a < b)
+
+
+def test_pool_size_reported(tiny_workload):
+    w = tiny_workload
+    sim = enumerate_sim_corrections(w.faulty, w.tests, k=1)
+    assert sim.extras["pool_size"] > 0
+    assert sim.extras["sim_result"] is not None

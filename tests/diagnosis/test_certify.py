@@ -1,0 +1,86 @@
+"""Tests for certified diagnosis verdicts (DRAT-backed bounds)."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.diagnosis import basic_sat_diagnose, certify_correction_bound
+from repro.faults import GateChangeError, inject_errors
+from repro.sim import failing_outputs
+from repro.testgen import Test, TestSet
+
+
+def _two_island_workload():
+    """Two disjoint output cones, one error in each: k=1 has no correction."""
+    golden = Circuit("islands")
+    for pi in ("a", "b", "c", "d"):
+        golden.add_input(pi)
+    golden.add_gate("g1", GateType.AND, ["a", "b"])
+    golden.add_gate("g2", GateType.OR, ["c", "d"])
+    golden.add_output("g1")
+    golden.add_output("g2")
+    golden.validate()
+    errors = [
+        GateChangeError("g1", GateType.AND, GateType.NOR),
+        GateChangeError("g2", GateType.OR, GateType.XNOR),
+    ]
+    inj = inject_errors(golden, errors)
+    # One failing test per island.
+    vec1 = {"a": 1, "b": 1, "c": 0, "d": 0}
+    vec2 = {"a": 0, "b": 0, "c": 1, "d": 0}
+    assert "g1" in failing_outputs(golden, inj.faulty, vec1)
+    assert "g2" in failing_outputs(golden, inj.faulty, vec2)
+    tests = TestSet(
+        (
+            Test(vector=vec1, output="g1", value=1),
+            Test(vector=vec2, output="g2", value=1),
+        )
+    )
+    return inj, tests
+
+
+def test_no_single_fix_certified():
+    inj, tests = _two_island_workload()
+    verdict = certify_correction_bound(inj.faulty, tests, k=1)
+    assert not verdict.has_correction
+    assert verdict.proof is not None
+    assert verdict.verified is True
+    assert verdict.proof_steps >= 1
+    assert "VERIFIED" in verdict.summary()
+
+
+def test_two_fix_exists():
+    inj, tests = _two_island_workload()
+    verdict = certify_correction_bound(inj.faulty, tests, k=2)
+    assert verdict.has_correction
+    assert verdict.proof is None
+    assert "correction exists" in verdict.summary()
+
+
+def test_k_zero_is_always_refuted():
+    inj, tests = _two_island_workload()
+    verdict = certify_correction_bound(inj.faulty, tests, k=0)
+    assert not verdict.has_correction
+    assert verdict.verified is True
+
+
+def test_verdict_agrees_with_bsat(tiny_workload):
+    w = tiny_workload
+    result = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    verdict = certify_correction_bound(w.faulty, w.tests, k=1)
+    assert verdict.has_correction == bool(result.solutions)
+
+
+def test_check_can_be_skipped():
+    inj, tests = _two_island_workload()
+    verdict = certify_correction_bound(inj.faulty, tests, k=1, check=False)
+    assert not verdict.has_correction
+    assert verdict.verified is None
+    assert verdict.check_time == 0.0
+    assert "unchecked" in verdict.summary()
+
+
+def test_negative_k_rejected(tiny_workload):
+    with pytest.raises(ValueError, match="non-negative"):
+        certify_correction_bound(
+            tiny_workload.faulty, tiny_workload.tests, k=-1
+        )

@@ -1,0 +1,144 @@
+"""Tests for set-covering diagnosis (COV / SCDiagnose)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diagnosis import minimal_covers_bnb, minimal_covers_sat, sc_diagnose
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+PAPER_EXAMPLE = [fs("A", "B", "F", "G"), fs("C", "D", "E", "F", "G"),
+                 fs("B", "C", "E", "H")]
+
+
+def test_paper_example_solutions():
+    """Example 1 of the paper: {B, D} is a k=2 solution."""
+    covers = minimal_covers_bnb(PAPER_EXAMPLE, k=2)
+    assert fs("B", "D") in covers
+    # every cover hits every set and is irredundant
+    for cover in covers:
+        assert all(cover & s for s in PAPER_EXAMPLE)
+        for g in cover:
+            reduced = cover - {g}
+            assert not all(reduced & s for s in PAPER_EXAMPLE)
+
+
+def test_paper_example_k3_contains_adh():
+    """{A, D, H} is another solution (at k=3)."""
+    covers = minimal_covers_bnb(PAPER_EXAMPLE, k=3)
+    assert fs("A", "D", "H") in covers
+
+
+def test_singletons():
+    covers = minimal_covers_bnb([fs("F", "G"), fs("F")], k=2)
+    assert covers == [fs("F")]
+
+
+def test_empty_input():
+    assert minimal_covers_bnb([], k=2) == [frozenset()]
+    sat, complete = minimal_covers_sat([], k=2)
+    assert sat == [frozenset()] and complete
+
+
+def test_uncoverable_empty_set():
+    assert minimal_covers_bnb([fs("A"), fs()], k=2) == []
+    sat, _ = minimal_covers_sat([fs("A"), fs()], k=2)
+    assert sat == []
+
+
+def test_k_too_small():
+    sets = [fs("A"), fs("B"), fs("C")]
+    assert minimal_covers_bnb(sets, k=2) == []
+    sat, _ = minimal_covers_sat(sets, k=2)
+    assert sat == []
+
+
+@given(
+    st.lists(
+        st.sets(st.sampled_from("ABCDEFGH"), min_size=1, max_size=5),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(1, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_sat_and_bnb_agree(sets, k):
+    sets = [frozenset(s) for s in sets]
+    bnb = set(minimal_covers_bnb(sets, k))
+    sat, complete = minimal_covers_sat(sets, k)
+    assert complete
+    assert set(sat) == bnb
+
+
+@given(
+    st.lists(
+        st.sets(st.sampled_from("ABCDEF"), min_size=1, max_size=4),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(1, 3),
+)
+@settings(max_examples=40, deadline=None)
+def test_covers_are_minimal_and_complete(sets, k):
+    """Against a brute-force enumeration of ALL minimal covers <= k."""
+    from itertools import combinations
+
+    sets = [frozenset(s) for s in sets]
+    universe = sorted(set().union(*sets)) if sets else []
+    brute = []
+    for size in range(0, k + 1):
+        for subset in combinations(universe, size):
+            cand = frozenset(subset)
+            if not all(cand & s for s in sets):
+                continue
+            if any(
+                all((cand - {g}) & s for s in sets) for g in cand
+            ):
+                continue  # not irredundant
+            brute.append(cand)
+    assert set(minimal_covers_bnb(sets, k)) == set(brute)
+
+
+def test_sc_diagnose_methods_agree(tiny_workload):
+    w = tiny_workload
+    a = sc_diagnose(w.faulty, w.tests, k=2, method="sat")
+    b = sc_diagnose(w.faulty, w.tests, k=2, method="bnb")
+    assert set(a.solutions) == set(b.solutions)
+    assert a.approach == b.approach == "COV"
+
+
+def test_sc_diagnose_solution_limit(tiny_workload):
+    w = tiny_workload
+    full = sc_diagnose(w.faulty, w.tests, k=2)
+    if full.n_solutions > 1:
+        limited = sc_diagnose(w.faulty, w.tests, k=2, solution_limit=1)
+        assert limited.n_solutions == 1
+        assert not limited.complete
+
+
+def test_sc_diagnose_reuses_sim_result(tiny_workload):
+    from repro.diagnosis import basic_sim_diagnose
+
+    w = tiny_workload
+    sim = basic_sim_diagnose(w.faulty, w.tests)
+    res = sc_diagnose(w.faulty, w.tests, k=2, sim_result=sim)
+    assert res.extras["sim_result"] is sim
+
+
+def test_sc_diagnose_rejects_bad_method(tiny_workload):
+    with pytest.raises(ValueError):
+        sc_diagnose(tiny_workload.faulty, tiny_workload.tests, 1, method="x")
+
+
+def test_every_cover_hits_every_candidate_set(double_error_workload):
+    from repro.diagnosis import basic_sim_diagnose
+
+    w = double_error_workload
+    sim = basic_sim_diagnose(w.faulty, w.tests)
+    res = sc_diagnose(w.faulty, w.tests, k=2, sim_result=sim)
+    for sol in res.solutions:
+        for cs in sim.candidate_sets:
+            assert sol & cs, "condition (a) of SCDiagnose violated"

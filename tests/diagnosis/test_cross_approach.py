@@ -1,0 +1,100 @@
+"""Cross-approach integration tests: the paper's Table 1 claims, executable.
+
+Each approach pair is compared on shared workloads; the relationships the
+paper proves or observes must hold:
+
+* BSAT == exhaustive oracle (completeness, Lemma 3);
+* COV(sat) == COV(bnb);
+* advanced-sim (full pool) == BSAT;
+* X-list verified ⊆ BSAT;
+* hybrid variants == BSAT;
+* runtimes: BSIM < COV-All and BSIM < BSAT-All on non-trivial workloads.
+"""
+
+import pytest
+
+from repro.circuits import random_circuit
+from repro.diagnosis import (
+    all_valid_corrections,
+    basic_sat_diagnose,
+    basic_sim_diagnose,
+    dominator_sat_diagnose,
+    enumerate_sim_corrections,
+    is_valid_correction,
+    pt_guided_sat_diagnose,
+    sc_diagnose,
+    xlist_diagnose,
+)
+from repro.experiments import make_workload
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def workload(request):
+    seed = request.param
+    circuit = random_circuit(
+        n_inputs=6, n_outputs=3, n_gates=22, seed=500 + seed
+    )
+    return make_workload(circuit, p=1, m_max=6, seed=seed, allow_fewer=True)
+
+
+def test_bsat_is_complete_oracle(workload):
+    sat = basic_sat_diagnose(workload.faulty, workload.tests, k=2)
+    oracle = all_valid_corrections(workload.faulty, workload.tests, k=2)
+    assert set(sat.solutions) == set(oracle)
+
+
+def test_cov_engines_agree(workload):
+    a = sc_diagnose(workload.faulty, workload.tests, k=2, method="sat")
+    b = sc_diagnose(workload.faulty, workload.tests, k=2, method="bnb")
+    assert set(a.solutions) == set(b.solutions)
+
+
+def test_sim_full_pool_equals_bsat(workload):
+    sat = basic_sat_diagnose(workload.faulty, workload.tests, k=2)
+    sim = enumerate_sim_corrections(
+        workload.faulty, workload.tests, k=2,
+        pool=workload.faulty.gate_names,
+    )
+    assert set(sim.solutions) == set(sat.solutions)
+
+
+def test_xlist_verified_subset(workload):
+    sat = basic_sat_diagnose(workload.faulty, workload.tests, k=2)
+    xl = xlist_diagnose(workload.faulty, workload.tests, k=2, verify=True)
+    assert set(xl.solutions) <= set(sat.solutions)
+
+
+def test_hybrid_guided_equals_bsat(workload):
+    sat = basic_sat_diagnose(workload.faulty, workload.tests, k=2)
+    hybrid = pt_guided_sat_diagnose(workload.faulty, workload.tests, k=2)
+    assert set(hybrid.solutions) == set(sat.solutions)
+
+
+def test_dominator_single_error_equals_bsat(workload):
+    sat = basic_sat_diagnose(workload.faulty, workload.tests, k=1)
+    dom = dominator_sat_diagnose(workload.faulty, workload.tests, k=1)
+    assert set(dom.solutions) == set(sat.solutions)
+
+
+def test_every_bsat_solution_is_valid_and_every_invalid_cov_is_not(workload):
+    sat = basic_sat_diagnose(workload.faulty, workload.tests, k=2)
+    cov = sc_diagnose(workload.faulty, workload.tests, k=2)
+    for sol in sat.solutions:
+        assert is_valid_correction(workload.faulty, workload.tests, sol)
+    # Remark 1 of the paper: COV solutions need not be valid; when one is
+    # valid and minimal it must also appear in BSAT's output.
+    sat_set = set(sat.solutions)
+    for sol in cov.solutions:
+        if sol in sat_set:
+            assert is_valid_correction(workload.faulty, workload.tests, sol)
+
+
+def test_runtime_ordering(medium_workload):
+    """BSIM must be much faster than the solution-enumerating approaches
+    (Table 2's headline)."""
+    w = medium_workload
+    sim = basic_sim_diagnose(w.faulty, w.tests)
+    cov = sc_diagnose(w.faulty, w.tests, k=2)
+    sat = basic_sat_diagnose(w.faulty, w.tests, k=2, solution_limit=50)
+    assert sim.runtime <= cov.t_all + cov.t_build + 0.5
+    assert sim.runtime < sat.t_all + sat.t_build

@@ -1,0 +1,97 @@
+"""Tests for the precomputed fault dictionary."""
+
+import pytest
+
+from repro.circuits import random_circuit
+from repro.diagnosis import FaultDictionary, diagnose_stuck_at
+from repro.faults import StuckAtFault, apply_error
+from repro.sim import response
+from repro.testgen import generate_tests
+
+
+def _patterns_for(circuit, seed=1):
+    return [dict(p) for p in generate_tests(circuit, seed=seed).patterns]
+
+
+def _device_log(circuit, patterns):
+    return [
+        dict(zip(circuit.outputs, response(circuit, p))) for p in patterns
+    ]
+
+
+def test_good_die_passes(c17):
+    patterns = _patterns_for(c17)
+    fd = FaultDictionary(c17, patterns)
+    assert fd.passes(_device_log(c17, patterns))
+
+
+def test_defective_die_fails_and_matches(c17):
+    patterns = _patterns_for(c17)
+    fd = FaultDictionary(c17, patterns)
+    defect = StuckAtFault("G16", 0)
+    chip = apply_error(c17, defect)
+    log = _device_log(chip, patterns)
+    assert not fd.passes(log)
+    matches = fd.match(log)
+    assert matches[0].exact
+    # The true defect (or an equivalent fault) explains perfectly.
+    exact = {m.fault for m in matches if m.exact}
+    assert defect in exact
+
+
+def test_matches_equal_per_device_diagnosis(c17):
+    """The dictionary must rank exactly like the per-device simulation."""
+    patterns = _patterns_for(c17)
+    fd = FaultDictionary(c17, patterns)
+    chip = apply_error(c17, StuckAtFault("G10", 1))
+    log = _device_log(chip, patterns)
+    via_dict = fd.match(log)
+    via_sim = diagnose_stuck_at(c17, patterns, log).extras["matches"]
+    assert via_dict == via_sim
+
+
+def test_many_devices_one_dictionary(c17):
+    patterns = _patterns_for(c17)
+    fd = FaultDictionary(c17, patterns)
+    for signal, value in (("G10", 0), ("G11", 1), ("G22", 0)):
+        defect = StuckAtFault(signal, value)
+        log = _device_log(apply_error(c17, defect), patterns)
+        top = fd.match(log, max_candidates=5)
+        assert any(m.fault == defect for m in top if m.exact)
+
+
+def test_restricted_fault_list(c17):
+    patterns = _patterns_for(c17)
+    only = [StuckAtFault("G10", 0), StuckAtFault("G10", 1)]
+    fd = FaultDictionary(c17, patterns, faults=only)
+    assert fd.n_faults == 2
+    log = _device_log(apply_error(c17, StuckAtFault("G10", 0)), patterns)
+    assert fd.match(log)[0].fault == StuckAtFault("G10", 0)
+
+
+def test_response_length_checked(c17):
+    patterns = _patterns_for(c17)
+    fd = FaultDictionary(c17, patterns)
+    with pytest.raises(ValueError, match="responses"):
+        fd.match([])
+    with pytest.raises(ValueError, match="responses"):
+        fd.passes([])
+
+
+def test_empty_patterns_rejected(c17):
+    with pytest.raises(ValueError, match="pattern"):
+        FaultDictionary(c17, [])
+
+
+def test_works_on_random_circuit():
+    circuit = random_circuit(n_inputs=8, n_outputs=6, n_gates=50, seed=31)
+    patterns = _patterns_for(circuit, seed=2)
+    fd = FaultDictionary(circuit, patterns)
+    defect = StuckAtFault(circuit.gate_names[20], 1)
+    log = _device_log(apply_error(circuit, defect), patterns)
+    matches = fd.match(log)
+    # The defect must be at (or tied at) the top of the ranking.
+    best = matches[0].mismatch_bits
+    assert any(
+        m.fault == defect and m.mismatch_bits == best for m in matches
+    )

@@ -1,0 +1,90 @@
+"""Tests for the hybrid diagnosis approaches (paper §6)."""
+
+import pytest
+
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    is_valid_correction,
+    pt_guided_sat_diagnose,
+    repair_correction_sat,
+    sc_diagnose,
+    structural_neighbourhood,
+)
+
+
+def test_pt_guided_same_solutions(tiny_workload):
+    """Guidance only reorders the search; the solution set is unchanged."""
+    w = tiny_workload
+    plain = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    guided = pt_guided_sat_diagnose(w.faulty, w.tests, k=2)
+    assert set(plain.solutions) == set(guided.solutions)
+    assert guided.approach == "HYBRID/pt-guided"
+    assert "guidance_time" in guided.extras
+
+
+def test_pt_guided_same_solutions_medium(medium_workload):
+    w = medium_workload
+    plain = basic_sat_diagnose(w.faulty, w.tests.prefix(8), k=2)
+    guided = pt_guided_sat_diagnose(w.faulty, w.tests.prefix(8), k=2)
+    assert set(plain.solutions) == set(guided.solutions)
+
+
+def test_structural_neighbourhood(maj3):
+    assert structural_neighbourhood(maj3, ["ab"], 0) == {"ab"}
+    n1 = structural_neighbourhood(maj3, ["ab"], 1)
+    assert n1 == {"ab", "o1"}  # a, b are inputs, not gates
+    n2 = structural_neighbourhood(maj3, ["ab"], 2)
+    assert {"ab", "o1", "out", "ac", "bc"} <= n2 | {"ac", "bc"}
+    # radius grows monotonically
+    assert n1 <= n2
+
+
+def test_repair_finds_valid_near_initial(medium_workload):
+    """Start from a COV solution (maybe invalid) and repair it."""
+    w = medium_workload
+    tests = w.tests.prefix(8)
+    cov = sc_diagnose(w.faulty, tests, k=2)
+    assert cov.solutions
+    initial = cov.solutions[0]
+    repaired = repair_correction_sat(w.faulty, tests, initial)
+    assert repaired.solutions
+    for sol in repaired.solutions:
+        assert is_valid_correction(w.faulty, tests, sol)
+    assert repaired.extras["radius"] is not None
+
+
+def test_repair_of_already_valid_is_radius_zero(tiny_workload):
+    w = tiny_workload
+    sat = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    valid = sat.solutions[0]
+    repaired = repair_correction_sat(w.faulty, w.tests, valid)
+    assert repaired.extras["radius"] == 0
+    assert valid in set(repaired.solutions)
+
+
+def test_repair_solutions_subset_of_bsat(medium_workload):
+    """The repaired corrections are genuine BSAT solutions (restricted
+    search cannot invent anything)."""
+    w = medium_workload
+    tests = w.tests.prefix(4)
+    cov = sc_diagnose(w.faulty, tests, k=1)
+    initial = cov.solutions[0]
+    repaired = repair_correction_sat(w.faulty, tests, initial, k=2)
+    full = basic_sat_diagnose(w.faulty, tests, k=2)
+    assert set(repaired.solutions) <= set(full.solutions)
+
+
+def test_repair_empty_initial_rejected(tiny_workload):
+    with pytest.raises(ValueError):
+        repair_correction_sat(
+            tiny_workload.faulty, tiny_workload.tests, frozenset()
+        )
+
+
+def test_repair_searches_smaller_space(medium_workload):
+    w = medium_workload
+    tests = w.tests.prefix(4)
+    cov = sc_diagnose(w.faulty, tests, k=1)
+    repaired = repair_correction_sat(w.faulty, tests, cov.solutions[0])
+    if repaired.extras.get("radius") is not None:
+        assert repaired.extras["suspects"] < len(w.faulty.gate_names)

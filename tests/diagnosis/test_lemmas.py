@@ -1,0 +1,146 @@
+"""Executable versions of the paper's Lemmas 1-4 and Theorems 1-2.
+
+These tests ARE the paper's Section 3: each lemma is checked on the
+Figure 5 witness circuits and (for the universally quantified ones) as a
+property over random workloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import random_circuit
+from repro.circuits.library import FIG5A_TEST, FIG5B_TEST
+from repro.diagnosis import (
+    all_valid_corrections,
+    basic_sat_diagnose,
+    has_only_essential_candidates,
+    is_valid_correction,
+    sc_diagnose,
+)
+from repro.experiments import make_workload
+from repro.testgen import Test, TestSet
+
+
+@pytest.fixture
+def fig5a_tests():
+    vec, out, val = FIG5A_TEST
+    return TestSet((Test(vec, out, val),))
+
+
+@pytest.fixture
+def fig5b_tests():
+    vec, out, val = FIG5B_TEST
+    return TestSet((Test(vec, out, val),))
+
+
+class TestLemma1:
+    """Each solution of the SAT instance F is a valid correction."""
+
+    def test_fig5a(self, fig5a_circuit, fig5a_tests):
+        result = basic_sat_diagnose(fig5a_circuit, fig5a_tests, k=2)
+        assert result.solutions
+        for sol in result.solutions:
+            assert is_valid_correction(fig5a_circuit, fig5a_tests, sol)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_workloads(self, seed):
+        circuit = random_circuit(
+            n_inputs=5, n_outputs=3, n_gates=16, seed=900 + seed
+        )
+        w = make_workload(circuit, p=1, m_max=4, seed=seed, allow_fewer=True)
+        result = basic_sat_diagnose(w.faulty, w.tests, k=2)
+        for sol in result.solutions:
+            assert is_valid_correction(w.faulty, w.tests, sol)
+
+
+class TestLemma2:
+    """COV produces solutions that are not valid corrections."""
+
+    def test_fig5a_witness(self, fig5a_circuit, fig5a_tests):
+        result = sc_diagnose(fig5a_circuit, fig5a_tests, k=1)
+        sols = set(result.solutions)
+        # PT marks {A, B, D} (or {A, C, D}); the middle buffer is a cover
+        # but not a correction.
+        assert frozenset({"B"}) in sols or frozenset({"C"}) in sols
+        invalid = [
+            s
+            for s in sols
+            if not is_valid_correction(fig5a_circuit, fig5a_tests, s)
+        ]
+        assert invalid
+
+
+class TestLemma3:
+    """BSAT returns ALL valid corrections with only essential candidates
+    up to size k."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_fig5b_complete(self, fig5b_circuit, fig5b_tests, k):
+        result = basic_sat_diagnose(fig5b_circuit, fig5b_tests, k=k)
+        reference = all_valid_corrections(fig5b_circuit, fig5b_tests, k=k)
+        assert set(result.solutions) == set(reference)
+
+    def test_only_essential(self, fig5b_circuit, fig5b_tests):
+        result = basic_sat_diagnose(fig5b_circuit, fig5b_tests, k=2)
+        for sol in result.solutions:
+            assert has_only_essential_candidates(
+                fig5b_circuit, fig5b_tests, sol
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_workloads_match_oracle(self, seed):
+        circuit = random_circuit(
+            n_inputs=5, n_outputs=3, n_gates=15, seed=700 + seed
+        )
+        w = make_workload(circuit, p=1, m_max=4, seed=seed, allow_fewer=True)
+        result = basic_sat_diagnose(w.faulty, w.tests, k=2)
+        reference = all_valid_corrections(w.faulty, w.tests, k=2)
+        assert set(result.solutions) == set(reference)
+
+
+class TestLemma4:
+    """There are valid corrections (size <= k) that COV never returns."""
+
+    def test_fig5b_witness(self, fig5b_circuit, fig5b_tests):
+        ab = frozenset({"A", "B"})
+        assert is_valid_correction(fig5b_circuit, fig5b_tests, ab)
+        assert has_only_essential_candidates(fig5b_circuit, fig5b_tests, ab)
+        cov = sc_diagnose(fig5b_circuit, fig5b_tests, k=2)
+        assert ab not in set(cov.solutions)
+        sat = basic_sat_diagnose(fig5b_circuit, fig5b_tests, k=2)
+        assert ab in set(sat.solutions)
+
+
+class TestTheorem1:
+    """SCDiagnose computes solutions BasicSATDiagnose does not."""
+
+    def test_fig5a(self, fig5a_circuit, fig5a_tests):
+        cov = set(sc_diagnose(fig5a_circuit, fig5a_tests, k=1).solutions)
+        sat = set(basic_sat_diagnose(fig5a_circuit, fig5a_tests, k=1).solutions)
+        assert cov - sat
+
+
+class TestTheorem2:
+    """BasicSATDiagnose computes solutions SCDiagnose does not."""
+
+    def test_fig5b(self, fig5b_circuit, fig5b_tests):
+        cov = set(sc_diagnose(fig5b_circuit, fig5b_tests, k=2).solutions)
+        sat = set(basic_sat_diagnose(fig5b_circuit, fig5b_tests, k=2).solutions)
+        assert sat - cov
+
+
+@given(st.integers(0, 300))
+@settings(max_examples=10, deadline=None)
+def test_lemma1_and_3_property(seed):
+    """Hypothesis sweep: BSAT == exhaustive oracle and all solutions valid,
+    on small random single-error workloads."""
+    circuit = random_circuit(n_inputs=4, n_outputs=2, n_gates=12, seed=seed)
+    try:
+        w = make_workload(circuit, p=1, m_max=3, seed=seed, allow_fewer=True)
+    except RuntimeError:
+        return  # undetectable injection for every redraw: skip the example
+    result = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    reference = all_valid_corrections(w.faulty, w.tests, k=2)
+    assert set(result.solutions) == set(reference)
+    for sol in result.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)

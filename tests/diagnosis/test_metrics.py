@@ -1,0 +1,75 @@
+"""Tests for the Table 3 quality metrics."""
+
+import math
+
+from repro.diagnosis import (
+    basic_sim_diagnose,
+    bsim_quality,
+    distance_map,
+    hit_rate,
+    solution_quality,
+)
+
+
+def test_distance_map(maj3):
+    d = distance_map(maj3, ["ab"])
+    assert d["ab"] == 0
+    assert d["a"] == 1 and d["b"] == 1 and d["o1"] == 1
+    assert d["out"] == 2
+    assert d["c"] == 3  # ab - b - bc - c (or via a/ac)
+
+
+def test_bsim_quality_fields(tiny_workload):
+    w = tiny_workload
+    sim = basic_sim_diagnose(w.faulty, w.tests)
+    q = bsim_quality(w.faulty, sim, w.sites)
+    assert q.union_size == len(sim.union)
+    assert q.gmax_size == len(sim.gmax)
+    assert q.gmax_min <= q.gmax_avg <= q.gmax_max
+    assert q.avg_all >= 0
+
+
+def test_bsim_error_in_gmax_flag(maj3):
+    from repro.diagnosis.base import SimDiagnosisResult
+
+    sim = SimDiagnosisResult(
+        candidate_sets=(frozenset({"ab", "o1"}),),
+        marks={"ab": 1, "o1": 1},
+    )
+    q_hit = bsim_quality(maj3, sim, ["ab"])
+    assert q_hit.error_in_gmax
+    q_miss = bsim_quality(maj3, sim, ["bc"])
+    assert not q_miss.error_in_gmax
+
+
+def test_solution_quality_aggregation(maj3):
+    sols = [frozenset({"ab"}), frozenset({"out"}), frozenset({"ab", "out"})]
+    q = solution_quality(maj3, sols, ["ab"])
+    assert q.n_solutions == 3
+    # per-solution averages: 0, 2, 1
+    assert q.min_avg == 0
+    assert q.max_avg == 2
+    assert math.isclose(q.avg_avg, 1.0)
+
+
+def test_solution_quality_empty(maj3):
+    q = solution_quality(maj3, [], ["ab"])
+    assert q.n_solutions == 0
+    assert q.is_empty
+    assert math.isnan(q.avg_avg)
+
+
+def test_hit_rate(maj3):
+    sols = [frozenset({"ab"}), frozenset({"out"})]
+    assert hit_rate(sols, ["ab"]) == 0.5
+    assert hit_rate(sols, ["bc"]) == 0.0
+    assert math.isnan(hit_rate([], ["ab"]))
+
+
+def test_distance_zero_iff_exact_hit(double_error_workload):
+    w = double_error_workload
+    d = distance_map(w.faulty, w.sites)
+    for site in w.sites:
+        assert d[site] == 0
+    zero_gates = [g for g, v in d.items() if v == 0]
+    assert sorted(zero_gates) == sorted(w.sites)

@@ -1,0 +1,127 @@
+"""Tests for path tracing and BasicSimDiagnose (BSIM)."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.circuits.library import FIG5A_TEST, FIG5B_TEST
+from repro.diagnosis import basic_sim_diagnose, path_trace, POLICIES
+from repro.sim import simulate
+from repro.testgen import Test, TestSet
+
+
+def test_fig5a_trace(fig5a_circuit):
+    vec, out, _ = FIG5A_TEST
+    values = simulate(fig5a_circuit, vec)
+    cand = path_trace(fig5a_circuit, values, out, policy="first")
+    # D has two controlling inputs (B=0, C=0); exactly one branch is taken.
+    assert cand in ({"A", "B", "D"}, {"A", "C", "D"})
+
+
+def test_fig5a_trace_all_policy(fig5a_circuit):
+    vec, out, _ = FIG5A_TEST
+    values = simulate(fig5a_circuit, vec)
+    cand = path_trace(fig5a_circuit, values, out, policy="all")
+    assert cand == {"A", "B", "C", "D"}
+
+
+def test_fig5b_trace(fig5b_circuit):
+    vec, out, _ = FIG5B_TEST
+    values = simulate(fig5b_circuit, vec)
+    cand = path_trace(fig5b_circuit, values, out)
+    assert cand == {"A", "C", "D", "E"}  # B is off the sensitized path
+
+
+def test_no_controlling_inputs_marks_all():
+    """XOR gates have no controlling value: both fanins get marked."""
+    c = Circuit()
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("ga", GateType.BUF, ["a"])
+    c.add_gate("gb", GateType.BUF, ["b"])
+    c.add_gate("y", GateType.XOR, ["ga", "gb"])
+    c.add_output("y")
+    values = simulate(c, {"a": 0, "b": 1})
+    assert path_trace(c, values, "y") == {"y", "ga", "gb"}
+
+
+def test_and_gate_with_all_noncontrolling_marks_all():
+    c = Circuit()
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("ga", GateType.BUF, ["a"])
+    c.add_gate("gb", GateType.BUF, ["b"])
+    c.add_gate("y", GateType.AND, ["ga", "gb"])
+    c.add_output("y")
+    # all inputs 1 (non-controlling for AND): mark both
+    values = simulate(c, {"a": 1, "b": 1})
+    assert path_trace(c, values, "y") == {"y", "ga", "gb"}
+    # one controlling input (0): mark only that branch
+    values = simulate(c, {"a": 0, "b": 1})
+    assert path_trace(c, values, "y") == {"y", "ga"}
+
+
+def test_stops_at_primary_inputs(maj3):
+    values = simulate(maj3, {"a": 1, "b": 1, "c": 1})
+    cand = path_trace(maj3, values, "out")
+    assert cand <= set(maj3.gate_names)
+
+
+def test_policy_validation(maj3):
+    values = simulate(maj3, {"a": 0, "b": 0, "c": 0})
+    with pytest.raises(ValueError):
+        path_trace(maj3, values, "out", policy="bogus")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policies_produce_subsets_of_all(small_random, policy):
+    import random
+
+    rng = random.Random(3)
+    vec = {pi: rng.getrandbits(1) for pi in small_random.inputs}
+    values = simulate(small_random, vec)
+    out = small_random.outputs[0]
+    all_cand = path_trace(small_random, values, out, policy="all")
+    cand = path_trace(small_random, values, out, policy=policy)
+    assert cand <= all_cand
+    assert values[out] in (0, 1)
+    assert out in cand  # the traced output gate is always a candidate
+
+
+def test_basic_sim_diagnose_counts(tiny_workload):
+    w = tiny_workload
+    result = basic_sim_diagnose(w.faulty, w.tests)
+    assert result.m == w.tests.m
+    assert len(result.candidate_sets) == w.tests.m
+    # marks are consistent with candidate sets
+    for g, count in result.marks.items():
+        assert count == sum(1 for cs in result.candidate_sets if g in cs)
+    assert result.union == frozenset().union(*result.candidate_sets)
+    top = max(result.marks.values())
+    assert result.gmax == {
+        g for g, c in result.marks.items() if c == top
+    }
+
+
+def test_single_error_site_always_marked(tiny_workload):
+    """For a single error, the actual site is in every candidate set —
+    the intersection property of §2.2."""
+    w = tiny_workload
+    assert w.p == 1
+    site = w.sites[0]
+    result = basic_sim_diagnose(w.faulty, w.tests, policy="all")
+    for cs in result.candidate_sets:
+        assert site in cs
+
+
+def test_multi_error_pigeonhole(double_error_workload):
+    """At least one actual error site is marked by more than m/p tests
+    (the pigeonhole bound of §2.2) — with the conservative 'all' policy."""
+    w = double_error_workload
+    result = basic_sim_diagnose(w.faulty, w.tests, policy="all")
+    m, p = w.tests.m, w.p
+    assert any(result.marks.get(e, 0) > m / p for e in w.sites)
+
+
+def test_runtime_recorded(tiny_workload):
+    result = basic_sim_diagnose(tiny_workload.faulty, tiny_workload.tests)
+    assert result.runtime >= 0

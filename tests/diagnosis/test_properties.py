@@ -1,0 +1,122 @@
+"""Cross-cutting property-based tests of the diagnosis stack.
+
+Hypothesis generates random circuits, injections and test-sets; the
+invariants checked here are the paper's structural relationships that must
+hold on *every* workload, not just the curated fixtures.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits import random_circuit
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    basic_sim_diagnose,
+    is_valid_correction,
+    sc_diagnose,
+    solution_quality,
+)
+from repro.experiments import make_workload
+
+
+def build_workload(seed, p=1):
+    circuit = random_circuit(
+        n_inputs=5 + seed % 3,
+        n_outputs=2 + seed % 2,
+        n_gates=15 + seed % 10,
+        seed=seed,
+    )
+    try:
+        return make_workload(
+            circuit, p=p, m_max=4, seed=seed, allow_fewer=True
+        )
+    except RuntimeError:
+        return None
+
+
+common_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+
+
+@given(st.integers(0, 10_000))
+@common_settings
+def test_pt_candidates_contain_the_traced_output_gate(seed):
+    w = build_workload(seed)
+    if w is None:
+        return
+    result = basic_sim_diagnose(w.faulty, w.tests)
+    for test, cand in zip(w.tests, result.candidate_sets):
+        gate = w.faulty.node(test.output)
+        if gate.is_functional:
+            assert test.output in cand
+
+
+@given(st.integers(0, 10_000))
+@common_settings
+def test_more_tests_never_shrink_the_union(seed):
+    w = build_workload(seed)
+    if w is None or w.tests.m < 2:
+        return
+    small = basic_sim_diagnose(w.faulty, w.tests.prefix(w.tests.m - 1))
+    full = basic_sim_diagnose(w.faulty, w.tests)
+    assert small.union <= full.union
+
+
+@given(st.integers(0, 10_000))
+@common_settings
+def test_bsat_solutions_grow_with_k(seed):
+    """Every k-solution remains a solution at k+1 (the enumeration is
+    cumulative), and all are valid."""
+    w = build_workload(seed)
+    if w is None:
+        return
+    k1 = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    k2 = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    assert set(k1.solutions) <= set(k2.solutions)
+    for sol in k2.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)
+
+
+@given(st.integers(0, 10_000))
+@common_settings
+def test_cov_solutions_hit_every_candidate_set(seed):
+    w = build_workload(seed)
+    if w is None:
+        return
+    sim = basic_sim_diagnose(w.faulty, w.tests)
+    cov = sc_diagnose(w.faulty, w.tests, k=2, sim_result=sim)
+    for sol in cov.solutions:
+        assert all(sol & cs for cs in sim.candidate_sets)
+        # irredundancy (condition (b))
+        for g in sol:
+            reduced = sol - {g}
+            assert not all(reduced & cs for cs in sim.candidate_sets)
+
+
+@given(st.integers(0, 10_000))
+@common_settings
+def test_single_error_site_in_some_bsat_solution(seed):
+    """With p=1 and k=1, BSAT must rediscover the actual error site (the
+    site itself is always a valid single-gate correction for the tests it
+    caused)."""
+    w = build_workload(seed, p=1)
+    if w is None:
+        return
+    result = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    assert any(w.sites[0] in sol for sol in result.solutions)
+
+
+@given(st.integers(0, 10_000))
+@common_settings
+def test_solution_distance_zero_for_site_hits(seed):
+    w = build_workload(seed, p=1)
+    if w is None:
+        return
+    result = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    hits = [s for s in result.solutions if w.sites[0] in s]
+    if hits:
+        quality = solution_quality(w.faulty, hits, w.sites)
+        assert quality.min_avg == 0.0

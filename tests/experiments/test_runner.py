@@ -1,0 +1,76 @@
+"""Tests for the experiment cell runner."""
+
+import math
+
+import pytest
+
+from repro.diagnosis import is_valid_correction
+from repro.experiments import run_cell
+
+
+@pytest.fixture(scope="module")
+def cell(request):
+    from repro.circuits import random_circuit
+    from repro.experiments import make_workload
+
+    circuit = random_circuit(n_inputs=8, n_outputs=4, n_gates=60, seed=601)
+    workload = make_workload(circuit, p=2, m_max=8, seed=11)
+    return workload, run_cell(workload, m=8)
+
+
+def test_cell_identity(cell):
+    workload, result = cell
+    assert result.m == 8
+    assert result.p == 2
+    assert result.k == 2  # defaults to p
+    assert result.cell_id.endswith("/p2/m8")
+
+
+def test_timings_populated(cell):
+    _, result = cell
+    for field in (
+        "bsim_time",
+        "cov_cnf",
+        "cov_one",
+        "cov_all",
+        "bsat_cnf",
+        "bsat_one",
+        "bsat_all",
+    ):
+        assert getattr(result, field) >= 0
+    # paper: the COV CNF column includes the BSIM time
+    assert result.cov_cnf >= result.bsim_time
+
+
+def test_quality_structures(cell):
+    _, result = cell
+    assert result.bsim.union_size > 0
+    assert result.cov.n_solutions == len(result.cov_result.solutions)
+    assert result.sat.n_solutions == len(result.sat_result.solutions)
+
+
+def test_bsat_solutions_valid(cell):
+    workload, result = cell
+    tests = workload.tests.prefix(8)
+    for sol in result.sat_result.solutions:
+        assert is_valid_correction(workload.faulty, tests, sol)
+
+
+def test_k_override(cell):
+    workload, _ = cell
+    result = run_cell(workload, m=4, k=1)
+    assert result.k == 1
+    for sol in result.sat_result.solutions:
+        assert len(sol) == 1
+
+
+def test_limits_flagged():
+    from repro.circuits import random_circuit
+    from repro.experiments import make_workload
+
+    circuit = random_circuit(n_inputs=8, n_outputs=4, n_gates=60, seed=602)
+    workload = make_workload(circuit, p=2, m_max=4, seed=12)
+    result = run_cell(workload, m=4, solution_limit=1)
+    # with a solution limit of 1 the enumerations are almost surely cut
+    if result.cov.n_solutions >= 1 and result.sat.n_solutions >= 1:
+        assert result.notes.get("cov_truncated") or result.cov.n_solutions <= 1

@@ -1,0 +1,68 @@
+"""Tests for table formatting."""
+
+import math
+
+from repro.diagnosis.metrics import BsimQuality, SolutionQuality
+from repro.experiments import format_table2, format_table3
+from repro.experiments.runner import CellResult
+from repro.experiments.tables import format_cell_summary
+
+
+def fake_cell(m=4, truncated=False):
+    return CellResult(
+        circuit="sim1423",
+        p=2,
+        m=m,
+        k=2,
+        bsim_time=0.01,
+        cov_cnf=0.02,
+        cov_one=0.01,
+        cov_all=0.14,
+        bsat_cnf=0.2,
+        bsat_one=0.56,
+        bsat_all=2.5,
+        bsim=BsimQuality(83, 3.46, 44, 0.0, 5.0, 3.25),
+        cov=SolutionQuality(145, 0.0, 5.0, 3.68),
+        sat=SolutionQuality(32, 0.0, 5.0, 3.03),
+        cov_result=None,
+        sat_result=None,
+        notes={"cov_truncated": True} if truncated else {},
+    )
+
+
+def test_table2_contains_all_columns():
+    text = format_table2([fake_cell(), fake_cell(m=8)])
+    assert "BSIM" in text and "COV CNF" in text and "BSAT CNF" in text
+    assert "sim1423" in text
+    assert text.count("sim1423") == 2
+    assert "2.50" in text  # bsat_all formatted
+
+
+def test_table2_truncation_flag():
+    text = format_table2([fake_cell(truncated=True)])
+    assert "*" in text
+    assert "truncated" in text
+
+
+def test_table3_contains_quality_columns():
+    text = format_table3([fake_cell()])
+    assert "|uCi|" in text
+    assert "Gmax" in text
+    assert "83" in text and "44" in text
+    assert "3.03" in text
+
+
+def test_table3_nan_rendered_as_dash():
+    cell = fake_cell()
+    nan_quality = SolutionQuality(0, math.nan, math.nan, math.nan)
+    from dataclasses import replace
+
+    cell = replace(cell, cov=nan_quality)
+    text = format_table3([cell])
+    assert " - " in text or "- " in text
+
+
+def test_cell_summary():
+    text = format_cell_summary(fake_cell())
+    assert "sim1423/p2/m4" in text
+    assert "BSIM" in text and "COV" in text and "BSAT" in text

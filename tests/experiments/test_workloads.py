@@ -1,0 +1,81 @@
+"""Tests for workload construction."""
+
+import pytest
+
+from repro.circuits import random_circuit, random_sequential_circuit
+from repro.experiments import M_VALUES, PAPER_GRID, make_workload
+from repro.sim import output_values
+
+
+def test_paper_grid_shape():
+    assert PAPER_GRID == (("sim1423", 4), ("sim6669", 3), ("sim38417", 2))
+    assert M_VALUES == (4, 8, 16, 32)
+
+
+def test_workload_tests_all_fail(tiny_workload):
+    w = tiny_workload
+    for t in w.tests:
+        assert output_values(w.golden, t.vector)[t.output] == t.value
+        assert output_values(w.faulty, t.vector)[t.output] != t.value
+
+
+def test_workload_cell_prefix(medium_workload):
+    w = medium_workload
+    cell = w.cell(4)
+    assert cell.tests.m == 4
+    assert cell.sites == w.sites
+    assert [t.key() for t in cell.tests] == [t.key() for t in w.tests][:4]
+
+
+def test_workload_deterministic():
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=77)
+    a = make_workload(circuit, p=2, m_max=6, seed=3)
+    b = make_workload(circuit, p=2, m_max=6, seed=3)
+    assert a.sites == b.sites
+    assert [t.key() for t in a.tests] == [t.key() for t in b.tests]
+
+
+def test_workload_by_name():
+    w = make_workload("sim1423", p=1, m_max=4, seed=0)
+    assert w.name == "sim1423"
+    assert w.p == 1
+    assert w.tests.m == 4
+
+
+def test_sequential_circuit_converted():
+    seq = random_sequential_circuit(
+        n_inputs=5, n_outputs=2, n_gates=30, n_dffs=3, seed=9
+    )
+    w = make_workload(seq, p=1, m_max=4, seed=1)
+    assert w.golden.is_combinational
+    # scan view has extra PPIs
+    assert len(w.golden.inputs) == 5 + 3
+
+
+def test_attach_expected_flag():
+    circuit = random_circuit(n_inputs=5, n_outputs=2, n_gates=20, seed=5)
+    w = make_workload(circuit, p=1, m_max=4, seed=2, attach_expected=True)
+    for t in w.tests:
+        assert t.expected_outputs is not None
+
+
+def test_make_workload_wire_error_model():
+    from repro.circuits import random_circuit
+    from repro.experiments import make_workload
+    from repro.faults import GateChangeError
+
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=17)
+    w = make_workload(circuit, p=1, m_max=4, seed=3, error_model="wire")
+    assert w.tests.m == 4
+    assert not isinstance(w.injection.errors[0], GateChangeError)
+
+
+def test_make_workload_rejects_unknown_error_model():
+    import pytest
+
+    from repro.circuits import random_circuit
+    from repro.experiments import make_workload
+
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=17)
+    with pytest.raises(ValueError, match="error_model"):
+        make_workload(circuit, p=1, m_max=4, error_model="cosmic-ray")

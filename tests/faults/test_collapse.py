@@ -1,0 +1,256 @@
+"""Tests for the stuck-at fault universe and structural collapsing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.library import c17, majority, parity_tree
+from repro.faults import StuckAtFault
+from repro.faults.collapse import (
+    checkpoint_signals,
+    collapse_faults,
+    full_stuck_at_universe,
+)
+from repro.sim import stuck_at_response, response
+
+
+def _and_chain():
+    """x --AND(a,b)--> g --NOT--> h (fanout-free everywhere)."""
+    c = Circuit("chain")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g", GateType.AND, ["a", "b"])
+    c.add_gate("h", GateType.NOT, ["g"])
+    c.add_output("h")
+    c.validate()
+    return c
+
+
+# ----------------------------------------------------------------------
+# universe
+# ----------------------------------------------------------------------
+
+
+def test_universe_counts_two_per_signal(maj3):
+    universe = full_stuck_at_universe(maj3)
+    assert len(universe) == 2 * (3 + 5)  # 3 PIs + 5 gates
+
+
+def test_universe_without_inputs(maj3):
+    universe = full_stuck_at_universe(maj3, include_inputs=False)
+    assert len(universe) == 10
+    assert all(f.signal not in ("a", "b", "c") for f in universe)
+
+
+def test_universe_constants_single_polarity():
+    c = Circuit("const")
+    c.add_input("a")
+    c.add_gate("zero", GateType.CONST0)
+    c.add_gate("g", GateType.OR, ["a", "zero"])
+    c.add_output("g")
+    c.validate()
+    universe = full_stuck_at_universe(c)
+    assert StuckAtFault("zero", 1) in universe
+    assert StuckAtFault("zero", 0) not in universe
+
+
+# ----------------------------------------------------------------------
+# equivalence classes
+# ----------------------------------------------------------------------
+
+
+def test_and_input_sa0_equivalent_to_output_sa0():
+    col = collapse_faults(_and_chain())
+    rep = col.representative
+    assert rep[StuckAtFault("a", 0)] == rep[StuckAtFault("g", 0)]
+    assert rep[StuckAtFault("b", 0)] == rep[StuckAtFault("g", 0)]
+    # s-a-1 faults on inputs stay separate
+    assert rep[StuckAtFault("a", 1)] != rep[StuckAtFault("b", 1)]
+
+
+def test_not_gate_maps_faults_through():
+    col = collapse_faults(_and_chain())
+    rep = col.representative
+    # g has single fanout into the NOT h: g s-a-0 == h s-a-1.
+    assert rep[StuckAtFault("g", 0)] == rep[StuckAtFault("h", 1)]
+    assert rep[StuckAtFault("g", 1)] == rep[StuckAtFault("h", 0)]
+
+
+def test_xor_tree_admits_no_collapse():
+    tree = parity_tree(4)
+    col = collapse_faults(tree, dominance=False)
+    assert len(col.classes) == len(col.universe)
+
+
+def test_fanout_stem_blocks_equivalence(c17):
+    col = collapse_faults(c17)
+    rep = col.representative
+    # G3 fans out to G10 and G11: its faults must not merge into either gate.
+    assert rep[StuckAtFault("G3", 0)] == StuckAtFault("G3", 0)
+    # G10 is fanout-free into G22 (NAND): G10 s-a-0 == G22 s-a-1.
+    assert rep[StuckAtFault("G10", 0)] == rep[StuckAtFault("G22", 1)]
+
+
+def test_primary_output_fanin_not_collapsed():
+    c = Circuit("po_fanin")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("g", GateType.AND, ["a", "b"])
+    c.add_gate("h", GateType.NOT, ["g"])
+    c.add_output("g")  # g observable directly
+    c.add_output("h")
+    c.validate()
+    col = collapse_faults(c)
+    rep = col.representative
+    assert rep[StuckAtFault("g", 0)] != rep[StuckAtFault("h", 1)]
+
+
+# ----------------------------------------------------------------------
+# dominance
+# ----------------------------------------------------------------------
+
+
+def test_and_output_sa1_dropped_by_dominance():
+    col = collapse_faults(_and_chain())
+    rep = col.representative
+    assert rep[StuckAtFault("g", 1)] in col.dominance_dropped
+    kept = col.representatives
+    assert rep[StuckAtFault("a", 1)] in kept
+    assert rep[StuckAtFault("g", 0)] in kept
+
+
+def test_dominance_off_keeps_everything():
+    col = collapse_faults(_and_chain(), dominance=False)
+    assert not col.dominance_dropped
+    assert len(col.representatives) == len(col.classes)
+
+
+def test_collapse_ratio_below_one(c17):
+    col = collapse_faults(c17)
+    assert 0.0 < col.collapse_ratio < 1.0
+
+
+def test_expand_recovers_class_members():
+    col = collapse_faults(_and_chain())
+    rep = col.representative[StuckAtFault("a", 0)]
+    expanded = col.expand([rep])
+    assert {StuckAtFault("a", 0), StuckAtFault("b", 0), StuckAtFault("g", 0)} <= expanded
+
+
+# ----------------------------------------------------------------------
+# semantic soundness (the properties collapsing claims)
+# ----------------------------------------------------------------------
+
+
+def _detecting_patterns(circuit, fault, patterns):
+    good = [response(circuit, p) for p in patterns]
+    return {
+        i
+        for i, p in enumerate(patterns)
+        if stuck_at_response(circuit, p, fault.signal, fault.value) != good[i]
+    }
+
+
+def _random_patterns(circuit, n, seed):
+    rng = random.Random(seed)
+    return [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs} for _ in range(n)
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_equivalent_faults_share_all_tests(seed):
+    circuit = random_circuit(n_inputs=5, n_outputs=3, n_gates=25, seed=seed)
+    col = collapse_faults(circuit, include_inputs=False)
+    patterns = _random_patterns(circuit, 32, seed=seed + 100)
+    for cls in col.classes:
+        if len(cls) < 2:
+            continue
+        reference = _detecting_patterns(circuit, cls[0], patterns)
+        for fault in cls[1:]:
+            assert _detecting_patterns(circuit, fault, patterns) == reference
+
+
+@pytest.mark.parametrize("seed", [3, 4, 5])
+def test_detecting_representatives_detects_universe(seed):
+    """A pattern set hitting every detectable representative covers the
+    detectable universe — the guarantee ATPG-on-the-collapsed-list relies on.
+    """
+    from itertools import product
+
+    circuit = random_circuit(n_inputs=5, n_outputs=3, n_gates=20, seed=seed)
+    col = collapse_faults(circuit)
+    exhaustive = [
+        dict(zip(circuit.inputs, bits))
+        for bits in product((0, 1), repeat=len(circuit.inputs))
+    ]
+    # One detecting pattern per detectable representative.
+    chosen: list[int] = []
+    for rep in col.representatives:
+        hits = _detecting_patterns(circuit, rep, exhaustive)
+        if hits:
+            chosen.append(min(hits))
+    pattern_set = [exhaustive[i] for i in sorted(set(chosen))]
+    assert pattern_set, "degenerate circuit: nothing detectable"
+    for fault in col.universe:
+        if not _detecting_patterns(circuit, fault, exhaustive):
+            continue  # undetectable (redundant) fault: exempt
+        assert _detecting_patterns(circuit, fault, pattern_set), fault
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=15, deadline=None)
+def test_dominance_drops_are_sound(seed):
+    """Every test for an eligible input fault detects the dropped output fault.
+
+    Checks the dominance relation gate by gate (the implementation drops the
+    class of the output fault whenever some fanout-free fanin guarantees it).
+    """
+    from repro.circuits.gates import CONTROLLING_VALUE
+    from repro.faults.collapse import _controlled_output
+
+    circuit = random_circuit(n_inputs=4, n_outputs=2, n_gates=12, seed=seed)
+    col = collapse_faults(circuit)
+    patterns = _random_patterns(circuit, 16, seed=seed + 300)
+    fanouts = circuit.fanouts()
+    outputs = set(circuit.outputs)
+    for gate in circuit.gates:
+        control = CONTROLLING_VALUE.get(gate.gtype)
+        if control is None:
+            continue
+        dropped = StuckAtFault(gate.name, _controlled_output(gate.gtype) ^ 1)
+        eligible = [
+            fin
+            for fin in set(gate.fanins)
+            if len(fanouts[fin]) == 1 and fin not in outputs
+        ]
+        if not eligible:
+            continue
+        # The class of the output fault must be recorded as dropped ...
+        assert col.representative[dropped] in col.dominance_dropped
+        # ... because each eligible input fault's tests all detect it.
+        dropped_hits = _detecting_patterns(circuit, dropped, patterns)
+        for fin in eligible:
+            kept = StuckAtFault(fin, control ^ 1)
+            assert _detecting_patterns(circuit, kept, patterns) <= dropped_hits
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+
+
+def test_checkpoints_of_c17(c17):
+    assert checkpoint_signals(c17) == {"G1", "G2", "G3", "G6", "G7", "G11", "G16"}
+
+
+def test_checkpoints_include_all_inputs(maj3):
+    assert set(maj3.inputs) <= checkpoint_signals(maj3)
+
+
+def test_fanout_free_circuit_checkpoints_are_inputs():
+    c = _and_chain()
+    assert checkpoint_signals(c) == {"a", "b"}

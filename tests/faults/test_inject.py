@@ -1,0 +1,105 @@
+"""Tests for error injection."""
+
+import pytest
+
+from repro.circuits import GateType, random_circuit
+from repro.faults import (
+    GateChangeError,
+    StuckAtFault,
+    apply_error,
+    inject_errors,
+    random_gate_changes,
+)
+from repro.sim import detects, simulate
+
+
+def test_apply_gate_change(maj3):
+    faulty = apply_error(
+        maj3, GateChangeError("ab", GateType.AND, GateType.OR)
+    )
+    assert faulty.node("ab").gtype is GateType.OR
+    assert maj3.node("ab").gtype is GateType.AND  # original untouched
+    assert faulty.node("ab").fanins == ("a", "b")
+
+
+def test_apply_gate_change_type_mismatch(maj3):
+    with pytest.raises(ValueError, match="expected"):
+        apply_error(maj3, GateChangeError("ab", GateType.OR, GateType.AND))
+
+
+def test_apply_stuck_at(maj3):
+    faulty = apply_error(maj3, StuckAtFault("ab", 1))
+    assert faulty.node("ab").gtype is GateType.CONST1
+    vals = simulate(faulty, {"a": 0, "b": 0, "c": 0})
+    assert vals["ab"] == 1 and vals["out"] == 1
+
+
+def test_stuck_at_input_rejected(maj3):
+    with pytest.raises(ValueError):
+        apply_error(maj3, StuckAtFault("a", 0))
+
+
+def test_inject_errors_distinct_sites(maj3):
+    errors = [
+        GateChangeError("ab", GateType.AND, GateType.OR),
+        GateChangeError("ab", GateType.AND, GateType.NAND),
+    ]
+    with pytest.raises(ValueError, match="distinct"):
+        inject_errors(maj3, errors)
+
+
+def test_injection_record(maj3):
+    errors = [
+        GateChangeError("ab", GateType.AND, GateType.OR),
+        GateChangeError("out", GateType.OR, GateType.AND),
+    ]
+    inj = inject_errors(maj3, errors)
+    assert inj.p == 2
+    assert inj.sites == ("ab", "out")
+    assert inj.golden is maj3
+    assert inj.faulty.name == "maj3_faulty"
+    assert inj.faulty.node("ab").gtype is GateType.OR
+
+
+@pytest.mark.parametrize("p", [1, 2, 4])
+def test_random_injection_detectable(p):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=42)
+    inj = random_gate_changes(circuit, p=p, seed=7)
+    assert inj.p == p
+    assert len(set(inj.sites)) == p
+    # detectable: some random vector must expose it
+    import random
+
+    rng = random.Random(0)
+    exposed = any(
+        detects(
+            circuit,
+            inj.faulty,
+            {pi: rng.getrandbits(1) for pi in circuit.inputs},
+        )
+        for _ in range(512)
+    )
+    assert exposed
+
+
+def test_random_injection_deterministic():
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=42)
+    a = random_gate_changes(circuit, p=2, seed=3)
+    b = random_gate_changes(circuit, p=2, seed=3)
+    assert a.errors == b.errors
+
+
+def test_random_injection_p_too_large(maj3):
+    with pytest.raises(ValueError):
+        random_gate_changes(maj3, p=50, seed=0)
+
+
+def test_single_input_gate_changes_swap_buf_not():
+    from repro.circuits import Circuit
+
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("g", GateType.NOT, ["a"])
+    c.add_output("g")
+    inj = random_gate_changes(c, p=1, seed=0)
+    assert inj.faulty.node("g").gtype is GateType.BUF

@@ -1,0 +1,35 @@
+"""Tests for error/fault model types."""
+
+import pytest
+
+from repro.circuits import GateType
+from repro.faults import GateChangeError, StuckAtFault
+
+
+def test_gate_change_fields():
+    e = GateChangeError("g5", GateType.AND, GateType.OR)
+    assert e.site == "g5"
+    assert "AND -> OR" in e.describe()
+
+
+def test_gate_change_must_change():
+    with pytest.raises(ValueError):
+        GateChangeError("g5", GateType.AND, GateType.AND)
+
+
+def test_stuck_at_fields():
+    f = StuckAtFault("n3", 1)
+    assert f.site == "n3"
+    assert f.describe() == "n3: stuck-at-1"
+
+
+def test_stuck_at_value_validation():
+    with pytest.raises(ValueError):
+        StuckAtFault("n3", 2)
+
+
+def test_models_hashable():
+    a = GateChangeError("g", GateType.AND, GateType.OR)
+    b = GateChangeError("g", GateType.AND, GateType.OR)
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b, StuckAtFault("g", 0)}) == 2

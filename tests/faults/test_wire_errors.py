@@ -1,0 +1,149 @@
+"""Tests for the Abadir-style design error models (ref [18] lineage)."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.diagnosis import basic_sat_diagnose
+from repro.faults import (
+    ExtraWireError,
+    InverterError,
+    MissingWireError,
+    WrongWireError,
+    apply_error,
+    random_wire_errors,
+)
+from repro.sim import simulate
+from repro.testgen import distinguishing_tests
+
+
+# ----------------------------------------------------------------------
+# individual model application
+# ----------------------------------------------------------------------
+
+
+def test_inverter_error_complements(maj3):
+    faulty = apply_error(maj3, InverterError("ab"))
+    assert faulty.node("ab").gtype is GateType.NAND
+    vec = {"a": 1, "b": 1, "c": 0}
+    assert simulate(faulty, vec)["ab"] == 1 - simulate(maj3, vec)["ab"]
+
+
+def test_inverter_error_double_application_restores(maj3):
+    twice = apply_error(apply_error(maj3, InverterError("out")), InverterError("out"))
+    assert twice.node("out").gtype is maj3.node("out").gtype
+
+
+def test_inverter_error_on_input_rejected(maj3):
+    with pytest.raises(Exception):
+        apply_error(maj3, InverterError("a"))
+
+
+def test_wrong_wire_swaps_connection(maj3):
+    faulty = apply_error(maj3, WrongWireError("ab", "b", "c"))
+    assert faulty.node("ab").fanins == ("a", "c")
+    vec = {"a": 1, "b": 1, "c": 0}
+    assert simulate(faulty, vec)["ab"] == 0  # AND(a, c) now
+
+
+def test_wrong_wire_must_change():
+    with pytest.raises(ValueError, match="change"):
+        WrongWireError("g", "a", "a")
+
+
+def test_wrong_wire_requires_existing_fanin(maj3):
+    with pytest.raises(ValueError, match="not a fanin"):
+        apply_error(maj3, WrongWireError("ab", "c", "a"))
+
+
+def test_wrong_wire_rejects_cycle():
+    c = Circuit("loopy")
+    c.add_input("a")
+    c.add_gate("g1", GateType.NOT, ["a"])
+    c.add_gate("g2", GateType.NOT, ["g1"])
+    c.add_output("g2")
+    c.validate()
+    with pytest.raises(Exception):  # g1 <- g2 closes a cycle
+        apply_error(c, WrongWireError("g1", "a", "g2"))
+
+
+def test_extra_wire_appends(maj3):
+    faulty = apply_error(maj3, ExtraWireError("ab", "c"))
+    assert faulty.node("ab").fanins == ("a", "b", "c")
+    vec = {"a": 1, "b": 1, "c": 0}
+    assert simulate(faulty, vec)["ab"] == 0
+
+
+def test_extra_wire_on_inverter_rejected(maj3):
+    c = maj3.copy()
+    c.add_gate("inv", GateType.NOT, ["ab"])
+    with pytest.raises(ValueError, match="single-input"):
+        apply_error(c, ExtraWireError("inv", "bc"))
+
+
+def test_missing_wire_drops(maj3):
+    faulty = apply_error(maj3, MissingWireError("ab", "b"))
+    assert faulty.node("ab").fanins == ("a",)
+    vec = {"a": 1, "b": 0, "c": 0}
+    assert simulate(faulty, vec)["ab"] == 1  # AND(a) == a
+
+
+def test_missing_wire_cannot_empty_gate():
+    c = Circuit("single")
+    c.add_input("a")
+    c.add_gate("g", GateType.AND, ["a"])
+    c.add_output("g")
+    c.validate()
+    with pytest.raises(ValueError, match="last fanin"):
+        apply_error(c, MissingWireError("g", "a"))
+
+
+def test_missing_wire_requires_existing_fanin(maj3):
+    with pytest.raises(ValueError, match="not a fanin"):
+        apply_error(maj3, MissingWireError("ab", "c"))
+
+
+# ----------------------------------------------------------------------
+# random injection
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("p", [1, 2])
+def test_random_wire_errors_detectable(p):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=42)
+    inj = random_wire_errors(circuit, p=p, seed=7)
+    assert inj.p == p
+    assert len(set(inj.sites)) == p
+    inj.faulty.validate()  # acyclic despite wire swaps
+
+
+def test_random_wire_errors_deterministic():
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=42)
+    a = random_wire_errors(circuit, p=2, seed=3)
+    b = random_wire_errors(circuit, p=2, seed=3)
+    assert a.errors == b.errors
+
+
+def test_random_wire_errors_mix():
+    """Across seeds, the injector exercises several error kinds."""
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=40, seed=1)
+    kinds = set()
+    for seed in range(12):
+        inj = random_wire_errors(circuit, p=1, seed=seed)
+        kinds.add(type(inj.errors[0]).__name__)
+    assert len(kinds) >= 3
+
+
+# ----------------------------------------------------------------------
+# diagnosability: BSAT locates wire-error sites too
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bsat_locates_wire_errors(seed):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=25, seed=seed)
+    inj = random_wire_errors(circuit, p=1, seed=seed + 20)
+    tests = distinguishing_tests(circuit, inj.faulty, m=6)
+    assert tests.m >= 1
+    result = basic_sat_diagnose(inj.faulty, tests, k=1)
+    # The error gate's function changed, so its site is a valid correction.
+    assert any(inj.sites[0] in sol for sol in result.solutions)

@@ -1,0 +1,149 @@
+"""Tests for the cardinality encodings (pairwise, sequential, totalizer)."""
+
+import math
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import (
+    CNF,
+    at_least_one,
+    at_most_k_pairwise,
+    at_most_k_sequential,
+    enumerate_solutions,
+    totalizer,
+)
+
+
+def count_models(cnf, lits, assumptions=()):
+    solver = cnf.to_solver()
+    return sum(
+        1
+        for _ in enumerate_solutions(
+            solver, lits, assumptions=assumptions, block="exact"
+        )
+    )
+
+
+def expected_models(n, k):
+    return sum(math.comb(n, j) for j in range(k + 1))
+
+
+GRID = [(4, 0), (4, 2), (5, 1), (5, 4), (6, 3), (3, 3)]
+
+
+@pytest.mark.parametrize("n,k", GRID)
+def test_pairwise_model_count(n, k):
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    at_most_k_pairwise(cnf, lits, k)
+    assert count_models(cnf, lits) == expected_models(n, k)
+
+
+@pytest.mark.parametrize("n,k", GRID)
+def test_sequential_model_count(n, k):
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    at_most_k_sequential(cnf, lits, k)
+    assert count_models(cnf, lits) == expected_models(n, k)
+
+
+@pytest.mark.parametrize("n,k", GRID)
+def test_totalizer_model_count(n, k):
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    outs = totalizer(cnf, lits, k)
+    assumptions = [-outs[k]] if k < len(outs) else []
+    assert count_models(cnf, lits, assumptions) == expected_models(n, k)
+
+
+def test_totalizer_incremental_bounds():
+    """One totalizer encoding serves every bound <= max via assumptions."""
+    n, k_max = 6, 4
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    outs = totalizer(cnf, lits, k_max)
+    for bound in range(k_max + 1):
+        assert count_models(cnf, lits, [-outs[bound]]) == expected_models(
+            n, bound
+        )
+
+
+def test_totalizer_outputs_imply_counts():
+    """out[j] must be true whenever more than j inputs are true."""
+    n, k = 5, 3
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    outs = totalizer(cnf, lits, k)
+    solver = cnf.to_solver()
+    for bits in product([0, 1], repeat=n):
+        assumptions = [l if b else -l for l, b in zip(lits, bits)]
+        assert solver.solve(assumptions) is True
+        count = sum(bits)
+        for j, out in enumerate(outs):
+            if count >= j + 1:
+                assert solver.value(out) is True
+
+
+def test_k_zero_forces_all_false():
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(4)]
+    at_most_k_sequential(cnf, lits, 0)
+    solver = cnf.to_solver()
+    assert solver.solve() is True
+    assert all(solver.value(l) is False for l in lits)
+
+
+def test_k_at_least_n_is_free():
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(3)]
+    at_most_k_pairwise(cnf, lits, 3)
+    at_most_k_sequential(cnf, lits, 5)
+    assert cnf.num_clauses == 0
+
+
+def test_negative_k_rejected():
+    cnf = CNF()
+    lits = [cnf.new_var()]
+    with pytest.raises(ValueError):
+        at_most_k_pairwise(cnf, lits, -1)
+    with pytest.raises(ValueError):
+        at_most_k_sequential(cnf, lits, -1)
+    with pytest.raises(ValueError):
+        totalizer(cnf, lits, -1)
+
+
+def test_at_least_one():
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(3)]
+    at_least_one(cnf, lits)
+    solver = cnf.to_solver()
+    assert solver.solve([-lits[0], -lits[1], -lits[2]]) is False
+    with pytest.raises(ValueError):
+        at_least_one(cnf, [])
+
+
+@given(st.integers(1, 7), st.integers(0, 7), st.integers(0, 2**20))
+@settings(max_examples=30, deadline=None)
+def test_encodings_agree(n, k, seed):
+    """All three encodings accept exactly the same projected models."""
+    import random
+
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(n)]
+    results = []
+    for encoding in ("pairwise", "seq", "tot"):
+        cnf = CNF()
+        lits = [cnf.new_var() for _ in range(n)]
+        assumptions = [l if b else -l for l, b in zip(lits, bits)]
+        if encoding == "pairwise":
+            at_most_k_pairwise(cnf, lits, k)
+        elif encoding == "seq":
+            at_most_k_sequential(cnf, lits, k)
+        else:
+            outs = totalizer(cnf, lits, k)
+            if k < len(outs):
+                assumptions.append(-outs[k])
+        results.append(cnf.to_solver().solve(assumptions))
+    assert results[0] == results[1] == results[2] == (sum(bits) <= k)

@@ -1,0 +1,71 @@
+"""Tests for the CNF container."""
+
+import pytest
+
+from repro.sat import CNF
+
+
+def test_new_var_sequence():
+    cnf = CNF()
+    assert cnf.new_var() == 1
+    assert cnf.new_var() == 2
+    assert cnf.num_vars == 2
+
+
+def test_named_vars():
+    cnf = CNF()
+    a = cnf.new_var("a")
+    assert cnf.var("a") == a
+    assert cnf.name_of(a) == "a"
+    assert cnf.name_of(cnf.new_var()) is None
+    with pytest.raises(KeyError):
+        cnf.var("missing")
+    with pytest.raises(ValueError):
+        cnf.new_var("a")
+
+
+def test_new_vars_bulk():
+    cnf = CNF()
+    vars_ = cnf.new_vars(3, prefix="s")
+    assert vars_ == [1, 2, 3]
+    assert cnf.var("s0") == 1 and cnf.var("s2") == 3
+
+
+def test_add_clause_validation():
+    cnf = CNF()
+    cnf.new_var()
+    with pytest.raises(ValueError):
+        cnf.add_clause([0])
+    with pytest.raises(ValueError):
+        cnf.add_clause([2])  # var 2 not allocated
+    cnf.add_clause([1, -1])
+    assert cnf.num_clauses == 1
+
+
+def test_iteration_and_clauses():
+    cnf = CNF()
+    a, b = cnf.new_var(), cnf.new_var()
+    cnf.add_clauses([[a], [-a, b]])
+    assert list(cnf) == [(a,), (-a, b)]
+
+
+def test_to_solver_roundtrip():
+    cnf = CNF()
+    a, b = cnf.new_var(), cnf.new_var()
+    cnf.add_clause([a])
+    cnf.add_clause([-a, b])
+    solver = cnf.to_solver()
+    assert solver.solve() is True
+    assert solver.value(a) is True and solver.value(b) is True
+
+
+def test_to_solver_reuses_given_solver():
+    from repro.sat import Solver
+
+    cnf = CNF()
+    a = cnf.new_var()
+    cnf.add_clause([a])
+    solver = Solver()
+    out = cnf.to_solver(solver)
+    assert out is solver
+    assert solver.solve() and solver.value(a) is True

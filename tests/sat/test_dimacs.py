@@ -1,0 +1,65 @@
+"""Tests for DIMACS I/O."""
+
+import pytest
+
+from repro.sat import CNF, dump_dimacs, load_dimacs, parse_dimacs
+from repro.sat.dimacs import DimacsFormatError
+
+
+def test_parse_basic():
+    cnf = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+    assert cnf.num_vars == 3
+    assert list(cnf) == [(1, -2), (2, 3)]
+
+
+def test_parse_comments_and_percent():
+    cnf = parse_dimacs("c hello\np cnf 2 1\n% weird suffix\n1 2 0\n")
+    assert list(cnf) == [(1, 2)]
+
+
+def test_parse_multiline_clause():
+    cnf = parse_dimacs("p cnf 3 1\n1\n-2\n3 0\n")
+    assert list(cnf) == [(1, -2, 3)]
+
+
+def test_parse_without_header_grows_vars():
+    cnf = parse_dimacs("1 -5 0\n")
+    assert cnf.num_vars == 5
+
+
+def test_parse_trailing_clause_without_zero():
+    cnf = parse_dimacs("p cnf 2 1\n1 2\n")
+    assert list(cnf) == [(1, 2)]
+
+
+def test_parse_bad_header():
+    with pytest.raises(DimacsFormatError):
+        parse_dimacs("p dnf 2 1\n1 0\n")
+
+
+def test_parse_bad_literal():
+    with pytest.raises(DimacsFormatError):
+        parse_dimacs("p cnf 2 1\none 0\n")
+
+
+def test_roundtrip(tmp_path):
+    cnf = CNF()
+    a = cnf.new_var("sel")
+    b = cnf.new_var()
+    cnf.add_clause([a, -b])
+    cnf.add_clause([-a])
+    text = dump_dimacs(cnf, tmp_path / "f.cnf")
+    assert "c var 1 = sel" in text
+    again = load_dimacs(tmp_path / "f.cnf")
+    assert again.num_vars == cnf.num_vars
+    assert list(again) == list(cnf)
+
+
+def test_roundtrip_solver_equivalent():
+    cnf = CNF()
+    vars_ = [cnf.new_var() for _ in range(4)]
+    cnf.add_clause([vars_[0], vars_[1]])
+    cnf.add_clause([-vars_[0], vars_[2]])
+    cnf.add_clause([-vars_[2], -vars_[3]])
+    again = parse_dimacs(dump_dimacs(cnf))
+    assert again.to_solver().solve() == cnf.to_solver().solve()

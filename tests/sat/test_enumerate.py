@@ -1,0 +1,126 @@
+"""Tests for all-solutions enumeration with blocking clauses."""
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.sat import CNF, Solver, enumerate_solutions, totalizer
+
+
+def fresh_solver(n):
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(n)]
+    return cnf, lits
+
+
+def test_exact_blocking_counts_all_models():
+    cnf, lits = fresh_solver(3)
+    solver = cnf.to_solver()
+    models = list(enumerate_solutions(solver, lits, block="exact"))
+    assert len(models) == 8
+    assert len(set(models)) == 8
+
+
+def test_superset_blocking_yields_minimal_sets():
+    """With clause (a | b | c), superset blocking under increasing bounds
+    yields exactly the three singletons."""
+    cnf, lits = fresh_solver(3)
+    cnf.add_clause(lits)
+    outs = totalizer(cnf, lits, 2)
+    solver = cnf.to_solver()
+    sols = []
+    for bound in (1, 2):
+        sols.extend(
+            enumerate_solutions(
+                solver, lits, assumptions=[-outs[bound]], block="superset"
+            )
+        )
+    assert sorted(sorted(s) for s in sols) == [
+        [lits[0]],
+        [lits[1]],
+        [lits[2]],
+    ]
+
+
+def test_superset_blocking_excludes_empty_successors():
+    """Once the empty set is a solution, enumeration stops (everything is a
+    superset of it)."""
+    cnf, lits = fresh_solver(2)
+    solver = cnf.to_solver()
+    sols = list(enumerate_solutions(solver, lits, block="superset"))
+    assert sols == [frozenset()]
+
+
+def test_limit():
+    cnf, lits = fresh_solver(4)
+    solver = cnf.to_solver()
+    sols = list(enumerate_solutions(solver, lits, block="exact", limit=5))
+    assert len(sols) == 5
+
+
+def test_on_solution_callback():
+    cnf, lits = fresh_solver(2)
+    seen = []
+    solver = cnf.to_solver()
+    list(
+        enumerate_solutions(
+            solver, lits, block="exact", on_solution=seen.append
+        )
+    )
+    assert len(seen) == 4
+
+
+def test_invalid_block_mode():
+    cnf, lits = fresh_solver(1)
+    with pytest.raises(ValueError):
+        list(enumerate_solutions(cnf.to_solver(), lits, block="huh"))
+
+
+def test_conflict_limit_raises_timeout():
+    # PHP(7,6): unsat and needs many conflicts; the enumeration must raise
+    # TimeoutError instead of silently returning "complete".
+    solver = Solver()
+    var = {}
+    for p in range(7):
+        for h in range(6):
+            var[p, h] = solver.new_var()
+    for p in range(7):
+        solver.add_clause([var[p, h] for h in range(6)])
+    for h in range(6):
+        for p1 in range(7):
+            for p2 in range(p1 + 1, 7):
+                solver.add_clause([-var[p1, h], -var[p2, h]])
+    projection = [var[0, h] for h in range(6)]
+    with pytest.raises(TimeoutError):
+        list(
+            enumerate_solutions(solver, projection, conflict_limit=3)
+        )
+
+
+def test_enumeration_with_constraints_and_bounds():
+    """Covers interplay: constraint clauses + totalizer bound + superset
+    blocking gives minimal covers."""
+    cnf = CNF()
+    a, b, c, d = (cnf.new_var() for _ in range(4))
+    cnf.add_clause([a, b])
+    cnf.add_clause([c, d])
+    outs = totalizer(cnf, [a, b, c, d], 2)
+    solver = cnf.to_solver()
+    sols = []
+    for bound in (1, 2):
+        sols.extend(
+            enumerate_solutions(
+                solver,
+                [a, b, c, d],
+                assumptions=[-outs[bound]],
+                block="superset",
+            )
+        )
+    expected = {
+        frozenset({a, c}),
+        frozenset({a, d}),
+        frozenset({b, c}),
+        frozenset({b, d}),
+    }
+    assert set(sols) == expected

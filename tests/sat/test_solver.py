@@ -1,0 +1,264 @@
+"""Tests for the CDCL solver, including brute-force cross-validation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver
+from repro.sat.solver import _luby
+
+
+def brute_force_sat(n_vars, clauses):
+    for bits in itertools.product([False, True], repeat=n_vars):
+        if all(
+            any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def model_satisfies(solver, n_vars, clauses):
+    model = {v: solver.value(v) for v in range(1, n_vars + 1)}
+    return all(
+        any(
+            model[abs(lit)] is None or model[abs(lit)] == (lit > 0)
+            for lit in clause
+        )
+        for clause in clauses
+    )
+
+
+@st.composite
+def random_instance(draw):
+    n_vars = draw(st.integers(1, 9))
+    n_clauses = draw(st.integers(1, 40))
+    clauses = [
+        draw(
+            st.lists(
+                st.integers(1, n_vars).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        for _ in range(n_clauses)
+    ]
+    return n_vars, clauses
+
+
+@given(random_instance())
+@settings(max_examples=150, deadline=None)
+def test_agrees_with_brute_force(instance):
+    n_vars, clauses = instance
+    solver = Solver()
+    solver.ensure_vars(n_vars)
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    result = solver.solve() if ok else False
+    assert result == brute_force_sat(n_vars, clauses)
+    if result:
+        assert model_satisfies(solver, n_vars, clauses)
+
+
+def test_empty_formula_is_sat():
+    assert Solver().solve() is True
+
+
+def test_empty_clause_is_unsat():
+    s = Solver()
+    assert s.add_clause([]) is False
+    assert s.solve() is False
+
+
+def test_unit_contradiction():
+    s = Solver()
+    s.new_var()
+    assert s.add_clause([1])
+    assert s.add_clause([-1]) is False
+    assert s.solve() is False
+
+
+def test_tautology_dropped():
+    s = Solver()
+    s.ensure_vars(2)
+    assert s.add_clause([1, -1])
+    assert s.num_clauses == 0
+    assert s.solve() is True
+
+
+def test_duplicate_literals_merged():
+    s = Solver()
+    s.ensure_vars(2)
+    s.add_clause([1, 1, 2])
+    assert s.solve()
+
+
+def test_model_requires_sat():
+    s = Solver()
+    s.new_var()
+    s.add_clause([1])
+    with pytest.raises(RuntimeError):
+        s.model()
+    s.solve()
+    assert s.model() == [1]
+
+
+@pytest.mark.parametrize(
+    "pigeons,holes,expected", [(3, 3, True), (4, 3, False), (6, 5, False)]
+)
+def test_pigeonhole(pigeons, holes, expected):
+    s = Solver()
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[p, h] = s.new_var()
+    for p in range(pigeons):
+        s.add_clause([var[p, h] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([-var[p1, h], -var[p2, h]])
+    assert s.solve() == expected
+
+
+class TestAssumptions:
+    def test_sat_under_assumptions(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve([-a]) is True
+        assert s.value(b) is True
+        # solver state reusable
+        assert s.solve([-b]) is True
+        assert s.value(a) is True
+        assert s.solve([-a, -b]) is False
+
+    def test_core_is_subset_of_assumptions(self):
+        s = Solver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([-a, b])
+        s.add_clause([-b, c])
+        assert s.solve([a, -c]) is False
+        core = s.core()
+        assert core
+        assert set(core) <= {a, -c}
+
+    def test_core_with_irrelevant_assumptions(self):
+        s = Solver()
+        a, b, c, d = (s.new_var() for _ in range(4))
+        s.add_clause([-a, b])
+        assert s.solve([d, a, -b, c]) is False
+        core = s.core()
+        assert set(core) <= {a, -b}
+
+    def test_contradictory_assumptions(self):
+        s = Solver()
+        a = s.new_var()
+        s.new_var()
+        assert s.solve([a, -a]) is False
+        assert set(s.core()) == {a, -a}
+
+    def test_root_level_conflict_core(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve([-a]) is False
+        assert s.core() == [-a]
+
+
+class TestIncremental:
+    def test_add_clauses_between_solves(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve() is True
+        s.add_clause([-a])
+        assert s.solve() is True
+        assert s.value(b) is True
+        s.add_clause([-b])
+        assert s.solve() is False
+
+    def test_learned_clauses_survive(self):
+        s = Solver()
+        n = 8
+        for _ in range(n):
+            s.new_var()
+        # xor-ish chain that forces search
+        for i in range(1, n - 1):
+            s.add_clause([i, i + 1, -(i + 2)])
+            s.add_clause([-i, -(i + 1), -(i + 2)])
+        assert s.solve() is True
+        conflicts_before = s.stats["conflicts"]
+        assert s.solve() is True  # re-solve is cheap / still correct
+        assert s.stats["conflicts"] >= conflicts_before
+
+    def test_new_vars_after_solve(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve()
+        b = s.new_var()
+        s.add_clause([-b])
+        assert s.solve()
+        assert s.value(a) is True and s.value(b) is False
+
+
+class TestHeuristicHooks:
+    def test_phase_hint_respected_on_free_variable(self):
+        s = Solver()
+        a = s.new_var()
+        s.new_var()
+        s.set_phase(a, True)
+        assert s.solve() is True
+        assert s.value(a) is True
+        s2 = Solver()
+        a2 = s2.new_var()
+        s2.set_phase(a2, False)
+        assert s2.solve() is True
+        assert s2.value(a2) is False
+
+    def test_bump_activity_prioritizes_variable(self):
+        s = Solver()
+        lits = [s.new_var() for _ in range(10)]
+        s.add_clause(lits)
+        s.bump_activity(lits[7], 100.0)
+        s.set_phase(lits[7], True)
+        assert s.solve() is True
+        assert s.value(lits[7]) is True
+
+
+def test_conflict_limit_returns_none():
+    s = Solver()
+    var = {}
+    # PHP(8,7) is hard enough to exceed a tiny conflict budget
+    for p in range(8):
+        for h in range(7):
+            var[p, h] = s.new_var()
+    for p in range(8):
+        s.add_clause([var[p, h] for h in range(7)])
+    for h in range(7):
+        for p1 in range(8):
+            for p2 in range(p1 + 1, 8):
+                s.add_clause([-var[p1, h], -var[p2, h]])
+    assert s.solve(conflict_limit=5) is None
+    # and the solver is still usable afterwards
+    assert s.solve() is False
+
+
+def test_luby_sequence():
+    assert [_luby(i) for i in range(1, 16)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+    ]
+
+
+def test_stats_populated():
+    s = Solver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([a, b])
+    s.solve()
+    assert s.stats["propagations"] >= 0
+    assert s.stats["decisions"] >= 1

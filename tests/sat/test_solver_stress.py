@@ -1,0 +1,174 @@
+"""Stress and invariant tests for the CDCL solver.
+
+Beyond the functional brute-force cross-checks in test_solver.py, these
+exercise the machinery that only triggers under load: learnt-clause
+deletion, repeated incremental enumeration, restarts, and the interaction
+of assumptions with learned units.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import CNF, Solver, enumerate_solutions, totalizer
+
+
+def random_ksat(rng, n_vars, n_clauses, width=3):
+    return [
+        [
+            rng.choice([1, -1]) * rng.randint(1, n_vars)
+            for _ in range(width)
+        ]
+        for _ in range(n_clauses)
+    ]
+
+
+def test_learnt_reduction_preserves_correctness():
+    """Run a long sequence of solves on a hard-ish instance so learnt
+    deletion fires, then verify the final models against the clauses."""
+    rng = random.Random(99)
+    n = 60
+    solver = Solver()
+    solver.ensure_vars(n)
+    clauses = random_ksat(rng, n, 240)
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    if not ok:
+        return
+    for _trial in range(30):
+        assumptions = [
+            rng.choice([1, -1]) * rng.randint(1, n) for _ in range(4)
+        ]
+        result = solver.solve(assumptions)
+        if result:
+            model = {v: solver.value(v) for v in range(1, n + 1)}
+            for clause in clauses:
+                assert any(
+                    model[abs(l)] is None or model[abs(l)] == (l > 0)
+                    for l in clause
+                )
+
+
+def test_enumeration_of_full_space_is_exhaustive():
+    """Exact blocking over 10 variables must yield 2^10 distinct models."""
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(10)]
+    solver = cnf.to_solver()
+    seen = set(enumerate_solutions(solver, lits, block="exact"))
+    assert len(seen) == 1024
+
+
+def test_interleaved_bounds_and_blocking():
+    """Mixing bound assumptions with accumulated blocking clauses must
+    never resurrect a blocked solution."""
+    cnf = CNF()
+    lits = [cnf.new_var() for _ in range(6)]
+    cnf.add_clause(lits)  # at least one
+    outs = totalizer(cnf, lits, 4)
+    solver = cnf.to_solver()
+    seen: set[frozenset] = set()
+    for bound in (1, 2, 3, 4):
+        for sol in enumerate_solutions(
+            solver, lits, assumptions=[-outs[bound]], block="superset"
+        ):
+            assert sol not in seen
+            assert not any(prev <= sol for prev in seen)
+            assert 0 < len(sol) <= bound
+            seen.add(sol)
+    # minimal covers of one clause = the 6 singletons
+    assert seen == {frozenset({l}) for l in lits}
+
+
+def test_solver_determinism():
+    """Same clauses, same order -> identical models and statistics."""
+    def build_and_solve():
+        rng = random.Random(5)
+        solver = Solver()
+        solver.ensure_vars(30)
+        for clause in random_ksat(rng, 30, 100):
+            solver.add_clause(clause)
+        result = solver.solve()
+        model = (
+            tuple(solver.value(v) for v in range(1, 31)) if result else None
+        )
+        return result, model, dict(solver.stats)
+
+    a = build_and_solve()
+    b = build_and_solve()
+    assert a == b
+
+
+def test_many_assumption_rounds_reuse_learning():
+    """Conflict counts across repeated UNSAT assumption probes must not
+    blow up — learned clauses make later probes cheaper or equal."""
+    solver = Solver()
+    n = 8
+    var = {}
+    for p in range(n):
+        for h in range(n - 1):
+            var[p, h] = solver.new_var()
+    for p in range(n):
+        solver.add_clause([var[p, h] for h in range(n - 1)])
+    for h in range(n - 1):
+        for p1 in range(n):
+            for p2 in range(p1 + 1, n):
+                solver.add_clause([-var[p1, h], -var[p2, h]])
+    assert solver.solve() is False
+    conflicts_first = solver.stats["conflicts"]
+    assert solver.solve() is False  # solver is now trivially UNSAT
+    assert solver.stats["conflicts"] == conflicts_first
+
+
+def test_assumptions_do_not_leak_between_solves():
+    solver = Solver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    assert solver.solve([-a]) is True
+    assert solver.value(b) is True
+    # without the assumption, -a must not persist
+    assert solver.solve([-b]) is True
+    assert solver.value(a) is True
+    assert solver.solve() is True
+
+
+def test_wide_clauses():
+    """Clauses much wider than the watch window."""
+    solver = Solver()
+    lits = [solver.new_var() for _ in range(50)]
+    solver.add_clause(lits)
+    assert solver.solve([-l for l in lits[:-1]]) is True
+    assert solver.value(lits[-1]) is True
+    assert solver.solve([-l for l in lits]) is False
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_unsat_core_is_genuinely_unsat(seed):
+    """Re-solving with only the reported core must still be UNSAT."""
+    rng = random.Random(seed)
+    n = 12
+    solver = Solver()
+    solver.ensure_vars(n)
+    clauses = random_ksat(rng, n, 50)
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    if not ok:
+        return
+    assumptions = list(
+        dict.fromkeys(
+            rng.choice([1, -1]) * rng.randint(1, n) for _ in range(8)
+        )
+    )
+    if solver.solve(assumptions) is not False:
+        return
+    core = solver.core()
+    # An empty core means the formula alone is UNSAT — legitimate.
+    assert set(core) <= set(assumptions)
+    # fresh solver: clauses + core alone are UNSAT
+    fresh = Solver()
+    fresh.ensure_vars(n)
+    for clause in clauses:
+        fresh.add_clause(clause)
+    assert fresh.solve(core) is False

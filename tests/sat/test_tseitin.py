@@ -1,0 +1,145 @@
+"""Tests for the circuit-to-CNF encoder."""
+
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.gates import eval_gate
+from repro.sat import CNF, Solver, encode_circuit, encode_gate, encode_mux
+from repro.sim import simulate
+
+ENCODABLE = [
+    GateType.BUF,
+    GateType.NOT,
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+@pytest.mark.parametrize("gtype", ENCODABLE)
+@pytest.mark.parametrize("arity", [1, 2, 3, 4])
+def test_gate_encoding_matches_eval(gtype, arity):
+    if gtype in (GateType.BUF, GateType.NOT) and arity != 1:
+        pytest.skip("single-input gate")
+    if gtype not in (GateType.BUF, GateType.NOT) and arity == 1:
+        pytest.skip("multi-input gate")
+    cnf = CNF()
+    ins = [cnf.new_var() for _ in range(arity)]
+    out = cnf.new_var()
+    encode_gate(cnf, gtype, out, ins)
+    solver = cnf.to_solver()
+    for bits in product([0, 1], repeat=arity):
+        assumptions = [v if b else -v for v, b in zip(ins, bits)]
+        assert solver.solve(assumptions) is True
+        assert solver.value(out) == bool(eval_gate(gtype, list(bits)))
+
+
+def test_constant_encodings():
+    cnf = CNF()
+    z, o = cnf.new_var(), cnf.new_var()
+    encode_gate(cnf, GateType.CONST0, z, [])
+    encode_gate(cnf, GateType.CONST1, o, [])
+    solver = cnf.to_solver()
+    assert solver.solve() is True
+    assert solver.value(z) is False and solver.value(o) is True
+
+
+def test_dff_rejected():
+    cnf = CNF()
+    a, b = cnf.new_var(), cnf.new_var()
+    with pytest.raises(ValueError):
+        encode_gate(cnf, GateType.DFF, b, [a])
+
+
+def test_mux_truth_table():
+    cnf = CNF()
+    out, sel, c, orig = (cnf.new_var() for _ in range(4))
+    encode_mux(cnf, out, sel, c, orig)
+    solver = cnf.to_solver()
+    for s, cv, ov in product([0, 1], repeat=3):
+        assumptions = [
+            sel if s else -sel,
+            c if cv else -c,
+            orig if ov else -orig,
+        ]
+        assert solver.solve(assumptions) is True
+        expected = cv if s else ov
+        assert solver.value(out) == bool(expected)
+
+
+@given(st.integers(0, 5000), st.integers(0, 2**32))
+@settings(max_examples=30, deadline=None)
+def test_circuit_encoding_agrees_with_simulation(seed, vec_seed):
+    circuit = random_circuit(
+        n_inputs=5, n_outputs=2, n_gates=20, seed=seed
+    )
+    cnf = CNF()
+    var_of = encode_circuit(cnf, circuit)
+    solver = cnf.to_solver()
+    rng = random.Random(vec_seed)
+    vec = {pi: rng.getrandbits(1) for pi in circuit.inputs}
+    assumptions = [
+        var_of[pi] if vec[pi] else -var_of[pi] for pi in circuit.inputs
+    ]
+    assert solver.solve(assumptions) is True
+    expected = simulate(circuit, vec)
+    for sig in circuit.nodes:
+        value = solver.value(var_of[sig])
+        assert value is None or value == bool(expected[sig])
+
+
+def test_encoding_is_functionally_complete():
+    """Constraining outputs must determine feasible input sets (no spurious
+    models): encode a parity tree and check both polarities."""
+    from repro.circuits.library import parity_tree
+
+    circuit = parity_tree(4)
+    cnf = CNF()
+    var_of = encode_circuit(cnf, circuit)
+    out_var = var_of[circuit.outputs[0]]
+    solver = cnf.to_solver()
+    for target in (True, False):
+        assert solver.solve([out_var if target else -out_var]) is True
+        bits = [
+            int(bool(solver.value(var_of[pi]))) for pi in circuit.inputs
+        ]
+        assert (sum(bits) % 2 == 1) == target
+
+
+def test_shared_input_vars():
+    circuit = random_circuit(n_inputs=4, n_outputs=2, n_gates=10, seed=1)
+    cnf = CNF()
+    first = encode_circuit(cnf, circuit, prefix="a:")
+    second = encode_circuit(
+        cnf,
+        circuit,
+        prefix="b:",
+        input_vars={pi: first[pi] for pi in circuit.inputs},
+    )
+    # Same circuit on shared inputs: outputs must match in every model.
+    solver = cnf.to_solver()
+    for out in circuit.outputs:
+        a, b = first[out], second[out]
+        assert solver.solve([a, -b]) is False
+        assert solver.solve([-a, b]) is False
+
+
+def test_sequential_circuit_rejected(s27):
+    with pytest.raises(ValueError, match="combinational"):
+        encode_circuit(CNF(), s27)
+
+
+def test_named_variables_registered():
+    circuit = random_circuit(n_inputs=3, n_outputs=1, n_gates=5, seed=2)
+    cnf = CNF()
+    var_of = encode_circuit(cnf, circuit, prefix="t0:")
+    for sig, var in var_of.items():
+        assert cnf.name_of(var) == f"t0:{sig}"
+        assert cnf.var(f"t0:{sig}") == var

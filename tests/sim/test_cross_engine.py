@@ -1,0 +1,107 @@
+"""Property-based cross-validation of all simulation engines.
+
+The scalar, bit-parallel, ternary and event-driven simulators implement
+the same two-valued semantics; hypothesis generates random circuits,
+vectors and forced-value sets and asserts they agree signal-for-signal.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import random_circuit
+from repro.sim import (
+    EventSimulator,
+    pack_patterns,
+    simulate,
+    simulate_patterns,
+    simulate_ternary,
+    simulate_words,
+    unpack_word,
+)
+
+
+@st.composite
+def circuit_and_vectors(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_inputs = draw(st.integers(2, 7))
+    n_gates = draw(st.integers(3, 35))
+    circuit = random_circuit(
+        n_inputs=n_inputs,
+        n_outputs=draw(st.integers(1, 3)),
+        n_gates=n_gates,
+        seed=seed,
+    )
+    n_vectors = draw(st.integers(1, 5))
+    vectors = [
+        {pi: draw(st.integers(0, 1)) for pi in circuit.inputs}
+        for _ in range(n_vectors)
+    ]
+    return circuit, vectors
+
+
+@given(circuit_and_vectors())
+@settings(max_examples=40, deadline=None)
+def test_parallel_equals_scalar(data):
+    circuit, vectors = data
+    batched = simulate_patterns(circuit, vectors)
+    for vec, batch in zip(vectors, batched):
+        assert simulate(circuit, vec) == batch
+
+
+@given(circuit_and_vectors())
+@settings(max_examples=40, deadline=None)
+def test_ternary_equals_scalar_on_binary(data):
+    circuit, vectors = data
+    for vec in vectors:
+        scalar = simulate(circuit, vec)
+        ternary = simulate_ternary(circuit, vec)
+        assert all(ternary[s] == scalar[s] for s in circuit.nodes)
+
+
+@given(circuit_and_vectors(), st.integers(0, 2**32))
+@settings(max_examples=40, deadline=None)
+def test_event_sim_equals_scalar_under_forcing(data, force_seed):
+    circuit, vectors = data
+    rng = random.Random(force_seed)
+    sim = EventSimulator(circuit, vectors[0])
+    current = dict(vectors[0])
+    forced: dict[str, int] = {}
+    gates = list(circuit.gate_names)
+    for step in range(8):
+        action = rng.randrange(3)
+        if action == 0:  # flip an input
+            pi = rng.choice(circuit.inputs)
+            current[pi] ^= 1
+            sim.set_inputs({pi: current[pi]})
+        elif action == 1 and gates:  # force a gate
+            g = rng.choice(gates)
+            v = rng.randint(0, 1)
+            forced[g] = v
+            sim.force(g, v)
+        elif forced:  # unforce
+            g = rng.choice(sorted(forced))
+            del forced[g]
+            sim.unforce(g)
+        expected = simulate(circuit, current, forced=forced)
+        assert sim.values() == expected
+
+
+@given(circuit_and_vectors())
+@settings(max_examples=40, deadline=None)
+def test_forced_words_equal_scalar_forcing(data):
+    circuit, vectors = data
+    rng = random.Random(len(vectors))
+    gates = list(circuit.gate_names)
+    forced_scalar = {g: rng.randint(0, 1) for g in gates[:3]}
+    n = len(vectors)
+    mask = (1 << n) - 1
+    words = pack_patterns(vectors, circuit.inputs)
+    forced_words = {
+        g: (mask if v else 0) for g, v in forced_scalar.items()
+    }
+    batch = simulate_words(circuit, words, n, forced_words=forced_words)
+    for j, vec in enumerate(vectors):
+        scalar = simulate(circuit, vec, forced=forced_scalar)
+        for sig in circuit.nodes:
+            assert (batch[sig] >> j) & 1 == scalar[sig]

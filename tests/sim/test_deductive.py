@@ -1,0 +1,192 @@
+"""Tests for the deductive fault simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.library import parity_tree
+from repro.faults import StuckAtFault, full_stuck_at_universe
+from repro.sim import (
+    deductive_coverage,
+    deductive_detected,
+    deductive_fault_lists,
+    response,
+    stuck_at_response,
+)
+
+
+def _forced_detected(circuit, vector, faults):
+    """Oracle: detected faults via one forced simulation per fault."""
+    good = response(circuit, vector)
+    return frozenset(
+        f
+        for f in faults
+        if stuck_at_response(circuit, vector, f.signal, f.value) != good
+    )
+
+
+def _random_vector(circuit, seed):
+    rng = random.Random(seed)
+    return {pi: rng.getrandbits(1) for pi in circuit.inputs}
+
+
+# ----------------------------------------------------------------------
+# local rules on hand-built gates
+# ----------------------------------------------------------------------
+
+
+def test_and_gate_no_controlling_input_unions():
+    c = Circuit("and2")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("z", GateType.AND, ["a", "b"])
+    c.add_output("z")
+    c.validate()
+    lists = deductive_fault_lists(c, {"a": 1, "b": 1})
+    assert lists["z"] == frozenset(
+        {StuckAtFault("a", 0), StuckAtFault("b", 0), StuckAtFault("z", 0)}
+    )
+
+
+def test_and_gate_controlling_input_masks():
+    c = Circuit("and2")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("z", GateType.AND, ["a", "b"])
+    c.add_output("z")
+    c.validate()
+    lists = deductive_fault_lists(c, {"a": 0, "b": 1})
+    # Only flipping a (the controlling input) flips z; b s-a-0 is masked.
+    assert lists["z"] == frozenset({StuckAtFault("a", 1), StuckAtFault("z", 1)})
+
+
+def test_two_controlling_inputs_need_intersection():
+    c = Circuit("or2")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("z", GateType.OR, ["a", "b"])
+    c.add_output("z")
+    c.validate()
+    lists = deductive_fault_lists(c, {"a": 1, "b": 1})
+    # Both inputs controlling (1 for OR): no single input fault flips z.
+    assert lists["z"] == frozenset({StuckAtFault("z", 0)})
+
+
+def test_xor_parity_rule_cancels_reconvergence():
+    # z = XOR(g, g) is constant 0; a fault flipping g flips both fanins and
+    # must NOT appear in z's list.
+    c = Circuit("xorcancel")
+    c.add_input("a")
+    c.add_gate("g", GateType.NOT, ["a"])
+    c.add_gate("z", GateType.XOR, ["g", "g"])
+    c.add_output("z")
+    c.validate()
+    lists = deductive_fault_lists(c, {"a": 0})
+    assert StuckAtFault("g", 0) not in lists["z"]
+    assert StuckAtFault("a", 1) not in lists["z"]
+    assert lists["z"] == frozenset({StuckAtFault("z", 1)})
+
+
+def test_inverter_passes_list_through():
+    c = Circuit("inv")
+    c.add_input("a")
+    c.add_gate("z", GateType.NOT, ["a"])
+    c.add_output("z")
+    c.validate()
+    lists = deductive_fault_lists(c, {"a": 0})
+    assert StuckAtFault("a", 1) in lists["z"]
+    assert StuckAtFault("z", 0) in lists["z"]
+
+
+def test_restricted_universe_filters_lists(maj3):
+    only = [StuckAtFault("ab", 0)]
+    lists = deductive_fault_lists(maj3, {"a": 1, "b": 1, "c": 0}, faults=only)
+    assert lists["out"] == frozenset(only)
+
+
+# ----------------------------------------------------------------------
+# differential: deductive == forced simulation, fault by fault
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_matches_forced_simulation_random_circuits(seed):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=40, seed=seed)
+    universe = full_stuck_at_universe(circuit)
+    for vec_seed in range(4):
+        vector = _random_vector(circuit, 1000 * seed + vec_seed)
+        assert deductive_detected(circuit, vector) == _forced_detected(
+            circuit, vector, universe
+        )
+
+
+def test_matches_forced_simulation_xor_heavy():
+    circuit = parity_tree(8)
+    universe = full_stuck_at_universe(circuit)
+    for vec_seed in range(6):
+        vector = _random_vector(circuit, vec_seed)
+        assert deductive_detected(circuit, vector) == _forced_detected(
+            circuit, vector, universe
+        )
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_matches_forced_simulation_property(seed, vec_seed):
+    circuit = random_circuit(n_inputs=5, n_outputs=2, n_gates=18, seed=seed)
+    vector = _random_vector(circuit, vec_seed)
+    universe = full_stuck_at_universe(circuit)
+    assert deductive_detected(circuit, vector) == _forced_detected(
+        circuit, vector, universe
+    )
+
+
+# ----------------------------------------------------------------------
+# coverage accumulation
+# ----------------------------------------------------------------------
+
+
+def test_coverage_accumulates_and_records_first_detection(c17):
+    patterns = [_random_vector(c17, s) for s in range(16)]
+    cov = deductive_coverage(c17, patterns)
+    assert 0.5 < cov.coverage <= 1.0
+    for fault, idx in cov.first_detection.items():
+        assert fault in deductive_detected(c17, patterns[idx])
+        for earlier in range(idx):
+            assert fault not in deductive_detected(c17, patterns[earlier])
+
+
+def test_coverage_dropping_equals_no_dropping(c17):
+    patterns = [_random_vector(c17, s) for s in range(12)]
+    with_drop = deductive_coverage(c17, patterns, drop_detected=True)
+    without = deductive_coverage(c17, patterns, drop_detected=False)
+    assert with_drop.first_detection == without.first_detection
+
+
+def test_coverage_empty_pattern_list(c17):
+    cov = deductive_coverage(c17, [])
+    assert cov.coverage == 0.0
+    assert not cov.detected
+    assert len(cov.undetected) == len(cov.faults)
+
+
+def test_coverage_empty_fault_list(c17):
+    cov = deductive_coverage(c17, [_random_vector(c17, 0)], faults=[])
+    assert cov.coverage == 1.0
+
+
+def test_undetectable_fault_stays_undetected():
+    # z = OR(a, NOT(a)) is a tautology; z s-a-1 is undetectable.
+    c = Circuit("taut")
+    c.add_input("a")
+    c.add_gate("n", GateType.NOT, ["a"])
+    c.add_gate("z", GateType.OR, ["a", "n"])
+    c.add_output("z")
+    c.validate()
+    patterns = [{"a": 0}, {"a": 1}]
+    cov = deductive_coverage(c, patterns)
+    assert StuckAtFault("z", 1) in cov.undetected
+    assert StuckAtFault("z", 0) in cov.detected

@@ -1,0 +1,69 @@
+"""Tests for fault simulation (golden vs faulty comparison)."""
+
+import random
+
+from repro.circuits import GateType, random_circuit
+from repro.faults import GateChangeError, apply_error
+from repro.sim import (
+    detects,
+    failing_outputs,
+    fault_table,
+    response,
+    stuck_at_response,
+)
+
+
+def _workpair(seed=0):
+    golden = random_circuit(n_inputs=5, n_outputs=3, n_gates=20, seed=seed)
+    gate = golden.gates[5]
+    new_type = GateType.NOR if gate.gtype is not GateType.NOR else GateType.NAND
+    faulty = apply_error(golden, GateChangeError(gate.name, gate.gtype, new_type))
+    return golden, faulty
+
+
+def test_identical_circuits_never_fail():
+    golden, _ = _workpair()
+    rng = random.Random(0)
+    for _ in range(20):
+        vec = {pi: rng.getrandbits(1) for pi in golden.inputs}
+        assert failing_outputs(golden, golden, vec) == []
+        assert not detects(golden, golden, vec)
+
+
+def test_fault_table_matches_scalar():
+    golden, faulty = _workpair(3)
+    rng = random.Random(3)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in golden.inputs} for _ in range(64)
+    ]
+    table = fault_table(golden, faulty, patterns)
+    for vec, failing in zip(patterns, table):
+        assert failing == failing_outputs(golden, faulty, vec)
+
+
+def test_fault_table_empty():
+    golden, faulty = _workpair(1)
+    assert fault_table(golden, faulty, []) == []
+
+
+def test_response_order():
+    golden, _ = _workpair(2)
+    rng = random.Random(2)
+    vec = {pi: rng.getrandbits(1) for pi in golden.inputs}
+    resp = response(golden, vec)
+    assert len(resp) == len(golden.outputs)
+
+
+def test_stuck_at_response(maj3):
+    vec = {"a": 1, "b": 1, "c": 0}
+    assert stuck_at_response(maj3, vec, "ab", 0) == (0,)
+    assert stuck_at_response(maj3, vec, "ab", 1) == (1,)
+
+
+def test_failing_outputs_are_subset_of_outputs():
+    golden, faulty = _workpair(4)
+    rng = random.Random(4)
+    for _ in range(30):
+        vec = {pi: rng.getrandbits(1) for pi in golden.inputs}
+        failing = failing_outputs(golden, faulty, vec)
+        assert set(failing) <= set(golden.outputs)

@@ -1,0 +1,95 @@
+"""Tests for the scalar logic simulator."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.circuits.library import s27
+from repro.sim import output_values, simulate, simulate_sequence
+
+
+def test_missing_input_raises(maj3):
+    with pytest.raises(KeyError, match="primary input"):
+        simulate(maj3, {"a": 1, "b": 0})
+
+
+def test_forced_gate_value(maj3):
+    vec = {"a": 1, "b": 1, "c": 0}
+    assert simulate(maj3, vec)["out"] == 1
+    assert simulate(maj3, vec, forced={"ab": 0})["out"] == 0
+    # forcing propagates to fanout, not backwards
+    assert simulate(maj3, vec, forced={"out": 0})["ab"] == 1
+
+
+def test_forced_primary_input(maj3):
+    vec = {"a": 1, "b": 1, "c": 0}
+    assert simulate(maj3, vec, forced={"c": 1})["bc"] == 1
+
+
+def test_constants():
+    c = Circuit()
+    c.add_input("a")
+    c.add_gate("zero", GateType.CONST0)
+    c.add_gate("one", GateType.CONST1)
+    c.add_gate("y", GateType.AND, ["a", "one"])
+    c.add_output("y")
+    vals = simulate(c, {"a": 1})
+    assert vals["zero"] == 0 and vals["one"] == 1 and vals["y"] == 1
+
+
+def test_output_values(maj3):
+    assert output_values(maj3, {"a": 1, "b": 0, "c": 1}) == {"out": 1}
+
+
+def test_dff_state_defaults_to_zero():
+    circuit = s27()
+    vals = simulate(circuit, {"G0": 0, "G1": 0, "G2": 0, "G3": 0})
+    # state defaults to 0: G5=G6=G7=0
+    assert vals["G5"] == 0 and vals["G6"] == 0 and vals["G7"] == 0
+
+
+def test_dff_state_override():
+    circuit = s27()
+    vals = simulate(
+        circuit,
+        {"G0": 0, "G1": 0, "G2": 0, "G3": 0},
+        state={"G5": 1, "G6": 1, "G7": 1},
+    )
+    assert vals["G5"] == 1 and vals["G6"] == 1 and vals["G7"] == 1
+
+
+def test_simulate_sequence_state_evolution():
+    """A T-flip-flop built from XOR + DFF toggles when t=1."""
+    c = Circuit("tff")
+    c.add_input("t")
+    c.add_gate("q", GateType.DFF, ["d"])
+    c.add_gate("d", GateType.XOR, ["t", "q"])
+    c.add_output("q")
+    frames = simulate_sequence(c, [{"t": 1}] * 4)
+    assert [f["q"] for f in frames] == [0, 1, 0, 1]
+    frames = simulate_sequence(c, [{"t": 0}, {"t": 1}, {"t": 0}, {"t": 1}])
+    assert [f["q"] for f in frames] == [0, 0, 1, 1]
+
+
+def test_simulate_sequence_initial_state():
+    c = Circuit("tff")
+    c.add_input("t")
+    c.add_gate("q", GateType.DFF, ["d"])
+    c.add_gate("d", GateType.XOR, ["t", "q"])
+    c.add_output("q")
+    frames = simulate_sequence(c, [{"t": 0}] * 2, initial_state={"q": 1})
+    assert [f["q"] for f in frames] == [1, 1]
+
+
+def test_simulate_sequence_forced_frames():
+    c = Circuit("tff")
+    c.add_input("t")
+    c.add_gate("q", GateType.DFF, ["d"])
+    c.add_gate("d", GateType.XOR, ["t", "q"])
+    c.add_output("q")
+    frames = simulate_sequence(
+        c,
+        [{"t": 0}] * 3,
+        forced_per_frame=[None, {"d": 1}, None],
+    )
+    # the forced d=1 in frame 1 is captured into q for frame 2
+    assert [f["q"] for f in frames] == [0, 0, 1]

@@ -1,0 +1,90 @@
+"""Tests for the bit-parallel simulators."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_circuit
+from repro.sim import (
+    pack_patterns,
+    simulate,
+    simulate_patterns,
+    simulate_words,
+    simulate_words_numpy,
+    unpack_word,
+)
+
+
+def test_pack_unpack_roundtrip():
+    patterns = [{"a": 1, "b": 0}, {"a": 0, "b": 0}, {"a": 1, "b": 1}]
+    words = pack_patterns(patterns, ["a", "b"])
+    assert words == {"a": 0b101, "b": 0b100}
+    assert unpack_word(words["a"], 3) == [1, 0, 1]
+
+
+def test_simulate_patterns_empty():
+    c = random_circuit(n_inputs=3, n_outputs=1, n_gates=5, seed=0)
+    assert simulate_patterns(c, []) == []
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_words_agree_with_scalar(seed):
+    c = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=seed)
+    rng = random.Random(seed)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in c.inputs} for _ in range(33)
+    ]
+    batched = simulate_patterns(c, patterns)
+    for pattern, batch_vals in zip(patterns, batched):
+        assert simulate(c, pattern) == batch_vals
+
+
+def test_forced_words(maj3):
+    # force ab=0 in pattern 0 only; pattern 1 unforced
+    words = pack_patterns(
+        [{"a": 1, "b": 1, "c": 0}] * 2, maj3.inputs
+    )
+    out = simulate_words(maj3, words, 2, forced_words={"ab": 0b10})
+    assert unpack_word(out["out"], 2) == [0, 1]
+
+
+def test_wide_patterns_beyond_64():
+    c = random_circuit(n_inputs=5, n_outputs=2, n_gates=20, seed=7)
+    rng = random.Random(7)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in c.inputs} for _ in range(130)
+    ]
+    batched = simulate_patterns(c, patterns)
+    for idx in (0, 63, 64, 127, 129):
+        assert simulate(c, patterns[idx]) == batched[idx]
+
+
+def test_numpy_variant_agrees():
+    c = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=3)
+    rng = random.Random(3)
+    n_patterns = 128  # 2 lanes
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in c.inputs}
+        for _ in range(n_patterns)
+    ]
+    lanes = n_patterns // 64
+    input_words = {}
+    for pi in c.inputs:
+        arr = np.zeros(lanes, dtype=np.uint64)
+        for j, p in enumerate(patterns):
+            if p[pi]:
+                arr[j // 64] |= np.uint64(1) << np.uint64(j % 64)
+        input_words[pi] = arr
+    result = simulate_words_numpy(c, input_words)
+    for j in (0, 1, 63, 64, 100, 127):
+        scalar = simulate(c, patterns[j])
+        for sig in c.nodes:
+            bit = int(result[sig][j // 64] >> np.uint64(j % 64)) & 1
+            assert bit == scalar[sig], (sig, j)
+
+
+def test_numpy_variant_rejects_empty():
+    c = random_circuit(n_inputs=3, n_outputs=1, n_gates=5, seed=1)
+    with pytest.raises(ValueError):
+        simulate_words_numpy(c, {})

@@ -1,0 +1,78 @@
+"""Tests for three-valued simulation and X-propagation."""
+
+import random
+
+from repro.circuits import random_circuit, X
+from repro.sim import (
+    simulate,
+    simulate_ternary,
+    x_propagation_set,
+    x_reaches,
+)
+
+
+def test_agrees_with_binary_on_full_vectors():
+    for seed in range(4):
+        c = random_circuit(n_inputs=6, n_outputs=3, n_gates=25, seed=seed)
+        rng = random.Random(seed)
+        vec = {pi: rng.getrandbits(1) for pi in c.inputs}
+        binary = simulate(c, vec)
+        ternary = simulate_ternary(c, vec)
+        assert all(ternary[s] == binary[s] for s in c.nodes)
+
+
+def test_missing_inputs_default_to_x(maj3):
+    vals = simulate_ternary(maj3, {"a": 1})
+    assert vals["b"] == X
+    # a=1 makes ab = AND(1,X) = X, ac = X, bc = X -> out X
+    assert vals["out"] == X
+
+
+def test_controlling_input_blocks_x(maj3):
+    # a=0 forces ab=0 and ac=0; bc=AND(X,X)=X -> out = OR(0, X) = X
+    vals = simulate_ternary(maj3, {"a": 0})
+    assert vals["ab"] == 0 and vals["ac"] == 0 and vals["bc"] == X
+    # but with b=0 too, everything collapses
+    vals = simulate_ternary(maj3, {"a": 0, "b": 0})
+    assert vals["out"] == 0
+
+
+def test_x_injection_soundness():
+    """If x_reaches is False, no forced value at the gate can change the
+    output — the X-list necessary condition."""
+    for seed in range(6):
+        c = random_circuit(n_inputs=5, n_outputs=2, n_gates=20, seed=seed)
+        rng = random.Random(seed * 3 + 1)
+        vec = {pi: rng.getrandbits(1) for pi in c.inputs}
+        base = simulate(c, vec)
+        for gate in c.gate_names:
+            for out in c.outputs:
+                if not x_reaches(c, vec, (gate,), out):
+                    for v in (0, 1):
+                        forced = simulate(c, vec, forced={gate: v})
+                        assert forced[out] == base[out], (
+                            f"X said {gate} cannot affect {out}, "
+                            f"but forcing {v} changed it"
+                        )
+
+
+def test_x_propagation_set(maj3):
+    vec = {"a": 1, "b": 1, "c": 0}
+    xs = x_propagation_set(maj3, vec, "ab")
+    # ab=X with bc=0 (b&c=1&0) and ac=0: o1=OR(X,0)=X, out=OR(X,0)=X
+    assert xs == {"ab", "o1", "out"}
+
+
+def test_x_propagation_blocked(maj3):
+    vec = {"a": 1, "b": 1, "c": 1}
+    # all products are 1; forcing ab to X leaves o1 = OR(X, 1) = 1
+    xs = x_propagation_set(maj3, vec, "ab")
+    assert xs == {"ab"}
+
+
+def test_forced_x_at_input(maj3):
+    vals = simulate_ternary(
+        maj3, {"a": 1, "b": 1, "c": 1}, forced={"a": X}
+    )
+    assert vals["a"] == X
+    assert vals["out"] == 1  # bc=1 keeps the output determined

@@ -1,0 +1,191 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_stats_library_circuit(capsys):
+    code, out = run_cli(capsys, "stats", "c17")
+    assert code == 0
+    stats = json.loads(out)
+    assert stats["gates"] == 6
+
+
+def test_stats_bench_file(tmp_path, capsys):
+    from repro.circuits import dump, library
+
+    path = tmp_path / "maj.bench"
+    dump(library.majority(), path)
+    code, out = run_cli(capsys, "stats", str(path))
+    assert code == 0
+    assert json.loads(out)["gates"] == 5
+
+
+def test_unknown_circuit_exits():
+    with pytest.raises(SystemExit):
+        main(["stats", "no_such_circuit_or_file"])
+
+
+def test_inject_testgen_diagnose_roundtrip(tmp_path, capsys):
+    faulty_path = tmp_path / "faulty.bench"
+    tests_path = tmp_path / "t.tests"
+
+    code, out = run_cli(
+        capsys, "inject", "c17", "--p", "1", "--seed", "3",
+        "--out", str(faulty_path),
+    )
+    assert code == 0 and faulty_path.exists()
+    truth = json.loads(
+        (tmp_path / "faulty.truth.json").read_text()
+    )
+    assert len(truth["errors"]) == 1
+    site = truth["errors"][0].split(":")[0]
+
+    code, out = run_cli(
+        capsys, "testgen", "c17", str(faulty_path), "--m", "4",
+        "--out", str(tests_path),
+    )
+    assert code == 0 and "4 failing tests" in out
+
+    code, out = run_cli(
+        capsys, "diagnose", str(faulty_path), str(tests_path),
+        "--approach", "bsat", "--k", "1",
+    )
+    assert code == 0
+    assert site in out  # the injected site must be among the solutions
+
+    code, out = run_cli(
+        capsys, "diagnose", str(faulty_path), str(tests_path),
+        "--approach", "bsim",
+    )
+    assert code == 0 and "candidate gates" in out
+
+    code, out = run_cli(
+        capsys, "diagnose", str(faulty_path), str(tests_path),
+        "--approach", "cov", "--k", "1",
+    )
+    assert code == 0 and "solutions" in out
+
+    code, out = run_cli(
+        capsys, "diagnose", str(faulty_path), str(tests_path),
+        "--approach", "hybrid", "--k", "1",
+    )
+    assert code == 0 and "solutions" in out
+
+
+def test_diagnose_rejects_bad_test_file(tmp_path):
+    from repro.circuits import dump, library
+
+    faulty = tmp_path / "c.bench"
+    dump(library.c17(), faulty)
+    bad = tmp_path / "bad.tests"
+    bad.write_text("xyz nonsense\n")
+    with pytest.raises(SystemExit):
+        main(["diagnose", str(faulty), str(bad)])
+
+
+def test_diagnose_rejects_empty_test_file(tmp_path):
+    from repro.circuits import dump, library
+
+    faulty = tmp_path / "c.bench"
+    dump(library.c17(), faulty)
+    empty = tmp_path / "empty.tests"
+    empty.write_text("# nothing\n")
+    with pytest.raises(SystemExit):
+        main(["diagnose", str(faulty), str(empty)])
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "BSIM" in out and "adv. SAT-based" in out
+
+
+def test_atpg_writes_patterns(tmp_path, capsys):
+    out_file = tmp_path / "patterns.txt"
+    code, out = run_cli(capsys, "atpg", "c17", "--out", str(out_file))
+    assert code == 0
+    assert "coverage 100.0%" in out
+    lines = [
+        l for l in out_file.read_text().splitlines() if not l.startswith("#")
+    ]
+    assert lines and all(set(l) <= {"0", "1"} and len(l) == 5 for l in lines)
+
+
+def test_atpg_sat_backend(capsys):
+    code, out = run_cli(capsys, "atpg", "c17", "--backend", "sat")
+    assert code == 0 and "coverage 100.0%" in out
+
+
+def test_cec_equivalent(capsys):
+    code, out = run_cli(capsys, "cec", "c17", "c17", "--method", "bdd")
+    assert code == 0 and "equivalent" in out
+
+
+def test_cec_inequivalent_exit_code(tmp_path, capsys):
+    faulty_path = tmp_path / "faulty.bench"
+    run_cli(capsys, "inject", "c17", "--seed", "3", "--out", str(faulty_path))
+    code, out = run_cli(capsys, "cec", "c17", str(faulty_path))
+    assert code == 1
+    assert "NOT equivalent" in out and "counterexample" in out
+
+
+def test_certify_correction_exists(tmp_path, capsys):
+    faulty_path = tmp_path / "faulty.bench"
+    tests_path = tmp_path / "t.tests"
+    run_cli(capsys, "inject", "c17", "--seed", "3", "--out", str(faulty_path))
+    run_cli(
+        capsys, "testgen", "c17", str(faulty_path), "--m", "4",
+        "--out", str(tests_path),
+    )
+    code, out = run_cli(
+        capsys, "certify", str(faulty_path), str(tests_path), "--k", "1"
+    )
+    assert code == 0 and "correction exists" in out
+
+
+def test_certify_refutation_with_proof(tmp_path, capsys):
+    faulty_path = tmp_path / "faulty.bench"
+    tests_path = tmp_path / "t.tests"
+    proof_path = tmp_path / "refutation.drat"
+    run_cli(capsys, "inject", "c17", "--seed", "3", "--out", str(faulty_path))
+    run_cli(
+        capsys, "testgen", "c17", str(faulty_path), "--m", "4",
+        "--out", str(tests_path),
+    )
+    code, out = run_cli(
+        capsys, "certify", str(faulty_path), str(tests_path), "--k", "0",
+        "--proof-out", str(proof_path),
+    )
+    assert code == 0  # verified refutation
+    assert "VERIFIED" in out
+    assert proof_path.exists()
+    from repro.sat import ProofLog
+
+    assert ProofLog.from_drat_text(
+        proof_path.read_text()
+    ).ends_with_empty_clause
+
+
+def test_inject_wire_error_model(tmp_path, capsys):
+    faulty_path = tmp_path / "wire.bench"
+    code, out = run_cli(
+        capsys, "inject", "c17", "--error-model", "wire", "--seed", "2",
+        "--out", str(faulty_path),
+    )
+    assert code == 0 and faulty_path.exists()
+    assert "injected:" in out
+    # The sidecar records a wire/inverter error description, not a type swap.
+    import json
+
+    truth = json.loads((tmp_path / "wire.truth.json").read_text())
+    assert len(truth["errors"]) == 1

@@ -1,0 +1,58 @@
+"""Smoke tests for the public package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.circuits",
+    "repro.sim",
+    "repro.sat",
+    "repro.bdd",
+    "repro.faults",
+    "repro.testgen",
+    "repro.diagnosis",
+    "repro.experiments",
+    "repro.verify",
+]
+
+
+def test_version():
+    assert repro.__version__ == "1.1.0"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_importable(name):
+    mod = importlib.import_module(name)
+    assert mod is not None
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+def test_table1_matrix_renders():
+    from repro.diagnosis import APPROACH_PROPERTIES, format_table1
+
+    text = format_table1()
+    for approach in APPROACH_PROPERTIES:
+        assert approach in text
+    assert "O(|I| * m)" in text
+
+
+def test_quickstart_from_docstring():
+    """The module docstring's quickstart must actually run."""
+    from repro.experiments import (
+        format_cell_summary,
+        make_workload,
+        run_cell,
+    )
+
+    w = make_workload("sim1423", p=1, m_max=4, seed=1)
+    summary = format_cell_summary(run_cell(w, m=4, solution_limit=20))
+    assert "BSAT" in summary

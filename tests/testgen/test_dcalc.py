@@ -1,0 +1,113 @@
+"""Tests for composite (D-calculus) simulation."""
+
+from repro.circuits import Circuit, GateType, X
+from repro.circuits.library import c17
+from repro.faults import StuckAtFault
+from repro.sim import simulate
+from repro.testgen.dcalc import (
+    D,
+    DBAR,
+    d_frontier,
+    error_at_output,
+    is_error,
+    is_unknown,
+    simulate_composite,
+)
+
+
+def _and2():
+    c = Circuit("and2")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("z", GateType.AND, ["a", "b"])
+    c.add_output("z")
+    c.validate()
+    return c
+
+
+def test_value_predicates():
+    assert is_error(D) and is_error(DBAR)
+    assert not is_error((1, 1)) and not is_error((X, 0))
+    assert is_unknown((X, 1)) and is_unknown((0, X))
+    assert not is_unknown(D)
+
+
+def test_activation_produces_d():
+    c = _and2()
+    values = simulate_composite(c, {"a": 1, "b": 1}, StuckAtFault("z", 0))
+    assert values["z"] == D
+
+
+def test_unactivated_fault_agrees_with_good():
+    c = _and2()
+    values = simulate_composite(c, {"a": 0, "b": 1}, StuckAtFault("z", 0))
+    assert values["z"] == (0, 0)
+
+
+def test_dbar_for_stuck_at_one():
+    c = _and2()
+    values = simulate_composite(c, {"a": 0, "b": 0}, StuckAtFault("z", 1))
+    assert values["z"] == DBAR
+
+
+def test_partial_assignment_yields_x():
+    c = _and2()
+    values = simulate_composite(c, {"a": 1}, StuckAtFault("z", 0))
+    assert values["b"] == (X, X)
+    assert values["z"][0] == X  # good value unknown until b is set
+
+
+def test_controlling_x_dominated():
+    c = _and2()
+    values = simulate_composite(c, {"a": 0}, StuckAtFault("b", 1))
+    # a=0 controls the AND: output good value is 0 despite b unknown.
+    assert values["z"][0] == 0
+
+
+def test_d_propagates_through_sensitized_path():
+    circuit = c17()
+    # Activate G10 s-a-0 (needs G1=G3=1 so good G10 = NAND(1,1) = 0 ... use
+    # G1=0 so good is 1, faulty pinned 0) and sensitise G22 via G16 = 1.
+    vec = {"G1": 0, "G2": 0, "G3": 1, "G6": 1, "G7": 0}
+    values = simulate_composite(circuit, vec, StuckAtFault("G10", 0))
+    assert values["G10"] == D
+    good = simulate(circuit, vec)
+    assert values["G22"][0] == good["G22"]
+    assert is_error(values["G22"])
+
+
+def test_good_component_matches_scalar_simulator():
+    circuit = c17()
+    vec = {"G1": 1, "G2": 0, "G3": 1, "G6": 0, "G7": 1}
+    values = simulate_composite(circuit, vec, StuckAtFault("G16", 1))
+    good = simulate(circuit, vec)
+    for name, (g, _f) in values.items():
+        assert g == good[name], name
+
+
+def test_d_frontier_lists_propagation_gates():
+    circuit = c17()
+    # Activate G10 s-a-0 but leave G16's other input unknown.
+    values = simulate_composite(
+        circuit, {"G1": 0, "G3": 1}, StuckAtFault("G10", 0)
+    )
+    frontier = d_frontier(circuit, values)
+    assert "G22" in frontier
+    # G10 itself carries the D; a gate is only a frontier member through its
+    # *inputs*.
+    assert "G10" not in frontier
+
+
+def test_error_at_output_detection():
+    c = _and2()
+    values = simulate_composite(c, {"a": 1, "b": 1}, StuckAtFault("z", 0))
+    assert error_at_output(c, values) == "z"
+    values = simulate_composite(c, {"a": 0, "b": 1}, StuckAtFault("z", 0))
+    assert error_at_output(c, values) is None
+
+
+def test_fault_site_on_primary_input():
+    c = _and2()
+    values = simulate_composite(c, {"a": 1, "b": 1}, StuckAtFault("a", 0))
+    assert values["a"] == D
+    assert values["z"] == D

@@ -1,0 +1,132 @@
+"""Tests for the PODEM ATPG engine."""
+
+from itertools import product
+
+import pytest
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.library import c17, ripple_carry_adder
+from repro.faults import StuckAtFault, full_stuck_at_universe
+from repro.sim import response, stuck_at_response
+from repro.testgen.podem import PodemStatus, podem
+from repro.testgen.scoap import analyze_testability
+
+
+def _detects(circuit, vector, fault):
+    return stuck_at_response(
+        circuit, vector, fault.signal, fault.value
+    ) != response(circuit, vector)
+
+
+def _detectable_by_exhaustion(circuit, fault):
+    for bits in product((0, 1), repeat=len(circuit.inputs)):
+        vector = dict(zip(circuit.inputs, bits))
+        if _detects(circuit, vector, fault):
+            return True
+    return False
+
+
+def _redundant_circuit():
+    """z = OR(a, NOT a): z s-a-1 is undetectable (classic redundancy)."""
+    c = Circuit("taut")
+    c.add_input("a")
+    c.add_gate("n", GateType.NOT, ["a"])
+    c.add_gate("z", GateType.OR, ["a", "n"])
+    c.add_output("z")
+    c.validate()
+    return c
+
+
+def test_found_vector_detects_fault(c17):
+    fault = StuckAtFault("G16", 0)
+    outcome = podem(c17, fault)
+    assert outcome.found
+    assert _detects(c17, outcome.vector, fault)
+
+
+def test_vector_is_complete_assignment(c17):
+    outcome = podem(c17, StuckAtFault("G22", 1))
+    assert outcome.found
+    assert set(outcome.vector) == set(c17.inputs)
+
+
+def test_redundant_fault_proven():
+    c = _redundant_circuit()
+    outcome = podem(c, StuckAtFault("z", 1))
+    assert outcome.status is PodemStatus.UNDETECTABLE
+    assert outcome.vector is None
+
+
+def test_every_c17_fault_resolved_correctly(c17):
+    """PODEM's verdict matches exhaustive ground truth on every c17 fault."""
+    for fault in full_stuck_at_universe(c17):
+        outcome = podem(c17, fault)
+        assert outcome.status is not PodemStatus.ABORTED
+        assert outcome.found == _detectable_by_exhaustion(c17, fault), fault
+        if outcome.found:
+            assert _detects(c17, outcome.vector, fault)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_verdicts_match_exhaustion_random_circuits(seed):
+    circuit = random_circuit(n_inputs=5, n_outputs=3, n_gates=20, seed=seed)
+    for fault in full_stuck_at_universe(circuit):
+        outcome = podem(circuit, fault, backtrack_limit=50_000)
+        assert outcome.status is not PodemStatus.ABORTED
+        assert outcome.found == _detectable_by_exhaustion(circuit, fault), fault
+        if outcome.found:
+            assert _detects(circuit, outcome.vector, fault)
+
+
+def test_primary_input_fault(c17):
+    fault = StuckAtFault("G3", 0)
+    outcome = podem(c17, fault)
+    assert outcome.found
+    assert outcome.vector["G3"] == 1  # activation requires the complement
+    assert _detects(c17, outcome.vector, fault)
+
+
+def test_fill_policies(c17):
+    fault = StuckAtFault("G10", 1)
+    zero = podem(c17, fault, fill="zero")
+    one = podem(c17, fault, fill="one")
+    assert zero.found and one.found
+    assert _detects(c17, zero.vector, fault)
+    assert _detects(c17, one.vector, fault)
+
+
+def test_random_fill_deterministic_in_seed(c17):
+    fault = StuckAtFault("G10", 1)
+    a = podem(c17, fault, seed=5)
+    b = podem(c17, fault, seed=5)
+    assert a.vector == b.vector
+
+
+def test_unknown_fault_site_rejected(c17):
+    with pytest.raises(ValueError, match="unknown fault site"):
+        podem(c17, StuckAtFault("nope", 0))
+
+
+def test_bad_fill_rejected(c17):
+    with pytest.raises(ValueError, match="fill"):
+        podem(c17, StuckAtFault("G10", 0), fill="maybe")
+
+
+def test_precomputed_testability_reused(c17):
+    measures = analyze_testability(c17)
+    outcome = podem(c17, StuckAtFault("G23", 1), testability=measures)
+    assert outcome.found
+
+
+def test_adder_faults_all_found():
+    rca = ripple_carry_adder(3)
+    for fault in full_stuck_at_universe(rca, include_inputs=False):
+        outcome = podem(rca, fault, backtrack_limit=50_000)
+        assert outcome.found, fault  # the adder is irredundant
+        assert _detects(rca, outcome.vector, fault)
+
+
+def test_search_effort_reported(c17):
+    outcome = podem(c17, StuckAtFault("G23", 0))
+    assert outcome.decisions >= 1
+    assert outcome.backtracks >= 0

@@ -1,0 +1,73 @@
+"""Tests for random failing-test generation."""
+
+import pytest
+
+from repro.circuits import random_circuit
+from repro.faults import random_gate_changes
+from repro.sim import output_values
+from repro.testgen import random_failing_tests
+from repro.testgen import tests_from_vectors as build_tests_from_vectors
+
+
+def workpair(seed=0):
+    golden = random_circuit(n_inputs=6, n_outputs=3, n_gates=25, seed=seed)
+    return golden, random_gate_changes(golden, p=1, seed=seed).faulty
+
+
+def test_all_generated_tests_fail():
+    golden, faulty = workpair(1)
+    tests = random_failing_tests(golden, faulty, m=8, seed=1)
+    assert tests.m == 8
+    for t in tests:
+        got = output_values(faulty, t.vector)[t.output]
+        want = output_values(golden, t.vector)[t.output]
+        assert want == t.value
+        assert got != t.value  # the implementation is wrong here
+
+
+def test_deterministic():
+    golden, faulty = workpair(2)
+    a = random_failing_tests(golden, faulty, m=6, seed=9)
+    b = random_failing_tests(golden, faulty, m=6, seed=9)
+    assert [t.key() for t in a] == [t.key() for t in b]
+
+
+def test_unique_vectors():
+    golden, faulty = workpair(3)
+    tests = random_failing_tests(golden, faulty, m=10, seed=2)
+    vectors = {tuple(sorted(t.vector.items())) for t in tests}
+    assert len(vectors) == 10
+
+
+def test_attach_expected():
+    golden, faulty = workpair(4)
+    tests = random_failing_tests(
+        golden, faulty, m=3, seed=3, attach_expected=True
+    )
+    for t in tests:
+        assert t.expected_outputs is not None
+        assert t.expected_outputs[t.output] == t.value
+        assert dict(t.expected_outputs) == output_values(golden, t.vector)
+
+
+def test_equivalent_circuits_raise():
+    golden, _ = workpair(5)
+    with pytest.raises(RuntimeError, match="failing tests"):
+        random_failing_tests(golden, golden.copy(), m=1, seed=0, max_batches=3)
+
+
+def test_tests_from_vectors_multi_output():
+    golden, faulty = workpair(6)
+    import random
+
+    rng = random.Random(0)
+    vectors = [
+        {pi: rng.getrandbits(1) for pi in golden.inputs} for _ in range(64)
+    ]
+    single = build_tests_from_vectors(
+        golden, faulty, vectors, per_vector_outputs=1
+    )
+    multi = build_tests_from_vectors(
+        golden, faulty, vectors, per_vector_outputs=3
+    )
+    assert len(multi) >= len(single)

@@ -1,0 +1,108 @@
+"""Tests for SAT-based (miter) test generation."""
+
+import pytest
+
+from repro.circuits import GateType, random_circuit
+from repro.faults import random_gate_changes
+from repro.sim import failing_outputs, output_values
+from repro.testgen import (
+    MiterGenerator,
+    are_equivalent,
+    distinguishing_tests,
+)
+
+
+def workpair(seed=0):
+    golden = random_circuit(n_inputs=5, n_outputs=2, n_gates=18, seed=seed)
+    return golden, random_gate_changes(golden, p=1, seed=seed).faulty
+
+
+def test_generated_tests_distinguish():
+    golden, faulty = workpair(1)
+    tests = distinguishing_tests(golden, faulty, m=5)
+    assert tests.m >= 1
+    for t in tests:
+        assert output_values(golden, t.vector)[t.output] == t.value
+        assert output_values(faulty, t.vector)[t.output] != t.value
+
+
+def test_tests_are_distinct():
+    golden, faulty = workpair(2)
+    tests = distinguishing_tests(golden, faulty, m=8)
+    keys = {tuple(sorted(t.vector.items())) for t in tests}
+    assert len(keys) == tests.m
+
+
+def test_equivalence_check_positive():
+    golden, _ = workpair(3)
+    assert are_equivalent(golden, golden.copy())
+
+
+def test_equivalence_check_negative():
+    golden, faulty = workpair(3)
+    assert not are_equivalent(golden, faulty)
+
+
+def test_equivalence_of_restructured_logic():
+    """De Morgan: NAND(a, b) == OR(NOT a, NOT b)."""
+    from repro.circuits import Circuit
+
+    c1 = Circuit("nand")
+    c1.add_input("a")
+    c1.add_input("b")
+    c1.add_gate("y", GateType.NAND, ["a", "b"])
+    c1.add_output("y")
+
+    c2 = Circuit("demorgan")
+    c2.add_input("a")
+    c2.add_input("b")
+    c2.add_gate("na", GateType.NOT, ["a"])
+    c2.add_gate("nb", GateType.NOT, ["b"])
+    c2.add_gate("y", GateType.OR, ["na", "nb"])
+    c2.add_output("y")
+    assert are_equivalent(c1, c2)
+
+
+def test_output_restricted_generation():
+    golden, faulty = workpair(4)
+    # find an output the fault can reach
+    gen = MiterGenerator(golden, faulty)
+    first = gen.next_test()
+    assert first is not None
+    target = first.output
+    gen2 = MiterGenerator(golden, faulty)
+    t = gen2.next_test(output=target)
+    assert t is not None and t.output == target
+    assert target in failing_outputs(golden, faulty, t.vector)
+
+
+def test_exhaustion_returns_none():
+    """A 1-input circuit has at most 2 distinguishing vectors."""
+    from repro.circuits import Circuit
+
+    golden = Circuit("buf")
+    golden.add_input("a")
+    golden.add_gate("y", GateType.BUF, ["a"])
+    golden.add_output("y")
+    faulty = Circuit("not")
+    faulty.add_input("a")
+    faulty.add_gate("y", GateType.NOT, ["a"])
+    faulty.add_output("y")
+    gen = MiterGenerator(golden, faulty)
+    got = [gen.next_test() for _ in range(3)]
+    assert got[0] is not None and got[1] is not None
+    assert got[2] is None
+
+
+def test_interface_mismatch_rejected(maj3):
+    other = random_circuit(n_inputs=3, n_outputs=1, n_gates=5, seed=0)
+    with pytest.raises(ValueError):
+        MiterGenerator(maj3, other)
+
+
+def test_attach_expected():
+    golden, faulty = workpair(5)
+    tests = distinguishing_tests(golden, faulty, m=2, attach_expected=True)
+    for t in tests:
+        assert t.expected_outputs is not None
+        assert dict(t.expected_outputs) == output_values(golden, t.vector)

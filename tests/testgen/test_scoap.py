@@ -1,0 +1,148 @@
+"""Tests for SCOAP testability measures."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.circuits.library import parity_tree
+from repro.testgen.scoap import (
+    INFINITE_COST,
+    Testability,
+    analyze_testability,
+    controllability,
+    observability,
+)
+
+
+def _and_chain(length):
+    """a0 AND a1 -> g0; g0 AND a2 -> g1; ... (controllability-1 grows)."""
+    c = Circuit(f"chain{length}")
+    c.add_input("a0")
+    prev = "a0"
+    for i in range(length):
+        c.add_input(f"a{i + 1}")
+        c.add_gate(f"g{i}", GateType.AND, [prev, f"a{i + 1}"])
+        prev = f"g{i}"
+    c.add_output(prev)
+    c.validate()
+    return c
+
+
+def test_primary_inputs_cost_one(c17):
+    cc0, cc1 = controllability(c17)
+    for pi in c17.inputs:
+        assert cc0[pi] == 1 and cc1[pi] == 1
+
+
+def test_and_gate_costs():
+    c = Circuit("and2")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("z", GateType.AND, ["a", "b"])
+    c.add_output("z")
+    c.validate()
+    cc0, cc1 = controllability(c)
+    assert cc1["z"] == 3  # both inputs to 1, plus the gate
+    assert cc0["z"] == 2  # one input to 0, plus the gate
+
+
+def test_not_gate_swaps_costs():
+    c = _and_chain(1)
+    c.add_gate("n", GateType.NOT, ["g0"])
+    c.add_output("n")
+    c.validate()
+    cc0, cc1 = controllability(c)
+    assert cc0["n"] == cc1["g0"] + 1
+    assert cc1["n"] == cc0["g0"] + 1
+
+
+def test_cc1_grows_along_and_chain():
+    cc0, cc1 = controllability(_and_chain(5))
+    costs = [cc1[f"g{i}"] for i in range(5)]
+    assert costs == sorted(costs)
+    assert costs[-1] > costs[0]
+
+
+def test_constants_have_one_sided_cost():
+    c = Circuit("const")
+    c.add_input("a")
+    c.add_gate("one", GateType.CONST1)
+    c.add_gate("z", GateType.AND, ["a", "one"])
+    c.add_output("z")
+    c.validate()
+    cc0, cc1 = controllability(c)
+    assert cc1["one"] == 0
+    assert cc0["one"] == INFINITE_COST
+
+
+def test_xor_costs_are_parity_dp():
+    tree = parity_tree(4)
+    cc0, cc1 = controllability(tree)
+    root = tree.outputs[0]
+    # Any single input pattern with matching parity: 4 inputs + 3 gates.
+    assert cc0[root] == cc1[root] == 4 + 3
+
+
+def test_output_observability_zero(c17):
+    co = observability(c17)
+    for out in c17.outputs:
+        assert co[out] == 0
+
+
+def test_observability_grows_with_depth():
+    c = _and_chain(5)
+    co = observability(c)
+    # g0 must traverse four more gates than g3 to reach the output.
+    assert co["g0"] > co["g3"]
+    costs = [co[f"g{i}"] for i in range(5)]
+    assert costs == sorted(costs, reverse=True)
+
+
+def test_unobservable_signal_infinite():
+    c = Circuit("dangling")
+    c.add_input("a")
+    c.add_gate("z", GateType.NOT, ["a"])
+    c.add_gate("dead", GateType.NOT, ["a"])
+    c.add_output("z")
+    c.validate()
+    co = observability(c)
+    assert co["dead"] == INFINITE_COST
+
+
+def test_fanout_stem_takes_minimum():
+    # Stem s feeds both a direct output buffer (cheap path) and a deep AND
+    # chain (expensive path): the stem takes the cheap branch's cost.
+    c = Circuit("stem")
+    c.add_input("s")
+    c.add_input("x0")
+    c.add_input("x1")
+    c.add_gate("direct", GateType.BUF, ["s"])
+    c.add_gate("d0", GateType.AND, ["s", "x0"])
+    c.add_gate("d1", GateType.AND, ["d0", "x1"])
+    c.add_output("direct")
+    c.add_output("d1")
+    c.validate()
+    co = observability(c)
+    assert co["s"] == 1  # through the buffer, not the chain
+    deep_cost = co["d0"] + 1 + 1  # CO(d0) + CC1(x0) + 1
+    assert co["s"] < deep_cost
+
+
+def test_analyze_bundles_measures(c17):
+    t = analyze_testability(c17)
+    assert isinstance(t, Testability)
+    cc0, cc1 = controllability(c17)
+    assert dict(t.cc0) == cc0 and dict(t.cc1) == cc1
+
+
+def test_hardest_signals_ranking():
+    t = analyze_testability(_and_chain(6))
+    ranked = t.hardest_signals(3)
+    assert len(ranked) == 3
+    assert ranked[0][1] >= ranked[1][1] >= ranked[2][1]
+
+
+def test_measures_deterministic():
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=40, seed=9)
+    a = analyze_testability(circuit)
+    b = analyze_testability(circuit)
+    assert dict(a.co) == dict(b.co)

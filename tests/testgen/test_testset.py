@@ -1,0 +1,73 @@
+"""Tests for Test/TestSet types."""
+
+import pytest
+
+from repro.testgen import Test, TestSet
+
+
+def make_test(i=0, out="y", value=1):
+    return Test({"a": i & 1, "b": (i >> 1) & 1}, out, value)
+
+
+def test_test_fields():
+    t = make_test()
+    assert t.output == "y"
+    assert t.value == 1
+    assert t.wrong_value == 0
+    assert t.vector["a"] == 0
+
+
+def test_vector_is_immutable():
+    t = make_test()
+    with pytest.raises(TypeError):
+        t.vector["a"] = 1
+
+
+def test_value_validation():
+    with pytest.raises(ValueError):
+        Test({"a": 0}, "y", 2)
+
+
+def test_expected_outputs_consistency():
+    Test({"a": 0}, "y", 1, expected_outputs={"y": 1, "z": 0})
+    with pytest.raises(ValueError):
+        Test({"a": 0}, "y", 1, expected_outputs={"y": 0, "z": 0})
+
+
+def test_key_hashable():
+    a, b = make_test(1), make_test(1)
+    assert a.key() == b.key()
+    assert make_test(2).key() != a.key()
+
+
+def test_testset_sequence_protocol():
+    ts = TestSet(tuple(make_test(i) for i in range(4)))
+    assert len(ts) == 4 and ts.m == 4
+    assert ts[0].vector["a"] == 0
+    assert [t.output for t in ts] == ["y"] * 4
+
+
+def test_prefix():
+    ts = TestSet(tuple(make_test(i) for i in range(4)))
+    assert ts.prefix(2).m == 2
+    assert ts.prefix(2)[1].key() == ts[1].key()
+    with pytest.raises(ValueError):
+        ts.prefix(5)
+
+
+def test_partition():
+    ts = TestSet(tuple(make_test(i) for i in range(7)))
+    parts = ts.partition(3)
+    assert [p.m for p in parts] == [3, 3, 1]
+    with pytest.raises(ValueError):
+        ts.partition(0)
+
+
+def test_outputs():
+    ts = TestSet((make_test(0, "y"), make_test(1, "z")))
+    assert ts.outputs() == {"y", "z"}
+
+
+def test_from_triples():
+    ts = TestSet.from_triples([({"a": 1}, "y", 0)])
+    assert ts.m == 1 and ts[0].value == 0

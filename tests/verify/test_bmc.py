@@ -1,0 +1,178 @@
+"""Tests for bounded model checking and its diagnosis bridge."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.circuits.library import s27
+from repro.diagnosis import seq_sat_diagnose
+from repro.faults import GateChangeError, apply_error
+from repro.sim import simulate_sequence
+from repro.verify import (
+    bmc_assertion,
+    bmc_equivalence,
+    trace_to_sequence_tests,
+)
+
+
+def _delay2_monitor():
+    """Monitor goes bad at frame 2 at the earliest (two DFF delays)."""
+    c = Circuit("delay2")
+    c.add_input("en")
+    c.add_gate("d1", GateType.DFF, ["en"])
+    c.add_gate("d2", GateType.DFF, ["d1"])
+    c.add_gate("bad", GateType.AND, ["d2", "en"])
+    c.add_output("bad")
+    c.validate()
+    return c
+
+
+def _dff_pair(invert_impl):
+    golden = Circuit("g")
+    golden.add_input("a")
+    golden.add_gate("d", GateType.DFF, ["a"])
+    golden.add_gate("out", GateType.BUF, ["d"])
+    golden.add_output("out")
+    golden.validate()
+    impl = Circuit("i")
+    impl.add_input("a")
+    if invert_impl:
+        impl.add_gate("n", GateType.NOT, ["a"])
+        impl.add_gate("d", GateType.DFF, ["n"])
+    else:
+        impl.add_gate("d", GateType.DFF, ["a"])
+    impl.add_gate("out", GateType.BUF, ["d"])
+    impl.add_output("out")
+    impl.validate()
+    return golden, impl
+
+
+# ----------------------------------------------------------------------
+# assertion BMC
+# ----------------------------------------------------------------------
+
+
+def test_violation_found_at_exact_depth():
+    c = _delay2_monitor()
+    result = bmc_assertion(c, "bad", bound=5)
+    assert result.violated
+    assert result.frame == 2  # the shortest witness
+    assert result.n_frames == 3
+
+
+def test_trace_actually_violates():
+    c = _delay2_monitor()
+    result = bmc_assertion(c, "bad", bound=5)
+    frames = simulate_sequence(c, result.trace)
+    assert frames[result.frame]["bad"] == 1
+
+
+def test_bound_too_small_reports_no_violation():
+    c = _delay2_monitor()
+    result = bmc_assertion(c, "bad", bound=2)
+    assert not result.violated
+    assert result.trace == ()
+    assert "bounded claim" in result.summary()
+
+
+def test_bad_value_zero_supported():
+    c = _delay2_monitor()
+    # "bad == 0" is reachable immediately (reset state).
+    result = bmc_assertion(c, "bad", bound=3, bad_value=0)
+    assert result.violated and result.frame == 0
+
+
+def test_unreachable_monitor_never_violates():
+    c = Circuit("safe")
+    c.add_input("a")
+    c.add_gate("n", GateType.NOT, ["a"])
+    c.add_gate("never", GateType.AND, ["a", "n"])
+    c.add_gate("d", GateType.DFF, ["never"])
+    c.add_gate("bad", GateType.BUF, ["d"])
+    c.add_output("bad")
+    c.validate()
+    assert not bmc_assertion(c, "bad", bound=6).violated
+
+
+def test_initial_state_one():
+    c = Circuit("init1")
+    c.add_input("a")
+    c.add_gate("d", GateType.DFF, ["a"])
+    c.add_gate("bad", GateType.BUF, ["d"])
+    c.add_output("bad")
+    c.validate()
+    assert bmc_assertion(c, "bad", bound=1, initial_state=1).violated
+    assert not bmc_assertion(c, "bad", bound=1, initial_state=0).violated
+
+
+def test_monitor_must_be_output(c17):
+    with pytest.raises(ValueError, match="primary output"):
+        bmc_assertion(c17, "G10", bound=2)
+
+
+def test_bound_validation():
+    c = _delay2_monitor()
+    with pytest.raises(ValueError, match="bound"):
+        bmc_assertion(c, "bad", bound=0)
+
+
+# ----------------------------------------------------------------------
+# equivalence BMC
+# ----------------------------------------------------------------------
+
+
+def test_identical_machines_equivalent(s27):
+    assert not bmc_equivalence(s27, s27.copy(), bound=4).violated
+
+
+def test_state_update_bug_found_at_frame_one():
+    golden, impl = _dff_pair(invert_impl=True)
+    result = bmc_equivalence(golden, impl, bound=4)
+    assert result.violated
+    assert result.frame == 1  # frame 0 agrees (shared reset state)
+    assert result.output == "out"
+    good = simulate_sequence(golden, result.trace)
+    bad = simulate_sequence(impl, result.trace)
+    assert good[result.frame]["out"] != bad[result.frame]["out"]
+
+
+def test_equal_machines_with_different_structure():
+    golden, impl = _dff_pair(invert_impl=False)
+    assert not bmc_equivalence(golden, impl, bound=4).violated
+
+
+def test_s27_gate_change_distinguished(s27):
+    faulty = apply_error(
+        s27, GateChangeError("G10", GateType.NOR, GateType.NAND)
+    )
+    result = bmc_equivalence(s27, faulty, bound=6)
+    assert result.violated
+    good = simulate_sequence(s27, result.trace)
+    bad = simulate_sequence(faulty, result.trace)
+    assert good[result.frame][result.output] != bad[result.frame][result.output]
+
+
+def test_equivalence_interface_check(s27, c17):
+    with pytest.raises(ValueError, match="inputs"):
+        bmc_equivalence(s27, c17, bound=2)
+
+
+# ----------------------------------------------------------------------
+# bridge to sequential diagnosis
+# ----------------------------------------------------------------------
+
+
+def test_trace_feeds_sequential_diagnosis(s27):
+    faulty = apply_error(
+        s27, GateChangeError("G10", GateType.NOR, GateType.NAND)
+    )
+    result = bmc_equivalence(s27, faulty, bound=6)
+    tests = trace_to_sequence_tests(s27, faulty, result.trace)
+    assert tests
+    assert any(t.frame == result.frame and t.output == result.output for t in tests)
+    diag = seq_sat_diagnose(faulty, tests, k=1)
+    assert any("G10" in sol for sol in diag.solutions)
+
+
+def test_trace_of_equivalent_machines_yields_no_tests(s27):
+    vectors = ({"G0": 0, "G1": 1, "G2": 0, "G3": 1},) * 3
+    assert trace_to_sequence_tests(s27, s27.copy(), vectors) == []

@@ -1,0 +1,98 @@
+"""Tests for the unified combinational equivalence checker."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.faults import GateChangeError, apply_error, random_gate_changes
+from repro.sim import failing_outputs
+from repro.verify import check_equivalence
+
+
+def _distributivity_pair():
+    a = Circuit("lhs")
+    for pi in "xyz":
+        a.add_input(pi)
+    a.add_gate("or1", GateType.OR, ["y", "z"])
+    a.add_gate("out", GateType.AND, ["x", "or1"])
+    a.add_output("out")
+    a.validate()
+    b = Circuit("rhs")
+    for pi in "xyz":
+        b.add_input(pi)
+    b.add_gate("t1", GateType.AND, ["x", "y"])
+    b.add_gate("t2", GateType.AND, ["x", "z"])
+    b.add_gate("out", GateType.OR, ["t1", "t2"])
+    b.add_output("out")
+    b.validate()
+    return a, b
+
+
+@pytest.mark.parametrize("method", ["auto", "sat", "bdd"])
+def test_equivalent_circuits_proven(method, c17):
+    result = check_equivalence(c17, c17.copy(), method=method)
+    assert result.equivalent is True
+    assert result.conclusive
+    assert result.counterexample is None
+    assert "equivalent" in result.summary()
+
+
+@pytest.mark.parametrize("method", ["auto", "sat", "bdd", "random"])
+def test_inequivalence_found_with_real_cex(method, maj3):
+    impl = apply_error(maj3, GateChangeError("ab", GateType.AND, GateType.OR))
+    result = check_equivalence(maj3, impl, method=method)
+    assert result.equivalent is False
+    assert result.failing_output in maj3.outputs
+    assert result.failing_output in failing_outputs(
+        maj3, impl, result.counterexample
+    )
+    assert "NOT equivalent" in result.summary()
+
+
+def test_restructured_logic_equivalent():
+    a, b = _distributivity_pair()
+    assert check_equivalence(a, b, method="sat").equivalent
+    assert check_equivalence(a, b, method="bdd").equivalent
+
+
+def test_random_method_is_inconclusive_on_equivalence(c17):
+    result = check_equivalence(c17, c17.copy(), method="random")
+    assert result.equivalent is None
+    assert not result.conclusive
+    assert "inconclusive" in result.summary()
+
+
+def test_auto_uses_random_falsifier_first(maj3):
+    impl = apply_error(maj3, GateChangeError("out", GateType.OR, GateType.AND))
+    result = check_equivalence(maj3, impl, method="auto")
+    # The error flips many vectors, so the random phase must catch it.
+    assert result.method == "random"
+    assert result.equivalent is False
+
+
+def test_auto_settles_with_sat(c17):
+    result = check_equivalence(c17, c17.copy(), method="auto")
+    assert result.method == "auto(random+sat)"
+    assert result.equivalent is True
+
+
+def test_unknown_method_rejected(c17):
+    with pytest.raises(ValueError, match="unknown CEC method"):
+        check_equivalence(c17, c17.copy(), method="magic")
+
+
+def test_interface_mismatch_rejected(c17, maj3):
+    with pytest.raises(ValueError, match="inputs"):
+        check_equivalence(c17, maj3)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_methods_agree_on_random_workloads(seed):
+    golden = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=seed)
+    inj = random_gate_changes(golden, p=1, seed=seed, ensure_detectable=False)
+    verdicts = {
+        m: check_equivalence(golden, inj.faulty, method=m).equivalent
+        for m in ("sat", "bdd")
+    }
+    assert verdicts["sat"] == verdicts["bdd"]
+    auto = check_equivalence(golden, inj.faulty, method="auto").equivalent
+    assert auto == verdicts["sat"]

@@ -1,0 +1,108 @@
+"""Direct tests for the free-input time-frame expansion."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+from repro.circuits.library import s27
+from repro.sat import CNF
+from repro.sim import simulate_sequence
+from repro.verify import unroll
+
+
+def _shift_register():
+    c = Circuit("shift2")
+    c.add_input("d")
+    c.add_gate("q0", GateType.DFF, ["d"])
+    c.add_gate("q1", GateType.DFF, ["q0"])
+    c.add_output("q1")
+    c.validate()
+    return c
+
+
+def _solve_with_inputs(cnf, unrolling, circuit, vectors):
+    """Pin the unrolled inputs to ``vectors`` and return a model getter."""
+    solver = cnf.to_solver()
+    assumptions = []
+    for frame, vector in enumerate(vectors):
+        for pi, value in vector.items():
+            var = unrolling.var_of[(frame, pi)]
+            assumptions.append(var if value else -var)
+    assert solver.solve(assumptions=assumptions)
+    return solver
+
+
+@pytest.mark.parametrize("n_frames", [1, 2, 4])
+def test_unrolling_matches_sequential_simulation(n_frames):
+    circuit = _shift_register()
+    cnf = CNF()
+    unrolling = unroll(cnf, circuit, n_frames)
+    vectors = [{"d": (f + 1) % 2} for f in range(n_frames)]
+    solver = _solve_with_inputs(cnf, unrolling, circuit, vectors)
+    frames = simulate_sequence(circuit, vectors)
+    for frame in range(n_frames):
+        for signal in ("q0", "q1"):
+            var = unrolling.var_of[(frame, signal)]
+            assert int(bool(solver.value(var))) == frames[frame][signal]
+
+
+def test_unrolling_matches_s27(s27):
+    cnf = CNF()
+    unrolling = unroll(cnf, s27, 3)
+    vectors = [
+        {"G0": 1, "G1": 0, "G2": 1, "G3": 0},
+        {"G0": 0, "G1": 1, "G2": 0, "G3": 1},
+        {"G0": 1, "G1": 1, "G2": 1, "G3": 1},
+    ]
+    solver = _solve_with_inputs(cnf, unrolling, s27, vectors)
+    frames = simulate_sequence(s27, vectors)
+    for frame in range(3):
+        var = unrolling.var_of[(frame, "G17")]
+        assert int(bool(solver.value(var))) == frames[frame]["G17"]
+
+
+def test_initial_state_one_respected():
+    circuit = _shift_register()
+    cnf = CNF()
+    unrolling = unroll(cnf, circuit, 1, initial_state=1)
+    solver = _solve_with_inputs(cnf, unrolling, circuit, [{"d": 0}])
+    assert solver.value(unrolling.var_of[(0, "q0")]) is True
+    assert solver.value(unrolling.var_of[(0, "q1")]) is True
+
+
+def test_shared_inputs_tie_two_machines():
+    circuit = _shift_register()
+    cnf = CNF()
+    a = unroll(cnf, circuit, 2, prefix="a:")
+    shared = {
+        (f, pi): a.var_of[(f, pi)]
+        for f in range(2)
+        for pi in circuit.inputs
+    }
+    b = unroll(cnf, circuit, 2, prefix="b:", shared_inputs=shared)
+    # Same machine over the same inputs: the outputs can never differ.
+    d = cnf.new_var("diff")
+    out_a = a.output_var(1, "q1")
+    out_b = b.output_var(1, "q1")
+    cnf.add_clause([-d, out_a, out_b])
+    cnf.add_clause([-d, -out_a, -out_b])
+    cnf.add_clause([d])
+    solver = cnf.to_solver()
+    assert solver.solve() is False
+
+
+def test_parameter_validation():
+    circuit = _shift_register()
+    with pytest.raises(ValueError, match="n_frames"):
+        unroll(CNF(), circuit, 0)
+    with pytest.raises(ValueError, match="initial_state"):
+        unroll(CNF(), circuit, 1, initial_state=2)
+
+
+def test_helper_accessors():
+    circuit = _shift_register()
+    cnf = CNF()
+    unrolling = unroll(cnf, circuit, 2)
+    assert unrolling.n_frames == 2
+    inputs = unrolling.input_vars(0, circuit.inputs)
+    assert set(inputs) == {"d"}
+    assert unrolling.output_var(1, "q1") == unrolling.var_of[(1, "q1")]
