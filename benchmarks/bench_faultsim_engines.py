@@ -1,15 +1,18 @@
 """Substrate bench — fault-simulation engine comparison.
 
-Three ways to answer "which stuck-at faults does this pattern detect":
+Four ways to answer "which stuck-at faults does this pattern detect":
 
 * serial — one forced-value simulation per fault (baseline oracle);
 * deductive — one pass propagating fault lists (all faults at once);
+* batch — fault-parallel numpy sweep (all faults stacked on a batch
+  axis; :mod:`repro.sim.batchfault`);
 * bit-parallel table — golden-vs-faulty response comparison over many
   patterns at once (per *error*, not per fault — included to show where
   each engine pays).
 
-The deductive engine should beat serial by roughly the fault count over
-pattern-wise work; this records the actual factor for EXPERIMENTS.md.
+The deductive and batch engines should beat serial by roughly the fault
+count over pattern-wise work; this records the actual factors for
+EXPERIMENTS.md.
 
 Artifact: ``benchmarks/out/faultsim_engines.txt``.
 """
@@ -21,7 +24,12 @@ from conftest import write_artifact
 
 from repro.circuits import random_circuit
 from repro.faults import full_stuck_at_universe
-from repro.sim import deductive_detected, response, stuck_at_response
+from repro.sim import (
+    batch_detected,
+    deductive_detected,
+    response,
+    stuck_at_response,
+)
 
 N_GATES = 120
 
@@ -55,19 +63,28 @@ def test_deductive_fault_simulation(benchmark):
     assert detected == _serial(circuit, vector, faults)
 
 
+def test_batch_fault_simulation(benchmark):
+    circuit, vector, faults = _setup()
+    detected = benchmark(lambda: batch_detected(circuit, vector, faults))
+    assert detected == _serial(circuit, vector, faults)
+
+
 def test_record_speedup_artifact(benchmark):
     circuit, vector, faults = _setup()
     t0 = time.perf_counter()
     serial = _serial(circuit, vector, faults)
     t_serial = time.perf_counter() - t0
     t0 = time.perf_counter()
-    deductive = benchmark.pedantic(
-        lambda: deductive_detected(circuit, vector, faults),
+    deductive = deductive_detected(circuit, vector, faults)
+    t_deductive = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch = benchmark.pedantic(
+        lambda: batch_detected(circuit, vector, faults),
         rounds=1,
         iterations=1,
     )
-    t_deductive = time.perf_counter() - t0
-    assert serial == deductive
+    t_batch = time.perf_counter() - t0
+    assert serial == deductive == batch
     write_artifact(
         "faultsim_engines.txt",
         "\n".join(
@@ -75,8 +92,10 @@ def test_record_speedup_artifact(benchmark):
                 f"circuit: {N_GATES} gates, {len(faults)} faults, 1 pattern",
                 f"serial (forced simulation per fault): {t_serial * 1e3:.1f} ms",
                 f"deductive (one pass):                 {t_deductive * 1e3:.1f} ms",
-                f"speedup: {t_serial / max(t_deductive, 1e-9):.1f}x",
-                f"detected: {len(deductive)}/{len(faults)}",
+                f"batch (fault-parallel numpy):         {t_batch * 1e3:.1f} ms",
+                f"speedup deductive: {t_serial / max(t_deductive, 1e-9):.1f}x",
+                f"speedup batch:     {t_serial / max(t_batch, 1e-9):.1f}x",
+                f"detected: {len(batch)}/{len(faults)}",
             ]
         ),
     )

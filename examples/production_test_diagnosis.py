@@ -6,8 +6,10 @@ diagnosis matters.  Here a manufactured device has a stuck-at defect; the
 tester applies patterns and logs full output responses.  Two flows locate
 the defect:
 
-1. classic cause-effect stuck-at diagnosis (fault dictionary matching,
-   serial-fault / parallel-pattern simulation), and
+1. classic cause-effect stuck-at diagnosis — every candidate fault
+   simulated in ONE fault-parallel batched sweep
+   (:mod:`repro.sim.batchfault`, the default ``engine="batch"``), with
+   the fault-dropping exact matcher shown alongside, and
 2. the paper's BSAT formulation fed with the failing (t, o, v) triples —
    showing the same SAT machinery covers test diagnosis, exactly as
    ref [1] argues error location and fault diagnosis coincide.
@@ -20,7 +22,7 @@ import random
 from repro.circuits import random_circuit
 from repro.diagnosis import basic_sat_diagnose, diagnose_stuck_at
 from repro.faults import StuckAtFault, apply_error
-from repro.sim import output_values
+from repro.sim import exact_match_faults, output_values
 from repro.testgen import tests_from_vectors, TestSet
 
 
@@ -61,11 +63,21 @@ def main() -> None:
     exact = [m for m in result.extras["matches"] if m.exact]
     print(
         f"stuck-at diagnosis: {result.extras['n_faults']} candidate faults "
-        f"simulated in {result.t_all:.2f}s; {len(exact)} exact matches:"
+        f"simulated in {result.t_all:.2f}s "
+        f"({result.extras['engine']} engine); {len(exact)} exact matches:"
     )
     for m in exact[:6]:
         tag = "  <-- the defect" if m.fault == defect else ""
         print(f"   {m.fault.describe()}{tag}")
+
+    # Same answer, skipping the full ranking: fault dropping masks every
+    # candidate out of the batch as soon as it mismatches the tester log.
+    survivors = exact_match_faults(design, patterns, observed)
+    assert sorted(map(str, survivors)) == sorted(str(m.fault) for m in exact)
+    print(
+        f"fault-dropping exact matcher agrees: "
+        f"{len(survivors)} perfect explanations"
+    )
 
     # --- flow 2: BSAT on the failing triples -----------------------------
     tests = TestSet(

@@ -31,7 +31,11 @@ from ..sim.logicsim import simulate
 from ..testgen.testset import Test, TestSet
 from .base import Correction, SolutionSetResult
 from .pathtrace import basic_sim_diagnose, path_trace
-from .validity import is_valid_correction, rectifiable_by_forcing
+from .validity import (
+    is_valid_correction,
+    rectifiable_by_forcing,
+    valid_single_gate_corrections,
+)
 
 __all__ = ["enumerate_sim_corrections", "incremental_sim_diagnose"]
 
@@ -64,8 +68,18 @@ def enumerate_sim_corrections(
     solutions: list[Correction] = []
     t_first: float | None = None
     # Size-ordered search so minimality-by-subsumption works: explore all
-    # subsets of size s before any of size s+1.
-    for size in range(1, k + 1):
+    # subsets of size s before any of size s+1.  Size 1 is screened in one
+    # fault-parallel batched sweep (forcing one gate is a stuck-at
+    # signature) instead of one effect-analysis pass per gate.
+    if k >= 1:
+        for gate in valid_single_gate_corrections(circuit, tests, pool):
+            candidate = frozenset({gate})
+            if candidate in solutions:
+                continue
+            solutions.append(candidate)
+            if t_first is None:
+                t_first = time.perf_counter() - search_start
+    for size in range(2, k + 1):
         for subset in combinations(pool, size):
             candidate = frozenset(subset)
             if any(sol <= candidate for sol in solutions):

@@ -8,11 +8,19 @@ setting: a device fails on the tester with observed output responses; the
 candidate stuck-at faults are those whose simulated faulty behaviour
 matches the observation.
 
-The signature of each fault is computed serial-fault / parallel-pattern —
-one bit-parallel simulation pass per fault over all patterns — using the
-same forced-value machinery as the effect analysis elsewhere in the
-package, so the module doubles as a demonstration that the paper's
-"simulation engines can be used for what-if analysis".
+Two interchangeable signature engines back the module (``engine``
+parameter of :class:`FaultDictionary` and :func:`diagnose_stuck_at`):
+
+* ``"serial"`` — one bit-parallel simulation pass per fault
+  (:func:`fault_signature`), the original serial-fault / parallel-pattern
+  oracle;
+* ``"batch"`` — the fault-parallel × pattern-parallel numpy engine
+  (:mod:`repro.sim.batchfault`): all faults stacked along a batch axis and
+  swept in one vectorized pass, with matching done by vectorized popcount.
+
+``"auto"`` (the default) selects ``"batch"``.  Both produce bit-identical
+signatures and rankings — the test-suite and
+``benchmarks/bench_stuckat.py`` assert the equivalence.
 """
 
 from __future__ import annotations
@@ -23,6 +31,12 @@ from typing import Mapping, Sequence
 
 from ..circuits.netlist import Circuit
 from ..faults.models import StuckAtFault
+from ..sim.batchfault import (
+    batch_output_lanes,
+    lanes_to_words,
+    pack_responses,
+    popcount,
+)
 from ..sim.parallel import pack_patterns, simulate_words
 from .base import SolutionSetResult
 
@@ -50,6 +64,14 @@ class FaultMatch:
     @property
     def exact(self) -> bool:
         return self.mismatch_bits == 0
+
+
+def _resolve_engine(engine: str) -> str:
+    if engine not in ("auto", "batch", "serial"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'auto', 'batch' or 'serial'"
+        )
+    return "batch" if engine == "auto" else engine
 
 
 def full_fault_list(
@@ -89,6 +111,20 @@ def fault_signature(
     return {out: values[out] for out in circuit.outputs}
 
 
+def _rank(
+    faults: Sequence[StuckAtFault],
+    mismatches: Sequence[int],
+    max_candidates: int | None,
+) -> list[FaultMatch]:
+    matches = [
+        FaultMatch(fault, int(bits)) for fault, bits in zip(faults, mismatches)
+    ]
+    matches.sort(key=lambda m: (m.mismatch_bits, m.fault.signal, m.fault.value))
+    if max_candidates is not None:
+        matches = matches[:max_candidates]
+    return matches
+
+
 class FaultDictionary:
     """Precomputed cause-effect dictionary for one pattern set.
 
@@ -96,7 +132,9 @@ class FaultDictionary:
     pattern set; simulating every fault per device (what
     :func:`diagnose_stuck_at` does) wastes that structure.  This class
     simulates each candidate fault once up front and then matches any
-    number of observed responses in O(faults × outputs) integer XORs.
+    number of observed responses — with the default ``"batch"`` engine the
+    build is one fault-parallel numpy sweep and each match a vectorized
+    XOR + popcount over the signature matrix.
 
     >>> from repro.circuits.library import c17
     >>> from repro.testgen import generate_tests
@@ -112,22 +150,31 @@ class FaultDictionary:
         circuit: Circuit,
         patterns: Sequence[Mapping[str, int]],
         faults: Sequence[StuckAtFault] | None = None,
+        engine: str = "auto",
     ) -> None:
         if not patterns:
             raise ValueError("need at least one pattern")
         self._circuit = circuit
         self._patterns = [dict(p) for p in patterns]
         self._n = len(self._patterns)
-        input_words = pack_patterns(self._patterns, circuit.inputs)
+        self._engine = _resolve_engine(engine)
         self._faults = (
             list(faults) if faults is not None else full_fault_list(circuit)
         )
-        self._signatures: list[dict[str, int]] = [
-            fault_signature(circuit, fault, input_words, self._n)
-            for fault in self._faults
-        ]
-        good = simulate_words(circuit, input_words, self._n)
-        self._good = {out: good[out] for out in circuit.outputs}
+        self._signature_words: list[dict[str, int]] | None = None
+        if self._engine == "batch":
+            self._fault_lanes, good_lanes, self._lane_mask = (
+                batch_output_lanes(circuit, self._faults, self._patterns)
+            )
+            self._good_lanes = good_lanes & self._lane_mask
+        else:
+            input_words = pack_patterns(self._patterns, circuit.inputs)
+            self._signature_words = [
+                fault_signature(circuit, fault, input_words, self._n)
+                for fault in self._faults
+            ]
+            good = simulate_words(circuit, input_words, self._n)
+            self._good = {out: good[out] for out in circuit.outputs}
 
     @property
     def n_faults(self) -> int:
@@ -136,6 +183,28 @@ class FaultDictionary:
     @property
     def n_patterns(self) -> int:
         return self._n
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    def signatures(self) -> list[dict[str, int]]:
+        """Per-fault ``{output: word}`` signatures, in fault order.
+
+        Engine-independent canonical form — the benchmark suite uses it to
+        verify the batch and serial dictionaries bit-identical.
+        """
+        if self._signature_words is None:
+            self._signature_words = lanes_to_words(
+                self._fault_lanes, self._circuit.outputs, self._n
+            )
+        return [dict(sig) for sig in self._signature_words]
+
+    def _check_length(self, observed: Sequence[Mapping[str, int]]) -> None:
+        if len(observed) != self._n:
+            raise ValueError(
+                f"observed {len(observed)} responses for {self._n} patterns"
+            )
 
     def match(
         self,
@@ -147,38 +216,33 @@ class FaultDictionary:
         ``observed`` holds the device's full output response per pattern,
         in the dictionary's pattern order.
         """
-        if len(observed) != self._n:
-            raise ValueError(
-                f"observed {len(observed)} responses for {self._n} patterns"
-            )
+        self._check_length(observed)
+        if self._engine == "batch":
+            obs = pack_responses(self._circuit.outputs, observed)
+            diff = (self._fault_lanes ^ obs) & self._lane_mask
+            counts = popcount(diff).sum(axis=(1, 2))
+            return _rank(self._faults, counts, max_candidates)
         observed_words = {out: 0 for out in self._circuit.outputs}
         for j, response in enumerate(observed):
             for out in self._circuit.outputs:
                 if response[out] & 1:
                     observed_words[out] |= 1 << j
-        matches = [
-            FaultMatch(
-                fault,
-                sum(
-                    bin(signature[out] ^ observed_words[out]).count("1")
-                    for out in self._circuit.outputs
-                ),
+        assert self._signature_words is not None
+        counts = [
+            sum(
+                bin(signature[out] ^ observed_words[out]).count("1")
+                for out in self._circuit.outputs
             )
-            for fault, signature in zip(self._faults, self._signatures)
+            for signature in self._signature_words
         ]
-        matches.sort(
-            key=lambda m: (m.mismatch_bits, m.fault.signal, m.fault.value)
-        )
-        if max_candidates is not None:
-            matches = matches[:max_candidates]
-        return matches
+        return _rank(self._faults, counts, max_candidates)
 
     def passes(self, observed: Sequence[Mapping[str, int]]) -> bool:
         """True when the responses equal the fault-free ones (a good die)."""
-        if len(observed) != self._n:
-            raise ValueError(
-                f"observed {len(observed)} responses for {self._n} patterns"
-            )
+        self._check_length(observed)
+        if self._engine == "batch":
+            obs = pack_responses(self._circuit.outputs, observed)
+            return not ((obs ^ self._good_lanes) & self._lane_mask).any()
         for j, response in enumerate(observed):
             for out in self._circuit.outputs:
                 if (response[out] & 1) != ((self._good[out] >> j) & 1):
@@ -192,6 +256,7 @@ def diagnose_stuck_at(
     observed: Sequence[Mapping[str, int]],
     faults: Sequence[StuckAtFault] | None = None,
     max_candidates: int | None = None,
+    engine: str = "auto",
 ) -> SolutionSetResult:
     """Rank stuck-at faults by how well they explain ``observed``.
 
@@ -204,6 +269,9 @@ def diagnose_stuck_at(
         tester log provides).
     faults:
         Candidate list (default: :func:`full_fault_list`).
+    engine:
+        ``"batch"`` (one fault-parallel sweep; default via ``"auto"``) or
+        ``"serial"`` (one simulation pass per fault; the oracle).
 
     Returns a :class:`SolutionSetResult` whose solutions are the signal
     names of the *exact-match* faults (perfect explanations), with the full
@@ -213,26 +281,36 @@ def diagnose_stuck_at(
         raise ValueError("patterns and observed responses must align")
     if not patterns:
         raise ValueError("need at least one pattern")
+    engine = _resolve_engine(engine)
     start = time.perf_counter()
     n = len(patterns)
-    input_words = pack_patterns(list(patterns), circuit.inputs)
-    observed_words: dict[str, int] = {out: 0 for out in circuit.outputs}
-    for j, response in enumerate(observed):
-        for out in circuit.outputs:
-            if response[out] & 1:
-                observed_words[out] |= 1 << j
     if faults is None:
         faults = full_fault_list(circuit)
-    matches: list[FaultMatch] = []
-    for fault in faults:
-        signature = fault_signature(circuit, fault, input_words, n)
-        mismatch = 0
-        for out in circuit.outputs:
-            mismatch += bin(signature[out] ^ observed_words[out]).count("1")
-        matches.append(FaultMatch(fault, mismatch))
-    matches.sort(key=lambda m: (m.mismatch_bits, m.fault.signal, m.fault.value))
-    if max_candidates is not None:
-        matches = matches[:max_candidates]
+    faults = list(faults)
+    if engine == "batch":
+        fault_lanes, _, lane_mask = batch_output_lanes(
+            circuit, faults, list(patterns)
+        )
+        obs = pack_responses(circuit.outputs, observed)
+        diff = (fault_lanes ^ obs) & lane_mask
+        counts: Sequence[int] = popcount(diff).sum(axis=(1, 2))
+    else:
+        input_words = pack_patterns(list(patterns), circuit.inputs)
+        observed_words: dict[str, int] = {out: 0 for out in circuit.outputs}
+        for j, response in enumerate(observed):
+            for out in circuit.outputs:
+                if response[out] & 1:
+                    observed_words[out] |= 1 << j
+        counts = []
+        for fault in faults:
+            signature = fault_signature(circuit, fault, input_words, n)
+            counts.append(
+                sum(
+                    bin(signature[out] ^ observed_words[out]).count("1")
+                    for out in circuit.outputs
+                )
+            )
+    matches = _rank(faults, counts, max_candidates)
     exact = [m for m in matches if m.exact]
     runtime = time.perf_counter() - start
     return SolutionSetResult(
@@ -243,5 +321,5 @@ def diagnose_stuck_at(
         t_build=0.0,
         t_first=runtime,
         t_all=runtime,
-        extras={"matches": matches, "n_faults": len(faults)},
+        extras={"matches": matches, "n_faults": len(faults), "engine": engine},
     )

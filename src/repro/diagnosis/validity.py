@@ -17,16 +17,21 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..circuits.netlist import Circuit
+from ..faults.models import StuckAtFault
 from ..sat.cnf import CNF
 from ..sat.tseitin import encode_gate
-from ..sim.parallel import simulate_words
+from ..sim.batchfault import _lane_mask, batch_output_lanes
+from ..sim.parallel import pack_patterns_numpy, simulate_words
 from ..testgen.testset import Test, TestSet
 from .base import Correction
 
 __all__ = [
     "rectifiable_by_forcing",
     "is_valid_correction",
+    "valid_single_gate_corrections",
     "has_only_essential_candidates",
     "all_valid_corrections",
 ]
@@ -137,6 +142,65 @@ def is_valid_correction(
         )
         for test in tests
     )
+
+
+def valid_single_gate_corrections(
+    circuit: Circuit,
+    tests: TestSet | Iterable[Test],
+    pool: Sequence[str],
+    constrain_all_outputs: bool = False,
+) -> list[str]:
+    """All gates of ``pool`` that are valid size-1 corrections, batched.
+
+    Semantically ``[g for g in pool if is_valid_correction(circuit, tests,
+    (g,))]``, but computed in *one* fault-parallel sweep
+    (:mod:`repro.sim.batchfault`): forcing a single gate to a value is a
+    stuck-at signature, so candidate ``{g}`` is valid iff, for every test,
+    the stuck-at-0 or the stuck-at-1 row realizes the correct response.
+    Pool order is preserved.
+    """
+    tests = tests if isinstance(tests, TestSet) else TestSet(tuple(tests))
+    pool = list(pool)
+    if not len(tests) or not pool:
+        return pool
+    m = len(tests)
+    patterns = tests.vectors()
+    faults = [
+        StuckAtFault(gate, value) for gate in pool for value in (0, 1)
+    ]
+    fault_lanes, _, _ = batch_output_lanes(circuit, faults, patterns)
+    outputs = circuit.outputs
+    if constrain_all_outputs:
+        for t in tests:
+            if t.expected_outputs is None:
+                raise ValueError("test lacks expected_outputs")
+        # Index every output explicitly so a partial expected_outputs
+        # raises KeyError exactly like the per-gate oracle, instead of
+        # silently packing the missing outputs as expected-0.
+        want_lanes, lanes = pack_patterns_numpy(
+            [{o: t.expected_outputs[o] for o in outputs} for t in tests],
+            outputs,
+        )
+        care = np.broadcast_to(
+            _lane_mask(m, lanes), (len(outputs), lanes)
+        )
+    else:
+        # Only the test's erroneous output is constrained: bit j of the
+        # care word for output o is set iff test j observes o.
+        want_lanes, lanes = pack_patterns_numpy(
+            [{t.output: t.value} for t in tests], outputs
+        )
+        care_lanes, _ = pack_patterns_numpy(
+            [{t.output: 1} for t in tests], outputs
+        )
+        care = np.stack([care_lanes[out] for out in outputs])
+    want = np.stack([want_lanes[out] for out in outputs])
+    # One word per (row, lane): a set bit marks a test the forced value
+    # fails to rectify.
+    miss = np.bitwise_or.reduce((fault_lanes ^ want) & care, axis=1)
+    # Candidate {g} fails a test only when *both* forced values miss it.
+    bad = (miss[0::2] & miss[1::2]).any(axis=1)
+    return [gate for gate, invalid in zip(pool, bad) if not invalid]
 
 
 def has_only_essential_candidates(

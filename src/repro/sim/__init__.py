@@ -1,16 +1,41 @@
-"""Simulation substrate: scalar, bit-parallel, ternary, event-driven engines.
+"""Simulation substrate: scalar, bit-parallel, ternary, event-driven and
+fault-batched engines.
 
 All engines agree on two-valued semantics (asserted by cross-engine property
 tests) and support *forced values* — the primitive behind the paper's
-simulation-based effect analysis.  :mod:`repro.sim.deductive` adds the
-classic deductive fault simulator (one pass per pattern, all faults at
-once) used by the production-test ATPG flow.
+simulation-based effect analysis.
+
+Engine selection guide
+----------------------
+
+* :func:`simulate` / :func:`output_values` — one scalar pass, one pattern;
+  the ground-truth oracle everything else is tested against.
+* :func:`simulate_words` — bit-parallel over patterns on Python's
+  unbounded ints (no 64-pattern limit); best for up to a few hundred
+  patterns on one circuit configuration.
+* :func:`simulate_words_numpy` — uint64-lane vectorization of the same
+  idea, for thousands of patterns.
+* :mod:`repro.sim.batchfault` (:func:`fault_signatures_batch`,
+  :func:`batch_detected`, :func:`batch_fault_coverage`,
+  :func:`exact_match_faults`) — fault-parallel × pattern-parallel: F
+  stuck-at faults stacked along a numpy batch axis and swept in one
+  vectorized pass, with fault dropping at pattern-block granularity.
+  This is the fast path behind ``FaultDictionary``, ``diagnose_stuck_at``
+  and the ATPG coverage loop (their ``engine`` / ``sim_engine``
+  parameters select it; the serial engines remain the equivalence
+  oracle).
+* :func:`deductive_fault_lists` — the classic deductive fault simulator
+  (one pass per pattern, all faults at once); pure-Python set propagation,
+  kept as a second independent fault-simulation oracle.
+* :class:`EventSimulator` — incremental re-evaluation for long sequences
+  of small changes (interactive what-if analysis).
 """
 
 from .compiled import CompiledCircuit, compile_circuit
 from .logicsim import simulate, output_values, simulate_sequence
 from .parallel import (
     pack_patterns,
+    pack_patterns_numpy,
     unpack_word,
     simulate_words,
     simulate_patterns,
@@ -31,6 +56,16 @@ from .deductive import (
     FaultCoverage,
     deductive_coverage,
 )
+from .batchfault import (
+    fault_signatures_batch,
+    lanes_to_words,
+    pack_responses,
+    popcount,
+    batch_output_lanes,
+    batch_detected,
+    batch_fault_coverage,
+    exact_match_faults,
+)
 
 __all__ = [
     "CompiledCircuit",
@@ -39,6 +74,7 @@ __all__ = [
     "output_values",
     "simulate_sequence",
     "pack_patterns",
+    "pack_patterns_numpy",
     "unpack_word",
     "simulate_words",
     "simulate_patterns",
@@ -56,4 +92,12 @@ __all__ = [
     "deductive_detected",
     "FaultCoverage",
     "deductive_coverage",
+    "fault_signatures_batch",
+    "lanes_to_words",
+    "pack_responses",
+    "popcount",
+    "batch_output_lanes",
+    "batch_detected",
+    "batch_fault_coverage",
+    "exact_match_faults",
 ]

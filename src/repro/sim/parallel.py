@@ -25,6 +25,7 @@ from .compiled import compile_circuit
 
 __all__ = [
     "pack_patterns",
+    "pack_patterns_numpy",
     "unpack_word",
     "simulate_words",
     "simulate_patterns",
@@ -37,15 +38,42 @@ def pack_patterns(
 ) -> dict[str, int]:
     """Pack per-pattern input assignments into one word per input.
 
+    Inputs a pattern omits default to 0, matching the convention of
+    :func:`simulate_words` (``input_words.get(name, 0)``).
+
     >>> pack_patterns([{"a": 1}, {"a": 0}, {"a": 1}], ["a"])
     {'a': 5}
     """
     words = {name: 0 for name in inputs}
     for j, pattern in enumerate(patterns):
         for name in inputs:
-            if pattern[name] & 1:
+            if pattern.get(name, 0) & 1:
                 words[name] |= 1 << j
     return words
+
+
+def pack_patterns_numpy(
+    patterns: Sequence[Mapping[str, int]], inputs: Sequence[str]
+) -> tuple[dict[str, np.ndarray], int]:
+    """Pack patterns into fixed-width uint64 lane arrays.
+
+    Returns ``(words, lanes)`` where ``words[name]`` is a uint64 array of
+    ``lanes`` elements; bit ``b`` of lane ``l`` is the input's value under
+    pattern ``64*l + b``.  Missing inputs default to 0, like
+    :func:`pack_patterns`.  This is the input format of
+    :func:`simulate_words_numpy` and the batched fault engine
+    (:mod:`repro.sim.batchfault`).
+    """
+    n = len(patterns)
+    lanes = max(1, -(-n // 64))
+    nbytes = lanes * 8
+    words = pack_patterns(patterns, inputs)
+    return {
+        name: np.frombuffer(
+            word.to_bytes(nbytes, "little"), dtype="<u8"
+        ).astype(np.uint64)
+        for name, word in words.items()
+    }, lanes
 
 
 def unpack_word(word: int, n_patterns: int) -> list[int]:
@@ -160,11 +188,19 @@ def simulate_words_numpy(
     comp = compile_circuit(circuit)
     forced_words = forced_words or {}
     lanes = None
-    for arr in input_words.values():
-        lanes = len(arr)
-        break
-    if lanes is None:
+    for label, mapping in (("input", input_words), ("forced", forced_words)):
+        for name, arr in mapping.items():
+            n = len(np.atleast_1d(np.asarray(arr)))
+            if lanes is None:
+                lanes = n
+            elif n != lanes:
+                raise ValueError(
+                    f"lane count mismatch: {label} word {name!r} has "
+                    f"{n} lanes, expected {lanes}"
+                )
+    if not input_words:
         raise ValueError("input_words must not be empty")
+    assert lanes is not None
     ones = np.full(lanes, np.uint64(0xFFFFFFFFFFFFFFFF))
     zeros = np.zeros(lanes, dtype=np.uint64)
     values: list[np.ndarray] = [zeros] * comp.n

@@ -24,6 +24,7 @@ from ..circuits.structure import fanout_cone
 from ..faults.collapse import collapse_faults
 from ..faults.models import StuckAtFault
 from ..sat.cnf import CNF
+from ..sim.batchfault import batch_detected, batch_fault_coverage
 from ..sim.deductive import FaultCoverage, deductive_coverage, deductive_detected
 from ..sat.tseitin import encode_circuit, encode_gate
 from .podem import PodemStatus, podem
@@ -35,6 +36,24 @@ __all__ = [
     "sat_stuck_at_test",
     "compact_patterns",
 ]
+
+#: Fault-simulation engines available for coverage/dropping.  ``"batch"``
+#: (default) is the fault-parallel numpy engine of
+#: :mod:`repro.sim.batchfault`; ``"deductive"`` is the classic one-pass
+#: fault-list propagator kept as the equivalence oracle.
+_SIM_ENGINES = {
+    "batch": (batch_detected, batch_fault_coverage),
+    "deductive": (deductive_detected, deductive_coverage),
+}
+
+
+def _sim_engine(name: str):
+    try:
+        return _SIM_ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sim_engine {name!r}; choose from {sorted(_SIM_ENGINES)}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -132,6 +151,7 @@ def compact_patterns(
     circuit: Circuit,
     patterns: Sequence[Mapping[str, int]],
     faults: Sequence[StuckAtFault],
+    sim_engine: str = "batch",
 ) -> list[dict[str, int]]:
     """Reverse-order static compaction.
 
@@ -139,16 +159,18 @@ def compact_patterns(
     fault not covered by later (kept) patterns.  Later ATPG patterns tend
     to target the hard faults while detecting many easy ones by accident,
     so reverse order discards many early patterns.  Coverage over
-    ``faults`` is preserved exactly.
+    ``faults`` is preserved exactly; ``sim_engine`` selects the
+    fault-simulation backend (identical results either way).
     """
+    detect, coverage = _sim_engine(sim_engine)
     still_needed = set(
-        deductive_coverage(circuit, list(patterns), faults=faults).detected
+        coverage(circuit, list(patterns), faults=faults).detected
     )
     kept: list[dict[str, int]] = []
     for pattern in reversed(list(patterns)):
         if not still_needed:
             break
-        detected = deductive_detected(
+        detected = detect(
             circuit, pattern, faults=sorted(still_needed, key=lambda f: (f.signal, f.value))
         )
         if detected:
@@ -167,13 +189,16 @@ def generate_tests(
     fill: str = "random",
     seed: int = 0,
     compact: bool = True,
+    sim_engine: str = "batch",
 ) -> AtpgResult:
     """Run the full ATPG flow on a combinational ``circuit``.
 
     ``faults`` defaults to the full stuck-at universe, collapsed when
     ``collapse`` is set.  ``backend`` selects ``"podem"`` or ``"sat"``.
-    Detected faults are dropped from the target list by deductive fault
-    simulation after every generated pattern.
+    Detected faults are dropped from the target list by fault simulation
+    after every generated pattern; ``sim_engine`` picks the simulator —
+    ``"batch"`` (fault-parallel numpy, default) or ``"deductive"`` (the
+    fault-list oracle) — with identical coverage either way.
 
     >>> from repro.circuits.library import c17
     >>> result = generate_tests(c17(), seed=1)
@@ -182,6 +207,7 @@ def generate_tests(
     """
     if backend not in ("podem", "sat"):
         raise ValueError(f"unknown ATPG backend {backend!r}")
+    detect, coverage_fn = _sim_engine(sim_engine)
     if faults is None:
         if collapse:
             target = collapse_faults(circuit).representatives
@@ -222,15 +248,17 @@ def generate_tests(
                 continue
         assert vector is not None
         patterns.append(vector)
-        detected = deductive_detected(circuit, vector, faults=[fault] + remaining)
+        detected = detect(circuit, vector, faults=[fault] + remaining)
         if fault not in detected:  # pragma: no cover - engines guarantee this
             raise AssertionError(
                 f"generated vector does not detect {fault.describe()}"
             )
         remaining = [f for f in remaining if f not in detected]
     if compact and patterns:
-        patterns = compact_patterns(circuit, patterns, target)
-    coverage = deductive_coverage(circuit, patterns, faults=target)
+        patterns = compact_patterns(
+            circuit, patterns, target, sim_engine=sim_engine
+        )
+    coverage = coverage_fn(circuit, patterns, faults=target)
     return AtpgResult(
         circuit_name=circuit.name,
         backend=backend,

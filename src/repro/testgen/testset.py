@@ -107,6 +107,14 @@ class TestSet:
         """All erroneous outputs referenced by the tests."""
         return {t.output for t in self.tests}
 
+    def vectors(self) -> list[dict[str, int]]:
+        """Input vectors of all tests, in order.
+
+        The pattern-list form the batched simulation engines
+        (:mod:`repro.sim.parallel`, :mod:`repro.sim.batchfault`) consume.
+        """
+        return [dict(t.vector) for t in self.tests]
+
     @staticmethod
     def from_triples(
         triples: Sequence[tuple[Mapping[str, int], str, int]]

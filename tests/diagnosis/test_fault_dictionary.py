@@ -83,6 +83,29 @@ def test_empty_patterns_rejected(c17):
         FaultDictionary(c17, [])
 
 
+def test_batch_and_serial_dictionaries_identical():
+    """The batch-built dictionary must be indistinguishable from the serial
+    one: same signatures, same rankings, same pass/fail verdicts."""
+    circuit = random_circuit(n_inputs=7, n_outputs=4, n_gates=40, seed=13)
+    patterns = _patterns_for(circuit, seed=3)
+    fd_batch = FaultDictionary(circuit, patterns, engine="batch")
+    fd_serial = FaultDictionary(circuit, patterns, engine="serial")
+    assert fd_batch.engine == "batch" and fd_serial.engine == "serial"
+    assert fd_batch.signatures() == fd_serial.signatures()
+    for signal, value in ((circuit.gate_names[5], 0), (circuit.gate_names[30], 1)):
+        log = _device_log(apply_error(circuit, StuckAtFault(signal, value)), patterns)
+        assert fd_batch.match(log) == fd_serial.match(log)
+        assert fd_batch.passes(log) == fd_serial.passes(log)
+    good_log = _device_log(circuit, patterns)
+    assert fd_batch.passes(good_log) and fd_serial.passes(good_log)
+
+
+def test_unknown_engine_rejected(c17):
+    patterns = _patterns_for(c17)
+    with pytest.raises(ValueError, match="engine"):
+        FaultDictionary(c17, patterns, engine="quantum")
+
+
 def test_works_on_random_circuit():
     circuit = random_circuit(n_inputs=8, n_outputs=6, n_gates=50, seed=31)
     patterns = _patterns_for(circuit, seed=2)

@@ -113,6 +113,26 @@ def test_input_validation(maj3):
         diagnose_stuck_at(maj3, [{"a": 0, "b": 0, "c": 0}], [])
 
 
+def test_batch_and_serial_diagnosis_identical():
+    """Regression: the default batched engine must reproduce the serial
+    ranking bit-for-bit (solutions, order, mismatch counts)."""
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=35, seed=41)
+    dut = apply_error(circuit, StuckAtFault(circuit.gates[12].name, 0))
+    rng = random.Random(41)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs} for _ in range(96)
+    ]
+    observed = observed_responses(dut, patterns)
+    batch = diagnose_stuck_at(circuit, patterns, observed, engine="batch")
+    serial = diagnose_stuck_at(circuit, patterns, observed, engine="serial")
+    auto = diagnose_stuck_at(circuit, patterns, observed)
+    assert batch.extras["matches"] == serial.extras["matches"]
+    assert batch.solutions == serial.solutions
+    assert auto.extras["engine"] == "batch"
+    with pytest.raises(ValueError, match="engine"):
+        diagnose_stuck_at(circuit, patterns, observed, engine="nope")
+
+
 def test_gate_change_often_explained_only_approximately():
     """A gate-change error is generally NOT a stuck-at; the ranking should
     still produce a best-effort candidate near the real site."""

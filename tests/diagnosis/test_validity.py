@@ -119,3 +119,64 @@ def test_injected_error_sites_form_valid_correction(double_error_workload):
     """The ground-truth error sites always rectify the tests they caused."""
     w = double_error_workload
     assert is_valid_correction(w.faulty, w.tests, set(w.sites))
+
+
+def test_batched_singleton_screen_matches_oracle():
+    """valid_single_gate_corrections must equal the per-gate
+    is_valid_correction oracle, in pool order, for both output modes."""
+    import random
+
+    from repro.circuits import random_circuit
+    from repro.diagnosis.validity import valid_single_gate_corrections
+    from repro.faults import random_gate_changes
+    from repro.testgen import random_failing_tests
+
+    checked = 0
+    for seed in range(6):
+        circuit = random_circuit(n_inputs=5, n_outputs=3, n_gates=18, seed=200 + seed)
+        injection = random_gate_changes(circuit, p=1, seed=seed)
+        try:
+            tests = random_failing_tests(
+                circuit, injection.faulty, m=4, seed=seed, attach_expected=True
+            )
+        except RuntimeError:
+            continue
+        pool = list(circuit.gate_names)
+        assert valid_single_gate_corrections(injection.faulty, tests, pool) == [
+            g for g in pool if is_valid_correction(injection.faulty, tests, (g,))
+        ]
+        assert valid_single_gate_corrections(
+            injection.faulty, tests, pool, constrain_all_outputs=True
+        ) == [
+            g
+            for g in pool
+            if is_valid_correction(
+                injection.faulty, tests, (g,), constrain_all_outputs=True
+            )
+        ]
+        checked += 1
+    assert checked >= 3
+
+
+def test_batched_singleton_screen_edge_cases(fig5a_circuit, fig5a_tests):
+    from repro.diagnosis.validity import valid_single_gate_corrections
+
+    # Empty pool and empty test-set are vacuous.
+    assert valid_single_gate_corrections(fig5a_circuit, fig5a_tests, []) == []
+    assert valid_single_gate_corrections(fig5a_circuit, [], ["A", "B"]) == ["A", "B"]
+    # TestSet.vectors() feeds the screen: order follows the test-set.
+    assert fig5a_tests.vectors() == [dict(t.vector) for t in fig5a_tests]
+
+
+def test_batched_screen_rejects_partial_expected_outputs(rca4):
+    """constrain_all_outputs with a partial expected_outputs must raise
+    (like the per-gate oracle), not silently assume missing outputs are 0."""
+    from repro.diagnosis.validity import valid_single_gate_corrections
+
+    vector = {pi: 0 for pi in rca4.inputs}
+    out = rca4.outputs[0]
+    partial = Test(vector, out, 1, expected_outputs={out: 1})
+    with pytest.raises(KeyError):
+        valid_single_gate_corrections(
+            rca4, [partial], list(rca4.gate_names), constrain_all_outputs=True
+        )

@@ -8,6 +8,7 @@ import pytest
 from repro.circuits import random_circuit
 from repro.sim import (
     pack_patterns,
+    pack_patterns_numpy,
     simulate,
     simulate_patterns,
     simulate_words,
@@ -88,3 +89,50 @@ def test_numpy_variant_rejects_empty():
     c = random_circuit(n_inputs=3, n_outputs=1, n_gates=5, seed=1)
     with pytest.raises(ValueError):
         simulate_words_numpy(c, {})
+
+
+def test_numpy_variant_rejects_mismatched_lane_counts():
+    """Regression: mismatched input lanes used to surface as an opaque
+    broadcast error deep in gate evaluation (or be silently ignored)."""
+    c = random_circuit(n_inputs=3, n_outputs=1, n_gates=5, seed=1)
+    words = {pi: np.zeros(2, dtype=np.uint64) for pi in c.inputs}
+    words[c.inputs[1]] = np.zeros(3, dtype=np.uint64)
+    with pytest.raises(ValueError, match="lane count mismatch"):
+        simulate_words_numpy(c, words)
+    good = {pi: np.zeros(2, dtype=np.uint64) for pi in c.inputs}
+    with pytest.raises(ValueError, match="lane count mismatch"):
+        simulate_words_numpy(
+            c, good, forced_words={c.gate_names[0]: np.zeros(1, dtype=np.uint64)}
+        )
+
+
+def test_pack_patterns_defaults_missing_inputs_to_zero():
+    """Regression: a pattern omitting an input used to raise KeyError while
+    simulate_words defaulted the same input to 0."""
+    words = pack_patterns([{"a": 1}, {"b": 1}, {"a": 1, "b": 1}], ["a", "b"])
+    assert words == {"a": 0b101, "b": 0b110}
+    c = random_circuit(n_inputs=3, n_outputs=2, n_gates=10, seed=2)
+    partial = [{c.inputs[0]: 1}, {}]
+    packed = pack_patterns(partial, c.inputs)
+    batch = simulate_words(c, packed, len(partial))
+    completed = [
+        {pi: p.get(pi, 0) for pi in c.inputs} for p in partial
+    ]
+    for j, vec in enumerate(completed):
+        scalar = simulate(c, vec)
+        for sig in c.nodes:
+            assert (batch[sig] >> j) & 1 == scalar[sig]
+
+
+def test_pack_patterns_numpy_matches_int_packing():
+    c = random_circuit(n_inputs=5, n_outputs=2, n_gates=12, seed=3)
+    rng = random.Random(3)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in c.inputs} for _ in range(130)
+    ]
+    ints = pack_patterns(patterns, c.inputs)
+    lanes_map, lanes = pack_patterns_numpy(patterns, c.inputs)
+    assert lanes == 3  # 130 patterns -> 3 uint64 lanes
+    for name in c.inputs:
+        word = sum(int(v) << (64 * l) for l, v in enumerate(lanes_map[name]))
+        assert word == ints[name]

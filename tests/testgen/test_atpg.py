@@ -203,3 +203,28 @@ def test_flow_compact_flag(c17):
     tight = generate_tests(c17, seed=7, compact=True)
     assert tight.test_count <= loose.test_count
     assert tight.fault_coverage == loose.fault_coverage == 1.0
+
+
+def test_sim_engines_produce_identical_flows():
+    """The batch fault simulator must be a drop-in for the deductive one:
+    same patterns, same coverage, same compaction, for both backends."""
+    circuit = random_circuit(n_inputs=7, n_outputs=4, n_gates=45, seed=19)
+    batch = generate_tests(circuit, seed=4, sim_engine="batch")
+    deductive = generate_tests(circuit, seed=4, sim_engine="deductive")
+    assert batch.patterns == deductive.patterns
+    assert batch.coverage.first_detection == deductive.coverage.first_detection
+    assert batch.undetectable == deductive.undetectable
+
+
+def test_compaction_engines_agree(c17):
+    result = generate_tests(c17, seed=9, compact=False)
+    faults = list(result.target_faults)
+    patterns = [dict(p) for p in result.patterns]
+    assert compact_patterns(
+        c17, patterns, faults, sim_engine="batch"
+    ) == compact_patterns(c17, patterns, faults, sim_engine="deductive")
+
+
+def test_unknown_sim_engine_rejected(c17):
+    with pytest.raises(ValueError, match="sim_engine"):
+        generate_tests(c17, sim_engine="nope")
