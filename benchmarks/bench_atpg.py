@@ -100,3 +100,45 @@ def test_deductive_fault_sim_pass(benchmark):
 
     detected = benchmark(lambda: deductive_detected(circuit, vector))
     assert detected
+
+
+def test_atpg_sim_engine_speedup(benchmark):
+    """ATPG flow (generate → drop → compact) per fault-simulation engine.
+
+    All engines must emit identical pattern sets and coverage; the
+    artifact records where the vectorized engines pay on the full flow
+    (dominant cost there is per-vector dropping, a single-pattern
+    workload).  Artifact: ``benchmarks/out/atpg_engines.txt``.
+    """
+    import time
+
+    from repro.circuits import random_circuit as _rc
+    from repro.testgen import generate_tests as _gen
+
+    circuit = _rc(n_inputs=12, n_outputs=20, n_gates=150, seed=77)
+    timings = {}
+    results = {}
+
+    def run_all():
+        for engine in ("deductive", "batch", "deductive-numpy", "event"):
+            t0 = time.perf_counter()
+            results[engine] = _gen(circuit, seed=1, sim_engine=engine)
+            timings[engine] = time.perf_counter() - t0
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reference = results["deductive"]
+    for engine, result in results.items():
+        assert result.patterns == reference.patterns, engine
+        assert (
+            result.coverage.first_detection
+            == reference.coverage.first_detection
+        ), engine
+    base = timings["deductive"]
+    lines = [
+        f"ATPG flow ({circuit.name}) by sim_engine",
+        f"{'engine':16} {'time':>8} {'vs deductive':>12}",
+    ]
+    for engine, t in timings.items():
+        lines.append(f"{engine:16} {t * 1e3:>6.0f}ms {base / max(t, 1e-9):>11.2f}x")
+    write_artifact("atpg_engines.txt", "\n".join(lines))

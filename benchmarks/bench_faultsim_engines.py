@@ -1,18 +1,24 @@
 """Substrate bench — fault-simulation engine comparison.
 
-Four ways to answer "which stuck-at faults does this pattern detect":
+Six ways to answer "which stuck-at faults does this pattern (set) detect":
 
 * serial — one forced-value simulation per fault (baseline oracle);
-* deductive — one pass propagating fault lists (all faults at once);
+* deductive — one pure-Python pass propagating fault lists as ``set``s;
+* deductive-numpy — the same propagation on uint64 bitset matrices,
+  whole pattern blocks at once (:mod:`repro.sim.deductive_numpy`);
 * batch — fault-parallel numpy sweep (all faults stacked on a batch
   axis; :mod:`repro.sim.batchfault`);
+* event — force/unforce cone updates on the batched event simulator
+  (:mod:`repro.sim.batchevent`);
 * bit-parallel table — golden-vs-faulty response comparison over many
   patterns at once (per *error*, not per fault — included to show where
   each engine pays).
 
-The deductive and batch engines should beat serial by roughly the fault
-count over pattern-wise work; this records the actual factors for
-EXPERIMENTS.md.
+Two workloads: the historical 120-gate single-pattern detect, and the
+ATPG-scale ~600-gate × ~1400-fault × 256-pattern coverage sweep the
+ISSUE targets — where the vectorized deductive engine must beat the
+pure-Python propagator by ≥5× (asserted, and recorded for
+EXPERIMENTS.md).
 
 Artifact: ``benchmarks/out/faultsim_engines.txt``.
 """
@@ -26,12 +32,26 @@ from repro.circuits import random_circuit
 from repro.faults import full_stuck_at_universe
 from repro.sim import (
     batch_detected,
+    batch_fault_coverage,
+    deductive_coverage,
+    deductive_coverage_numpy,
     deductive_detected,
+    deductive_detected_numpy,
+    event_detected,
+    event_fault_coverage,
     response,
     stuck_at_response,
 )
 
 N_GATES = 120
+
+#: The ATPG-scale workload of the ISSUE acceptance criterion.
+BIG_GATES = 600
+BIG_INPUTS = 24
+BIG_OUTPUTS = 10
+BIG_PATTERNS = 256
+#: Floor on deductive-numpy vs pure-Python deductive coverage speedup.
+MIN_DEDUCTIVE_SPEEDUP = 5.0
 
 
 def _setup():
@@ -40,6 +60,22 @@ def _setup():
     vector = {pi: rng.getrandbits(1) for pi in circuit.inputs}
     faults = full_stuck_at_universe(circuit)
     return circuit, vector, faults
+
+
+def _setup_big():
+    circuit = random_circuit(
+        n_inputs=BIG_INPUTS,
+        n_outputs=BIG_OUTPUTS,
+        n_gates=BIG_GATES,
+        seed=11,
+    )
+    rng = random.Random(1)
+    patterns = [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs}
+        for _ in range(BIG_PATTERNS)
+    ]
+    faults = list(full_stuck_at_universe(circuit))
+    return circuit, patterns, faults
 
 
 def _serial(circuit, vector, faults):
@@ -63,13 +99,34 @@ def test_deductive_fault_simulation(benchmark):
     assert detected == _serial(circuit, vector, faults)
 
 
+def test_deductive_numpy_fault_simulation(benchmark):
+    circuit, vector, faults = _setup()
+    detected = benchmark(
+        lambda: deductive_detected_numpy(circuit, vector, faults)
+    )
+    assert detected == _serial(circuit, vector, faults)
+
+
 def test_batch_fault_simulation(benchmark):
     circuit, vector, faults = _setup()
     detected = benchmark(lambda: batch_detected(circuit, vector, faults))
     assert detected == _serial(circuit, vector, faults)
 
 
+def test_event_fault_simulation(benchmark):
+    circuit, vector, faults = _setup()
+    detected = benchmark.pedantic(
+        lambda: event_detected(circuit, vector, faults),
+        rounds=1,
+        iterations=1,
+    )
+    assert detected == _serial(circuit, vector, faults)
+
+
 def test_record_speedup_artifact(benchmark):
+    """Single-pattern detect on 120 gates + ATPG-scale coverage on ~600
+    gates; asserts the ISSUE's ≥5× deductive vectorization target and
+    that every engine stays bit-identical."""
     circuit, vector, faults = _setup()
     t0 = time.perf_counter()
     serial = _serial(circuit, vector, faults)
@@ -85,17 +142,53 @@ def test_record_speedup_artifact(benchmark):
     )
     t_batch = time.perf_counter() - t0
     assert serial == deductive == batch
+
+    big, patterns, big_faults = _setup_big()
+    t0 = time.perf_counter()
+    cov_py = deductive_coverage(big, patterns, faults=big_faults)
+    t_cov_py = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cov_np = deductive_coverage_numpy(big, patterns, big_faults)
+    t_cov_np = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cov_bf = batch_fault_coverage(big, patterns, big_faults)
+    t_cov_bf = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cov_ev = event_fault_coverage(big, patterns, big_faults)
+    t_cov_ev = time.perf_counter() - t0
+    assert (
+        dict(cov_py.first_detection)
+        == dict(cov_np.first_detection)
+        == dict(cov_bf.first_detection)
+        == dict(cov_ev.first_detection)
+    )
+    speedup = t_cov_py / max(t_cov_np, 1e-9)
     write_artifact(
         "faultsim_engines.txt",
         "\n".join(
             [
-                f"circuit: {N_GATES} gates, {len(faults)} faults, 1 pattern",
+                f"detect: {N_GATES} gates, {len(faults)} faults, 1 pattern",
                 f"serial (forced simulation per fault): {t_serial * 1e3:.1f} ms",
                 f"deductive (one pass):                 {t_deductive * 1e3:.1f} ms",
                 f"batch (fault-parallel numpy):         {t_batch * 1e3:.1f} ms",
                 f"speedup deductive: {t_serial / max(t_deductive, 1e-9):.1f}x",
                 f"speedup batch:     {t_serial / max(t_batch, 1e-9):.1f}x",
                 f"detected: {len(batch)}/{len(faults)}",
+                "",
+                f"coverage: {big.num_gates} gates, {len(big_faults)} faults, "
+                f"{len(patterns)} patterns",
+                f"deductive py (sets):        {t_cov_py * 1e3:.0f} ms",
+                f"deductive numpy (bitsets):  {t_cov_np * 1e3:.0f} ms",
+                f"batchfault (lane sweep):    {t_cov_bf * 1e3:.0f} ms",
+                f"batch-event (cone updates): {t_cov_ev * 1e3:.0f} ms",
+                f"speedup deductive-numpy vs py: {speedup:.1f}x "
+                f"(floor {MIN_DEDUCTIVE_SPEEDUP:.0f}x)",
+                f"coverage: {100 * cov_np.coverage:.1f}% "
+                f"({len(cov_np.detected)}/{len(big_faults)})",
             ]
         ),
+    )
+    assert speedup >= MIN_DEDUCTIVE_SPEEDUP, (
+        f"deductive-numpy only {speedup:.1f}x over pure Python "
+        f"(need >= {MIN_DEDUCTIVE_SPEEDUP}x)"
     )

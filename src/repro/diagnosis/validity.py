@@ -23,6 +23,7 @@ from ..circuits.netlist import Circuit
 from ..faults.models import StuckAtFault
 from ..sat.cnf import CNF
 from ..sat.tseitin import encode_gate
+from ..sim.batchevent import BatchEventSimulator
 from ..sim.batchfault import _lane_mask, batch_output_lanes
 from ..sim.parallel import pack_patterns_numpy, simulate_words
 from ..testgen.testset import Test, TestSet
@@ -149,26 +150,32 @@ def valid_single_gate_corrections(
     tests: TestSet | Iterable[Test],
     pool: Sequence[str],
     constrain_all_outputs: bool = False,
+    engine: str = "batch",
 ) -> list[str]:
     """All gates of ``pool`` that are valid size-1 corrections, batched.
 
     Semantically ``[g for g in pool if is_valid_correction(circuit, tests,
-    (g,))]``, but computed in *one* fault-parallel sweep
-    (:mod:`repro.sim.batchfault`): forcing a single gate to a value is a
+    (g,))]``, but vectorized: forcing a single gate to a value is a
     stuck-at signature, so candidate ``{g}`` is valid iff, for every test,
-    the stuck-at-0 or the stuck-at-1 row realizes the correct response.
-    Pool order is preserved.
+    the stuck-at-0 or the stuck-at-1 response realizes the correct value.
+    ``engine="batch"`` (default) computes all ``2·|pool|`` signatures in
+    *one* fault-parallel sweep (:mod:`repro.sim.batchfault`) — fastest
+    when most of the circuit is in play; ``engine="event"`` walks the
+    pool on a :class:`~repro.sim.batchevent.BatchEventSimulator`, paying
+    only each candidate's fanout cone — the better trade for a small pool
+    of shallow gates in a big circuit.  Identical results either way (the
+    differential suite asserts this); pool order is preserved.
     """
+    if engine not in ("batch", "event"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'batch' or 'event'"
+        )
     tests = tests if isinstance(tests, TestSet) else TestSet(tuple(tests))
     pool = list(pool)
     if not len(tests) or not pool:
         return pool
     m = len(tests)
     patterns = tests.vectors()
-    faults = [
-        StuckAtFault(gate, value) for gate in pool for value in (0, 1)
-    ]
-    fault_lanes, _, _ = batch_output_lanes(circuit, faults, patterns)
     outputs = circuit.outputs
     if constrain_all_outputs:
         for t in tests:
@@ -195,6 +202,35 @@ def valid_single_gate_corrections(
         )
         care = np.stack([care_lanes[out] for out in outputs])
     want = np.stack([want_lanes[out] for out in outputs])
+    if engine == "event":
+        sim = BatchEventSimulator(circuit, patterns)
+        for gate in pool:  # same rejection as the batch path's sweep
+            if gate not in circuit.nodes:
+                raise ValueError(
+                    f"fault site {gate!r} is not a signal of "
+                    f"circuit {circuit.name!r}"
+                )
+        kept: list[str] = []
+        for gate in pool:
+            # One word per (value, lane): a set bit marks a test the
+            # forced value fails to rectify.
+            miss = []
+            for value in (0, 1):
+                sim.force(gate, value)
+                miss.append(
+                    np.bitwise_or.reduce(
+                        (sim.output_lanes() ^ want) & care, axis=0
+                    )
+                )
+            sim.unforce(gate)
+            # Candidate {g} fails a test only when *both* values miss it.
+            if not (miss[0] & miss[1]).any():
+                kept.append(gate)
+        return kept
+    faults = [
+        StuckAtFault(gate, value) for gate in pool for value in (0, 1)
+    ]
+    fault_lanes, _, _ = batch_output_lanes(circuit, faults, patterns)
     # One word per (row, lane): a set bit marks a test the forced value
     # fails to rectify.
     miss = np.bitwise_or.reduce((fault_lanes ^ want) & care, axis=1)

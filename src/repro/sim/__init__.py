@@ -27,8 +27,30 @@ Engine selection guide
 * :func:`deductive_fault_lists` — the classic deductive fault simulator
   (one pass per pattern, all faults at once); pure-Python set propagation,
   kept as a second independent fault-simulation oracle.
+* :mod:`repro.sim.deductive_numpy` (:func:`deductive_fault_lists_numpy`,
+  :func:`deductive_detected_numpy`, :func:`deductive_coverage_numpy`) —
+  the vectorized port of the deductive engine: fault lists are uint64
+  bitset matrices and whole pattern blocks propagate in one netlist
+  pass.  The engine of choice when per-signal fault *lists* (not just
+  output detections) are needed at ATPG scale; ≥5× the pure-Python
+  propagator on the 600-gate workload
+  (``benchmarks/bench_faultsim_engines.py`` records the factor).
 * :class:`EventSimulator` — incremental re-evaluation for long sequences
-  of small changes (interactive what-if analysis).
+  of small changes (interactive what-if analysis, one pattern at a time).
+* :class:`BatchEventSimulator` (:func:`event_detected`,
+  :func:`event_fault_coverage`) — the lane port of the event engine:
+  force/unforce whole uint64 pattern words at once, re-evaluating only
+  the fanout cone.  Backs the what-if loop of
+  :mod:`repro.diagnosis.advanced_sim` and the ``engine="event"``
+  candidate screen of :mod:`repro.diagnosis.validity`.
+
+Picking an engine: scalar/ternary for single oracles, ``simulate_words``
+(or its numpy twin) for many patterns on a *fixed* circuit configuration,
+batchfault when many faults must be swept anyway, deductive/-numpy when
+the per-signal fault lists themselves matter, and the event engines when
+changes arrive one at a time and fanout cones are small.  All fault
+engines are bit-identical — ``tests/sim/test_cross_engine.py`` holds the
+full differential matrix.
 """
 
 from .compiled import CompiledCircuit, compile_circuit
@@ -55,6 +77,17 @@ from .deductive import (
     deductive_detected,
     FaultCoverage,
     deductive_coverage,
+)
+from .deductive_numpy import (
+    deductive_fault_lists_numpy,
+    deductive_detected_numpy,
+    deductive_detected_many,
+    deductive_coverage_numpy,
+)
+from .batchevent import (
+    BatchEventSimulator,
+    event_detected,
+    event_fault_coverage,
 )
 from .batchfault import (
     fault_signatures_batch,
@@ -92,6 +125,13 @@ __all__ = [
     "deductive_detected",
     "FaultCoverage",
     "deductive_coverage",
+    "deductive_fault_lists_numpy",
+    "deductive_detected_numpy",
+    "deductive_detected_many",
+    "deductive_coverage_numpy",
+    "BatchEventSimulator",
+    "event_detected",
+    "event_fault_coverage",
     "fault_signatures_batch",
     "lanes_to_words",
     "pack_responses",

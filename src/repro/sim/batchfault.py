@@ -28,6 +28,13 @@ words are already resolved — detected (:func:`batch_fault_coverage`) or
 mismatching the observed responses (:func:`exact_match_faults`) — are
 masked out of the batch for all subsequent blocks, shrinking the row
 count as the sweep progresses.
+
+Within the vectorized lineup this engine owns the *sweep-everything*
+workload.  When only per-change increments are needed, the batched event
+engine (:mod:`repro.sim.batchevent`) re-evaluates fanout cones instead;
+when per-signal fault lists are needed, the bitset deductive engine
+(:mod:`repro.sim.deductive_numpy`) propagates them directly.  All three
+are bit-identical on shared queries (``tests/sim/test_cross_engine.py``).
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ __all__ = [
     "fault_signatures_batch",
     "lanes_to_words",
     "pack_responses",
+    "first_set_bit",
     "batch_output_lanes",
     "batch_detected",
     "batch_fault_coverage",
@@ -69,6 +77,19 @@ def _popcount_fallback(a: np.ndarray) -> np.ndarray:
 
 
 popcount = getattr(np, "bitwise_count", _popcount_fallback)
+
+
+def first_set_bit(words: np.ndarray) -> int | None:
+    """Pattern index of the lowest set bit of a lane array, or ``None``.
+
+    The shared first-detection scan of the batched coverage engines: bit
+    ``b`` of lane ``l`` is pattern ``64*l + b``.
+    """
+    for lane, word in enumerate(words):
+        w = int(word)
+        if w:
+            return 64 * lane + (w & -w).bit_length() - 1
+    return None
 
 
 def _fault_rows(
@@ -358,12 +379,9 @@ def batch_fault_coverage(
                     continue
                 if fault in first_detection:  # without dropping, re-hits
                     continue
-                for lane, word in enumerate(diff[row]):
-                    w = int(word)
-                    if w:
-                        j = (w & -w).bit_length() - 1
-                        first_detection[fault] = start + 64 * lane + j
-                        break
+                first = first_set_bit(diff[row])
+                assert first is not None  # hit[row] guarantees a set bit
+                first_detection[fault] = start + first
             if drop_detected:
                 active = survivors
     return FaultCoverage(

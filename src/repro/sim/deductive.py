@@ -7,10 +7,16 @@ the current input vector.  The union of the primary-output lists is the set
 of faults the pattern detects; one pass replaces one full simulation per
 fault.
 
-This is the third fault-simulation engine of the library (next to the
-serial forced-value simulator and the bit-parallel pattern simulator) and
-the workhorse behind fault dropping in :mod:`repro.testgen.atpg`.  All
-engines agree — asserted by differential tests.
+This is the pure-Python reference deductive engine, kept as the
+equivalence oracle for its vectorized port
+(:mod:`repro.sim.deductive_numpy`, which propagates the same lists as
+uint64 bitset matrices, whole pattern blocks at once) and one leg of the
+fault-engine lineup next to the serial forced-value simulator, the
+bit-parallel pattern simulator, the fault-parallel batch sweep
+(:mod:`repro.sim.batchfault`) and the event engines
+(:mod:`repro.sim.event`, :mod:`repro.sim.batchevent`).  All engines agree
+bit-for-bit — ``tests/sim/test_cross_engine.py`` holds the full
+differential matrix.
 
 Propagation rules, for a gate ``z`` with fault-free value ``v`` and fanin
 lists ``L_i``:
@@ -24,8 +30,12 @@ lists ``L_i``:
   (symmetric difference);
 * finally ``z``'s own stuck-at-``(1−v)`` fault joins ``L_z``.
 
-The rules are exact for single faults, including reconvergent fanout —
-which is what makes the engine a strong differential oracle.
+The rules are exact for single faults, including the hard cases —
+reconvergent fanout (a stem fault must flip *every* controlling fanin to
+propagate, and is masked when it also flips a non-controlling one) and
+XOR/XNOR parity cancellation — which is what makes the engine a strong
+differential oracle.  Those cases are pinned by regression tests for both
+this implementation and the numpy port.
 """
 
 from __future__ import annotations

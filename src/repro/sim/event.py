@@ -6,6 +6,12 @@ workload where full re-simulation wastes time re-evaluating untouched logic.
 :class:`EventSimulator` keeps the current valuation and propagates only the
 fanout cone of whatever changed, processing gates in level order so each
 gate is evaluated at most once per update.
+
+This is the scalar (one-pattern) engine; when the same what-if question
+is asked for many patterns at once — every failing test of a diagnosis
+run, say — use its lane port
+:class:`repro.sim.batchevent.BatchEventSimulator`, which applies one
+force across uint64 pattern words with the same cone-only propagation.
 """
 
 from __future__ import annotations

@@ -39,13 +39,22 @@ def pack_patterns(
     """Pack per-pattern input assignments into one word per input.
 
     Inputs a pattern omits default to 0, matching the convention of
-    :func:`simulate_words` (``input_words.get(name, 0)``).
+    :func:`simulate_words` (``input_words.get(name, 0)``); a pattern
+    assigning a name *not* in ``inputs`` raises ``ValueError`` — a
+    silently dropped assignment is almost always a typo'd input name.
+    Both behaviours are shared with :func:`pack_patterns_numpy`.
 
     >>> pack_patterns([{"a": 1}, {"a": 0}, {"a": 1}], ["a"])
     {'a': 5}
     """
+    known = frozenset(inputs)
     words = {name: 0 for name in inputs}
     for j, pattern in enumerate(patterns):
+        for name in pattern:
+            if name not in known:
+                raise ValueError(
+                    f"pattern {j} assigns unknown input {name!r}"
+                )
         for name in inputs:
             if pattern.get(name, 0) & 1:
                 words[name] |= 1 << j
@@ -59,10 +68,11 @@ def pack_patterns_numpy(
 
     Returns ``(words, lanes)`` where ``words[name]`` is a uint64 array of
     ``lanes`` elements; bit ``b`` of lane ``l`` is the input's value under
-    pattern ``64*l + b``.  Missing inputs default to 0, like
-    :func:`pack_patterns`.  This is the input format of
-    :func:`simulate_words_numpy` and the batched fault engine
-    (:mod:`repro.sim.batchfault`).
+    pattern ``64*l + b``.  Same conventions as :func:`pack_patterns`
+    (which does the packing): missing inputs default to 0, unknown input
+    names raise ``ValueError``.  This is the input format of
+    :func:`simulate_words_numpy` and the batched fault engines
+    (:mod:`repro.sim.batchfault`, :mod:`repro.sim.batchevent`).
     """
     n = len(patterns)
     lanes = max(1, -(-n // 64))

@@ -24,8 +24,13 @@ from ..circuits.structure import fanout_cone
 from ..faults.collapse import collapse_faults
 from ..faults.models import StuckAtFault
 from ..sat.cnf import CNF
+from ..sim.batchevent import event_detected, event_fault_coverage
 from ..sim.batchfault import batch_detected, batch_fault_coverage
 from ..sim.deductive import FaultCoverage, deductive_coverage, deductive_detected
+from ..sim.deductive_numpy import (
+    deductive_coverage_numpy,
+    deductive_detected_numpy,
+)
 from ..sat.tseitin import encode_circuit, encode_gate
 from .podem import PodemStatus, podem
 from .scoap import analyze_testability
@@ -37,13 +42,22 @@ __all__ = [
     "compact_patterns",
 ]
 
-#: Fault-simulation engines available for coverage/dropping.  ``"batch"``
-#: (default) is the fault-parallel numpy engine of
-#: :mod:`repro.sim.batchfault`; ``"deductive"`` is the classic one-pass
-#: fault-list propagator kept as the equivalence oracle.
+#: Fault-simulation engines available for coverage/dropping, as
+#: ``(detect, coverage)`` pairs.  ``"batch"`` (default) is the
+#: fault-parallel numpy engine of :mod:`repro.sim.batchfault` — fastest
+#: on the drop-and-compact workload, where every fault is swept anyway;
+#: ``"deductive"`` is the classic pure-Python one-pass fault-list
+#: propagator kept as the equivalence oracle; ``"deductive-numpy"`` is
+#: its bitset-matrix vectorization (:mod:`repro.sim.deductive_numpy`);
+#: ``"event"`` rides the batched event simulator
+#: (:mod:`repro.sim.batchevent`), re-evaluating only fanout cones.  All
+#: four produce identical coverage — the cross-engine differential
+#: matrix (``tests/sim/test_cross_engine.py``) pins this.
 _SIM_ENGINES = {
     "batch": (batch_detected, batch_fault_coverage),
     "deductive": (deductive_detected, deductive_coverage),
+    "deductive-numpy": (deductive_detected_numpy, deductive_coverage_numpy),
+    "event": (event_detected, event_fault_coverage),
 }
 
 
@@ -197,8 +211,10 @@ def generate_tests(
     ``collapse`` is set.  ``backend`` selects ``"podem"`` or ``"sat"``.
     Detected faults are dropped from the target list by fault simulation
     after every generated pattern; ``sim_engine`` picks the simulator —
-    ``"batch"`` (fault-parallel numpy, default) or ``"deductive"`` (the
-    fault-list oracle) — with identical coverage either way.
+    ``"batch"`` (fault-parallel numpy, default), ``"deductive"`` (the
+    pure-Python fault-list oracle), ``"deductive-numpy"`` (bitset-matrix
+    deductive) or ``"event"`` (batched event-driven) — with identical
+    coverage any way.
 
     >>> from repro.circuits.library import c17
     >>> result = generate_tests(c17(), seed=1)

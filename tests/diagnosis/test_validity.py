@@ -180,3 +180,63 @@ def test_batched_screen_rejects_partial_expected_outputs(rca4):
         valid_single_gate_corrections(
             rca4, [partial], list(rca4.gate_names), constrain_all_outputs=True
         )
+
+
+def test_singleton_screen_event_engine_matches_batch():
+    """engine="event" (fanout-cone updates on the batched event simulator)
+    must return exactly the batch sweep's result, in pool order."""
+    import random
+
+    from repro.circuits import random_circuit
+    from repro.diagnosis.validity import valid_single_gate_corrections
+    from repro.faults import random_gate_changes
+    from repro.testgen import random_failing_tests
+
+    checked = 0
+    for seed in range(6):
+        circuit = random_circuit(n_inputs=5, n_outputs=3, n_gates=20, seed=400 + seed)
+        injection = random_gate_changes(circuit, p=1, seed=seed)
+        try:
+            tests = random_failing_tests(
+                circuit, injection.faulty, m=5, seed=seed, attach_expected=True
+            )
+        except RuntimeError:
+            continue
+        pool = list(circuit.gate_names)
+        for constrain in (False, True):
+            batch = valid_single_gate_corrections(
+                injection.faulty, tests, pool, constrain_all_outputs=constrain
+            )
+            event = valid_single_gate_corrections(
+                injection.faulty,
+                tests,
+                pool,
+                constrain_all_outputs=constrain,
+                engine="event",
+            )
+            assert event == batch, (seed, constrain)
+        checked += 1
+    assert checked >= 3
+
+
+def test_singleton_screen_rejects_unknown_engine(fig5a_circuit, fig5a_tests):
+    from repro.diagnosis.validity import valid_single_gate_corrections
+
+    with pytest.raises(ValueError, match="engine"):
+        valid_single_gate_corrections(
+            fig5a_circuit, fig5a_tests, ["A"], engine="nope"
+        )
+
+
+def test_singleton_screen_unknown_gate_same_error_both_engines(maj3):
+    """Both engines must reject a pool gate that is not a circuit signal
+    with the same ValueError (the batch sweep's message)."""
+    from repro.diagnosis.validity import valid_single_gate_corrections
+
+    vector = {pi: 0 for pi in maj3.inputs}
+    test = Test(vector, maj3.outputs[0], 1)
+    for engine in ("batch", "event"):
+        with pytest.raises(ValueError, match="not a signal"):
+            valid_single_gate_corrections(
+                maj3, [test], ["no_such_gate"], engine=engine
+            )

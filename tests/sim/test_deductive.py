@@ -190,3 +190,172 @@ def test_undetectable_fault_stays_undetected():
     cov = deductive_coverage(c, patterns)
     assert StuckAtFault("z", 1) in cov.undetected
     assert StuckAtFault("z", 0) in cov.detected
+
+
+# ----------------------------------------------------------------------
+# pinned propagation rules, Python and numpy implementations side by side
+# (the docstring's hard cases: reconvergent fanout and XOR/XNOR parity)
+# ----------------------------------------------------------------------
+
+from repro.sim import (  # noqa: E402 - grouped with the tests that use them
+    deductive_coverage_numpy,
+    deductive_detected_numpy,
+    deductive_fault_lists_numpy,
+)
+
+IMPLS = [deductive_fault_lists, deductive_fault_lists_numpy]
+IMPL_IDS = ["python", "numpy"]
+
+
+def _reconvergent_or():
+    """Stem s fans out into two AND paths reconverging at an OR."""
+    c = Circuit("reconv_or")
+    c.add_input("s")
+    c.add_input("b")
+    c.add_input("d")
+    c.add_gate("x", GateType.AND, ["s", "b"])
+    c.add_gate("y", GateType.AND, ["s", "d"])
+    c.add_gate("z", GateType.OR, ["x", "y"])
+    c.add_output("z")
+    c.validate()
+    return c
+
+
+@pytest.mark.parametrize("lists_fn", IMPLS, ids=IMPL_IDS)
+def test_reconvergent_stem_intersection_rule(lists_fn):
+    """Both OR fanins controlling (1): only a fault flipping *both* paths
+    flips z — the intersection keeps exactly the shared stem fault."""
+    c = _reconvergent_or()
+    lists = lists_fn(c, {"s": 1, "b": 1, "d": 1})
+    assert lists["x"] == frozenset(
+        {StuckAtFault("s", 0), StuckAtFault("b", 0), StuckAtFault("x", 0)}
+    )
+    assert lists["z"] == frozenset(
+        {StuckAtFault("s", 0), StuckAtFault("z", 0)}
+    )
+
+
+@pytest.mark.parametrize("lists_fn", IMPLS, ids=IMPL_IDS)
+def test_reconvergent_stem_union_rule(lists_fn):
+    """No OR fanin controlling (both 0): the union keeps the stem fault
+    once even though it arrives on both paths."""
+    c = _reconvergent_or()
+    lists = lists_fn(c, {"s": 0, "b": 1, "d": 1})
+    assert lists["z"] == frozenset(
+        {
+            StuckAtFault("s", 1),
+            StuckAtFault("x", 1),
+            StuckAtFault("y", 1),
+            StuckAtFault("z", 1),
+        }
+    )
+
+
+@pytest.mark.parametrize("lists_fn", IMPLS, ids=IMPL_IDS)
+def test_reconvergent_masking_cancels_stem(lists_fn):
+    """s and NOT(s) reconverging at an OR: the controlling-minus-
+    non-controlling rule cancels every stem fault (z is a tautology)."""
+    c = Circuit("taut_or")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("s", GateType.AND, ["a", "b"])
+    c.add_gate("x", GateType.NOT, ["s"])
+    c.add_gate("z", GateType.OR, ["s", "x"])
+    c.add_output("z")
+    c.validate()
+    lists = lists_fn(c, {"a": 1, "b": 1})
+    # s=1 is the controlling fanin; every fault in L_s also flips x, so
+    # the subtraction empties the list — only z's own fault remains.
+    assert lists["s"] == frozenset(
+        {StuckAtFault("a", 0), StuckAtFault("b", 0), StuckAtFault("s", 0)}
+    )
+    assert lists["z"] == frozenset({StuckAtFault("z", 0)})
+
+
+@pytest.mark.parametrize("lists_fn", IMPLS, ids=IMPL_IDS)
+def test_xor_reconvergence_even_parity_cancels(lists_fn):
+    """z = XOR(s, NOT(s)) is constant 1; stem faults flip both fanins
+    (even parity) and cancel, the inverter's own fault survives."""
+    c = Circuit("xor_reconv")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("s", GateType.AND, ["a", "b"])
+    c.add_gate("x", GateType.NOT, ["s"])
+    c.add_gate("z", GateType.XOR, ["s", "x"])
+    c.add_output("z")
+    c.validate()
+    lists = lists_fn(c, {"a": 1, "b": 0})
+    # s=0, x=1, z=1.  L_s = {a s-a-?; only b=0 controls} …
+    assert lists["s"] == frozenset(
+        {StuckAtFault("b", 1), StuckAtFault("s", 1)}
+    )
+    assert lists["z"] == frozenset(
+        {StuckAtFault("x", 0), StuckAtFault("z", 0)}
+    )
+
+
+@pytest.mark.parametrize("lists_fn", IMPLS, ids=IMPL_IDS)
+def test_xnor_three_fanin_odd_parity_keeps_stem(lists_fn):
+    """XNOR over (s, s, s): the stem flips an odd number of fanins, so
+    parity keeps it — symmetric difference of three equal lists."""
+    c = Circuit("xnor3")
+    c.add_input("s")
+    c.add_gate("z", GateType.XNOR, ["s", "s", "s"])
+    c.add_output("z")
+    c.validate()
+    lists = lists_fn(c, {"s": 0})
+    # z = XNOR(0,0,0) = 1; flipping s flips all three fanins -> odd -> z.
+    assert lists["z"] == frozenset(
+        {StuckAtFault("s", 1), StuckAtFault("z", 0)}
+    )
+
+
+@pytest.mark.parametrize("lists_fn", IMPLS, ids=IMPL_IDS)
+def test_xor_two_of_three_shared_fanins_cancel(lists_fn):
+    """XOR(s, s, d): s appears an even number of times and cancels; only
+    d's list (and the gate's own fault) propagates."""
+    c = Circuit("xor_even")
+    c.add_input("s")
+    c.add_input("d")
+    c.add_gate("z", GateType.XOR, ["s", "s", "d"])
+    c.add_output("z")
+    c.validate()
+    lists = lists_fn(c, {"s": 1, "d": 0})
+    assert lists["z"] == frozenset(
+        {StuckAtFault("d", 1), StuckAtFault("z", 1)}
+    )
+
+
+# differential backstop on the library's XOR-heavy and reconvergent nets
+@pytest.mark.parametrize("vec_seed", range(4))
+def test_numpy_lists_equal_python_lists_parity_tree(vec_seed):
+    circuit = parity_tree(8)
+    vector = _random_vector(circuit, vec_seed)
+    assert deductive_fault_lists_numpy(circuit, vector) == deductive_fault_lists(
+        circuit, vector
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_numpy_engine_matches_python_random_circuits(seed):
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=40, seed=seed)
+    patterns = [_random_vector(circuit, 100 * seed + s) for s in range(12)]
+    assert deductive_detected_numpy(circuit, patterns[0]) == deductive_detected(
+        circuit, patterns[0]
+    )
+    py = deductive_coverage(circuit, patterns)
+    for drop in (True, False):
+        np_cov = deductive_coverage_numpy(
+            circuit, patterns, drop_detected=drop, block_patterns=5
+        )
+        assert dict(np_cov.first_detection) == dict(py.first_detection)
+        assert np_cov.coverage == py.coverage
+
+
+def test_numpy_engine_requires_complete_vectors(maj3):
+    """Serial-engine input convention: missing primary inputs raise
+    (unlike the pack-to-0 convention of the lane engines)."""
+    with pytest.raises(KeyError, match="primary input"):
+        deductive_detected_numpy(maj3, {"a": 1, "b": 1})
+    with pytest.raises(KeyError, match="primary input"):
+        deductive_coverage_numpy(maj3, [{"a": 1}])

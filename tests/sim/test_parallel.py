@@ -136,3 +136,27 @@ def test_pack_patterns_numpy_matches_int_packing():
     for name in c.inputs:
         word = sum(int(v) << (64 * l) for l, v in enumerate(lanes_map[name]))
         assert word == ints[name]
+
+
+def test_pack_patterns_numpy_defaults_missing_inputs_to_zero():
+    """Symmetry with pack_patterns: omitted inputs pack as 0."""
+    lanes_map, lanes = pack_patterns_numpy(
+        [{"a": 1}, {"b": 1}, {"a": 1, "b": 1}], ["a", "b"]
+    )
+    assert lanes == 1
+    assert int(lanes_map["a"][0]) == 0b101
+    assert int(lanes_map["b"][0]) == 0b110
+
+
+def test_pack_patterns_rejects_unknown_input_names():
+    """Symmetry fix: an assignment to a name outside ``inputs`` is a
+    ValueError in both packers, not a silent drop."""
+    with pytest.raises(ValueError, match="unknown input"):
+        pack_patterns([{"a": 1}, {"a": 0, "typo": 1}], ["a"])
+    with pytest.raises(ValueError, match="unknown input"):
+        pack_patterns_numpy([{"a": 1}, {"a": 0, "typo": 1}], ["a"])
+
+
+def test_pack_patterns_unknown_name_error_names_the_pattern():
+    with pytest.raises(ValueError, match=r"pattern 2 .*'b'"):
+        pack_patterns([{"a": 1}, {"a": 0}, {"b": 1}], ["a"])

@@ -28,7 +28,9 @@ MODULE_NAMES = [
     "repro.sat.proof",
     "repro.sat.solver",
     "repro.sat.types",
+    "repro.sim.batchevent",
     "repro.sim.deductive",
+    "repro.sim.deductive_numpy",
     "repro.sim.event",
     "repro.sim.logicsim",
     "repro.sim.parallel",

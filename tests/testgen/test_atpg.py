@@ -228,3 +228,31 @@ def test_compaction_engines_agree(c17):
 def test_unknown_sim_engine_rejected(c17):
     with pytest.raises(ValueError, match="sim_engine"):
         generate_tests(c17, sim_engine="nope")
+
+
+def test_all_sim_engines_produce_identical_flows():
+    """Every registered fault-simulation engine — including the vectorized
+    deductive and batched event ones — must be a drop-in: same patterns,
+    same coverage, same compaction."""
+    circuit = random_circuit(n_inputs=6, n_outputs=3, n_gates=30, seed=21)
+    reference = generate_tests(circuit, seed=4, sim_engine="deductive")
+    for engine in ("batch", "deductive-numpy", "event"):
+        result = generate_tests(circuit, seed=4, sim_engine=engine)
+        assert result.patterns == reference.patterns, engine
+        assert (
+            result.coverage.first_detection
+            == reference.coverage.first_detection
+        ), engine
+        assert result.undetectable == reference.undetectable, engine
+
+
+def test_all_compaction_engines_agree(c17):
+    result = generate_tests(c17, seed=9, compact=False)
+    faults = list(result.target_faults)
+    patterns = [dict(p) for p in result.patterns]
+    reference = compact_patterns(c17, patterns, faults, sim_engine="deductive")
+    for engine in ("batch", "deductive-numpy", "event"):
+        assert (
+            compact_patterns(c17, patterns, faults, sim_engine=engine)
+            == reference
+        ), engine
