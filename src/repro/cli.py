@@ -7,8 +7,9 @@ A thin, scriptable front-end over the library for users who work with
 * ``inject``   — inject gate-change errors, write the faulty netlist and a
   ground-truth sidecar.
 * ``testgen``  — generate failing tests for a golden/faulty pair.
-* ``diagnose`` — run BSIM / COV / BSAT / hybrid on a faulty netlist plus
-  a test file.
+* ``diagnose`` — run BSIM / COV / BSAT / hybrid / greedy-stochastic /
+  implicit-hitting-set diagnosis on a faulty netlist plus a test file.
+* ``strategies`` — list the registered candidate-space strategies.
 * ``table1``   — print the paper's comparison matrix.
 * ``atpg``     — run the stuck-at ATPG flow (PODEM or SAT) and report
   coverage.
@@ -30,11 +31,12 @@ from pathlib import Path
 from .circuits import bench, library
 from .circuits.netlist import Circuit
 from .diagnosis import (
-    basic_sat_diagnose,
+    DIAGNOSIS_STRATEGIES,
+    DiagnosisSession,
+    available_strategies,
     basic_sim_diagnose,
+    diagnose,
     format_table1,
-    pt_guided_sat_diagnose,
-    sc_diagnose,
 )
 from .faults import random_gate_changes
 from .testgen import TestSet, random_failing_tests
@@ -121,6 +123,16 @@ def _cmd_testgen(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI spelling → registry strategy name (plus the legacy aliases).
+_CLI_STRATEGIES = {
+    "cov": "cov",
+    "bsat": "bsat",
+    "hybrid": "pt-guided",
+    "greedy": "greedy-stochastic",
+    "ihs": "ihs",
+}
+
+
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     faulty = _load_circuit(args.faulty)
     tests = _read_tests(Path(args.tests), faulty)
@@ -130,25 +142,27 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         f"diagnosing {faulty.name}: {faulty.num_gates} gates, "
         f"{tests.m} tests, k={args.k}, approach={args.approach}"
     )
+    session = DiagnosisSession(faulty, tests)
     if args.approach == "bsim":
-        result = basic_sim_diagnose(faulty, tests)
+        result = basic_sim_diagnose(faulty, tests, session=session)
         ranked = sorted(result.marks, key=lambda g: -result.marks[g])
         print(f"{len(result.union)} candidate gates; top marks:")
         for g in ranked[: args.top]:
             print(f"  {g}: {result.marks[g]}/{tests.m}")
         return 0
-    if args.approach == "cov":
-        result = sc_diagnose(
-            faulty, tests, k=args.k, solution_limit=args.limit
+    strategy = _CLI_STRATEGIES.get(args.approach, args.approach)
+    options: dict[str, object] = {}
+    k: int | None = args.k
+    if strategy in ("greedy-stochastic", "ihs"):
+        # --limit caps the number of reported solutions; --k bounds the
+        # candidate cardinality (0 = let the search loop determine it).
+        options["solution_limit" if strategy == "ihs" else "max_solutions"] = (
+            args.limit
         )
-    elif args.approach == "bsat":
-        result = basic_sat_diagnose(
-            faulty, tests, k=args.k, solution_limit=args.limit
-        )
-    else:  # hybrid
-        result = pt_guided_sat_diagnose(
-            faulty, tests, k=args.k, solution_limit=args.limit
-        )
+        k = args.k if args.k > 0 else None
+    else:
+        options["solution_limit"] = args.limit
+    result = diagnose(session, k=k, strategy=strategy, **options)
     print(
         f"{result.n_solutions} solutions in {result.t_all:.2f}s "
         f"(build {result.t_build:.2f}s)"
@@ -156,6 +170,13 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     )
     for sol in result.solutions[: args.top]:
         print("  " + ", ".join(sorted(sol)))
+    return 0
+
+
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in DIAGNOSIS_STRATEGIES)
+    for name in available_strategies():
+        print(f"{name.ljust(width)}  {DIAGNOSIS_STRATEGIES[name][1]}")
     return 0
 
 
@@ -265,13 +286,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_diag.add_argument("tests")
     p_diag.add_argument(
         "--approach",
-        choices=("bsim", "cov", "bsat", "hybrid"),
+        choices=("bsim", "cov", "bsat", "hybrid", "greedy", "ihs"),
         default="bsat",
+        help="bsim/cov/bsat/hybrid as in the paper; greedy "
+        "(SAFARI stochastic search) and ihs (implicit hitting sets) "
+        "are the candidate-space search loops",
     )
-    p_diag.add_argument("--k", type=int, default=1)
+    p_diag.add_argument(
+        "--k", type=int, default=1,
+        help="error cardinality bound (greedy/ihs: 0 = self-determined)",
+    )
     p_diag.add_argument("--limit", type=int, default=100)
     p_diag.add_argument("--top", type=int, default=10)
     p_diag.set_defaults(func=_cmd_diagnose)
+
+    p_strat = sub.add_parser(
+        "strategies", help="list the registered diagnosis strategies"
+    )
+    p_strat.set_defaults(func=_cmd_strategies)
 
     p_t1 = sub.add_parser("table1", help="print the comparison matrix")
     p_t1.set_defaults(func=_cmd_table1)

@@ -1,5 +1,53 @@
 """Diagnosis algorithms — the paper's primary subject.
 
+The candidate-space core (:mod:`~repro.diagnosis.core`)
+-------------------------------------------------------
+
+Every strategy explores the same space of corrections against the same
+observations; :class:`~repro.diagnosis.core.DiagnosisSession` owns that
+space once per problem:
+
+* ``DiagnosisSession(circuit, tests)`` packs all test vectors into uint64
+  lanes on one shared :class:`~repro.sim.batchevent.BatchEventSimulator`,
+  caches the implementation's output signatures (``responses()``), the
+  failing lanes (``failing_word()``) and path tracing (``sim_result()``).
+* ``session.score(C)`` / ``session.consistent(C)`` — memoized effect
+  analysis: how many observations (all?) candidate ``C`` can rectify.
+* ``session.refine(suspects)`` / ``session.space(pool)`` — a
+  :class:`~repro.diagnosis.core.CandidateSpace` with lazy per-gate
+  rectification words (one fault-parallel sweep or shared-sim what-ifs)
+  and per-observation candidate sets from the vectorized deductive fault
+  lists.
+* ``session.instance(k)`` / ``session.rectify_solver(j, pool)`` — the
+  SAT side: Fig. 2(b) instances and incremental per-observation solvers
+  for conflict extraction.
+
+Strategies register in
+:data:`~repro.diagnosis.core.DIAGNOSIS_STRATEGIES` (the diagnosis twin of
+ATPG's ``_SIM_ENGINES``) and run via
+:func:`~repro.diagnosis.core.diagnose`; all share the signature
+``(session, k, **options) -> SolutionSetResult``.
+
+Strategy selection (the paper's Table 1 framing, extended)
+----------------------------------------------------------
+
+===================  ===========================  ==========================
+strategy             wins when                    guarantees
+===================  ===========================  ==========================
+``bsim`` / ``cov``   speed matters, guidance      candidates only (may be
+                     suffices                     invalid — Lemma 2)
+``single-fix``       single error suspected       valid; size-1 complete
+``bsat`` (+advanced  completeness required,       all corrections with only
+variants)            ``k`` small                  essential candidates
+``adv-sim`` /        pools already narrow         valid; complete within
+``inc-sim``                                       the (PT) pool
+``greedy-            first valid answer on        valid (verified); a
+stochastic``         multi-fault instances,       sample, approximately
+                     enumeration too slow         minimal
+``ihs``              minimum-cardinality answer   valid; minimum cardinality
+                     without full enumeration     within the pool
+===================  ===========================  ==========================
+
 Basic approaches (§2, §3):
 
 * :func:`~repro.diagnosis.pathtrace.basic_sim_diagnose` — **BSIM** (Fig. 1).
@@ -13,6 +61,12 @@ Advanced approaches (§2.2, §2.3):
 * :mod:`~repro.diagnosis.advanced_sim` — effect-analysis search with greedy
   ordering and backtracking.
 * :mod:`~repro.diagnosis.xlist` — forward X-injection diagnosis (ref [5]).
+
+Search loops on the candidate space (PAPERS.md):
+
+* :mod:`~repro.diagnosis.greedy` — Feldman/Provan greedy stochastic
+  search (SAFARI).
+* :mod:`~repro.diagnosis.ihs` — Ignatiev-style implicit hitting sets.
 
 Hybrids (§6) and extensions:
 
@@ -31,6 +85,16 @@ from .base import (
     SimDiagnosisResult,
     SolutionSetResult,
     format_table1,
+)
+from .core import (
+    CandidateSpace,
+    DIAGNOSIS_STRATEGIES,
+    DiagnosisSession,
+    Observation,
+    available_strategies,
+    diagnose,
+    get_strategy,
+    register_strategy,
 )
 from .pathtrace import basic_sim_diagnose, path_trace, POLICIES
 from .cover import sc_diagnose, minimal_covers_sat, minimal_covers_bnb
@@ -68,6 +132,8 @@ from .advanced_sat import (
     partitioned_sat_diagnose,
 )
 from .advanced_sim import enumerate_sim_corrections, incremental_sim_diagnose
+from .greedy import greedy_stochastic_diagnose
+from .ihs import ihs_diagnose
 from .xlist import xlist_candidates, xlist_diagnose
 from .hybrid import (
     pt_guided_sat_diagnose,
@@ -96,6 +162,14 @@ __all__ = [
     "SimDiagnosisResult",
     "SolutionSetResult",
     "format_table1",
+    "CandidateSpace",
+    "DIAGNOSIS_STRATEGIES",
+    "DiagnosisSession",
+    "Observation",
+    "available_strategies",
+    "diagnose",
+    "get_strategy",
+    "register_strategy",
     "basic_sim_diagnose",
     "path_trace",
     "POLICIES",
@@ -127,6 +201,8 @@ __all__ = [
     "partitioned_sat_diagnose",
     "enumerate_sim_corrections",
     "incremental_sim_diagnose",
+    "greedy_stochastic_diagnose",
+    "ihs_diagnose",
     "xlist_candidates",
     "xlist_diagnose",
     "pt_guided_sat_diagnose",

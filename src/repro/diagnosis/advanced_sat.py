@@ -29,6 +29,7 @@ from ..circuits.netlist import Circuit
 from ..circuits.structure import dominated_region, immediate_dominators
 from ..testgen.testset import TestSet
 from .base import SolutionSetResult
+from .core import DiagnosisSession, register_strategy
 from .satdiag import basic_sat_diagnose
 
 __all__ = [
@@ -219,3 +220,30 @@ def partitioned_sat_diagnose(
             "final_suspects": len(suspects) if suspects else circuit.num_gates,
         },
     )
+
+
+@register_strategy(
+    "bsat-select-zero", "BSAT plus the s=0 -> c=0 pruning clauses"
+)
+def _select_zero_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return select_zero_sat_diagnose(session.circuit, session.tests, k, **options)
+
+
+@register_strategy(
+    "bsat-dominator", "two-pass dominator diagnosis (coarse then refine)"
+)
+def _dominator_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return dominator_sat_diagnose(session.circuit, session.tests, k, **options)
+
+
+@register_strategy(
+    "bsat-partitioned", "test-set partitioning with surviving-suspect funnel"
+)
+def _partitioned_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return partitioned_sat_diagnose(session.circuit, session.tests, k, **options)

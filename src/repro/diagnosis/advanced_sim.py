@@ -7,6 +7,12 @@ greedy ordering by mark count and chronological backtracking — the
 time-complexity blow-up from ``O(|I|·m)`` to ``O(|I|^{k+1}·m)`` the paper
 describes.
 
+Both entry points are thin strategies over one
+:class:`~repro.diagnosis.core.DiagnosisSession`: the session owns the
+packed test lanes, the path-tracing cache, the single-gate screen (one
+fault-parallel sweep) and the memoized effect-analysis verdicts, so the
+searches never re-derive shared state.
+
 Two entry points:
 
 * :func:`enumerate_sim_corrections` — exhaustive DFS over a candidate pool
@@ -17,9 +23,9 @@ Two entry points:
 * :func:`incremental_sim_diagnose` — the greedy-with-backtracking flavour
   of ref [13]: pick the highest-marked candidate, re-run path tracing on
   the corrected circuit for the still-failing tests, recurse, backtrack on
-  dead ends.  Its what-if re-simulation rides the batched event engine
-  (:class:`repro.sim.batchevent.BatchEventSimulator`): all failing tests
-  live in uint64 lanes and a correction is one forced word, so applying a
+  dead ends.  Its what-if re-simulation rides the session's shared
+  :class:`~repro.sim.batchevent.BatchEventSimulator`: all tests live in
+  uint64 lanes and a correction is one forced word, so applying a
   candidate costs one fanout-cone update instead of one scalar simulation
   per test.
 """
@@ -31,15 +37,11 @@ from itertools import combinations
 from typing import Sequence
 
 from ..circuits.netlist import Circuit
-from ..sim.batchevent import BatchEventSimulator
-from ..testgen.testset import Test, TestSet
+from ..testgen.testset import TestSet
 from .base import Correction, SolutionSetResult
-from .pathtrace import basic_sim_diagnose, path_trace
-from .validity import (
-    is_valid_correction,
-    rectifiable_by_forcing,
-    valid_single_gate_corrections,
-)
+from .core import DiagnosisSession, register_strategy
+from .pathtrace import path_trace
+from .validity import valid_single_gate_corrections
 
 __all__ = ["enumerate_sim_corrections", "incremental_sim_diagnose"]
 
@@ -51,19 +53,22 @@ def enumerate_sim_corrections(
     pool: Sequence[str] | None = None,
     policy: str = "first",
     approach_name: str = "advSIM",
+    session: DiagnosisSession | None = None,
 ) -> SolutionSetResult:
     """All minimal valid corrections of size ≤ k within ``pool``.
 
     ``pool=None`` uses the path-tracing union ``∪ C_i`` (the advanced
     simulation-based pruning); ``pool=circuit.gate_names`` makes the search
     exhaustive.  Effect analysis is the exact bit-parallel forced-value
-    check of :mod:`repro.diagnosis.validity`, so every reported correction
-    is valid, with only essential candidates.
+    check of :mod:`repro.diagnosis.validity`, memoized on the session, so
+    every reported correction is valid, with only essential candidates.
     """
+    if session is None:
+        session = DiagnosisSession(circuit, tests)
     start = time.perf_counter()
     sim_result = None
     if pool is None:
-        sim_result = basic_sim_diagnose(circuit, tests, policy=policy)
+        sim_result = session.sim_result(policy=policy)
         pool = sorted(sim_result.union, key=lambda g: -sim_result.marks[g])
     pool = list(pool)
     t_build = time.perf_counter() - start
@@ -76,7 +81,7 @@ def enumerate_sim_corrections(
     # fault-parallel batched sweep (forcing one gate is a stuck-at
     # signature) instead of one effect-analysis pass per gate.
     if k >= 1:
-        for gate in valid_single_gate_corrections(circuit, tests, pool):
+        for gate in _screen_singletons(session, pool):
             candidate = frozenset({gate})
             if candidate in solutions:
                 continue
@@ -88,7 +93,7 @@ def enumerate_sim_corrections(
             candidate = frozenset(subset)
             if any(sol <= candidate for sol in solutions):
                 continue
-            if is_valid_correction(circuit, tests, subset):
+            if session.consistent(subset):
                 solutions.append(candidate)
                 if t_first is None:
                     t_first = time.perf_counter() - search_start
@@ -105,12 +110,31 @@ def enumerate_sim_corrections(
     )
 
 
+def _screen_singletons(
+    session: DiagnosisSession, pool: list[str]
+) -> list[str]:
+    """Valid size-1 corrections of ``pool``, via the session's sweep.
+
+    Falls back to the standalone checker when the pool names signals
+    that are not functional gates (e.g. primary-input fault sites, which
+    the legacy surface accepted)."""
+    circuit = session.circuit
+    if all(
+        g in circuit.nodes and circuit.node(g).is_functional for g in pool
+    ):
+        return session.space(pool).singletons()
+    return valid_single_gate_corrections(
+        circuit, session.tests, pool, session.constrain_all_outputs
+    )
+
+
 def incremental_sim_diagnose(
     circuit: Circuit,
     tests: TestSet,
     k: int,
     policy: str = "first",
     max_solutions: int | None = None,
+    session: DiagnosisSession | None = None,
 ) -> SolutionSetResult:
     """Greedy incremental diagnosis with backtracking (flavour of ref [13]).
 
@@ -121,42 +145,52 @@ def incremental_sim_diagnose(
     solutions outside the (recomputed) path-tracing pools.
     """
     start = time.perf_counter()
+    if session is None:
+        session = DiagnosisSession(circuit, tests)
     solutions: list[Correction] = []
     t_first: float | None = None
+    test_list = list(tests)
 
-    def failing_tests(chosen: tuple[str, ...]) -> list[Test]:
-        return [
-            t
-            for t in tests
-            if not rectifiable_by_forcing(circuit, t, chosen)
-        ]
+    def failing_indices(chosen: tuple[str, ...]) -> list[int]:
+        # The session memoizes the rectification word, so revisiting a
+        # chosen-set (different DFS order, same gates) is free.
+        word = session.rect_word(chosen)
+        return [j for j in range(session.m) if not (word >> j) & 1]
 
-    def candidates_for(chosen: tuple[str, ...], failing: list[Test]) -> list[str]:
+    def candidates_for(
+        chosen: tuple[str, ...], failing: list[int]
+    ) -> list[str]:
         """Recomputed PT candidates over failing tests, best-marked first.
 
-        All failing tests are simulated at once on the batched event
-        engine: one lane per test, with each chosen gate flipped from its
-        *unforced* value in every lane (a concrete "applied" fix) — the
-        what-if question the serial code answered with two scalar
-        simulations per test.
+        All tests stay in the session's shared lane simulator; each
+        chosen gate is flipped from its *unforced* value in every lane
+        (a concrete "applied" fix) — one fanout-cone update per gate
+        instead of one scalar simulation per test.
         """
         marks: dict[str, int] = {}
-        sim = BatchEventSimulator(circuit, [t.vector for t in failing])
+        sim = session.sim
         base = {g: sim.value_lanes(g) for g in chosen}
-        for g in chosen:
-            sim.force(g, ~base[g])
-        for j, test in enumerate(failing):
-            values = sim.pattern_values(j)
-            for g in path_trace(circuit, values, test.output, policy=policy):
-                if g not in chosen:
-                    marks[g] = marks.get(g, 0) + 1
+        try:
+            for g in chosen:
+                sim.force(g, ~base[g])
+            for j in failing:
+                values = sim.pattern_values(j)
+                test = test_list[j]
+                for g in path_trace(
+                    circuit, values, test.output, policy=policy
+                ):
+                    if g not in chosen:
+                        marks[g] = marks.get(g, 0) + 1
+        finally:
+            for g in chosen:
+                sim.unforce(g)
         return sorted(marks, key=lambda g: (-marks[g], g))
 
     def dfs(chosen: tuple[str, ...]) -> None:
         nonlocal t_first
         if max_solutions is not None and len(solutions) >= max_solutions:
             return
-        failing = failing_tests(chosen)
+        failing = failing_indices(chosen)
         if not failing:
             candidate = frozenset(chosen)
             if not any(sol <= candidate for sol in solutions):
@@ -187,4 +221,26 @@ def incremental_sim_diagnose(
         t_first=t_first if t_first is not None else t_all,
         t_all=t_all,
         extras={"raw_solutions": len(solutions)},
+    )
+
+
+@register_strategy(
+    "adv-sim", "exhaustive effect-analysis DFS over the path-tracing pool"
+)
+def _adv_sim_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return enumerate_sim_corrections(
+        session.circuit, session.tests, k, session=session, **options
+    )
+
+
+@register_strategy(
+    "inc-sim", "greedy incremental path-tracing search with backtracking"
+)
+def _inc_sim_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return incremental_sim_diagnose(
+        session.circuit, session.tests, k, session=session, **options
     )

@@ -1,0 +1,748 @@
+"""The shared candidate-space core every diagnosis strategy rides on.
+
+The paper's central observation is that simulation-based and SAT-based
+diagnosis explore the *same* space — corrections over the same suspects,
+judged against the same observations — with different engines.  Before
+this module each entry point re-derived that space privately: failing
+outputs were re-simulated, fault lists rebuilt, candidate pools re-ranked
+per call.  :class:`DiagnosisSession` is now the one place that owns the
+space; every strategy (sim, SAT, hybrid, greedy-stochastic, implicit
+hitting set) is a thin search loop over it.
+
+Three layers:
+
+* :class:`Observation` — one test triple ``(t, o, v)`` plus optional
+  golden responses; the unit both engines constrain.
+* :class:`DiagnosisSession` — packs all test vectors into uint64 lanes on
+  one shared :class:`~repro.sim.batchevent.BatchEventSimulator` (bit ``j``
+  of every lane word is observation ``j``), caches the implementation's
+  output signatures, the failing-observation lanes, path-tracing results
+  and per-candidate rectification words, and answers
+  :meth:`~DiagnosisSession.score`, :meth:`~DiagnosisSession.consistent`
+  and :meth:`~DiagnosisSession.refine` for arbitrary suspect sets.
+* :class:`CandidateSpace` — a (possibly refined) suspect pool with lazy,
+  engine-backed per-gate scoring: one fault-parallel sweep (or shared-sim
+  what-ifs) yields each gate's *rectification word* — which observations
+  a single forced value at the gate can fix — and the vectorized
+  deductive engine (:func:`repro.sim.deductive_numpy`) yields the same
+  sets from fault lists, giving strategies both views of the space.
+
+Strategies register themselves in :data:`DIAGNOSIS_STRATEGIES` (the
+diagnosis twin of ``repro.testgen.atpg._SIM_ENGINES``) via
+:func:`register_strategy`; :func:`diagnose` dispatches by name.  All
+registered strategies share the signature ``(session, k, **options) ->
+SolutionSetResult`` so runners, the CLI and the candidate-search bench
+can race them interchangeably.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..circuits.netlist import Circuit
+from ..circuits.structure import fanin_cone, levels
+from ..sat.cnf import CNF
+from ..sat.solver import Solver
+from ..sat.tseitin import encode_gate, encode_mux
+from ..sim.batchevent import BatchEventSimulator
+from ..faults.models import StuckAtFault
+from ..testgen.testset import Test, TestSet
+from .base import Correction, SimDiagnosisResult, SolutionSetResult
+from .pathtrace import trace_tests
+from .validity import (
+    _lanes_to_word,
+    rectifiable_by_forcing,
+    single_gate_rect_words,
+    want_care_lanes,
+)
+
+__all__ = [
+    "Observation",
+    "DiagnosisSession",
+    "CandidateSpace",
+    "DIAGNOSIS_STRATEGIES",
+    "register_strategy",
+    "available_strategies",
+    "get_strategy",
+    "diagnose",
+]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One observed misbehaviour: a test vector and its response pair.
+
+    ``vector`` drives the primary inputs; ``output`` is the primary output
+    observed to be erroneous and ``value`` its *correct* value (Definition
+    1 of the paper — the observed faulty value is ``value ^ 1``).
+    ``expected_outputs`` optionally carries golden values for every
+    output, enabling the stricter all-outputs-constrained formulation.
+    """
+
+    vector: Mapping[str, int]
+    output: str
+    value: int
+    expected_outputs: Mapping[str, int] | None = None
+
+    @classmethod
+    def from_test(cls, test: Test) -> "Observation":
+        return cls(
+            vector=test.vector,
+            output=test.output,
+            value=test.value,
+            expected_outputs=test.expected_outputs,
+        )
+
+    def to_test(self) -> Test:
+        return Test(
+            vector=dict(self.vector),
+            output=self.output,
+            value=self.value,
+            expected_outputs=(
+                dict(self.expected_outputs)
+                if self.expected_outputs is not None
+                else None
+            ),
+        )
+
+    @property
+    def observed_value(self) -> int:
+        """The erroneous value the implementation produces at ``output``."""
+        return self.value ^ 1
+
+
+class DiagnosisSession:
+    """One diagnosis problem ``(I, T)`` with every shared artifact cached.
+
+    The session packs all test vectors into uint64 lanes once, keeps one
+    :class:`~repro.sim.batchevent.BatchEventSimulator` for what-if
+    queries (candidate application per test-lane is a forced word plus a
+    fanout-cone update), caches the implementation's output signatures
+    and path-tracing results, and memoizes per-candidate *rectification
+    words* — bit ``j`` set iff observation ``j`` is rectifiable by
+    changing the candidate's gates (Definition 3, per test).
+
+    >>> from repro.circuits.library import c17
+    >>> from repro.experiments import make_workload
+    >>> w = make_workload(c17(), p=1, m_max=4, seed=11)
+    >>> session = DiagnosisSession(w.faulty, w.tests)
+    >>> session.consistent(["G19"]) in (True, False)
+    True
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        tests: TestSet | Iterable[Test],
+        constrain_all_outputs: bool = False,
+    ) -> None:
+        if not isinstance(tests, TestSet):
+            tests = TestSet(tuple(tests))
+        if not len(tests):
+            raise ValueError("diagnosis requires at least one failing test")
+        if not circuit.is_combinational:
+            raise ValueError(
+                "diagnosis sessions require a combinational circuit; "
+                "apply repro.circuits.to_combinational first"
+            )
+        if constrain_all_outputs:
+            for t in tests:
+                if t.expected_outputs is None:
+                    raise ValueError(
+                        "constrain_all_outputs requires tests with "
+                        "expected_outputs"
+                    )
+        self.circuit = circuit
+        self.tests = tests
+        self.observations: tuple[Observation, ...] = tuple(
+            Observation.from_test(t) for t in tests
+        )
+        self.constrain_all_outputs = constrain_all_outputs
+        self.m = len(tests)
+        #: Word with one bit per observation; a candidate is consistent
+        #: when its rectification word equals this mask.
+        self.all_mask = (1 << self.m) - 1
+        self._sim: BatchEventSimulator | None = None
+        self._responses: dict[str, int] | None = None
+        self._want_care: tuple[np.ndarray, np.ndarray, int] | None = None
+        self._rect_words: dict[Correction, int] = {}
+        self._sim_results: dict[tuple[str, int], SimDiagnosisResult] = {}
+        self._spaces: dict[tuple[str, ...] | None, CandidateSpace] = {}
+        self._levels: dict[str, int] | None = None
+        self._fanin_cones: dict[str, frozenset[str]] = {}
+        self._rectify_solvers: dict[
+            tuple[int, tuple[str, ...]], tuple[Solver, dict[str, int]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # shared engines and cached artifacts
+    # ------------------------------------------------------------------
+    @property
+    def sim(self) -> BatchEventSimulator:
+        """The shared lane simulator (one lane bit per observation)."""
+        if self._sim is None:
+            self._sim = BatchEventSimulator(
+                self.circuit, [o.vector for o in self.observations]
+            )
+        return self._sim
+
+    def responses(self) -> dict[str, int]:
+        """The implementation's output signature ``{output: word}``.
+
+        Cached — this is the faulty circuit's observed behaviour on all
+        tests, the quantity several pre-refactor entry points re-derived
+        with one scalar simulation per test.
+        """
+        if self._responses is None:
+            self._responses = dict(self.sim.output_words())
+        return dict(self._responses)
+
+    def failing_word(self) -> int:
+        """Bit ``j`` set iff observation ``j`` actually fails (the
+        implementation's value at ``o_j`` differs from ``v_j``)."""
+        responses = self.responses()
+        word = 0
+        for j, obs in enumerate(self.observations):
+            if ((responses[obs.output] >> j) & 1) != obs.value:
+                word |= 1 << j
+        return word
+
+    def observation_values(self, j: int) -> dict[str, int]:
+        """Full signal valuation of observation ``j`` (from the shared
+        lane simulator — no per-test scalar re-simulation)."""
+        if not 0 <= j < self.m:
+            raise IndexError(f"observation index {j} out of range")
+        return self.sim.pattern_values(j)
+
+    def what_if(self, forces: Mapping[str, object]) -> np.ndarray:
+        """Output lanes with ``forces`` applied (then reverted).
+
+        ``forces`` maps signal names to 0/1 constants or per-test uint64
+        lane words — candidate application per test-lane on the one
+        shared simulator.
+        """
+        sim = self.sim
+        try:
+            for name, value in forces.items():
+                sim.force(name, value)
+            return sim.output_lanes()
+        finally:
+            for name in forces:
+                sim.unforce(name)
+
+    def want_care_lanes(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """``(want, care, lanes)`` — per-output goal words for all tests.
+
+        The session-cached form of :func:`repro.diagnosis.validity.
+        want_care_lanes`: bit ``j`` of ``care[o]`` is set iff observation
+        ``j`` constrains output ``o``; ``want`` carries the required
+        value there.
+        """
+        if self._want_care is None:
+            self._want_care = want_care_lanes(
+                self.circuit, self.tests, self.constrain_all_outputs
+            )
+        return self._want_care
+
+    def rectified_word(self, lanes: np.ndarray) -> int:
+        """Which observations an output-lane matrix satisfies, as a word."""
+        want, care, _ = self.want_care_lanes()
+        miss = np.bitwise_or.reduce((lanes ^ want) & care, axis=0)
+        return self.all_mask & ~_lanes_to_word(miss, self.all_mask)
+
+    def levels(self) -> dict[str, int]:
+        if self._levels is None:
+            self._levels = levels(self.circuit)
+        return self._levels
+
+    def fanin_gates(self, output: str) -> frozenset[str]:
+        """Functional gates in the fan-in cone of ``output`` (cached).
+
+        Sound conflict structure: a correction that rectifies a failing
+        observation at ``output`` must change the output's value, so it
+        must contain at least one gate of this cone.
+        """
+        cached = self._fanin_cones.get(output)
+        if cached is None:
+            gates = set(self.circuit.gate_names)
+            cached = frozenset(
+                fanin_cone(self.circuit, output, include_self=True) & gates
+            )
+            self._fanin_cones[output] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # candidate evaluation
+    # ------------------------------------------------------------------
+    def rect_word(self, candidate: Iterable[str]) -> int:
+        """Rectification word of ``candidate``: bit ``j`` set iff
+        observation ``j`` is rectifiable by changing these gates.
+
+        Memoized.  The fast path covers observations some member gate
+        rectifies alone (one fault-parallel sweep amortized over the
+        whole pool); residual observations get the exact ``2^|C|``
+        bit-parallel forced-value check (SAT above the size limit).
+        """
+        gates = frozenset(candidate)
+        cached = self._rect_words.get(gates)
+        if cached is not None:
+            return cached
+        word = 0
+        if gates:
+            singles = self.space().singleton_rect_words()
+            for g in gates:
+                single = singles.get(g)
+                if single is None:
+                    node = self.circuit.nodes.get(g)
+                    if node is None or not node.is_functional:
+                        # Not a pool gate (e.g. a primary-input fault
+                        # site): no singleton fast path; the exact check
+                        # below keeps the legacy forced-value semantics.
+                        continue
+                    single = self.space((g,)).singleton_rect_words()[g]
+                word |= single
+        if word != self.all_mask:
+            gate_list = tuple(sorted(gates))
+            for j, test in enumerate(self.tests):
+                if (word >> j) & 1:
+                    continue
+                if rectifiable_by_forcing(
+                    self.circuit,
+                    test,
+                    gate_list,
+                    self.constrain_all_outputs,
+                ):
+                    word |= 1 << j
+        self._rect_words[gates] = word
+        return word
+
+    def score(self, candidate: Iterable[str]) -> int:
+        """Number of observations ``candidate`` can rectify (0..m)."""
+        return self.rect_word(candidate).bit_count()
+
+    def consistent(self, candidate: Iterable[str]) -> bool:
+        """Definition 3: is ``candidate`` a valid correction for all
+        observations?"""
+        return self.rect_word(candidate) == self.all_mask
+
+    def refine(self, suspects: Iterable[str]) -> "CandidateSpace":
+        """Narrow the candidate space to ``suspects`` (caches shared)."""
+        return self.space(tuple(suspects))
+
+    def space(
+        self, suspects: Sequence[str] | None = None
+    ) -> "CandidateSpace":
+        """The (optionally refined) candidate space over this session."""
+        key = None if suspects is None else tuple(dict.fromkeys(suspects))
+        cached = self._spaces.get(key)
+        if cached is None:
+            cached = CandidateSpace(self, key)
+            self._spaces[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # cached strategy substrate
+    # ------------------------------------------------------------------
+    def sim_result(
+        self, policy: str = "first", seed: int = 0
+    ) -> SimDiagnosisResult:
+        """``BasicSimDiagnose`` over this session's observations, cached.
+
+        Identical result to :func:`repro.diagnosis.pathtrace.
+        basic_sim_diagnose` by construction — both run the shared
+        :func:`~repro.diagnosis.pathtrace.trace_tests` loop, here with
+        signal valuations from the shared lane simulator instead of one
+        scalar simulation per test.
+        """
+        key = (policy, seed)
+        cached = self._sim_results.get(key)
+        if cached is not None:
+            return cached
+        level_map = (
+            self.levels() if policy in ("lowest", "highest") else None
+        )
+        result = trace_tests(
+            self.circuit,
+            self.tests,
+            lambda j, test: self.observation_values(j),
+            policy=policy,
+            seed=seed,
+            level_map=level_map,
+        )
+        self._sim_results[key] = result
+        return result
+
+    def instance(
+        self,
+        k_max: int,
+        suspects: Sequence[str] | None = None,
+        select_zero_clauses: bool = False,
+    ):
+        """A fresh SAT diagnosis instance over this session's tests.
+
+        Solver state is mutable (enumeration adds blocking clauses), so
+        instances are deliberately *not* cached — only their inputs are.
+        """
+        from .satdiag import build_diagnosis_instance
+
+        return build_diagnosis_instance(
+            self.circuit,
+            self.tests,
+            k_max=k_max,
+            suspects=suspects,
+            constrain_all_outputs=self.constrain_all_outputs,
+            select_zero_clauses=select_zero_clauses,
+        )
+
+    def rectify_solver(
+        self, j: int, pool: Sequence[str]
+    ) -> tuple[Solver, dict[str, int]]:
+        """Incremental per-observation solver for conflict extraction.
+
+        Encodes one copy of the circuit under observation ``j`` with a
+        correction multiplexer at every ``pool`` gate and the output
+        constrained to its correct value.  Solving under assumptions
+        ``¬s_g`` for the gates *outside* a candidate decides whether the
+        candidate can rectify the observation; on UNSAT the solver's
+        assumption core is a sound conflict: every valid correction for
+        the observation selects at least one gate of the core.  Cached
+        per ``(observation, pool)`` so the implicit-hitting-set loop
+        reuses learned clauses across rounds.
+        """
+        if not 0 <= j < self.m:
+            raise IndexError(f"observation index {j} out of range")
+        pool_key = tuple(dict.fromkeys(pool))
+        cached = self._rectify_solvers.get((j, pool_key))
+        if cached is not None:
+            return cached
+        obs = self.observations[j]
+        pool_set = set(pool_key)
+        cnf = CNF()
+        select_of = {g: cnf.new_var(f"s:{g}") for g in pool_key}
+        var_of: dict[str, int] = {}
+        for name in self.circuit.topological_order():
+            gate = self.circuit.node(name)
+            if gate.is_input:
+                var = cnf.new_var(f"x:{name}")
+                var_of[name] = var
+                cnf.add_clause([var if obs.vector[name] else -var])
+                continue
+            fanin_vars = [var_of[f] for f in gate.fanins]
+            if name in pool_set:
+                raw = cnf.new_var(f"x:{name}:raw")
+                encode_gate(cnf, gate.gtype, raw, fanin_vars)
+                c_var = cnf.new_var(f"c:{name}")
+                eff = cnf.new_var(f"x:{name}")
+                encode_mux(cnf, eff, select_of[name], c_var, raw)
+                var_of[name] = eff
+            else:
+                var = cnf.new_var(f"x:{name}")
+                encode_gate(cnf, gate.gtype, var, fanin_vars)
+                var_of[name] = var
+        if self.constrain_all_outputs:
+            assert obs.expected_outputs is not None
+            for out in self.circuit.outputs:
+                want = obs.expected_outputs[out]
+                cnf.add_clause([var_of[out] if want else -var_of[out]])
+        else:
+            out_var = var_of[obs.output]
+            cnf.add_clause([out_var if obs.value else -out_var])
+        solver = cnf.to_solver()
+        self._rectify_solvers[(j, pool_key)] = (solver, select_of)
+        return solver, select_of
+
+
+class CandidateSpace:
+    """A suspect pool with lazy, engine-backed per-gate scoring.
+
+    Two engines compute the same per-gate view of the space:
+
+    * the fault-parallel sweep / shared-sim what-ifs give each gate's
+      *rectification word* (forcing a single value at the gate is a
+      stuck-at signature, so candidate ``{g}`` rectifies observation
+      ``j`` iff one of the two forced responses realizes the correct
+      value there);
+    * the vectorized deductive engine's fault lists
+      (:func:`repro.sim.deductive_numpy.deductive_fault_lists_numpy`)
+      give, per observation, the gates whose single stuck-at flips the
+      failing output — the same sets, derived from fault-list algebra
+      (the differential suite asserts the agreement).
+
+    Both views feed the search strategies: rectification words are the
+    greedy-stochastic search's cheap consistency oracle; the per-
+    observation sets are the implicit-hitting-set loop's seed MCSes.
+    """
+
+    def __init__(
+        self,
+        session: DiagnosisSession,
+        pool: Sequence[str] | None = None,
+    ) -> None:
+        self.session = session
+        if pool is None:
+            self.pool: tuple[str, ...] = session.circuit.gate_names
+        else:
+            self.pool = tuple(dict.fromkeys(pool))
+            for g in self.pool:
+                if not session.circuit.node(g).is_functional:
+                    raise ValueError(
+                        f"suspect {g!r} is not a functional gate"
+                    )
+        self._singleton_words: dict[str, int] | None = None
+        self._fault_list_sets: tuple[frozenset[str], ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+    # -- engine 1: forced-value what-ifs --------------------------------
+    def singleton_rect_words(self, engine: str = "auto") -> dict[str, int]:
+        """Per-gate rectification words, one engine sweep for the pool.
+
+        Delegates to :func:`repro.diagnosis.validity.
+        single_gate_rect_words` (one implementation for the screen and
+        the session): ``engine="batch"`` stacks both stuck-at polarities
+        of every pool gate on the fault-parallel batch axis (best when
+        most of the circuit is in play); ``engine="event"`` walks the
+        pool on the session's shared lane simulator, paying only each
+        gate's fanout cone (best for small refined pools).  ``"auto"``
+        picks by pool fraction.  Identical results either way.
+        """
+        if self._singleton_words is not None:
+            return dict(self._singleton_words)
+        if engine not in ("auto", "batch", "event"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'auto', 'batch' or "
+                "'event'"
+            )
+        session = self.session
+        if engine == "auto":
+            engine = (
+                "event"
+                if len(self.pool) * 4 < session.circuit.num_gates
+                else "batch"
+            )
+        words = single_gate_rect_words(
+            session.circuit,
+            session.tests,
+            self.pool,
+            session.constrain_all_outputs,
+            engine=engine,
+            sim=session.sim if engine == "event" else None,
+        )
+        self._singleton_words = words
+        return dict(words)
+
+    def singletons(self) -> list[str]:
+        """Pool gates that are valid size-1 corrections, pool order."""
+        words = self.singleton_rect_words()
+        mask = self.session.all_mask
+        return [g for g in self.pool if words[g] == mask]
+
+    def marks(self) -> dict[str, int]:
+        """Engine-backed per-gate score: how many observations each gate
+        can rectify alone (the effect-analysis analogue of BSIM's
+        ``M(g)`` mark counts)."""
+        words = self.singleton_rect_words()
+        return {g: words[g].bit_count() for g in self.pool}
+
+    def rectifying_gates(self, j: int) -> frozenset[str]:
+        """Pool gates whose single forced value rectifies observation
+        ``j`` — the observation's size-1 minimal correction sets."""
+        if not 0 <= j < self.session.m:
+            raise IndexError(f"observation index {j} out of range")
+        words = self.singleton_rect_words()
+        return frozenset(
+            g for g in self.pool if (words[g] >> j) & 1
+        )
+
+    # -- engine 2: deductive fault lists --------------------------------
+    def fault_list_candidates(self, j: int) -> frozenset[str]:
+        """Observation ``j``'s candidates from deductive fault lists.
+
+        Uses the vectorized deductive engine: a gate's stuck-at flips
+        the observed output iff forcing the gate *changes* that output's
+        value.  For a **failing** observation (Definition 1 tests fail by
+        construction) changing the erroneous value is rectifying it, so
+        this equals :meth:`rectifying_gates` — computed through an
+        independent engine (all observations propagated in one bitset
+        pass; the differential suite asserts the agreement on failing
+        observations).  For an already-passing observation the two
+        notions diverge: this returns the output *flippers* (breakers),
+        while :meth:`rectifying_gates` returns near-everything — use
+        :meth:`~DiagnosisSession.failing_word` to distinguish.  Under
+        all-outputs semantics the fault lists of every output are
+        combined with the golden mismatch pattern.
+        """
+        if self._fault_list_sets is None:
+            self._fault_list_sets = self._compute_fault_list_sets()
+        return self._fault_list_sets[j]
+
+    def _compute_fault_list_sets(self) -> tuple[frozenset[str], ...]:
+        from ..sim.deductive_numpy import deductive_output_fault_lists
+
+        session = self.session
+        faults = [
+            StuckAtFault(gate, value)
+            for gate in self.pool
+            for value in (0, 1)
+        ]
+        # One vectorized block pass computes every observation's output
+        # fault lists at once (instead of one propagation per test).
+        per_observation = deductive_output_fault_lists(
+            session.circuit,
+            [dict(o.vector) for o in session.observations],
+            faults=faults,
+        )
+        responses = session.responses()
+        sets: list[frozenset[str]] = []
+        for j, obs in enumerate(session.observations):
+            lists = per_observation[j]
+            if session.constrain_all_outputs:
+                assert obs.expected_outputs is not None
+                candidates: set[str] = set()
+                for gate in self.pool:
+                    for value in (0, 1):
+                        fault = StuckAtFault(gate, value)
+                        # The forced value fixes the observation iff it
+                        # flips exactly the outputs that currently
+                        # mismatch the golden response.
+                        if all(
+                            (fault in lists[out])
+                            == (
+                                ((responses[out] >> j) & 1)
+                                != obs.expected_outputs[out]
+                            )
+                            for out in session.circuit.outputs
+                        ):
+                            candidates.add(gate)
+                            break
+                sets.append(frozenset(candidates))
+            else:
+                out_list = lists[obs.output]
+                sets.append(
+                    frozenset(
+                        gate
+                        for gate in self.pool
+                        if StuckAtFault(gate, 0) in out_list
+                        or StuckAtFault(gate, 1) in out_list
+                    )
+                )
+        return tuple(sets)
+
+    # -- structural conflicts -------------------------------------------
+    def cone_conflict(self, j: int) -> frozenset[str]:
+        """Sound conflict for observation ``j``: pool gates in the
+        failing output's fan-in cone (every valid correction for the
+        observation intersects it)."""
+        cone = self.session.fanin_gates(self.session.observations[j].output)
+        return frozenset(g for g in self.pool if g in cone)
+
+    # -- delegation ------------------------------------------------------
+    def score(self, candidate: Iterable[str]) -> int:
+        return self.session.score(candidate)
+
+    def consistent(self, candidate: Iterable[str]) -> bool:
+        return self.session.consistent(candidate)
+
+
+# ----------------------------------------------------------------------
+# strategy registry
+# ----------------------------------------------------------------------
+
+#: Signature every registered strategy shares.
+Strategy = Callable[..., SolutionSetResult]
+
+#: Name → (strategy, summary).  The diagnosis twin of the ATPG
+#: ``_SIM_ENGINES`` registry: one place enumerating every search loop
+#: that can run on a :class:`DiagnosisSession`.
+DIAGNOSIS_STRATEGIES: dict[str, tuple[Strategy, str]] = {}
+
+
+def register_strategy(
+    name: str, summary: str
+) -> Callable[[Strategy], Strategy]:
+    """Class-register a strategy ``(session, k, **options) -> result``."""
+
+    def deco(fn: Strategy) -> Strategy:
+        if name in DIAGNOSIS_STRATEGIES:
+            raise ValueError(f"strategy {name!r} registered twice")
+        DIAGNOSIS_STRATEGIES[name] = (fn, summary)
+        return fn
+
+    return deco
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(DIAGNOSIS_STRATEGIES))
+
+
+def get_strategy(name: str) -> Strategy:
+    try:
+        return DIAGNOSIS_STRATEGIES[name][0]
+    except KeyError:
+        raise ValueError(
+            f"unknown diagnosis strategy {name!r}; choose from "
+            f"{available_strategies()}"
+        ) from None
+
+
+def diagnose(
+    circuit: Circuit | DiagnosisSession,
+    tests: TestSet | Iterable[Test] | None = None,
+    k: int | None = None,
+    strategy: str = "bsat",
+    **options,
+) -> SolutionSetResult:
+    """Run one registered strategy on ``(circuit, tests)``.
+
+    Accepts a prepared :class:`DiagnosisSession` in place of the circuit
+    (with ``tests=None``) so several strategies can share one session's
+    caches — the cross-strategy benches race them that way.
+
+    ``k=None`` (the default) leaves the cardinality to the strategy's
+    own default: the enumerative strategies use ``k=1`` while the search
+    loops (``greedy-stochastic``, ``ihs``) determine the cardinality
+    themselves — passing a hard ``k=1`` to those would silently hide
+    every multi-gate correction.
+    """
+    if isinstance(circuit, DiagnosisSession):
+        session = circuit
+        if tests is not None:
+            raise ValueError("pass either a session or (circuit, tests)")
+    else:
+        if tests is None:
+            raise ValueError("tests are required with a circuit argument")
+        session = DiagnosisSession(circuit, tests)
+    fn = get_strategy(strategy)
+    if k is None:
+        return fn(session, **options)
+    return fn(session, k, **options)
+
+
+@register_strategy(
+    "single-fix",
+    "session-native screen: all valid single-gate corrections, one sweep",
+)
+def _single_fix_strategy(
+    session: DiagnosisSession, k: int = 1, pool: Sequence[str] | None = None
+) -> SolutionSetResult:
+    """All size-1 corrections via the space's singleton sweep."""
+    start = time.perf_counter()
+    space = session.space(pool)
+    singles = space.singletons()
+    t_all = time.perf_counter() - start
+    return SolutionSetResult(
+        approach="single-fix",
+        k=1,
+        solutions=tuple(frozenset({g}) for g in singles),
+        complete=True,
+        t_build=0.0,
+        t_first=t_all,
+        t_all=t_all,
+        extras={"pool_size": len(space), "marks": space.marks()},
+    )

@@ -30,6 +30,7 @@ from ..sat.cnf import CNF
 from ..sat.enumerate import enumerate_solutions
 from ..testgen.testset import TestSet
 from .base import Correction, SimDiagnosisResult, SolutionSetResult
+from .core import DiagnosisSession, register_strategy
 from .pathtrace import basic_sim_diagnose
 
 __all__ = ["minimal_covers_sat", "minimal_covers_bnb", "sc_diagnose"]
@@ -136,17 +137,21 @@ def sc_diagnose(
     sim_result: SimDiagnosisResult | None = None,
     solution_limit: int | None = None,
     conflict_limit: int | None = None,
+    session: DiagnosisSession | None = None,
 ) -> SolutionSetResult:
     """``SCDiagnose(I, T, k)`` — Fig. 4 of the paper (the COV approach).
 
-    Step (1) runs ``BasicSimDiagnose`` (or reuses ``sim_result``); step (2)
-    enumerates all minimal covers of the candidate sets up to size ``k``.
+    Step (1) runs ``BasicSimDiagnose`` (or reuses ``sim_result``, or the
+    ``session``'s cached path-tracing result); step (2) enumerates all
+    minimal covers of the candidate sets up to size ``k``.
     """
     if method not in ("sat", "bnb"):
         raise ValueError("method must be 'sat' or 'bnb'")
     build_start = time.perf_counter()
     if sim_result is None:
-        sim_result = basic_sim_diagnose(circuit, tests, policy=policy)
+        sim_result = basic_sim_diagnose(
+            circuit, tests, policy=policy, session=session
+        )
     t_build = time.perf_counter() - build_start
 
     search_start = time.perf_counter()
@@ -175,4 +180,15 @@ def sc_diagnose(
         t_first=t_all,
         t_all=t_all,
         extras={"sim_result": sim_result, "method": method},
+    )
+
+
+@register_strategy(
+    "cov", "SCDiagnose: minimal covers of the path-tracing candidate sets"
+)
+def _cov_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return sc_diagnose(
+        session.circuit, session.tests, k, session=session, **options
     )

@@ -1,0 +1,232 @@
+"""Greedy stochastic diagnosis search (Feldman/Provan/van Gemund, SAFARI).
+
+*Approximate Model-Based Diagnosis Using Greedy Stochastic Search*
+(PAPERS.md) trades completeness for speed: instead of enumerating every
+correction the way BSAT does, SAFARI runs a number of randomized climbs.
+Each climb starts from a trivially consistent candidate — here the whole
+suspect pool, which can always realize the correct responses — and
+repeatedly tries to *retract* a random gate, keeping the retraction
+whenever the shrunk candidate is still consistent with every observation;
+after ``patience`` consecutive failed retractions the climb stops and a
+deterministic sweep trims the survivor to a subset-minimal candidate.
+
+The search never re-simulates from scratch: all observations live as
+uint64 lanes in one shared :class:`~repro.diagnosis.core.DiagnosisSession`
+and every gate's *rectification word* (which observations one forced
+value at the gate fixes) comes from a single fault-parallel sweep.  A
+retraction is then a word-algebra question — does the remaining pool
+still cover every observation? — tracked incrementally with per-
+observation cover counts, exactly the "cheap candidate application per
+test-lane" the vectorized substrate was built for.  Candidates whose
+cover check fails may still be consistent through multi-gate effects;
+``deep_check`` escalates those to the session's exact (bit-parallel /
+SAT) oracle.
+
+Every reported candidate is verified consistent — valid corrections in
+the sense of Definition 3 — but unlike BSAT the set of candidates is a
+sample, not an enumeration, and minimality is with respect to the checks
+performed (subset-minimal under ``deep_check``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Sequence
+
+from ..circuits.netlist import Circuit
+from ..testgen.testset import TestSet
+from .base import Correction, SolutionSetResult
+from .core import DiagnosisSession, register_strategy
+
+__all__ = ["greedy_stochastic_diagnose"]
+
+#: Above this candidate size the exact consistency oracle is skipped
+#: during minimization (the 2^|C| bit-parallel check would blow up and
+#: the SAT fallback dominates the climb); the cover-word check alone is
+#: still sound, only minimality may be coarser.
+_DEEP_CHECK_LIMIT = 12
+
+
+def _minimize(
+    session: DiagnosisSession,
+    words: dict[str, int],
+    candidate: list[str],
+    rng: random.Random,
+    patience: int,
+    deep_check: bool,
+) -> Correction:
+    """One SAFARI climb: stochastic retraction, then deterministic trim.
+
+    ``candidate`` must be consistent on entry (its cover words span all
+    observations, or it was deep-checked).  Retractions keep the cover
+    invariant: gate ``g`` may leave while every observation it covers is
+    covered by another remaining gate; when the cover check blocks a
+    retraction and the candidate is small, the exact oracle gets the
+    final say.
+    """
+    counts = [0] * session.m
+    for g in candidate:
+        w = words[g]
+        for j in range(session.m):
+            if (w >> j) & 1:
+                counts[j] += 1
+    current = list(candidate)
+    misses = 0
+    while misses < patience and len(current) > 1:
+        g = current[rng.randrange(len(current))]
+        if _can_retract(session, words, counts, current, g, deep_check):
+            _retract(words, counts, current, g)
+            misses = 0
+        else:
+            misses += 1
+    # Deterministic trim to a subset-minimal candidate: one full pass in
+    # random order; a second pass is never needed because retraction
+    # opportunities only shrink as gates leave... except through exact
+    # multi-gate effects, so loop until a full pass retracts nothing.
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        order = list(current)
+        rng.shuffle(order)
+        for g in order:
+            if len(current) == 1:
+                break
+            if g in current and _can_retract(
+                session, words, counts, current, g, deep_check
+            ):
+                _retract(words, counts, current, g)
+                changed = True
+    return frozenset(current)
+
+
+def _can_retract(
+    session: DiagnosisSession,
+    words: dict[str, int],
+    counts: list[int],
+    current: list[str],
+    gate: str,
+    deep_check: bool,
+) -> bool:
+    # The cover argument is only sound while the *whole* candidate is
+    # cover-consistent (every observation covered by some member's own
+    # rectification word).  Once consistency rests on a multi-gate
+    # effect (some count is 0), every retraction needs the exact oracle.
+    if all(counts):
+        w = words[gate]
+        if all(counts[j] > 1 for j in range(session.m) if (w >> j) & 1):
+            return True
+    if deep_check and len(current) - 1 <= _DEEP_CHECK_LIMIT:
+        return session.consistent([g for g in current if g != gate])
+    return False
+
+
+def _retract(
+    words: dict[str, int], counts: list[int], current: list[str], gate: str
+) -> None:
+    current.remove(gate)
+    w = words[gate]
+    for j in range(len(counts)):
+        if (w >> j) & 1:
+            counts[j] -= 1
+
+
+def greedy_stochastic_diagnose(
+    circuit: Circuit,
+    tests: TestSet,
+    k: int | None = None,
+    retries: int = 16,
+    patience: int = 6,
+    seed: int = 0,
+    pool: Sequence[str] | None = None,
+    max_solutions: int | None = None,
+    deep_check: bool = True,
+    session: DiagnosisSession | None = None,
+) -> SolutionSetResult:
+    """SAFARI-style greedy stochastic search for valid corrections.
+
+    Parameters
+    ----------
+    k:
+        Keep only candidates with at most ``k`` gates (None: keep every
+        minimal candidate found).
+    retries:
+        Number of independent randomized climbs.
+    patience:
+        Consecutive failed retractions before a climb settles.
+    pool:
+        Suspect pool (default: every functional gate).
+    deep_check:
+        Escalate blocked retractions of small candidates to the exact
+        consistency oracle (catches multi-gate corrections the cover
+        words cannot see).
+    session:
+        Reuse a prepared session (shared caches) instead of building one.
+
+    Returns a :class:`SolutionSetResult` (``approach="SAFARI"``); every
+    solution is a verified valid correction.  ``complete`` is always
+    False — the search is a sample of the solution space by design.
+    """
+    start = time.perf_counter()
+    if session is None:
+        session = DiagnosisSession(circuit, tests)
+    space = session.space(pool)
+    words = space.singleton_rect_words()
+    t_build = time.perf_counter() - start
+
+    search_start = time.perf_counter()
+    t_first: float | None = None
+    solutions: list[Correction] = []
+    seen: set[Correction] = set()
+    full = list(space.pool)
+    cover = 0
+    for g in full:
+        cover |= words[g]
+    pool_consistent = cover == session.all_mask or session.consistent(full)
+    climbs = 0
+    if pool_consistent:
+        for r in range(retries):
+            if max_solutions is not None and len(solutions) >= max_solutions:
+                break
+            rng = random.Random(seed * 1_000_003 + r)
+            minimal = _minimize(
+                session, words, list(full), rng, patience, deep_check
+            )
+            climbs += 1
+            if minimal in seen:
+                continue
+            seen.add(minimal)
+            if k is not None and len(minimal) > k:
+                continue
+            solutions.append(minimal)
+            if t_first is None:
+                t_first = time.perf_counter() - search_start
+    t_all = time.perf_counter() - search_start
+    solutions.sort(key=lambda s: (len(s), sorted(s)))
+    return SolutionSetResult(
+        approach="SAFARI",
+        k=k if k is not None else max((len(s) for s in solutions), default=0),
+        solutions=tuple(solutions),
+        complete=False,
+        t_build=t_build,
+        t_first=t_first if t_first is not None else t_all,
+        t_all=t_all,
+        extras={
+            "pool_size": len(space),
+            "climbs": climbs,
+            "pool_consistent": pool_consistent,
+            "distinct_minima": len(seen),
+        },
+    )
+
+
+@register_strategy(
+    "greedy-stochastic",
+    "SAFARI climbs: retract-at-random over cover words, verified valid",
+)
+def _greedy_strategy(
+    session: DiagnosisSession, k: int | None = None, **options
+) -> SolutionSetResult:
+    return greedy_stochastic_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )

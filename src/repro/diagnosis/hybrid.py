@@ -17,6 +17,12 @@ here as "the initial steps towards building a hybrid technique":
    multiplexers are inserted only in a structural neighbourhood of the
    initial correction, with the radius grown until valid corrections
    appear.  The search space per attempt is a small fraction of BSAT's.
+
+Both ride one :class:`~repro.diagnosis.core.DiagnosisSession`: the
+path-tracing guidance comes from the session's cached result (the
+pre-refactor code re-simulated the implementation once per test, per
+call) and instance construction goes through the session, so repeated
+hybrid calls on the same problem share every derived artifact.
 """
 
 from __future__ import annotations
@@ -28,8 +34,8 @@ from typing import Iterable, Sequence
 from ..circuits.netlist import Circuit
 from ..testgen.testset import TestSet
 from .base import Correction, SimDiagnosisResult, SolutionSetResult
-from .pathtrace import basic_sim_diagnose
-from .satdiag import basic_sat_diagnose, build_diagnosis_instance
+from .core import DiagnosisSession, register_strategy
+from .satdiag import basic_sat_diagnose
 
 __all__ = [
     "pt_guided_sat_diagnose",
@@ -47,6 +53,7 @@ def pt_guided_sat_diagnose(
     activity_scale: float = 10.0,
     sim_result: SimDiagnosisResult | None = None,
     select_zero_clauses: bool = False,
+    session: DiagnosisSession | None = None,
     **kwargs,
 ) -> SolutionSetResult:
     """Hybrid 1: seed the SAT decision heuristic with path-tracing marks.
@@ -55,14 +62,15 @@ def pt_guided_sat_diagnose(
     ``phase_top`` select variables with the highest marks also get their
     phase preset to 1 (try "this gate is the error" first).
     """
+    if session is None:
+        session = DiagnosisSession(circuit, tests)
     start = time.perf_counter()
     if sim_result is None:
-        sim_result = basic_sim_diagnose(circuit, tests, policy=policy)
-    instance = build_diagnosis_instance(
-        circuit,
-        tests,
-        k_max=k,
-        select_zero_clauses=select_zero_clauses,
+        # Cached on the session: the guidance pass costs nothing when the
+        # caller (or an earlier strategy) already path-traced these tests.
+        sim_result = session.sim_result(policy=policy)
+    instance = session.instance(
+        k, select_zero_clauses=select_zero_clauses
     )
     marks = sim_result.marks
     for gate, select_var in instance.select_of.items():
@@ -121,6 +129,7 @@ def repair_correction_sat(
     k: int | None = None,
     max_radius: int | None = None,
     select_zero_clauses: bool = False,
+    session: DiagnosisSession | None = None,
     **kwargs,
 ) -> SolutionSetResult:
     """Hybrid 2: repair a (possibly invalid) initial correction with SAT.
@@ -129,13 +138,16 @@ def repair_correction_sat(
     growing the radius from 0 until solutions appear (or ``max_radius`` is
     exhausted, falling back to the full gate set).  ``k`` defaults to
     ``len(initial)`` — the repair looks for a correction of the same size
-    near the initial guess.
+    near the initial guess.  All per-radius instances are built through
+    the shared session.
     """
     initial = frozenset(initial)
     if not initial:
         raise ValueError("initial correction must not be empty")
     if k is None:
         k = len(initial)
+    if session is None:
+        session = DiagnosisSession(circuit, tests)
     start = time.perf_counter()
     if max_radius is None:
         max_radius = 6
@@ -151,6 +163,7 @@ def repair_correction_sat(
             suspects=suspects,
             select_zero_clauses=select_zero_clauses,
             approach_name="HYBRID/repair",
+            session=session,
             **kwargs,
         )
         last = result
@@ -176,6 +189,7 @@ def repair_correction_sat(
         k,
         select_zero_clauses=select_zero_clauses,
         approach_name="HYBRID/repair-fallback",
+        session=session,
         **kwargs,
     )
     extras = dict(result.extras)
@@ -190,4 +204,34 @@ def repair_correction_sat(
         t_first=result.t_first,
         t_all=time.perf_counter() - start,
         extras=extras,
+    )
+
+
+@register_strategy(
+    "pt-guided", "BSAT with VSIDS activity/phase seeded from path tracing"
+)
+def _pt_guided_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return pt_guided_sat_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )
+
+
+@register_strategy(
+    "repair", "SAT repair of an initial correction inside a neighbourhood"
+)
+def _repair_strategy(
+    session: DiagnosisSession,
+    k: int | None = None,
+    initial: Correction | Sequence[str] = (),
+    **options,
+) -> SolutionSetResult:
+    return repair_correction_sat(
+        session.circuit,
+        session.tests,
+        initial,
+        k,
+        session=session,
+        **options,
     )

@@ -33,7 +33,7 @@ from ..sim.logicsim import simulate
 from ..testgen.testset import TestSet
 from .base import SimDiagnosisResult
 
-__all__ = ["path_trace", "basic_sim_diagnose", "POLICIES"]
+__all__ = ["path_trace", "trace_tests", "basic_sim_diagnose", "POLICIES"]
 
 POLICIES = ("first", "lowest", "highest", "random", "all")
 
@@ -94,28 +94,33 @@ def path_trace(
     return frozenset(candidates)
 
 
-def basic_sim_diagnose(
+def trace_tests(
     circuit: Circuit,
     tests: TestSet,
+    values_of,
     policy: str = "first",
     seed: int = 0,
+    level_map: Mapping[str, int] | None = None,
 ) -> SimDiagnosisResult:
-    """``BasicSimDiagnose`` (BSIM): run path tracing for every test.
+    """The BSIM loop over an arbitrary valuation provider.
 
-    Simulates the faulty implementation under each test vector and traces
-    from the erroneous output.  Returns the per-test candidate sets, mark
-    counts ``M(g)`` and runtime.
+    ``values_of(j, test)`` must return the full signal valuation of test
+    ``j`` — scalar simulation for the standalone entry point, the shared
+    lane simulator for a :class:`~repro.diagnosis.core.DiagnosisSession`.
+    Keeping the rng threading, level-map handling and mark accumulation
+    in one place is what makes the two paths bit-identical by
+    construction.
     """
     rng = random.Random(seed)
-    level_map = levels(circuit) if policy in ("lowest", "highest") else None
+    if level_map is None and policy in ("lowest", "highest"):
+        level_map = levels(circuit)
     start = time.perf_counter()
     candidate_sets: list[frozenset[str]] = []
     marks: dict[str, int] = {}
-    for test in tests:
-        values = simulate(circuit, test.vector)
+    for j, test in enumerate(tests):
         cand = path_trace(
             circuit,
-            values,
+            values_of(j, test),
             test.output,
             policy=policy,
             rng=rng,
@@ -124,9 +129,37 @@ def basic_sim_diagnose(
         candidate_sets.append(cand)
         for g in cand:
             marks[g] = marks.get(g, 0) + 1
-    runtime = time.perf_counter() - start
     return SimDiagnosisResult(
         candidate_sets=tuple(candidate_sets),
         marks=marks,
-        runtime=runtime,
+        runtime=time.perf_counter() - start,
+    )
+
+
+def basic_sim_diagnose(
+    circuit: Circuit,
+    tests: TestSet,
+    policy: str = "first",
+    seed: int = 0,
+    session=None,
+) -> SimDiagnosisResult:
+    """``BasicSimDiagnose`` (BSIM): run path tracing for every test.
+
+    Simulates the faulty implementation under each test vector and traces
+    from the erroneous output.  Returns the per-test candidate sets, mark
+    counts ``M(g)`` and runtime.
+
+    With ``session`` (a :class:`~repro.diagnosis.core.DiagnosisSession`)
+    the result comes from the session's cache: the signal valuations ride
+    the shared lane simulator and repeated calls are free.  Results are
+    identical either way (the regression suite pins this).
+    """
+    if session is not None:
+        return session.sim_result(policy=policy, seed=seed)
+    return trace_tests(
+        circuit,
+        tests,
+        lambda j, test: simulate(circuit, test.vector),
+        policy=policy,
+        seed=seed,
     )

@@ -31,6 +31,7 @@ from ..sat.solver import Solver
 from ..sat.tseitin import encode_gate, encode_mux
 from ..testgen.testset import TestSet
 from .base import Correction, SolutionSetResult
+from .core import DiagnosisSession, register_strategy
 
 __all__ = [
     "DiagnosisInstance",
@@ -214,6 +215,7 @@ def basic_sat_diagnose(
     collect_corrections: bool = False,
     instance: DiagnosisInstance | None = None,
     approach_name: str = "BSAT",
+    session: DiagnosisSession | None = None,
 ) -> SolutionSetResult:
     """``BasicSATDiagnose(I, T, k)`` — Fig. 3 of the paper.
 
@@ -224,19 +226,33 @@ def basic_sat_diagnose(
 
     Returns a :class:`SolutionSetResult`; when ``collect_corrections`` is
     set, ``extras["corrections"]`` maps each solution to its per-test
-    injected values.
+    injected values.  A prepared ``session`` supplies the instance
+    construction (same encoding, shared test packing).
     """
     if k < 1:
         raise ValueError("k must be at least 1")
     if instance is None:
-        instance = build_diagnosis_instance(
-            circuit,
-            tests,
-            k_max=k,
-            suspects=suspects,
-            constrain_all_outputs=constrain_all_outputs,
-            select_zero_clauses=select_zero_clauses,
-        )
+        # Only route through the session when its output semantics match
+        # the caller's request — otherwise the session's flag would
+        # silently override ``constrain_all_outputs``.
+        if (
+            session is not None
+            and session.constrain_all_outputs == constrain_all_outputs
+        ):
+            instance = session.instance(
+                k,
+                suspects=suspects,
+                select_zero_clauses=select_zero_clauses,
+            )
+        else:
+            instance = build_diagnosis_instance(
+                circuit,
+                tests,
+                k_max=k,
+                suspects=suspects,
+                constrain_all_outputs=constrain_all_outputs,
+                select_zero_clauses=select_zero_clauses,
+            )
     solver = instance.solver
     select_vars = [instance.select_of[g] for g in instance.suspects]
     solutions: list[Correction] = []
@@ -350,3 +366,23 @@ def auto_k_sat_diagnose(
         t_all=0.0,
         extras={"k_found": None},
     )
+
+
+@register_strategy(
+    "bsat", "BasicSATDiagnose: complete enumeration, essential candidates"
+)
+def _bsat_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return basic_sat_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )
+
+
+@register_strategy(
+    "bsat-auto-k", "BSAT with incrementally determined error cardinality"
+)
+def _auto_k_strategy(
+    session: DiagnosisSession, k: int = 4, **options
+) -> SolutionSetResult:
+    return auto_k_sat_diagnose(session.circuit, session.tests, k_max=k, **options)

@@ -33,6 +33,7 @@ __all__ = [
     "rectifiable_by_forcing",
     "is_valid_correction",
     "valid_single_gate_corrections",
+    "single_gate_rect_words",
     "has_only_essential_candidates",
     "all_valid_corrections",
 ]
@@ -145,37 +146,19 @@ def is_valid_correction(
     )
 
 
-def valid_single_gate_corrections(
-    circuit: Circuit,
-    tests: TestSet | Iterable[Test],
-    pool: Sequence[str],
-    constrain_all_outputs: bool = False,
-    engine: str = "batch",
-) -> list[str]:
-    """All gates of ``pool`` that are valid size-1 corrections, batched.
+def want_care_lanes(
+    circuit: Circuit, tests: TestSet, constrain_all_outputs: bool = False
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """``(want, care, lanes)`` response-goal lanes for a test-set.
 
-    Semantically ``[g for g in pool if is_valid_correction(circuit, tests,
-    (g,))]``, but vectorized: forcing a single gate to a value is a
-    stuck-at signature, so candidate ``{g}`` is valid iff, for every test,
-    the stuck-at-0 or the stuck-at-1 response realizes the correct value.
-    ``engine="batch"`` (default) computes all ``2·|pool|`` signatures in
-    *one* fault-parallel sweep (:mod:`repro.sim.batchfault`) — fastest
-    when most of the circuit is in play; ``engine="event"`` walks the
-    pool on a :class:`~repro.sim.batchevent.BatchEventSimulator`, paying
-    only each candidate's fanout cone — the better trade for a small pool
-    of shallow gates in a big circuit.  Identical results either way (the
-    differential suite asserts this); pool order is preserved.
+    Bit ``j`` of ``care[o]`` is set iff test ``j`` constrains output
+    ``o``; ``want`` carries the required value there.  Single
+    failing-output semantics by default; with ``constrain_all_outputs``
+    every output is constrained to its golden value.  Shared by the
+    single-gate screens below and the
+    :class:`~repro.diagnosis.core.DiagnosisSession` caches.
     """
-    if engine not in ("batch", "event"):
-        raise ValueError(
-            f"unknown engine {engine!r}; choose 'batch' or 'event'"
-        )
-    tests = tests if isinstance(tests, TestSet) else TestSet(tuple(tests))
-    pool = list(pool)
-    if not len(tests) or not pool:
-        return pool
     m = len(tests)
-    patterns = tests.vectors()
     outputs = circuit.outputs
     if constrain_all_outputs:
         for t in tests:
@@ -190,7 +173,7 @@ def valid_single_gate_corrections(
         )
         care = np.broadcast_to(
             _lane_mask(m, lanes), (len(outputs), lanes)
-        )
+        ).copy()
     else:
         # Only the test's erroneous output is constrained: bit j of the
         # care word for output o is set iff test j observes o.
@@ -202,31 +185,74 @@ def valid_single_gate_corrections(
         )
         care = np.stack([care_lanes[out] for out in outputs])
     want = np.stack([want_lanes[out] for out in outputs])
+    return want, care, lanes
+
+
+def _lanes_to_word(lanes: np.ndarray, mask: int) -> int:
+    """Fold a uint64 lane array into one python int word (bit j = test j)."""
+    raw = np.ascontiguousarray(lanes).astype("<u8", copy=False)
+    return int.from_bytes(raw.tobytes(), "little") & mask
+
+
+def single_gate_rect_words(
+    circuit: Circuit,
+    tests: TestSet | Iterable[Test],
+    pool: Sequence[str],
+    constrain_all_outputs: bool = False,
+    engine: str = "batch",
+    sim: BatchEventSimulator | None = None,
+) -> dict[str, int]:
+    """Per-gate *rectification words* over ``pool``, one engine sweep.
+
+    Bit ``j`` of the word for gate ``g`` is set iff some single forced
+    value at ``g`` rectifies test ``j`` (a stuck-at signature realizes
+    the correct response).  ``engine="batch"`` computes all ``2·|pool|``
+    signatures in one fault-parallel sweep (:mod:`repro.sim.batchfault`)
+    — fastest when most of the circuit is in play; ``engine="event"``
+    walks the pool on a :class:`~repro.sim.batchevent.
+    BatchEventSimulator` (``sim`` reuses a prepared one, e.g. a
+    session's), paying only each candidate's fanout cone.  Identical
+    results either way (the differential suite asserts this).
+    """
+    if engine not in ("batch", "event"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'batch' or 'event'"
+        )
+    tests = tests if isinstance(tests, TestSet) else TestSet(tuple(tests))
+    pool = list(pool)
+    if not len(tests) or not pool:
+        return {g: 0 for g in pool}
+    mask = (1 << len(tests)) - 1
+    patterns = tests.vectors()
+    want, care, _ = want_care_lanes(circuit, tests, constrain_all_outputs)
+    words: dict[str, int] = {}
     if engine == "event":
-        sim = BatchEventSimulator(circuit, patterns)
+        if sim is None:
+            sim = BatchEventSimulator(circuit, patterns)
         for gate in pool:  # same rejection as the batch path's sweep
             if gate not in circuit.nodes:
                 raise ValueError(
                     f"fault site {gate!r} is not a signal of "
                     f"circuit {circuit.name!r}"
                 )
-        kept: list[str] = []
         for gate in pool:
             # One word per (value, lane): a set bit marks a test the
-            # forced value fails to rectify.
+            # forced value fails to rectify.  The unforce must run even
+            # on failure: ``sim`` may be a session's shared simulator.
             miss = []
-            for value in (0, 1):
-                sim.force(gate, value)
-                miss.append(
-                    np.bitwise_or.reduce(
-                        (sim.output_lanes() ^ want) & care, axis=0
+            try:
+                for value in (0, 1):
+                    sim.force(gate, value)
+                    miss.append(
+                        np.bitwise_or.reduce(
+                            (sim.output_lanes() ^ want) & care, axis=0
+                        )
                     )
-                )
-            sim.unforce(gate)
+            finally:
+                sim.unforce(gate)
             # Candidate {g} fails a test only when *both* values miss it.
-            if not (miss[0] & miss[1]).any():
-                kept.append(gate)
-        return kept
+            words[gate] = mask & ~_lanes_to_word(miss[0] & miss[1], mask)
+        return words
     faults = [
         StuckAtFault(gate, value) for gate in pool for value in (0, 1)
     ]
@@ -235,8 +261,36 @@ def valid_single_gate_corrections(
     # fails to rectify.
     miss = np.bitwise_or.reduce((fault_lanes ^ want) & care, axis=1)
     # Candidate {g} fails a test only when *both* forced values miss it.
-    bad = (miss[0::2] & miss[1::2]).any(axis=1)
-    return [gate for gate, invalid in zip(pool, bad) if not invalid]
+    for i, gate in enumerate(pool):
+        words[gate] = mask & ~_lanes_to_word(
+            miss[2 * i] & miss[2 * i + 1], mask
+        )
+    return words
+
+
+def valid_single_gate_corrections(
+    circuit: Circuit,
+    tests: TestSet | Iterable[Test],
+    pool: Sequence[str],
+    constrain_all_outputs: bool = False,
+    engine: str = "batch",
+) -> list[str]:
+    """All gates of ``pool`` that are valid size-1 corrections, batched.
+
+    Semantically ``[g for g in pool if is_valid_correction(circuit, tests,
+    (g,))]``, but vectorized through :func:`single_gate_rect_words`: a
+    gate is valid alone iff its rectification word covers every test.
+    Pool order is preserved.
+    """
+    tests = tests if isinstance(tests, TestSet) else TestSet(tuple(tests))
+    pool = list(pool)
+    if not len(tests) or not pool:
+        return pool
+    words = single_gate_rect_words(
+        circuit, tests, pool, constrain_all_outputs, engine
+    )
+    mask = (1 << len(tests)) - 1
+    return [g for g in pool if words[g] == mask]
 
 
 def has_only_essential_candidates(

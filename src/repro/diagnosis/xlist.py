@@ -24,6 +24,7 @@ from ..circuits.netlist import Circuit
 from ..sim.threevalued import x_reaches
 from ..testgen.testset import TestSet
 from .base import Correction, SimDiagnosisResult, SolutionSetResult
+from .core import DiagnosisSession, register_strategy
 from .validity import is_valid_correction
 
 __all__ = ["xlist_candidates", "xlist_diagnose"]
@@ -109,3 +110,12 @@ def xlist_diagnose(
         t_all=t_all,
         extras={"sim_result": sim_result, "pool_size": len(pool)},
     )
+
+
+@register_strategy(
+    "xlist", "forward X-injection candidates, optionally verified valid"
+)
+def _xlist_strategy(
+    session: DiagnosisSession, k: int = 1, **options
+) -> SolutionSetResult:
+    return xlist_diagnose(session.circuit, session.tests, k, **options)

@@ -1,7 +1,12 @@
 """Experiment harness: workloads, runner, table/figure reproduction."""
 
 from .workloads import Workload, make_workload, PAPER_GRID, M_VALUES
-from .runner import CellResult, run_cell
+from .runner import (
+    CellResult,
+    SearchRaceResult,
+    run_candidate_search,
+    run_cell,
+)
 from .tables import format_table2, format_table3, format_cell_summary
 from .figures import ScatterPoint, fig6_series, render_scatter, format_fig6
 
@@ -12,6 +17,8 @@ __all__ = [
     "M_VALUES",
     "CellResult",
     "run_cell",
+    "SearchRaceResult",
+    "run_candidate_search",
     "format_table2",
     "format_table3",
     "format_cell_summary",

@@ -12,14 +12,22 @@ cell with the paper's measurement protocol:
 
 Quality metrics (Table 3) come from the ground-truth error sites of the
 workload's injection.
+
+``run_candidate_search`` races the registered candidate-space strategies
+(greedy-stochastic, IHS, BSAT, ...) on one cell over a shared
+:class:`~repro.diagnosis.core.DiagnosisSession`, validating every
+reported candidate — the measurement harness behind
+``benchmarks/bench_candidate_search.py``.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..diagnosis.base import SolutionSetResult
+from ..diagnosis.core import DiagnosisSession, diagnose
 from ..diagnosis.cover import sc_diagnose
 from ..diagnosis.metrics import (
     BsimQuality,
@@ -29,9 +37,10 @@ from ..diagnosis.metrics import (
 )
 from ..diagnosis.pathtrace import basic_sim_diagnose
 from ..diagnosis.satdiag import basic_sat_diagnose, build_diagnosis_instance
+from ..diagnosis.validity import is_valid_correction
 from .workloads import Workload
 
-__all__ = ["CellResult", "run_cell"]
+__all__ = ["CellResult", "run_cell", "SearchRaceResult", "run_candidate_search"]
 
 
 @dataclass(frozen=True)
@@ -147,3 +156,85 @@ def run_cell(
         sat_result=bsat_all_res,
         notes=notes,
     )
+
+
+@dataclass(frozen=True)
+class SearchRaceResult:
+    """One strategy's leg of a candidate-search race."""
+
+    strategy: str
+    result: SolutionSetResult = field(repr=False)
+    wall_time: float
+    n_valid: int
+    n_invalid: int
+    hit: bool  # some candidate contains an actual error site
+
+    @property
+    def t_first(self) -> float:
+        return self.result.t_first
+
+    def row(self) -> dict[str, object]:
+        """JSON-friendly summary (the bench artifact's row format)."""
+        return {
+            "strategy": self.strategy,
+            "approach": self.result.approach,
+            "n_solutions": self.result.n_solutions,
+            "n_valid": self.n_valid,
+            "n_invalid": self.n_invalid,
+            "hit": self.hit,
+            "t_build": self.result.t_build,
+            "t_first": self.result.t_first,
+            "t_all": self.result.t_all,
+            "wall_time": self.wall_time,
+            "complete": self.result.complete,
+        }
+
+
+def run_candidate_search(
+    workload: Workload,
+    m: int | None = None,
+    k: int | None = None,
+    strategies: Sequence[str] = ("greedy-stochastic", "ihs", "bsat"),
+    validate: bool = True,
+    strategy_options: Mapping[str, Mapping[str, object]] | None = None,
+) -> dict[str, SearchRaceResult]:
+    """Race diagnosis strategies on one workload cell, shared session.
+
+    ``k`` defaults to the injected error count for strategies that need a
+    bound (``bsat``); the search loops take ``k=None`` (self-determined
+    cardinality) unless overridden via ``strategy_options``.  With
+    ``validate`` every reported candidate is re-checked against the
+    exact oracle, so the race also acts as a correctness harness.
+    """
+    cell = workload.cell(m) if m is not None else workload
+    session = DiagnosisSession(cell.faulty, cell.tests)
+    sites = set(cell.sites)
+    if k is None:
+        k = workload.p
+    results: dict[str, SearchRaceResult] = {}
+    for name in strategies:
+        options = dict((strategy_options or {}).get(name, {}))
+        # Search loops determine their own cardinality unless told not to.
+        k_arg = options.pop(
+            "k", None if name in ("greedy-stochastic", "ihs") else k
+        )
+        start = time.perf_counter()
+        result = diagnose(session, k=k_arg, strategy=name, **options)
+        wall = time.perf_counter() - start
+        n_valid = n_invalid = 0
+        if validate:
+            for sol in result.solutions:
+                if is_valid_correction(cell.faulty, cell.tests, sol):
+                    n_valid += 1
+                else:
+                    n_invalid += 1
+        hit = any(set(sol) & sites for sol in result.solutions)
+        results[name] = SearchRaceResult(
+            strategy=name,
+            result=result,
+            wall_time=wall,
+            n_valid=n_valid,
+            n_invalid=n_invalid,
+            hit=hit,
+        )
+    return results

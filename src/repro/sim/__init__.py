@@ -35,6 +35,9 @@ Engine selection guide
   output detections) are needed at ATPG scale; ≥5× the pure-Python
   propagator on the 600-gate workload
   (``benchmarks/bench_faultsim_engines.py`` records the factor).
+  Single-pattern calls (the ATPG drop query: one vector × many faults)
+  dispatch to a dedicated 1-lane big-int path, so the drop loop no
+  longer falls back to the pure-Python propagator for that shape.
 * :class:`EventSimulator` — incremental re-evaluation for long sequences
   of small changes (interactive what-if analysis, one pattern at a time).
 * :class:`BatchEventSimulator` (:func:`event_detected`,

@@ -43,6 +43,7 @@ __all__ = [
     "deductive_fault_lists_numpy",
     "deductive_detected_numpy",
     "deductive_detected_many",
+    "deductive_output_fault_lists",
     "deductive_coverage_numpy",
 ]
 
@@ -99,6 +100,88 @@ def _good_bits(
     return bits[:, : len(patterns)].astype(bool)
 
 
+def _propagate_single(
+    comp: CompiledCircuit,
+    vector: Mapping[str, int],
+    faults: Sequence[StuckAtFault],
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Dedicated 1-lane fast path (ATPG drop queries: one vector × many
+    faults).
+
+    Same propagation rules as :func:`_propagate_block`, but each fault
+    list is one Python big-int bitset: with a single pattern the per-gate
+    controlling-input branch is a scalar comparison and set algebra is
+    one CPython limb-vector op per fanin — no ``np.where``, no
+    per-pattern masks, no small-array numpy dispatch overhead.  This is
+    what closes the ROADMAP single-vector gap: the pure-Python deductive
+    pass (set objects) used to win this shape.
+
+    Returns ``(lists, good)`` shaped like ``_propagate_block`` with
+    ``P == 1``.
+    """
+    fl = max(1, -(-len(faults) // 64))
+    sa0: dict[int, int] = {}
+    sa1: dict[int, int] = {}
+    for fid, fault in enumerate(faults):
+        idx = comp.index.get(fault.signal)
+        if idx is None:
+            continue
+        table = sa1 if fault.value else sa0
+        table.setdefault(idx, fid)
+    good: list[int] = [0] * comp.n
+    lists: list[int] = [0] * comp.n
+    for idx in range(comp.n):
+        gtype = comp.gtypes[idx]
+        fin = comp.fanins[idx]
+        if gtype is GateType.INPUT:
+            g = int(vector[comp.names[idx]]) & 1
+            result = 0
+        elif gtype in (GateType.DFF, GateType.CONST0):
+            g = 0
+            result = 0
+        elif gtype is GateType.CONST1:
+            g = 1
+            result = 0
+        elif gtype in (GateType.BUF, GateType.NOT):
+            g = good[fin[0]] ^ (1 if gtype is GateType.NOT else 0)
+            result = lists[fin[0]]
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            g = 1 if gtype is GateType.XNOR else 0
+            result = 0
+            for f in fin:
+                g ^= good[f]
+                result ^= lists[f]
+        else:
+            control = CONTROLLING_VALUE[gtype]
+            inverted = gtype in (GateType.NAND, GateType.NOR)
+            ctrl = [f for f in fin if good[f] == control]
+            if not ctrl:
+                g = (control ^ 1) ^ (1 if inverted else 0)
+                result = 0
+                for f in fin:
+                    result |= lists[f]
+            else:
+                g = control ^ (1 if inverted else 0)
+                result = lists[ctrl[0]]
+                for f in ctrl[1:]:
+                    result &= lists[f]
+                for f in fin:
+                    if good[f] != control:
+                        result &= ~lists[f]
+        own = sa0.get(idx) if g else sa1.get(idx)
+        if own is not None:
+            result |= 1 << own
+        good[idx] = g
+        lists[idx] = result
+    n_bytes = fl * 8
+    packed = b"".join(r.to_bytes(n_bytes, "little") for r in lists)
+    rows = np.frombuffer(packed, dtype="<u8").astype(np.uint64).reshape(
+        comp.n, 1, fl
+    )
+    good_arr = np.array(good, dtype=bool).reshape(-1, 1)
+    return [rows[idx] for idx in range(comp.n)], good_arr
+
+
 def _propagate_block(
     comp: CompiledCircuit,
     patterns: Sequence[Mapping[str, int]],
@@ -110,8 +193,11 @@ def _propagate_block(
     uint64 fault-list bitset of signal ``idx`` (bit ``k`` of the fault
     axis set iff fault ``k`` flips the signal under that pattern) and
     ``good`` is the fault-free bool value matrix ``(n_signals, P)``.
+    Single-pattern blocks dispatch to the flat 1-lane fast path.
     """
     n_p = len(patterns)
+    if n_p == 1:
+        return _propagate_single(comp, patterns[0], faults)
     fl = max(1, -(-len(faults) // 64))
     sa0, sa1 = _fault_id_tables(comp, faults)
     good = _good_bits(comp, patterns)
@@ -253,6 +339,39 @@ def deductive_detected_many(
     _check_vectors(circuit, patterns)
     lists, _ = _propagate_block(comp, patterns, faults)
     return _bitset_rows_to_sets(_detected_matrix(comp, lists), faults)
+
+
+def deductive_output_fault_lists(
+    circuit: Circuit,
+    patterns: Sequence[Mapping[str, int]],
+    faults: Sequence[StuckAtFault] | None = None,
+) -> list[dict[str, frozenset[StuckAtFault]]]:
+    """Primary-output fault lists of every pattern, one block pass.
+
+    Equivalent to ``[{o: deductive_fault_lists_numpy(circuit, p,
+    faults)[o] for o in circuit.outputs} for p in patterns]`` but the
+    whole pattern block propagates in one vectorized pass and only the
+    output rows are exploded into sets.  This is the per-observation
+    candidate extraction of the diagnosis candidate space
+    (:meth:`repro.diagnosis.core.CandidateSpace.fault_list_candidates`).
+    """
+    if faults is None:
+        faults = full_stuck_at_universe(circuit)
+    faults = list(faults)
+    patterns = list(patterns)
+    if not patterns:
+        return []
+    comp = compile_circuit(circuit)
+    _check_vectors(circuit, patterns)
+    lists, _ = _propagate_block(comp, patterns, faults)
+    per_output = {
+        name: _bitset_rows_to_sets(lists[comp.index[name]], faults)
+        for name in circuit.outputs
+    }
+    return [
+        {out: per_output[out][j] for out in circuit.outputs}
+        for j in range(len(patterns))
+    ]
 
 
 def deductive_coverage_numpy(

@@ -1,0 +1,223 @@
+"""Tests for the greedy-stochastic and implicit-hitting-set search loops.
+
+The acceptance contract: on multi-fault workloads both loops return only
+observation-consistent (valid) candidates; IHS additionally returns
+exactly the minimum-cardinality corrections (cross-checked against the
+complete BSAT enumeration); and the shared-session race harness
+validates and times them side by side.
+"""
+
+import pytest
+
+from repro.circuits import Circuit, GateType, random_circuit
+from repro.diagnosis import (
+    DiagnosisSession,
+    basic_sat_diagnose,
+    greedy_stochastic_diagnose,
+    ihs_diagnose,
+    is_valid_correction,
+)
+from repro.experiments import make_workload, run_candidate_search
+from repro.testgen.testset import Test, TestSet
+
+
+@pytest.fixture(scope="module", params=[2, 29, 35])
+def multi_fault_workload(request):
+    """p=2 instances whose minimum correction cardinality is 2."""
+    seed = request.param
+    circuit = random_circuit(
+        n_inputs=8, n_outputs=4, n_gates=60, seed=700 + seed
+    )
+    return make_workload(circuit, p=2, m_max=10, seed=seed, allow_fewer=True)
+
+
+# ----------------------------------------------------------------------
+# greedy stochastic (SAFARI)
+# ----------------------------------------------------------------------
+def test_greedy_returns_valid_candidates(multi_fault_workload):
+    w = multi_fault_workload
+    result = greedy_stochastic_diagnose(w.faulty, w.tests, seed=1)
+    assert result.approach == "SAFARI"
+    assert result.solutions, "greedy search must find a candidate"
+    for sol in result.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol), sol
+
+
+def test_greedy_deterministic_per_seed(double_error_workload):
+    w = double_error_workload
+    a = greedy_stochastic_diagnose(w.faulty, w.tests, seed=7)
+    b = greedy_stochastic_diagnose(w.faulty, w.tests, seed=7)
+    assert a.solutions == b.solutions
+
+
+def test_greedy_k_filter_and_max_solutions(multi_fault_workload):
+    w = multi_fault_workload
+    bounded = greedy_stochastic_diagnose(w.faulty, w.tests, k=2, seed=1)
+    assert all(len(sol) <= 2 for sol in bounded.solutions)
+    capped = greedy_stochastic_diagnose(
+        w.faulty, w.tests, seed=1, max_solutions=1
+    )
+    assert len(capped.solutions) <= 1
+
+
+def test_greedy_solutions_subset_minimal_when_deep(double_error_workload):
+    w = double_error_workload
+    result = greedy_stochastic_diagnose(w.faulty, w.tests, seed=3)
+    for sol in result.solutions:
+        for g in sol:
+            smaller = set(sol) - {g}
+            if smaller:
+                assert not is_valid_correction(w.faulty, w.tests, smaller), (
+                    sol,
+                    g,
+                )
+
+
+def test_greedy_pool_restriction(double_error_workload):
+    w = double_error_workload
+    session = DiagnosisSession(w.faulty, w.tests)
+    singles = session.space().singletons()
+    if not singles:
+        pytest.skip("workload has no single-gate correction")
+    result = greedy_stochastic_diagnose(
+        w.faulty, w.tests, pool=singles, seed=0, session=session
+    )
+    for sol in result.solutions:
+        assert sol <= set(singles)
+
+
+def test_greedy_inconsistent_pool_returns_empty():
+    # Second output has its own isolated cone; restricting the pool to it
+    # cannot fix a failure at the first output.
+    c = Circuit("iso")
+    for pi in ("a", "b", "c"):
+        c.add_input(pi)
+    c.add_gate("o1", GateType.AND, ["a", "b"])
+    c.add_gate("o2", GateType.BUF, ["c"])
+    c.add_output("o1")
+    c.add_output("o2")
+    tests = TestSet((Test({"a": 1, "b": 1, "c": 0}, "o1", 0),))
+    result = greedy_stochastic_diagnose(c, tests, pool=["o2"], seed=0)
+    assert result.solutions == ()
+    assert result.extras["pool_consistent"] is False
+
+
+# ----------------------------------------------------------------------
+# implicit hitting sets
+# ----------------------------------------------------------------------
+def test_ihs_minimum_cardinality_matches_bsat(multi_fault_workload):
+    w = multi_fault_workload
+    result = ihs_diagnose(w.faulty, w.tests)
+    assert result.approach == "IHS"
+    assert result.solutions and result.complete
+    assert result.k == 2  # these instances need two-gate corrections
+    for sol in result.solutions:
+        assert len(sol) <= result.k
+        assert is_valid_correction(w.faulty, w.tests, sol), sol
+    oracle = basic_sat_diagnose(w.faulty, w.tests, k=result.k)
+    assert set(result.solutions) == set(oracle.solutions)
+
+
+def test_ihs_single_error(tiny_workload):
+    w = tiny_workload
+    result = ihs_diagnose(w.faulty, w.tests)
+    assert result.k == 1
+    oracle = basic_sat_diagnose(w.faulty, w.tests, k=1)
+    assert set(result.solutions) == set(oracle.solutions)
+
+
+def test_ihs_solution_limit(multi_fault_workload):
+    w = multi_fault_workload
+    result = ihs_diagnose(w.faulty, w.tests, solution_limit=2)
+    assert len(result.solutions) == 2
+    assert not result.complete
+    for sol in result.solutions:
+        assert is_valid_correction(w.faulty, w.tests, sol)
+
+
+def test_ihs_k_too_small_yields_empty(multi_fault_workload):
+    w = multi_fault_workload
+    result = ihs_diagnose(w.faulty, w.tests, k=1)
+    assert result.solutions == ()
+
+
+def test_ihs_infeasible_pool():
+    c = Circuit("iso")
+    for pi in ("a", "b", "c"):
+        c.add_input(pi)
+    c.add_gate("o1", GateType.AND, ["a", "b"])
+    c.add_gate("o2", GateType.BUF, ["c"])
+    c.add_output("o1")
+    c.add_output("o2")
+    tests = TestSet((Test({"a": 1, "b": 1, "c": 0}, "o1", 0),))
+    result = ihs_diagnose(c, tests, pool=["o2"])
+    assert result.solutions == ()
+    with pytest.raises(ValueError):
+        ihs_diagnose(c, tests, pool=[])
+    with pytest.raises(ValueError):
+        ihs_diagnose(c, tests, k=0)
+
+
+def test_ihs_uses_sat_cores(multi_fault_workload):
+    w = multi_fault_workload
+    result = ihs_diagnose(w.faulty, w.tests)
+    # multi-fault instances cannot be settled by seed conflicts alone
+    assert result.extras["sat_cores"] > 0
+    assert result.extras["conflicts"] >= result.extras["sat_cores"]
+
+
+# ----------------------------------------------------------------------
+# shared-session race harness
+# ----------------------------------------------------------------------
+def test_run_candidate_search_validates(multi_fault_workload):
+    w = multi_fault_workload
+    race = run_candidate_search(w)
+    assert set(race) == {"greedy-stochastic", "ihs", "bsat"}
+    for leg in race.values():
+        assert leg.n_invalid == 0
+        assert leg.n_valid == leg.result.n_solutions
+        row = leg.row()
+        assert row["strategy"] == leg.strategy
+        assert row["n_valid"] == leg.n_valid
+    assert race["bsat"].result.n_solutions > 0
+    # The searches find candidates the enumeration confirms.
+    assert set(race["ihs"].result.solutions) <= set(
+        race["bsat"].result.solutions
+    )
+
+
+def test_run_candidate_search_strategy_options(double_error_workload):
+    w = double_error_workload
+    race = run_candidate_search(
+        w,
+        strategies=("greedy-stochastic",),
+        strategy_options={"greedy-stochastic": {"retries": 4, "seed": 2}},
+    )
+    leg = race["greedy-stochastic"]
+    assert leg.result.extras["climbs"] <= 4
+    assert leg.n_invalid == 0
+
+
+@pytest.mark.parametrize("builder,p,m,seed", [
+    ("rca4", 2, 6, 7),
+    ("mux2", 2, 6, 3),
+    ("parity4", 2, 6, 1),
+])
+def test_search_loops_valid_on_library_workloads(builder, p, m, seed):
+    """Acceptance: valid candidates on all multi-fault library workloads."""
+    from repro.circuits import library
+
+    circuit = {
+        "rca4": lambda: library.ripple_carry_adder(4),
+        "mux2": lambda: library.mux_tree(2),
+        "parity4": lambda: library.parity_tree(4),
+    }[builder]()
+    w = make_workload(circuit, p=p, m_max=m, seed=seed, allow_fewer=True)
+    session = DiagnosisSession(w.faulty, w.tests)
+    greedy = greedy_stochastic_diagnose(
+        w.faulty, w.tests, seed=0, session=session
+    )
+    ihs = ihs_diagnose(w.faulty, w.tests, session=session)
+    assert greedy.solutions and ihs.solutions
+    for sol in (*greedy.solutions, *ihs.solutions):
+        assert is_valid_correction(w.faulty, w.tests, sol), (builder, sol)

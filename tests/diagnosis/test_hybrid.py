@@ -88,3 +88,35 @@ def test_repair_searches_smaller_space(medium_workload):
     repaired = repair_correction_sat(w.faulty, tests, cov.solutions[0])
     if repaired.extras.get("radius") is not None:
         assert repaired.extras["suspects"] < len(w.faulty.gate_names)
+
+
+def test_hybrid_calls_share_session_caches(double_error_workload):
+    """Satellite of the session refactor: repeated hybrid calls on one
+    session must reuse the cached path-tracing result instead of
+    re-simulating the implementation per call."""
+    from repro.diagnosis import DiagnosisSession
+
+    w = double_error_workload
+    session = DiagnosisSession(w.faulty, w.tests)
+    first = pt_guided_sat_diagnose(w.faulty, w.tests, k=2, session=session)
+    second = pt_guided_sat_diagnose(w.faulty, w.tests, k=2, session=session)
+    # identity, not equality: the second call got the memoized object
+    assert first.extras["sim_result"] is session.sim_result()
+    assert second.extras["sim_result"] is first.extras["sim_result"]
+    assert set(first.solutions) == set(second.solutions)
+
+
+def test_repair_uses_shared_session(double_error_workload):
+    from repro.diagnosis import DiagnosisSession, basic_sat_diagnose
+
+    w = double_error_workload
+    session = DiagnosisSession(w.faulty, w.tests)
+    oracle = basic_sat_diagnose(w.faulty, w.tests, k=2)
+    if not oracle.solutions:
+        pytest.skip("workload admits no correction of size <= 2")
+    initial = sorted(oracle.solutions[0])
+    repaired = repair_correction_sat(
+        w.faulty, w.tests, initial=initial, k=2, session=session
+    )
+    assert repaired.solutions
+    assert set(repaired.solutions) <= set(oracle.solutions)

@@ -73,3 +73,46 @@ def test_distance_zero_iff_exact_hit(double_error_workload):
         assert d[site] == 0
     zero_gates = [g for g, v in d.items() if v == 0]
     assert sorted(zero_gates) == sorted(w.sites)
+
+
+def test_bsim_quality_empty_result(maj3):
+    from repro.diagnosis.base import SimDiagnosisResult
+
+    empty = SimDiagnosisResult(candidate_sets=(), marks={})
+    q = bsim_quality(maj3, empty, ["ab"])
+    assert q.union_size == 0 and q.gmax_size == 0
+    assert math.isnan(q.avg_all)
+    assert math.isnan(q.gmax_min) and math.isnan(q.gmax_max)
+    assert math.isnan(q.gmax_avg)
+    assert not q.error_in_gmax
+
+
+def test_solution_quality_skips_empty_corrections(maj3):
+    q = solution_quality(maj3, [frozenset()], ["ab"])
+    assert q.n_solutions == 1
+    assert math.isnan(q.avg_avg)
+
+
+def test_distance_map_multiple_sites(maj3):
+    d = distance_map(maj3, ["ab", "bc"])
+    assert d["ab"] == 0 and d["bc"] == 0
+    assert d["b"] == 1  # adjacent to both
+    assert d["o1"] == 1
+
+
+def test_hit_rate_multi_gate_solutions(maj3):
+    sols = [frozenset({"ab", "out"}), frozenset({"o1"})]
+    assert hit_rate(sols, ["out"]) == 0.5
+    assert hit_rate(sols, ["out", "o1"]) == 1.0
+
+
+def test_quality_on_search_loop_output(double_error_workload):
+    """Table-3 metrics apply to the new search loops' results too."""
+    from repro.diagnosis import greedy_stochastic_diagnose
+
+    w = double_error_workload
+    result = greedy_stochastic_diagnose(w.faulty, w.tests, seed=1)
+    q = solution_quality(w.faulty, result.solutions, w.sites)
+    assert q.n_solutions == len(result.solutions)
+    if result.solutions:
+        assert q.min_avg <= q.avg_avg <= q.max_avg

@@ -8,6 +8,9 @@ hold on *every* workload, not just the curated fixtures.
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+#: Hypothesis-heavy module: excluded from the CI fast lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 from repro.circuits import random_circuit
 from repro.diagnosis import (
     basic_sat_diagnose,

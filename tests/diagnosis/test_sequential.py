@@ -107,3 +107,72 @@ def test_seq_suspect_restriction():
     # the observed output (value forced per frame), so a solution exists.
     for sol in result.solutions:
         assert sol <= {"out"}
+
+
+def test_sequence_test_n_frames():
+    t = SequenceTest(({"t": 0}, {"t": 1}), "out", 1, 0)
+    assert t.n_frames == 2
+
+
+def test_failing_sequences_respects_max_tries():
+    golden, faulty = tff_pair()
+    none_found = failing_sequences(
+        golden, faulty, m=4, n_frames=3, seed=1, max_tries=0
+    )
+    assert none_found == []
+
+
+def test_failing_sequences_deduplicates_vectors():
+    golden, faulty = tff_pair()
+    # One input over one frame admits only two distinct sequences, so no
+    # amount of tries can return more than two tests.
+    seqs = failing_sequences(
+        golden, faulty, m=10, n_frames=1, seed=0, max_tries=500
+    )
+    keys = {tuple(sorted(v.items()) for v in s.vectors) for s in seqs}
+    assert len(keys) == len(seqs) <= 2
+
+
+def test_seq_diagnosis_solution_limit_truncates():
+    golden, faulty = tff_pair()
+    seqs = failing_sequences(golden, faulty, m=4, n_frames=3, seed=2)
+    full = seq_sat_diagnose(faulty, seqs, k=2)
+    if full.n_solutions < 2:
+        pytest.skip("need at least two solutions to observe truncation")
+    capped = seq_sat_diagnose(faulty, seqs, k=2, solution_limit=1)
+    assert capped.n_solutions == 1
+    assert not capped.complete
+    assert capped.solutions[0] in set(full.solutions)
+
+
+def test_seq_diagnosis_zero_budget_flags_incomplete():
+    golden, faulty = tff_pair()
+    seqs = failing_sequences(golden, faulty, m=2, n_frames=3, seed=2)
+    result = seq_sat_diagnose(faulty, seqs, k=1, solution_limit=0)
+    assert result.n_solutions == 0
+    assert not result.complete
+
+
+def test_encode_unrolled_initial_state():
+    from repro.diagnosis.sequential import _encode_unrolled_test
+    from repro.sat.cnf import CNF
+
+    golden, _ = tff_pair()
+    # With initial state 1 and t=0 the T-flip-flop holds q=1, so out=1.
+    test = SequenceTest(({"t": 0},), "out", 0, 1)
+    cnf = CNF()
+    var_of = _encode_unrolled_test(
+        cnf, golden, test, 0, select_of={}, initial_state=1
+    )
+    solver = cnf.to_solver()
+    assert solver.solve()
+    assert solver.value(var_of[(0, "q")]) is True
+
+
+def test_seq_diagnosis_timing_and_extras():
+    golden, faulty = tff_pair()
+    seqs = failing_sequences(golden, faulty, m=2, n_frames=3, seed=7)
+    result = seq_sat_diagnose(faulty, seqs, k=1)
+    assert result.t_build >= 0 and result.t_all >= 0
+    assert result.extras["n_vars"] > 0
+    assert result.extras["n_clauses"] > 0

@@ -49,6 +49,7 @@ def random_instance(draw):
     return n_vars, clauses
 
 
+@pytest.mark.slow
 @given(random_instance())
 @settings(max_examples=150, deadline=None)
 def test_agrees_with_brute_force(instance):

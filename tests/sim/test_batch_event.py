@@ -14,6 +14,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+#: Hypothesis-heavy module: excluded from the CI fast lane (-m "not slow").
+pytestmark = pytest.mark.slow
+
 from repro.circuits import random_circuit
 from repro.diagnosis.stuckat import full_fault_list
 from repro.sim import (

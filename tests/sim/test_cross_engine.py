@@ -67,6 +67,7 @@ def circuit_and_vectors(draw):
     return circuit, vectors
 
 
+@pytest.mark.slow
 @given(circuit_and_vectors())
 @settings(max_examples=40, deadline=None)
 def test_parallel_equals_scalar(data):
@@ -76,6 +77,7 @@ def test_parallel_equals_scalar(data):
         assert simulate(circuit, vec) == batch
 
 
+@pytest.mark.slow
 @given(circuit_and_vectors())
 @settings(max_examples=40, deadline=None)
 def test_ternary_equals_scalar_on_binary(data):
@@ -86,6 +88,7 @@ def test_ternary_equals_scalar_on_binary(data):
         assert all(ternary[s] == scalar[s] for s in circuit.nodes)
 
 
+@pytest.mark.slow
 @given(circuit_and_vectors(), st.integers(0, 2**32))
 @settings(max_examples=40, deadline=None)
 def test_event_sim_equals_scalar_under_forcing(data, force_seed):
@@ -114,6 +117,7 @@ def test_event_sim_equals_scalar_under_forcing(data, force_seed):
         assert sim.values() == expected
 
 
+@pytest.mark.slow
 @given(circuit_and_vectors())
 @settings(max_examples=40, deadline=None)
 def test_forced_words_equal_scalar_forcing(data):
@@ -388,3 +392,60 @@ def test_matrix_coverage_agrees(a, b, case):
     fd_a, fd_b = _view(a, 2, case), _view(b, 2, case)
     assert fd_a == fd_b, (a, b)
     assert len(fd_a) == len(fd_b)  # detected-fault counts
+
+
+# ======================================================================
+# single-vector fast path (ATPG drop-query shape)
+# ======================================================================
+#
+# ``deductive_*_numpy`` dispatches one-pattern blocks to a dedicated
+# 1-lane big-int path (the ROADMAP single-vector gap).  Parity with the
+# pure-Python propagator must hold per signal and per fault — including
+# when a multi-pattern coverage sweep is forced through one-pattern
+# blocks.
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+def test_single_vector_fast_path_matches_serial_deductive(case):
+    from repro.sim import deductive_fault_lists_numpy
+
+    circuit, faults, patterns, _ = _case(case)
+    for pattern in patterns[:4]:
+        serial = deductive_fault_lists(circuit, pattern, faults=faults)
+        fast = deductive_fault_lists_numpy(circuit, pattern, faults=faults)
+        assert serial == fast
+        assert deductive_detected(
+            circuit, pattern, faults=faults
+        ) == deductive_detected_numpy(circuit, pattern, faults=faults)
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+def test_single_pattern_blocks_match_block_coverage(case):
+    circuit, faults, patterns, _ = _case(case)
+    blocked = deductive_coverage_numpy(
+        circuit, list(patterns), list(faults), block_patterns=1
+    )
+    whole = deductive_coverage_numpy(
+        circuit, list(patterns), list(faults), block_patterns=128
+    )
+    serial = deductive_coverage(circuit, list(patterns), list(faults))
+    assert blocked.first_detection == whole.first_detection
+    assert blocked.first_detection == serial.first_detection
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+def test_output_fault_lists_block_pass_matches_per_pattern(case):
+    from repro.sim.deductive_numpy import (
+        deductive_fault_lists_numpy,
+        deductive_output_fault_lists,
+    )
+
+    circuit, faults, patterns, _ = _case(case)
+    block = deductive_output_fault_lists(
+        circuit, list(patterns), faults=list(faults)
+    )
+    assert len(block) == len(patterns)
+    for j, pattern in enumerate(patterns[:3]):
+        per = deductive_fault_lists_numpy(circuit, pattern, faults=faults)
+        for out in circuit.outputs:
+            assert block[j][out] == per[out]

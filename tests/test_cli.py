@@ -81,6 +81,27 @@ def test_inject_testgen_diagnose_roundtrip(tmp_path, capsys):
     )
     assert code == 0 and "solutions" in out
 
+    code, out = run_cli(
+        capsys, "diagnose", str(faulty_path), str(tests_path),
+        "--approach", "greedy", "--k", "0",
+    )
+    assert code == 0 and "solutions" in out
+    assert site in out  # greedy candidates are valid, site among them
+
+    code, out = run_cli(
+        capsys, "diagnose", str(faulty_path), str(tests_path),
+        "--approach", "ihs", "--k", "0",
+    )
+    assert code == 0 and "solutions" in out
+    assert site in out
+
+
+def test_strategies_lists_registry(capsys):
+    code, out = run_cli(capsys, "strategies")
+    assert code == 0
+    for name in ("bsat", "greedy-stochastic", "ihs", "single-fix"):
+        assert name in out
+
 
 def test_diagnose_rejects_bad_test_file(tmp_path):
     from repro.circuits import dump, library

@@ -21,6 +21,7 @@ MODULE_NAMES = [
     "repro.circuits.generator",
     "repro.circuits.rewrite",
     "repro.circuits.scan",
+    "repro.diagnosis.core",
     "repro.diagnosis.resynthesis",
     "repro.diagnosis.structural",
     "repro.faults.collapse",
