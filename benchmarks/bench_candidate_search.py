@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.circuits import random_circuit
 from repro.circuits.library import get_circuit
+from repro.diagnosis import DiagnosisSession, diagnose
 from repro.experiments import make_workload, run_candidate_search
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -73,6 +74,18 @@ def run(smoke: bool) -> dict:
         greedy = race["greedy-stochastic"]
         ihs = race["ihs"]
         bsat = race["bsat"]
+        # The BSAT column with the new arena/persistent path, compared
+        # against the legacy object-graph backend on a fresh session —
+        # the per-backend times and the per-solution enumerator deltas
+        # all land in the JSON artifact.
+        t0 = time.perf_counter()
+        legacy_session = DiagnosisSession(
+            workload.faulty, workload.tests, solver_backend="legacy"
+        )
+        legacy_bsat = diagnose(legacy_session, k=p, strategy="bsat")
+        legacy_wall = time.perf_counter() - t0
+        if set(legacy_bsat.solutions) != set(bsat.result.solutions):
+            failures.append(f"{name}: bsat solutions differ across backends")
         entry = {
             "instance": name,
             "p": p,
@@ -81,6 +94,18 @@ def run(smoke: bool) -> dict:
             "sites": sorted(workload.sites),
             "elapsed": elapsed,
             "rows": rows,
+            "bsat_backend": "arena",
+            "bsat_solution_stats": bsat.result.extras.get(
+                "solution_stats", []
+            ),
+            "bsat_legacy": {
+                "wall": legacy_wall,
+                "t_build": legacy_bsat.t_build,
+                "t_all": legacy_bsat.t_all,
+            },
+            "bsat_backend_speedup": (
+                legacy_wall / bsat.wall_time if bsat.wall_time > 0 else None
+            ),
             "greedy_first_vs_bsat_all": (
                 bsat.result.t_all / greedy.result.t_first
                 if greedy.result.t_first > 0

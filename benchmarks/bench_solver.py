@@ -1,19 +1,272 @@
-"""Substrate bench — the CDCL SAT solver.
+"""Substrate bench — the CDCL SAT solver and the persistent-instance path.
 
-Micro-benchmarks of the solver on three workload classes relevant to the
-diagnosis instances: circuit-SAT descents (decision-heavy, conflict-light
-— the BSAT profile), pigeonhole (conflict-heavy, exercises learning), and
-incremental re-solving under assumptions (the k-loop profile).
+Two halves:
+
+* pytest-benchmark micro-benchmarks of the solver on three workload
+  classes relevant to the diagnosis instances: circuit-SAT descents
+  (decision-heavy, conflict-light — the BSAT profile), pigeonhole
+  (conflict-heavy, exercises learning), and incremental re-solving under
+  assumptions (the k-loop profile) — each raced arena vs. legacy;
+* a standalone end-to-end race (``python bench_solver.py [--smoke]``)
+  of the full BSAT session workflow — auto-k probe, complete
+  enumeration, corrections query — comparing the pre-overhaul shape
+  (legacy object-graph solver, instance rebuilt per query) with the
+  arena backend on one persistent session instance.  **Asserts the ≥3×
+  speedup** the PR-4 acceptance demands on the pinned multi-fault
+  workloads and that both paths return identical solution sets.
+
+Artifacts: ``benchmarks/out/solver.json`` (per-instance rows including
+the per-solution restarts/learned deltas from the enumerator); the repo
+root carries ``BENCH_solver.json`` as the committed baseline so future
+PRs have a perf trajectory to compare against.
+
+Run modes::
+
+    PYTHONPATH=../src python bench_solver.py --smoke   # CI: small pinned
+    PYTHONPATH=../src python bench_solver.py           # + sim1423-class
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import random
+import sys
+import time
+from pathlib import Path
 
-from repro.circuits import library
-from repro.sat import CNF, Solver, encode_circuit
+from repro.circuits import random_circuit
+from repro.circuits.library import get_circuit
+from repro.diagnosis import (
+    DiagnosisSession,
+    auto_k_sat_diagnose,
+    basic_sat_diagnose,
+)
+from repro.experiments import make_workload
+from repro.sat import CNF, LegacySolver, Solver, encode_circuit
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Minimum end-to-end speedup of the persistent arena path over the
+#: legacy rebuilt-instance path (the PR acceptance gate).
+MIN_SPEEDUP = 3.0
+
+#: (name, circuit spec, p errors, m tests, workload seed, k_max).
+SMOKE_INSTANCES = [
+    ("rnd60-p2-a", ("random", 8, 4, 60, 702), 2, 10, 2, 3),
+    ("rnd60-p2-b", ("random", 8, 4, 60, 729), 2, 10, 29, 3),
+]
+
+#: The paper-scale leg: sim1423 is the repo's c1355-class circuit
+#: (~670 gates after injection).
+FULL_EXTRA_INSTANCES = [
+    ("sim1423-p2", ("library", "sim1423"), 2, 8, 5, 2),
+]
 
 
+def _build_circuit(spec):
+    if spec[0] == "random":
+        _, n_in, n_out, n_gates, seed = spec
+        return random_circuit(
+            n_inputs=n_in, n_outputs=n_out, n_gates=n_gates, seed=seed
+        )
+    return get_circuit(spec[1])
+
+
+def _canon(solutions):
+    return sorted(tuple(sorted(s)) for s in solutions)
+
+
+def bsat_workflow_legacy(workload, k_max):
+    """The pre-overhaul query shape: legacy backend, every query builds
+    its own instance (what ``session.instance()`` did before PR 4)."""
+    times = {}
+    t0 = time.perf_counter()
+    autok = auto_k_sat_diagnose(
+        workload.faulty, workload.tests, k_max=k_max, solver_backend="legacy"
+    )
+    times["autok"] = time.perf_counter() - t0
+    k = autok.extras.get("k_found") or k_max
+    t0 = time.perf_counter()
+    enum = basic_sat_diagnose(
+        workload.faulty, workload.tests, k=k, solver_backend="legacy"
+    )
+    times["enumerate"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    corr = basic_sat_diagnose(
+        workload.faulty,
+        workload.tests,
+        k=k,
+        collect_corrections=True,
+        solver_backend="legacy",
+    )
+    times["corrections"] = time.perf_counter() - t0
+    times["total"] = sum(times.values())
+    return times, k, _canon(enum.solutions), corr
+
+
+def bsat_workflow_persistent(workload, k_max):
+    """The overhauled shape: arena backend, one persistent session
+    instance serving the auto-k sweep, the enumeration and the
+    corrections query through assumptions and activation scopes."""
+    times = {}
+    session = DiagnosisSession(workload.faulty, workload.tests)
+    t0 = time.perf_counter()
+    autok = auto_k_sat_diagnose(
+        workload.faulty, workload.tests, k_max=k_max, session=session
+    )
+    times["autok"] = time.perf_counter() - t0
+    k = autok.extras.get("k_found") or k_max
+    t0 = time.perf_counter()
+    enum = basic_sat_diagnose(
+        workload.faulty, workload.tests, k=k, session=session
+    )
+    times["enumerate"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    corr = basic_sat_diagnose(
+        workload.faulty,
+        workload.tests,
+        k=k,
+        collect_corrections=True,
+        session=session,
+    )
+    times["corrections"] = time.perf_counter() - t0
+    times["total"] = sum(times.values())
+    return times, k, _canon(enum.solutions), corr, enum
+
+
+def micro_descent():
+    """One satisfiable circuit-SAT descent per backend (BSAT profile)."""
+    circuit = get_circuit("sim1423")
+    cnf = CNF()
+    var_of = encode_circuit(cnf, circuit)
+    rng = random.Random(1)
+    assumptions = [
+        var_of[pi] if rng.getrandbits(1) else -var_of[pi]
+        for pi in circuit.inputs
+    ]
+    rows = {}
+    for label, cls in (("arena", Solver), ("legacy", LegacySolver)):
+        solver = cls()
+        t0 = time.perf_counter()
+        cnf.to_solver(solver)
+        t_load = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        assert solver.solve(assumptions) is True
+        rows[label] = {
+            "t_load": t_load,
+            "t_solve": time.perf_counter() - t0,
+            "propagations": solver.stats["propagations"],
+        }
+    return rows
+
+
+def run(smoke: bool) -> dict:
+    instances = list(SMOKE_INSTANCES)
+    if not smoke:
+        instances += FULL_EXTRA_INSTANCES
+    report: dict = {
+        "smoke": smoke,
+        "min_speedup": MIN_SPEEDUP,
+        "micro_descent": micro_descent(),
+        "instances": [],
+    }
+    failures: list[str] = []
+    for name, spec, p, m, seed, k_max in instances:
+        circuit = _build_circuit(spec)
+        workload = make_workload(
+            circuit, p=p, m_max=m, seed=seed, allow_fewer=True
+        )
+        legacy_times, k_l, sols_l, _ = bsat_workflow_legacy(workload, k_max)
+        new_times, k_n, sols_n, corr, enum = bsat_workflow_persistent(
+            workload, k_max
+        )
+        speedup = legacy_times["total"] / new_times["total"]
+        entry = {
+            "instance": name,
+            "p": p,
+            "m": len(workload.tests),
+            "gates": workload.faulty.num_gates,
+            "k": k_n,
+            "n_solutions": len(sols_n),
+            "legacy": legacy_times,
+            "persistent": new_times,
+            "speedup": speedup,
+            # per-solution enumerator cost (satellite: restarts/learned
+            # deltas per enumerated solution in the artifact)
+            "solution_stats": enum.extras.get("solution_stats", []),
+            "corrections_cached": bool(corr.extras.get("cached")),
+        }
+        report["instances"].append(entry)
+        if k_l != k_n:
+            failures.append(f"{name}: k diverged ({k_l} vs {k_n})")
+        if sols_l != sols_n:
+            failures.append(
+                f"{name}: persistent path solutions differ from rebuilt path"
+            )
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                f"{name}: end-to-end speedup {speedup:.2f}x < "
+                f"{MIN_SPEEDUP:.1f}x (legacy {legacy_times['total']:.3f}s, "
+                f"persistent {new_times['total']:.3f}s)"
+            )
+    report["failures"] = failures
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small pinned instances only (the CI configuration)",
+    )
+    parser.add_argument(
+        "--out", default=str(OUT_DIR / "solver.json"),
+        help="JSON artifact path",
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {out_path}")
+    micro = report["micro_descent"]
+    print(
+        f"micro descent (sim1423): arena "
+        f"{micro['arena']['t_solve'] * 1e3:.1f}ms / legacy "
+        f"{micro['legacy']['t_solve'] * 1e3:.1f}ms"
+    )
+    for entry in report["instances"]:
+        print(
+            f"{entry['instance']:<12} p={entry['p']} m={entry['m']} "
+            f"gates={entry['gates']:>4} k={entry['k']} "
+            f"sols={entry['n_solutions']:>3}  "
+            f"legacy {entry['legacy']['total']:.3f}s  "
+            f"persistent {entry['persistent']['total']:.3f}s  "
+            f"speedup {entry['speedup']:.1f}x"
+        )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"all BSAT workflow races >= {MIN_SPEEDUP:.0f}x with identical "
+        "solution sets"
+    )
+    return 0
+
+
+def test_bsat_enumeration_speedup_smoke():
+    """Pytest entry point mirroring ``--smoke`` (bench suite style)."""
+    report = run(smoke=True)
+    assert not report["failures"], report["failures"]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark micro-benchmarks (arena vs legacy)
+# ----------------------------------------------------------------------
 def build_circuit_instance():
-    circuit = library.sim1423()
+    circuit = get_circuit("sim1423")
     cnf = CNF()
     var_of = encode_circuit(cnf, circuit)
     rng = random.Random(1)
@@ -36,31 +289,48 @@ def test_circuit_sat_descent(benchmark):
     assert props > 0
 
 
-def test_pigeonhole_unsat(benchmark):
-    def php():
-        solver = Solver()
-        var = {}
-        n_p, n_h = 7, 6
-        for p in range(n_p):
-            for h in range(n_h):
-                var[p, h] = solver.new_var()
-        for p in range(n_p):
-            solver.add_clause([var[p, h] for h in range(n_h)])
-        for h in range(n_h):
-            for p1 in range(n_p):
-                for p2 in range(p1 + 1, n_p):
-                    solver.add_clause([-var[p1, h], -var[p2, h]])
-        assert solver.solve() is False
-        return solver.stats["conflicts"]
+def test_circuit_sat_descent_legacy(benchmark):
+    cnf, assumptions = build_circuit_instance()
 
-    conflicts = benchmark(php)
+    def solve_fresh():
+        solver = cnf.to_solver(backend="legacy")
+        assert solver.solve(assumptions) is True
+        return solver.stats["propagations"]
+
+    props = benchmark(solve_fresh)
+    assert props > 0
+
+
+def _php(solver):
+    var = {}
+    n_p, n_h = 7, 6
+    for p in range(n_p):
+        for h in range(n_h):
+            var[p, h] = solver.new_var()
+    for p in range(n_p):
+        solver.add_clause([var[p, h] for h in range(n_h)])
+    for h in range(n_h):
+        for p1 in range(n_p):
+            for p2 in range(p1 + 1, n_p):
+                solver.add_clause([-var[p1, h], -var[p2, h]])
+    assert solver.solve() is False
+    return solver.stats["conflicts"]
+
+
+def test_pigeonhole_unsat(benchmark):
+    conflicts = benchmark(lambda: _php(Solver()))
+    assert conflicts > 0
+
+
+def test_pigeonhole_unsat_legacy(benchmark):
+    conflicts = benchmark(lambda: _php(LegacySolver()))
     assert conflicts > 0
 
 
 def test_incremental_assumption_loop(benchmark):
     cnf, _ = build_circuit_instance()
     solver = cnf.to_solver()
-    circuit = library.sim1423()
+    circuit = get_circuit("sim1423")
     var_of = {  # rebuild the name->var map from the CNF names
         name: var
         for var in range(1, cnf.num_vars + 1)
@@ -80,3 +350,7 @@ def test_incremental_assumption_loop(benchmark):
         return total
 
     benchmark.pedantic(incremental_loop, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

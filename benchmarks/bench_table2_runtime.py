@@ -12,6 +12,11 @@ circuit, m=4) so regressions are visible without re-running the grid; the
 full grid is computed once and shared with the Table 3 / Figure 6 benches.
 """
 
+from bench_solver import (
+    MIN_SPEEDUP,
+    bsat_workflow_legacy,
+    bsat_workflow_persistent,
+)
 from conftest import get_grid_cells, scale_params, write_artifact
 
 from repro.experiments import format_table2, make_workload, run_cell
@@ -46,3 +51,33 @@ def test_table2(benchmark):
     write_artifact("table2.txt", text)
     print("\n" + text)
     assert not violations
+
+
+def test_bsat_incremental_speedup(benchmark):
+    """PR-4 acceptance gate on the grid's representative cell: the
+    persistent-instance arena path must finish the BSAT session workflow
+    (auto-k probe + full enumeration + corrections) >= 3x faster than
+    the legacy rebuilt-instance path, with identical solution sets."""
+    params = scale_params()
+    circuit_name, p = params["grid"][0]
+    workload = make_workload(circuit_name, p=p, m_max=4, seed=p).cell(4)
+    k_max = max(2, workload.p)
+
+    legacy_times, k_l, sols_l, _ = bsat_workflow_legacy(workload, k_max)
+    new_times, k_n, sols_n, _, _ = benchmark.pedantic(
+        bsat_workflow_persistent,
+        args=(workload, k_max),
+        rounds=1,
+        iterations=1,
+    )
+    assert (k_l, sols_l) == (k_n, sols_n)
+    speedup = legacy_times["total"] / new_times["total"]
+    line = (
+        f"BSAT workflow ({circuit_name} p={p} m=4): legacy "
+        f"{legacy_times['total']:.3f}s, persistent "
+        f"{new_times['total']:.3f}s, speedup {speedup:.1f}x "
+        f"(gate: >= {MIN_SPEEDUP:.0f}x)"
+    )
+    write_artifact("table2_bsat_speedup.txt", line)
+    print("\n" + line)
+    assert speedup >= MIN_SPEEDUP, line

@@ -10,6 +10,7 @@ A thin, scriptable front-end over the library for users who work with
 * ``diagnose`` — run BSIM / COV / BSAT / hybrid / greedy-stochastic /
   implicit-hitting-set diagnosis on a faulty netlist plus a test file.
 * ``strategies`` — list the registered candidate-space strategies.
+* ``backends`` — list the registered SAT solver backends.
 * ``table1``   — print the paper's comparison matrix.
 * ``atpg``     — run the stuck-at ATPG flow (PODEM or SAT) and report
   coverage.
@@ -140,9 +141,12 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         raise SystemExit("error: empty test file")
     print(
         f"diagnosing {faulty.name}: {faulty.num_gates} gates, "
-        f"{tests.m} tests, k={args.k}, approach={args.approach}"
+        f"{tests.m} tests, k={args.k}, approach={args.approach}, "
+        f"backend={args.solver_backend or 'arena'}"
     )
-    session = DiagnosisSession(faulty, tests)
+    session = DiagnosisSession(
+        faulty, tests, solver_backend=args.solver_backend
+    )
     if args.approach == "bsim":
         result = basic_sim_diagnose(faulty, tests, session=session)
         ranked = sorted(result.marks, key=lambda g: -result.marks[g])
@@ -177,6 +181,16 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
     width = max(len(name) for name in DIAGNOSIS_STRATEGIES)
     for name in available_strategies():
         print(f"{name.ljust(width)}  {DIAGNOSIS_STRATEGIES[name][1]}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from .sat.backends import available_backends, backend_summary
+
+    names = available_backends()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name.ljust(width)}  {backend_summary(name)}")
     return 0
 
 
@@ -298,12 +312,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_diag.add_argument("--limit", type=int, default=100)
     p_diag.add_argument("--top", type=int, default=10)
+    p_diag.add_argument(
+        "--solver-backend", default=None, metavar="NAME",
+        help="SAT backend for every solver the session builds "
+        "(see 'python -m repro backends'; default: arena)",
+    )
     p_diag.set_defaults(func=_cmd_diagnose)
 
     p_strat = sub.add_parser(
         "strategies", help="list the registered diagnosis strategies"
     )
     p_strat.set_defaults(func=_cmd_strategies)
+
+    p_back = sub.add_parser(
+        "backends", help="list the registered SAT solver backends"
+    )
+    p_back.set_defaults(func=_cmd_backends)
 
     p_t1 = sub.add_parser("table1", help="print the comparison matrix")
     p_t1.set_defaults(func=_cmd_table1)

@@ -228,7 +228,9 @@ def partitioned_sat_diagnose(
 def _select_zero_strategy(
     session: DiagnosisSession, k: int = 1, **options
 ) -> SolutionSetResult:
-    return select_zero_sat_diagnose(session.circuit, session.tests, k, **options)
+    return select_zero_sat_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )
 
 
 @register_strategy(
@@ -237,7 +239,9 @@ def _select_zero_strategy(
 def _dominator_strategy(
     session: DiagnosisSession, k: int = 1, **options
 ) -> SolutionSetResult:
-    return dominator_sat_diagnose(session.circuit, session.tests, k, **options)
+    return dominator_sat_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )
 
 
 @register_strategy(
@@ -246,4 +250,6 @@ def _dominator_strategy(
 def _partitioned_strategy(
     session: DiagnosisSession, k: int = 1, **options
 ) -> SolutionSetResult:
-    return partitioned_sat_diagnose(session.circuit, session.tests, k, **options)
+    return partitioned_sat_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )

@@ -54,6 +54,7 @@ def enumerate_sim_corrections(
     policy: str = "first",
     approach_name: str = "advSIM",
     session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
     """All minimal valid corrections of size ≤ k within ``pool``.
 
@@ -135,6 +136,7 @@ def incremental_sim_diagnose(
     policy: str = "first",
     max_solutions: int | None = None,
     session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
     """Greedy incremental diagnosis with backtracking (flavour of ref [13]).
 

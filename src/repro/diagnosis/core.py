@@ -139,6 +139,7 @@ class DiagnosisSession:
         circuit: Circuit,
         tests: TestSet | Iterable[Test],
         constrain_all_outputs: bool = False,
+        solver_backend: str | None = None,
     ) -> None:
         if not isinstance(tests, TestSet):
             tests = TestSet(tuple(tests))
@@ -162,6 +163,10 @@ class DiagnosisSession:
             Observation.from_test(t) for t in tests
         )
         self.constrain_all_outputs = constrain_all_outputs
+        #: Default SAT backend for every solver this session builds
+        #: (:mod:`repro.sat.backends`; None = the registry default).
+        #: Strategies may override per call via ``solver_backend=``.
+        self.solver_backend = solver_backend
         self.m = len(tests)
         #: Word with one bit per observation; a candidate is consistent
         #: when its rectification word equals this mask.
@@ -175,8 +180,11 @@ class DiagnosisSession:
         self._levels: dict[str, int] | None = None
         self._fanin_cones: dict[str, frozenset[str]] = {}
         self._rectify_solvers: dict[
-            tuple[int, tuple[str, ...]], tuple[Solver, dict[str, int]]
+            tuple[int, tuple[str, ...], str | None],
+            tuple[Solver, dict[str, int]],
         ] = {}
+        self._instances: dict[tuple, object] = {}
+        self._ihs_states: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # shared engines and cached artifacts
@@ -381,25 +389,68 @@ class DiagnosisSession:
         k_max: int,
         suspects: Sequence[str] | None = None,
         select_zero_clauses: bool = False,
+        solver_backend: str | None = None,
     ):
-        """A fresh SAT diagnosis instance over this session's tests.
+        """The session's *persistent* SAT instance for these options.
 
-        Solver state is mutable (enumeration adds blocking clauses), so
-        instances are deliberately *not* cached — only their inputs are.
+        Built once per (suspects, select-zero, backend) key and cached
+        alongside the lane caches; every BSAT/auto-k/hybrid/IHS query
+        drives it through assumptions on one incremental solver.
+        Blocking clauses are scoped per query with activation literals
+        (:meth:`~repro.diagnosis.satdiag.DiagnosisInstance.begin_scope`)
+        and the cardinality bound extends in place when a later query
+        needs a larger ``k`` — no per-k CNF rebuilds.
         """
+        from ..sat.backends import resolve_backend
         from .satdiag import build_diagnosis_instance
 
-        return build_diagnosis_instance(
-            self.circuit,
-            self.tests,
-            k_max=k_max,
-            suspects=suspects,
-            constrain_all_outputs=self.constrain_all_outputs,
-            select_zero_clauses=select_zero_clauses,
+        backend = resolve_backend(
+            solver_backend
+            if solver_backend is not None
+            else self.solver_backend
         )
+        key = (
+            "instance",
+            None if suspects is None else tuple(dict.fromkeys(suspects)),
+            select_zero_clauses,
+            backend,
+        )
+        cached = self._instances.get(key)
+        if cached is None:
+            cached = build_diagnosis_instance(
+                self.circuit,
+                self.tests,
+                k_max=k_max,
+                suspects=suspects,
+                constrain_all_outputs=self.constrain_all_outputs,
+                select_zero_clauses=select_zero_clauses,
+                solver_backend=backend,
+                persistent=True,
+            )
+            self._instances[key] = cached
+        else:
+            cached.extend_k(k_max)
+        return cached
+
+    def ihs_state(self, key: tuple, factory):
+        """Per-session persistent state for the IHS hitting-set loop.
+
+        The implicit-hitting-set search keeps its hitting-set solver —
+        selection variables, accumulated conflict clauses, incremental
+        totalizer and learnt state — alive across calls under ``key``
+        (pool + backend); ``factory`` builds it on first use.
+        """
+        cached = self._ihs_states.get(key)
+        if cached is None:
+            cached = factory()
+            self._ihs_states[key] = cached
+        return cached
 
     def rectify_solver(
-        self, j: int, pool: Sequence[str]
+        self,
+        j: int,
+        pool: Sequence[str],
+        solver_backend: str | None = None,
     ) -> tuple[Solver, dict[str, int]]:
         """Incremental per-observation solver for conflict extraction.
 
@@ -415,8 +466,15 @@ class DiagnosisSession:
         """
         if not 0 <= j < self.m:
             raise IndexError(f"observation index {j} out of range")
+        from ..sat.backends import resolve_backend
+
+        backend = resolve_backend(
+            solver_backend
+            if solver_backend is not None
+            else self.solver_backend
+        )
         pool_key = tuple(dict.fromkeys(pool))
-        cached = self._rectify_solvers.get((j, pool_key))
+        cached = self._rectify_solvers.get((j, pool_key, backend))
         if cached is not None:
             return cached
         obs = self.observations[j]
@@ -451,8 +509,8 @@ class DiagnosisSession:
         else:
             out_var = var_of[obs.output]
             cnf.add_clause([out_var if obs.value else -out_var])
-        solver = cnf.to_solver()
-        self._rectify_solvers[(j, pool_key)] = (solver, select_of)
+        solver = cnf.to_solver(backend=backend)
+        self._rectify_solvers[(j, pool_key, backend)] = (solver, select_of)
         return solver, select_of
 
 
@@ -729,9 +787,16 @@ def diagnose(
     "session-native screen: all valid single-gate corrections, one sweep",
 )
 def _single_fix_strategy(
-    session: DiagnosisSession, k: int = 1, pool: Sequence[str] | None = None
+    session: DiagnosisSession,
+    k: int = 1,
+    pool: Sequence[str] | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
-    """All size-1 corrections via the space's singleton sweep."""
+    """All size-1 corrections via the space's singleton sweep.
+
+    ``solver_backend`` is accepted for registry uniformity; the sweep is
+    pure simulation, so it has no effect here.
+    """
     start = time.perf_counter()
     space = session.space(pool)
     singles = space.singletons()

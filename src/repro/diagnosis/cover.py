@@ -41,6 +41,7 @@ def minimal_covers_sat(
     k: int,
     solution_limit: int | None = None,
     conflict_limit: int | None = None,
+    solver_backend: str | None = None,
 ) -> tuple[list[Correction], bool]:
     """All inclusion-minimal covers of ``sets`` with at most ``k`` elements.
 
@@ -58,7 +59,7 @@ def minimal_covers_sat(
     for s in sets:
         cnf.add_clause([var_of[g] for g in sorted(s)])
     bound_outs = totalizer(cnf, [var_of[g] for g in universe], min(k, len(universe)))
-    solver = cnf.to_solver()
+    solver = cnf.to_solver(backend=solver_backend)
     covers: list[Correction] = []
     complete = True
     for bound in range(1, k + 1):
@@ -138,6 +139,7 @@ def sc_diagnose(
     solution_limit: int | None = None,
     conflict_limit: int | None = None,
     session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
     """``SCDiagnose(I, T, k)`` — Fig. 4 of the paper (the COV approach).
 
@@ -162,6 +164,7 @@ def sc_diagnose(
             k,
             solution_limit=solution_limit,
             conflict_limit=conflict_limit,
+            solver_backend=solver_backend,
         )
     else:
         covers = minimal_covers_bnb(sim_result.candidate_sets, k)

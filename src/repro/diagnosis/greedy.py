@@ -142,6 +142,7 @@ def greedy_stochastic_diagnose(
     max_solutions: int | None = None,
     deep_check: bool = True,
     session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
     """SAFARI-style greedy stochastic search for valid corrections.
 

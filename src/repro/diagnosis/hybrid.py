@@ -54,6 +54,7 @@ def pt_guided_sat_diagnose(
     sim_result: SimDiagnosisResult | None = None,
     select_zero_clauses: bool = False,
     session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
     **kwargs,
 ) -> SolutionSetResult:
     """Hybrid 1: seed the SAT decision heuristic with path-tracing marks.
@@ -70,7 +71,9 @@ def pt_guided_sat_diagnose(
         # caller (or an earlier strategy) already path-traced these tests.
         sim_result = session.sim_result(policy=policy)
     instance = session.instance(
-        k, select_zero_clauses=select_zero_clauses
+        k,
+        select_zero_clauses=select_zero_clauses,
+        solver_backend=solver_backend,
     )
     marks = sim_result.marks
     for gate, select_var in instance.select_of.items():

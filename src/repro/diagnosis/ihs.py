@@ -26,28 +26,70 @@ Both engines of the repo feed the loop:
   smaller than the structural cone.
 
 Hitting sets are enumerated with the repo's own CNF machinery — one
-selection variable per pool gate, one clause per conflict, a
-:func:`repro.sat.cardinality.totalizer` bound incremented from 1 — so
-the first consistent candidates found are minimum-cardinality, and with
-superset blocking every reported solution is subset-minimal within the
-explored bound.  Initial conflicts are the failing outputs' fan-in cones
-(sound: a correction must change the erroneous output's value, hence
-contain a cone gate).
+selection variable per pool gate, one clause per conflict, an
+:class:`repro.sat.cardinality.IncrementalTotalizer` bound incremented
+from 1 — so the first consistent candidates found are
+minimum-cardinality, and with superset blocking every reported solution
+is subset-minimal within the explored bound.  Initial conflicts are the
+failing outputs' fan-in cones (sound: a correction must change the
+erroneous output's value, hence contain a cone gate).
+
+The hitting-set instance is **persistent per session**
+(:meth:`~repro.diagnosis.core.DiagnosisSession.ihs_state`): selection
+variables, accumulated conflicts and the solver's learnt state survive
+across calls — conflicts are facts about the problem, so later calls
+start from everything earlier calls proved — while each call's
+solution-blocking clauses are scoped with an activation literal exactly
+like the BSAT enumerations.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..circuits.netlist import Circuit
-from ..sat.cardinality import totalizer
+from ..sat.cardinality import IncrementalTotalizer
 from ..sat.cnf import CNF
 from ..testgen.testset import TestSet
 from .base import Correction, SolutionSetResult
 from .core import DiagnosisSession, register_strategy
 
 __all__ = ["ihs_diagnose"]
+
+
+@dataclass
+class _HitterState:
+    """Session-persistent hitting-set instance for one (pool, backend)."""
+
+    cnf: CNF
+    var_of: dict[str, int]
+    gate_of: dict[int, str]
+    totalizer: IncrementalTotalizer
+    solver: object
+    conflicts: list[frozenset[str]]
+    seen_conflicts: set[frozenset[str]] = field(default_factory=set)
+    scope_count: int = 0
+
+    def add_conflict(self, gates: frozenset[str]) -> bool:
+        """Record a sound conflict permanently; False when already known."""
+        if not gates or gates in self.seen_conflicts:
+            return False
+        self.seen_conflicts.add(gates)
+        self.conflicts.append(gates)
+        self.solver.add_clause([self.var_of[g] for g in sorted(gates)])
+        return True
+
+    def begin_scope(self) -> int:
+        self.scope_count += 1
+        act = self.cnf.new_var(f"act:{self.scope_count}")
+        self.solver.ensure_vars(act)
+        return act
+
+    def end_scope(self, act: int) -> None:
+        self.solver.add_clause([-act])
+        self.cnf.add_clause([-act])
 
 
 def ihs_diagnose(
@@ -58,6 +100,7 @@ def ihs_diagnose(
     solution_limit: int | None = None,
     max_rounds: int = 10_000,
     session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
     """Implicit hitting set search for minimum-cardinality corrections.
 
@@ -96,40 +139,62 @@ def ihs_diagnose(
     rect_sets = [
         space.fault_list_candidates(j) for j in range(session.m)
     ]
-    # Sound initial conflicts: the failing outputs' fan-in cones.  Only
-    # observations that actually fail constrain the correction this way
-    # (a passing observation is rectified by the empty correction).
-    failing = session.failing_word()
-    conflicts: list[frozenset[str]] = []
-    seen_conflicts: set[frozenset[str]] = set()
-    for j in range(session.m):
-        if not (failing >> j) & 1:
-            continue
-        cone = space.cone_conflict(j)
-        if cone and cone not in seen_conflicts:
-            seen_conflicts.add(cone)
-            conflicts.append(cone)
+    from ..sat.backends import resolve_backend
 
-    # Hitting-set instance: one selection var per pool gate, one clause
-    # per conflict, a totalizer for the cardinality bound.  Clauses for
-    # new conflicts are added incrementally (CDCL keeps its learnt state).
-    cnf = CNF()
-    var_of = {g: cnf.new_var(f"h:{g}") for g in pool_gates}
-    gate_of = {v: g for g, v in var_of.items()}
-    for conflict in conflicts:
-        cnf.add_clause([var_of[g] for g in sorted(conflict)])
-    bound_outs = totalizer(
-        cnf, [var_of[g] for g in pool_gates], k_max
+    backend = resolve_backend(
+        solver_backend
+        if solver_backend is not None
+        else session.solver_backend
     )
-    hitter = cnf.to_solver()
-    t_build = time.perf_counter() - start
+    pool_key = tuple(pool_gates)
 
-    def add_conflict(gates: frozenset[str]) -> None:
-        if not gates or gates in seen_conflicts:
-            return
-        seen_conflicts.add(gates)
-        conflicts.append(gates)
-        hitter.add_clause([var_of[g] for g in sorted(gates)])
+    def build_state() -> _HitterState:
+        # Sound initial conflicts: the failing outputs' fan-in cones.
+        # Only observations that actually fail constrain the correction
+        # this way (a passing observation is rectified by the empty
+        # correction).
+        failing = session.failing_word()
+        conflicts: list[frozenset[str]] = []
+        seen: set[frozenset[str]] = set()
+        for j in range(session.m):
+            if not (failing >> j) & 1:
+                continue
+            cone = space.cone_conflict(j)
+            if cone and cone not in seen:
+                seen.add(cone)
+                conflicts.append(cone)
+        # Hitting-set instance: one selection var per pool gate, one
+        # clause per conflict, an incremental totalizer for the
+        # cardinality bound.  Clauses for new conflicts are added
+        # incrementally (CDCL keeps its learnt state).
+        cnf = CNF()
+        var_of = {g: cnf.new_var(f"h:{g}") for g in pool_gates}
+        for conflict in conflicts:
+            cnf.add_clause([var_of[g] for g in sorted(conflict)])
+        tot = IncrementalTotalizer(
+            cnf, [var_of[g] for g in pool_gates], k_max
+        )
+        hitter = cnf.to_solver(backend=backend)
+        tot.bind_solver(hitter)
+        return _HitterState(
+            cnf=cnf,
+            var_of=var_of,
+            gate_of={v: g for g, v in var_of.items()},
+            totalizer=tot,
+            solver=hitter,
+            conflicts=conflicts,
+            seen_conflicts=seen,
+        )
+
+    state: _HitterState = session.ihs_state(
+        ("ihs", pool_key, backend), build_state
+    )
+    state.totalizer.extend(k_max)
+    var_of = state.var_of
+    gate_of = state.gate_of
+    hitter = state.solver
+    conflicts = state.conflicts
+    t_build = time.perf_counter() - start
 
     def consistent_with_observation(h: tuple[str, ...], j: int) -> bool:
         """Exact check of one observation, cheapest engine first."""
@@ -139,7 +204,9 @@ def ihs_diagnose(
 
     def extract_conflict(h: tuple[str, ...], j: int) -> frozenset[str]:
         """SAT-core conflict from an observation that rejects ``h``."""
-        solver, select_of = session.rectify_solver(j, pool_gates)
+        solver, select_of = session.rectify_solver(
+            j, pool_gates, solver_backend=backend
+        )
         outside = [g for g in pool_gates if g not in h]
         assumptions = [-select_of[g] for g in outside]
         if solver.solve(assumptions=assumptions):
@@ -155,6 +222,7 @@ def ihs_diagnose(
             gate_by_select[-lit] for lit in core if -lit in gate_by_select
         )
 
+    act = state.begin_scope()
     search_start = time.perf_counter()
     solutions: list[Correction] = []
     t_first: float | None = None
@@ -163,58 +231,62 @@ def ihs_diagnose(
     cores = 0
     found_bound: int | None = None
     infeasible = False
-    for bound in range(1, k_max + 1):
-        if found_bound is not None or infeasible:
-            break
-        assumptions = (
-            [-bound_outs[bound]] if bound < len(bound_outs) else []
-        )
-        while True:
-            if rounds >= max_rounds:
-                complete = False
-                infeasible = True  # stop escalating the bound too
+    try:
+        for bound in range(1, k_max + 1):
+            if found_bound is not None or infeasible:
                 break
-            rounds += 1
-            if not hitter.solve(assumptions=assumptions):
-                break  # no hitting set of this cardinality remains
-            h = tuple(
-                sorted(
-                    gate_of[v]
-                    for v in var_of.values()
-                    if hitter.value(v)
-                )
-            )
-            rejecting = None
-            for j in range(session.m):
-                if not consistent_with_observation(h, j):
-                    rejecting = j
-                    break
-            if rejecting is None:
-                candidate = frozenset(h)
-                if not any(sol <= candidate for sol in solutions):
-                    solutions.append(candidate)
-                    if t_first is None:
-                        t_first = time.perf_counter() - search_start
-                found_bound = bound
-                # Block supersets and keep enumerating this cardinality.
-                hitter.add_clause([-var_of[g] for g in h])
-                if (
-                    solution_limit is not None
-                    and len(solutions) >= solution_limit
-                ):
+            assumptions = state.totalizer.bound_assumptions(bound) + [act]
+            while True:
+                if rounds >= max_rounds:
                     complete = False
+                    infeasible = True  # stop escalating the bound too
                     break
-            else:
-                core = extract_conflict(h, rejecting)
-                cores += 1
-                if core:
-                    add_conflict(core)
+                rounds += 1
+                if not hitter.solve(assumptions=assumptions):
+                    break  # no hitting set of this cardinality remains
+                h = tuple(
+                    sorted(
+                        gate_of[v]
+                        for v in var_of.values()
+                        if hitter.value(v)
+                    )
+                )
+                rejecting = None
+                for j in range(session.m):
+                    if not consistent_with_observation(h, j):
+                        rejecting = j
+                        break
+                if rejecting is None:
+                    candidate = frozenset(h)
+                    if not any(sol <= candidate for sol in solutions):
+                        solutions.append(candidate)
+                        if t_first is None:
+                            t_first = time.perf_counter() - search_start
+                    found_bound = bound
+                    # Block supersets (scoped to this call) and keep
+                    # enumerating this cardinality.
+                    hitter.add_clause(
+                        [-var_of[g] for g in h] + [-act]
+                    )
+                    if (
+                        solution_limit is not None
+                        and len(solutions) >= solution_limit
+                    ):
+                        complete = False
+                        break
                 else:
-                    # Empty core: the observation is unrectifiable even
-                    # with every pool gate free — no solution exists at
-                    # any cardinality.
-                    infeasible = True
-                    break
+                    core = extract_conflict(h, rejecting)
+                    cores += 1
+                    if core:
+                        state.add_conflict(core)
+                    else:
+                        # Empty core: the observation is unrectifiable
+                        # even with every pool gate free — no solution
+                        # exists at any cardinality.
+                        infeasible = True
+                        break
+    finally:
+        state.end_scope(act)
     t_all = time.perf_counter() - search_start
     return SolutionSetResult(
         approach="IHS",

@@ -15,6 +15,20 @@ The diagnosis instance ``F`` is constructed exactly as in the paper:
 
 ``BasicSATDiagnose`` returns every solution; each solution also carries the
 per-test correction values ("the 'correct' function of the gate", §4).
+
+Instance lifetime
+-----------------
+
+An instance is built **once** and then serves any number of queries on
+one persistent incremental solver (see the lifetime diagram in the
+:mod:`repro.sat` docstring): the cardinality bound is an
+:class:`~repro.sat.cardinality.IncrementalTotalizer` that extends in
+place when a later query needs a larger ``k``, and each enumeration runs
+under a fresh *activation literal* so its blocking clauses retract when
+the query ends.  :meth:`repro.diagnosis.core.DiagnosisSession.instance`
+caches instances per (suspects, options) alongside the session's lane
+caches, so ``bsat``, ``bsat-auto-k``, the hybrids and the IHS loop all
+share one encoded instance — no per-k CNF rebuilds.
 """
 
 from __future__ import annotations
@@ -24,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..circuits.netlist import Circuit
-from ..sat.cardinality import totalizer
+from ..sat.cardinality import IncrementalTotalizer
 from ..sat.cnf import CNF
 from ..sat.enumerate import enumerate_solutions
 from ..sat.solver import Solver
@@ -58,6 +72,16 @@ class DiagnosisInstance:
     suspects: tuple[str, ...]
     build_time: float = 0.0
     extras: dict[str, object] = field(default_factory=dict)
+    #: Incremental totalizer behind ``bound_outputs`` (present on all new
+    #: instances; None only for hand-built legacy instances).
+    totalizer: IncrementalTotalizer | None = None
+    #: Persistent instances live in a session cache and serve many
+    #: queries; their enumerations are scoped by activation literals and
+    #: their complete results are memoized in ``results_cache``.
+    persistent: bool = False
+    solver_backend: str | None = None
+    results_cache: dict = field(default_factory=dict)
+    _scope_count: int = 0
 
     def bound_assumptions(self, bound: int) -> list[int]:
         """Assumption literals enforcing "at most ``bound`` selects"."""
@@ -66,6 +90,36 @@ class DiagnosisInstance:
         if bound >= len(self.bound_outputs):
             return []
         return [-self.bound_outputs[bound]]
+
+    def extend_k(self, k_max: int) -> None:
+        """Grow the cardinality bound in place (incremental totalizer)."""
+        if k_max <= self.k_max:
+            return
+        if self.totalizer is None:
+            raise ValueError(
+                "instance was built without an incremental totalizer"
+            )
+        self.totalizer.extend(min(k_max, len(self.suspects)))
+        self.bound_outputs = self.totalizer.outputs
+        self.k_max = k_max
+        self.results_cache.clear()  # cached keys are per-k sweeps
+
+    def begin_scope(self) -> int:
+        """Open an enumeration scope: returns a fresh activation literal.
+
+        Assume it on every solve and append its negation to every
+        blocking clause; close with :meth:`end_scope` so the blocks
+        retract and the next query sees the unblocked instance.
+        """
+        self._scope_count += 1
+        act = self.cnf.new_var(f"act:{self._scope_count}")
+        self.solver.ensure_vars(act)
+        return act
+
+    def end_scope(self, act: int) -> None:
+        """Close an enumeration scope (permanently satisfies its blocks)."""
+        self.solver.add_clause([-act])
+        self.cnf.add_clause([-act])
 
     def solution_from_model(self) -> Correction:
         """Selected gates in the solver's current model."""
@@ -99,6 +153,8 @@ def build_diagnosis_instance(
     constrain_all_outputs: bool = False,
     select_zero_clauses: bool = False,
     solver: Solver | None = None,
+    solver_backend: str | None = None,
+    persistent: bool = False,
 ) -> DiagnosisInstance:
     """Construct the SAT instance of Fig. 2(b)/Fig. 3 step (1).
 
@@ -115,6 +171,13 @@ def build_diagnosis_instance(
         Add the advanced heuristic clauses ``(s_g ∨ ¬c_g^i)`` forcing the
         free value to 0 while its multiplexer is unselected, which "prevents
         up to |I| decisions of the SAT-solver" (§2.3).
+    solver_backend:
+        Registered SAT backend name (:mod:`repro.sat.backends`); None =
+        the default arena solver.  Mutually exclusive with ``solver``.
+    persistent:
+        Mark the instance as living in a session cache: enumerations over
+        it are scoped with activation literals and complete results are
+        memoized (see :func:`basic_sat_diagnose`).
     """
     if not circuit.is_combinational:
         raise ValueError(
@@ -183,10 +246,13 @@ def build_diagnosis_instance(
             var = signal_of[(i, test.output)]
             cnf.add_clause([var if test.value else -var])
 
-    bound_outputs = totalizer(
-        cnf, [select_of[g] for g in suspect_list], min(k_max, len(suspect_list))
+    tot = IncrementalTotalizer(
+        cnf,
+        [select_of[g] for g in suspect_list],
+        min(k_max, len(suspect_list)),
     )
-    built_solver = cnf.to_solver(solver)
+    built_solver = cnf.to_solver(solver, backend=solver_backend)
+    tot.bind_solver(built_solver)
     return DiagnosisInstance(
         circuit=circuit,
         tests=tests,
@@ -196,10 +262,13 @@ def build_diagnosis_instance(
         gate_of=gate_of,
         correction_of=correction_of,
         signal_of=signal_of,
-        bound_outputs=bound_outputs,
+        bound_outputs=tot.outputs,
         k_max=k_max,
         suspects=suspect_list,
         build_time=time.perf_counter() - start,
+        totalizer=tot,
+        persistent=persistent,
+        solver_backend=solver_backend,
     )
 
 
@@ -216,6 +285,7 @@ def basic_sat_diagnose(
     instance: DiagnosisInstance | None = None,
     approach_name: str = "BSAT",
     session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
     """``BasicSATDiagnose(I, T, k)`` — Fig. 3 of the paper.
 
@@ -226,23 +296,30 @@ def basic_sat_diagnose(
 
     Returns a :class:`SolutionSetResult`; when ``collect_corrections`` is
     set, ``extras["corrections"]`` maps each solution to its per-test
-    injected values.  A prepared ``session`` supplies the instance
-    construction (same encoding, shared test packing).
+    injected values.  A prepared ``session`` supplies the (persistent,
+    cached) instance; on a persistent instance the enumeration runs in an
+    activation-literal scope — identical solution sets to a fresh
+    instance, but no CNF rebuild, and a repeated identical query is
+    served from the instance's result memo (``extras["cached"]``).
     """
     if k < 1:
         raise ValueError("k must be at least 1")
     if instance is None:
         # Only route through the session when its output semantics match
         # the caller's request — otherwise the session's flag would
-        # silently override ``constrain_all_outputs``.
+        # silently override ``constrain_all_outputs`` — and when the
+        # tests are the session's own (the partitioned strategy
+        # diagnoses test chunks the session instance does not encode).
         if (
             session is not None
             and session.constrain_all_outputs == constrain_all_outputs
+            and session.tests is tests
         ):
             instance = session.instance(
                 k,
                 suspects=suspects,
                 select_zero_clauses=select_zero_clauses,
+                solver_backend=solver_backend,
             )
         else:
             instance = build_diagnosis_instance(
@@ -252,48 +329,107 @@ def basic_sat_diagnose(
                 suspects=suspects,
                 constrain_all_outputs=constrain_all_outputs,
                 select_zero_clauses=select_zero_clauses,
+                solver_backend=solver_backend,
             )
+    elif instance.persistent and k > instance.k_max:
+        instance.extend_k(k)
     solver = instance.solver
     select_vars = [instance.select_of[g] for g in instance.suspects]
+
+    cache_key = (k, solution_limit, conflict_limit)
+    if instance.persistent:
+        cached = instance.results_cache.get(cache_key)
+        if cached is not None and (
+            not collect_corrections or cached["corrections"] is not None
+        ):
+            start = time.perf_counter()
+            extras: dict[str, object] = {
+                "solver_stats": dict(solver.stats),
+                "n_vars": instance.cnf.num_vars,
+                "n_clauses": instance.cnf.num_clauses,
+                "solution_stats": list(cached["solution_stats"]),
+                "cached": True,
+            }
+            if collect_corrections:
+                extras["corrections"] = dict(cached["corrections"])
+            t_all = time.perf_counter() - start
+            return SolutionSetResult(
+                approach=approach_name,
+                k=k,
+                solutions=cached["solutions"],
+                complete=cached["complete"],
+                t_build=0.0,
+                t_first=min(cached["t_first"], t_all),
+                t_all=t_all,
+                extras=extras,
+            )
+
+    act = instance.begin_scope() if instance.persistent else 0
+    extra_assumptions = [act] if act else []
+    block_extra = (-act,) if act else ()
     solutions: list[Correction] = []
     corrections: dict[Correction, dict[str, list[int]]] = {}
+    solution_stats: list[dict[str, int]] = []
     t_first: float | None = None
     complete = True
     search_start = time.perf_counter()
-    for bound in range(1, k + 1):
-        assumptions = instance.bound_assumptions(bound)
-        budget_left = (
-            None if solution_limit is None else solution_limit - len(solutions)
-        )
-        if budget_left is not None and budget_left <= 0:
-            complete = False
-            break
-        try:
-            for model_vars in enumerate_solutions(
-                solver,
-                select_vars,
-                assumptions=assumptions,
-                block="superset",
-                limit=budget_left,
-                conflict_limit=conflict_limit,
-            ):
-                solution = frozenset(instance.gate_of[v] for v in model_vars)
-                if t_first is None:
-                    t_first = time.perf_counter() - search_start
-                if collect_corrections:
-                    corrections[solution] = instance.correction_values(solution)
-                solutions.append(solution)
-        except TimeoutError:
-            complete = False
-            break
-        if solution_limit is not None and len(solutions) >= solution_limit:
-            complete = len(solutions) < solution_limit
-            break
+    try:
+        for bound in range(1, k + 1):
+            assumptions = (
+                instance.bound_assumptions(bound) + extra_assumptions
+            )
+            budget_left = (
+                None
+                if solution_limit is None
+                else solution_limit - len(solutions)
+            )
+            if budget_left is not None and budget_left <= 0:
+                complete = False
+                break
+            try:
+                for model_vars in enumerate_solutions(
+                    solver,
+                    select_vars,
+                    assumptions=assumptions,
+                    block="superset",
+                    limit=budget_left,
+                    conflict_limit=conflict_limit,
+                    block_extra=block_extra,
+                    stats_deltas=solution_stats,
+                ):
+                    solution = frozenset(
+                        instance.gate_of[v] for v in model_vars
+                    )
+                    if t_first is None:
+                        t_first = time.perf_counter() - search_start
+                    if collect_corrections or instance.persistent:
+                        corrections[solution] = instance.correction_values(
+                            solution
+                        )
+                    solutions.append(solution)
+            except TimeoutError:
+                complete = False
+                break
+            if solution_limit is not None and len(solutions) >= solution_limit:
+                complete = len(solutions) < solution_limit
+                break
+    finally:
+        if act:
+            instance.end_scope(act)
     t_all = time.perf_counter() - search_start
-    extras: dict[str, object] = {
+    if instance.persistent:
+        instance.results_cache[cache_key] = {
+            "solutions": tuple(solutions),
+            "complete": complete,
+            "corrections": dict(corrections),
+            "solution_stats": list(solution_stats),
+            "t_first": t_first if t_first is not None else t_all,
+        }
+    extras = {
         "solver_stats": dict(solver.stats),
         "n_vars": instance.cnf.num_vars,
         "n_clauses": instance.cnf.num_clauses,
+        "solution_stats": solution_stats,
     }
     if collect_corrections:
         extras["corrections"] = corrections
@@ -313,6 +449,8 @@ def auto_k_sat_diagnose(
     circuit: Circuit,
     tests: TestSet,
     k_max: int = 4,
+    session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
     **kwargs,
 ) -> SolutionSetResult:
     """Automatically determine the error cardinality (Table 1: "or
@@ -322,20 +460,34 @@ def auto_k_sat_diagnose(
     under increasing bound assumptions until the first bound that admits
     solutions; all solutions of that bound are enumerated.  Because bounds
     are assumptions on a shared incremental solver, learned clauses carry
-    over between the attempts.
-
-    Returns a :class:`SolutionSetResult` whose ``k`` is the *smallest*
-    cardinality with a valid correction; ``extras["k_found"]`` records it
-    (0 solutions and ``k == k_max`` when even ``k_max`` is insufficient).
+    over between the attempts — and with a ``session``, the probes run on
+    the session's persistent instance, so a later ``bsat`` query reuses
+    everything this sweep learned.
     """
     if k_max < 1:
         raise ValueError("k_max must be at least 1")
-    instance = build_diagnosis_instance(
-        circuit, tests, k_max=k_max,
-        suspects=kwargs.pop("suspects", None),
-        constrain_all_outputs=kwargs.pop("constrain_all_outputs", False),
-        select_zero_clauses=kwargs.pop("select_zero_clauses", False),
-    )
+    suspects = kwargs.pop("suspects", None)
+    constrain_all_outputs = kwargs.pop("constrain_all_outputs", False)
+    select_zero_clauses = kwargs.pop("select_zero_clauses", False)
+    if (
+        session is not None
+        and session.constrain_all_outputs == constrain_all_outputs
+        and session.tests is tests
+    ):
+        instance = session.instance(
+            k_max,
+            suspects=suspects,
+            select_zero_clauses=select_zero_clauses,
+            solver_backend=solver_backend,
+        )
+    else:
+        instance = build_diagnosis_instance(
+            circuit, tests, k_max=k_max,
+            suspects=suspects,
+            constrain_all_outputs=constrain_all_outputs,
+            select_zero_clauses=select_zero_clauses,
+            solver_backend=solver_backend,
+        )
     solver = instance.solver
     for k in range(1, k_max + 1):
         feasible = solver.solve(assumptions=instance.bound_assumptions(k))
@@ -385,4 +537,6 @@ def _bsat_strategy(
 def _auto_k_strategy(
     session: DiagnosisSession, k: int = 4, **options
 ) -> SolutionSetResult:
-    return auto_k_sat_diagnose(session.circuit, session.tests, k_max=k, **options)
+    return auto_k_sat_diagnose(
+        session.circuit, session.tests, k_max=k, session=session, **options
+    )

@@ -66,6 +66,7 @@ def xlist_diagnose(
     k: int,
     verify: bool = True,
     suspects: Sequence[str] | None = None,
+    solver_backend: str | None = None,
 ) -> SolutionSetResult:
     """Multi-error X-list diagnosis.
 

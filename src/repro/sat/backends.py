@@ -1,0 +1,260 @@
+"""Pluggable SAT solver backends behind one ``solve/model/core`` surface.
+
+The diagnosis layer never hard-codes a solver class: every instance
+construction goes through :func:`create_solver` and the
+:data:`SAT_BACKENDS` registry (the SAT twin of the simulation layer's
+``_SIM_ENGINES`` and the diagnosis layer's ``DIAGNOSIS_STRATEGIES``).
+Three backends ship:
+
+``arena`` (default)
+    :class:`repro.sat.solver.Solver` — the flat-arena CDCL solver with
+    blocker watch lists, inlined propagation and enumeration trail
+    reuse.  Fastest; used everywhere unless overridden.
+``legacy``
+    :class:`repro.sat.legacy.LegacySolver` — the original object-graph
+    solver, kept as the differential oracle
+    (``tests/sat/test_backends.py`` races the two on random CNFs).
+``pysat``
+    A thin adapter over `python-sat <https://pysathq.github.io/>`_'s
+    Glucose3, registered **only when the package is importable** (the
+    repo does not depend on it).  Useful as an external cross-check and
+    as the template for remote/compiled engines (ROADMAP item).
+
+Every backend object offers the :class:`~repro.sat.solver.Solver`
+surface the repo relies on: ``new_var/ensure_vars/add_clause/solve
+(assumptions=, conflict_limit=)/value/model/core/stats`` plus the
+heuristic hooks ``bump_activity``/``set_phase`` (which may be no-ops).
+
+Select a backend per call site (``CNF.to_solver(backend="legacy")``),
+per diagnosis session (``DiagnosisSession(..., solver_backend=...)``),
+per strategy invocation (every registered strategy accepts
+``solver_backend=``) or on the CLI (``python -m repro diagnose
+--solver-backend legacy ...``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .legacy import LegacySolver
+from .solver import Solver
+
+__all__ = [
+    "SAT_BACKENDS",
+    "DEFAULT_BACKEND",
+    "register_backend",
+    "available_backends",
+    "create_solver",
+    "backend_summary",
+    "resolve_backend",
+    "external_backend_available",
+]
+
+#: Name -> (solver factory, one-line summary).
+SAT_BACKENDS: dict[str, tuple[Callable[[], object], str]] = {}
+
+#: The backend used when callers pass ``backend=None``.
+DEFAULT_BACKEND = "arena"
+
+
+def register_backend(
+    name: str, summary: str
+) -> Callable[[Callable[[], object]], Callable[[], object]]:
+    """Register a solver factory under ``name`` (decorator)."""
+
+    def deco(factory: Callable[[], object]) -> Callable[[], object]:
+        if name in SAT_BACKENDS:
+            raise ValueError(f"backend {name!r} registered twice")
+        SAT_BACKENDS[name] = (factory, summary)
+        return factory
+
+    return deco
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted, default first."""
+    names = sorted(SAT_BACKENDS)
+    names.remove(DEFAULT_BACKEND)
+    return (DEFAULT_BACKEND, *names)
+
+
+def backend_summary(name: str) -> str:
+    """The registry's one-line summary for ``name``."""
+    return SAT_BACKENDS[_resolve(name)][1]
+
+
+def resolve_backend(name: str | None) -> str:
+    """Canonical registered name for ``name`` (None = the default).
+
+    Cache keys should use this so ``None`` and the default backend's
+    explicit name share one entry; raises for unknown backends.
+    """
+    resolved = DEFAULT_BACKEND if name is None else name
+    if resolved not in SAT_BACKENDS:
+        raise ValueError(
+            f"unknown solver backend {resolved!r}; choose from "
+            f"{available_backends()}"
+        )
+    return resolved
+
+
+_resolve = resolve_backend
+
+
+def create_solver(backend: str | None = None):
+    """Instantiate a solver from the registry (None = default backend)."""
+    factory, _ = SAT_BACKENDS[_resolve(backend)]
+    return factory()
+
+
+@register_backend(
+    "arena",
+    "flat-arena CDCL: blocker watches, inlined BCP, enumeration trail "
+    "reuse (default)",
+)
+def _arena_backend() -> Solver:
+    return Solver()
+
+
+@register_backend(
+    "legacy", "pre-arena object-graph CDCL, kept as differential oracle"
+)
+def _legacy_backend() -> LegacySolver:
+    return LegacySolver()
+
+
+# ----------------------------------------------------------------------
+# optional external backend (python-sat), registered only if importable
+# ----------------------------------------------------------------------
+def external_backend_available() -> bool:
+    """True when the optional python-sat backend is registered."""
+    return "pysat" in SAT_BACKENDS
+
+
+class _PySatSolver:
+    """Adapter giving python-sat's Glucose3 the repo's Solver surface.
+
+    Incremental (clauses and assumption solving map 1:1); the heuristic
+    hooks are accepted but ignored, ``conflict_limit`` maps onto
+    python-sat's ``conf_budget`` mechanism, and ``stats`` mirrors the
+    accumulated statistics the native solvers expose (keys only — the
+    counters come from the external engine where available).
+    """
+
+    def __init__(self) -> None:
+        from pysat.solvers import Glucose3  # noqa: PLC0415
+
+        self._solver = Glucose3(incr=True)
+        self._num_vars = 0
+        self._ok = True
+        self._has_model = False
+        self._model: dict[int, bool] = {}
+        self._core: list[int] = []
+        self.stats: dict[str, int] = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "deleted": 0,
+        }
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def ensure_vars(self, n: int) -> None:
+        if n > self._num_vars:
+            self._num_vars = n
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def add_clause(self, lits) -> bool:
+        clause = list(lits)
+        for lit in clause:
+            self.ensure_vars(abs(lit))
+        if not clause:
+            self._ok = False
+            return False
+        self._solver.add_clause(clause)
+        return self._ok
+
+    def add_clauses(self, clauses) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def bump_activity(self, var: int, amount: float = 1.0) -> None:
+        pass  # external engine owns its heuristics
+
+    def set_phase(self, var: int, value: bool) -> None:
+        self._solver.set_phases([var if value else -var])
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ):
+        # Mirror the native contract: witnesses are per-solve, never
+        # carried over from an earlier call.
+        self._has_model = False
+        self._model = {}
+        self._core = []
+        if not self._ok:
+            return False
+        for a in assumptions:
+            self.ensure_vars(abs(a))
+        if conflict_limit is not None:
+            self._solver.conf_budget(conflict_limit)
+            result = self._solver.solve_limited(
+                assumptions=list(assumptions)
+            )
+        else:
+            result = self._solver.solve(assumptions=list(assumptions))
+        acc = self._solver.accum_stats()
+        for key in ("conflicts", "decisions", "propagations", "restarts"):
+            self.stats[key] = int(acc.get(key, self.stats[key]))
+        if result is True:
+            self._has_model = True
+            self._model = {
+                abs(l): l > 0 for l in (self._solver.get_model() or [])
+            }
+        elif result is False:
+            self._core = list(self._solver.get_core() or [])
+        return result
+
+    def value(self, var: int):
+        if not self._has_model:
+            raise RuntimeError("no model: last solve() did not return True")
+        return self._model.get(var)
+
+    def model(self) -> list[int]:
+        if not self._has_model:
+            raise RuntimeError("no model: last solve() did not return True")
+        return [
+            (v if self._model[v] else -v) for v in sorted(self._model)
+        ]
+
+    def core(self) -> list[int]:
+        return list(self._core)
+
+    def start_proof(self):
+        raise NotImplementedError(
+            "DRAT logging is only available on the native backends"
+        )
+
+
+def _try_register_pysat() -> None:
+    try:
+        from pysat.solvers import Glucose3  # noqa: F401,PLC0415
+    except ImportError:
+        return
+    register_backend(
+        "pysat", "external python-sat Glucose3 (optional dependency)"
+    )(_PySatSolver)
+
+
+_try_register_pysat()

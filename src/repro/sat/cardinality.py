@@ -11,7 +11,12 @@ i", paper Fig. 3).  Three encodings are provided:
 * **totalizer** (Bailleul & Boufkhad 2003) — O(n·k) clauses with *reusable
   bound outputs*: unit assumptions ``¬out[i]`` enforce "at most i", so the
   incremental loop ``i = 1 .. k`` of the paper reuses one encoding, exactly
-  like an incremental SAT use of Zchaff would.
+  like an incremental SAT use of Zchaff would.  The class form,
+  :class:`IncrementalTotalizer`, additionally **extends its bound in
+  place**: when a persistent diagnosis instance needs a larger ``k`` it
+  adds only the missing output variables and sum clauses (pushed straight
+  into the live solver) instead of re-encoding — the technique behind the
+  incremental MaxSAT/IHS loops in PAPERS.md.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from typing import Sequence
 from .cnf import CNF
 
 __all__ = [
+    "IncrementalTotalizer",
     "at_most_k_pairwise",
     "at_most_k_sequential",
     "totalizer",
@@ -82,6 +88,166 @@ def at_most_k_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
     # The final clause for i = n-1 already forbids k+1; nothing else needed.
 
 
+class _TotNode:
+    """One totalizer tree node: children plus the node's output literals."""
+
+    __slots__ = ("left", "right", "outs", "n_leaves", "is_leaf")
+
+    def __init__(self, left, right, outs, n_leaves, is_leaf):
+        self.left = left
+        self.right = right
+        self.outs = outs
+        self.n_leaves = n_leaves
+        self.is_leaf = is_leaf
+
+
+class IncrementalTotalizer:
+    """A truncated totalizer whose bound can grow after construction.
+
+    Builds the same encoding as :func:`totalizer` (identical variable and
+    clause order for a given ``max_bound``), but keeps the merge tree so
+    :meth:`extend` can raise the bound *in place*: only the missing
+    output variables and ``sum_left >= a ∧ sum_right >= b ⇒ sum >= a+b``
+    clauses are added, and when a live solver is attached
+    (:meth:`bind_solver`) the new clauses are pushed into it as well —
+    no re-encoding, learnt clauses survive.
+
+    >>> cnf = CNF()
+    >>> lits = [cnf.new_var() for _ in range(4)]
+    >>> tot = IncrementalTotalizer(cnf, lits, max_bound=1)
+    >>> len(tot.outputs)
+    2
+    >>> tot.extend(3); len(tot.outputs)
+    4
+    """
+
+    def __init__(
+        self, cnf: CNF, lits: Sequence[int], max_bound: int
+    ) -> None:
+        if max_bound < 0:
+            raise ValueError("max_bound must be non-negative")
+        self.cnf = cnf
+        self.lits = list(lits)
+        self._width = max_bound + 1
+        self._solver = None
+        self._root: _TotNode | None = (
+            self._build(self.lits) if self.lits else None
+        )
+
+    # -- construction ---------------------------------------------------
+    def _emit(self, clause: list[int]) -> None:
+        self.cnf.add_clause(clause)
+        if self._solver is not None:
+            self._solver.add_clause(clause)
+
+    def _build(self, segment: Sequence[int]) -> _TotNode:
+        if len(segment) == 1:
+            return _TotNode(None, None, [segment[0]], 1, True)
+        mid = len(segment) // 2
+        left = self._build(segment[:mid])
+        right = self._build(segment[mid:])
+        m = min(len(segment), self._width)
+        outs = [self.cnf.new_var() for _ in range(m)]
+        node = _TotNode(left, right, outs, len(segment), False)
+        self._merge_clauses(node, 0, m)
+        return node
+
+    def _merge_clauses(self, node: _TotNode, lo: int, hi: int) -> None:
+        """Emit the sum clauses for outputs ``lo < a+b <= hi`` of ``node``."""
+        left, right = node.left, node.right
+        outs = node.outs
+        for a in range(len(left.outs) + 1):
+            for b in range(len(right.outs) + 1):
+                s = a + b
+                if s <= lo or s > hi:
+                    continue
+                clause = [outs[s - 1]]
+                if a > 0:
+                    clause.append(-left.outs[a - 1])
+                if b > 0:
+                    clause.append(-right.outs[b - 1])
+                self._emit(clause)
+
+    # -- queries --------------------------------------------------------
+    @property
+    def outputs(self) -> list[int]:
+        """Root output variables: ``outputs[j]`` ⇔ at least ``j+1`` true."""
+        return [] if self._root is None else list(self._root.outs)
+
+    @property
+    def max_bound(self) -> int:
+        return self._width - 1
+
+    def bound_assumptions(self, bound: int) -> list[int]:
+        """Assumption literals enforcing "at most ``bound``" inputs true."""
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        outs = self.outputs
+        if bound >= len(outs):
+            return []
+        return [-outs[bound]]
+
+    # -- growth ---------------------------------------------------------
+    def bind_solver(self, solver) -> None:
+        """Mirror all *future* clauses into ``solver`` (which must already
+        hold the clauses emitted so far, e.g. via ``cnf.to_solver``)."""
+        self._solver = solver
+
+    def extend(self, new_max_bound: int) -> None:
+        """Raise the bound to ``new_max_bound``, adding only the missing
+        outputs and clauses (a no-op when the bound does not grow)."""
+        if new_max_bound < self.max_bound:
+            return
+        new_width = new_max_bound + 1
+        if new_width <= self._width or self._root is None:
+            self._width = max(self._width, new_width)
+            return
+        old_width, self._width = self._width, new_width
+        self._extend_node(self._root, old_width)
+
+    def _extend_node(self, node: _TotNode, old_width: int) -> None:
+        if node.is_leaf:
+            return
+        self._extend_node(node.left, old_width)
+        self._extend_node(node.right, old_width)
+        old_m = len(node.outs)
+        new_m = min(node.n_leaves, self._width)
+        if new_m <= old_m:
+            # Width already saturated at this node, but wider children
+            # may enable sums that were previously out of their range.
+            self._merge_rect(node, old_width, old_m)
+            return
+        node.outs.extend(
+            self.cnf.new_var() for _ in range(new_m - old_m)
+        )
+        self._merge_rect(node, old_width, new_m)
+
+    def _merge_rect(
+        self, node: _TotNode, old_width: int, hi: int
+    ) -> None:
+        """Emit exactly the merge clauses not emitted at ``old_width``:
+        pairs whose sum exceeded the old output range *or* that used
+        child outputs beyond the old child range."""
+        left, right = node.left, node.right
+        old_left = min(left.n_leaves, old_width)
+        old_right = min(right.n_leaves, old_width)
+        old_m = min(node.n_leaves, old_width)
+        outs = node.outs
+        for a in range(len(left.outs) + 1):
+            for b in range(len(right.outs) + 1):
+                s = a + b
+                if s == 0 or s > hi:
+                    continue
+                if s <= old_m and a <= old_left and b <= old_right:
+                    continue  # already emitted at the old width
+                clause = [outs[s - 1]]
+                if a > 0:
+                    clause.append(-left.outs[a - 1])
+                if b > 0:
+                    clause.append(-right.outs[b - 1])
+                self._emit(clause)
+
+
 def totalizer(cnf: CNF, lits: Sequence[int], max_bound: int) -> list[int]:
     """Build a truncated totalizer over ``lits``.
 
@@ -91,33 +257,7 @@ def totalizer(cnf: CNF, lits: Sequence[int], max_bound: int) -> list[int]:
     assumption ``-out[i]``.
 
     The encoding only constrains the outputs *upward* (inputs true ⇒
-    outputs true), which is sufficient for at-most bounds.
+    outputs true), which is sufficient for at-most bounds.  This is the
+    one-shot form of :class:`IncrementalTotalizer` (identical encoding).
     """
-    if max_bound < 0:
-        raise ValueError("max_bound must be non-negative")
-    width = max_bound + 1
-
-    def build(segment: Sequence[int]) -> list[int]:
-        if len(segment) == 1:
-            return [segment[0]]
-        mid = len(segment) // 2
-        left = build(segment[:mid])
-        right = build(segment[mid:])
-        m = min(len(segment), width)
-        outs = [cnf.new_var() for _ in range(m)]
-        # sum_left >= a and sum_right >= b  ==>  sum >= a+b
-        for a in range(len(left) + 1):
-            for b in range(len(right) + 1):
-                if a + b == 0 or a + b > m:
-                    continue
-                clause = [outs[a + b - 1]]
-                if a > 0:
-                    clause.append(-left[a - 1])
-                if b > 0:
-                    clause.append(-right[b - 1])
-                cnf.add_clause(clause)
-        return outs
-
-    if not lits:
-        return []
-    return build(list(lits))
+    return IncrementalTotalizer(cnf, lits, max_bound).outputs

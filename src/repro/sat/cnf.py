@@ -96,10 +96,21 @@ class CNF:
     # ------------------------------------------------------------------
     # hand-off
     # ------------------------------------------------------------------
-    def to_solver(self, solver: Solver | None = None) -> Solver:
-        """Load the formula into a solver (creating one if needed)."""
+    def to_solver(
+        self, solver: Solver | None = None, backend: str | None = None
+    ) -> Solver:
+        """Load the formula into a solver (creating one if needed).
+
+        ``backend`` names a registered solver backend
+        (:data:`repro.sat.backends.SAT_BACKENDS`); the default is the
+        arena solver.  Mutually exclusive with passing ``solver``.
+        """
         if solver is None:
-            solver = Solver()
+            from .backends import create_solver  # local: avoid a cycle
+
+            solver = create_solver(backend)
+        elif backend is not None:
+            raise ValueError("pass either a solver or a backend name")
         solver.ensure_vars(self._num_vars)
         for clause in self._clauses:
             solver.add_clause(clause)

@@ -1,4 +1,4 @@
-"""Conflict-driven clause-learning (CDCL) SAT solver.
+"""Conflict-driven clause-learning (CDCL) SAT solver on a flat clause arena.
 
 A from-scratch reimplementation of the solver class the paper relies on
 (Zchaff, ref [15]): two-watched-literal Boolean constraint propagation,
@@ -7,6 +7,18 @@ analysis with clause minimization, Luby restarts, activity-driven learnt
 clause deletion, and *incremental* solving under assumptions — the feature
 (paper ref [19], SATIRE) that makes the iterative ``k = 1 .. k_max``
 diagnosis loop cheap, since learned clauses survive between calls.
+
+Clause storage is a single flat Python int list (the *arena*): a clause is
+an offset ``ref`` into the arena with its literals at ``arena[ref :
+ref + size]`` and a two-int header (``size``, ``learnt`` flag) just below.
+Watch lists are literal-indexed flat lists of ``(ref, blocker)`` pairs, so
+the propagation inner loop touches only small-int list slots — no per-
+clause Python objects, no attribute lookups — and learnt-clause deletion
+compacts the arena in place.  The search itself (decision order, conflict
+analysis, restarts, deletion policy) is the same as the legacy
+object-graph solver (:class:`repro.sat.legacy.LegacySolver`): on identical
+input the two produce identical models, cores and statistics, which the
+differential suite in ``tests/sat/test_backends.py`` pins down.
 
 The public literal convention is DIMACS (positive/negative ints).  Two
 hooks exist specifically for the paper's hybrid future-work direction
@@ -18,28 +30,23 @@ the polarity a variable is first tried with.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Iterable, Sequence
 
 from .types import to_dimacs, to_internal
 
 __all__ = ["Solver", "SolveResult"]
 
-
-class _Clause:
-    __slots__ = ("lits", "learnt", "activity")
-
-    def __init__(self, lits: list[int], learnt: bool) -> None:
-        self.lits = lits
-        self.learnt = learnt
-        self.activity = 0.0
-
-
 #: Solve outcome: True = SAT, False = UNSAT, None = conflict limit hit.
 SolveResult = bool | None
 
+#: Arena header layout: ``arena[ref - 2]`` is the clause size and
+#: ``arena[ref - 1]`` the learnt flag; literals live at ``arena[ref:ref+size]``.
+_HEADER = 2
+
 
 class Solver:
-    """Incremental CDCL SAT solver.
+    """Incremental CDCL SAT solver (arena clause storage).
 
     Example
     -------
@@ -58,12 +65,15 @@ class Solver:
 
     def __init__(self) -> None:
         self._num_vars = 0
-        self._clauses: list[_Clause] = []
-        self._learnts: list[_Clause] = []
-        self._watches: list[list[_Clause]] = [[], []]
+        #: Flat clause storage; clause refs index the first literal.
+        self._arena: list[int] = []
+        self._clauses: list[int] = []  # problem clause refs
+        self._learnts: list[int] = []  # learnt clause refs
+        #: Per-literal flat watch lists of (clause ref, blocker lit) pairs.
+        self._watches: list[list[int]] = [[], []]
         self._assigns: list[int] = [2]  # index 0 unused; 0/1 assigned, >=2 free
         self._level: list[int] = [0]
-        self._reason: list[_Clause | None] = [None]
+        self._reason: list[int] = [0]  # clause ref, 0 = decision/unit
         self._activity: list[float] = [0.0]
         self._polarity: list[int] = [1]  # 1 = try the negative phase first
         self._seen: list[int] = [0]
@@ -75,6 +85,7 @@ class Solver:
         self._var_decay = 1.0 / 0.95
         self._cla_inc = 1.0
         self._cla_decay = 1.0 / 0.999
+        self._cla_activity: dict[int, float] = {}  # learnt ref -> activity
         self._order_heap: list[tuple[float, int]] = []
         # Cursor for zero-activity variables: the heap only tracks variables
         # that conflicts ever touched; the long tail of never-bumped
@@ -84,6 +95,14 @@ class Solver:
         self._scan_cursor = 1
         self._conflict_core: list[int] = []
         self._model: list[int] = []
+        # Trail-reuse bookkeeping: after a SAT answer the trail is kept
+        # alive, and a re-solve under the *same* assumptions resumes the
+        # search instead of re-descending from the root — the step that
+        # makes all-solutions enumeration (solve / block / solve ...)
+        # cost one shallow backjump per solution instead of a full
+        # descent (see also add_clause's minimal-backjump insertion).
+        self._last_assumptions: tuple[int, ...] | None = None
+        self._last_status: SolveResult = None
         self._proof = None  # ProofLog when DRAT logging is active
         self.stats: dict[str, int] = {
             "conflicts": 0,
@@ -102,7 +121,7 @@ class Solver:
         self._num_vars += 1
         self._assigns.append(2)
         self._level.append(0)
-        self._reason.append(None)
+        self._reason.append(0)
         self._activity.append(0.0)
         self._polarity.append(1)
         self._seen.append(0)
@@ -123,17 +142,34 @@ class Solver:
     def num_clauses(self) -> int:
         return len(self._clauses)
 
+    def clause_lits(self, ref: int) -> list[int]:
+        """The DIMACS literals of the clause at ``ref`` (debug/test aid)."""
+        size = self._arena[ref - 2]
+        return [to_dimacs(l) for l in self._arena[ref : ref + size]]
+
+    def _alloc_clause(self, lits: list[int], learnt: bool) -> int:
+        arena = self._arena
+        arena.append(len(lits))
+        arena.append(1 if learnt else 0)
+        ref = len(arena)
+        arena.extend(lits)
+        return ref
+
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add a clause of DIMACS literals.
 
         Returns False when the solver becomes trivially UNSAT (empty clause,
         or a unit contradicting the root trail).  Clauses may be added
-        between :meth:`solve` calls; the solver backtracks to level 0 first.
+        between :meth:`solve` calls — *without* discarding the current
+        trail: the clause is inserted with a minimal backjump (only deep
+        enough to restore the watch invariant), so enumeration loops that
+        alternate solve / blocking-clause keep their descent alive.
         Duplicate literals are merged; tautologies are dropped.
         """
         if not self._ok:
             return False
-        self._cancel_until(0)
+        assigns = self._assigns
+        levels = self._level
         internal: list[int] = []
         seen_lits: set[int] = set()
         max_var = 0
@@ -148,33 +184,110 @@ class Solver:
             if il not in seen_lits:
                 seen_lits.add(il)
                 internal.append(il)
+        # Simplify against the *root* trail only — deeper assignments are
+        # search state, not facts.
         simplified: list[int] = []
         for il in internal:
-            val = self._assigns[il >> 1] ^ (il & 1)
-            if val == 1:  # root-satisfied (trail is at level 0 here)
-                return True
-            if val == 0:
+            var = il >> 1
+            val = assigns[var] ^ (il & 1)
+            if val < 2 and levels[var] == 0:
+                if val == 1:
+                    return True  # root-satisfied
                 continue  # root-false literal: drop
             simplified.append(il)
         if not simplified:
+            self._cancel_until(0)
             self._ok = False
-            self._log_learnt([])
+            self._last_status = None
+            if self._proof is not None:
+                self._proof.add([])
             return False
         if len(simplified) == 1:
-            if not self._enqueue(simplified[0], None):
+            self._cancel_until(0)
+            lit = simplified[0]
+            if not self._enqueue(lit, 0):
                 self._ok = False
-                self._log_learnt([])
+                if self._proof is not None:
+                    self._proof.add([])
                 return False
-            self._ok = self._propagate() is None
-            if not self._ok:
-                self._log_learnt([])
+            self._ok = self._propagate() == 0
+            if not self._ok and self._proof is not None:
+                self._proof.add([])
             return self._ok
-        clause = _Clause(simplified, learnt=False)
-        self._clauses.append(clause)
-        # watches[l] holds the clauses in which l is watched; propagation
-        # visits watches[l] when l becomes false.
-        self._watches[simplified[0]].append(clause)
-        self._watches[simplified[1]].append(clause)
+        # Choose the two watched literals under the current (possibly
+        # deep) assignment, backtracking just enough that the watch
+        # invariant holds: watches must be non-false, or the clause is
+        # satisfied/unit-enqueued right here.
+        nonfalse = [
+            il for il in simplified if assigns[il >> 1] ^ (il & 1) != 0
+        ]
+        if len(nonfalse) < 2 and self._trail_lim:
+            false_lits = [
+                il for il in simplified if assigns[il >> 1] ^ (il & 1) == 0
+            ]
+            false_levels = sorted(
+                (levels[il >> 1] for il in false_lits), reverse=True
+            )
+            if not nonfalse:
+                # Falsified clause (the enumeration blocking case):
+                # backjump so its deepest literals become unassigned.
+                deepest = false_levels[0]
+                if len(false_levels) > 1 and false_levels[1] < deepest:
+                    target = false_levels[1]
+                else:
+                    target = deepest - 1
+                self._cancel_until(max(target, 0))
+                nonfalse = [
+                    il
+                    for il in simplified
+                    if assigns[il >> 1] ^ (il & 1) != 0
+                ]
+        if len(nonfalse) >= 2:
+            watch0, watch1 = nonfalse[0], nonfalse[1]
+            clause_lits = [watch0, watch1] + [
+                il for il in simplified if il != watch0 and il != watch1
+            ]
+            unit = 0
+        else:
+            # Exactly one non-false literal: the clause is unit (or
+            # satisfied when that literal is already true).  Watch it
+            # together with the deepest false literal.
+            watch0 = nonfalse[0]
+            false_sorted = sorted(
+                (il for il in simplified if il != watch0),
+                key=lambda il: levels[il >> 1],
+                reverse=True,
+            )
+            watch1 = false_sorted[0]
+            clause_lits = [watch0, watch1] + false_sorted[1:]
+            val = assigns[watch0 >> 1] ^ (watch0 & 1)
+            unit = watch0 if val >= 2 else 0
+        ref = self._alloc_clause(clause_lits, learnt=False)
+        self._clauses.append(ref)
+        # watches[l] holds (clause ref, blocker) pairs in which l is
+        # watched; propagation visits watches[l] when l becomes false.
+        # The blocker is the other watched literal at append time — any
+        # true literal of the clause proves it satisfied, so a true
+        # blocker lets propagation skip the clause without touching the
+        # arena at all.
+        ws = self._watches[watch0]
+        ws.append(ref)
+        ws.append(watch1)
+        ws = self._watches[watch1]
+        ws.append(ref)
+        ws.append(watch0)
+        if unit:
+            if not self._trail_lim:
+                if not self._enqueue(unit, 0):
+                    self._ok = False
+                    if self._proof is not None:
+                        self._proof.add([])
+                    return False
+                self._ok = self._propagate() == 0
+                if not self._ok and self._proof is not None:
+                    self._proof.add([])
+                return self._ok
+            self._enqueue(unit, ref)
         return True
 
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> bool:
@@ -195,6 +308,13 @@ class Solver:
         (:func:`repro.sat.proof.check_drat`).  Assumption-based UNSAT
         answers are not certified — only formula-level UNSAT ends in the
         empty clause.
+
+        When logging is *not* active (``self._proof is None``, the
+        default) every call site is guarded by that single identity
+        check, so the off path performs no method calls, literal
+        conversions or list builds anywhere in the search loop
+        (``benchmarks/bench_proof_overhead.py`` asserts the off-path
+        overhead stays under 2%).
         """
         from .proof import ProofLog  # local import to avoid a cycle
 
@@ -202,12 +322,12 @@ class Solver:
         return self._proof
 
     def _log_learnt(self, internal_lits: list[int]) -> None:
-        if self._proof is not None:
-            self._proof.add([to_dimacs(l) for l in internal_lits])
+        # Call sites guard on ``self._proof is not None``; kept as a
+        # helper for the logging-on path only.
+        self._proof.add([to_dimacs(l) for l in internal_lits])
 
     def _log_deleted(self, internal_lits: list[int]) -> None:
-        if self._proof is not None:
-            self._proof.delete([to_dimacs(l) for l in internal_lits])
+        self._proof.delete([to_dimacs(l) for l in internal_lits])
 
     # ------------------------------------------------------------------
     # heuristic hooks (used by the hybrid diagnosis approaches, paper §6)
@@ -244,16 +364,30 @@ class Solver:
         if not self._ok:
             self._conflict_core = []
             return False
-        self._cancel_until(0)
-        if self._propagate() is not None:
-            self._ok = False
-            self._log_learnt([])
-            return False
-        internal_assumptions = [to_internal(a) for a in assumptions]
         for a in assumptions:
             self.ensure_vars(abs(a))
+        internal_assumptions = [to_internal(a) for a in assumptions]
+        # Trail reuse: when the previous call answered SAT under the same
+        # assumptions, the trail (kept alive at exit) is still a valid
+        # partial search state — blocking clauses added since were
+        # inserted with a minimal backjump — so the search *resumes*
+        # instead of re-descending from the root.
+        reuse = (
+            self._last_status is True
+            and tuple(internal_assumptions) == self._last_assumptions
+        )
+        if not reuse:
+            self._cancel_until(0)
+        if not self._trail_lim:
+            if self._propagate() != 0:
+                self._ok = False
+                self._last_status = None
+                if self._proof is not None:
+                    self._proof.add([])
+                return False
         self._conflict_core = []
         self._model = []
+        self._last_assumptions = tuple(internal_assumptions)
         start_conflicts = self.stats["conflicts"]
         restart_idx = 0
         while True:
@@ -261,7 +395,9 @@ class Solver:
             limit = 100 * _luby(restart_idx)
             status = self._search(limit, internal_assumptions)
             if status is not None:
-                self._cancel_until(0)
+                if status is not True:
+                    self._cancel_until(0)
+                self._last_status = status
                 return status
             self.stats["restarts"] += 1
             if (
@@ -269,6 +405,7 @@ class Solver:
                 and self.stats["conflicts"] - start_conflicts >= conflict_limit
             ):
                 self._cancel_until(0)
+                self._last_status = None
                 return None
 
     def value(self, var: int) -> bool | None:
@@ -298,117 +435,266 @@ class Solver:
     def _search(
         self, conflict_budget: int, assumptions: list[int]
     ) -> SolveResult:
+        # The whole hot path — two-watched-literal BCP, decision picking
+        # and trail pushing — is fused into one loop over local variable
+        # bindings.  On the decision-heavy, conflict-light diagnosis
+        # instances the per-decision cost is dominated by interpreter
+        # overhead, so avoiding the _propagate/_pick_branch/_enqueue call
+        # chain per decision is worth the duplication with
+        # :meth:`_propagate` (which stays for the cold add_clause/solve
+        # root-propagation paths).
+        watches = self._watches
+        assigns = self._assigns
+        levels = self._level
+        reason = self._reason
+        trail = self._trail
+        trail_lim = self._trail_lim
+        arena = self._arena
+        heap = self._order_heap
+        activity = self._activity
+        polarity = self._polarity
+        stats = self.stats
+        num_vars = self._num_vars
+        n_assumptions = len(assumptions)
         conflicts = 0
-        while True:
-            confl = self._propagate()
-            if confl is not None:
-                conflicts += 1
-                self.stats["conflicts"] += 1
-                if not self._trail_lim:
-                    self._ok = False
-                    self._log_learnt([])
-                    return False
-                learnt, back_level = self._analyze(confl)
-                self._cancel_until(back_level)
-                self._record_learnt(learnt)
-                self._decay_activities()
-                continue
-            if conflicts >= conflict_budget:
-                self._cancel_until(0)
-                return None
-            decision = 0
-            level = len(self._trail_lim)
-            if level < len(assumptions):
-                lit = assumptions[level]
-                val = self._assigns[lit >> 1] ^ (lit & 1)
-                if val == 1:
-                    self._trail_lim.append(len(self._trail))
+        props = 0
+        decisions = 0
+        qhead = self._qhead
+        try:
+            while True:
+                # ---- inlined BCP -----------------------------------
+                confl = 0
+                dlevel = len(trail_lim)
+                while qhead < len(trail):
+                    p = trail[qhead]
+                    qhead += 1
+                    props += 1
+                    false_lit = p ^ 1
+                    ws = watches[false_lit]
+                    i = j = 0
+                    n = len(ws)
+                    while i < n:
+                        cref = ws[i]
+                        blocker = ws[i + 1]
+                        i += 2
+                        if assigns[blocker >> 1] ^ (blocker & 1) == 1:
+                            ws[j] = cref
+                            ws[j + 1] = blocker
+                            j += 2
+                            continue
+                        l0 = arena[cref]
+                        if l0 == false_lit:
+                            first = arena[cref + 1]
+                            arena[cref] = first
+                            arena[cref + 1] = false_lit
+                        else:
+                            first = l0
+                        fval = assigns[first >> 1] ^ (first & 1)
+                        if fval == 1:
+                            ws[j] = cref
+                            ws[j + 1] = first
+                            j += 2
+                            continue
+                        end = cref + arena[cref - 2]
+                        moved = False
+                        for k in range(cref + 2, end):
+                            lk = arena[k]
+                            if assigns[lk >> 1] ^ (lk & 1) != 0:
+                                arena[cref + 1] = lk
+                                arena[k] = false_lit
+                                wlk = watches[lk]
+                                wlk.append(cref)
+                                wlk.append(first)
+                                moved = True
+                                break
+                        if moved:
+                            continue
+                        ws[j] = cref
+                        ws[j + 1] = first
+                        j += 2
+                        if fval == 0:
+                            while i < n:  # keep remaining watchers
+                                ws[j] = ws[i]
+                                ws[j + 1] = ws[i + 1]
+                                j += 2
+                                i += 2
+                            confl = cref
+                            qhead = len(trail)
+                        else:
+                            var = first >> 1
+                            assigns[var] = 1 ^ (first & 1)
+                            levels[var] = dlevel
+                            reason[var] = cref
+                            trail.append(first)
+                    del ws[j:]
+                    if confl:
+                        break
+                # ---- conflict handling -----------------------------
+                if confl:
+                    conflicts += 1
+                    stats["conflicts"] += 1
+                    if not trail_lim:
+                        self._ok = False
+                        if self._proof is not None:
+                            self._proof.add([])
+                        self._qhead = qhead
+                        return False
+                    self._qhead = qhead
+                    learnt, back_level = self._analyze(confl)
+                    self._cancel_until(back_level)
+                    self._record_learnt(learnt)
+                    self._decay_activities()
+                    qhead = self._qhead
+                    # learnt compaction / activity rescaling may have
+                    # replaced these containers
+                    arena = self._arena
+                    heap = self._order_heap
                     continue
-                if val == 0:
-                    self._analyze_final(lit, assumptions)
-                    return False
-                decision = lit
-            if not decision:
-                decision = self._pick_branch()
+                if conflicts >= conflict_budget:
+                    self._qhead = qhead
+                    self._cancel_until(0)
+                    qhead = self._qhead
+                    return None
+                # ---- decision --------------------------------------
+                decision = 0
+                if dlevel < n_assumptions:
+                    lit = assumptions[dlevel]
+                    val = assigns[lit >> 1] ^ (lit & 1)
+                    if val == 1:
+                        trail_lim.append(len(trail))
+                        continue
+                    if val == 0:
+                        self._qhead = qhead
+                        self._analyze_final(lit, assumptions)
+                        return False
+                    decision = lit
                 if not decision:
-                    self._model = list(self._assigns)
-                    return True
-                self.stats["decisions"] += 1
-            self._trail_lim.append(len(self._trail))
-            self._enqueue(decision, None)
+                    # inlined _pick_branch: VSIDS heap first, then the
+                    # zero-activity scan cursor
+                    while heap:
+                        neg_act, var = heappop(heap)
+                        if assigns[var] < 2:
+                            continue
+                        if -neg_act != activity[var]:
+                            heappush(heap, (-activity[var], var))
+                            continue
+                        decision = (var << 1) | polarity[var]
+                        break
+                    if not decision:
+                        var = self._scan_cursor
+                        while var <= num_vars and assigns[var] < 2:
+                            var += 1
+                        self._scan_cursor = var
+                        if var <= num_vars:
+                            decision = (var << 1) | polarity[var]
+                    if not decision:
+                        self._model = list(assigns)
+                        self._qhead = qhead
+                        return True
+                    decisions += 1
+                trail_lim.append(len(trail))
+                # inlined decision enqueue (variable known unassigned)
+                var = decision >> 1
+                assigns[var] = 1 ^ (decision & 1)
+                levels[var] = dlevel + 1
+                reason[var] = 0
+                trail.append(decision)
+        finally:
+            stats["propagations"] += props
+            stats["decisions"] += decisions
 
-    def _propagate(self) -> _Clause | None:
+    def _propagate(self) -> int:
+        """Two-watched-literal BCP over the arena; returns the conflicting
+        clause ref (0 = no conflict)."""
         watches = self._watches
         assigns = self._assigns
         level = self._level
         reason = self._reason
         trail = self._trail
+        arena = self._arena
         props = 0
-        confl: _Clause | None = None
-        while self._qhead < len(trail):
-            p = trail[self._qhead]
-            self._qhead += 1
+        confl = 0
+        qhead = self._qhead
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
             props += 1
             false_lit = p ^ 1
             ws = watches[false_lit]
             i = j = 0
             n = len(ws)
             while i < n:
-                clause = ws[i]
-                i += 1
-                lits = clause.lits
-                if lits[0] == false_lit:
-                    lits[0] = lits[1]
-                    lits[1] = false_lit
-                first = lits[0]
-                if assigns[first >> 1] ^ (first & 1) == 1:
-                    ws[j] = clause
-                    j += 1
+                cref = ws[i]
+                blocker = ws[i + 1]
+                i += 2
+                if assigns[blocker >> 1] ^ (blocker & 1) == 1:
+                    ws[j] = cref
+                    ws[j + 1] = blocker
+                    j += 2
                     continue
+                l0 = arena[cref]
+                if l0 == false_lit:
+                    first = arena[cref + 1]
+                    arena[cref] = first
+                    arena[cref + 1] = false_lit
+                else:
+                    first = l0
+                fval = assigns[first >> 1] ^ (first & 1)
+                if fval == 1:
+                    ws[j] = cref
+                    ws[j + 1] = first
+                    j += 2
+                    continue
+                end = cref + arena[cref - 2]
                 moved = False
-                for k in range(2, len(lits)):
-                    lk = lits[k]
+                for k in range(cref + 2, end):
+                    lk = arena[k]
                     if assigns[lk >> 1] ^ (lk & 1) != 0:
-                        lits[1] = lk
-                        lits[k] = false_lit
-                        watches[lk].append(clause)
+                        arena[cref + 1] = lk
+                        arena[k] = false_lit
+                        wlk = watches[lk]
+                        wlk.append(cref)
+                        wlk.append(first)
                         moved = True
                         break
                 if moved:
                     continue
-                ws[j] = clause
-                j += 1
-                if assigns[first >> 1] ^ (first & 1) == 0:
+                ws[j] = cref
+                ws[j + 1] = first
+                j += 2
+                if fval == 0:
                     while i < n:  # keep remaining watchers before bailing
                         ws[j] = ws[i]
-                        j += 1
-                        i += 1
-                    confl = clause
-                    self._qhead = len(trail)
+                        ws[j + 1] = ws[i + 1]
+                        j += 2
+                        i += 2
+                    confl = cref
+                    qhead = len(trail)
                 else:
                     var = first >> 1
                     assigns[var] = 1 ^ (first & 1)
                     level[var] = len(self._trail_lim)
-                    reason[var] = clause
+                    reason[var] = cref
                     trail.append(first)
             del ws[j:]
-            if confl is not None:
+            if confl != 0:
                 break
+        self._qhead = qhead
         self.stats["propagations"] += props
         return confl
 
-    def _enqueue(self, lit: int, reason: _Clause | None) -> bool:
+    def _enqueue(self, lit: int, reason_ref: int) -> bool:
         var = lit >> 1
         current = self._assigns[var] ^ (lit & 1)
         if current < 2:
             return current == 1
         self._assigns[var] = 1 ^ (lit & 1)
         self._level[var] = len(self._trail_lim)
-        self._reason[var] = reason
+        self._reason[var] = reason_ref
         self._trail.append(lit)
         return True
 
-    def _analyze(self, confl: _Clause) -> tuple[list[int], int]:
+    def _analyze(self, confl: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis; returns (learnt clause, backjump level).
 
         Relies on the invariant that a reason clause always carries its
@@ -418,16 +704,18 @@ class Solver:
         seen = self._seen
         level = self._level
         trail = self._trail
+        arena = self._arena
         learnt: list[int] = [0]
         counter = 0
         p = -1
         index = len(trail) - 1
         cur_level = len(self._trail_lim)
         while True:
-            if confl.learnt:
+            if arena[confl - 1]:  # learnt flag
                 self._bump_clause(confl)
-            start = 0 if p == -1 else 1  # skip the implied literal of reasons
-            for q in confl.lits[start:]:
+            # skip the implied literal of reason clauses
+            start = confl if p == -1 else confl + 1
+            for q in arena[start : confl + arena[confl - 2]]:
                 v = q >> 1
                 if not seen[v] and level[v] > 0:
                     seen[v] = 1
@@ -446,7 +734,7 @@ class Solver:
             index -= 1
             if counter == 0:
                 break
-            assert next_reason is not None, "UIP walk hit a decision too early"
+            assert next_reason != 0, "UIP walk hit a decision too early"
             confl = next_reason
         learnt[0] = p ^ 1
         # Local minimization: drop a literal when its reason is covered by
@@ -454,13 +742,14 @@ class Solver:
         keep = [learnt[0]]
         for q in learnt[1:]:
             reason = self._reason[q >> 1]
-            if reason is None:
+            if reason == 0:
                 keep.append(q)
                 continue
-            redundant = all(
-                seen[r >> 1] == 1 or level[r >> 1] == 0
-                for r in reason.lits[1:]
-            )
+            redundant = True
+            for r in arena[reason + 1 : reason + arena[reason - 2]]:
+                if seen[r >> 1] != 1 and level[r >> 1] != 0:
+                    redundant = False
+                    break
             if not redundant:
                 keep.append(q)
         for q in learnt[1:]:
@@ -484,6 +773,7 @@ class Solver:
             self._conflict_core = core
             return
         seen = self._seen
+        arena = self._arena
         seen[var0] = 1
         for lit in reversed(self._trail):
             v = lit >> 1
@@ -491,58 +781,108 @@ class Solver:
                 continue
             seen[v] = 0
             reason = self._reason[v]
-            if reason is None:
+            if reason == 0:
                 if self._level[v] > 0:
                     core.append(to_dimacs(lit))
             else:
-                for q in reason.lits[1:]:
+                for q in arena[reason + 1 : reason + arena[reason - 2]]:
                     if self._level[q >> 1] > 0:
                         seen[q >> 1] = 1
         self._conflict_core = core
 
     def _record_learnt(self, learnt: list[int]) -> None:
         self.stats["learned"] += 1
-        self._log_learnt(learnt)
+        if self._proof is not None:
+            self._log_learnt(learnt)
         if len(learnt) == 1:
-            self._enqueue(learnt[0], None)
+            self._enqueue(learnt[0], 0)
             return
-        clause = _Clause(learnt, learnt=True)
-        clause.activity = self._cla_inc
-        self._learnts.append(clause)
-        self._watches[learnt[0]].append(clause)
-        self._watches[learnt[1]].append(clause)
-        self._enqueue(learnt[0], clause)
+        ref = self._alloc_clause(learnt, learnt=True)
+        self._cla_activity[ref] = self._cla_inc
+        self._learnts.append(ref)
+        w0, w1 = learnt[0], learnt[1]
+        ws = self._watches[w0]
+        ws.append(ref)
+        ws.append(w1)
+        ws = self._watches[w1]
+        ws.append(ref)
+        ws.append(w0)
+        self._enqueue(learnt[0], ref)
         if len(self._learnts) > max(2000, 2 * len(self._clauses)):
             self._reduce_learnts()
 
     def _reduce_learnts(self) -> None:
         """Drop the less active half of the learnt clauses (keep locked and
-        binary ones)."""
+        binary ones) and compact the arena in place."""
+        arena = self._arena
         locked = {
-            id(self._reason[lit >> 1])
+            self._reason[lit >> 1]
             for lit in self._trail
-            if self._reason[lit >> 1] is not None
+            if self._reason[lit >> 1] != 0
         }
-        self._learnts.sort(key=lambda c: c.activity)
+        activity = self._cla_activity
+        self._learnts.sort(key=lambda ref: activity[ref])
         cut = len(self._learnts) // 2
-        keep: list[_Clause] = []
+        keep: list[int] = []
         dropped: set[int] = set()
-        for idx, clause in enumerate(self._learnts):
-            if idx >= cut or id(clause) in locked or len(clause.lits) <= 2:
-                keep.append(clause)
+        for idx, ref in enumerate(self._learnts):
+            if idx >= cut or ref in locked or arena[ref - 2] <= 2:
+                keep.append(ref)
             else:
-                dropped.add(id(clause))
+                dropped.add(ref)
         if not dropped:
             self._learnts = keep
             return
         self.stats["deleted"] += len(dropped)
         if self._proof is not None:
-            for clause in self._learnts:
-                if id(clause) in dropped:
-                    self._log_deleted(clause.lits)
-        for ws in self._watches:
-            ws[:] = [c for c in ws if id(c) not in dropped]
+            for ref in self._learnts:
+                if ref in dropped:
+                    self._log_deleted(
+                        arena[ref : ref + arena[ref - 2]]
+                    )
+        for ref in dropped:
+            del activity[ref]
         self._learnts = keep
+        self._compact(dropped)
+
+    def _compact(self, dropped: set[int]) -> None:
+        """Rebuild the arena without ``dropped`` clauses, remapping every
+        clause ref (watch lists, reasons, clause indexes, activities)."""
+        arena = self._arena
+        new_arena: list[int] = []
+        remap: dict[int, int] = {}
+        pos = _HEADER
+        end = len(arena)
+        while pos < end:
+            size = arena[pos - 2]
+            if pos not in dropped:
+                new_arena.append(size)
+                new_arena.append(arena[pos - 1])
+                remap[pos] = len(new_arena)
+                new_arena.extend(arena[pos : pos + size])
+            pos += size + _HEADER
+        self._arena = new_arena
+        self._clauses = [remap[r] for r in self._clauses]
+        self._learnts = [remap[r] for r in self._learnts]
+        self._cla_activity = {
+            remap[r]: a for r, a in self._cla_activity.items()
+        }
+        reason = self._reason
+        for lit in self._trail:
+            var = lit >> 1
+            r = reason[var]
+            if r != 0:
+                reason[var] = remap[r]
+        for ws in self._watches:
+            j = 0
+            for i in range(0, len(ws), 2):
+                ref = ws[i]
+                if ref in dropped:
+                    continue
+                ws[j] = remap[ref]
+                ws[j + 1] = ws[i + 1]
+                j += 2
+            del ws[j:]
 
     def _pick_branch(self) -> int:
         heap = self._order_heap
@@ -582,11 +922,12 @@ class Solver:
         ]
         heapq.heapify(self._order_heap)
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > 1e20:
+    def _bump_clause(self, ref: int) -> None:
+        activity = self._cla_activity
+        activity[ref] += self._cla_inc
+        if activity[ref] > 1e20:
             for c in self._learnts:
-                c.activity *= 1e-20
+                activity[c] *= 1e-20
             self._cla_inc *= 1e-20
 
     def _decay_activities(self) -> None:
@@ -606,7 +947,7 @@ class Solver:
         for lit in reversed(self._trail[boundary:]):
             var = lit >> 1
             assigns[var] = 2
-            reason[var] = None
+            reason[var] = 0
             polarity[var] = lit & 1  # phase saving
             if activity[var] > 0.0:
                 heapq.heappush(heap, (-activity[var], var))

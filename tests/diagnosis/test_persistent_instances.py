@@ -1,0 +1,217 @@
+"""Persistent incremental diagnosis instances: parity and pinning.
+
+The acceptance contract of the arena/persistence overhaul: the session's
+persistent, activation-scoped, incrementally-extended SAT instances must
+produce **exactly the same solution sets** as freshly rebuilt instances
+(per k, per suspects, across repeated queries), and the pinned
+``bsat``/``auto-k``/``ihs`` outputs must stay bit-identical to their
+pre-overhaul values under the default backend.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import library, random_circuit
+from repro.diagnosis import (
+    DIAGNOSIS_STRATEGIES,
+    DiagnosisSession,
+    auto_k_sat_diagnose,
+    basic_sat_diagnose,
+    build_diagnosis_instance,
+    diagnose,
+    ihs_diagnose,
+)
+from repro.experiments import make_workload
+
+PINNED = json.loads(
+    (Path(__file__).parent / "pinned_wrappers.json").read_text()
+)
+
+
+def _canon(solutions):
+    return sorted(tuple(sorted(s)) for s in solutions)
+
+
+def _workload(seed, n_gates=30, p=2, m=6):
+    circuit = random_circuit(
+        n_inputs=6, n_outputs=3, n_gates=n_gates, seed=seed
+    )
+    return make_workload(circuit, p=p, m_max=m, seed=seed, allow_fewer=True)
+
+
+# ----------------------------------------------------------------------
+# persistent vs rebuilt parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [301, 412, 503])
+def test_incremental_path_matches_rebuilt_instances(seed):
+    """The per-k incremental path (one persistent instance, extend_k,
+    scoped enumeration) returns the same solution sets as rebuilding the
+    instance per query — for every k, in any query order."""
+    w = _workload(seed)
+    session = DiagnosisSession(w.faulty, w.tests)
+    for k in (1, 2, 3, 2, 1):  # non-monotone on purpose: extend + revisit
+        persistent = basic_sat_diagnose(
+            w.faulty, w.tests, k=k, session=session
+        )
+        rebuilt = basic_sat_diagnose(w.faulty, w.tests, k=k)
+        assert _canon(persistent.solutions) == _canon(rebuilt.solutions), k
+        assert persistent.complete and rebuilt.complete
+
+
+@pytest.mark.parametrize("seed", [301, 412])
+def test_repeated_query_served_from_memo(seed):
+    w = _workload(seed)
+    session = DiagnosisSession(w.faulty, w.tests)
+    first = basic_sat_diagnose(w.faulty, w.tests, k=2, session=session)
+    again = basic_sat_diagnose(w.faulty, w.tests, k=2, session=session)
+    assert first.solutions == again.solutions
+    assert "cached" not in first.extras
+    assert again.extras.get("cached") is True
+    # corrections are collected eagerly on the persistent path, so the
+    # collect_corrections repeat is also a memo hit
+    with_corr = basic_sat_diagnose(
+        w.faulty, w.tests, k=2, session=session, collect_corrections=True
+    )
+    assert with_corr.extras.get("cached") is True
+    assert set(with_corr.extras["corrections"]) == set(first.solutions)
+
+
+def test_extend_k_grows_bound_in_place():
+    w = _workload(301)
+    session = DiagnosisSession(w.faulty, w.tests)
+    inst1 = session.instance(1)
+    n_outputs_before = len(inst1.bound_outputs)
+    solver_before = inst1.solver
+    inst2 = session.instance(3)
+    assert inst2 is inst1  # same persistent instance
+    assert inst1.solver is solver_before  # no rebuild
+    assert len(inst1.bound_outputs) > n_outputs_before
+    # extended bound agrees with a fresh k=3 build
+    fresh = build_diagnosis_instance(w.faulty, w.tests, k_max=3)
+    got = basic_sat_diagnose(w.faulty, w.tests, k=3, session=session)
+    ref = basic_sat_diagnose(w.faulty, w.tests, k=3, instance=fresh)
+    assert _canon(got.solutions) == _canon(ref.solutions)
+
+
+def test_instance_cache_keys():
+    w = _workload(301)
+    session = DiagnosisSession(w.faulty, w.tests)
+    base = session.instance(2)
+    assert session.instance(2) is base
+    # None and the default backend's explicit name share one entry
+    assert session.instance(2, solver_backend="arena") is base
+    sub = tuple(w.faulty.gate_names[:5])
+    narrowed = session.instance(2, suspects=sub)
+    assert narrowed is not base
+    assert narrowed.suspects == sub
+    assert session.instance(2, select_zero_clauses=True) is not base
+    assert session.instance(2, solver_backend="legacy") is not base
+
+
+def test_auto_k_on_session_matches_standalone():
+    w = _workload(412)
+    session = DiagnosisSession(w.faulty, w.tests)
+    on_session = auto_k_sat_diagnose(
+        w.faulty, w.tests, k_max=3, session=session
+    )
+    standalone = auto_k_sat_diagnose(w.faulty, w.tests, k_max=3)
+    assert _canon(on_session.solutions) == _canon(standalone.solutions)
+    assert on_session.k == standalone.k
+    assert on_session.extras["k_found"] == standalone.extras["k_found"]
+    # and a bsat follow-up on the same session still sees the full space
+    follow = basic_sat_diagnose(
+        w.faulty, w.tests, k=on_session.k, session=session
+    )
+    assert _canon(follow.solutions) == _canon(on_session.solutions)
+
+
+def test_session_with_foreign_tests_not_misrouted():
+    """basic_sat_diagnose must not use the session instance when handed
+    tests that are not the session's own (partitioned chunks)."""
+    w = _workload(503)
+    session = DiagnosisSession(w.faulty, w.tests)
+    from repro.testgen.testset import TestSet
+
+    chunk = TestSet(tuple(w.tests)[:2])
+    via_session = basic_sat_diagnose(
+        w.faulty, chunk, k=2, session=session
+    )
+    direct = basic_sat_diagnose(w.faulty, chunk, k=2)
+    assert _canon(via_session.solutions) == _canon(direct.solutions)
+
+
+def test_ihs_persistent_hitter_across_calls():
+    w = _workload(412)
+    session = DiagnosisSession(w.faulty, w.tests)
+    first = ihs_diagnose(w.faulty, w.tests, session=session)
+    second = ihs_diagnose(w.faulty, w.tests, session=session)
+    assert _canon(first.solutions) == _canon(second.solutions)
+    assert first.k == second.k
+    # conflicts are facts: the persisted set only grows, so the second
+    # call starts from everything the first call proved
+    assert second.extras["conflicts"] >= first.extras["conflicts"]
+    assert second.extras["rounds"] <= first.extras["rounds"] + 2
+    # and the answer still matches BSAT's minimum-cardinality slice
+    bsat = basic_sat_diagnose(
+        w.faulty, w.tests, k=first.k, session=session
+    )
+    minimum = [s for s in bsat.solutions if len(s) == first.k]
+    assert _canon(first.solutions) == _canon(minimum)
+
+
+# ----------------------------------------------------------------------
+# backend threading through the strategy registry
+# ----------------------------------------------------------------------
+def test_all_strategies_accept_solver_backend():
+    w = make_workload(library.c17(), p=1, m_max=4, seed=11)
+    options_by_strategy = {"repair": {"initial": [w.faulty.gate_names[0]]}}
+    for name in sorted(DIAGNOSIS_STRATEGIES):
+        results = {}
+        for backend in (None, "legacy"):
+            session = DiagnosisSession(
+                w.faulty, w.tests, solver_backend=backend
+            )
+            options = dict(options_by_strategy.get(name, {}))
+            if backend is not None:
+                options["solver_backend"] = backend
+            results[backend] = diagnose(
+                session, k=2, strategy=name, **options
+            )
+        # same solution sets whichever backend solves the instances
+        assert _canon(results[None].solutions) == _canon(
+            results["legacy"].solutions
+        ), name
+
+
+# ----------------------------------------------------------------------
+# pinned regression: bit-identical to pre-overhaul outputs
+# ----------------------------------------------------------------------
+def _pinned_workload(name):
+    circuit = {
+        "c17": library.c17,
+        "rca4": lambda: library.ripple_carry_adder(4),
+        "mux2": lambda: library.mux_tree(2),
+    }[name]()
+    p, m, seed = {"c17": (1, 4, 11), "rca4": (2, 6, 7), "mux2": (2, 6, 3)}[
+        name
+    ]
+    return make_workload(circuit, p=p, m_max=m, seed=seed, allow_fewer=True)
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_bsat_autok_ihs_pinned_under_default_backend(name):
+    w = _pinned_workload(name)
+    expected = PINNED[name]
+    k = max(2, w.p)
+    session = DiagnosisSession(w.faulty, w.tests)
+    bsat = basic_sat_diagnose(w.faulty, w.tests, k=k, session=session)
+    assert _canon(bsat.solutions) == [tuple(s) for s in expected["bsat"]]
+    autok = auto_k_sat_diagnose(
+        w.faulty, w.tests, k_max=k, session=session
+    )
+    assert _canon(autok.solutions) == [tuple(s) for s in expected["autok"]]
+    ihs = ihs_diagnose(w.faulty, w.tests, session=session)
+    assert _canon(ihs.solutions) == [tuple(s) for s in expected["ihs"]]
+    assert ihs.k == expected["ihs_k"]
