@@ -1,6 +1,6 @@
 """Substrate bench — the CDCL SAT solver and the persistent-instance path.
 
-Two halves:
+Three halves:
 
 * pytest-benchmark micro-benchmarks of the solver on three workload
   classes relevant to the diagnosis instances: circuit-SAT descents
@@ -11,14 +11,23 @@ Two halves:
   of the full BSAT session workflow — auto-k probe, complete
   enumeration, corrections query — comparing the pre-overhaul shape
   (legacy object-graph solver, instance rebuilt per query) with the
-  arena backend on one persistent session instance.  **Asserts the ≥3×
-  speedup** the PR-4 acceptance demands on the pinned multi-fault
-  workloads and that both paths return identical solution sets.
+  master-encoding session path (binary implicit watches, prefix trail
+  reuse, chronological insertion, c-free cone-restricted master CNF).
+  **Asserts ≥1.5× further end-to-end speedup over the PR-4 ratios**
+  (pinned below from the PR-4 ``BENCH_solver.json``) and that the
+  per-solution decision/propagation deltas and the per-``extend_k``
+  probe decisions are *strictly below* the PR-4 arena baseline — with
+  solution sets identical to the legacy rebuilt path;
+* a **pool-churn race**: 50 suspect pools derived as master views
+  (the IHS / repair-radius / partitioned query shape) versus 50 fresh
+  ``build_diagnosis_instance`` rebuilds.  Asserts ≥5× with identical
+  per-pool solution sets.
 
 Artifacts: ``benchmarks/out/solver.json`` (per-instance rows including
-the per-solution restarts/learned deltas from the enumerator); the repo
-root carries ``BENCH_solver.json`` as the committed baseline so future
-PRs have a perf trajectory to compare against.
+the per-solution restarts/learned deltas from the enumerator, the probe
+decision counts and the pool-churn race); the repo root carries
+``BENCH_solver.json`` as the committed rolling baseline which
+``compare_baseline.py`` diffs against per CI run.
 
 Run modes::
 
@@ -48,8 +57,44 @@ from repro.sat import CNF, LegacySolver, Solver, encode_circuit
 OUT_DIR = Path(__file__).parent / "out"
 
 #: Minimum end-to-end speedup of the persistent arena path over the
-#: legacy rebuilt-instance path (the PR acceptance gate).
+#: legacy rebuilt-instance path (the PR-4 acceptance gate, kept as an
+#: absolute floor).
 MIN_SPEEDUP = 3.0
+
+#: This PR's gate: the measured speedup must be at least this factor
+#: *further* than the PR-4 baseline ratio of the same pinned instance.
+MIN_FURTHER_SPEEDUP = 1.5
+
+#: Pool-churn gate: deriving 50 suspect-pool instances as master views
+#: must beat 50 pre-overhaul (legacy-backend) CNF rebuilds by at least
+#: this factor on the sim1423 leg (full mode).  The smoke circuit is so
+#: small that fresh rebuilds are nearly free, so its regression floor is
+#: lower.
+MIN_POOL_CHURN_SPEEDUP = 5.0
+MIN_POOL_CHURN_SPEEDUP_SMOKE = 2.5
+
+#: PR-4 arena baselines, pinned from the ``BENCH_solver.json`` PR 4
+#: committed (the file itself is regenerated as a rolling baseline, so
+#: the PR-4 reference lives here).  ``speedup`` is the legacy/persistent
+#: end-to-end ratio; the per-solution numbers are means over the
+#: enumerator's ``stats_deltas``.
+PR4_BASELINE = {
+    "rnd60-p2-a": {
+        "speedup": 3.61,
+        "decisions_per_solution": 652.2,
+        "propagations_per_solution": 1907.3,
+    },
+    "rnd60-p2-b": {
+        "speedup": 3.97,
+        "decisions_per_solution": 692.5,
+        "propagations_per_solution": 2271.0,
+    },
+    "sim1423-p2": {
+        "speedup": 4.25,
+        "decisions_per_solution": 5381.0,
+        "propagations_per_solution": 17281.1,
+    },
+}
 
 #: (name, circuit spec, p errors, m tests, workload seed, k_max).
 SMOKE_INSTANCES = [
@@ -106,9 +151,9 @@ def bsat_workflow_legacy(workload, k_max):
 
 
 def bsat_workflow_persistent(workload, k_max):
-    """The overhauled shape: arena backend, one persistent session
-    instance serving the auto-k sweep, the enumeration and the
-    corrections query through assumptions and activation scopes."""
+    """The overhauled shape: arena backend, one master session encoding
+    serving the auto-k sweep, the enumeration and the corrections query
+    through assumptions and activation scopes."""
     times = {}
     session = DiagnosisSession(workload.faulty, workload.tests)
     t0 = time.perf_counter()
@@ -133,6 +178,94 @@ def bsat_workflow_persistent(workload, k_max):
     times["corrections"] = time.perf_counter() - t0
     times["total"] = sum(times.values())
     return times, k, _canon(enum.solutions), corr, enum
+
+
+def probe_stats(workload, k_max):
+    """Per-``extend_k`` probe decision counts on a fresh master view.
+
+    Replicates the auto-k bound sweep (``solve`` under each bound
+    assumption, no enumeration) and records what each probe cost — the
+    quantity the acceptance gate pins strictly below the PR-4 arena
+    full-descent baseline.
+    """
+    session = DiagnosisSession(workload.faulty, workload.tests)
+    instance = session.instance(k_max)
+    solver = instance.solver
+    probes = []
+    for k in range(1, k_max + 1):
+        before = dict(solver.stats)
+        solver.solve(
+            assumptions=instance.base_assumptions()
+            + instance.bound_assumptions(k)
+        )
+        probes.append(
+            {
+                key: solver.stats[key] - before[key]
+                for key in ("decisions", "propagations", "conflicts")
+            }
+        )
+    return probes
+
+
+def pool_churn_race(workload, n_pools, pool_size, k, seed):
+    """Derive ``n_pools`` suspect pools as master views vs per-pool
+    instance rebuilds (the IHS / repair / partitioned query shape).
+
+    Half the pools contain the injected error sites (an IHS loop's pools
+    concentrate on suspected gates, so most pools admit solutions and
+    the race exercises enumeration, not just UNSAT probes).  Three legs:
+    ``legacy`` fresh rebuilds (the pre-overhaul shape — the gated
+    ratio), ``fresh`` arena rebuilds (isolates the master-view gain from
+    the backend gain), and the master ``views``.  All three must report
+    identical per-pool solution sets.
+    """
+    rng = random.Random(seed)
+    gates = list(workload.faulty.gate_names)
+    pool_size = min(pool_size, len(gates))
+    sites = [g for g in workload.sites if g in set(gates)]
+    pools = []
+    for i in range(n_pools):
+        pool = set(rng.sample(gates, pool_size))
+        if i % 2 == 0:
+            pool.update(sites)
+        pools.append(sorted(pool))
+
+    def run_leg(session=None, backend=None):
+        sols = []
+        t0 = time.perf_counter()
+        for pool in pools:
+            res = basic_sat_diagnose(
+                workload.faulty,
+                workload.tests,
+                k=k,
+                suspects=pool,
+                session=session,
+                solver_backend=backend,
+            )
+            sols.append(_canon(res.solutions))
+        return time.perf_counter() - t0, sols
+
+    t_legacy, legacy_sols = run_leg(backend="legacy")
+    t_fresh, fresh_sols = run_leg()
+    # Master built lazily inside the timed region — the views leg pays
+    # its one-time encoding cost.
+    session = DiagnosisSession(workload.faulty, workload.tests)
+    t_views, view_sols = run_leg(session=session)
+
+    return {
+        "n_pools": n_pools,
+        "pool_size": pool_size,
+        "k": k,
+        "t_legacy": t_legacy,
+        "t_fresh": t_fresh,
+        "t_views": t_views,
+        "speedup": t_legacy / t_views if t_views else float("inf"),
+        "speedup_vs_arena_fresh": (
+            t_fresh / t_views if t_views else float("inf")
+        ),
+        "identical": legacy_sols == fresh_sols == view_sols,
+        "n_solutions": sum(len(s) for s in view_sols),
+    }
 
 
 def micro_descent():
@@ -161,6 +294,22 @@ def micro_descent():
     return rows
 
 
+def _stats_means(solution_stats):
+    n = len(solution_stats)
+    if not n:
+        return {}
+    return {
+        "decisions_per_solution": sum(
+            d["decisions"] for d in solution_stats
+        )
+        / n,
+        "propagations_per_solution": sum(
+            d["propagations"] for d in solution_stats
+        )
+        / n,
+    }
+
+
 def run(smoke: bool) -> dict:
     instances = list(SMOKE_INSTANCES)
     if not smoke:
@@ -168,6 +317,9 @@ def run(smoke: bool) -> dict:
     report: dict = {
         "smoke": smoke,
         "min_speedup": MIN_SPEEDUP,
+        "min_further_speedup": MIN_FURTHER_SPEEDUP,
+        "min_pool_churn_speedup": MIN_POOL_CHURN_SPEEDUP,
+        "pr4_baseline": PR4_BASELINE,
         "micro_descent": micro_descent(),
         "instances": [],
     }
@@ -181,7 +333,10 @@ def run(smoke: bool) -> dict:
         new_times, k_n, sols_n, corr, enum = bsat_workflow_persistent(
             workload, k_max
         )
+        probes = probe_stats(workload, k_max)
         speedup = legacy_times["total"] / new_times["total"]
+        solution_stats = enum.extras.get("solution_stats", [])
+        means = _stats_means(solution_stats)
         entry = {
             "instance": name,
             "p": p,
@@ -192,9 +347,11 @@ def run(smoke: bool) -> dict:
             "legacy": legacy_times,
             "persistent": new_times,
             "speedup": speedup,
-            # per-solution enumerator cost (satellite: restarts/learned
-            # deltas per enumerated solution in the artifact)
-            "solution_stats": enum.extras.get("solution_stats", []),
+            # per-solution enumerator cost and per-extend_k probe cost
+            # (the stats_deltas acceptance gates)
+            "solution_stats": solution_stats,
+            "stats_means": means,
+            "probe_stats": probes,
             "corrections_cached": bool(corr.extras.get("cached")),
         }
         report["instances"].append(entry)
@@ -209,6 +366,79 @@ def run(smoke: bool) -> dict:
                 f"{name}: end-to-end speedup {speedup:.2f}x < "
                 f"{MIN_SPEEDUP:.1f}x (legacy {legacy_times['total']:.3f}s, "
                 f"persistent {new_times['total']:.3f}s)"
+            )
+        baseline = PR4_BASELINE.get(name)
+        if baseline is not None:
+            needed = MIN_FURTHER_SPEEDUP * baseline["speedup"]
+            if speedup < needed:
+                failures.append(
+                    f"{name}: speedup {speedup:.2f}x < {needed:.2f}x "
+                    f"(= {MIN_FURTHER_SPEEDUP}x the PR-4 baseline "
+                    f"{baseline['speedup']:.2f}x)"
+                )
+            for key in (
+                "decisions_per_solution",
+                "propagations_per_solution",
+            ):
+                if means and means[key] >= baseline[key]:
+                    failures.append(
+                        f"{name}: {key} {means[key]:.1f} not strictly "
+                        f"below the PR-4 baseline {baseline[key]:.1f}"
+                    )
+            # A PR-4 extend_k probe cost at least one full descent; the
+            # per-solution decision mean is that descent's yardstick.
+            for idx, probe in enumerate(probes):
+                if probe["decisions"] >= baseline["decisions_per_solution"]:
+                    failures.append(
+                        f"{name}: probe k={idx + 1} decisions "
+                        f"{probe['decisions']} not strictly below the "
+                        f"PR-4 per-descent baseline "
+                        f"{baseline['decisions_per_solution']:.1f}"
+                    )
+
+    # Pool churn, the IHS-style 50-pools shape: the rnd60 leg always
+    # runs (so every artifact — including CI's smoke one — carries a
+    # churn ratio the baseline comparison can check), and full mode adds
+    # the gated sim1423 leg.
+    churn_legs = [
+        (
+            "rnd60-p2-a",
+            make_workload(
+                _build_circuit(SMOKE_INSTANCES[0][1]),
+                p=2, m_max=10, seed=2, allow_fewer=True,
+            ),
+            dict(n_pools=50, pool_size=8, k=2, seed=11),
+            MIN_POOL_CHURN_SPEEDUP_SMOKE,
+        ),
+    ]
+    if not smoke:
+        churn_legs.append(
+            (
+                "sim1423-p2",
+                make_workload(
+                    get_circuit("sim1423"),
+                    p=2, m_max=8, seed=5, allow_fewer=True,
+                ),
+                dict(n_pools=50, pool_size=12, k=2, seed=11),
+                MIN_POOL_CHURN_SPEEDUP,
+            )
+        )
+    report["pool_churns"] = []
+    for name, churn_workload, params, gate in churn_legs:
+        churn = pool_churn_race(churn_workload, **params)
+        churn["instance"] = name
+        churn["gate"] = gate
+        report["pool_churns"].append(churn)
+        if not churn["identical"]:
+            failures.append(
+                f"pool churn {name}: arena/legacy/master-view solution "
+                "sets differ"
+            )
+        if churn["speedup"] < gate:
+            failures.append(
+                f"pool churn {name}: speedup {churn['speedup']:.2f}x < "
+                f"{gate:.1f}x (legacy {churn['t_legacy']:.3f}s, "
+                f"views {churn['t_views']:.3f}s)"
             )
     report["failures"] = failures
     return report
@@ -237,6 +467,7 @@ def main(argv=None) -> int:
         f"{micro['legacy']['t_solve'] * 1e3:.1f}ms"
     )
     for entry in report["instances"]:
+        baseline = PR4_BASELINE.get(entry["instance"], {})
         print(
             f"{entry['instance']:<12} p={entry['p']} m={entry['m']} "
             f"gates={entry['gates']:>4} k={entry['k']} "
@@ -244,13 +475,27 @@ def main(argv=None) -> int:
             f"legacy {entry['legacy']['total']:.3f}s  "
             f"persistent {entry['persistent']['total']:.3f}s  "
             f"speedup {entry['speedup']:.1f}x"
+            + (
+                f" (PR-4: {baseline['speedup']:.2f}x)"
+                if baseline
+                else ""
+            )
+        )
+    for churn in report["pool_churns"]:
+        print(
+            f"pool churn ({churn['instance']}, {churn['n_pools']} pools "
+            f"of {churn['pool_size']}): legacy {churn['t_legacy']:.3f}s  "
+            f"arena fresh {churn['t_fresh']:.3f}s  views "
+            f"{churn['t_views']:.3f}s  speedup {churn['speedup']:.1f}x "
+            f"(gate {churn['gate']:.1f}x)"
         )
     if report["failures"]:
         for failure in report["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print(
-        f"all BSAT workflow races >= {MIN_SPEEDUP:.0f}x with identical "
+        f"all BSAT workflow races >= {MIN_FURTHER_SPEEDUP}x the PR-4 "
+        f"ratios, pool churn >= {MIN_POOL_CHURN_SPEEDUP:.0f}x, identical "
         "solution sets"
     )
     return 0

@@ -1,0 +1,138 @@
+"""Machine-check the perf trajectory: diff a solver-bench artifact
+against the committed baseline.
+
+``bench_solver.py`` writes ``out/solver.json`` per run; the repo root
+carries ``BENCH_solver.json``, the artifact committed by the last PR
+that touched the solver stack.  This script compares every *gated
+ratio* of the two — the end-to-end legacy/persistent speedup of each
+pinned workflow instance and the pool-churn speedup — and fails when
+any current ratio has regressed by more than ``--tolerance`` (default
+25%) relative to the baseline.  Ratios are machine-independent (the
+legacy leg is the in-run control), so the comparison is meaningful
+across CI runners.
+
+CI runs this right after the smoke bench; a smoke artifact is compared
+against the full-mode baseline on their common instances (the sim1423
+leg and the sim1423 pool churn only exist in full mode).
+
+Usage::
+
+    PYTHONPATH=../src python compare_baseline.py \
+        --baseline ../BENCH_solver.json --current out/solver.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: A gated ratio may drop at most this fraction below its baseline.
+DEFAULT_TOLERANCE = 0.25
+
+
+def gated_ratios(report: dict) -> dict[str, float]:
+    """Extract the gated ratios of a ``bench_solver.py`` artifact."""
+    ratios: dict[str, float] = {}
+    for entry in report.get("instances", []):
+        ratios[f"speedup:{entry['instance']}"] = entry["speedup"]
+    for churn in report.get("pool_churns", []):
+        ratios[f"pool_churn:{churn.get('instance', '?')}"] = churn[
+            "speedup"
+        ]
+    return ratios
+
+
+def compare(
+    baseline: dict, current: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (lines, failures) for the common gated ratios."""
+    base_ratios = gated_ratios(baseline)
+    cur_ratios = gated_ratios(current)
+    lines: list[str] = []
+    failures: list[str] = []
+    common = sorted(set(base_ratios) & set(cur_ratios))
+    if not common:
+        failures.append(
+            "no gated ratios in common between baseline and current "
+            "artifacts"
+        )
+        return lines, failures
+    for key in common:
+        base = base_ratios[key]
+        cur = cur_ratios[key]
+        floor = base * (1.0 - tolerance)
+        status = "ok" if cur >= floor else "REGRESSED"
+        lines.append(
+            f"{key:<24} baseline {base:6.2f}x  current {cur:6.2f}x  "
+            f"floor {floor:6.2f}x  [{status}]"
+        )
+        if cur < floor:
+            failures.append(
+                f"{key}: {cur:.2f}x is more than "
+                f"{tolerance:.0%} below the baseline {base:.2f}x"
+            )
+    for key in sorted(set(base_ratios) - set(cur_ratios)):
+        lines.append(f"{key:<24} (baseline only — skipped)")
+    for key in sorted(set(cur_ratios) - set(base_ratios)):
+        # A ratio with no baseline cannot be gated here; surface it so
+        # it is added to BENCH_solver.json instead of drifting silently.
+        failures.append(
+            f"{key}: present in the current artifact but missing from "
+            "the baseline — regenerate BENCH_solver.json"
+        )
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent.parent / "BENCH_solver.json"),
+        help="committed baseline artifact (repo root BENCH_solver.json)",
+    )
+    parser.add_argument(
+        "--current",
+        default=str(Path(__file__).parent / "out" / "solver.json"),
+        help="artifact of the run under test (benchmarks/out/solver.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression of any gated ratio "
+        "(default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    lines, failures = compare(baseline, current, args.tolerance)
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"all gated ratios within {args.tolerance:.0%} of the baseline")
+    return 0
+
+
+def test_compare_baseline_self():
+    """The committed baseline must agree with itself (sanity) and a
+    fabricated regression must be caught."""
+    baseline = json.loads(
+        (Path(__file__).parent.parent / "BENCH_solver.json").read_text()
+    )
+    _, failures = compare(baseline, baseline, DEFAULT_TOLERANCE)
+    assert not failures, failures
+    regressed = json.loads(json.dumps(baseline))
+    regressed["instances"][0]["speedup"] = (
+        baseline["instances"][0]["speedup"] * 0.5
+    )
+    _, failures = compare(baseline, regressed, DEFAULT_TOLERANCE)
+    assert failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,7 +166,18 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         k = args.k if args.k > 0 else None
     else:
         options["solution_limit"] = args.limit
-    result = diagnose(session, k=k, strategy=strategy, **options)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = diagnose(session, k=k, strategy=strategy, **options)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        result = diagnose(session, k=k, strategy=strategy, **options)
     print(
         f"{result.n_solutions} solutions in {result.t_all:.2f}s "
         f"(build {result.t_build:.2f}s)"
@@ -185,12 +196,19 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
-    from .sat.backends import available_backends, backend_summary
+    from .sat.backends import (
+        available_backends,
+        backend_summary,
+        unavailable_backends,
+    )
 
     names = available_backends()
-    width = max(len(name) for name in names)
+    missing = unavailable_backends()
+    width = max(len(name) for name in (*names, *missing))
     for name in names:
         print(f"{name.ljust(width)}  {backend_summary(name)}")
+    for name in sorted(missing):
+        print(f"{name.ljust(width)}  [unavailable] {missing[name]}")
     return 0
 
 
@@ -316,6 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver-backend", default=None, metavar="NAME",
         help="SAT backend for every solver the session builds "
         "(see 'python -m repro backends'; default: arena)",
+    )
+    p_diag.add_argument(
+        "--profile", action="store_true",
+        help="run the diagnosis under cProfile and print the top-20 "
+        "functions by cumulative time (see benchmarks/README.md)",
     )
     p_diag.set_defaults(func=_cmd_diagnose)
 

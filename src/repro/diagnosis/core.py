@@ -393,43 +393,53 @@ class DiagnosisSession:
     ):
         """The session's *persistent* SAT instance for these options.
 
-        Built once per (suspects, select-zero, backend) key and cached
-        alongside the lane caches; every BSAT/auto-k/hybrid/IHS query
-        drives it through assumptions on one incremental solver.
-        Blocking clauses are scoped per query with activation literals
-        (:meth:`~repro.diagnosis.satdiag.DiagnosisInstance.begin_scope`)
-        and the cardinality bound extends in place when a later query
-        needs a larger ``k`` — no per-k CNF rebuilds.
+        One **master** encoding per backend
+        (:func:`~repro.diagnosis.satdiag.build_master_instance`:
+        correction muxes on every functional gate, free values folded
+        into the effective signals so an unselected mux is pure
+        propagation) serves every request: each (suspects, select-zero)
+        key gets a cached *view*
+        (:meth:`~repro.diagnosis.satdiag.DiagnosisInstance.derive_view`)
+        whose ``base_assumptions()`` pin the non-suspect selects to 0.
+        Deriving a pool instance therefore costs a tuple of pin literals
+        instead of a per-pool CNF rebuild (the IHS loop, the repair
+        radii and the partitioned funnel all churn pools).  Blocking
+        clauses are scoped per query with activation literals and the
+        cardinality bound extends in place when a later query needs a
+        larger ``k`` — no per-k rebuilds either.  The master's c-free
+        mux already subsumes the select-zero pruning, so
+        ``select_zero_clauses`` only keys the view cache (solution sets
+        are unaffected by the flag either way).
         """
         from ..sat.backends import resolve_backend
-        from .satdiag import build_diagnosis_instance
+        from .satdiag import build_master_instance
 
         backend = resolve_backend(
             solver_backend
             if solver_backend is not None
             else self.solver_backend
         )
-        key = (
-            "instance",
-            None if suspects is None else tuple(dict.fromkeys(suspects)),
-            select_zero_clauses,
-            backend,
+        suspects_key = (
+            None if suspects is None else tuple(dict.fromkeys(suspects))
         )
+        key = ("view", suspects_key, select_zero_clauses, backend)
         cached = self._instances.get(key)
         if cached is None:
-            cached = build_diagnosis_instance(
-                self.circuit,
-                self.tests,
-                k_max=k_max,
-                suspects=suspects,
-                constrain_all_outputs=self.constrain_all_outputs,
-                select_zero_clauses=select_zero_clauses,
-                solver_backend=backend,
-                persistent=True,
-            )
+            master = self._instances.get(("master", backend))
+            if master is None:
+                master = build_master_instance(
+                    self.circuit,
+                    self.tests,
+                    k_max=k_max,
+                    constrain_all_outputs=self.constrain_all_outputs,
+                    solver_backend=backend,
+                )
+                self._instances[("master", backend)] = master
+            else:
+                master.extend_k(k_max)
+            cached = master.derive_view(suspects_key)
             self._instances[key] = cached
-        else:
-            cached.extend_k(k_max)
+        cached.extend_k(k_max)
         return cached
 
     def ihs_state(self, key: tuple, factory):

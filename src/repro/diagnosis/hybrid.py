@@ -22,7 +22,11 @@ Both ride one :class:`~repro.diagnosis.core.DiagnosisSession`: the
 path-tracing guidance comes from the session's cached result (the
 pre-refactor code re-simulated the implementation once per test, per
 call) and instance construction goes through the session, so repeated
-hybrid calls on the same problem share every derived artifact.
+hybrid calls on the same problem share every derived artifact.  Since
+the master-encoding overhaul each repair radius is an assumption-pinned
+*view* over the session's one master CNF
+(:meth:`~repro.diagnosis.satdiag.DiagnosisInstance.derive_view`) —
+growing the radius derives a new pin tuple, not a new instance.
 """
 
 from __future__ import annotations

@@ -202,13 +202,29 @@ def ihs_diagnose(
             return True  # hits a size-1 MCS of the observation
         return bool(session.rect_word(h) & (1 << j))
 
+    # Conflict extraction runs on the session's per-observation *master*
+    # rectify solvers (muxes on every functional gate, pool selected by
+    # assumption pins), so pool churn across calls — repair radii,
+    # partitioned funnels, refined IHS pools — reuses one encoding and
+    # its learnt state per observation instead of rebuilding per pool.
+    all_gates = session.circuit.gate_names
+    pool_set = set(pool_gates)
+    # select-var -> gate reverse maps, one per observation's master
+    # rectify solver (constant per observation — don't rebuild per
+    # rejected candidate).
+    gate_by_select_of: dict[int, dict[int, str]] = {}
+
     def extract_conflict(h: tuple[str, ...], j: int) -> frozenset[str]:
         """SAT-core conflict from an observation that rejects ``h``."""
         solver, select_of = session.rectify_solver(
-            j, pool_gates, solver_backend=backend
+            j, all_gates, solver_backend=backend
         )
-        outside = [g for g in pool_gates if g not in h]
-        assumptions = [-select_of[g] for g in outside]
+        gate_by_select = gate_by_select_of.get(j)
+        if gate_by_select is None:
+            gate_by_select = {v: g for g, v in select_of.items()}
+            gate_by_select_of[j] = gate_by_select
+        h_set = set(h)
+        assumptions = [-select_of[g] for g in all_gates if g not in h_set]
         if solver.solve(assumptions=assumptions):
             # The per-observation encoding admits a correction inside
             # ``h`` after all (can only disagree with the lane check
@@ -217,10 +233,14 @@ def ihs_diagnose(
                 "rectify solver and simulation oracle disagree"
             )
         core = solver.core()
-        gate_by_select = {v: g for g, v in select_of.items()}
-        return frozenset(
+        core_gates = {
             gate_by_select[-lit] for lit in core if -lit in gate_by_select
-        )
+        }
+        # Restrict to the pool: a valid pool correction is also a valid
+        # all-gates correction, so it intersects the core — hence the
+        # pool slice stays a sound conflict (empty slice = the pool
+        # cannot rectify the observation at any cardinality).
+        return frozenset(g for g in core_gates if g in pool_set)
 
     act = state.begin_scope()
     search_start = time.perf_counter()

@@ -25,10 +25,21 @@ one persistent incremental solver (see the lifetime diagram in the
 :class:`~repro.sat.cardinality.IncrementalTotalizer` that extends in
 place when a later query needs a larger ``k``, and each enumeration runs
 under a fresh *activation literal* so its blocking clauses retract when
-the query ends.  :meth:`repro.diagnosis.core.DiagnosisSession.instance`
-caches instances per (suspects, options) alongside the session's lane
-caches, so ``bsat``, ``bsat-auto-k``, the hybrids and the IHS loop all
-share one encoded instance — no per-k CNF rebuilds.
+the query ends.
+
+Sessions go one step further with a **master encoding**: one CNF with
+correction muxes on *every* functional gate (plus the ``(s_g ∨ ¬c_g^i)``
+pruning clauses, so an unselected mux propagates instead of costing
+decisions), built once per backend.  Any suspect pool is then a *view*
+(:meth:`DiagnosisInstance.derive_view`): the same solver, queried under
+assumptions that pin the non-suspect selects to 0 — deriving a pool
+instance costs a tuple of pin literals instead of a CNF rebuild, and the
+solver's longest-common-prefix trail reuse keeps the pins' implied trail
+segment alive across bound bumps and pool churn.
+:meth:`repro.diagnosis.core.DiagnosisSession.instance` caches one master
+per backend and one view per (suspects, options), so ``bsat``,
+``bsat-auto-k``, the hybrids (repair radii), the partitioned funnel and
+the IHS loop all share one encoded instance — no per-pool rebuilds.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..circuits.netlist import Circuit
+from ..circuits.structure import fanin_cone
 from ..sat.cardinality import IncrementalTotalizer
 from ..sat.cnf import CNF
 from ..sat.enumerate import enumerate_solutions
@@ -50,6 +62,7 @@ from .core import DiagnosisSession, register_strategy
 __all__ = [
     "DiagnosisInstance",
     "build_diagnosis_instance",
+    "build_master_instance",
     "basic_sat_diagnose",
     "auto_k_sat_diagnose",
 ]
@@ -82,9 +95,30 @@ class DiagnosisInstance:
     solver_backend: str | None = None
     results_cache: dict = field(default_factory=dict)
     _scope_count: int = 0
+    #: ``¬s_g`` literals pinning non-suspect selects to 0 — non-empty only
+    #: on views derived from a session master encoding.
+    pin_assumptions: tuple[int, ...] = ()
+    #: The master instance a view was derived from (None: standalone).
+    master: "DiagnosisInstance | None" = None
+
+    def base_assumptions(self) -> list[int]:
+        """Assumptions every query on this instance must include.
+
+        Empty on standalone instances; on a master view these are the
+        ``¬s_g`` pins that restrict the encoding to the view's suspect
+        pool.  Callers put them *first* in the assumption list so the
+        solver's longest-common-prefix trail reuse keeps their implied
+        trail segment alive across bound bumps and repeated queries.
+        """
+        return list(self.pin_assumptions)
 
     def bound_assumptions(self, bound: int) -> list[int]:
         """Assumption literals enforcing "at most ``bound`` selects"."""
+        if self.totalizer is not None:
+            # Views share the master's totalizer, whose outputs may have
+            # been extended through a sibling view — its own method
+            # always sees the current outputs.
+            return self.totalizer.bound_assumptions(bound)
         if bound < 0:
             raise ValueError("bound must be non-negative")
         if bound >= len(self.bound_outputs):
@@ -95,6 +129,12 @@ class DiagnosisInstance:
         """Grow the cardinality bound in place (incremental totalizer)."""
         if k_max <= self.k_max:
             return
+        if self.master is not None:
+            self.master.extend_k(k_max)
+            self.bound_outputs = self.master.bound_outputs
+            self.k_max = k_max
+            self.results_cache.clear()  # cached keys are per-k sweeps
+            return
         if self.totalizer is None:
             raise ValueError(
                 "instance was built without an incremental totalizer"
@@ -104,21 +144,84 @@ class DiagnosisInstance:
         self.k_max = k_max
         self.results_cache.clear()  # cached keys are per-k sweeps
 
+    def derive_view(
+        self, suspects: Sequence[str] | None
+    ) -> "DiagnosisInstance":
+        """A suspect-pool *view* over this (master) instance.
+
+        The view shares the solver, CNF, totalizer and correction
+        bookkeeping; it differs only in its ``select_of``/``suspects``
+        projection and in :meth:`base_assumptions`, which pin every
+        non-suspect select to 0.  Deriving a view is O(|gates|) — no CNF
+        is built — and its solution sets equal a freshly built
+        ``build_diagnosis_instance(suspects=...)`` by construction (the
+        pinned mux collapses to the direct gate encoding).
+        """
+        if suspects is None:
+            suspect_list = self.suspects
+        else:
+            suspect_list = tuple(dict.fromkeys(suspects))
+        select = self.select_of
+        for s in suspect_list:
+            if s not in select:
+                raise ValueError(
+                    f"suspect {s!r} is not a candidate gate of the "
+                    "master encoding"
+                )
+        keep = set(suspect_list)
+        pins = tuple(
+            -select[g] for g in self.suspects if g not in keep
+        )
+        return DiagnosisInstance(
+            circuit=self.circuit,
+            tests=self.tests,
+            cnf=self.cnf,
+            solver=self.solver,
+            select_of={g: select[g] for g in suspect_list},
+            gate_of={select[g]: g for g in suspect_list},
+            correction_of=self.correction_of,
+            signal_of=self.signal_of,
+            bound_outputs=self.bound_outputs,
+            k_max=self.k_max,
+            suspects=suspect_list,
+            build_time=self.build_time,  # the encoding the view rides on
+            totalizer=self.totalizer,
+            persistent=True,
+            solver_backend=self.solver_backend,
+            pin_assumptions=pins,
+            master=self,
+        )
+
     def begin_scope(self) -> int:
         """Open an enumeration scope: returns a fresh activation literal.
 
         Assume it on every solve and append its negation to every
         blocking clause; close with :meth:`end_scope` so the blocks
-        retract and the next query sees the unblocked instance.
+        retract and the next query sees the unblocked instance.  Views
+        delegate to their master (one scope counter per encoded CNF).
         """
+        if self.master is not None:
+            return self.master.begin_scope()
         self._scope_count += 1
         act = self.cnf.new_var(f"act:{self._scope_count}")
         self.solver.ensure_vars(act)
         return act
 
     def end_scope(self, act: int) -> None:
-        """Close an enumeration scope (permanently satisfies its blocks)."""
-        self.solver.add_clause([-act])
+        """Close an enumeration scope.
+
+        The scope's blocking clauses all carry ``¬act``, so simply never
+        assuming ``act`` again retracts them: any later model is free to
+        set ``act`` false (the saved phase tries that first).  No root
+        unit is pushed into the *solver* — pinning ``¬act`` at level 0
+        would reset the whole trail (a unit insertion cancels to the
+        root) and defeat the cross-query pin-prefix trail reuse the
+        master views rely on.  The CNF mirror does record the
+        retirement, so a freshly rebuilt solver pins retired scopes.
+        """
+        if self.master is not None:
+            self.master.end_scope(act)
+            return
         self.cnf.add_clause([-act])
 
     def solution_from_model(self) -> Correction:
@@ -138,8 +241,11 @@ class DiagnosisInstance:
         for gate in solution:
             vals: list[int] = []
             for i in range(len(self.tests)):
-                var = self.correction_of[(i, gate)]
-                val = self.solver.value(var)
+                var = self.correction_of.get((i, gate))
+                # Master encodings only carry a witness where the gate
+                # reaches the test's constrained cone; elsewhere the
+                # injected value is a don't-care (-1).
+                val = None if var is None else self.solver.value(var)
                 vals.append(-1 if val is None else int(val))
             result[gate] = vals
         return result
@@ -179,6 +285,37 @@ def build_diagnosis_instance(
         it are scoped with activation literals and complete results are
         memoized (see :func:`basic_sat_diagnose`).
     """
+    start = time.perf_counter()
+    suspect_list = _validated_suspects(circuit, tests, suspects)
+    suspect_set = set(suspect_list)
+
+    cnf = CNF()
+    select_of = {g: cnf.new_var(f"s:{g}") for g in suspect_list}
+    correction_of: dict[tuple[int, str], int] = {}
+
+    def encode_suspect(i, name, gate, fanin_vars):
+        raw = cnf.new_var(f"t{i}:{name}:raw")
+        encode_gate(cnf, gate.gtype, raw, fanin_vars)
+        c_var = cnf.new_var(f"t{i}:c:{name}")
+        correction_of[(i, name)] = c_var
+        eff = cnf.new_var(f"t{i}:{name}")
+        encode_mux(cnf, eff, select_of[name], c_var, raw)
+        if select_zero_clauses:
+            cnf.add_clause([select_of[name], -c_var])
+        return eff
+
+    signal_of = _encode_test_copies(
+        circuit, tests, cnf, suspect_set, constrain_all_outputs,
+        encode_suspect,
+    )
+    return _finish_instance(
+        circuit, tests, cnf, select_of, correction_of, signal_of,
+        suspect_list, k_max, solver, solver_backend, persistent, start,
+    )
+
+
+def _validated_suspects(circuit, tests, suspects):
+    """Shared builder front door: structural checks + suspect list."""
     if not circuit.is_combinational:
         raise ValueError(
             "diagnosis instances require a combinational circuit; "
@@ -186,29 +323,41 @@ def build_diagnosis_instance(
         )
     if not len(tests):
         raise ValueError("diagnosis requires at least one failing test")
-    start = time.perf_counter()
     if suspects is None:
-        suspect_list: tuple[str, ...] = circuit.gate_names
-    else:
-        suspect_list = tuple(dict.fromkeys(suspects))
-        for s in suspect_list:
-            if not circuit.node(s).is_functional:
-                raise ValueError(f"suspect {s!r} is not a functional gate")
-    suspect_set = set(suspect_list)
+        return circuit.gate_names
+    suspect_list = tuple(dict.fromkeys(suspects))
+    for s in suspect_list:
+        if not circuit.node(s).is_functional:
+            raise ValueError(f"suspect {s!r} is not a functional gate")
+    return suspect_list
 
-    cnf = CNF()
-    select_of = {g: cnf.new_var(f"s:{g}") for g in suspect_list}
-    gate_of = {v: g for g, v in select_of.items()}
-    correction_of: dict[tuple[int, str], int] = {}
+
+def _encode_test_copies(
+    circuit: Circuit,
+    tests: TestSet,
+    cnf: CNF,
+    suspect_set: set[str],
+    constrain_all_outputs: bool,
+    encode_suspect,
+    cone_for=None,
+) -> dict[tuple[int, str], int]:
+    """One circuit copy per test: inputs pinned to the vector, the
+    constrained output(s) asserted, suspect gates delegated to
+    ``encode_suspect(i, name, gate, fanin_vars) -> eff var`` (which owns
+    the mux flavour and the correction bookkeeping).  ``cone_for(test)``
+    optionally restricts a copy to a signal subset (the master's
+    fan-in-cone optimization).  Returns ``signal_of``."""
     signal_of: dict[tuple[int, str], int] = {}
     topo = circuit.topological_order()
-
     for i, test in enumerate(tests):
         if constrain_all_outputs and test.expected_outputs is None:
             raise ValueError(
                 "constrain_all_outputs requires tests with expected_outputs"
             )
+        cone = None if cone_for is None else cone_for(test)
         for name in topo:
+            if cone is not None and name not in cone:
+                continue
             gate = circuit.node(name)
             if gate.is_input:
                 var = cnf.new_var(f"t{i}:{name}")
@@ -223,15 +372,9 @@ def build_diagnosis_instance(
                 continue
             fanin_vars = [signal_of[(i, f)] for f in gate.fanins]
             if name in suspect_set:
-                raw = cnf.new_var(f"t{i}:{name}:raw")
-                encode_gate(cnf, gate.gtype, raw, fanin_vars)
-                c_var = cnf.new_var(f"t{i}:c:{name}")
-                correction_of[(i, name)] = c_var
-                eff = cnf.new_var(f"t{i}:{name}")
-                encode_mux(cnf, eff, select_of[name], c_var, raw)
-                if select_zero_clauses:
-                    cnf.add_clause([select_of[name], -c_var])
-                signal_of[(i, name)] = eff
+                signal_of[(i, name)] = encode_suspect(
+                    i, name, gate, fanin_vars
+                )
             else:
                 var = cnf.new_var(f"t{i}:{name}")
                 encode_gate(cnf, gate.gtype, var, fanin_vars)
@@ -245,7 +388,24 @@ def build_diagnosis_instance(
         else:
             var = signal_of[(i, test.output)]
             cnf.add_clause([var if test.value else -var])
+    return signal_of
 
+
+def _finish_instance(
+    circuit: Circuit,
+    tests: TestSet,
+    cnf: CNF,
+    select_of: dict[str, int],
+    correction_of: dict[tuple[int, str], int],
+    signal_of: dict[tuple[int, str], int],
+    suspect_list: tuple[str, ...],
+    k_max: int,
+    solver: Solver | None,
+    solver_backend: str | None,
+    persistent: bool,
+    start: float,
+) -> DiagnosisInstance:
+    """Shared builder tail: totalizer, solver hand-off, instance."""
     tot = IncrementalTotalizer(
         cnf,
         [select_of[g] for g in suspect_list],
@@ -259,7 +419,7 @@ def build_diagnosis_instance(
         cnf=cnf,
         solver=built_solver,
         select_of=select_of,
-        gate_of=gate_of,
+        gate_of={v: g for g, v in select_of.items()},
         correction_of=correction_of,
         signal_of=signal_of,
         bound_outputs=tot.outputs,
@@ -269,6 +429,85 @@ def build_diagnosis_instance(
         totalizer=tot,
         persistent=persistent,
         solver_backend=solver_backend,
+    )
+
+
+def build_master_instance(
+    circuit: Circuit,
+    tests: TestSet,
+    k_max: int,
+    constrain_all_outputs: bool = False,
+    solver_backend: str | None = None,
+) -> DiagnosisInstance:
+    """The session-wide **master** correction encoding.
+
+    Correction muxes sit on *every* functional gate, so any suspect pool
+    is a view derived by assumptions (:meth:`DiagnosisInstance.
+    derive_view`) — no per-pool CNF rebuilds.  The mux is encoded
+    without an explicit free value ``c_g^i``: the *effective* signal
+    ``eff`` doubles as it (``c_g^i ≡ eff_g^i`` whenever ``s_g`` is
+    selected), via the two pinning clauses::
+
+        (s_g ∨ ¬eff ∨ raw)   (s_g ∨ eff ∨ ¬raw)    # s=0 ⇒ eff = raw
+
+    When ``s_g = 0`` the mux collapses to the direct gate encoding by
+    propagation; when ``s_g = 1`` ``eff`` is free — the same solution
+    space as the Fig. 2(b) encoding of :func:`build_diagnosis_instance`
+    (asserted by the parity suite), but with ``|gates| × |T|`` fewer
+    variables, so an enumeration redescent never touches a free-value
+    tail and ``correction_values`` still reads the per-test witness
+    straight off the model.
+
+    Each test copy is further restricted to the **fan-in cone** of its
+    constrained output(s): gates outside the cone cannot influence the
+    copy's only constraint, so their copy-``i`` signals are never
+    encoded (a gate outside every cone still has a select line and a
+    totalizer slot, but Lemma 3's superset blocking keeps it out of
+    every reported solution — a correction containing it would not be
+    essential).  ``correction_values`` reports ``-1`` (“don't care”)
+    for tests whose cone a selected gate does not reach.
+    """
+    start = time.perf_counter()
+    suspect_list = _validated_suspects(circuit, tests, None)
+    suspect_set = set(suspect_list)
+
+    cnf = CNF()
+    select_of = {g: cnf.new_var(f"s:{g}") for g in suspect_list}
+    correction_of: dict[tuple[int, str], int] = {}
+
+    def encode_suspect(i, name, gate, fanin_vars):
+        raw = cnf.new_var(f"t{i}:{name}:raw")
+        encode_gate(cnf, gate.gtype, raw, fanin_vars)
+        s_var = select_of[name]
+        eff = cnf.new_var(f"t{i}:{name}")
+        cnf.add_clause([s_var, -eff, raw])
+        cnf.add_clause([s_var, eff, -raw])
+        correction_of[(i, name)] = eff
+        return eff
+
+    cone_cache: dict[str, frozenset[str]] = {}
+
+    def output_cone(out: str) -> frozenset[str]:
+        cached = cone_cache.get(out)
+        if cached is None:
+            cached = frozenset(fanin_cone(circuit, out, include_self=True))
+            cone_cache[out] = cached
+        return cached
+
+    def cone_for(test) -> frozenset[str]:
+        if constrain_all_outputs:
+            return frozenset().union(
+                *(output_cone(out) for out in circuit.outputs)
+            )
+        return output_cone(test.output)
+
+    signal_of = _encode_test_copies(
+        circuit, tests, cnf, suspect_set, constrain_all_outputs,
+        encode_suspect, cone_for=cone_for,
+    )
+    return _finish_instance(
+        circuit, tests, cnf, select_of, correction_of, signal_of,
+        suspect_list, k_max, None, solver_backend, True, start,
     )
 
 
@@ -365,6 +604,9 @@ def basic_sat_diagnose(
             )
 
     act = instance.begin_scope() if instance.persistent else 0
+    # Pins first (stable across bounds and queries — the trail-reuse
+    # prefix), then the per-bound literal, then the per-query scope.
+    base_assumptions = instance.base_assumptions()
     extra_assumptions = [act] if act else []
     block_extra = (-act,) if act else ()
     solutions: list[Correction] = []
@@ -376,7 +618,9 @@ def basic_sat_diagnose(
     try:
         for bound in range(1, k + 1):
             assumptions = (
-                instance.bound_assumptions(bound) + extra_assumptions
+                base_assumptions
+                + instance.bound_assumptions(bound)
+                + extra_assumptions
             )
             budget_left = (
                 None
@@ -490,7 +734,10 @@ def auto_k_sat_diagnose(
         )
     solver = instance.solver
     for k in range(1, k_max + 1):
-        feasible = solver.solve(assumptions=instance.bound_assumptions(k))
+        feasible = solver.solve(
+            assumptions=instance.base_assumptions()
+            + instance.bound_assumptions(k)
+        )
         if feasible:
             result = basic_sat_diagnose(
                 circuit, tests, k, instance=instance,

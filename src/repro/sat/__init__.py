@@ -40,7 +40,28 @@ Blocking clauses are guarded by a per-query *activation literal*
 ``act_i`` (assumed true during the query, released afterwards), so the
 same instance serves repeated enumerations without resetting learnt
 state, and the totalizer extends its bound in place instead of being
-re-encoded.  See :meth:`repro.diagnosis.core.DiagnosisSession.instance`.
+re-encoded.
+
+Sessions build **one master encoding** (muxes on every candidate gate)
+and derive every suspect pool from it as an assumption-pinned *view*::
+
+    master (once per session/backend)    pool views (any number)
+    =================================    ==============================
+    CNF: mux on ALL gates,       ----->  derive_view(pool_A):
+    c_g^i folded into eff,                 pins = [¬s_g | g ∉ pool_A]
+    per-test fan-in cones                  solve([pins…, ¬out_k, act])
+    + IncrementalTotalizer       ----->  derive_view(pool_B):
+            |                              pins' = [¬s_g | g ∉ pool_B]
+            v                              …same solver, same learnts
+    one persistent Solver        ----->  longest-common-prefix trail
+    (pins first in every                 reuse keeps the shared pins'
+     assumption list)                    implied trail alive
+
+A view costs a tuple of pin literals — no per-pool CNF rebuild — and
+its solution sets equal a freshly built pool instance by construction
+(``benchmarks/bench_solver.py`` races 50-pool churn, ≥5× on sim1423).
+See :meth:`repro.diagnosis.core.DiagnosisSession.instance` and
+:func:`repro.diagnosis.satdiag.build_master_instance`.
 """
 
 from .solver import Solver, SolveResult

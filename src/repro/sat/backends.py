@@ -44,6 +44,7 @@ __all__ = [
     "DEFAULT_BACKEND",
     "register_backend",
     "available_backends",
+    "unavailable_backends",
     "create_solver",
     "backend_summary",
     "resolve_backend",
@@ -52,6 +53,11 @@ __all__ = [
 
 #: Name -> (solver factory, one-line summary).
 SAT_BACKENDS: dict[str, tuple[Callable[[], object], str]] = {}
+
+#: Optional backends that failed to register -> the reason (the import
+#: error string), so ``python -m repro backends`` can say *why* instead
+#: of silently omitting them.
+UNAVAILABLE_BACKENDS: dict[str, str] = {}
 
 #: The backend used when callers pass ``backend=None``.
 DEFAULT_BACKEND = "arena"
@@ -76,6 +82,11 @@ def available_backends() -> tuple[str, ...]:
     names = sorted(SAT_BACKENDS)
     names.remove(DEFAULT_BACKEND)
     return (DEFAULT_BACKEND, *names)
+
+
+def unavailable_backends() -> dict[str, str]:
+    """Optional backends that could not register -> why (import error)."""
+    return dict(UNAVAILABLE_BACKENDS)
 
 
 def backend_summary(name: str) -> str:
@@ -109,8 +120,8 @@ def create_solver(backend: str | None = None):
 
 @register_backend(
     "arena",
-    "flat-arena CDCL: blocker watches, inlined BCP, enumeration trail "
-    "reuse (default)",
+    "flat-arena CDCL: binary implicit watches, assumption-prefix trail "
+    "reuse, chronological insertion (default)",
 )
 def _arena_backend() -> Solver:
     return Solver()
@@ -250,7 +261,10 @@ class _PySatSolver:
 def _try_register_pysat() -> None:
     try:
         from pysat.solvers import Glucose3  # noqa: F401,PLC0415
-    except ImportError:
+    except ImportError as exc:
+        UNAVAILABLE_BACKENDS["pysat"] = (
+            f"optional dependency not importable: {exc}"
+        )
         return
     register_backend(
         "pysat", "external python-sat Glucose3 (optional dependency)"

@@ -112,8 +112,12 @@ class CNF:
         elif backend is not None:
             raise ValueError("pass either a solver or a backend name")
         solver.ensure_vars(self._num_vars)
-        for clause in self._clauses:
-            solver.add_clause(clause)
+        loader = getattr(solver, "load_clauses", None)
+        if loader is not None:
+            loader(self._clauses)
+        else:
+            for clause in self._clauses:
+                solver.add_clause(clause)
         return solver
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -14,11 +14,47 @@ ref + size]`` and a two-int header (``size``, ``learnt`` flag) just below.
 Watch lists are literal-indexed flat lists of ``(ref, blocker)`` pairs, so
 the propagation inner loop touches only small-int list slots — no per-
 clause Python objects, no attribute lookups — and learnt-clause deletion
-compacts the arena in place.  The search itself (decision order, conflict
-analysis, restarts, deletion policy) is the same as the legacy
-object-graph solver (:class:`repro.sat.legacy.LegacySolver`): on identical
-input the two produce identical models, cores and statistics, which the
-differential suite in ``tests/sat/test_backends.py`` pins down.
+compacts the arena in place.  **Binary clauses** (the bulk of Tseitin
+gate encodings) bypass the pair watch lists entirely: each literal keeps
+a flat implicit adjacency of ``(other-lit, ref)`` ints that propagation
+walks *before* the clause-arena pass, so BCP over a binary clause is two
+list reads and an assignment — no blocker indirection, no arena access,
+no watch-list rewriting.  Learnt binaries are routed into the same
+structure (they are never deleted, so the adjacency only grows).  The
+search (decision order, conflict analysis, restarts, deletion policy)
+matches the legacy object-graph solver
+(:class:`repro.sat.legacy.LegacySolver`) except for **chronological
+backtracking** on long backjumps (Nadel/Ryvchin 2018): when the
+assertion level sits far below the conflict level, only one level is
+undone and the asserting literal is implied there — its recorded level
+over-approximates the assertion level, which analysis tolerates because
+reason levels never exceed the implied literal's.  Solution sets are
+unaffected (the differential suite in ``tests/sat/test_backends.py``
+pins arena against legacy and brute force), but a diagnosis
+enumeration keeps its ~10k-assignment implied trail alive across
+blocking conflicts instead of redescending it.
+
+Trail reuse across solve() calls
+--------------------------------
+
+The solver never discards more search state than it must.  Within one
+:meth:`Solver.solve` call the trail persists across restarts; *between*
+calls it is kept alive and re-entered under the **longest common
+assumption prefix**: assumptions are applied positionally as
+pseudo-decision levels ``1..n``, so when the next call's assumption list
+shares a prefix of length ``L`` with the previous call's, only the
+levels above ``L`` are undone — the implied trail segment of the shared
+prefix (e.g. the fan-out of ``¬s_g`` suspect pins of a master diagnosis
+view, or a totalizer bound literal) is not re-propagated.  A re-solve
+under *identical* assumptions after a SAT answer resumes the full
+descent (the PR-4 behaviour, now the ``L = n`` special case), and the
+trail survives assumption-level UNSAT answers too, so bound sweeps
+(``k = 1 .. k_max``) and scoped enumerations redescend only what their
+assumptions actually changed.  :meth:`add_clause` cooperates by
+inserting new clauses *chronologically* — a falsified blocking clause
+undoes only the deepest trail level instead of backjumping to its
+assertion level — and :meth:`load_clauses` bulk-loads a CNF at the root
+with one deferred propagation pass.
 
 The public literal convention is DIMACS (positive/negative ints).  Two
 hooks exist specifically for the paper's hybrid future-work direction
@@ -71,6 +107,12 @@ class Solver:
         self._learnts: list[int] = []  # learnt clause refs
         #: Per-literal flat watch lists of (clause ref, blocker lit) pairs.
         self._watches: list[list[int]] = [[], []]
+        #: Implicit binary-clause adjacency: ``_bin_watches[l]`` holds
+        #: flat (other-lit, clause ref) pairs for every binary clause
+        #: containing ``l`` — visited when ``l`` becomes false, *before*
+        #: the arena walk; never rewritten, excluded from the pair watch
+        #: lists entirely.
+        self._bin_watches: list[list[int]] = [[], []]
         self._assigns: list[int] = [2]  # index 0 unused; 0/1 assigned, >=2 free
         self._level: list[int] = [0]
         self._reason: list[int] = [0]  # clause ref, 0 = decision/unit
@@ -127,6 +169,8 @@ class Solver:
         self._seen.append(0)
         self._watches.append([])
         self._watches.append([])
+        self._bin_watches.append([])
+        self._bin_watches.append([])
         return self._num_vars
 
     def ensure_vars(self, n: int) -> None:
@@ -230,12 +274,16 @@ class Solver:
             )
             if not nonfalse:
                 # Falsified clause (the enumeration blocking case):
-                # backjump so its deepest literals become unassigned.
-                deepest = false_levels[0]
-                if len(false_levels) > 1 and false_levels[1] < deepest:
-                    target = false_levels[1]
-                else:
-                    target = deepest - 1
+                # *chronological* insertion — undo only the deepest
+                # level, keeping the rest of the trail alive.  When the
+                # clause becomes unit it is implied at the current
+                # (chronological) level even though its reason literals
+                # sit lower; the recorded level over-approximates the
+                # assertion level, which conflict analysis tolerates
+                # (reason levels stay <= the implied literal's level).
+                # This is what makes enumeration redescend ~one select
+                # cascade per solution instead of the whole c_g^i tail.
+                target = false_levels[0] - 1
                 self._cancel_until(max(target, 0))
                 nonfalse = [
                     il
@@ -264,18 +312,28 @@ class Solver:
             unit = watch0 if val >= 2 else 0
         ref = self._alloc_clause(clause_lits, learnt=False)
         self._clauses.append(ref)
-        # watches[l] holds (clause ref, blocker) pairs in which l is
-        # watched; propagation visits watches[l] when l becomes false.
-        # The blocker is the other watched literal at append time — any
-        # true literal of the clause proves it satisfied, so a true
-        # blocker lets propagation skip the clause without touching the
-        # arena at all.
-        ws = self._watches[watch0]
-        ws.append(ref)
-        ws.append(watch1)
-        ws = self._watches[watch1]
-        ws.append(ref)
-        ws.append(watch0)
+        if len(clause_lits) == 2:
+            # Binary clause: implicit adjacency (no blocker pair, no
+            # arena access during propagation).
+            bws = self._bin_watches[watch0]
+            bws.append(watch1)
+            bws.append(ref)
+            bws = self._bin_watches[watch1]
+            bws.append(watch0)
+            bws.append(ref)
+        else:
+            # watches[l] holds (clause ref, blocker) pairs in which l is
+            # watched; propagation visits watches[l] when l becomes
+            # false.  The blocker is the other watched literal at append
+            # time — any true literal of the clause proves it satisfied,
+            # so a true blocker lets propagation skip the clause without
+            # touching the arena at all.
+            ws = self._watches[watch0]
+            ws.append(ref)
+            ws.append(watch1)
+            ws = self._watches[watch1]
+            ws.append(ref)
+            ws.append(watch0)
         if unit:
             if not self._trail_lim:
                 if not self._enqueue(unit, 0):
@@ -295,6 +353,87 @@ class Solver:
         for clause in clauses:
             ok = self.add_clause(clause) and ok
         return ok
+
+    def load_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Bulk-load clauses at the root (the ``CNF.to_solver`` fast path).
+
+        Behaviourally equivalent to :meth:`add_clause` per clause when
+        the trail is at the root, with two shortcuts that make loading
+        the mux-heavy diagnosis CNFs ~2× cheaper: duplicate-literal /
+        tautology normalization is skipped (harmless — a duplicate
+        behaves as one watch slot, a tautological clause can never
+        propagate wrongly), and *transitive* root implications are
+        propagated once at the end instead of after every unit clause.
+        Falls back to :meth:`add_clause` when the trail is deep.
+        """
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            return self.add_clauses(clauses)
+        assigns = self._assigns
+        num_vars = self._num_vars
+        for clause in clauses:
+            satisfied = False
+            w0 = w1 = 0
+            for lit in clause:
+                if lit > 0:
+                    il = lit << 1
+                else:
+                    il = ((-lit) << 1) | 1
+                var = il >> 1
+                if var > num_vars:
+                    self.ensure_vars(var)
+                    assigns = self._assigns
+                    num_vars = self._num_vars
+                val = assigns[var] ^ (il & 1)
+                if val == 1:
+                    satisfied = True
+                    break
+                if val >= 2:
+                    if w0 == 0:
+                        w0 = il
+                    elif w1 == 0 and il != w0:
+                        w1 = il
+            if satisfied:
+                continue
+            if w0 == 0:
+                self._ok = False
+                if self._proof is not None:
+                    self._proof.add([])
+                return False
+            if w1 == 0:
+                # Unit (duplicates of w0 and root-false literals only).
+                if not self._enqueue(w0, 0):
+                    self._ok = False
+                    if self._proof is not None:
+                        self._proof.add([])
+                    return False
+                continue
+            lits = [w0, w1]
+            for lit in clause:
+                il = (lit << 1) if lit > 0 else (((-lit) << 1) | 1)
+                if il != w0 and il != w1:
+                    lits.append(il)
+            ref = self._alloc_clause(lits, learnt=False)
+            self._clauses.append(ref)
+            if len(lits) == 2:
+                bws = self._bin_watches[w0]
+                bws.append(w1)
+                bws.append(ref)
+                bws = self._bin_watches[w1]
+                bws.append(w0)
+                bws.append(ref)
+            else:
+                ws = self._watches[w0]
+                ws.append(ref)
+                ws.append(w1)
+                ws = self._watches[w1]
+                ws.append(ref)
+                ws.append(w0)
+        self._ok = self._propagate() == 0
+        if not self._ok and self._proof is not None:
+            self._proof.add([])
+        return self._ok
 
     # ------------------------------------------------------------------
     # proof logging (DRAT, see repro.sat.proof)
@@ -367,16 +506,27 @@ class Solver:
         for a in assumptions:
             self.ensure_vars(abs(a))
         internal_assumptions = [to_internal(a) for a in assumptions]
-        # Trail reuse: when the previous call answered SAT under the same
-        # assumptions, the trail (kept alive at exit) is still a valid
-        # partial search state — blocking clauses added since were
-        # inserted with a minimal backjump — so the search *resumes*
-        # instead of re-descending from the root.
-        reuse = (
-            self._last_status is True
-            and tuple(internal_assumptions) == self._last_assumptions
-        )
-        if not reuse:
+        # Trail reuse: the trail is kept alive between calls (after SAT
+        # *and* after assumption-level UNSAT), and assumptions occupy
+        # decision levels positionally, so the search backtracks only to
+        # the longest common prefix of the previous and the new
+        # assumption lists instead of to the root.  Identical
+        # assumptions after a SAT answer keep the full descent (the
+        # blocking clauses added since were inserted with a minimal
+        # backjump); a changed suffix undoes exactly the levels whose
+        # assumptions changed, preserving the implied trail segment of
+        # the shared prefix (suspect pins, bound literals, ...).
+        new_assumptions = tuple(internal_assumptions)
+        prev = self._last_assumptions
+        if prev is not None and self._trail_lim:
+            if not (self._last_status is True and new_assumptions == prev):
+                shared = 0
+                for a, b in zip(prev, new_assumptions):
+                    if a != b:
+                        break
+                    shared += 1
+                self._cancel_until(shared)
+        else:
             self._cancel_until(0)
         if not self._trail_lim:
             if self._propagate() != 0:
@@ -395,8 +545,9 @@ class Solver:
             limit = 100 * _luby(restart_idx)
             status = self._search(limit, internal_assumptions)
             if status is not None:
-                if status is not True:
-                    self._cancel_until(0)
+                # The trail survives SAT *and* assumption-level UNSAT
+                # answers: the next call backtracks only to the longest
+                # common assumption prefix (see the class docstring).
                 self._last_status = status
                 return status
             self.stats["restarts"] += 1
@@ -444,6 +595,7 @@ class Solver:
         # :meth:`_propagate` (which stays for the cold add_clause/solve
         # root-propagation paths).
         watches = self._watches
+        bin_watches = self._bin_watches
         assigns = self._assigns
         levels = self._level
         reason = self._reason
@@ -470,6 +622,35 @@ class Solver:
                     qhead += 1
                     props += 1
                     false_lit = p ^ 1
+                    # Binary adjacency first: two list reads and an
+                    # assignment per clause — no blockers, no arena.
+                    bws = bin_watches[false_lit]
+                    bi = 0
+                    bn = len(bws)
+                    while bi < bn:
+                        other = bws[bi]
+                        val = assigns[other >> 1] ^ (other & 1)
+                        if val == 1:
+                            bi += 2
+                            continue
+                        cref = bws[bi + 1]
+                        bi += 2
+                        if val == 0:
+                            confl = cref
+                            qhead = len(trail)
+                            break
+                        # keep the implied literal at arena index 0 (the
+                        # invariant conflict analysis relies on)
+                        if arena[cref] != other:
+                            arena[cref] = other
+                            arena[cref + 1] = false_lit
+                        var = other >> 1
+                        assigns[var] = 1 ^ (other & 1)
+                        levels[var] = dlevel
+                        reason[var] = cref
+                        trail.append(other)
+                    if confl:
+                        break
                     ws = watches[false_lit]
                     i = j = 0
                     n = len(ws)
@@ -541,6 +722,17 @@ class Solver:
                         return False
                     self._qhead = qhead
                     learnt, back_level = self._analyze(confl)
+                    # Chronological backtracking (Nadel/Ryvchin style)
+                    # for long backjumps: undo a single level and imply
+                    # the asserting literal there (its recorded level
+                    # over-approximates the assertion level; reason
+                    # levels stay below it).  On the enumeration
+                    # workloads this keeps the ~10k-assignment implied
+                    # trail of a diagnosis instance alive instead of
+                    # redescending it after every blocking conflict.
+                    cur_level = len(trail_lim)
+                    if len(learnt) > 1 and cur_level - back_level > 16:
+                        back_level = cur_level - 1
                     self._cancel_until(back_level)
                     self._record_learnt(learnt)
                     self._decay_activities()
@@ -607,6 +799,7 @@ class Solver:
         """Two-watched-literal BCP over the arena; returns the conflicting
         clause ref (0 = no conflict)."""
         watches = self._watches
+        bin_watches = self._bin_watches
         assigns = self._assigns
         level = self._level
         reason = self._reason
@@ -620,6 +813,31 @@ class Solver:
             qhead += 1
             props += 1
             false_lit = p ^ 1
+            bws = bin_watches[false_lit]
+            bi = 0
+            bn = len(bws)
+            while bi < bn:
+                other = bws[bi]
+                val = assigns[other >> 1] ^ (other & 1)
+                if val == 1:
+                    bi += 2
+                    continue
+                cref = bws[bi + 1]
+                bi += 2
+                if val == 0:
+                    confl = cref
+                    qhead = len(trail)
+                    break
+                if arena[cref] != other:
+                    arena[cref] = other
+                    arena[cref + 1] = false_lit
+                var = other >> 1
+                assigns[var] = 1 ^ (other & 1)
+                level[var] = len(self._trail_lim)
+                reason[var] = cref
+                trail.append(other)
+            if confl != 0:
+                break
             ws = watches[false_lit]
             i = j = 0
             n = len(ws)
@@ -775,19 +993,25 @@ class Solver:
         seen = self._seen
         arena = self._arena
         seen[var0] = 1
+        pending = 1  # outstanding marks below the walk position
         for lit in reversed(self._trail):
             v = lit >> 1
             if not seen[v]:
                 continue
             seen[v] = 0
+            pending -= 1
             reason = self._reason[v]
             if reason == 0:
                 if self._level[v] > 0:
                     core.append(to_dimacs(lit))
             else:
                 for q in arena[reason + 1 : reason + arena[reason - 2]]:
-                    if self._level[q >> 1] > 0:
-                        seen[q >> 1] = 1
+                    qv = q >> 1
+                    if self._level[qv] > 0 and not seen[qv]:
+                        seen[qv] = 1
+                        pending += 1
+            if not pending:
+                break  # nothing marked further down the trail
         self._conflict_core = core
 
     def _record_learnt(self, learnt: list[int]) -> None:
@@ -801,12 +1025,22 @@ class Solver:
         self._cla_activity[ref] = self._cla_inc
         self._learnts.append(ref)
         w0, w1 = learnt[0], learnt[1]
-        ws = self._watches[w0]
-        ws.append(ref)
-        ws.append(w1)
-        ws = self._watches[w1]
-        ws.append(ref)
-        ws.append(w0)
+        if len(learnt) == 2:
+            # Learnt binaries join the implicit adjacency (they are
+            # never deleted — _reduce_learnts keeps size <= 2).
+            bws = self._bin_watches[w0]
+            bws.append(w1)
+            bws.append(ref)
+            bws = self._bin_watches[w1]
+            bws.append(w0)
+            bws.append(ref)
+        else:
+            ws = self._watches[w0]
+            ws.append(ref)
+            ws.append(w1)
+            ws = self._watches[w1]
+            ws.append(ref)
+            ws.append(w0)
         self._enqueue(learnt[0], ref)
         if len(self._learnts) > max(2000, 2 * len(self._clauses)):
             self._reduce_learnts()
@@ -883,6 +1117,10 @@ class Solver:
                 ws[j + 1] = ws[i + 1]
                 j += 2
             del ws[j:]
+        # Binary clauses are never dropped — their refs only move.
+        for bws in self._bin_watches:
+            for i in range(1, len(bws), 2):
+                bws[i] = remap[bws[i]]
 
     def _pick_branch(self) -> int:
         heap = self._order_heap

@@ -215,3 +215,69 @@ def test_bsat_autok_ihs_pinned_under_default_backend(name):
     ihs = ihs_diagnose(w.faulty, w.tests, session=session)
     assert _canon(ihs.solutions) == [tuple(s) for s in expected["ihs"]]
     assert ihs.k == expected["ihs_k"]
+
+
+# ----------------------------------------------------------------------
+# master encoding and suspect-pool views
+# ----------------------------------------------------------------------
+def test_views_share_one_master_solver():
+    w = _workload(301)
+    session = DiagnosisSession(w.faulty, w.tests)
+    full = session.instance(2)
+    sub = tuple(w.faulty.gate_names[:5])
+    view = session.instance(2, suspects=sub)
+    assert view.solver is full.solver  # one persistent solver
+    assert view.cnf is full.cnf
+    assert view.totalizer is full.totalizer
+    assert view.suspects == sub
+    # pins cover exactly the non-suspects
+    assert len(view.pin_assumptions) == len(
+        w.faulty.gate_names
+    ) - len(sub)
+    assert full.base_assumptions() == []
+
+
+@pytest.mark.parametrize("seed", [301, 412, 503])
+def test_master_views_match_fresh_pool_instances(seed):
+    """Pool-churn parity: a master view must enumerate exactly the
+    solution sets of a freshly built per-pool instance, on the arena
+    *and* the legacy backend."""
+    import random
+
+    w = _workload(seed)
+    rng = random.Random(seed)
+    gates = list(w.faulty.gate_names)
+    sessions = {
+        backend: DiagnosisSession(w.faulty, w.tests, solver_backend=backend)
+        for backend in (None, "legacy")
+    }
+    for _ in range(6):
+        pool = sorted(rng.sample(gates, rng.randint(2, len(gates))))
+        fresh = basic_sat_diagnose(w.faulty, w.tests, k=2, suspects=pool)
+        expected = _canon(fresh.solutions)
+        for backend, session in sessions.items():
+            via_view = basic_sat_diagnose(
+                w.faulty, w.tests, k=2, suspects=pool, session=session
+            )
+            assert _canon(via_view.solutions) == expected, (backend, pool)
+        # every reported solution is a valid correction (witness check
+        # through the independent simulation oracle)
+        for sol in expected:
+            assert sessions[None].consistent(sol)
+
+
+def test_master_corrections_are_model_witnesses():
+    """The c-free master reads corrections off the effective signals;
+    selected gates must report a 0/1/-1 (don't-care) value per test."""
+    w = _workload(412)
+    session = DiagnosisSession(w.faulty, w.tests)
+    result = basic_sat_diagnose(
+        w.faulty, w.tests, k=2, session=session, collect_corrections=True
+    )
+    corrections = result.extras["corrections"]
+    assert set(corrections) == set(result.solutions)
+    for sol, per_gate in corrections.items():
+        assert set(per_gate) == set(sol)
+        for values in per_gate.values():
+            assert len(values) == len(w.tests)
+            assert all(v in (-1, 0, 1) for v in values)

@@ -224,6 +224,94 @@ def test_interleaved_growth_agrees(instance):
                 assert model_satisfies(arena, n_vars, added)
 
 
+@st.composite
+def binary_heavy_churn_instance(draw):
+    """Mostly-binary clauses (the implicit-adjacency hot path) plus a
+    sequence of assumption lists that share prefixes (the
+    longest-common-prefix trail-reuse path)."""
+    n_vars = draw(st.integers(2, 8))
+    n_clauses = draw(st.integers(2, 30))
+    literal = st.integers(1, n_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clauses = [
+        draw(
+            st.lists(
+                literal,
+                min_size=1,
+                # ~4 of 5 clauses are binary: the implicit watch path
+                max_size=2 if draw(st.integers(0, 4)) else 4,
+            )
+        )
+        for _ in range(n_clauses)
+    ]
+    base = draw(st.lists(literal, max_size=4, unique_by=abs))
+    rounds = []
+    for _ in range(draw(st.integers(2, 5))):
+        # churn: keep a prefix of the previous assumptions, then append
+        # a fresh suffix — successive solves share decision levels
+        keep = base[: draw(st.integers(0, len(base)))]
+        suffix = draw(
+            st.lists(
+                literal,
+                max_size=3,
+                unique_by=abs,
+            )
+        )
+        seen = {abs(a) for a in keep}
+        rounds.append(
+            keep + [a for a in suffix if abs(a) not in seen]
+        )
+        base = rounds[-1]
+    return n_vars, clauses, rounds
+
+
+@pytest.mark.slow
+@given(binary_heavy_churn_instance())
+@settings(max_examples=120, deadline=None)
+def test_assumption_prefix_churn_binary_heavy(instance):
+    """Arena (binary implicit watches + prefix trail reuse + UNSAT trail
+    retention) vs legacy vs brute force under churned assumption
+    prefixes, with clause growth interleaved between solves."""
+    n_vars, clauses, rounds = instance
+    arena, ok_a = load(Solver, n_vars, clauses)
+    legacy, ok_l = load(LegacySolver, n_vars, clauses)
+    assert ok_a == ok_l
+    grown = list(clauses)
+    for i, assumptions in enumerate(rounds):
+        result_a = arena.solve(assumptions) if ok_a else False
+        result_l = legacy.solve(assumptions) if ok_l else False
+        expected = brute_force_sat(
+            n_vars, grown + [[a] for a in assumptions]
+        )
+        assert result_a == result_l == expected, (i, assumptions)
+        if result_a:
+            assert model_satisfies(arena, n_vars, grown)
+            for a in assumptions:
+                assert arena.value(abs(a)) in (None, a > 0)
+        elif ok_a:
+            # the failed-assumption core must be a genuinely
+            # unsatisfiable subset even with the trail kept alive
+            # (when ok_a is False solve() was never called, so core()
+            # legitimately still reports the previous call's core)
+            core = arena.core()
+            assert set(core) <= set(assumptions)
+            assert not brute_force_sat(
+                n_vars, grown + [[a] for a in core]
+            )
+        # interleave growth: a binary clause lands on the deep-insertion
+        # path while the reused trail is alive
+        if i < len(rounds) - 1 and len(grown) < 34:
+            extra = [
+                ((i % n_vars) + 1) * (1 if i % 2 else -1),
+                ((i * 3 % n_vars) + 1) * (-1 if i % 3 else 1),
+            ]
+            grown.append(extra)
+            ok_a = arena.add_clause(extra) and ok_a
+            ok_l = legacy.add_clause(extra) and ok_l
+            assert ok_a == ok_l
+
+
 # ----------------------------------------------------------------------
 # enumeration equivalence (trail reuse + scoped blocking)
 # ----------------------------------------------------------------------
