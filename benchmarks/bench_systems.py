@@ -1,0 +1,236 @@
+"""System-description bench — model-agnostic diagnosis beyond circuits.
+
+PR 6 rebuilt the diagnosis core on the
+:class:`repro.diagnosis.SystemDescription` protocol; this bench drives
+the two non-circuit instantiations through the model-agnostic search
+loops and gates their *agreement*:
+
+* **grouped CNF** (weak fault model): seeded random GCNF instances —
+  a satisfiable hard background plus assumable clause groups, some of
+  which contradict the observations — diagnosed by retracting groups;
+* **fault spectra**: seeded random coverage matrices with planted
+  faulty components, failing runs rectified by any candidate touching
+  their coverage.
+
+Every instance runs ``greedy-stochastic``, ``ihs``, ``hsdag`` and
+``fastdiag`` next to the ``bsat`` reference enumeration and asserts:
+
+* ``hsdag`` and ``fastdiag`` report exactly ``bsat``'s solution set
+  (all subset-minimal corrections within ``k``);
+* ``ihs`` reports exactly the minimum-cardinality slice of that set;
+* every ``greedy-stochastic`` sample is a member of that set.
+
+Artifacts: ``benchmarks/out/systems.json`` — one row per (instance,
+strategy) with timings, solution counts and the search extras
+(nodes/conflicts/consistency checks).
+
+Run modes::
+
+    PYTHONPATH=../src python bench_systems.py --smoke   # CI: small pinned
+    PYTHONPATH=../src python bench_systems.py           # + larger legs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.diagnosis import DiagnosisSession, GroupedCNFSystem, SpectrumSystem, diagnose
+from repro.sat.dimacs import GroupedCNF
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Strategies raced on every instance (bsat runs too, as the reference).
+STRATEGIES = ("greedy-stochastic", "ihs", "hsdag", "fastdiag")
+
+#: (name, num_vars, num_groups, clauses_per_group, num_background,
+#:  num_observations, seed) for the GCNF legs.
+GCNF_SMOKE = [
+    ("gcnf-v12-g8-a", 12, 8, 2, 6, 2, 101),
+    ("gcnf-v12-g8-b", 12, 8, 2, 6, 2, 202),
+    ("gcnf-v16-g10", 16, 10, 2, 8, 3, 303),
+]
+GCNF_FULL_EXTRA = [
+    ("gcnf-v24-g16", 24, 16, 3, 12, 3, 404),
+    ("gcnf-v32-g20", 32, 20, 3, 16, 4, 505),
+]
+
+#: (name, num_components, num_rows, fault_count, seed) for the spectra.
+SPECTRUM_SMOKE = [
+    ("spec-c8-r10-a", 8, 10, 1, 11),
+    ("spec-c8-r10-b", 8, 10, 2, 22),
+    ("spec-c12-r16", 12, 16, 2, 33),
+]
+SPECTRUM_FULL_EXTRA = [
+    ("spec-c20-r30", 20, 30, 3, 44),
+    ("spec-c24-r40", 24, 40, 3, 55),
+]
+
+
+def make_gcnf_system(
+    num_vars: int,
+    num_groups: int,
+    clauses_per_group: int,
+    num_background: int,
+    num_observations: int,
+    seed: int,
+) -> GroupedCNFSystem:
+    """Seeded weak-fault-model instance with guaranteed diagnoses.
+
+    A hidden assignment witnesses the background and every observation,
+    so retracting all groups is always consistent (the full pool is a
+    diagnosis) and the search loops never hit the infeasible case.
+    Group clauses are random 2-clauses, plus one *planted fault* per
+    observation: a unit clause contradicting an observation literal,
+    dropped into a random group, so every observation fails and the
+    empty candidate is never a diagnosis (the degenerate case greedy
+    climbs cannot represent).
+    """
+    rng = random.Random(seed)
+    witness = [rng.choice((False, True)) for _ in range(num_vars)]
+
+    def lit(var: int, positive: bool) -> int:
+        return var if positive else -var
+
+    gcnf = GroupedCNF(num_vars=num_vars)
+    for _ in range(num_background):
+        vs = rng.sample(range(1, num_vars + 1), 3)
+        clause = [lit(v, rng.random() < 0.5) for v in vs]
+        # Force at least one literal true under the witness.
+        v = rng.choice(vs)
+        clause[vs.index(v)] = lit(v, witness[v - 1])
+        gcnf.add_clause(0, clause)
+    for g in range(1, num_groups + 1):
+        for _ in range(clauses_per_group):
+            vs = rng.sample(range(1, num_vars + 1), 2)
+            gcnf.add_clause(g, [lit(v, rng.random() < 0.5) for v in vs])
+    observations = []
+    for _ in range(num_observations):
+        vs = rng.sample(range(1, num_vars + 1), 2)
+        obs = tuple(lit(v, witness[v - 1]) for v in vs)
+        observations.append(obs)
+        gcnf.add_clause(rng.randint(1, num_groups), [-rng.choice(obs)])
+    return GroupedCNFSystem(gcnf, observations)
+
+
+def make_spectrum_system(
+    num_components: int, num_rows: int, fault_count: int, seed: int
+) -> SpectrumSystem:
+    """Seeded coverage matrix with ``fault_count`` planted faults.
+
+    A row fails iff it covers a planted fault, so the plant is always a
+    diagnosis and every failing row has non-empty coverage.
+    """
+    rng = random.Random(seed)
+    components = [f"c{i}" for i in range(num_components)]
+    faults = set(rng.sample(components, fault_count))
+    rows = []
+    for _ in range(num_rows):
+        size = rng.randint(2, max(2, num_components // 2))
+        covered = rng.sample(components, size)
+        rows.append((covered, not (set(covered) & faults)))
+    if all(passed for _, passed in rows):
+        # Degenerate draw: no run touched a fault.  Force one failing
+        # row so the empty candidate is never a diagnosis.
+        covered = sorted(faults)[:1] + rows[0][0]
+        rows[0] = (covered, False)
+    return SpectrumSystem(components, rows)
+
+
+def _canon(solutions):
+    return sorted(tuple(sorted(s)) for s in solutions)
+
+
+def run_instance(name: str, kind: str, session: DiagnosisSession, k: int):
+    """Race all strategies on one session; assert agreement; emit rows."""
+    rows = []
+    t0 = time.perf_counter()
+    reference = diagnose(session, k=k, strategy="bsat")
+    rows.append(
+        {
+            "instance": name,
+            "kind": kind,
+            "strategy": "bsat",
+            "k": k,
+            "t_all": reference.t_all,
+            "t_wall": time.perf_counter() - t0,
+            "n_solutions": reference.n_solutions,
+            "extras": dict(reference.extras),
+        }
+    )
+    ref_set = set(reference.solutions)
+    min_card = min((len(s) for s in ref_set), default=0)
+    min_slice = {s for s in ref_set if len(s) == min_card}
+    for strategy in STRATEGIES:
+        t0 = time.perf_counter()
+        result = diagnose(session, k=k, strategy=strategy)
+        wall = time.perf_counter() - t0
+        got = set(result.solutions)
+        if strategy in ("hsdag", "fastdiag"):
+            assert got == ref_set, (
+                f"{name}/{strategy}: {_canon(got)} != bsat {_canon(ref_set)}"
+            )
+        elif strategy == "ihs":
+            assert got == min_slice, (
+                f"{name}/ihs: {_canon(got)} != minimum slice "
+                f"{_canon(min_slice)}"
+            )
+        else:  # greedy: a verified sample of the minimal set
+            assert got <= ref_set, (
+                f"{name}/greedy: stray solutions {_canon(got - ref_set)}"
+            )
+        rows.append(
+            {
+                "instance": name,
+                "kind": kind,
+                "strategy": strategy,
+                "k": k,
+                "t_all": result.t_all,
+                "t_wall": wall,
+                "n_solutions": result.n_solutions,
+                "extras": dict(result.extras),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small pinned instances (CI)"
+    )
+    args = parser.parse_args(argv)
+
+    gcnf_specs = list(GCNF_SMOKE)
+    spectrum_specs = list(SPECTRUM_SMOKE)
+    if not args.smoke:
+        gcnf_specs += GCNF_FULL_EXTRA
+        spectrum_specs += SPECTRUM_FULL_EXTRA
+
+    rows = []
+    for name, nv, ng, cpg, nb, no, seed in gcnf_specs:
+        system = make_gcnf_system(nv, ng, cpg, nb, no, seed)
+        session = DiagnosisSession(system)
+        k = min(6, len(system.components))
+        rows.extend(run_instance(name, "gcnf", session, k))
+        print(f"{name}: ok ({rows[-1]['n_solutions']} minimal diagnoses)")
+    for name, nc, nr, nf, seed in spectrum_specs:
+        system = make_spectrum_system(nc, nr, nf, seed)
+        session = DiagnosisSession(system)
+        k = min(4, len(system.components))
+        rows.extend(run_instance(name, "spectrum", session, k))
+        print(f"{name}: ok ({rows[-1]['n_solutions']} minimal diagnoses)")
+
+    OUT_DIR.mkdir(exist_ok=True)
+    out_path = OUT_DIR / "systems.json"
+    out_path.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,11 @@ A thin, scriptable front-end over the library for users who work with
   ground-truth sidecar.
 * ``testgen``  — generate failing tests for a golden/faulty pair.
 * ``diagnose`` — run BSIM / COV / BSAT / hybrid / greedy-stochastic /
-  implicit-hitting-set diagnosis on a faulty netlist plus a test file.
-* ``strategies`` — list the registered candidate-space strategies.
+  implicit-hitting-set / HS-DAG / FastDiag diagnosis on a faulty netlist
+  plus a test file, or (``--system gcnf`` / ``--system spectrum``) on a
+  grouped CNF or a fault-spectrum JSON.
+* ``strategies`` — list the registered candidate-space strategies with
+  the system kinds each one supports.
 * ``backends`` — list the registered SAT solver backends.
 * ``table1``   — print the paper's comparison matrix.
 * ``atpg``     — run the stuck-at ATPG flow (PODEM or SAT) and report
@@ -32,12 +35,16 @@ from pathlib import Path
 from .circuits import bench, library
 from .circuits.netlist import Circuit
 from .diagnosis import (
+    ALL_SYSTEM_KINDS,
     DIAGNOSIS_STRATEGIES,
     DiagnosisSession,
+    GroupedCNFSystem,
+    SpectrumSystem,
     available_strategies,
     basic_sim_diagnose,
     diagnose,
     format_table1,
+    strategy_kinds,
 )
 from .faults import random_gate_changes
 from .testgen import TestSet, random_failing_tests
@@ -131,23 +138,98 @@ _CLI_STRATEGIES = {
     "hybrid": "pt-guided",
     "greedy": "greedy-stochastic",
     "ihs": "ihs",
+    "hsdag": "hsdag",
+    "fastdiag": "fastdiag",
 }
 
 
+def _read_observations(spec: str) -> list[tuple[int, ...]]:
+    """Observation file: one observation per line, space-separated DIMACS
+    literals (may be empty for the unconstrained observation); ``-``
+    stands for a single empty observation.  ``#`` and DIMACS-style ``c``
+    comment lines are skipped, and a trailing ``0`` clause terminator on
+    a line is accepted and ignored."""
+    if spec == "-":
+        return [()]
+    observations: list[tuple[int, ...]] = []
+    path = Path(spec)
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line or line == "c" or line.startswith("c "):
+            continue
+        try:
+            lits = [int(tok) for tok in line.split()]
+        except ValueError as exc:
+            raise SystemExit(f"{path}:{lineno}: bad observation line: {exc}")
+        if lits and lits[-1] == 0:
+            lits.pop()
+        if 0 in lits:
+            raise SystemExit(
+                f"{path}:{lineno}: bad observation line: 0 is only "
+                "allowed as a trailing clause terminator"
+            )
+        observations.append(tuple(lits))
+    if not observations:
+        raise SystemExit(f"error: no observations in {path}")
+    return observations
+
+
+def _build_session(args: argparse.Namespace) -> tuple[DiagnosisSession, str]:
+    """Build the session for ``--system``; returns it plus a headline."""
+    if args.system == "circuit":
+        faulty = _load_circuit(args.faulty)
+        tests = _read_tests(Path(args.tests), faulty)
+        if not tests.m:
+            raise SystemExit("error: empty test file")
+        session = DiagnosisSession(
+            faulty, tests, solver_backend=args.solver_backend
+        )
+        headline = f"{faulty.name}: {faulty.num_gates} gates, {tests.m} tests"
+    elif args.system == "gcnf":
+        from .sat.dimacs import DimacsFormatError, load_gcnf
+
+        try:
+            gcnf = load_gcnf(args.faulty)
+        except (OSError, DimacsFormatError) as exc:
+            raise SystemExit(f"error: {exc}")
+        observations = _read_observations(args.tests)
+        try:
+            system = GroupedCNFSystem(gcnf, observations)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        session = DiagnosisSession(system, solver_backend=args.solver_backend)
+        headline = (
+            f"{Path(args.faulty).name}: {gcnf.num_groups} clause groups, "
+            f"{len(observations)} observations"
+        )
+    else:  # spectrum
+        try:
+            data = json.loads(Path(args.faulty).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"error: {exc}")
+        try:
+            system = SpectrumSystem.from_dict(data)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        session = DiagnosisSession(system, solver_backend=args.solver_backend)
+        headline = (
+            f"{Path(args.faulty).name}: {len(system.components)} components, "
+            f"{system.m} runs"
+        )
+    return session, headline
+
+
 def _cmd_diagnose(args: argparse.Namespace) -> int:
-    faulty = _load_circuit(args.faulty)
-    tests = _read_tests(Path(args.tests), faulty)
-    if not tests.m:
-        raise SystemExit("error: empty test file")
+    if args.system != "circuit" and args.approach == "bsim":
+        raise SystemExit("error: bsim requires --system circuit")
+    session, headline = _build_session(args)
     print(
-        f"diagnosing {faulty.name}: {faulty.num_gates} gates, "
-        f"{tests.m} tests, k={args.k}, approach={args.approach}, "
+        f"diagnosing {headline}, k={args.k}, approach={args.approach}, "
         f"backend={args.solver_backend or 'arena'}"
     )
-    session = DiagnosisSession(
-        faulty, tests, solver_backend=args.solver_backend
-    )
     if args.approach == "bsim":
+        faulty = session.circuit
+        tests = session.tests
         result = basic_sim_diagnose(faulty, tests, session=session)
         ranked = sorted(result.marks, key=lambda g: -result.marks[g])
         print(f"{len(result.union)} candidate gates; top marks:")
@@ -157,12 +239,14 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     strategy = _CLI_STRATEGIES.get(args.approach, args.approach)
     options: dict[str, object] = {}
     k: int | None = args.k
-    if strategy in ("greedy-stochastic", "ihs"):
+    if strategy in ("greedy-stochastic", "ihs", "hsdag", "fastdiag"):
         # --limit caps the number of reported solutions; --k bounds the
         # candidate cardinality (0 = let the search loop determine it).
-        options["solution_limit" if strategy == "ihs" else "max_solutions"] = (
-            args.limit
-        )
+        options[
+            "max_solutions"
+            if strategy == "greedy-stochastic"
+            else "solution_limit"
+        ] = args.limit
         k = args.k if args.k > 0 else None
     else:
         options["solution_limit"] = args.limit
@@ -190,8 +274,20 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 def _cmd_strategies(args: argparse.Namespace) -> int:
     width = max(len(name) for name in DIAGNOSIS_STRATEGIES)
+    labels = {
+        name: (
+            "model-agnostic"
+            if set(strategy_kinds(name)) >= set(ALL_SYSTEM_KINDS)
+            else "circuit-only"
+        )
+        for name in DIAGNOSIS_STRATEGIES
+    }
+    kind_width = max(len(label) for label in labels.values())
     for name in available_strategies():
-        print(f"{name.ljust(width)}  {DIAGNOSIS_STRATEGIES[name][1]}")
+        print(
+            f"{name.ljust(width)}  {labels[name].ljust(kind_width)}  "
+            f"{DIAGNOSIS_STRATEGIES[name].summary}"
+        )
     return 0
 
 
@@ -314,15 +410,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_testgen.set_defaults(func=_cmd_testgen)
 
     p_diag = sub.add_parser("diagnose", help="run a diagnosis approach")
-    p_diag.add_argument("faulty")
-    p_diag.add_argument("tests")
+    p_diag.add_argument(
+        "faulty",
+        help="faulty netlist (--system circuit), GCNF file "
+        "(--system gcnf) or spectrum JSON (--system spectrum)",
+    )
+    p_diag.add_argument(
+        "tests",
+        help="test file (circuit) or observation file (gcnf: one "
+        "observation per line as DIMACS literals, '-' = single empty "
+        "observation; spectrum: pass '-', the rows live in the JSON)",
+    )
+    p_diag.add_argument(
+        "--system",
+        choices=("circuit", "gcnf", "spectrum"),
+        default="circuit",
+        help="system description kind the inputs encode (see "
+        "'python -m repro strategies' for which approaches are "
+        "model-agnostic)",
+    )
     p_diag.add_argument(
         "--approach",
-        choices=("bsim", "cov", "bsat", "hybrid", "greedy", "ihs"),
+        choices=(
+            "bsim", "cov", "bsat", "hybrid", "greedy", "ihs",
+            "hsdag", "fastdiag",
+        ),
         default="bsat",
         help="bsim/cov/bsat/hybrid as in the paper; greedy "
-        "(SAFARI stochastic search) and ihs (implicit hitting sets) "
-        "are the candidate-space search loops",
+        "(SAFARI stochastic search), ihs (implicit hitting sets), "
+        "hsdag (Reiter hitting-set DAG) and fastdiag (divide and "
+        "conquer) are the candidate-space search loops",
     )
     p_diag.add_argument(
         "--k", type=int, default=1,

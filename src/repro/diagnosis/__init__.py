@@ -28,6 +28,35 @@ ATPG's ``_SIM_ENGINES``) and run via
 :func:`~repro.diagnosis.core.diagnose`; all share the signature
 ``(session, k, **options) -> SolutionSetResult``.
 
+System descriptions (:mod:`~repro.diagnosis.system`)
+----------------------------------------------------
+
+The session itself is model-agnostic: everything a strategy asks of it —
+components, rectification words, conflicts, SAT cores, the master
+encoding — routes through a
+:class:`~repro.diagnosis.system.SystemDescription`.  Three instantiations
+ship:
+
+* :class:`~repro.diagnosis.system.CircuitSystem` — the paper's setting:
+  gates as components, test responses as observations, the vectorized
+  simulator plus correction-mux SAT encodings underneath.  Built
+  implicitly by ``DiagnosisSession(circuit, tests)``.
+* :class:`~repro.diagnosis.system.GroupedCNFSystem` — weak-fault-model
+  diagnosis of a :class:`~repro.sat.dimacs.GroupedCNF`: assumable clause
+  groups are the components, each observation a set of unit assumptions;
+  a candidate retracts its groups and asks the solver for consistency.
+* :class:`~repro.diagnosis.system.SpectrumSystem` — software fault
+  spectra: program runs as observations, a failing run is rectified iff
+  the candidate intersects its coverage (set-cover consistency).
+
+``DiagnosisSession(system)`` accepts any bound description; strategies
+declare the kinds they support
+(:func:`~repro.diagnosis.core.strategy_kinds`), and
+:func:`~repro.diagnosis.core.diagnose` enforces the match.  All
+consistency predicates are monotone (a larger candidate never loses an
+observation), which ``fastdiag``'s pruning and ``hsdag``'s conflict
+reuse both rely on.
+
 Strategy selection (the paper's Table 1 framing, extended)
 ----------------------------------------------------------
 
@@ -46,6 +75,10 @@ stochastic``         multi-fault instances,       sample, approximately
                      enumeration too slow         minimal
 ``ihs``              minimum-cardinality answer   valid; minimum cardinality
                      without full enumeration     within the pool
+``hsdag``            conflict sets are small /    valid; all subset-minimal
+                     reusable, cross-checking     corrections within ``k``
+``fastdiag``         few deep diagnoses, cheap    valid; all subset-minimal
+                     consistency oracle           corrections within ``k``
 ===================  ===========================  ==========================
 
 Basic approaches (§2, §3):
@@ -67,6 +100,10 @@ Search loops on the candidate space (PAPERS.md):
 * :mod:`~repro.diagnosis.greedy` — Feldman/Provan greedy stochastic
   search (SAFARI).
 * :mod:`~repro.diagnosis.ihs` — Ignatiev-style implicit hitting sets.
+* :mod:`~repro.diagnosis.hsdag` — Reiter hitting-set DAG over
+  observation conflicts.
+* :mod:`~repro.diagnosis.fastdiag` — FastDiag divide-and-conquer minima
+  with dual HS-tree enumeration.
 
 Hybrids (§6) and extensions:
 
@@ -87,14 +124,23 @@ from .base import (
     format_table1,
 )
 from .core import (
+    ALL_SYSTEM_KINDS,
     CandidateSpace,
     DIAGNOSIS_STRATEGIES,
     DiagnosisSession,
     Observation,
+    StrategyInfo,
     available_strategies,
     diagnose,
     get_strategy,
     register_strategy,
+    strategy_kinds,
+)
+from .system import (
+    CircuitSystem,
+    GroupedCNFSystem,
+    SpectrumSystem,
+    SystemDescription,
 )
 from .pathtrace import basic_sim_diagnose, path_trace, POLICIES
 from .cover import sc_diagnose, minimal_covers_sat, minimal_covers_bnb
@@ -134,6 +180,8 @@ from .advanced_sat import (
 from .advanced_sim import enumerate_sim_corrections, incremental_sim_diagnose
 from .greedy import greedy_stochastic_diagnose
 from .ihs import ihs_diagnose
+from .hsdag import hsdag_diagnose
+from .fastdiag import fastdiag_diagnose
 from .xlist import xlist_candidates, xlist_diagnose
 from .hybrid import (
     pt_guided_sat_diagnose,
@@ -162,14 +210,21 @@ __all__ = [
     "SimDiagnosisResult",
     "SolutionSetResult",
     "format_table1",
+    "ALL_SYSTEM_KINDS",
     "CandidateSpace",
     "DIAGNOSIS_STRATEGIES",
     "DiagnosisSession",
     "Observation",
+    "StrategyInfo",
     "available_strategies",
     "diagnose",
     "get_strategy",
     "register_strategy",
+    "strategy_kinds",
+    "SystemDescription",
+    "CircuitSystem",
+    "GroupedCNFSystem",
+    "SpectrumSystem",
     "basic_sim_diagnose",
     "path_trace",
     "POLICIES",
@@ -203,6 +258,8 @@ __all__ = [
     "incremental_sim_diagnose",
     "greedy_stochastic_diagnose",
     "ihs_diagnose",
+    "hsdag_diagnose",
+    "fastdiag_diagnose",
     "xlist_candidates",
     "xlist_diagnose",
     "pt_guided_sat_diagnose",

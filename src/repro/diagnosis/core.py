@@ -27,9 +27,22 @@ Three layers:
   deductive engine (:func:`repro.sim.deductive_numpy`) yields the same
   sets from fault lists, giving strategies both views of the space.
 
+Underneath the session sits the model-agnostic protocol
+(:mod:`repro.diagnosis.system`): the session owns memoization and the
+solver-instance lifetime while every system-specific answer — what the
+components are, which observations a candidate rectifies, how the master
+SAT instance is encoded, what a sound conflict looks like — comes from
+its :class:`~repro.diagnosis.system.SystemDescription`.  Constructing a
+session from ``(circuit, tests)`` binds the gate-level
+:class:`~repro.diagnosis.system.CircuitSystem`; constructing it from a
+:class:`~repro.diagnosis.system.GroupedCNFSystem` or
+:class:`~repro.diagnosis.system.SpectrumSystem` runs the same strategy
+loops on clause groups or fault spectra.
+
 Strategies register themselves in :data:`DIAGNOSIS_STRATEGIES` (the
 diagnosis twin of ``repro.testgen.atpg._SIM_ENGINES``) via
-:func:`register_strategy`; :func:`diagnose` dispatches by name.  All
+:func:`register_strategy`, declaring which system kinds they support;
+:func:`diagnose` dispatches by name and enforces the kind.  All
 registered strategies share the signature ``(session, k, **options) ->
 SolutionSetResult`` so runners, the CLI and the candidate-search bench
 can race them interchangeably.
@@ -39,7 +52,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, NamedTuple, Sequence
 
 import numpy as np
 
@@ -49,14 +62,12 @@ from ..sat.cnf import CNF
 from ..sat.solver import Solver
 from ..sat.tseitin import encode_gate, encode_mux
 from ..sim.batchevent import BatchEventSimulator
-from ..faults.models import StuckAtFault
 from ..testgen.testset import Test, TestSet
 from .base import Correction, SimDiagnosisResult, SolutionSetResult
 from .pathtrace import trace_tests
+from .system import CircuitSystem, SystemDescription
 from .validity import (
     _lanes_to_word,
-    rectifiable_by_forcing,
-    single_gate_rect_words,
     want_care_lanes,
 )
 
@@ -64,12 +75,19 @@ __all__ = [
     "Observation",
     "DiagnosisSession",
     "CandidateSpace",
+    "ALL_SYSTEM_KINDS",
     "DIAGNOSIS_STRATEGIES",
+    "StrategyInfo",
     "register_strategy",
     "available_strategies",
     "get_strategy",
+    "strategy_kinds",
     "diagnose",
 ]
+
+#: Every system kind a strategy can declare; registering with this tuple
+#: marks the strategy model-agnostic.
+ALL_SYSTEM_KINDS: tuple[str, ...] = ("circuit", "gcnf", "spectrum")
 
 
 @dataclass(frozen=True)
@@ -126,6 +144,14 @@ class DiagnosisSession:
     words* — bit ``j`` set iff observation ``j`` is rectifiable by
     changing the candidate's gates (Definition 3, per test).
 
+    A session is constructed either from the classic ``(circuit, tests)``
+    pair — which binds the gate-level
+    :class:`~repro.diagnosis.system.CircuitSystem` — or from any other
+    :class:`~repro.diagnosis.system.SystemDescription` (grouped CNF,
+    fault spectrum): ``DiagnosisSession(system)``.  Either way the
+    session owns memoization, solver lifetimes and the strategy
+    substrate while the system answers the model-specific questions.
+
     >>> from repro.circuits.library import c17
     >>> from repro.experiments import make_workload
     >>> w = make_workload(c17(), p=1, m_max=4, seed=11)
@@ -136,41 +162,74 @@ class DiagnosisSession:
 
     def __init__(
         self,
-        circuit: Circuit,
-        tests: TestSet | Iterable[Test],
+        circuit: Circuit | SystemDescription,
+        tests: TestSet | Iterable[Test] | None = None,
         constrain_all_outputs: bool = False,
         solver_backend: str | None = None,
+        seed: int = 0,
     ) -> None:
-        if not isinstance(tests, TestSet):
-            tests = TestSet(tuple(tests))
-        if not len(tests):
-            raise ValueError("diagnosis requires at least one failing test")
-        if not circuit.is_combinational:
-            raise ValueError(
-                "diagnosis sessions require a combinational circuit; "
-                "apply repro.circuits.to_combinational first"
+        if isinstance(circuit, SystemDescription):
+            if tests is not None:
+                raise ValueError(
+                    "a SystemDescription carries its own observations; "
+                    "pass tests only with a circuit"
+                )
+            if constrain_all_outputs:
+                raise ValueError(
+                    "constrain_all_outputs is a circuit-session option"
+                )
+            self.system: SystemDescription = circuit
+            self.circuit = None
+            self.tests = None
+            self.observations: tuple[Observation, ...] = ()
+            self.m = self.system.m
+            if self.m < 1:
+                raise ValueError(
+                    "diagnosis requires at least one observation"
+                )
+        else:
+            if tests is None:
+                raise ValueError(
+                    "tests are required with a circuit argument"
+                )
+            if not isinstance(tests, TestSet):
+                tests = TestSet(tuple(tests))
+            if not len(tests):
+                raise ValueError(
+                    "diagnosis requires at least one failing test"
+                )
+            if not circuit.is_combinational:
+                raise ValueError(
+                    "diagnosis sessions require a combinational circuit; "
+                    "apply repro.circuits.to_combinational first"
+                )
+            if constrain_all_outputs:
+                for t in tests:
+                    if t.expected_outputs is None:
+                        raise ValueError(
+                            "constrain_all_outputs requires tests with "
+                            "expected_outputs"
+                        )
+            self.circuit = circuit
+            self.tests = tests
+            self.observations = tuple(
+                Observation.from_test(t) for t in tests
             )
-        if constrain_all_outputs:
-            for t in tests:
-                if t.expected_outputs is None:
-                    raise ValueError(
-                        "constrain_all_outputs requires tests with "
-                        "expected_outputs"
-                    )
-        self.circuit = circuit
-        self.tests = tests
-        self.observations: tuple[Observation, ...] = tuple(
-            Observation.from_test(t) for t in tests
-        )
+            self.m = len(tests)
+            self.system = CircuitSystem(self)
         self.constrain_all_outputs = constrain_all_outputs
         #: Default SAT backend for every solver this session builds
         #: (:mod:`repro.sat.backends`; None = the registry default).
         #: Strategies may override per call via ``solver_backend=``.
         self.solver_backend = solver_backend
-        self.m = len(tests)
+        #: Base seed for the stochastic strategies: threaded into the
+        #: greedy climbs (decorrelated per system kind) so results are
+        #: reproducible per session.
+        self.seed = seed
         #: Word with one bit per observation; a candidate is consistent
         #: when its rectification word equals this mask.
         self.all_mask = (1 << self.m) - 1
+        self.system.bind(self)
         self._sim: BatchEventSimulator | None = None
         self._responses: dict[str, int] | None = None
         self._want_care: tuple[np.ndarray, np.ndarray, int] | None = None
@@ -186,6 +245,19 @@ class DiagnosisSession:
         self._instances: dict[tuple, object] = {}
         self._ihs_states: dict[tuple, object] = {}
 
+    @property
+    def kind(self) -> str:
+        """The bound system's kind ("circuit", "gcnf", "spectrum", ...)."""
+        return self.system.kind
+
+    def _require_circuit(self) -> Circuit:
+        if self.circuit is None:
+            raise ValueError(
+                "this operation requires a circuit-backed session "
+                f"(system kind is {self.kind!r})"
+            )
+        return self.circuit
+
     # ------------------------------------------------------------------
     # shared engines and cached artifacts
     # ------------------------------------------------------------------
@@ -194,7 +266,8 @@ class DiagnosisSession:
         """The shared lane simulator (one lane bit per observation)."""
         if self._sim is None:
             self._sim = BatchEventSimulator(
-                self.circuit, [o.vector for o in self.observations]
+                self._require_circuit(),
+                [o.vector for o in self.observations],
             )
         return self._sim
 
@@ -210,14 +283,10 @@ class DiagnosisSession:
         return dict(self._responses)
 
     def failing_word(self) -> int:
-        """Bit ``j`` set iff observation ``j`` actually fails (the
-        implementation's value at ``o_j`` differs from ``v_j``)."""
-        responses = self.responses()
-        word = 0
-        for j, obs in enumerate(self.observations):
-            if ((responses[obs.output] >> j) & 1) != obs.value:
-                word |= 1 << j
-        return word
+        """Bit ``j`` set iff observation ``j`` actually fails (the empty
+        correction does not rectify it; on circuits: the implementation's
+        value at ``o_j`` differs from ``v_j``)."""
+        return self.system.failing_word()
 
     def observation_values(self, j: int) -> dict[str, int]:
         """Full signal valuation of observation ``j`` (from the shared
@@ -252,7 +321,8 @@ class DiagnosisSession:
         """
         if self._want_care is None:
             self._want_care = want_care_lanes(
-                self.circuit, self.tests, self.constrain_all_outputs
+                self._require_circuit(), self.tests,
+                self.constrain_all_outputs,
             )
         return self._want_care
 
@@ -264,7 +334,7 @@ class DiagnosisSession:
 
     def levels(self) -> dict[str, int]:
         if self._levels is None:
-            self._levels = levels(self.circuit)
+            self._levels = levels(self._require_circuit())
         return self._levels
 
     def fanin_gates(self, output: str) -> frozenset[str]:
@@ -276,9 +346,10 @@ class DiagnosisSession:
         """
         cached = self._fanin_cones.get(output)
         if cached is None:
-            gates = set(self.circuit.gate_names)
+            circuit = self._require_circuit()
+            gates = set(circuit.gate_names)
             cached = frozenset(
-                fanin_cone(self.circuit, output, include_self=True) & gates
+                fanin_cone(circuit, output, include_self=True) & gates
             )
             self._fanin_cones[output] = cached
         return cached
@@ -288,45 +359,39 @@ class DiagnosisSession:
     # ------------------------------------------------------------------
     def rect_word(self, candidate: Iterable[str]) -> int:
         """Rectification word of ``candidate``: bit ``j`` set iff
-        observation ``j`` is rectifiable by changing these gates.
+        observation ``j`` is rectifiable by changing these components.
 
-        Memoized.  The fast path covers observations some member gate
-        rectifies alone (one fault-parallel sweep amortized over the
-        whole pool); residual observations get the exact ``2^|C|``
-        bit-parallel forced-value check (SAT above the size limit).
+        Memoized; the exact computation is the bound system's
+        (:meth:`~repro.diagnosis.system.SystemDescription.rect_word` —
+        on circuits the singleton fast path plus the exact forced-value
+        check, on grouped CNFs incremental consistency solves, on
+        spectra set cover).
         """
         gates = frozenset(candidate)
         cached = self._rect_words.get(gates)
         if cached is not None:
             return cached
-        word = 0
-        if gates:
-            singles = self.space().singleton_rect_words()
-            for g in gates:
-                single = singles.get(g)
-                if single is None:
-                    node = self.circuit.nodes.get(g)
-                    if node is None or not node.is_functional:
-                        # Not a pool gate (e.g. a primary-input fault
-                        # site): no singleton fast path; the exact check
-                        # below keeps the legacy forced-value semantics.
-                        continue
-                    single = self.space((g,)).singleton_rect_words()[g]
-                word |= single
-        if word != self.all_mask:
-            gate_list = tuple(sorted(gates))
-            for j, test in enumerate(self.tests):
-                if (word >> j) & 1:
-                    continue
-                if rectifiable_by_forcing(
-                    self.circuit,
-                    test,
-                    gate_list,
-                    self.constrain_all_outputs,
-                ):
-                    word |= 1 << j
+        word = self.system.rect_word(gates)
         self._rect_words[gates] = word
         return word
+
+    def observation_core(
+        self,
+        candidate: Iterable[str],
+        j: int,
+        solver_backend: str | None = None,
+    ) -> frozenset[str]:
+        """Sound conflict from an observation that rejects ``candidate``
+        (:meth:`~repro.diagnosis.system.SystemDescription.
+        observation_core`): disjoint from the candidate, intersected by
+        every correction valid for observation ``j``; empty when nothing
+        can rectify the observation.  The hitting-set strategies (IHS,
+        HSDAG) drive their refinement loops with these."""
+        if not 0 <= j < self.m:
+            raise IndexError(f"observation index {j} out of range")
+        return self.system.observation_core(
+            candidate, j, solver_backend=solver_backend
+        )
 
     def score(self, candidate: Iterable[str]) -> int:
         """Number of observations ``candidate`` can rectify (0..m)."""
@@ -374,7 +439,7 @@ class DiagnosisSession:
             self.levels() if policy in ("lowest", "highest") else None
         )
         result = trace_tests(
-            self.circuit,
+            self._require_circuit(),
             self.tests,
             lambda j, test: self.observation_values(j),
             policy=policy,
@@ -412,7 +477,6 @@ class DiagnosisSession:
         are unaffected by the flag either way).
         """
         from ..sat.backends import resolve_backend
-        from .satdiag import build_master_instance
 
         backend = resolve_backend(
             solver_backend
@@ -427,12 +491,8 @@ class DiagnosisSession:
         if cached is None:
             master = self._instances.get(("master", backend))
             if master is None:
-                master = build_master_instance(
-                    self.circuit,
-                    self.tests,
-                    k_max=k_max,
-                    constrain_all_outputs=self.constrain_all_outputs,
-                    solver_backend=backend,
+                master = self.system.build_master_instance(
+                    k_max, solver_backend=backend
                 )
                 self._instances[("master", backend)] = master
             else:
@@ -476,6 +536,7 @@ class DiagnosisSession:
         """
         if not 0 <= j < self.m:
             raise IndexError(f"observation index {j} out of range")
+        self._require_circuit()
         from ..sat.backends import resolve_backend
 
         backend = resolve_backend(
@@ -552,14 +613,10 @@ class CandidateSpace:
     ) -> None:
         self.session = session
         if pool is None:
-            self.pool: tuple[str, ...] = session.circuit.gate_names
+            self.pool: tuple[str, ...] = session.system.components
         else:
             self.pool = tuple(dict.fromkeys(pool))
-            for g in self.pool:
-                if not session.circuit.node(g).is_functional:
-                    raise ValueError(
-                        f"suspect {g!r} is not a functional gate"
-                    )
+            session.system.validate_components(self.pool)
         self._singleton_words: dict[str, int] | None = None
         self._fault_list_sets: tuple[frozenset[str], ...] | None = None
 
@@ -586,20 +643,8 @@ class CandidateSpace:
                 f"unknown engine {engine!r}; choose 'auto', 'batch' or "
                 "'event'"
             )
-        session = self.session
-        if engine == "auto":
-            engine = (
-                "event"
-                if len(self.pool) * 4 < session.circuit.num_gates
-                else "batch"
-            )
-        words = single_gate_rect_words(
-            session.circuit,
-            session.tests,
-            self.pool,
-            session.constrain_all_outputs,
-            engine=engine,
-            sim=session.sim if engine == "event" else None,
+        words = self.session.system.singleton_rect_words(
+            self.pool, engine=engine
         )
         self._singleton_words = words
         return dict(words)
@@ -627,87 +672,43 @@ class CandidateSpace:
             g for g in self.pool if (words[g] >> j) & 1
         )
 
-    # -- engine 2: deductive fault lists --------------------------------
-    def fault_list_candidates(self, j: int) -> frozenset[str]:
-        """Observation ``j``'s candidates from deductive fault lists.
+    # -- engine 2: the system's independent candidate-set view ----------
+    def observation_candidates(self, j: int) -> frozenset[str]:
+        """Observation ``j``'s size-1 rectifier candidates over the pool.
 
-        Uses the vectorized deductive engine: a gate's stuck-at flips
-        the observed output iff forcing the gate *changes* that output's
-        value.  For a **failing** observation (Definition 1 tests fail by
-        construction) changing the erroneous value is rectifying it, so
-        this equals :meth:`rectifying_gates` — computed through an
-        independent engine (all observations propagated in one bitset
-        pass; the differential suite asserts the agreement on failing
-        observations).  For an already-passing observation the two
-        notions diverge: this returns the output *flippers* (breakers),
-        while :meth:`rectifying_gates` returns near-everything — use
-        :meth:`~DiagnosisSession.failing_word` to distinguish.  Under
-        all-outputs semantics the fault lists of every output are
-        combined with the golden mismatch pattern.
+        On circuits this is the vectorized deductive fault-list view: a
+        gate's stuck-at flips the observed output iff forcing the gate
+        *changes* that output's value.  For a **failing** observation
+        (Definition 1 tests fail by construction) changing the erroneous
+        value is rectifying it, so this equals :meth:`rectifying_gates`
+        — computed through an independent engine (the differential suite
+        asserts the agreement on failing observations).  For an
+        already-passing observation the two notions diverge: this
+        returns the output *flippers* (breakers), while
+        :meth:`rectifying_gates` returns near-everything — use
+        :meth:`~DiagnosisSession.failing_word` to distinguish.  Other
+        system kinds derive the sets from their singleton rectification
+        words.
         """
         if self._fault_list_sets is None:
-            self._fault_list_sets = self._compute_fault_list_sets()
+            self._fault_list_sets = (
+                self.session.system.observation_candidate_sets(self.pool)
+            )
         return self._fault_list_sets[j]
 
-    def _compute_fault_list_sets(self) -> tuple[frozenset[str], ...]:
-        from ..sim.deductive_numpy import deductive_output_fault_lists
-
-        session = self.session
-        faults = [
-            StuckAtFault(gate, value)
-            for gate in self.pool
-            for value in (0, 1)
-        ]
-        # One vectorized block pass computes every observation's output
-        # fault lists at once (instead of one propagation per test).
-        per_observation = deductive_output_fault_lists(
-            session.circuit,
-            [dict(o.vector) for o in session.observations],
-            faults=faults,
-        )
-        responses = session.responses()
-        sets: list[frozenset[str]] = []
-        for j, obs in enumerate(session.observations):
-            lists = per_observation[j]
-            if session.constrain_all_outputs:
-                assert obs.expected_outputs is not None
-                candidates: set[str] = set()
-                for gate in self.pool:
-                    for value in (0, 1):
-                        fault = StuckAtFault(gate, value)
-                        # The forced value fixes the observation iff it
-                        # flips exactly the outputs that currently
-                        # mismatch the golden response.
-                        if all(
-                            (fault in lists[out])
-                            == (
-                                ((responses[out] >> j) & 1)
-                                != obs.expected_outputs[out]
-                            )
-                            for out in session.circuit.outputs
-                        ):
-                            candidates.add(gate)
-                            break
-                sets.append(frozenset(candidates))
-            else:
-                out_list = lists[obs.output]
-                sets.append(
-                    frozenset(
-                        gate
-                        for gate in self.pool
-                        if StuckAtFault(gate, 0) in out_list
-                        or StuckAtFault(gate, 1) in out_list
-                    )
-                )
-        return tuple(sets)
+    #: Backwards-compatible name from the circuit-only era.
+    fault_list_candidates = observation_candidates
 
     # -- structural conflicts -------------------------------------------
-    def cone_conflict(self, j: int) -> frozenset[str]:
-        """Sound conflict for observation ``j``: pool gates in the
-        failing output's fan-in cone (every valid correction for the
-        observation intersects it)."""
-        cone = self.session.fanin_gates(self.session.observations[j].output)
-        return frozenset(g for g in self.pool if g in cone)
+    def observation_conflict(self, j: int) -> frozenset[str]:
+        """Sound conflict for observation ``j``, sliced to the pool: on
+        circuits the failing output's fan-in cone; every valid
+        correction for the observation intersects the unsliced set."""
+        conflict = self.session.system.observation_conflict(j)
+        return frozenset(g for g in self.pool if g in conflict)
+
+    #: Backwards-compatible name from the circuit-only era.
+    cone_conflict = observation_conflict
 
     # -- delegation ------------------------------------------------------
     def score(self, candidate: Iterable[str]) -> int:
@@ -724,21 +725,39 @@ class CandidateSpace:
 #: Signature every registered strategy shares.
 Strategy = Callable[..., SolutionSetResult]
 
-#: Name → (strategy, summary).  The diagnosis twin of the ATPG
+
+class StrategyInfo(NamedTuple):
+    """One registry entry: the search loop, its summary, and the system
+    kinds it runs on (``("circuit",)`` for the circuit-only strategies,
+    :data:`ALL_SYSTEM_KINDS` for the model-agnostic ones)."""
+
+    fn: Strategy
+    summary: str
+    kinds: tuple[str, ...]
+
+
+#: Name → :class:`StrategyInfo`.  The diagnosis twin of the ATPG
 #: ``_SIM_ENGINES`` registry: one place enumerating every search loop
 #: that can run on a :class:`DiagnosisSession`.
-DIAGNOSIS_STRATEGIES: dict[str, tuple[Strategy, str]] = {}
+DIAGNOSIS_STRATEGIES: dict[str, StrategyInfo] = {}
 
 
 def register_strategy(
-    name: str, summary: str
+    name: str, summary: str, kinds: Sequence[str] = ("circuit",)
 ) -> Callable[[Strategy], Strategy]:
-    """Class-register a strategy ``(session, k, **options) -> result``."""
+    """Class-register a strategy ``(session, k, **options) -> result``.
+
+    ``kinds`` declares which :class:`~repro.diagnosis.system.
+    SystemDescription` kinds the strategy supports; :func:`diagnose`
+    refuses to dispatch a strategy onto a session of another kind.
+    """
 
     def deco(fn: Strategy) -> Strategy:
         if name in DIAGNOSIS_STRATEGIES:
             raise ValueError(f"strategy {name!r} registered twice")
-        DIAGNOSIS_STRATEGIES[name] = (fn, summary)
+        DIAGNOSIS_STRATEGIES[name] = StrategyInfo(
+            fn, summary, tuple(kinds)
+        )
         return fn
 
     return deco
@@ -749,9 +768,9 @@ def available_strategies() -> tuple[str, ...]:
     return tuple(sorted(DIAGNOSIS_STRATEGIES))
 
 
-def get_strategy(name: str) -> Strategy:
+def _strategy_info(name: str) -> StrategyInfo:
     try:
-        return DIAGNOSIS_STRATEGIES[name][0]
+        return DIAGNOSIS_STRATEGIES[name]
     except KeyError:
         raise ValueError(
             f"unknown diagnosis strategy {name!r}; choose from "
@@ -759,8 +778,17 @@ def get_strategy(name: str) -> Strategy:
         ) from None
 
 
+def get_strategy(name: str) -> Strategy:
+    return _strategy_info(name).fn
+
+
+def strategy_kinds(name: str) -> tuple[str, ...]:
+    """System kinds strategy ``name`` supports."""
+    return _strategy_info(name).kinds
+
+
 def diagnose(
-    circuit: Circuit | DiagnosisSession,
+    circuit: Circuit | DiagnosisSession | SystemDescription,
     tests: TestSet | Iterable[Test] | None = None,
     k: int | None = None,
     strategy: str = "bsat",
@@ -770,7 +798,10 @@ def diagnose(
 
     Accepts a prepared :class:`DiagnosisSession` in place of the circuit
     (with ``tests=None``) so several strategies can share one session's
-    caches — the cross-strategy benches race them that way.
+    caches — the cross-strategy benches race them that way — and a bare
+    :class:`~repro.diagnosis.system.SystemDescription` (grouped CNF,
+    spectrum), which is wrapped in a fresh session.  The strategy must
+    support the session's system kind (see :func:`strategy_kinds`).
 
     ``k=None`` (the default) leaves the cardinality to the strategy's
     own default: the enumerative strategies use ``k=1`` while the search
@@ -782,19 +813,32 @@ def diagnose(
         session = circuit
         if tests is not None:
             raise ValueError("pass either a session or (circuit, tests)")
+    elif isinstance(circuit, SystemDescription):
+        if tests is not None:
+            raise ValueError(
+                "a SystemDescription carries its own observations"
+            )
+        session = DiagnosisSession(circuit)
     else:
         if tests is None:
             raise ValueError("tests are required with a circuit argument")
         session = DiagnosisSession(circuit, tests)
-    fn = get_strategy(strategy)
+    info = _strategy_info(strategy)
+    if session.kind not in info.kinds:
+        raise ValueError(
+            f"strategy {strategy!r} supports system kinds "
+            f"{info.kinds}; this session diagnoses a "
+            f"{session.kind!r} system"
+        )
     if k is None:
-        return fn(session, **options)
-    return fn(session, k, **options)
+        return info.fn(session, **options)
+    return info.fn(session, k, **options)
 
 
 @register_strategy(
     "single-fix",
     "session-native screen: all valid single-gate corrections, one sweep",
+    kinds=ALL_SYSTEM_KINDS,
 )
 def _single_fix_strategy(
     session: DiagnosisSession,

@@ -1,0 +1,209 @@
+"""FastDiag divide-and-conquer diagnosis (QuickXplain-dual cross-check).
+
+*An Efficient Diagnosis Algorithm for Inconsistent Constraint Sets*
+(Felfernig/Schubert/Zehentner, FastDiag; PAPERS.md) finds one
+subset-minimal diagnosis with ``O(|diag| * log(pool/|diag|))``
+consistency checks instead of the linear deletion sweep: it is the dual
+of Junker's QuickXplain, recursively splitting the component pool and
+discarding whole halves the moment the kept part alone is consistent.
+
+The repo's consistency predicates are **monotone** for every
+:class:`~repro.diagnosis.system.SystemDescription` — a larger candidate
+never loses an observation (the circuit mux can mimic the original
+function; retracting more clauses keeps a formula satisfiable; a larger
+cover covers more rows) — which is exactly the property FastDiag's
+prune steps rely on.  Consistency is the session's exact memoized
+oracle, so the strategy runs unchanged on circuits, grouped CNFs and
+fault spectra, with no RNG anywhere: results are a deterministic
+function of the pool order.
+
+Enumeration uses the dual HS-tree: each node carries a set of
+*excluded* components, is labelled with a minimal diagnosis avoiding
+them (computed by FastDiag over the remaining pool), and branches by
+excluding one label element per child.  Any other minimal diagnosis
+``D'`` survives some branch (a label ``D != D'`` cannot be a subset of
+``D'``, so some label element is outside ``D'`` and excluding it keeps
+``D'`` reachable), making the enumeration complete.  Like ``hsdag``
+this is a deliberately independent cross-check for ``bsat``/``ihs``:
+same solution sets, entirely different search.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Sequence
+
+from ..circuits.netlist import Circuit
+from ..testgen.testset import TestSet
+from .base import Correction, SolutionSetResult
+from .core import ALL_SYSTEM_KINDS, DiagnosisSession, register_strategy
+
+__all__ = ["fastdiag_diagnose"]
+
+
+def _fastdiag_one(
+    session: DiagnosisSession,
+    base: tuple[str, ...],
+    candidates: list[str],
+    counter: list[int],
+) -> list[str] | None:
+    """Minimal ``X`` within ``candidates`` with ``base + X`` consistent.
+
+    Requires ``base + candidates`` consistent; returns None when even
+    that fails (no diagnosis in this branch).  ``counter[0]`` tallies
+    oracle calls.
+    """
+    counter[0] += 1
+    if not session.consistent(base + tuple(candidates)):
+        return None
+    return _qx(session, True, base, candidates, counter)
+
+
+def _qx(
+    session: DiagnosisSession,
+    base_may_suffice: bool,
+    base: tuple[str, ...],
+    candidates: list[str],
+    counter: list[int],
+) -> list[str]:
+    """QuickXplain-dual core: assumes ``base + candidates`` consistent."""
+    if base_may_suffice:
+        counter[0] += 1
+        if session.consistent(base):
+            return []
+    if len(candidates) == 1:
+        return list(candidates)
+    half = len(candidates) // 2
+    left, right = candidates[:half], candidates[half:]
+    # Minimal part of `right` needed on top of all of `left`...
+    need_right = _qx(session, True, base + tuple(left), right, counter)
+    # ...then the minimal part of `left` needed on top of that.
+    need_left = _qx(
+        session, bool(need_right), base + tuple(need_right), left, counter
+    )
+    return need_left + need_right
+
+
+def fastdiag_diagnose(
+    circuit: Circuit | None,
+    tests: TestSet | None,
+    k: int | None = None,
+    pool: Sequence[str] | None = None,
+    solution_limit: int | None = None,
+    max_nodes: int = 100_000,
+    session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
+) -> SolutionSetResult:
+    """FastDiag with dual HS-tree enumeration of minimal diagnoses.
+
+    Parameters
+    ----------
+    k:
+        Report only diagnoses of cardinality ``<= k`` (default: pool
+        size).  The tree is still explored past larger labels — a big
+        minimal diagnosis on one branch says nothing about its
+        siblings.
+    pool:
+        Suspect pool (default: every component of the system).
+    solution_limit:
+        Stop after this many reported diagnoses (None: enumerate all).
+    max_nodes:
+        Safety valve on HS-tree nodes; tripping it sets
+        ``complete=False``.
+    solver_backend:
+        Accepted for registry interface parity.  FastDiag only speaks
+        the session's exact consistency oracle, which uses the
+        session's own backend where it needs a solver at all —
+        solution sets are backend-independent either way.
+
+    Returns a :class:`SolutionSetResult` (``approach="FASTDIAG"``): the
+    subset-minimal valid corrections of cardinality ``<= k``, each
+    verified consistent by construction.
+    """
+    start = time.perf_counter()
+    if session is None:
+        if circuit is None:
+            raise ValueError(
+                "fastdiag_diagnose requires a circuit or an existing "
+                "session"
+            )
+        session = DiagnosisSession(circuit, tests)
+    space = session.space(pool)
+    pool_list = sorted(space.pool)
+    if not pool_list:
+        raise ValueError("empty suspect pool")
+    k_max = len(pool_list) if k is None else min(k, len(pool_list))
+    if k_max < 1:
+        raise ValueError("k must be at least 1")
+    t_build = time.perf_counter() - start
+
+    search_start = time.perf_counter()
+    t_first: float | None = None
+    counter = [0]
+    solutions: list[Correction] = []
+    recorded: set[Correction] = set()
+    queue: deque[frozenset[str]] = deque([frozenset()])
+    visited: set[frozenset[str]] = {frozenset()}
+    nodes = 0
+    complete = True
+    while queue:
+        if nodes >= max_nodes:
+            complete = False
+            break
+        excluded = queue.popleft()
+        nodes += 1
+        remaining = [c for c in pool_list if c not in excluded]
+        if not remaining:
+            continue
+        diag = _fastdiag_one(session, (), remaining, counter)
+        if diag is None:
+            continue  # nothing avoiding `excluded` is consistent
+        label = frozenset(diag)
+        if label not in recorded:
+            recorded.add(label)
+            if len(label) <= k_max:
+                solutions.append(label)
+                if t_first is None:
+                    t_first = time.perf_counter() - search_start
+                if (
+                    solution_limit is not None
+                    and len(solutions) >= solution_limit
+                ):
+                    complete = False
+                    break
+        for c in sorted(label):
+            child = excluded | {c}
+            if child not in visited:
+                visited.add(child)
+                queue.append(child)
+    t_all = time.perf_counter() - search_start
+    solutions.sort(key=lambda s: (len(s), sorted(s)))
+    return SolutionSetResult(
+        approach="FASTDIAG",
+        k=k_max,
+        solutions=tuple(solutions),
+        complete=complete,
+        t_build=t_build,
+        t_first=t_first if t_first is not None else t_all,
+        t_all=t_all,
+        extras={
+            "pool_size": len(pool_list),
+            "nodes": nodes,
+            "consistency_checks": counter[0],
+            "distinct_minima": len(recorded),
+        },
+    )
+
+
+@register_strategy(
+    "fastdiag",
+    "FastDiag divide-and-conquer minima via a dual hitting-set tree",
+    kinds=ALL_SYSTEM_KINDS,
+)
+def _fastdiag_strategy(
+    session: DiagnosisSession, k: int | None = None, **options
+) -> SolutionSetResult:
+    return fastdiag_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )

@@ -32,12 +32,13 @@ from __future__ import annotations
 
 import random
 import time
+import zlib
 from typing import Sequence
 
 from ..circuits.netlist import Circuit
 from ..testgen.testset import TestSet
 from .base import Correction, SolutionSetResult
-from .core import DiagnosisSession, register_strategy
+from .core import ALL_SYSTEM_KINDS, DiagnosisSession, register_strategy
 
 __all__ = ["greedy_stochastic_diagnose"]
 
@@ -132,12 +133,12 @@ def _retract(
 
 
 def greedy_stochastic_diagnose(
-    circuit: Circuit,
-    tests: TestSet,
+    circuit: Circuit | None,
+    tests: TestSet | None,
     k: int | None = None,
     retries: int = 16,
     patience: int = 6,
-    seed: int = 0,
+    seed: int | None = None,
     pool: Sequence[str] | None = None,
     max_solutions: int | None = None,
     deep_check: bool = True,
@@ -155,6 +156,13 @@ def greedy_stochastic_diagnose(
         Number of independent randomized climbs.
     patience:
         Consecutive failed retractions before a climb settles.
+    seed:
+        Base RNG seed (None: the session's own ``seed``, so repeated
+        calls on one session are reproducible without threading a seed
+        through every caller).  Climb ``r`` draws from a stream derived
+        from the seed, the retry index, and the system *kind*, so the
+        same seed explores decorrelated orders on different system
+        descriptions while circuit runs keep their historical streams.
     pool:
         Suspect pool (default: every functional gate).
     deep_check:
@@ -170,7 +178,22 @@ def greedy_stochastic_diagnose(
     """
     start = time.perf_counter()
     if session is None:
+        if circuit is None:
+            raise ValueError(
+                "greedy_stochastic_diagnose requires a circuit or an "
+                "existing session"
+            )
         session = DiagnosisSession(circuit, tests)
+    if seed is None:
+        seed = session.seed
+    # Per-kind stream offset: 0 for circuits (preserving the historical
+    # seed -> climb mapping), a kind-hash otherwise, so gcnf/spectrum
+    # sessions with the same numeric seed do not replay the circuit
+    # retraction order.
+    kind_offset = (
+        0 if session.kind == "circuit"
+        else zlib.crc32(session.kind.encode("ascii"))
+    )
     space = session.space(pool)
     words = space.singleton_rect_words()
     t_build = time.perf_counter() - start
@@ -189,7 +212,7 @@ def greedy_stochastic_diagnose(
         for r in range(retries):
             if max_solutions is not None and len(solutions) >= max_solutions:
                 break
-            rng = random.Random(seed * 1_000_003 + r)
+            rng = random.Random(seed * 1_000_003 + kind_offset + r)
             minimal = _minimize(
                 session, words, list(full), rng, patience, deep_check
             )
@@ -224,6 +247,7 @@ def greedy_stochastic_diagnose(
 @register_strategy(
     "greedy-stochastic",
     "SAFARI climbs: retract-at-random over cover words, verified valid",
+    kinds=ALL_SYSTEM_KINDS,
 )
 def _greedy_strategy(
     session: DiagnosisSession, k: int | None = None, **options

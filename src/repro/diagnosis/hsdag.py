@@ -1,0 +1,217 @@
+"""Reiter-style hitting-set DAG diagnosis (HS-DAG cross-check strategy).
+
+*A Theory of Diagnosis from First Principles* (Reiter 1987; PAPERS.md)
+computes diagnoses as the minimal hitting sets of the system's conflict
+sets, explored breadth-first over a DAG: each node carries the set ``H``
+of components committed so far (the edge labels on its path), a node
+inconsistent with some observation is labelled with a **conflict**
+disjoint from ``H`` — every valid correction containing ``H`` must pick
+at least one conflict element — and gets one child per conflict element.
+Consistent nodes are diagnoses.
+
+This implementation speaks only the
+:class:`~repro.diagnosis.system.SystemDescription` protocol, so it runs
+unchanged on circuits, grouped CNFs and fault spectra:
+
+* consistency is the session's exact oracle
+  (:meth:`~repro.diagnosis.core.DiagnosisSession.rect_word`);
+* conflicts come from
+  :meth:`~repro.diagnosis.core.DiagnosisSession.observation_core` — the
+  per-observation assumption core for SAT-backed systems, the failing
+  row's coverage for spectra — and are **sound but not necessarily
+  minimal**, which plain HS-tree search tolerates: a sound conflict
+  disjoint from ``H`` still intersects every diagnosis extending ``H``,
+  so every minimal diagnosis keeps an open path (pick any element the
+  diagnosis shares with the label).  Consistent nodes are trimmed to
+  subset-minimal diagnoses with the exact oracle before being recorded.
+
+Known conflicts are reused before any oracle call (the smallest one
+disjoint from ``H`` labels the node for free), and paths that contain a
+recorded diagnosis are closed.  The strategy is a deliberately
+independent *cross-check* for ``bsat``/``ihs``: same solution sets,
+entirely different search (tests pin the equality on circuits and
+grouped CNFs).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Sequence
+
+from ..circuits.netlist import Circuit
+from ..testgen.testset import TestSet
+from .base import Correction, SolutionSetResult
+from .core import ALL_SYSTEM_KINDS, DiagnosisSession, register_strategy
+
+__all__ = ["hsdag_diagnose"]
+
+
+def _trim(
+    session: DiagnosisSession, candidate: frozenset[str]
+) -> frozenset[str]:
+    """Deletion-based trim of a consistent candidate to subset-minimal.
+
+    Deterministic (components dropped in sorted order); every query goes
+    through the memoized exact oracle.
+    """
+    current = set(candidate)
+    for c in sorted(candidate):
+        if len(current) == 1:
+            break
+        if c in current and session.consistent(current - {c}):
+            current.remove(c)
+    return frozenset(current)
+
+
+def hsdag_diagnose(
+    circuit: Circuit | None,
+    tests: TestSet | None,
+    k: int | None = None,
+    pool: Sequence[str] | None = None,
+    solution_limit: int | None = None,
+    max_nodes: int = 100_000,
+    session: DiagnosisSession | None = None,
+    solver_backend: str | None = None,
+) -> SolutionSetResult:
+    """Breadth-first Reiter HS-DAG over system conflicts.
+
+    Parameters
+    ----------
+    k:
+        Largest candidate cardinality to consider (default: pool size).
+    pool:
+        Suspect pool (default: every component of the system).
+    solution_limit:
+        Stop after this many diagnoses (None: enumerate all of size
+        ``<= k``).
+    max_nodes:
+        Safety valve on expanded DAG nodes; tripping it sets
+        ``complete=False``.
+
+    Returns a :class:`SolutionSetResult` (``approach="HSDAG"``): the
+    subset-minimal valid corrections of cardinality ``<= k``, each
+    verified by the exact consistency oracle.
+    """
+    start = time.perf_counter()
+    if session is None:
+        if circuit is None:
+            raise ValueError(
+                "hsdag_diagnose requires a circuit or an existing session"
+            )
+        session = DiagnosisSession(circuit, tests)
+    space = session.space(pool)
+    pool_list = sorted(space.pool)
+    pool_set = set(pool_list)
+    if not pool_list:
+        raise ValueError("empty suspect pool")
+    k_max = len(pool_list) if k is None else min(k, len(pool_list))
+    if k_max < 1:
+        raise ValueError("k must be at least 1")
+    all_mask = session.all_mask
+    t_build = time.perf_counter() - start
+
+    search_start = time.perf_counter()
+    t_first: float | None = None
+    solutions: list[Correction] = []
+    # Conflicts ordered smallest-first so label reuse prefers the
+    # tightest (fewest children) known conflict.
+    conflicts: list[frozenset[str]] = []
+    seen_conflicts: set[frozenset[str]] = set()
+
+    def record_conflict(conf: frozenset[str]) -> None:
+        if conf in seen_conflicts:
+            return
+        seen_conflicts.add(conf)
+        conflicts.append(conf)
+        conflicts.sort(key=lambda c: (len(c), sorted(c)))
+
+    queue: deque[frozenset[str]] = deque([frozenset()])
+    visited: set[frozenset[str]] = {frozenset()}
+    nodes = 0
+    cores = 0
+    complete = True
+    while queue:
+        if nodes >= max_nodes:
+            complete = False
+            break
+        H = queue.popleft()
+        nodes += 1
+        # Closed: any extension of a recorded diagnosis is non-minimal.
+        if any(sol <= H for sol in solutions):
+            continue
+        # Label reuse: a known conflict disjoint from H proves H is not
+        # a diagnosis without consulting the oracle (H misses a set
+        # every valid correction must hit).
+        label: frozenset[str] | None = None
+        for conf in conflicts:
+            if not (conf & H):
+                label = conf
+                break
+        if label is None:
+            word = session.rect_word(H)
+            if word == all_mask:
+                minimal = _trim(session, H)
+                if minimal not in solutions:
+                    solutions.append(minimal)
+                    if t_first is None:
+                        t_first = time.perf_counter() - search_start
+                    if (
+                        solution_limit is not None
+                        and len(solutions) >= solution_limit
+                    ):
+                        complete = False
+                        break
+                continue
+            rejecting = next(
+                j
+                for j in range(session.m)
+                if (all_mask >> j) & 1 and not (word >> j) & 1
+            )
+            core = session.observation_core(
+                H, rejecting, solver_backend=solver_backend
+            )
+            cores += 1
+            label = frozenset(c for c in core if c in pool_set)
+            if not label:
+                # The pool cannot rectify this observation even with
+                # every component beyond H free: no diagnosis extends H.
+                continue
+            record_conflict(label)
+        if len(H) >= k_max:
+            continue
+        for c in sorted(label):
+            child = H | {c}
+            if child not in visited:
+                visited.add(child)
+                queue.append(child)
+    t_all = time.perf_counter() - search_start
+    solutions.sort(key=lambda s: (len(s), sorted(s)))
+    return SolutionSetResult(
+        approach="HSDAG",
+        k=k_max,
+        solutions=tuple(solutions),
+        complete=complete,
+        t_build=t_build,
+        t_first=t_first if t_first is not None else t_all,
+        t_all=t_all,
+        extras={
+            "pool_size": len(pool_list),
+            "nodes": nodes,
+            "conflicts": len(conflicts),
+            "sat_cores": cores,
+        },
+    )
+
+
+@register_strategy(
+    "hsdag",
+    "Reiter hitting-set DAG over observation conflicts, breadth-first",
+    kinds=ALL_SYSTEM_KINDS,
+)
+def _hsdag_strategy(
+    session: DiagnosisSession, k: int | None = None, **options
+) -> SolutionSetResult:
+    return hsdag_diagnose(
+        session.circuit, session.tests, k, session=session, **options
+    )

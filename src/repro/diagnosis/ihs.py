@@ -54,7 +54,7 @@ from ..sat.cardinality import IncrementalTotalizer
 from ..sat.cnf import CNF
 from ..testgen.testset import TestSet
 from .base import Correction, SolutionSetResult
-from .core import DiagnosisSession, register_strategy
+from .core import ALL_SYSTEM_KINDS, DiagnosisSession, register_strategy
 
 __all__ = ["ihs_diagnose"]
 
@@ -93,8 +93,8 @@ class _HitterState:
 
 
 def ihs_diagnose(
-    circuit: Circuit,
-    tests: TestSet,
+    circuit: Circuit | None,
+    tests: TestSet | None,
     k: int | None = None,
     pool: Sequence[str] | None = None,
     solution_limit: int | None = None,
@@ -126,6 +126,10 @@ def ihs_diagnose(
     """
     start = time.perf_counter()
     if session is None:
+        if circuit is None:
+            raise ValueError(
+                "ihs_diagnose requires a circuit or an existing session"
+            )
         session = DiagnosisSession(circuit, tests)
     space = session.space(pool)
     pool_gates = list(space.pool)
@@ -137,7 +141,7 @@ def ihs_diagnose(
 
     # Seed MCSes (sim side): each observation's singleton rectifiers.
     rect_sets = [
-        space.fault_list_candidates(j) for j in range(session.m)
+        space.observation_candidates(j) for j in range(session.m)
     ]
     from ..sat.backends import resolve_backend
 
@@ -149,17 +153,18 @@ def ihs_diagnose(
     pool_key = tuple(pool_gates)
 
     def build_state() -> _HitterState:
-        # Sound initial conflicts: the failing outputs' fan-in cones.
-        # Only observations that actually fail constrain the correction
-        # this way (a passing observation is rectified by the empty
-        # correction).
+        # Sound initial conflicts: each failing observation's structural
+        # conflict (the fan-in cone for circuits, the system-declared
+        # component set otherwise).  Only observations that actually
+        # fail constrain the correction this way (a passing observation
+        # is rectified by the empty correction).
         failing = session.failing_word()
         conflicts: list[frozenset[str]] = []
         seen: set[frozenset[str]] = set()
         for j in range(session.m):
             if not (failing >> j) & 1:
                 continue
-            cone = space.cone_conflict(j)
+            cone = space.observation_conflict(j)
             if cone and cone not in seen:
                 seen.add(cone)
                 conflicts.append(cone)
@@ -202,45 +207,24 @@ def ihs_diagnose(
             return True  # hits a size-1 MCS of the observation
         return bool(session.rect_word(h) & (1 << j))
 
-    # Conflict extraction runs on the session's per-observation *master*
-    # rectify solvers (muxes on every functional gate, pool selected by
-    # assumption pins), so pool churn across calls — repair radii,
-    # partitioned funnels, refined IHS pools — reuses one encoding and
-    # its learnt state per observation instead of rebuilding per pool.
-    all_gates = session.circuit.gate_names
+    # Conflict extraction runs through the system description
+    # (:meth:`DiagnosisSession.observation_core`): for circuits that is
+    # the per-observation *master* rectify solver (muxes on every
+    # functional gate, pool selected by assumption pins), so pool churn
+    # across calls — repair radii, partitioned funnels, refined IHS
+    # pools — reuses one encoding and its learnt state per observation
+    # instead of rebuilding per pool.  Other system kinds return their
+    # own UNSAT-core / coverage conflicts through the same call.
     pool_set = set(pool_gates)
-    # select-var -> gate reverse maps, one per observation's master
-    # rectify solver (constant per observation — don't rebuild per
-    # rejected candidate).
-    gate_by_select_of: dict[int, dict[int, str]] = {}
 
     def extract_conflict(h: tuple[str, ...], j: int) -> frozenset[str]:
-        """SAT-core conflict from an observation that rejects ``h``."""
-        solver, select_of = session.rectify_solver(
-            j, all_gates, solver_backend=backend
-        )
-        gate_by_select = gate_by_select_of.get(j)
-        if gate_by_select is None:
-            gate_by_select = {v: g for g, v in select_of.items()}
-            gate_by_select_of[j] = gate_by_select
-        h_set = set(h)
-        assumptions = [-select_of[g] for g in all_gates if g not in h_set]
-        if solver.solve(assumptions=assumptions):
-            # The per-observation encoding admits a correction inside
-            # ``h`` after all (can only disagree with the lane check
-            # through a bug) — treat as consistent upstream.
-            raise AssertionError(
-                "rectify solver and simulation oracle disagree"
-            )
-        core = solver.core()
-        core_gates = {
-            gate_by_select[-lit] for lit in core if -lit in gate_by_select
-        }
+        """Sound conflict from an observation that rejects ``h``."""
+        core = session.observation_core(h, j, solver_backend=backend)
         # Restrict to the pool: a valid pool correction is also a valid
-        # all-gates correction, so it intersects the core — hence the
-        # pool slice stays a sound conflict (empty slice = the pool
+        # all-components correction, so it intersects the core — hence
+        # the pool slice stays a sound conflict (empty slice = the pool
         # cannot rectify the observation at any cardinality).
-        return frozenset(g for g in core_gates if g in pool_set)
+        return frozenset(c for c in core if c in pool_set)
 
     act = state.begin_scope()
     search_start = time.perf_counter()
@@ -329,6 +313,7 @@ def ihs_diagnose(
     "ihs",
     "implicit hitting sets over sim MCSes and SAT cores, minimum "
     "cardinality first",
+    kinds=ALL_SYSTEM_KINDS,
 )
 def _ihs_strategy(
     session: DiagnosisSession, k: int | None = None, **options

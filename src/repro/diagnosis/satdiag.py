@@ -57,7 +57,7 @@ from ..sat.solver import Solver
 from ..sat.tseitin import encode_gate, encode_mux
 from ..testgen.testset import TestSet
 from .base import Correction, SolutionSetResult
-from .core import DiagnosisSession, register_strategy
+from .core import ALL_SYSTEM_KINDS, DiagnosisSession, register_strategy
 
 __all__ = [
     "DiagnosisInstance",
@@ -70,10 +70,15 @@ __all__ = [
 
 @dataclass
 class DiagnosisInstance:
-    """The SAT instance ``F`` plus the bookkeeping to interpret models."""
+    """The SAT instance ``F`` plus the bookkeeping to interpret models.
 
-    circuit: Circuit
-    tests: TestSet
+    ``circuit``/``tests`` are None on instances built by a non-circuit
+    :class:`~repro.diagnosis.system.SystemDescription`; those carry the
+    observation count in ``num_observations`` instead.
+    """
+
+    circuit: Circuit | None
+    tests: TestSet | None
     cnf: CNF
     solver: Solver
     select_of: dict[str, int]
@@ -100,6 +105,15 @@ class DiagnosisInstance:
     pin_assumptions: tuple[int, ...] = ()
     #: The master instance a view was derived from (None: standalone).
     master: "DiagnosisInstance | None" = None
+    #: Observation count for instances without a test set (non-circuit
+    #: system descriptions); None means ``len(tests)``.
+    num_observations: int | None = None
+
+    @property
+    def observation_count(self) -> int:
+        if self.num_observations is not None:
+            return self.num_observations
+        return len(self.tests)
 
     def base_assumptions(self) -> list[int]:
         """Assumptions every query on this instance must include.
@@ -190,6 +204,7 @@ class DiagnosisInstance:
             solver_backend=self.solver_backend,
             pin_assumptions=pins,
             master=self,
+            num_observations=self.num_observations,
         )
 
     def begin_scope(self) -> int:
@@ -240,7 +255,7 @@ class DiagnosisInstance:
         result: dict[str, list[int]] = {}
         for gate in solution:
             vals: list[int] = []
-            for i in range(len(self.tests)):
+            for i in range(self.observation_count):
                 var = self.correction_of.get((i, gate))
                 # Master encodings only carry a witness where the gate
                 # reaches the test's constrained cone; elsewhere the
@@ -392,8 +407,8 @@ def _encode_test_copies(
 
 
 def _finish_instance(
-    circuit: Circuit,
-    tests: TestSet,
+    circuit: Circuit | None,
+    tests: TestSet | None,
     cnf: CNF,
     select_of: dict[str, int],
     correction_of: dict[tuple[int, str], int],
@@ -404,6 +419,7 @@ def _finish_instance(
     solver_backend: str | None,
     persistent: bool,
     start: float,
+    num_observations: int | None = None,
 ) -> DiagnosisInstance:
     """Shared builder tail: totalizer, solver hand-off, instance."""
     tot = IncrementalTotalizer(
@@ -429,6 +445,7 @@ def _finish_instance(
         totalizer=tot,
         persistent=persistent,
         solver_backend=solver_backend,
+        num_observations=num_observations,
     )
 
 
@@ -561,6 +578,12 @@ def basic_sat_diagnose(
                 solver_backend=solver_backend,
             )
         else:
+            if circuit is None:
+                raise ValueError(
+                    "building a fresh instance requires a circuit; "
+                    "non-circuit SystemDescription sessions must route "
+                    "through the session (matching output semantics)"
+                )
             instance = build_diagnosis_instance(
                 circuit,
                 tests,
@@ -725,6 +748,12 @@ def auto_k_sat_diagnose(
             solver_backend=solver_backend,
         )
     else:
+        if circuit is None:
+            raise ValueError(
+                "building a fresh instance requires a circuit; "
+                "non-circuit SystemDescription sessions must route "
+                "through the session (matching output semantics)"
+            )
         instance = build_diagnosis_instance(
             circuit, tests, k_max=k_max,
             suspects=suspects,
@@ -768,7 +797,9 @@ def auto_k_sat_diagnose(
 
 
 @register_strategy(
-    "bsat", "BasicSATDiagnose: complete enumeration, essential candidates"
+    "bsat",
+    "BasicSATDiagnose: complete enumeration, essential candidates",
+    kinds=ALL_SYSTEM_KINDS,
 )
 def _bsat_strategy(
     session: DiagnosisSession, k: int = 1, **options
@@ -779,7 +810,9 @@ def _bsat_strategy(
 
 
 @register_strategy(
-    "bsat-auto-k", "BSAT with incrementally determined error cardinality"
+    "bsat-auto-k",
+    "BSAT with incrementally determined error cardinality",
+    kinds=ALL_SYSTEM_KINDS,
 )
 def _auto_k_strategy(
     session: DiagnosisSession, k: int = 4, **options

@@ -85,7 +85,17 @@ from .cardinality import (
     at_least_one,
 )
 from .enumerate import enumerate_solutions
-from .dimacs import parse_dimacs, load_dimacs, write_dimacs, dump_dimacs
+from .dimacs import (
+    GroupedCNF,
+    dump_dimacs,
+    dump_gcnf,
+    load_dimacs,
+    load_gcnf,
+    parse_dimacs,
+    parse_gcnf,
+    write_dimacs,
+    write_gcnf,
+)
 from .proof import ProofLog, ProofStep, check_rup, check_drat, solve_with_proof
 
 __all__ = [
@@ -119,4 +129,9 @@ __all__ = [
     "load_dimacs",
     "write_dimacs",
     "dump_dimacs",
+    "GroupedCNF",
+    "parse_gcnf",
+    "load_gcnf",
+    "write_gcnf",
+    "dump_gcnf",
 ]

@@ -1,18 +1,39 @@
-"""DIMACS CNF reading and writing.
+"""DIMACS CNF and group-oriented GCNF reading and writing.
 
-Round-tripping through the standard exchange format keeps the solver
+Round-tripping through the standard exchange formats keeps the solver
 interoperable: instances built here can be cross-checked with any external
 solver, and standard benchmark files exercise the solver in the test-suite.
+
+Two formats are supported:
+
+* plain ``p cnf`` DIMACS (:func:`parse_dimacs` / :func:`write_dimacs`);
+* group-oriented ``p gcnf`` DIMACS (:func:`parse_gcnf` /
+  :func:`write_gcnf`), the standard exchange format for group-MUS and
+  weak-fault-model diagnosis instances: every clause carries a ``{g}``
+  group prefix, group ``0`` is the hard *background*, and groups
+  ``1..k`` are the assumable (retractable) clause groups that
+  :class:`repro.diagnosis.GroupedCNFSystem` treats as components.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TextIO
+from typing import Iterable, TextIO
 
 from .cnf import CNF
 
-__all__ = ["parse_dimacs", "load_dimacs", "write_dimacs", "dump_dimacs"]
+__all__ = [
+    "parse_dimacs",
+    "load_dimacs",
+    "write_dimacs",
+    "dump_dimacs",
+    "GroupedCNF",
+    "parse_gcnf",
+    "load_gcnf",
+    "write_gcnf",
+    "dump_gcnf",
+]
 
 
 class DimacsFormatError(ValueError):
@@ -83,6 +104,160 @@ def dump_dimacs(cnf: CNF, path: str | Path | None = None) -> str:
 
     buf = io.StringIO()
     write_dimacs(cnf, buf)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+# ----------------------------------------------------------------------
+# group-oriented DIMACS (GCNF)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GroupedCNF:
+    """A group-oriented CNF: hard background plus assumable clause groups.
+
+    ``background`` holds the group-0 (hard) clauses; ``groups[i]`` holds
+    the clauses of assumable group ``i + 1`` (GCNF numbers groups from 1;
+    a declared group with no clauses is kept as an empty list so group
+    indices round-trip).
+    """
+
+    num_vars: int = 0
+    background: list[tuple[int, ...]] = field(default_factory=list)
+    groups: list[list[tuple[int, ...]]] = field(default_factory=list)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.background) + sum(len(g) for g in self.groups)
+
+    def add_clause(self, group: int, lits: Iterable[int]) -> None:
+        """Append a clause to ``group`` (0 = background), growing the
+        variable and group counts as needed."""
+        if group < 0:
+            raise ValueError("group must be non-negative")
+        clause = tuple(int(l) for l in lits)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is reserved")
+            self.num_vars = max(self.num_vars, abs(lit))
+        while len(self.groups) < group:
+            self.groups.append([])
+        if group == 0:
+            self.background.append(clause)
+        else:
+            self.groups[group - 1].append(clause)
+
+
+def parse_gcnf(text: str) -> GroupedCNF:
+    """Parse group-oriented DIMACS (``p gcnf n_vars n_clauses n_groups``).
+
+    Every clause must start with a ``{g}`` group prefix; group 0 is the
+    hard background.  Raises :class:`DimacsFormatError` on a malformed
+    header, a missing/invalid group prefix, or a group id above the
+    declared count.
+    """
+    gcnf = GroupedCNF()
+    declared_groups: int | None = None
+    saw_header = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("c", "%")):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 5 or parts[1] != "gcnf":
+                raise DimacsFormatError(
+                    f"line {lineno}: bad GCNF header {line!r} "
+                    "(expected 'p gcnf <vars> <clauses> <groups>')"
+                )
+            try:
+                declared_vars = int(parts[2])
+                int(parts[3])
+                declared_groups = int(parts[4])
+            except ValueError as exc:
+                raise DimacsFormatError(f"line {lineno}: {exc}") from exc
+            if declared_vars < 0 or declared_groups < 0:
+                raise DimacsFormatError(
+                    f"line {lineno}: negative counts in header {line!r}"
+                )
+            gcnf.num_vars = max(gcnf.num_vars, declared_vars)
+            while len(gcnf.groups) < declared_groups:
+                gcnf.groups.append([])
+            saw_header = True
+            continue
+        if not line.startswith("{"):
+            raise DimacsFormatError(
+                f"line {lineno}: clause without a {{group}} prefix: {line!r}"
+            )
+        end = line.find("}")
+        if end < 0:
+            raise DimacsFormatError(
+                f"line {lineno}: unterminated group prefix: {line!r}"
+            )
+        try:
+            group = int(line[1:end])
+        except ValueError as exc:
+            raise DimacsFormatError(
+                f"line {lineno}: bad group id {line[1:end]!r}"
+            ) from exc
+        if group < 0:
+            raise DimacsFormatError(f"line {lineno}: negative group id")
+        if declared_groups is not None and group > declared_groups:
+            raise DimacsFormatError(
+                f"line {lineno}: group {group} above declared count "
+                f"{declared_groups}"
+            )
+        lits: list[int] = []
+        for token in line[end + 1 :].split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsFormatError(
+                    f"line {lineno}: bad literal {token!r}"
+                ) from exc
+            if lit == 0:
+                break
+            lits.append(lit)
+        else:
+            raise DimacsFormatError(
+                f"line {lineno}: clause not terminated with 0"
+            )
+        gcnf.add_clause(group, lits)
+    if not saw_header:
+        raise DimacsFormatError("missing 'p gcnf' header")
+    return gcnf
+
+
+def load_gcnf(path: str | Path) -> GroupedCNF:
+    return parse_gcnf(Path(path).read_text())
+
+
+def write_gcnf(gcnf: GroupedCNF, stream: TextIO) -> None:
+    """Write ``gcnf`` in group-oriented DIMACS format."""
+    stream.write(
+        f"p gcnf {gcnf.num_vars} {gcnf.num_clauses} {gcnf.num_groups}\n"
+    )
+    for clause in gcnf.background:
+        stream.write("{0} " + " ".join(str(l) for l in clause) + " 0\n")
+    for i, clauses in enumerate(gcnf.groups, start=1):
+        for clause in clauses:
+            stream.write(
+                "{%d} " % i + " ".join(str(l) for l in clause) + " 0\n"
+            )
+
+
+def dump_gcnf(gcnf: GroupedCNF, path: str | Path | None = None) -> str:
+    import io
+
+    buf = io.StringIO()
+    write_gcnf(gcnf, buf)
     text = buf.getvalue()
     if path is not None:
         Path(path).write_text(text)

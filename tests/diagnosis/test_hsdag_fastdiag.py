@@ -1,0 +1,139 @@
+"""Differential pins for the hsdag / fastdiag cross-check strategies.
+
+Both new strategies must report exactly the ``bsat`` reference set (all
+subset-minimal valid corrections within ``k``) — on random grouped CNFs
+(hypothesis) against a brute-force subset oracle, and on the pinned
+circuit workloads against the established enumeration.  ``ihs`` is
+pinned to the minimum-cardinality slice of the same set.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diagnosis import (
+    DiagnosisSession,
+    GroupedCNFSystem,
+    diagnose,
+    fastdiag_diagnose,
+    hsdag_diagnose,
+)
+from repro.experiments import make_workload
+from repro.sat.dimacs import GroupedCNF
+
+pytestmark = pytest.mark.slow
+
+
+def _canon(solutions):
+    return sorted(tuple(sorted(s)) for s in solutions)
+
+
+def _brute_force_minimal(session, k):
+    """All subset-minimal consistent candidates of size <= k, by direct
+    enumeration with the exact oracle.  Monotonicity makes checking the
+    immediate subsets sufficient."""
+    components = session.system.components
+    minimal = []
+    for size in range(0, k + 1):
+        for combo in itertools.combinations(sorted(components), size):
+            if not session.consistent(combo):
+                continue
+            if size and any(
+                session.consistent(sub)
+                for sub in itertools.combinations(combo, size - 1)
+            ):
+                continue
+            minimal.append(frozenset(combo))
+    return minimal
+
+
+@st.composite
+def gcnf_systems(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=4))
+    lit = st.builds(
+        lambda v, s: v if s else -v,
+        st.integers(min_value=1, max_value=num_vars),
+        st.booleans(),
+    )
+    clause = st.lists(lit, min_size=1, max_size=2).map(tuple)
+    gcnf = GroupedCNF(num_vars=num_vars)
+    for bg_clause in draw(st.lists(clause, max_size=2)):
+        gcnf.add_clause(0, bg_clause)
+    num_groups = draw(st.integers(min_value=1, max_value=4))
+    for g in range(1, num_groups + 1):
+        for cl in draw(st.lists(clause, min_size=1, max_size=2)):
+            gcnf.add_clause(g, cl)
+    while gcnf.num_groups < num_groups:
+        gcnf.groups.append([])
+    observations = draw(
+        st.lists(
+            st.lists(lit, max_size=2).map(tuple), min_size=1, max_size=2
+        )
+    )
+    return GroupedCNFSystem(gcnf, observations)
+
+
+@settings(max_examples=60, deadline=None)
+@given(system=gcnf_systems(), k=st.integers(min_value=1, max_value=3))
+def test_random_gcnf_matches_brute_force(system, k):
+    session = DiagnosisSession(system)
+    k = min(k, len(system.components))
+    oracle = _canon(_brute_force_minimal(session, k))
+    bsat = diagnose(session, k=k, strategy="bsat")
+    hsdag = diagnose(session, k=k, strategy="hsdag")
+    fastdiag = diagnose(session, k=k, strategy="fastdiag")
+    assert _canon(bsat.solutions) == oracle
+    assert _canon(hsdag.solutions) == oracle
+    assert _canon(fastdiag.solutions) == oracle
+    if oracle and session.failing_word():
+        ihs = diagnose(session, k=k, strategy="ihs")
+        min_card = min(len(s) for s in oracle)
+        assert _canon(ihs.solutions) == [
+            s for s in oracle if len(s) == min_card
+        ]
+
+
+#: (circuit, p errors, m tests, workload seed) — the three pinned
+#: circuit workloads for the cross-strategy differential.
+PINNED_WORKLOADS = [
+    ("c17", 1, 4, 11),
+    ("fig5a", 2, 6, 7),
+    ("maj3", 2, 6, 3),
+]
+
+
+@pytest.mark.parametrize("circuit,p,m,seed", PINNED_WORKLOADS)
+def test_pinned_circuits_match_bsat(circuit, p, m, seed):
+    w = make_workload(circuit, p=p, m_max=m, seed=seed, allow_fewer=True)
+    session = DiagnosisSession(w.faulty, w.tests)
+    bsat = diagnose(session, k=2, strategy="bsat")
+    assert bsat.solutions, "pinned workload must be diagnosable at k=2"
+    hsdag = diagnose(session, k=2, strategy="hsdag")
+    fastdiag = diagnose(session, k=2, strategy="fastdiag")
+    assert _canon(hsdag.solutions) == _canon(bsat.solutions)
+    assert _canon(fastdiag.solutions) == _canon(bsat.solutions)
+    ihs = diagnose(session, k=2, strategy="ihs")
+    min_card = min(len(s) for s in bsat.solutions)
+    assert _canon(ihs.solutions) == _canon(
+        s for s in bsat.solutions if len(s) == min_card
+    )
+
+
+@pytest.mark.parametrize("fn", [hsdag_diagnose, fastdiag_diagnose])
+def test_direct_entrypoints_validate(fn):
+    with pytest.raises(ValueError, match="requires a circuit"):
+        fn(None, None)
+
+
+def test_solution_limit_truncates():
+    w = make_workload("c17", p=1, m_max=4, seed=11)
+    session = DiagnosisSession(w.faulty, w.tests)
+    full = diagnose(session, k=2, strategy="hsdag")
+    assert len(full.solutions) > 1
+    for strategy in ("hsdag", "fastdiag"):
+        result = diagnose(
+            session, k=2, strategy=strategy, solution_limit=1
+        )
+        assert len(result.solutions) == 1
+        assert not result.complete

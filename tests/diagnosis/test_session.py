@@ -222,8 +222,9 @@ def test_registry_contents():
     ):
         assert expected in names
     for name in names:
-        fn, summary = DIAGNOSIS_STRATEGIES[name]
-        assert callable(fn) and summary
+        info = DIAGNOSIS_STRATEGIES[name]
+        assert callable(info.fn) and info.summary
+        assert info.kinds and all(isinstance(k, str) for k in info.kinds)
 
 
 def test_diagnose_dispatch(tiny_workload):

@@ -63,3 +63,78 @@ def test_roundtrip_solver_equivalent():
     cnf.add_clause([-vars_[2], -vars_[3]])
     again = parse_dimacs(dump_dimacs(cnf))
     assert again.to_solver().solve() == cnf.to_solver().solve()
+
+
+# ----------------------------------------------------------------------
+# group-oriented DIMACS (GCNF)
+# ----------------------------------------------------------------------
+from repro.sat import GroupedCNF, dump_gcnf, load_gcnf, parse_gcnf
+
+
+def test_gcnf_parse_basic():
+    gcnf = parse_gcnf(
+        "c weak fault model\n"
+        "p gcnf 3 4 2\n"
+        "{0} 1 2 0\n"
+        "{0} -1 3 0\n"
+        "{1} -2 0\n"
+        "{2} 2 -3 0\n"
+    )
+    assert gcnf.num_vars == 3
+    assert gcnf.num_groups == 2
+    assert gcnf.num_clauses == 4
+    assert gcnf.background == [(1, 2), (-1, 3)]
+    assert gcnf.groups == [[(-2,)], [(2, -3)]]
+
+
+def test_gcnf_roundtrip(tmp_path):
+    gcnf = GroupedCNF()
+    gcnf.add_clause(0, [1, -2])
+    gcnf.add_clause(2, [3])
+    gcnf.add_clause(1, [-1, 2, -3])
+    text = dump_gcnf(gcnf, tmp_path / "f.gcnf")
+    assert text.startswith("p gcnf 3 3 2\n")
+    again = load_gcnf(tmp_path / "f.gcnf")
+    assert again.num_vars == gcnf.num_vars
+    assert again.background == gcnf.background
+    assert again.groups == gcnf.groups
+    # An empty declared group survives the round trip too.
+    gcnf.groups.append([])
+    again = parse_gcnf(dump_gcnf(gcnf))
+    assert again.num_groups == 3
+    assert again.groups[2] == []
+
+
+def test_gcnf_malformed_header():
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p gcnf 3 1\n{0} 1 0\n")  # missing group count
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p cnf 3 1 1\n{0} 1 0\n")  # wrong format token
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p gcnf 3 1 -1\n{0} 1 0\n")  # negative group count
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("{0} 1 0\n")  # no header at all
+
+
+def test_gcnf_malformed_clauses():
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p gcnf 2 1 1\n1 2 0\n")  # missing {g} prefix
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p gcnf 2 1 1\n{1 1 2 0\n")  # unterminated prefix
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p gcnf 2 1 1\n{x} 1 0\n")  # non-numeric group
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p gcnf 2 1 1\n{2} 1 0\n")  # above declared count
+    with pytest.raises(DimacsFormatError):
+        parse_gcnf("p gcnf 2 1 1\n{1} 1 2\n")  # clause without 0
+
+
+def test_gcnf_add_clause_validation():
+    gcnf = GroupedCNF()
+    with pytest.raises(ValueError):
+        gcnf.add_clause(-1, [1])
+    with pytest.raises(ValueError):
+        gcnf.add_clause(1, [1, 0])
+    gcnf.add_clause(3, [5])
+    assert gcnf.num_groups == 3
+    assert gcnf.num_vars == 5

@@ -210,3 +210,106 @@ def test_inject_wire_error_model(tmp_path, capsys):
 
     truth = json.loads((tmp_path / "wire.truth.json").read_text())
     assert len(truth["errors"]) == 1
+
+
+# ----------------------------------------------------------------------
+# system descriptions (--system gcnf / spectrum, PR 6)
+# ----------------------------------------------------------------------
+def test_strategies_shows_system_kinds(capsys):
+    code, out = run_cli(capsys, "strategies")
+    assert code == 0
+    lines = {line.split()[0]: line for line in out.splitlines()}
+    assert "model-agnostic" in lines["hsdag"]
+    assert "model-agnostic" in lines["fastdiag"]
+    assert "model-agnostic" in lines["bsat"]
+    assert "circuit-only" in lines["cov"]
+
+
+def test_diagnose_gcnf(tmp_path, capsys):
+    gcnf = tmp_path / "demo.gcnf"
+    gcnf.write_text(
+        "p gcnf 3 3 3\n{1} 1 0\n{2} -1 0\n{3} 2 3 0\n"
+    )
+    for approach in ("bsat", "ihs", "hsdag", "fastdiag"):
+        code, out = run_cli(
+            capsys, "diagnose", str(gcnf), "-",
+            "--system", "gcnf", "--approach", approach, "--k", "2",
+        )
+        assert code == 0
+        assert "2 solutions" in out
+        assert "g1" in out and "g2" in out
+
+
+def test_diagnose_gcnf_observation_file(tmp_path, capsys):
+    gcnf = tmp_path / "demo.gcnf"
+    gcnf.write_text("p gcnf 2 2 2\n{1} 1 0\n{2} 2 0\n")
+    obs = tmp_path / "demo.obs"
+    obs.write_text("# two observations\nc DIMACS comment\n1 0\n-1 -2\n")
+    code, out = run_cli(
+        capsys, "diagnose", str(gcnf), str(obs),
+        "--system", "gcnf", "--approach", "hsdag", "--k", "2",
+    )
+    assert code == 0
+    assert "2 observations" in out
+    assert "g1, g2" in out
+
+
+def test_diagnose_gcnf_observation_file_rejects_inner_zero(tmp_path, capsys):
+    gcnf = tmp_path / "demo.gcnf"
+    gcnf.write_text("p gcnf 2 2 2\n{1} 1 0\n{2} 2 0\n")
+    obs = tmp_path / "demo.obs"
+    obs.write_text("1 0 -2\n")
+    with pytest.raises(SystemExit, match="trailing clause terminator"):
+        run_cli(
+            capsys, "diagnose", str(gcnf), str(obs),
+            "--system", "gcnf", "--approach", "hsdag", "--k", "2",
+        )
+
+
+def test_diagnose_gcnf_observation_out_of_range_is_clean_error(
+    tmp_path, capsys
+):
+    gcnf = tmp_path / "demo.gcnf"
+    gcnf.write_text("p gcnf 2 2 2\n{1} 1 0\n{2} 2 0\n")
+    obs = tmp_path / "demo.obs"
+    obs.write_text("7\n")
+    with pytest.raises(SystemExit, match="error: observation literal"):
+        run_cli(
+            capsys, "diagnose", str(gcnf), str(obs),
+            "--system", "gcnf", "--approach", "hsdag", "--k", "2",
+        )
+
+
+def test_diagnose_spectrum(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "components": ["a", "b", "c"],
+        "rows": [
+            {"covered": ["a", "b"], "passed": False},
+            {"covered": ["b", "c"], "passed": False},
+        ],
+    }))
+    code, out = run_cli(
+        capsys, "diagnose", str(spec), "-",
+        "--system", "spectrum", "--approach", "fastdiag", "--k", "2",
+    )
+    assert code == 0
+    assert "3 components, 2 runs" in out
+    assert "b" in out
+
+
+def test_diagnose_gcnf_rejects_bsim(tmp_path):
+    gcnf = tmp_path / "demo.gcnf"
+    gcnf.write_text("p gcnf 1 1 1\n{1} 1 0\n")
+    with pytest.raises(SystemExit, match="bsim"):
+        main([
+            "diagnose", str(gcnf), "-",
+            "--system", "gcnf", "--approach", "bsim",
+        ])
+
+
+def test_diagnose_gcnf_rejects_malformed(tmp_path):
+    bad = tmp_path / "bad.gcnf"
+    bad.write_text("p gcnf 1 1\n{1} 1 0\n")
+    with pytest.raises(SystemExit):
+        main(["diagnose", str(bad), "-", "--system", "gcnf"])
