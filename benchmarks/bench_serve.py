@@ -1,0 +1,356 @@
+"""Serving-policy bench: the sharded racing service vs. sequential runs.
+
+The PR-7 acceptance bench.  A pinned multi-design device fleet (each
+device = one injected-fault workload's *observed* responses against the
+golden design netlist, with repeated failure signatures mixed in) flows
+through :class:`repro.serve.DiagnosisService` — sharded, per-design
+artifact cache, first-valid-answer strategy races with cancellation —
+and through the **single-session sequential baseline**: one fresh
+session per device, the same three strategy legs run back to back *to
+completion* (the pre-service way of producing every answer, cf. the
+per-instance races of ``bench_candidate_search.py``).
+
+Gates (all assert-or-fail):
+
+* throughput: the service beats the baseline in devices/sec AND at both
+  p50 and p99 per-device latency (baseline latencies are queue-free —
+  generous to the baseline);
+* build-once: the per-design master-encoding skeleton is built exactly
+  once per design however many devices flow through (cache counters);
+* batching: every repeated-signature device is served from the memo;
+* parity: every service answer is observation-consistent, and replaying
+  the winning leg sequentially on a fresh single session reproduces the
+  service's solutions bit-identically (validity + cardinality parity);
+  with the race restricted to ``bsat`` (policy ``complete``) the
+  service's per-device answers are bit-identical to the sequential
+  reference enumeration.
+
+Run directly (CI runs ``--smoke``)::
+
+    PYTHONPATH=../src python bench_serve.py --smoke
+
+Artifacts: ``benchmarks/out/serve.json`` with a ``gated_ratios`` block
+diffed against the committed ``BENCH_serve.json`` by
+``compare_baseline.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.circuits.library import get_circuit
+from repro.diagnosis import DiagnosisSession
+from repro.experiments import make_workload
+from repro.serve import (
+    DEFAULT_STRATEGIES,
+    DesignCache,
+    DeviceReport,
+    DiagnosisService,
+    signature_seed,
+)
+from repro.serve.race import run_leg
+from repro.testgen import TestSet
+from repro.testgen.testset import Test
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: (design, workload seeds, duplicated-signature count) — the duplicates
+#: repeat the design's first seeds verbatim, exercising the batching
+#: path.  Seeds are pinned; the fleet is the "test floor".
+SMOKE_FLEET = [
+    # The backbone is a mid-size design where the sequential
+    # run-to-completion baseline pays a real enumeration tail
+    # (~0.4s/device) — the work the racing service reclaims.  A fleet of
+    # trivia-size circuits would need no serving policy at all.
+    ("sim1423", (1, 2, 5), 2),
+    ("c17", (3, 5), 1),
+]
+FULL_EXTRA_FLEET = [
+    ("sim1423", (7, 11, 13), 1),
+    ("fig5b", (1, 2), 1),
+]
+
+#: Cardinality bound carried by every device (drives the bsat leg).
+K = 2
+N_SHARDS = 2
+
+
+def _make_devices(fleet) -> list[DeviceReport]:
+    devices: list[DeviceReport] = []
+    for design, seeds, n_dup in fleet:
+        circuit = get_circuit(design)
+        first_of_design: list[DeviceReport] = []
+        for seed in seeds:
+            w = make_workload(
+                circuit, p=1, m_max=4, seed=seed, allow_fewer=True
+            )
+            if not w.tests.m:
+                continue
+            tests = TestSet(
+                tuple(
+                    Test(dict(t.vector), t.output, t.value ^ 1)
+                    for t in w.tests
+                )
+            )
+            device = DeviceReport(
+                device_id=f"{design}-s{seed}",
+                design=design,
+                tests=tests,
+                k=K,
+            )
+            devices.append(device)
+            first_of_design.append(device)
+        for j in range(min(n_dup, len(first_of_design))):
+            src = first_of_design[j]
+            devices.append(
+                DeviceReport(
+                    device_id=f"{src.device_id}-dup",
+                    design=design,
+                    tests=src.tests,
+                    k=K,
+                )
+            )
+    return devices
+
+
+def _fresh_session(device: DeviceReport) -> DiagnosisSession:
+    return DiagnosisSession(
+        get_circuit(device.design),
+        device.tests,
+        seed=signature_seed(device.signature()),
+    )
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def run_baseline(devices) -> dict:
+    """One fresh session per device, every leg sequentially to
+    completion — no sharding, no cache, no cancellation."""
+    latencies: list[float] = []
+    answers: dict[str, dict] = {}
+    start = time.perf_counter()
+    for device in devices:
+        t0 = time.perf_counter()
+        session = _fresh_session(device)
+        legs = {
+            name: run_leg(
+                session, name, device.k, first_only=False, should_stop=None
+            )
+            for name in DEFAULT_STRATEGIES
+        }
+        latencies.append(time.perf_counter() - t0)
+        answers[device.device_id] = legs
+    wall = time.perf_counter() - start
+    return {"wall": wall, "latencies": latencies, "legs": answers}
+
+
+def run_service(devices) -> tuple[DiagnosisService, list, float]:
+    service = DiagnosisService(
+        n_shards=N_SHARDS, timeout=120.0, design_cache=DesignCache()
+    )
+    start = time.perf_counter()
+    results = service.run(devices)
+    wall = time.perf_counter() - start
+    return service, results, wall
+
+
+def check_parity(devices, results, failures: list[str]) -> None:
+    by_id = {d.device_id: d for d in devices}
+    replayed: dict[tuple, tuple] = {}
+    for result in results:
+        device = by_id[result.device_id]
+        if result.status != "ok":
+            failures.append(
+                f"{result.device_id}: status {result.status} "
+                f"({result.error})"
+            )
+            continue
+        if result.answer is None:
+            failures.append(f"{result.device_id}: no answer")
+            continue
+        # Validity: the answer must be consistent with every observation.
+        if not _fresh_session(device).consistent(result.answer):
+            failures.append(
+                f"{result.device_id}: answer {result.answer} inconsistent"
+            )
+        # Replay the signature's winning leg sequentially on a fresh
+        # single session: bit-identical solutions (and hence identical
+        # answer cardinality) — the race only changes *when* the answer
+        # arrives, never *what* the winning strategy computes.
+        sig = device.signature()
+        if sig not in replayed:
+            replay = run_leg(
+                _fresh_session(device),
+                result.winner,
+                device.k,
+                first_only=True,
+                should_stop=None,
+            )
+            replayed[sig] = tuple(replay.solutions)
+        if tuple(result.solutions) != replayed[sig]:
+            failures.append(
+                f"{result.device_id}: {result.winner} race solutions "
+                f"differ from the sequential replay"
+            )
+
+
+def check_bsat_reference(devices, failures: list[str]) -> None:
+    service = DiagnosisService(
+        n_shards=N_SHARDS,
+        strategies=("bsat",),
+        policy="complete",
+        timeout=120.0,
+        design_cache=DesignCache(),
+    )
+    results = service.run(devices)
+    for device, result in zip(devices, results):
+        if result.status != "ok":
+            failures.append(
+                f"{device.device_id}: bsat-only status {result.status}"
+            )
+            continue
+        reference = run_leg(
+            _fresh_session(device),
+            "bsat",
+            device.k,
+            first_only=False,
+            should_stop=None,
+        )
+        if tuple(result.solutions) != tuple(reference.solutions):
+            failures.append(
+                f"{device.device_id}: bsat-only service not bit-identical "
+                f"to the sequential reference"
+            )
+
+
+def run(smoke: bool) -> dict:
+    fleet = list(SMOKE_FLEET)
+    if not smoke:
+        fleet += FULL_EXTRA_FLEET
+    devices = _make_devices(fleet)
+    n_dup = sum(min(d, len(s)) for _, s, d in fleet)
+    failures: list[str] = []
+
+    baseline = run_baseline(devices)
+    service, results, service_wall = run_service(devices)
+    stats = service.stats()
+
+    service_latencies = [r.latency for r in results]
+    base_p50 = _percentile(baseline["latencies"], 0.50)
+    base_p99 = _percentile(baseline["latencies"], 0.99)
+    serve_p50 = _percentile(service_latencies, 0.50)
+    serve_p99 = _percentile(service_latencies, 0.99)
+    throughput_ratio = baseline["wall"] / service_wall
+    report = {
+        "smoke": smoke,
+        "n_devices": len(devices),
+        "n_designs": len(fleet),
+        "n_shards": N_SHARDS,
+        "baseline": {
+            "wall": baseline["wall"],
+            "devices_per_sec": len(devices) / baseline["wall"],
+            "p50": base_p50,
+            "p99": base_p99,
+        },
+        "service": {
+            "wall": service_wall,
+            "devices_per_sec": len(devices) / service_wall,
+            "p50": serve_p50,
+            "p99": serve_p99,
+            "stats": stats,
+        },
+        "devices": [r.to_dict() for r in results],
+        "gated_ratios": {
+            "serve:throughput": throughput_ratio,
+            "serve:p50": base_p50 / serve_p50 if serve_p50 > 0 else None,
+            "serve:p99": base_p99 / serve_p99 if serve_p99 > 0 else None,
+        },
+    }
+
+    # -- acceptance gates ---------------------------------------------
+    for key, ratio in report["gated_ratios"].items():
+        if ratio is None or ratio <= 1.0:
+            failures.append(
+                f"{key}: service does not beat the sequential baseline "
+                f"(ratio {ratio})"
+            )
+    builds = stats["design_cache"]["skeleton_builds"]
+    for design, _, _ in fleet:
+        if builds.get(design, 0) != 1:
+            failures.append(
+                f"{design}: skeleton built {builds.get(design, 0)} times "
+                f"(must be exactly once per design)"
+            )
+    cached = sum(1 for r in results if r.cached)
+    if cached != n_dup:
+        failures.append(
+            f"signature batching: {cached} memo-served devices, "
+            f"expected {n_dup}"
+        )
+    check_parity(devices, results, failures)
+    check_bsat_reference(devices, failures)
+    report["failures"] = failures
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small pinned fleet only (the CI configuration)",
+    )
+    parser.add_argument(
+        "--out", default=str(OUT_DIR / "serve.json"),
+        help="JSON artifact path",
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {out_path}")
+    base, serve = report["baseline"], report["service"]
+    print(
+        f"fleet: {report['n_devices']} devices / {report['n_designs']} "
+        f"designs / {report['n_shards']} shards"
+    )
+    print(
+        f"baseline  {base['devices_per_sec']:8.1f} dev/s  "
+        f"p50 {base['p50'] * 1e3:7.2f}ms  p99 {base['p99'] * 1e3:7.2f}ms"
+    )
+    print(
+        f"service   {serve['devices_per_sec']:8.1f} dev/s  "
+        f"p50 {serve['p50'] * 1e3:7.2f}ms  p99 {serve['p99'] * 1e3:7.2f}ms"
+    )
+    for key, ratio in report["gated_ratios"].items():
+        print(f"  {key:<18} {ratio:6.2f}x")
+    winners = serve["stats"]["race_winners"]
+    print(
+        f"race winners: {winners}  cancelled legs: "
+        f"{serve['stats']['cancelled_legs']}  signature hits: "
+        f"{serve['stats']['signature_hits']}"
+    )
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all serving acceptance gates passed")
+    return 0
+
+
+def test_serve_smoke():
+    """Pytest entry point mirroring ``--smoke`` (bench suite style)."""
+    report = run(smoke=True)
+    assert not report["failures"], report["failures"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,24 +1,30 @@
-"""Machine-check the perf trajectory: diff a solver-bench artifact
-against the committed baseline.
+"""Machine-check the perf trajectory: diff a bench artifact against
+the committed baseline.
 
 ``bench_solver.py`` writes ``out/solver.json`` per run; the repo root
 carries ``BENCH_solver.json``, the artifact committed by the last PR
 that touched the solver stack.  This script compares every *gated
 ratio* of the two — the end-to-end legacy/persistent speedup of each
-pinned workflow instance and the pool-churn speedup — and fails when
+pinned workflow instance, the pool-churn speedup, and any ratios an
+artifact publishes under its own ``gated_ratios`` block (how
+``bench_serve.py`` exposes its service-vs-baseline throughput and
+latency ratios, gated against ``BENCH_serve.json``) — and fails when
 any current ratio has regressed by more than ``--tolerance`` (default
 25%) relative to the baseline.  Ratios are machine-independent (the
-legacy leg is the in-run control), so the comparison is meaningful
+slow leg is the in-run control), so the comparison is meaningful
 across CI runners.
 
-CI runs this right after the smoke bench; a smoke artifact is compared
-against the full-mode baseline on their common instances (the sim1423
-leg and the sim1423 pool churn only exist in full mode).
+CI runs this right after each smoke bench; a smoke artifact is
+compared against the full-mode baseline on their common keys (e.g. the
+sim1423 solver leg and the sim1423 pool churn only exist in full
+mode).
 
 Usage::
 
     PYTHONPATH=../src python compare_baseline.py \
         --baseline ../BENCH_solver.json --current out/solver.json
+    PYTHONPATH=../src python compare_baseline.py --tolerance 0.5 \
+        --baseline ../BENCH_serve.json --current out/serve.json
 """
 
 from __future__ import annotations
@@ -33,7 +39,12 @@ DEFAULT_TOLERANCE = 0.25
 
 
 def gated_ratios(report: dict) -> dict[str, float]:
-    """Extract the gated ratios of a ``bench_solver.py`` artifact."""
+    """Extract every gated ratio of a bench artifact.
+
+    Understands the ``bench_solver.py`` shapes (``instances`` /
+    ``pool_churns``) plus the self-describing ``gated_ratios`` block
+    newer benches (``bench_serve.py``) publish directly.
+    """
     ratios: dict[str, float] = {}
     for entry in report.get("instances", []):
         ratios[f"speedup:{entry['instance']}"] = entry["speedup"]
@@ -41,6 +52,9 @@ def gated_ratios(report: dict) -> dict[str, float]:
         ratios[f"pool_churn:{churn.get('instance', '?')}"] = churn[
             "speedup"
         ]
+    for key, value in report.get("gated_ratios", {}).items():
+        if isinstance(value, (int, float)):
+            ratios[key] = float(value)
     return ratios
 
 
@@ -77,10 +91,11 @@ def compare(
         lines.append(f"{key:<24} (baseline only — skipped)")
     for key in sorted(set(cur_ratios) - set(base_ratios)):
         # A ratio with no baseline cannot be gated here; surface it so
-        # it is added to BENCH_solver.json instead of drifting silently.
+        # it is added to the committed baseline instead of drifting
+        # silently.
         failures.append(
             f"{key}: present in the current artifact but missing from "
-            "the baseline — regenerate BENCH_solver.json"
+            "the baseline — regenerate the committed baseline artifact"
         )
     return lines, failures
 
@@ -130,6 +145,21 @@ def test_compare_baseline_self():
     regressed["instances"][0]["speedup"] = (
         baseline["instances"][0]["speedup"] * 0.5
     )
+    _, failures = compare(baseline, regressed, DEFAULT_TOLERANCE)
+    assert failures
+
+
+def test_compare_serve_baseline_self():
+    """The committed serving baseline must agree with itself, and a
+    fabricated throughput regression must be caught via its
+    ``gated_ratios`` block."""
+    baseline = json.loads(
+        (Path(__file__).parent.parent / "BENCH_serve.json").read_text()
+    )
+    _, failures = compare(baseline, baseline, DEFAULT_TOLERANCE)
+    assert not failures, failures
+    regressed = json.loads(json.dumps(baseline))
+    regressed["gated_ratios"]["serve:throughput"] *= 0.4
     _, failures = compare(baseline, regressed, DEFAULT_TOLERANCE)
     assert failures
 

@@ -20,6 +20,8 @@ A thin, scriptable front-end over the library for users who work with
 * ``cec``      — combinational equivalence check (random/SAT/BDD engines).
 * ``certify``  — decide "correction with ≤ k candidates?" with a DRAT
   proof, re-checked independently.
+* ``serve``    — sharded diagnosis service over a JSON-lines stream of
+  failing devices (strategy races, per-design artifact cache, retries).
 
 Test files are plain text: one test per line, ``<bits> <output> <value>``
 with ``<bits>`` in primary-input declaration order.
@@ -77,7 +79,11 @@ def _write_tests(tests: TestSet, circuit: Circuit, path: Path) -> None:
 
 def _read_tests(path: Path, circuit: Circuit) -> TestSet:
     tests = []
-    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: {exc}")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
@@ -143,6 +149,12 @@ _CLI_STRATEGIES = {
 }
 
 
+#: Race legs the ``serve`` command offers (mirrors
+#: ``repro.serve.race.DEFAULT_STRATEGIES``; kept literal so the parser
+#: builds without importing the service stack).
+_SERVE_STRATEGIES = ("greedy-stochastic", "ihs", "bsat")
+
+
 def _read_observations(spec: str) -> list[tuple[int, ...]]:
     """Observation file: one observation per line, space-separated DIMACS
     literals (may be empty for the unconstrained observation); ``-``
@@ -153,7 +165,11 @@ def _read_observations(spec: str) -> list[tuple[int, ...]]:
         return [()]
     observations: list[tuple[int, ...]] = []
     path = Path(spec)
-    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"error: {exc}")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line or line == "c" or line.startswith("c "):
             continue
@@ -250,18 +266,27 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         k = args.k if args.k > 0 else None
     else:
         options["solution_limit"] = args.limit
+    def run() -> object:
+        # Unsupported strategy x system combinations (e.g. the
+        # circuit-only cov on --system spectrum) must exit with the
+        # registry's one-line message, not a traceback.
+        try:
+            return diagnose(session, k=k, strategy=strategy, **options)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        result = diagnose(session, k=k, strategy=strategy, **options)
+        result = run()
         profiler.disable()
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative").print_stats(20)
     else:
-        result = diagnose(session, k=k, strategy=strategy, **options)
+        result = run()
     print(
         f"{result.n_solutions} solutions in {result.t_all:.2f}s "
         f"(build {result.t_build:.2f}s)"
@@ -379,6 +404,54 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     return 0 if verdict.has_correction or verdict.verified is not False else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DesignCache, DiagnosisService, read_device_stream
+
+    cache = DesignCache()
+    if args.devices == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            lines = Path(args.devices).read_text().splitlines()
+        except OSError as exc:
+            raise SystemExit(f"error: {exc}")
+    try:
+        devices = list(
+            read_device_stream(lines, inputs_of=cache.inputs_of)
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if not devices:
+        raise SystemExit("error: no devices in the stream")
+    strategies = tuple(
+        s.strip() for s in args.strategies.split(",") if s.strip()
+    )
+    try:
+        service = DiagnosisService(
+            n_shards=args.shards,
+            strategies=strategies,
+            policy=args.policy,
+            timeout=args.timeout,
+            max_attempts=args.retries + 1,
+            design_cache=cache,
+            solver_backend=args.solver_backend,
+        )
+        results = service.run(devices)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    payload = "\n".join(json.dumps(r.to_dict()) for r in results) + "\n"
+    if args.out:
+        try:
+            Path(args.out).write_text(payload)
+        except OSError as exc:
+            raise SystemExit(f"error: {exc}")
+    else:
+        sys.stdout.write(payload)
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2), file=sys.stderr)
+    return 0 if all(r.status == "ok" for r in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -458,6 +531,52 @@ def build_parser() -> argparse.ArgumentParser:
         "functions by cumulative time (see benchmarks/README.md)",
     )
     p_diag.set_defaults(func=_cmd_diagnose)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="sharded diagnosis service over a JSON-lines device stream",
+    )
+    p_serve.add_argument(
+        "devices",
+        help="JSON-lines device file ('-' = stdin): one object per "
+        "failing device with id, design, tests (see repro.serve.intake)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=2,
+        help="worker shards, each with a bounded queue (default: 2)",
+    )
+    p_serve.add_argument(
+        "--strategies", default=",".join(_SERVE_STRATEGIES),
+        metavar="CSV",
+        help="comma-separated race legs per device "
+        f"(default: {','.join(_SERVE_STRATEGIES)})",
+    )
+    p_serve.add_argument(
+        "--policy", choices=("first", "complete"), default="first",
+        help="first: first valid answer wins, losers cancelled; "
+        "complete: every leg runs to completion",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt deadline; expired attempts retry on another "
+        "shard (default: none)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts after a timeout or shard death (default: 1)",
+    )
+    p_serve.add_argument(
+        "--solver-backend", default=None, metavar="NAME",
+        help="SAT backend for every session the shards build",
+    )
+    p_serve.add_argument(
+        "--out", help="write results here instead of stdout (JSON lines)"
+    )
+    p_serve.add_argument(
+        "--stats", action="store_true",
+        help="print the service/shard/design-cache counters to stderr",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_strat = sub.add_parser(
         "strategies", help="list the registered diagnosis strategies"

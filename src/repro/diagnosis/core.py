@@ -244,6 +244,12 @@ class DiagnosisSession:
         ] = {}
         self._instances: dict[tuple, object] = {}
         self._ihs_states: dict[tuple, object] = {}
+        #: Optional per-design :class:`~repro.diagnosis.satdiag.
+        #: MasterEncodingSkeleton` (the serving path's DesignCache sets
+        #: this): when present and matching, the session's master
+        #: encoding is stamped from the shared skeleton instead of
+        #: re-walking the circuit.
+        self.master_skeleton = None
 
     @property
     def kind(self) -> str:
@@ -473,8 +479,10 @@ class DiagnosisSession:
         cardinality bound extends in place when a later query needs a
         larger ``k`` — no per-k rebuilds either.  The master's c-free
         mux already subsumes the select-zero pruning, so
-        ``select_zero_clauses`` only keys the view cache (solution sets
-        are unaffected by the flag either way).
+        ``select_zero_clauses`` is accepted for signature compatibility
+        but ignored entirely: both flag values return the *same* cached
+        view object (solution sets are unaffected by the flag either
+        way, so keying the cache on it would only duplicate views).
         """
         from ..sat.backends import resolve_backend
 
@@ -486,7 +494,7 @@ class DiagnosisSession:
         suspects_key = (
             None if suspects is None else tuple(dict.fromkeys(suspects))
         )
-        key = ("view", suspects_key, select_zero_clauses, backend)
+        key = ("view", suspects_key, backend)
         cached = self._instances.get(key)
         if cached is None:
             master = self._instances.get(("master", backend))

@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 import time
 import zlib
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..circuits.netlist import Circuit
 from ..testgen.testset import TestSet
@@ -56,7 +56,8 @@ def _minimize(
     rng: random.Random,
     patience: int,
     deep_check: bool,
-) -> Correction:
+    should_stop: Callable[[], bool] | None = None,
+) -> Correction | None:
     """One SAFARI climb: stochastic retraction, then deterministic trim.
 
     ``candidate`` must be consistent on entry (its cover words span all
@@ -65,6 +66,10 @@ def _minimize(
     covered by another remaining gate; when the cover check blocks a
     retraction and the candidate is small, the exact oracle gets the
     final say.
+
+    ``should_stop`` is polled once per retraction attempt; a cancelled
+    climb returns None (its partial candidate is consistent but not yet
+    minimal, so it is discarded rather than reported).
     """
     counts = [0] * session.m
     for g in candidate:
@@ -75,6 +80,8 @@ def _minimize(
     current = list(candidate)
     misses = 0
     while misses < patience and len(current) > 1:
+        if should_stop is not None and should_stop():
+            return None
         g = current[rng.randrange(len(current))]
         if _can_retract(session, words, counts, current, g, deep_check):
             _retract(words, counts, current, g)
@@ -93,6 +100,8 @@ def _minimize(
         for g in order:
             if len(current) == 1:
                 break
+            if should_stop is not None and should_stop():
+                return None
             if g in current and _can_retract(
                 session, words, counts, current, g, deep_check
             ):
@@ -144,6 +153,7 @@ def greedy_stochastic_diagnose(
     deep_check: bool = True,
     session: DiagnosisSession | None = None,
     solver_backend: str | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> SolutionSetResult:
     """SAFARI-style greedy stochastic search for valid corrections.
 
@@ -171,6 +181,13 @@ def greedy_stochastic_diagnose(
         words cannot see).
     session:
         Reuse a prepared session (shared caches) instead of building one.
+    should_stop:
+        Cooperative cancellation hook (the serving race): polled before
+        each climb and once per retraction attempt inside a climb.  A
+        cancelled run returns the minima found so far with
+        ``extras["cancelled"]=True``; the interrupted climb's partial
+        candidate is discarded, so every reported solution is still a
+        verified subset-minimal correction.
 
     Returns a :class:`SolutionSetResult` (``approach="SAFARI"``); every
     solution is a verified valid correction.  ``complete`` is always
@@ -208,14 +225,22 @@ def greedy_stochastic_diagnose(
         cover |= words[g]
     pool_consistent = cover == session.all_mask or session.consistent(full)
     climbs = 0
+    cancelled = False
     if pool_consistent:
         for r in range(retries):
             if max_solutions is not None and len(solutions) >= max_solutions:
                 break
+            if should_stop is not None and should_stop():
+                cancelled = True
+                break
             rng = random.Random(seed * 1_000_003 + kind_offset + r)
             minimal = _minimize(
-                session, words, list(full), rng, patience, deep_check
+                session, words, list(full), rng, patience, deep_check,
+                should_stop=should_stop,
             )
+            if minimal is None:
+                cancelled = True
+                break
             climbs += 1
             if minimal in seen:
                 continue
@@ -240,6 +265,7 @@ def greedy_stochastic_diagnose(
             "climbs": climbs,
             "pool_consistent": pool_consistent,
             "distinct_minima": len(seen),
+            **({"cancelled": True} if cancelled else {}),
         },
     )
 

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..circuits.netlist import Circuit
 from ..sat.cardinality import IncrementalTotalizer
@@ -101,6 +101,7 @@ def ihs_diagnose(
     max_rounds: int = 10_000,
     session: DiagnosisSession | None = None,
     solver_backend: str | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> SolutionSetResult:
     """Implicit hitting set search for minimum-cardinality corrections.
 
@@ -117,6 +118,13 @@ def ihs_diagnose(
         candidates of the successful cardinality).
     max_rounds:
         Safety valve on hitting-set/consistency-check iterations.
+    should_stop:
+        Cooperative cancellation hook (the serving race): polled once
+        per hitting-set round.  A cancelled run returns the solutions
+        found so far with ``complete=False`` and
+        ``extras["cancelled"]=True``; its scope closes normally and the
+        conflicts it accumulated remain (they are facts about the
+        problem, sound for any later call).
 
     Returns a :class:`SolutionSetResult` (``approach="IHS"``): all
     reported solutions are verified valid corrections of the smallest
@@ -235,12 +243,17 @@ def ihs_diagnose(
     cores = 0
     found_bound: int | None = None
     infeasible = False
+    cancelled = False
     try:
         for bound in range(1, k_max + 1):
-            if found_bound is not None or infeasible:
+            if found_bound is not None or infeasible or cancelled:
                 break
             assumptions = state.totalizer.bound_assumptions(bound) + [act]
             while True:
+                if should_stop is not None and should_stop():
+                    complete = False
+                    cancelled = True
+                    break
                 if rounds >= max_rounds:
                     complete = False
                     infeasible = True  # stop escalating the bound too
@@ -305,6 +318,7 @@ def ihs_diagnose(
             "rounds": rounds,
             "conflicts": len(conflicts),
             "sat_cores": cores,
+            **({"cancelled": True} if cancelled else {}),
         },
     )
 

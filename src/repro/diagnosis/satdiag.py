@@ -44,9 +44,10 @@ the IHS loop all share one encoded instance — no per-pool rebuilds.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..circuits.netlist import Circuit
 from ..circuits.structure import fanin_cone
@@ -61,6 +62,7 @@ from .core import ALL_SYSTEM_KINDS, DiagnosisSession, register_strategy
 
 __all__ = [
     "DiagnosisInstance",
+    "MasterEncodingSkeleton",
     "build_diagnosis_instance",
     "build_master_instance",
     "basic_sat_diagnose",
@@ -449,12 +451,232 @@ def _finish_instance(
     )
 
 
+@dataclass(frozen=True)
+class _ConeTemplate:
+    """One output cone of the master encoding, pre-encoded once per design.
+
+    Variable space: ids ``1..S`` are the shared select lines (one per
+    suspect, in suspect order); ids ``S+1..`` are *local* signals of one
+    test copy, allocated in topological walk order.  ``items`` replays
+    the copy in emission order — ``("input", name, var)`` marks where the
+    per-test input unit clause goes, ``("clause", lits)`` is a structural
+    clause to stamp — so instantiation reproduces the exact variable
+    numbering and clause order of a from-scratch master build.
+    """
+
+    suffixes: tuple[str | None, ...]
+    items: tuple[tuple, ...]
+    signal: dict[str, int]
+    eff: dict[str, int]
+
+
+class MasterEncodingSkeleton:
+    """The observation-independent half of the master correction encoding.
+
+    Built **once per circuit design** and shared by every device (test
+    set) of that design: the suspect list with its fixed select-variable
+    layout, per-output fan-in cones, and per-cone clause *templates*
+    (:class:`_ConeTemplate`).  :meth:`instantiate` then stamps one
+    template per test — a tuple-translation pass, no topological walk,
+    no Tseitin re-encoding — and finishes with the totalizer and solver
+    hand-off.  ``instantiate`` output is bit-identical to the historic
+    monolithic builder (same variable ids, names and clause order), so
+    the master-encoding parity suite pins the refactor.
+
+    Template construction is lazy per output and guarded by a lock, so a
+    skeleton can be shared by concurrent service shards.
+    """
+
+    def __init__(
+        self, circuit: Circuit, constrain_all_outputs: bool = False
+    ) -> None:
+        if not circuit.is_combinational:
+            raise ValueError(
+                "diagnosis instances require a combinational circuit; "
+                "apply repro.circuits.to_combinational first"
+            )
+        self.circuit = circuit
+        self.constrain_all_outputs = constrain_all_outputs
+        self.suspects: tuple[str, ...] = circuit.gate_names
+        self._suspect_set = set(self.suspects)
+        self._select_index = {
+            g: j + 1 for j, g in enumerate(self.suspects)
+        }
+        self._topo = circuit.topological_order()
+        self._cones: dict[str, frozenset[str]] = {}
+        self._templates: dict[str | None, _ConeTemplate] = {}
+        self._lock = threading.Lock()
+        self.stats = {"templates_built": 0, "instances": 0}
+
+    # ------------------------------------------------------------------
+    # per-design artifacts
+    # ------------------------------------------------------------------
+    def output_cone(self, out: str) -> frozenset[str]:
+        """Fan-in cone of ``out`` (cached per design)."""
+        cached = self._cones.get(out)
+        if cached is None:
+            cached = frozenset(
+                fanin_cone(self.circuit, out, include_self=True)
+            )
+            self._cones[out] = cached
+        return cached
+
+    def _template(self, key: str | None) -> _ConeTemplate:
+        tpl = self._templates.get(key)
+        if tpl is not None:
+            return tpl
+        with self._lock:
+            tpl = self._templates.get(key)
+            if tpl is None:
+                tpl = self._build_template(key)
+                self._templates[key] = tpl
+                self.stats["templates_built"] += 1
+        return tpl
+
+    def _build_template(self, key: str | None) -> _ConeTemplate:
+        """Encode one test copy over cone ``key`` into a scratch CNF.
+
+        ``key`` is the constrained output, or None for the
+        all-outputs-constrained union cone.
+        """
+        circuit = self.circuit
+        if key is None:
+            cone = frozenset().union(
+                *(self.output_cone(out) for out in circuit.outputs)
+            )
+        else:
+            cone = self.output_cone(key)
+        scratch = CNF()
+        for g in self.suspects:
+            scratch.new_var(f"s:{g}")
+        n_sel = len(self.suspects)
+        suffixes: list[str | None] = []
+        items: list[tuple] = []
+        signal: dict[str, int] = {}
+        eff: dict[str, int] = {}
+
+        def local(suffix: str) -> int:
+            return scratch.new_var(f"T:{suffix}")
+
+        mark = scratch.num_clauses
+        for name in self._topo:
+            if name not in cone:
+                continue
+            gate = circuit.node(name)
+            if gate.is_input:
+                var = local(name)
+                signal[name] = var
+                items.append(("input", name, var))
+                continue
+            fanin_vars = [signal[f] for f in gate.fanins]
+            if name in self._suspect_set:
+                raw = local(f"{name}:raw")
+                encode_gate(scratch, gate.gtype, raw, fanin_vars)
+                s_var = self._select_index[name]
+                eff_var = local(name)
+                scratch.add_clause([s_var, -eff_var, raw])
+                scratch.add_clause([s_var, eff_var, -raw])
+                eff[name] = eff_var
+                signal[name] = eff_var
+            else:
+                var = local(name)
+                encode_gate(scratch, gate.gtype, var, fanin_vars)
+                signal[name] = var
+            for clause in scratch.clauses[mark:]:
+                items.append(("clause", clause))
+            mark = scratch.num_clauses
+        # Replay list for the copy's local variables in allocation order;
+        # None marks an anonymous Tseitin auxiliary (wide-XOR chains).
+        for v in range(n_sel + 1, scratch.num_vars + 1):
+            name = scratch.name_of(v)
+            suffixes.append(None if name is None else name[2:])
+        return _ConeTemplate(
+            suffixes=tuple(suffixes),
+            items=tuple(items),
+            signal=signal,
+            eff=eff,
+        )
+
+    # ------------------------------------------------------------------
+    # per-device instantiation
+    # ------------------------------------------------------------------
+    def instantiate(
+        self,
+        tests: TestSet,
+        k_max: int,
+        solver_backend: str | None = None,
+    ) -> DiagnosisInstance:
+        """Stamp per-device test copies onto the design skeleton.
+
+        Returns a persistent master :class:`DiagnosisInstance` identical
+        to a from-scratch :func:`build_master_instance` build.
+        """
+        start = time.perf_counter()
+        if not len(tests):
+            raise ValueError("diagnosis requires at least one failing test")
+        circuit = self.circuit
+        n_sel = len(self.suspects)
+        cnf = CNF()
+        select_of = {g: cnf.new_var(f"s:{g}") for g in self.suspects}
+        correction_of: dict[tuple[int, str], int] = {}
+        signal_of: dict[tuple[int, str], int] = {}
+        for i, test in enumerate(tests):
+            if self.constrain_all_outputs and test.expected_outputs is None:
+                raise ValueError(
+                    "constrain_all_outputs requires tests with "
+                    "expected_outputs"
+                )
+            tpl = self._template(
+                None if self.constrain_all_outputs else test.output
+            )
+            offset = cnf.num_vars - n_sel
+            for suffix in tpl.suffixes:
+                cnf.new_var(None if suffix is None else f"t{i}:{suffix}")
+            for item in tpl.items:
+                if item[0] == "input":
+                    _, name, tvar = item
+                    var = tvar + offset
+                    try:
+                        value = test.vector[name]
+                    except KeyError:
+                        raise ValueError(
+                            f"test {i} does not assign primary input "
+                            f"{name!r}"
+                        ) from None
+                    cnf.add_clause([var if value else -var])
+                else:
+                    cnf.add_clause([
+                        lit if abs(lit) <= n_sel
+                        else (lit + offset if lit > 0 else lit - offset)
+                        for lit in item[1]
+                    ])
+            if self.constrain_all_outputs:
+                assert test.expected_outputs is not None
+                for out in circuit.outputs:
+                    var = tpl.signal[out] + offset
+                    expected = test.expected_outputs[out]
+                    cnf.add_clause([var if expected else -var])
+            else:
+                var = tpl.signal[test.output] + offset
+                cnf.add_clause([var if test.value else -var])
+            for name, tvar in tpl.signal.items():
+                signal_of[(i, name)] = tvar + offset
+            for g, eff_var in tpl.eff.items():
+                correction_of[(i, g)] = eff_var + offset
+        self.stats["instances"] += 1
+        return _finish_instance(
+            circuit, tests, cnf, select_of, correction_of, signal_of,
+            self.suspects, k_max, None, solver_backend, True, start,
+        )
+
+
 def build_master_instance(
     circuit: Circuit,
     tests: TestSet,
     k_max: int,
     constrain_all_outputs: bool = False,
     solver_backend: str | None = None,
+    skeleton: MasterEncodingSkeleton | None = None,
 ) -> DiagnosisInstance:
     """The session-wide **master** correction encoding.
 
@@ -483,48 +705,25 @@ def build_master_instance(
     every reported solution — a correction containing it would not be
     essential).  ``correction_values`` reports ``-1`` (“don't care”)
     for tests whose cone a selected gate does not reach.
+
+    The observation-independent half (select layout, cones, per-cone
+    clause templates) lives in a :class:`MasterEncodingSkeleton`; pass
+    one via ``skeleton`` to amortize it across every device of a design
+    (the serving path), or let this wrapper build a throwaway one.
     """
-    start = time.perf_counter()
-    suspect_list = _validated_suspects(circuit, tests, None)
-    suspect_set = set(suspect_list)
-
-    cnf = CNF()
-    select_of = {g: cnf.new_var(f"s:{g}") for g in suspect_list}
-    correction_of: dict[tuple[int, str], int] = {}
-
-    def encode_suspect(i, name, gate, fanin_vars):
-        raw = cnf.new_var(f"t{i}:{name}:raw")
-        encode_gate(cnf, gate.gtype, raw, fanin_vars)
-        s_var = select_of[name]
-        eff = cnf.new_var(f"t{i}:{name}")
-        cnf.add_clause([s_var, -eff, raw])
-        cnf.add_clause([s_var, eff, -raw])
-        correction_of[(i, name)] = eff
-        return eff
-
-    cone_cache: dict[str, frozenset[str]] = {}
-
-    def output_cone(out: str) -> frozenset[str]:
-        cached = cone_cache.get(out)
-        if cached is None:
-            cached = frozenset(fanin_cone(circuit, out, include_self=True))
-            cone_cache[out] = cached
-        return cached
-
-    def cone_for(test) -> frozenset[str]:
-        if constrain_all_outputs:
-            return frozenset().union(
-                *(output_cone(out) for out in circuit.outputs)
+    if skeleton is None:
+        skeleton = MasterEncodingSkeleton(circuit, constrain_all_outputs)
+    else:
+        if skeleton.circuit is not circuit:
+            raise ValueError(
+                "skeleton was built for a different circuit design"
             )
-        return output_cone(test.output)
-
-    signal_of = _encode_test_copies(
-        circuit, tests, cnf, suspect_set, constrain_all_outputs,
-        encode_suspect, cone_for=cone_for,
-    )
-    return _finish_instance(
-        circuit, tests, cnf, select_of, correction_of, signal_of,
-        suspect_list, k_max, None, solver_backend, True, start,
+        if skeleton.constrain_all_outputs != constrain_all_outputs:
+            raise ValueError(
+                "skeleton output-constraint semantics do not match"
+            )
+    return skeleton.instantiate(
+        tests, k_max, solver_backend=solver_backend
     )
 
 
@@ -542,6 +741,7 @@ def basic_sat_diagnose(
     approach_name: str = "BSAT",
     session: DiagnosisSession | None = None,
     solver_backend: str | None = None,
+    should_stop: Callable[[], bool] | None = None,
 ) -> SolutionSetResult:
     """``BasicSATDiagnose(I, T, k)`` — Fig. 3 of the paper.
 
@@ -557,6 +757,14 @@ def basic_sat_diagnose(
     activation-literal scope — identical solution sets to a fresh
     instance, but no CNF rebuild, and a repeated identical query is
     served from the instance's result memo (``extras["cached"]``).
+
+    ``should_stop`` is the cooperative cancellation hook of the serving
+    race: it is polled before each cardinality bound and after each
+    enumerated solution (the check interval is one solver call).  A
+    cancelled run returns what it found with ``complete=False`` and
+    ``extras["cancelled"]=True``, closes its activation scope normally,
+    and is **not** memoized — cancellation is external nondeterminism
+    that must not poison the instance's result cache.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -637,9 +845,14 @@ def basic_sat_diagnose(
     solution_stats: list[dict[str, int]] = []
     t_first: float | None = None
     complete = True
+    cancelled = False
     search_start = time.perf_counter()
     try:
         for bound in range(1, k + 1):
+            if should_stop is not None and should_stop():
+                complete = False
+                cancelled = True
+                break
             assumptions = (
                 base_assumptions
                 + instance.bound_assumptions(bound)
@@ -674,7 +887,13 @@ def basic_sat_diagnose(
                             solution
                         )
                     solutions.append(solution)
+                    if should_stop is not None and should_stop():
+                        cancelled = True
+                        break
             except TimeoutError:
+                complete = False
+                break
+            if cancelled:
                 complete = False
                 break
             if solution_limit is not None and len(solutions) >= solution_limit:
@@ -684,7 +903,7 @@ def basic_sat_diagnose(
         if act:
             instance.end_scope(act)
     t_all = time.perf_counter() - search_start
-    if instance.persistent:
+    if instance.persistent and not cancelled:
         instance.results_cache[cache_key] = {
             "solutions": tuple(solutions),
             "complete": complete,
@@ -698,6 +917,8 @@ def basic_sat_diagnose(
         "n_clauses": instance.cnf.num_clauses,
         "solution_stats": solution_stats,
     }
+    if cancelled:
+        extras["cancelled"] = True
     if collect_corrections:
         extras["corrections"] = corrections
     return SolutionSetResult(
@@ -762,7 +983,19 @@ def auto_k_sat_diagnose(
             solver_backend=solver_backend,
         )
     solver = instance.solver
+    should_stop = kwargs.get("should_stop")
     for k in range(1, k_max + 1):
+        if should_stop is not None and should_stop():
+            return SolutionSetResult(
+                approach="BSAT/auto-k",
+                k=k_max,
+                solutions=(),
+                complete=False,
+                t_build=instance.build_time,
+                t_first=0.0,
+                t_all=0.0,
+                extras={"k_found": None, "cancelled": True},
+            )
         feasible = solver.solve(
             assumptions=instance.base_assumptions()
             + instance.bound_assumptions(k)

@@ -378,12 +378,23 @@ class CircuitSystem(SystemDescription):
         from .satdiag import build_master_instance
 
         session = self.session
+        skeleton = session.master_skeleton
+        if skeleton is not None and (
+            skeleton.circuit is not session.circuit
+            or skeleton.constrain_all_outputs
+            != session.constrain_all_outputs
+        ):
+            raise ValueError(
+                "session.master_skeleton does not match the session's "
+                "circuit design or output-constraint semantics"
+            )
         return build_master_instance(
             session.circuit,
             session.tests,
             k_max=k_max,
             constrain_all_outputs=session.constrain_all_outputs,
             solver_backend=solver_backend,
+            skeleton=skeleton,
         )
 
 
@@ -652,11 +663,106 @@ class SpectrumSystem(SystemDescription):
 
             {"components": ["c1", ...],
              "rows": [{"covered": ["c1", ...], "passed": false}, ...]}
+
+        ``covered`` may also be a 0/1 coverage *vector* aligned with
+        ``components`` (the classic spectrum-matrix shape).  Malformed
+        input raises :class:`ValueError` naming the offending field —
+        never a bare ``KeyError``/``IndexError`` (matching the
+        :mod:`repro.sat.dimacs` GCNF errors).
         """
-        rows = [
-            (row["covered"], row["passed"]) for row in data["rows"]
-        ]
-        return cls(data["components"], rows)
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                "spectrum JSON must be an object with 'components' "
+                "and 'rows'"
+            )
+        try:
+            components = data["components"]
+        except KeyError:
+            raise ValueError(
+                "spectrum JSON is missing the 'components' field"
+            ) from None
+        if isinstance(components, (str, bytes)) or not isinstance(
+            components, Sequence
+        ):
+            raise ValueError(
+                "'components' must be a list of component names"
+            )
+        for idx, comp in enumerate(components):
+            if not isinstance(comp, str):
+                raise ValueError(
+                    f"components[{idx}] must be a string, got "
+                    f"{type(comp).__name__}"
+                )
+        try:
+            raw_rows = data["rows"]
+        except KeyError:
+            raise ValueError(
+                "spectrum JSON is missing the 'rows' field"
+            ) from None
+        if isinstance(raw_rows, (str, bytes)) or not isinstance(
+            raw_rows, Sequence
+        ):
+            raise ValueError("'rows' must be a list of row objects")
+        rows = []
+        for i, row in enumerate(raw_rows):
+            if not isinstance(row, Mapping):
+                raise ValueError(
+                    f"rows[{i}] must be an object with 'covered' and "
+                    "'passed'"
+                )
+            try:
+                covered = row["covered"]
+            except KeyError:
+                raise ValueError(
+                    f"rows[{i}] is missing the 'covered' field"
+                ) from None
+            try:
+                passed = row["passed"]
+            except KeyError:
+                raise ValueError(
+                    f"rows[{i}] is missing the 'passed' field"
+                ) from None
+            if not isinstance(passed, bool) and passed not in (0, 1):
+                raise ValueError(
+                    f"rows[{i}].passed must be a boolean or 0/1, got "
+                    f"{passed!r}"
+                )
+            rows.append(
+                (cls._parse_covered(covered, components, i), bool(passed))
+            )
+        return cls(components, rows)
+
+    @staticmethod
+    def _parse_covered(
+        covered: object, components: Sequence[str], i: int
+    ) -> tuple[str, ...]:
+        """One row's coverage: a name list or a 0/1 vector."""
+        if isinstance(covered, (str, bytes)) or not isinstance(
+            covered, Sequence
+        ):
+            raise ValueError(
+                f"rows[{i}].covered must be a list of component names "
+                "or a 0/1 coverage vector"
+            )
+        if all(isinstance(c, str) for c in covered):
+            return tuple(covered)
+        # 0/1 vector aligned with the component list.
+        if len(covered) != len(components):
+            raise ValueError(
+                f"rows[{i}].covered: coverage vector has "
+                f"{len(covered)} entries for {len(components)} "
+                "components"
+            )
+        names = []
+        for j, bit in enumerate(covered):
+            if not isinstance(bit, bool) and bit not in (0, 1):
+                raise ValueError(
+                    f"rows[{i}].covered[{j}] must be a component name "
+                    f"or 0/1, got {bit!r}"
+                )
+            if bit:
+                names.append(components[j])
+        return tuple(names)
 
     @property
     def components(self) -> tuple[str, ...]:

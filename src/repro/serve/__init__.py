@@ -1,0 +1,55 @@
+"""Production diagnosis service: sharded, cached, racing (PR 7).
+
+The paper's point — pick the right engine per situation — becomes the
+*serving policy* here: every failing device races the fast approximate
+engines against the complete one, first valid answer wins, losers are
+cancelled.  The service layers:
+
+``intake``
+    :class:`DeviceReport` — one failing device (design + observed
+    failing tests) — and hardened JSON-lines parsing.
+``design``
+    :class:`DesignCache` — per-design artifacts (compiled circuit,
+    master-encoding skeleton, result memo) built once per design.
+``race``
+    :func:`race_device` — first-valid-answer-wins strategy races with
+    cooperative ``should_stop`` cancellation.
+``shard``
+    :class:`ServiceShard` — worker threads with bounded queues.
+``service``
+    :class:`DiagnosisService` — routing, deadline/retry, exactly-once
+    result stream, observability counters.
+
+See ``ROADMAP.md`` ("Serving guide") for the policy rationale and
+``benchmarks/bench_serve.py`` for the gated throughput trajectory.
+"""
+
+from .design import DesignArtifacts, DesignCache, load_design
+from .intake import (
+    DeviceReport,
+    parse_device,
+    parse_device_line,
+    read_device_stream,
+    signature_seed,
+)
+from .race import DEFAULT_STRATEGIES, RaceOutcome, race_device
+from .service import DeviceResult, DiagnosisService
+from .shard import ServiceShard, ShardKilled
+
+__all__ = [
+    "DesignArtifacts",
+    "DesignCache",
+    "load_design",
+    "DeviceReport",
+    "parse_device",
+    "parse_device_line",
+    "read_device_stream",
+    "signature_seed",
+    "DEFAULT_STRATEGIES",
+    "RaceOutcome",
+    "race_device",
+    "DeviceResult",
+    "DiagnosisService",
+    "ServiceShard",
+    "ShardKilled",
+]

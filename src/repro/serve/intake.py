@@ -1,0 +1,220 @@
+"""Device intake: the failing-device reports a diagnosis service consumes.
+
+A *device* is one failing unit on the test floor: an instance of a known
+circuit *design* plus the failing responses the tester observed.  The
+service diagnoses the **design netlist** against those observations —
+each test constrains one output to the value the tester observed (which
+the design netlist does not produce), so the reported corrections are
+the defect-site candidates that explain the device's behavior.
+
+The JSON shape (one object per device, JSON-lines on the wire)::
+
+    {"id": "lot3-die41", "design": "c17", "k": 1,
+     "tests": [{"vector": {"a": 0, "b": 1, ...},
+                "output": "o1", "value": 0}, ...]}
+
+``tests[j].vector`` may be replaced by ``tests[j].bits``, a 0/1 string
+in the design's primary-input order (the tester-log shape); parsing
+``bits`` needs the design's input order, supplied by the caller as
+``inputs_of``.  ``k`` optionally bounds the error cardinality for the
+complete-enumeration legs (default: incremental auto-``k``).
+
+All parsing raises :class:`ValueError` naming the offending field
+(``devices[3].tests[1].output`` style) — never a bare ``KeyError`` /
+``IndexError`` — matching the malformed-GCNF errors of
+:mod:`repro.sat.dimacs`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..testgen.testset import Test, TestSet
+
+__all__ = [
+    "DeviceReport",
+    "parse_device",
+    "parse_device_line",
+    "read_device_stream",
+    "signature_seed",
+]
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """One failing device: identity, design, observed failing tests."""
+
+    device_id: str
+    design: str
+    tests: TestSet
+    #: Error-cardinality bound for the enumeration legs (None: auto-k).
+    k: int | None = None
+    _signature: tuple = field(default=None, compare=False, repr=False)
+
+    def signature(self) -> tuple:
+        """Canonical failure signature.
+
+        Devices of one design with equal signatures are *identical
+        workloads* — the service collapses them onto one diagnosis (the
+        batching path), so the signature must capture everything that
+        influences the answer: every test's input vector, observed
+        output and value, plus the cardinality bound.
+        """
+        sig = self._signature
+        if sig is None:
+            sig = (
+                self.design,
+                self.k,
+                tuple(
+                    (
+                        tuple(sorted(t.vector.items())),
+                        t.output,
+                        t.value,
+                    )
+                    for t in self.tests
+                ),
+            )
+            object.__setattr__(self, "_signature", sig)
+        return sig
+
+
+def signature_seed(signature: tuple) -> int:
+    """Deterministic session seed for one failure signature.
+
+    Derived from the signature (not the device id) so that every device
+    carrying the same signature — and the sequential baseline replaying
+    it — draws the identical stochastic-search stream.
+    """
+    return zlib.crc32(repr(signature).encode("utf-8")) & 0x7FFFFFFF
+
+
+def _require(data: Mapping, key: str, where: str):
+    try:
+        return data[key]
+    except KeyError:
+        raise ValueError(f"{where} is missing the {key!r} field") from None
+
+
+def _bit(value, where: str) -> int:
+    if not isinstance(value, bool) and value not in (0, 1):
+        raise ValueError(f"{where} must be 0/1 or a boolean, got {value!r}")
+    return int(value)
+
+
+def _parse_test(
+    data: object,
+    where: str,
+    inputs: Sequence[str] | None,
+) -> Test:
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{where} must be an object")
+    output = _require(data, "output", where)
+    if not isinstance(output, str):
+        raise ValueError(f"{where}.output must be an output name (string)")
+    value = _bit(_require(data, "value", where), f"{where}.value")
+    if "vector" in data:
+        raw = data["vector"]
+        if not isinstance(raw, Mapping):
+            raise ValueError(
+                f"{where}.vector must map input names to 0/1"
+            )
+        vector = {}
+        for name, bit in raw.items():
+            if not isinstance(name, str):
+                raise ValueError(
+                    f"{where}.vector keys must be input names (strings)"
+                )
+            vector[name] = _bit(bit, f"{where}.vector[{name!r}]")
+    elif "bits" in data:
+        bits = data["bits"]
+        if not isinstance(bits, str) or set(bits) - {"0", "1"}:
+            raise ValueError(f"{where}.bits must be a 0/1 string")
+        if inputs is None:
+            raise ValueError(
+                f"{where}.bits needs the design's input order; pass "
+                "'vector' instead or supply inputs_of"
+            )
+        if len(bits) != len(inputs):
+            raise ValueError(
+                f"{where}.bits has {len(bits)} bits for "
+                f"{len(inputs)} primary inputs"
+            )
+        vector = {name: int(b) for name, b in zip(inputs, bits)}
+    else:
+        raise ValueError(
+            f"{where} needs a 'vector' (or 'bits') input assignment"
+        )
+    return Test(vector=vector, output=output, value=value)
+
+
+def parse_device(
+    data: object,
+    where: str = "device",
+    inputs_of: Callable[[str], Sequence[str]] | None = None,
+) -> DeviceReport:
+    """Validate one device object into a :class:`DeviceReport`."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{where} must be a JSON object")
+    device_id = _require(data, "id", where)
+    if not isinstance(device_id, str) or not device_id:
+        raise ValueError(f"{where}.id must be a non-empty string")
+    design = _require(data, "design", where)
+    if not isinstance(design, str) or not design:
+        raise ValueError(f"{where}.design must be a non-empty string")
+    k = data.get("k")
+    if k is not None:
+        if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+            raise ValueError(
+                f"{where}.k must be a positive integer, got {k!r}"
+            )
+    raw_tests = _require(data, "tests", where)
+    if isinstance(raw_tests, (str, bytes)) or not isinstance(
+        raw_tests, Sequence
+    ):
+        raise ValueError(f"{where}.tests must be a list of test objects")
+    if not raw_tests:
+        raise ValueError(f"{where}.tests must not be empty")
+    inputs = None
+    if inputs_of is not None and any(
+        isinstance(t, Mapping) and "bits" in t for t in raw_tests
+    ):
+        inputs = inputs_of(design)
+    tests = TestSet(
+        tuple(
+            _parse_test(t, f"{where}.tests[{j}]", inputs)
+            for j, t in enumerate(raw_tests)
+        )
+    )
+    return DeviceReport(
+        device_id=device_id, design=design, tests=tests, k=k
+    )
+
+
+def parse_device_line(
+    line: str,
+    lineno: int,
+    inputs_of: Callable[[str], Sequence[str]] | None = None,
+) -> DeviceReport:
+    """Parse one JSON-lines record (1-based ``lineno`` for messages)."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"line {lineno}: invalid JSON ({exc})") from None
+    return parse_device(
+        data, where=f"line {lineno}: device", inputs_of=inputs_of
+    )
+
+
+def read_device_stream(
+    lines: Iterable[str],
+    inputs_of: Callable[[str], Sequence[str]] | None = None,
+) -> Iterator[DeviceReport]:
+    """Devices from a JSON-lines stream (blank / ``#`` lines skipped)."""
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_device_line(stripped, lineno, inputs_of=inputs_of)

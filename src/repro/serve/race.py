@@ -1,0 +1,291 @@
+"""First-valid-answer-wins strategy races with cooperative cancellation.
+
+One device, one shared :class:`~repro.diagnosis.core.DiagnosisSession`,
+several strategy *legs* running concurrently: the SAFARI greedy climbs
+(fast approximate first answer), the implicit-hitting-set loop (minimum
+cardinality without full enumeration) and the complete BSAT enumeration
+(incremental auto-``k``).  The first leg to produce a solution wins —
+every leg only ever reports *verified valid* corrections, so the winner
+needs no post-hoc validation — and the losers are cancelled through the
+``should_stop`` callback each strategy polls at its check interval (one
+retraction attempt / hitting-set round / solver call).  This turns the
+20–800× first-answer gaps ``bench_candidate_search.py`` measures into
+reclaimed throughput: the complete-enumeration tail is simply not run
+once a valid answer exists.
+
+Legs are *threads*, matching the service's thread-per-shard design (see
+``serve.service``).  In the hedged configuration (``stagger > 0``, the
+service default) each delayed leg runs on its **own session** cloned
+from the caller's — same circuit, tests, seed and master skeleton — so
+concurrent legs share no mutable state and the first leg starts cold
+immediately, building only the substrate it actually needs.  In the
+unhedged all-at-once race the legs share the caller's session, so the
+common substrate (rect words, responses, observation candidates) is
+pre-materialized here before the threads start and the race only
+reads it; each leg then builds its own solver state under distinct
+session cache keys (master view for BSAT, hitting-set state for IHS,
+the stateless bit-parallel oracle for greedy).
+
+With ``strategies=("bsat",)`` the race degenerates to one inline
+complete enumeration — the reference mode whose answers are
+bit-identical to the sequential baseline (used by the parity gate of
+``bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..diagnosis.base import Correction, SolutionSetResult
+from ..diagnosis.core import DiagnosisSession, diagnose
+
+__all__ = ["RaceOutcome", "race_device", "DEFAULT_STRATEGIES"]
+
+DEFAULT_STRATEGIES = ("greedy-stochastic", "ihs", "bsat")
+
+#: auto-k cap for the BSAT leg when the device carries no ``k`` hint.
+_DEFAULT_K_MAX = 4
+
+
+@dataclass
+class RaceOutcome:
+    """What one device's race produced."""
+
+    winner: str | None = None
+    result: SolutionSetResult | None = None
+    #: The winning leg's minimum-size solution, sorted (None: no leg
+    #: produced a solution before cancellation/timeout).
+    answer: tuple[str, ...] | None = None
+    solutions: tuple[Correction, ...] = ()
+    elapsed: float = 0.0
+    timed_out: bool = False
+    cancelled: bool = False
+    #: Legs that reported a cancelled (raced-and-lost) run.
+    cancelled_legs: int = 0
+    #: Hedged legs that never started because a winner emerged inside
+    #: their stagger delay (cancelled work avoided entirely).
+    skipped_legs: int = 0
+    #: Leg name -> summary dict (for observability counters).
+    legs: dict = field(default_factory=dict)
+
+
+def _pick_answer(
+    solutions: tuple[Correction, ...]
+) -> tuple[str, ...] | None:
+    if not solutions:
+        return None
+    return tuple(sorted(min(solutions, key=lambda s: (len(s), sorted(s)))))
+
+
+def run_leg(
+    session: DiagnosisSession,
+    strategy: str,
+    k: int | None,
+    first_only: bool,
+    should_stop,
+    solver_backend: str | None = None,
+) -> SolutionSetResult:
+    """One strategy leg with race-appropriate limits.
+
+    ``first_only`` runs each leg to its *first* solution (the racing
+    mode); otherwise the leg runs to completion (the reference mode).
+    """
+    options: dict = {"should_stop": should_stop}
+    if solver_backend is not None:
+        options["solver_backend"] = solver_backend
+    if strategy == "greedy-stochastic":
+        if first_only:
+            options["max_solutions"] = 1
+        return diagnose(
+            session, k=None, strategy="greedy-stochastic", **options
+        )
+    if strategy == "ihs":
+        if first_only:
+            options["solution_limit"] = 1
+        return diagnose(session, k=k, strategy="ihs", **options)
+    if strategy == "bsat":
+        if first_only:
+            options["solution_limit"] = 1
+        return diagnose(
+            session,
+            k=k if k is not None else _DEFAULT_K_MAX,
+            strategy="bsat-auto-k",
+            **options,
+        )
+    raise ValueError(
+        f"unknown race strategy {strategy!r} "
+        "(expected greedy-stochastic, ihs or bsat)"
+    )
+
+
+def _prematerialize(session: DiagnosisSession) -> None:
+    """Build every substrate the legs share *before* they run.
+
+    The legs then only read these memoized structures; the remaining
+    shared mutations (per-strategy solver states) live under distinct
+    session cache keys, one per leg.  Only the *unhedged* race pays
+    this upfront cost — hedged delayed legs get private sessions
+    instead (see :func:`_leg_session`).
+    """
+    space = session.space()
+    space.singleton_rect_words()
+    session.failing_word()
+    for j in range(session.m):
+        space.observation_candidates(j)
+
+
+def _leg_session(session: DiagnosisSession) -> DiagnosisSession:
+    """A private session for one hedged leg: same circuit, tests, seed
+    and master skeleton as the caller's, but no shared mutable caches —
+    concurrent legs cannot corrupt each other's memoization, and no
+    substrate needs pre-materializing before the race starts."""
+    clone = DiagnosisSession(
+        session.circuit,
+        session.tests,
+        constrain_all_outputs=session.constrain_all_outputs,
+        solver_backend=session.solver_backend,
+        seed=session.seed,
+    )
+    skeleton = getattr(session, "master_skeleton", None)
+    if skeleton is not None:
+        clone.master_skeleton = skeleton
+    return clone
+
+
+def race_device(
+    session: DiagnosisSession,
+    strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+    k: int | None = None,
+    first_only: bool = True,
+    cancel: threading.Event | None = None,
+    deadline: float | None = None,
+    solver_backend: str | None = None,
+    stagger: float = 0.0,
+) -> RaceOutcome:
+    """Race ``strategies`` on one prepared session, first valid answer
+    wins.
+
+    ``cancel`` is the shard watchdog's plug: once set, every leg stops
+    at its next check interval and the race returns with
+    ``cancelled=True``.  ``deadline`` (``time.monotonic()`` timestamp)
+    bounds how long the race *waits* for its legs; legs still running
+    at the deadline are cancelled and abandoned (they stop at their
+    next poll) and the outcome reports ``timed_out=True``.
+
+    ``stagger`` hedges the race: leg ``i`` starts ``i * stagger``
+    seconds after the first, so when the fast approximate leg answers
+    inside the delay the heavier legs are *skipped* rather than
+    cancelled (their work never starts — the big lever under the GIL,
+    where concurrent CPU-bound legs otherwise slow each other down).
+    A slow first leg degrades gracefully into the full concurrent race,
+    with each delayed leg on a private cloned session so the overlap
+    shares no mutable state.
+    """
+    if not strategies:
+        raise ValueError("the race needs at least one strategy")
+    outcome = RaceOutcome()
+    start = time.monotonic()
+
+    def external_stop() -> bool:
+        if cancel is not None and cancel.is_set():
+            return True
+        return deadline is not None and time.monotonic() >= deadline
+
+    if len(strategies) == 1:
+        result = run_leg(
+            session, strategies[0], k, first_only,
+            should_stop=external_stop if (cancel or deadline) else None,
+            solver_backend=solver_backend,
+        )
+        outcome.legs[strategies[0]] = _leg_summary(result)
+        if result.extras.get("cancelled"):
+            outcome.cancelled = True
+            outcome.cancelled_legs = 1
+        if result.solutions and not outcome.cancelled:
+            outcome.winner = strategies[0]
+            outcome.result = result
+            outcome.solutions = tuple(result.solutions)
+            outcome.answer = _pick_answer(outcome.solutions)
+        outcome.elapsed = time.monotonic() - start
+        return outcome
+
+    # Hedged circuit races isolate the delayed legs on private cloned
+    # sessions, so nothing is shared and the first leg starts cold with
+    # zero upfront cost.  Unhedged (or system-description) races share
+    # the caller's session and must pre-materialize the read-only
+    # substrate before any thread runs.
+    shared = stagger <= 0.0 or getattr(session, "circuit", None) is None
+    if shared:
+        _prematerialize(session)
+    stop = threading.Event()
+    lock = threading.Lock()
+
+    def should_stop() -> bool:
+        return stop.is_set() or external_stop()
+
+    def leg(name: str, delay: float) -> None:
+        if delay > 0.0 and stop.wait(delay):
+            # A winner emerged before this hedged leg started: skip it.
+            with lock:
+                outcome.legs[name] = {"skipped": True}
+                outcome.skipped_legs += 1
+            return
+        leg_session = (
+            session if shared or delay <= 0.0 else _leg_session(session)
+        )
+        try:
+            result = run_leg(
+                leg_session, name, k, first_only, should_stop,
+                solver_backend=solver_backend,
+            )
+        except Exception as exc:  # a dead leg must not kill the race
+            with lock:
+                outcome.legs[name] = {"error": repr(exc)}
+            return
+        with lock:
+            outcome.legs[name] = _leg_summary(result)
+            if result.extras.get("cancelled"):
+                outcome.cancelled_legs += 1
+            elif result.solutions and outcome.winner is None:
+                if not external_stop():
+                    outcome.winner = name
+                    outcome.result = result
+                    outcome.solutions = tuple(result.solutions)
+                    outcome.answer = _pick_answer(outcome.solutions)
+                    stop.set()
+
+    threads = [
+        threading.Thread(target=leg, args=(name, i * stagger), daemon=True)
+        for i, name in enumerate(strategies)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        t.join(timeout=remaining)
+        if t.is_alive():
+            # Past the deadline: tell every leg to stop and hand the
+            # device back to the service (the thread exits at its next
+            # poll; the shard does not wait for it).
+            stop.set()
+            outcome.timed_out = True
+            break
+    if cancel is not None and cancel.is_set():
+        outcome.cancelled = True
+    outcome.elapsed = time.monotonic() - start
+    return outcome
+
+
+def _leg_summary(result: SolutionSetResult) -> dict:
+    return {
+        "approach": result.approach,
+        "solutions": len(result.solutions),
+        "complete": result.complete,
+        "cancelled": bool(result.extras.get("cancelled")),
+        "t_first": result.t_first,
+        "t_all": result.t_all,
+    }

@@ -106,7 +106,14 @@ def test_instance_cache_keys():
     narrowed = session.instance(2, suspects=sub)
     assert narrowed is not base
     assert narrowed.suspects == sub
-    assert session.instance(2, select_zero_clauses=True) is not base
+    # select_zero_clauses does not change solution sets (the master's
+    # c-free mux subsumes the pruning), so both flag values must map to
+    # the *same* cached view — one entry, asserted by object identity.
+    assert session.instance(2, select_zero_clauses=True) is base
+    assert (
+        session.instance(2, suspects=sub, select_zero_clauses=True)
+        is narrowed
+    )
     assert session.instance(2, solver_backend="legacy") is not base
 
 

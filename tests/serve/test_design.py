@@ -1,0 +1,65 @@
+"""Per-design artifact cache: built exactly once, shared thereafter."""
+
+import threading
+
+import pytest
+
+from repro.circuits import library
+from repro.serve import DesignCache, load_design
+
+
+def test_artifacts_built_once_per_design():
+    cache = DesignCache()
+    first = cache.get("c17")
+    second = cache.get("c17")
+    assert second is first
+    assert first.skeleton.circuit is first.circuit
+    assert cache.stats["designs_built"] == 1
+    assert cache.stats["design_hits"] == 1
+    assert cache.stats["skeleton_builds"] == {"c17": 1}
+    cache.get("maj3")
+    assert cache.stats["designs_built"] == 2
+    assert cache.stats["skeleton_builds"] == {"c17": 1, "maj3": 1}
+    assert len(cache) == 2
+
+
+def test_concurrent_gets_build_once():
+    cache = DesignCache()
+    results = []
+    barrier = threading.Barrier(4)
+
+    def worker():
+        barrier.wait()
+        results.append(cache.get("c17"))
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len({id(a) for a in results}) == 1
+    assert cache.stats["skeleton_builds"] == {"c17": 1}
+
+
+def test_inputs_of_matches_circuit_order():
+    cache = DesignCache()
+    assert cache.inputs_of("c17") == tuple(library.c17().inputs)
+
+
+def test_unknown_design_is_a_value_error():
+    cache = DesignCache()
+    with pytest.raises(ValueError, match="neither a library circuit"):
+        cache.get("no_such_design")
+    with pytest.raises(ValueError, match="no_such_design"):
+        load_design("no_such_design")
+
+
+def test_bench_file_design(tmp_path):
+    from repro.circuits import dump
+
+    path = tmp_path / "maj.bench"
+    dump(library.majority(), path)
+    cache = DesignCache()
+    artifacts = cache.get(str(path))
+    assert artifacts.circuit.num_gates == library.majority().num_gates
+    assert cache.stats["skeleton_builds"] == {str(path): 1}

@@ -1,0 +1,114 @@
+"""Device intake: hardened parsing and failure signatures."""
+
+import json
+
+import pytest
+
+from repro.circuits import library
+from repro.serve import (
+    parse_device,
+    parse_device_line,
+    read_device_stream,
+    signature_seed,
+)
+
+from tests.serve._devices import device_json, make_device
+
+
+VALID = {
+    "id": "lot1-die3",
+    "design": "c17",
+    "tests": [{"vector": {"1": 0, "2": 1, "3": 0, "6": 1, "7": 0},
+               "output": "22", "value": 1}],
+}
+
+
+def test_parse_valid_device():
+    device = parse_device(VALID)
+    assert device.device_id == "lot1-die3"
+    assert device.design == "c17"
+    assert device.tests.m == 1
+    assert device.k is None
+
+
+@pytest.mark.parametrize(
+    "mutate, needle",
+    [
+        (lambda d: d.pop("id"), "'id'"),
+        (lambda d: d.pop("design"), "'design'"),
+        (lambda d: d.pop("tests"), "'tests'"),
+        (lambda d: d.update(id=7), "device.id"),
+        (lambda d: d.update(design=""), "device.design"),
+        (lambda d: d.update(k=0), "device.k"),
+        (lambda d: d.update(k=True), "device.k"),
+        (lambda d: d.update(tests=[]), "device.tests"),
+        (lambda d: d.update(tests="oops"), "device.tests"),
+        (lambda d: d["tests"][0].pop("output"), "device.tests[0]"),
+        (lambda d: d["tests"][0].pop("value"), "device.tests[0]"),
+        (lambda d: d["tests"][0].update(value=2), "device.tests[0].value"),
+        (lambda d: d["tests"][0].pop("vector"), "device.tests[0]"),
+        (
+            lambda d: d["tests"][0]["vector"].update({"1": "x"}),
+            "device.tests[0].vector['1']",
+        ),
+    ],
+)
+def test_malformed_device_names_offending_field(mutate, needle):
+    data = json.loads(json.dumps(VALID))
+    mutate(data)
+    with pytest.raises(ValueError, match="device") as excinfo:
+        parse_device(data)
+    assert needle in str(excinfo.value)
+
+
+def test_bits_form_needs_input_order():
+    data = json.loads(json.dumps(VALID))
+    data["tests"][0] = {"bits": "01010", "output": "22", "value": 1}
+    with pytest.raises(ValueError, match="input order"):
+        parse_device(data)
+    inputs = library.c17().inputs
+    device = parse_device(data, inputs_of=lambda name: inputs)
+    assert device.tests[0].vector == dict(zip(inputs, (0, 1, 0, 1, 0)))
+
+
+def test_bits_form_length_mismatch():
+    data = json.loads(json.dumps(VALID))
+    data["tests"][0] = {"bits": "010", "output": "22", "value": 1}
+    with pytest.raises(ValueError, match="3 bits for 5 primary inputs"):
+        parse_device(data, inputs_of=lambda name: library.c17().inputs)
+
+
+def test_parse_device_line_reports_line_number():
+    with pytest.raises(ValueError, match="line 4: invalid JSON"):
+        parse_device_line("{nope", 4)
+    with pytest.raises(ValueError, match="line 9: device is missing"):
+        parse_device_line('{"id": "x"}', 9)
+
+
+def test_read_device_stream_skips_blanks_and_comments():
+    lines = [
+        "# tester log header",
+        "",
+        json.dumps(device_json(make_device("d0"))),
+        "   ",
+        json.dumps(device_json(make_device("d1", seed=5))),
+    ]
+    devices = list(read_device_stream(lines))
+    assert [d.device_id for d in devices] == ["d0", "d1"]
+
+
+def test_signature_identity_and_seed():
+    a = make_device("a", seed=3)
+    b = make_device("b", seed=3)  # same workload, different device id
+    c = make_device("c", seed=5)
+    assert a.signature() == b.signature()
+    assert a.signature() != c.signature()
+    assert signature_seed(a.signature()) == signature_seed(b.signature())
+    # The seed derives from the signature, not the device identity.
+    assert signature_seed(a.signature()) != signature_seed(c.signature())
+
+
+def test_signature_captures_k():
+    a = make_device("a", seed=3, k=1)
+    b = make_device("b", seed=3, k=2)
+    assert a.signature() != b.signature()

@@ -1,0 +1,138 @@
+"""Strategy races: first valid answer wins, losers cancel cleanly."""
+
+import threading
+
+import pytest
+
+from repro.circuits import library
+from repro.diagnosis import DiagnosisSession, diagnose
+from repro.serve import DEFAULT_STRATEGIES, race_device, signature_seed
+
+from tests.serve._devices import make_device
+
+
+def _session(device):
+    circuit = library.get_circuit(device.design)
+    return DiagnosisSession(
+        circuit, device.tests, seed=signature_seed(device.signature())
+    )
+
+
+def test_race_produces_a_valid_answer():
+    device = make_device("d0", seed=3, k=2)
+    session = _session(device)
+    outcome = race_device(session, k=device.k)
+    assert outcome.winner in DEFAULT_STRATEGIES
+    assert outcome.answer is not None
+    assert not outcome.timed_out and not outcome.cancelled
+    # Every leg only reports verified-valid corrections, so the winner
+    # must be consistent with every observation.
+    assert session.consistent(outcome.answer)
+
+
+def test_single_bsat_race_is_bit_identical_to_baseline():
+    device = make_device("d0", seed=3, k=2)
+    outcome = race_device(
+        _session(device), strategies=("bsat",), k=device.k, first_only=False
+    )
+    baseline = diagnose(_session(device), k=2, strategy="bsat-auto-k")
+    assert outcome.winner == "bsat"
+    assert outcome.solutions == tuple(baseline.solutions)
+    assert outcome.answer == tuple(
+        sorted(min(baseline.solutions, key=lambda s: (len(s), sorted(s))))
+    )
+
+
+def test_empty_strategy_tuple_rejected():
+    device = make_device("d0")
+    with pytest.raises(ValueError, match="at least one strategy"):
+        race_device(_session(device), strategies=())
+
+
+def test_precancelled_race_cancels_every_leg():
+    device = make_device("d0", seed=3, k=2)
+    cancel = threading.Event()
+    cancel.set()
+    outcome = race_device(_session(device), k=device.k, cancel=cancel)
+    assert outcome.cancelled
+    assert outcome.answer is None and outcome.winner is None
+    assert outcome.cancelled_legs == len(DEFAULT_STRATEGIES)
+
+
+class _Stop:
+    """should_stop stub: False for ``after`` polls, then always True."""
+
+    def __init__(self, after: int = 0) -> None:
+        self.calls = 0
+        self.after = after
+
+    def __call__(self) -> bool:
+        self.calls += 1
+        return self.calls > self.after
+
+
+@pytest.mark.parametrize(
+    "strategy, kwargs",
+    [
+        ("greedy-stochastic", {}),
+        ("ihs", {}),
+        ("bsat-auto-k", {"k": 2}),
+    ],
+)
+def test_immediate_stop_cancels_before_any_work(strategy, kwargs):
+    device = make_device("d0", seed=3)
+    session = _session(device)
+    stop = _Stop(after=0)
+    result = diagnose(session, strategy=strategy, should_stop=stop, **kwargs)
+    assert result.extras.get("cancelled") is True
+    assert result.solutions == ()
+    assert not result.complete
+    # The strategy must stop at its first poll — exactly one call.
+    assert stop.calls == 1
+
+
+def test_stop_honored_within_one_check_interval():
+    # Greedy polls once per climb and once per retraction attempt; after
+    # the poll that first returns True it must not poll again (the run
+    # exits at that check interval, not at the end of the sweep).
+    device = make_device("d0", seed=3)
+    session = _session(device)
+    stop = _Stop(after=3)
+    result = diagnose(
+        session, strategy="greedy-stochastic", should_stop=stop
+    )
+    assert result.extras.get("cancelled") is True
+    assert stop.calls == stop.after + 1
+
+
+def test_cancelled_run_leaves_no_poisoned_session_state():
+    # A cancelled BSAT sweep must not memoize its partial result or leak
+    # solver scope state: a subsequent full run on the *same* session
+    # must equal a fresh session's run and must not come from a cache.
+    device = make_device("d0", seed=3, k=2)
+    session = _session(device)
+    cancel = threading.Event()
+    cancel.set()
+    outcome = race_device(
+        session, strategies=("bsat",), k=device.k, cancel=cancel
+    )
+    assert outcome.cancelled and outcome.answer is None
+    full = diagnose(session, k=2, strategy="bsat-auto-k")
+    fresh = diagnose(_session(device), k=2, strategy="bsat-auto-k")
+    assert full.extras.get("cached") is not True
+    assert full.complete
+    assert tuple(full.solutions) == tuple(fresh.solutions)
+
+
+def test_cancelled_greedy_and_ihs_leave_session_reusable():
+    device = make_device("d0", seed=3)
+    session = _session(device)
+    for strategy in ("greedy-stochastic", "ihs"):
+        cancelled = diagnose(
+            session, strategy=strategy, should_stop=_Stop(after=0)
+        )
+        assert cancelled.extras.get("cancelled") is True
+    full = diagnose(session, strategy="ihs")
+    fresh = diagnose(_session(device), strategy="ihs")
+    assert tuple(full.solutions) == tuple(fresh.solutions)
+    assert full.complete == fresh.complete

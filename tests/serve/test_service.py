@@ -1,0 +1,171 @@
+"""The sharded service: exactly-once, batching, faults, retries."""
+
+import time
+
+import pytest
+
+from repro.circuits import library
+from repro.diagnosis import DiagnosisSession, diagnose
+from repro.serve import (
+    DeviceReport,
+    DiagnosisService,
+    ShardKilled,
+    signature_seed,
+)
+
+from tests.serve._devices import make_device
+
+
+def test_exactly_once_and_signature_batching():
+    devices = [
+        make_device("d0", seed=3),
+        make_device("d1", seed=5),
+        make_device("d2", seed=7),
+        make_device("d3", seed=3),  # identical signature to d0
+    ]
+    service = DiagnosisService(n_shards=2, timeout=30.0)
+    results = service.run(devices)
+    assert [r.device_id for r in results] == ["d0", "d1", "d2", "d3"]
+    assert all(r.status == "ok" for r in results)
+    by_id = {r.device_id: r for r in results}
+    # d3 is the same workload as d0: it must be served from the memo...
+    assert by_id["d3"].cached is True
+    assert by_id["d0"].cached is False
+    # ...with the identical answer (batching, not re-diagnosis).
+    assert by_id["d3"].answer == by_id["d0"].answer
+    stats = service.stats()
+    assert stats["signature_hits"] == 1
+    assert stats["memo_stores"] == 3  # one per unique signature
+    assert stats["duplicate_results_dropped"] == 0
+    assert stats["late_results_dropped"] == 0
+    assert stats["failures"] == 0
+    # The observation-independent artifacts were built exactly once.
+    assert stats["design_cache"]["skeleton_builds"] == {"c17": 1}
+    # Every resolution records its winning strategy — the memo-served
+    # device inherits the winner of the race it batched onto.
+    assert sum(stats["race_winners"].values()) == 4
+
+
+def test_duplicate_device_ids_rejected():
+    service = DiagnosisService(n_shards=1)
+    with pytest.raises(ValueError, match="duplicate device id"):
+        service.run([make_device("x", seed=3), make_device("x", seed=5)])
+
+
+def test_unknown_design_resolves_as_error_not_crash():
+    bad = DeviceReport(
+        device_id="u0",
+        design="no_such_design",
+        tests=make_device("seed").tests,
+    )
+    service = DiagnosisService(n_shards=2, timeout=10.0)
+    results = service.run([bad, make_device("ok0", seed=5)])
+    assert results[0].status == "error"
+    assert "no_such_design" in results[0].error
+    assert results[1].status == "ok"
+    assert service.stats()["failures"] == 1
+
+
+def test_unknown_strategy_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown strategy"):
+        DiagnosisService(strategies=("greedy-stochastic", "nope"))
+
+
+def test_shard_death_retries_on_another_shard():
+    state = {"killed": None}
+
+    def hook(shard_index, attempt):
+        if attempt.device.device_id == "d0" and state["killed"] is None:
+            state["killed"] = shard_index
+            raise ShardKilled("injected crash")
+
+    service = DiagnosisService(
+        n_shards=3, timeout=30.0, max_attempts=2, fault_hook=hook
+    )
+    results = service.run(
+        [make_device("d0", seed=3), make_device("d1", seed=5)]
+    )
+    assert [r.device_id for r in results] == ["d0", "d1"]
+    assert all(r.status == "ok" for r in results)
+    d0 = results[0]
+    assert d0.attempts == 2
+    assert d0.shard != state["killed"]  # retried *elsewhere*
+    stats = service.stats()
+    assert stats["shard_deaths"] == 1
+    assert stats["retries"] == 1
+    assert stats["duplicate_results_dropped"] == 0
+
+
+def test_hung_shard_watchdog_retries_elsewhere():
+    state = {"hung": None}
+
+    def hook(shard_index, attempt):
+        if attempt.device.device_id == "d0" and state["hung"] is None:
+            state["hung"] = shard_index
+            time.sleep(0.5)
+
+    service = DiagnosisService(
+        n_shards=2, timeout=0.15, max_attempts=2, fault_hook=hook
+    )
+    results = service.run([make_device("d0", seed=3, k=2)])
+    (d0,) = results
+    assert d0.status == "ok"
+    assert d0.attempts == 2
+    assert d0.shard != state["hung"]
+    stats = service.stats()
+    assert stats["timeouts"] == 1
+    assert stats["retries"] == 1
+    # The hung attempt's late outcome was dropped, not double-counted:
+    # exactly one extra resolution attempt, zero lost devices.
+    assert (
+        stats["duplicate_results_dropped"] + stats["late_results_dropped"]
+        == 1
+    )
+
+
+def test_deadline_exhausts_attempts_to_timeout_status():
+    def hook(shard_index, attempt):
+        time.sleep(0.4)
+
+    service = DiagnosisService(
+        n_shards=2, timeout=0.1, max_attempts=2, fault_hook=hook
+    )
+    results = service.run([make_device("d0", seed=3, k=2)])
+    (d0,) = results
+    assert d0.status == "timeout"
+    assert d0.attempts == 2
+    assert "deadline exceeded" in d0.error
+    stats = service.stats()
+    assert stats["timeouts"] == 2
+    assert stats["failures"] == 1
+
+
+def test_bsat_only_service_matches_sequential_baseline_bitwise():
+    devices = [
+        make_device("d0", seed=3, k=2),
+        make_device("d1", seed=5, k=2),
+    ]
+    service = DiagnosisService(
+        n_shards=2, strategies=("bsat",), policy="complete", timeout=60.0
+    )
+    results = service.run(devices)
+    for device, result in zip(devices, results):
+        assert result.status == "ok"
+        circuit = library.get_circuit(device.design)
+        fresh = DiagnosisSession(
+            circuit,
+            device.tests,
+            seed=signature_seed(device.signature()),
+        )
+        baseline = diagnose(fresh, k=2, strategy="bsat-auto-k")
+        assert result.solutions == tuple(baseline.solutions)
+
+
+def test_service_run_is_reusable():
+    service = DiagnosisService(n_shards=2, timeout=30.0)
+    first = service.run([make_device("a", seed=3)])
+    second = service.run([make_device("b", seed=3)])
+    assert first[0].status == "ok" and second[0].status == "ok"
+    # Same signature across runs: the memo survives in the design cache.
+    assert second[0].cached is True
+    assert second[0].answer == first[0].answer

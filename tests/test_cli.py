@@ -313,3 +313,132 @@ def test_diagnose_gcnf_rejects_malformed(tmp_path):
     bad.write_text("p gcnf 1 1\n{1} 1 0\n")
     with pytest.raises(SystemExit):
         main(["diagnose", str(bad), "-", "--system", "gcnf"])
+
+
+# ----------------------------------------------------------------------
+# CLI error-handling sweep + the serve subcommand (PR 7)
+# ----------------------------------------------------------------------
+def test_diagnose_unsupported_strategy_system_combo_is_one_line_error(
+    tmp_path,
+):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "components": ["a", "b"],
+        "rows": [{"covered": ["a"], "passed": False}],
+    }))
+    # cov is circuit-only: on a spectrum system it must exit with the
+    # registry's message, not an uncaught traceback.
+    with pytest.raises(SystemExit, match="supports system kinds"):
+        main([
+            "diagnose", str(spec), "-",
+            "--system", "spectrum", "--approach", "cov",
+        ])
+
+
+def test_diagnose_missing_tests_file_is_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="error:"):
+        main(["diagnose", "c17", str(tmp_path / "no_such.tests")])
+
+
+def test_diagnose_missing_observation_file_is_clean_error(tmp_path):
+    gcnf = tmp_path / "demo.gcnf"
+    gcnf.write_text("p gcnf 1 1 1\n{1} 1 0\n")
+    with pytest.raises(SystemExit, match="error:"):
+        main([
+            "diagnose", str(gcnf), str(tmp_path / "no_such.obs"),
+            "--system", "gcnf",
+        ])
+
+
+def test_certify_missing_tests_file_is_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="error:"):
+        main(["certify", "c17", str(tmp_path / "no_such.tests")])
+
+
+def test_diagnose_spectrum_malformed_names_field(tmp_path):
+    spec = tmp_path / "bad.json"
+    spec.write_text(json.dumps({
+        "components": ["a", "b"],
+        "rows": [{"covered": ["a"]}],  # missing 'passed'
+    }))
+    with pytest.raises(SystemExit, match="rows\\[0\\]"):
+        main(["diagnose", str(spec), "-", "--system", "spectrum"])
+
+
+def _serve_device_lines():
+    from repro.circuits import library
+    from repro.experiments import make_workload
+
+    lines = []
+    for i, seed in enumerate((3, 5)):
+        w = make_workload(library.c17(), p=1, m_max=4, seed=seed)
+        tests = [
+            {"vector": dict(t.vector), "output": t.output,
+             "value": t.value ^ 1}
+            for t in w.tests
+        ]
+        lines.append(json.dumps(
+            {"id": f"d{i}", "design": "c17", "k": 2, "tests": tests}
+        ))
+    return lines
+
+
+def test_serve_smoke(tmp_path, capsys):
+    stream = tmp_path / "devices.jsonl"
+    stream.write_text("\n".join(_serve_device_lines()) + "\n")
+    code, out = run_cli(
+        capsys, "serve", str(stream), "--shards", "2", "--timeout", "30"
+    )
+    assert code == 0
+    records = [json.loads(line) for line in out.splitlines()]
+    assert [r["id"] for r in records] == ["d0", "d1"]
+    assert all(r["status"] == "ok" and r["answer"] for r in records)
+
+
+def test_serve_out_file_and_stats(tmp_path, capsys):
+    stream = tmp_path / "devices.jsonl"
+    stream.write_text("\n".join(_serve_device_lines()) + "\n")
+    out_path = tmp_path / "results.jsonl"
+    code = main([
+        "serve", str(stream), "--shards", "1", "--timeout", "30",
+        "--out", str(out_path), "--stats",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    records = [
+        json.loads(line) for line in out_path.read_text().splitlines()
+    ]
+    assert len(records) == 2
+    stats = json.loads(captured.err)
+    assert stats["design_cache"]["skeleton_builds"] == {"c17": 1}
+
+
+def test_serve_rejects_malformed_device(tmp_path):
+    stream = tmp_path / "devices.jsonl"
+    stream.write_text('{"id": "x", "design": "c17"}\n')
+    with pytest.raises(SystemExit, match="missing the 'tests' field"):
+        main(["serve", str(stream)])
+
+
+def test_serve_missing_file_is_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="error:"):
+        main(["serve", str(tmp_path / "no_such.jsonl")])
+
+
+def test_serve_rejects_unknown_strategy(tmp_path):
+    stream = tmp_path / "devices.jsonl"
+    stream.write_text("\n".join(_serve_device_lines()) + "\n")
+    with pytest.raises(SystemExit, match="unknown strategy 'nope'"):
+        main(["serve", str(stream), "--strategies", "nope"])
+
+
+def test_serve_unknown_design_exits_nonzero(tmp_path, capsys):
+    stream = tmp_path / "devices.jsonl"
+    line = json.loads(_serve_device_lines()[0])
+    line["design"] = "no_such_design"
+    stream.write_text(json.dumps(line) + "\n")
+    code, out = run_cli(capsys, "serve", str(stream), "--shards", "1")
+    assert code == 1
+    record = json.loads(out.splitlines()[0])
+    assert record["status"] == "error"
+    assert "no_such_design" in record["error"]
