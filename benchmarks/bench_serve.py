@@ -117,11 +117,14 @@ def _make_devices(fleet) -> list[DeviceReport]:
     return devices
 
 
-def _fresh_session(device: DeviceReport) -> DiagnosisSession:
+def _fresh_session(
+    device: DeviceReport, backend: str | None = None
+) -> DiagnosisSession:
     return DiagnosisSession(
         get_circuit(device.design),
         device.tests,
         seed=signature_seed(device.signature()),
+        solver_backend=backend,
     )
 
 
@@ -131,7 +134,7 @@ def _percentile(values: list[float], q: float) -> float:
     return ordered[idx]
 
 
-def run_baseline(devices) -> dict:
+def run_baseline(devices, backend: str | None = None) -> dict:
     """One fresh session per device, every leg sequentially to
     completion — no sharding, no cache, no cancellation."""
     latencies: list[float] = []
@@ -139,7 +142,7 @@ def run_baseline(devices) -> dict:
     start = time.perf_counter()
     for device in devices:
         t0 = time.perf_counter()
-        session = _fresh_session(device)
+        session = _fresh_session(device, backend)
         legs = {
             name: run_leg(
                 session, name, device.k, first_only=False, should_stop=None
@@ -152,9 +155,14 @@ def run_baseline(devices) -> dict:
     return {"wall": wall, "latencies": latencies, "legs": answers}
 
 
-def run_service(devices) -> tuple[DiagnosisService, list, float]:
+def run_service(
+    devices, backend: str | None = None
+) -> tuple[DiagnosisService, list, float]:
     service = DiagnosisService(
-        n_shards=N_SHARDS, timeout=120.0, design_cache=DesignCache()
+        n_shards=N_SHARDS,
+        timeout=120.0,
+        design_cache=DesignCache(),
+        solver_backend=backend,
     )
     start = time.perf_counter()
     results = service.run(devices)
@@ -162,7 +170,9 @@ def run_service(devices) -> tuple[DiagnosisService, list, float]:
     return service, results, wall
 
 
-def check_parity(devices, results, failures: list[str]) -> None:
+def check_parity(
+    devices, results, failures: list[str], backend: str | None = None
+) -> None:
     by_id = {d.device_id: d for d in devices}
     replayed: dict[tuple, tuple] = {}
     for result in results:
@@ -177,7 +187,7 @@ def check_parity(devices, results, failures: list[str]) -> None:
             failures.append(f"{result.device_id}: no answer")
             continue
         # Validity: the answer must be consistent with every observation.
-        if not _fresh_session(device).consistent(result.answer):
+        if not _fresh_session(device, backend).consistent(result.answer):
             failures.append(
                 f"{result.device_id}: answer {result.answer} inconsistent"
             )
@@ -188,7 +198,7 @@ def check_parity(devices, results, failures: list[str]) -> None:
         sig = device.signature()
         if sig not in replayed:
             replay = run_leg(
-                _fresh_session(device),
+                _fresh_session(device, backend),
                 result.winner,
                 device.k,
                 first_only=True,
@@ -202,13 +212,16 @@ def check_parity(devices, results, failures: list[str]) -> None:
             )
 
 
-def check_bsat_reference(devices, failures: list[str]) -> None:
+def check_bsat_reference(
+    devices, failures: list[str], backend: str | None = None
+) -> None:
     service = DiagnosisService(
         n_shards=N_SHARDS,
         strategies=("bsat",),
         policy="complete",
         timeout=120.0,
         design_cache=DesignCache(),
+        solver_backend=backend,
     )
     results = service.run(devices)
     for device, result in zip(devices, results):
@@ -218,7 +231,7 @@ def check_bsat_reference(devices, failures: list[str]) -> None:
             )
             continue
         reference = run_leg(
-            _fresh_session(device),
+            _fresh_session(device, backend),
             "bsat",
             device.k,
             first_only=False,
@@ -231,7 +244,7 @@ def check_bsat_reference(devices, failures: list[str]) -> None:
             )
 
 
-def run(smoke: bool) -> dict:
+def run(smoke: bool, solver_backend: str | None = None) -> dict:
     fleet = list(SMOKE_FLEET)
     if not smoke:
         fleet += FULL_EXTRA_FLEET
@@ -239,8 +252,8 @@ def run(smoke: bool) -> dict:
     n_dup = sum(min(d, len(s)) for _, s, d in fleet)
     failures: list[str] = []
 
-    baseline = run_baseline(devices)
-    service, results, service_wall = run_service(devices)
+    baseline = run_baseline(devices, solver_backend)
+    service, results, service_wall = run_service(devices, solver_backend)
     stats = service.stats()
 
     service_latencies = [r.latency for r in results]
@@ -251,6 +264,7 @@ def run(smoke: bool) -> dict:
     throughput_ratio = baseline["wall"] / service_wall
     report = {
         "smoke": smoke,
+        "solver_backend": solver_backend or "arena",
         "n_devices": len(devices),
         "n_designs": len(fleet),
         "n_shards": N_SHARDS,
@@ -295,8 +309,8 @@ def run(smoke: bool) -> dict:
             f"signature batching: {cached} memo-served devices, "
             f"expected {n_dup}"
         )
-    check_parity(devices, results, failures)
-    check_bsat_reference(devices, failures)
+    check_parity(devices, results, failures, solver_backend)
+    check_bsat_reference(devices, failures, solver_backend)
     report["failures"] = failures
     return report
 
@@ -311,8 +325,32 @@ def main(argv=None) -> int:
         "--out", default=str(OUT_DIR / "serve.json"),
         help="JSON artifact path",
     )
+    parser.add_argument(
+        "--solver-backend", default=None, metavar="NAME",
+        help="SAT backend for every leg of the race — both the "
+        "sequential baseline and the service (e.g. arena-jit, racing "
+        "the compiled kernels against the interpreted baseline); skips "
+        "cleanly when the backend's optional dependency is unavailable",
+    )
     args = parser.parse_args(argv)
-    report = run(smoke=args.smoke)
+    if args.solver_backend is not None:
+        from repro.sat.backends import SAT_BACKENDS, unavailable_backends
+
+        if args.solver_backend not in SAT_BACKENDS:
+            reason = unavailable_backends().get(args.solver_backend)
+            if reason is not None:
+                print(
+                    f"skipping --solver-backend {args.solver_backend}: "
+                    f"{reason}"
+                )
+                return 0
+            print(
+                f"unknown backend {args.solver_backend!r}; registered: "
+                f"{sorted(SAT_BACKENDS)}",
+                file=sys.stderr,
+            )
+            return 2
+    report = run(smoke=args.smoke, solver_backend=args.solver_backend)
     out_path = Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=1) + "\n")

@@ -53,6 +53,7 @@ from repro.diagnosis import (
 )
 from repro.experiments import make_workload
 from repro.sat import CNF, LegacySolver, Solver, encode_circuit
+from repro.sat.backends import SAT_BACKENDS, unavailable_backends
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -72,6 +73,15 @@ MIN_FURTHER_SPEEDUP = 1.5
 #: lower.
 MIN_POOL_CHURN_SPEEDUP = 5.0
 MIN_POOL_CHURN_SPEEDUP_SMOKE = 2.5
+
+#: ``--backend arena-jit`` gate: the compiled kernel must beat the
+#: interpreted arena on the sim1423 BSAT workflow (full mode; the
+#: smoke instances are too small to amortise anything).  The ratio is
+#: published under ``optional_gated_ratios`` — compared against the
+#: committed baseline only when both runs had numba, so a numba-less
+#: environment skips rather than fails (``--backend arena-jit`` itself
+#: exits 0 with a notice when the backend is unavailable).
+MIN_JIT_SPEEDUP = 3.0
 
 #: PR-4 arena baselines, pinned from the ``BENCH_solver.json`` PR 4
 #: committed (the file itself is regenerated as a rolling baseline, so
@@ -150,12 +160,14 @@ def bsat_workflow_legacy(workload, k_max):
     return times, k, _canon(enum.solutions), corr
 
 
-def bsat_workflow_persistent(workload, k_max):
-    """The overhauled shape: arena backend, one master session encoding
-    serving the auto-k sweep, the enumeration and the corrections query
-    through assumptions and activation scopes."""
+def bsat_workflow_persistent(workload, k_max, backend=None):
+    """The overhauled shape: arena backend (or ``backend``), one master
+    session encoding serving the auto-k sweep, the enumeration and the
+    corrections query through assumptions and activation scopes."""
     times = {}
-    session = DiagnosisSession(workload.faulty, workload.tests)
+    session = DiagnosisSession(
+        workload.faulty, workload.tests, solver_backend=backend
+    )
     t0 = time.perf_counter()
     autok = auto_k_sat_diagnose(
         workload.faulty, workload.tests, k_max=k_max, session=session
@@ -310,18 +322,21 @@ def _stats_means(solution_stats):
     }
 
 
-def run(smoke: bool) -> dict:
+def run(smoke: bool, backend: str | None = None) -> dict:
     instances = list(SMOKE_INSTANCES)
     if not smoke:
         instances += FULL_EXTRA_INSTANCES
     report: dict = {
         "smoke": smoke,
+        "backend": backend or "arena",
         "min_speedup": MIN_SPEEDUP,
         "min_further_speedup": MIN_FURTHER_SPEEDUP,
         "min_pool_churn_speedup": MIN_POOL_CHURN_SPEEDUP,
+        "min_jit_speedup": MIN_JIT_SPEEDUP,
         "pr4_baseline": PR4_BASELINE,
         "micro_descent": micro_descent(),
         "instances": [],
+        "optional_gated_ratios": {},
     }
     failures: list[str] = []
     for name, spec, p, m, seed, k_max in instances:
@@ -354,6 +369,31 @@ def run(smoke: bool) -> dict:
             "probe_stats": probes,
             "corrections_cached": bool(corr.extras.get("cached")),
         }
+        if backend is not None and backend != "arena":
+            # The compiled leg: the same master-session workflow through
+            # the selected backend, raced against the interpreted arena
+            # leg just measured.  Solutions must stay bit-identical.
+            jit_times, k_j, sols_j, _, _ = bsat_workflow_persistent(
+                workload, k_max, backend=backend
+            )
+            jit_ratio = jit_times["total"] and (
+                new_times["total"] / jit_times["total"]
+            )
+            entry["compiled"] = jit_times
+            entry["compiled_speedup"] = jit_ratio
+            report["optional_gated_ratios"][f"jit:{name}"] = jit_ratio
+            if k_j != k_n or sols_j != sols_n:
+                failures.append(
+                    f"{name}: {backend} workflow diverges from arena "
+                    f"(k {k_j} vs {k_n})"
+                )
+            if name == "sim1423-p2" and jit_ratio < MIN_JIT_SPEEDUP:
+                failures.append(
+                    f"{name}: {backend} speedup {jit_ratio:.2f}x over "
+                    f"arena < {MIN_JIT_SPEEDUP:.1f}x (arena "
+                    f"{new_times['total']:.3f}s, {backend} "
+                    f"{jit_times['total']:.3f}s)"
+                )
         report["instances"].append(entry)
         if k_l != k_n:
             failures.append(f"{name}: k diverged ({k_l} vs {k_n})")
@@ -454,8 +494,27 @@ def main(argv=None) -> int:
         "--out", default=str(OUT_DIR / "solver.json"),
         help="JSON artifact path",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="also race the BSAT workflow through this SAT backend "
+        "(e.g. arena-jit); skips cleanly when the backend's optional "
+        "dependency is unavailable",
+    )
     args = parser.parse_args(argv)
-    report = run(smoke=args.smoke)
+    if args.backend is not None and args.backend not in SAT_BACKENDS:
+        reason = unavailable_backends().get(args.backend)
+        if reason is not None:
+            print(
+                f"skipping --backend {args.backend} legs: {reason}"
+            )
+            return 0
+        print(
+            f"unknown backend {args.backend!r}; registered: "
+            f"{sorted(SAT_BACKENDS)}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run(smoke=args.smoke, backend=args.backend)
     out_path = Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=1) + "\n")
@@ -481,6 +540,12 @@ def main(argv=None) -> int:
                 else ""
             )
         )
+        if "compiled_speedup" in entry:
+            print(
+                f"{'':<12} {report['backend']} "
+                f"{entry['compiled']['total']:.3f}s  "
+                f"speedup over arena {entry['compiled_speedup']:.1f}x"
+            )
     for churn in report["pool_churns"]:
         print(
             f"pool churn ({churn['instance']}, {churn['n_pools']} pools "

@@ -8,11 +8,21 @@ ratio* of the two — the end-to-end legacy/persistent speedup of each
 pinned workflow instance, the pool-churn speedup, and any ratios an
 artifact publishes under its own ``gated_ratios`` block (how
 ``bench_serve.py`` exposes its service-vs-baseline throughput and
-latency ratios, gated against ``BENCH_serve.json``) — and fails when
-any current ratio has regressed by more than ``--tolerance`` (default
-25%) relative to the baseline.  Ratios are machine-independent (the
-slow leg is the in-run control), so the comparison is meaningful
-across CI runners.
+latency ratios, gated against ``BENCH_serve.json``, and how
+``bench_faultsim_engines.py`` exposes its engine speedups, gated
+against ``BENCH_faultsim.json``) — and fails when any current ratio
+has regressed by more than ``--tolerance`` (default 25%) relative to
+the baseline.  Ratios are machine-independent (the slow leg is the
+in-run control), so the comparison is meaningful across CI runners.
+
+An artifact may additionally publish an ``optional_gated_ratios``
+block for ratios that only exist when an optional dependency is
+importable (the ``arena-jit`` legs of ``bench_solver.py`` need numba).
+Optional ratios are gated with the same tolerance but **only when both
+artifacts carry them**: a numba-less smoke run simply skips the
+compiled ratios of a numba-full baseline (and vice versa) instead of
+failing, whereas a *required* ratio missing from the baseline demands
+the baseline be regenerated.
 
 CI runs this right after each smoke bench; a smoke artifact is
 compared against the full-mode baseline on their common keys (e.g. the
@@ -58,6 +68,16 @@ def gated_ratios(report: dict) -> dict[str, float]:
     return ratios
 
 
+def optional_gated_ratios(report: dict) -> dict[str, float]:
+    """Ratios gated only when both artifacts publish them (the
+    ``optional_gated_ratios`` block — optional-dependency legs)."""
+    return {
+        key: float(value)
+        for key, value in report.get("optional_gated_ratios", {}).items()
+        if isinstance(value, (int, float))
+    }
+
+
 def compare(
     baseline: dict, current: dict, tolerance: float
 ) -> tuple[list[str], list[str]]:
@@ -97,6 +117,28 @@ def compare(
             f"{key}: present in the current artifact but missing from "
             "the baseline — regenerate the committed baseline artifact"
         )
+    # Optional ratios: gated on the intersection, informational
+    # everywhere else (an optional dependency present in only one of
+    # the two runs is expected, never a failure).
+    base_opt = optional_gated_ratios(baseline)
+    cur_opt = optional_gated_ratios(current)
+    for key in sorted(set(base_opt) & set(cur_opt)):
+        base, cur = base_opt[key], cur_opt[key]
+        floor = base * (1.0 - tolerance)
+        status = "ok" if cur >= floor else "REGRESSED"
+        lines.append(
+            f"{key:<24} baseline {base:6.2f}x  current {cur:6.2f}x  "
+            f"floor {floor:6.2f}x  [optional, {status}]"
+        )
+        if cur < floor:
+            failures.append(
+                f"{key}: {cur:.2f}x is more than {tolerance:.0%} below "
+                f"the baseline {base:.2f}x (optional ratio present in "
+                "both artifacts)"
+            )
+    for key in sorted(set(base_opt) ^ set(cur_opt)):
+        where = "baseline" if key in base_opt else "current"
+        lines.append(f"{key:<24} (optional, {where} only — skipped)")
     return lines, failures
 
 
@@ -147,6 +189,47 @@ def test_compare_baseline_self():
     )
     _, failures = compare(baseline, regressed, DEFAULT_TOLERANCE)
     assert failures
+
+
+def test_compare_faultsim_baseline_self():
+    """The committed fault-simulation baseline must agree with itself,
+    and a fabricated codegen regression must be caught via its
+    ``gated_ratios`` block."""
+    baseline = json.loads(
+        (Path(__file__).parent.parent / "BENCH_faultsim.json").read_text()
+    )
+    _, failures = compare(baseline, baseline, DEFAULT_TOLERANCE)
+    assert not failures, failures
+    regressed = json.loads(json.dumps(baseline))
+    regressed["gated_ratios"]["faultsim:codegen_detect"] *= 0.4
+    _, failures = compare(baseline, regressed, DEFAULT_TOLERANCE)
+    assert failures
+
+
+def test_optional_ratios_gated_only_on_intersection():
+    """An ``optional_gated_ratios`` entry present in one artifact only
+    is skipped; present in both, it is gated like any other ratio."""
+    base = {"gated_ratios": {"x": 2.0}, "optional_gated_ratios": {}}
+    cur = {
+        "gated_ratios": {"x": 2.0},
+        "optional_gated_ratios": {"jit:sim1423-p2": 3.5},
+    }
+    # current-only optional ratio: informational, never a failure
+    _, failures = compare(base, cur, DEFAULT_TOLERANCE)
+    assert not failures, failures
+    # baseline-only optional ratio: also skipped
+    _, failures = compare(cur, base, DEFAULT_TOLERANCE)
+    assert not failures, failures
+    # in both and regressed: caught
+    regressed = {
+        "gated_ratios": {"x": 2.0},
+        "optional_gated_ratios": {"jit:sim1423-p2": 1.0},
+    }
+    _, failures = compare(cur, regressed, DEFAULT_TOLERANCE)
+    assert failures
+    # in both and healthy: passes
+    _, failures = compare(cur, cur, DEFAULT_TOLERANCE)
+    assert not failures, failures
 
 
 def test_compare_serve_baseline_self():

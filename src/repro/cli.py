@@ -333,6 +333,23 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from .sim.engines import (
+        SIM_ENGINES,
+        available_engines,
+        unavailable_engines,
+    )
+
+    names = available_engines()
+    missing = unavailable_engines()
+    width = max(len(name) for name in (*names, *missing))
+    for name in names:
+        print(f"{name.ljust(width)}  {SIM_ENGINES[name]}")
+    for name in sorted(missing):
+        print(f"{name.ljust(width)}  [unavailable] {missing[name]}")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     print(format_table1())
     return 0
@@ -587,6 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="list the registered SAT solver backends"
     )
     p_back.set_defaults(func=_cmd_backends)
+
+    p_eng = sub.add_parser(
+        "engines", help="list the registered fault-simulation engines"
+    )
+    p_eng.set_defaults(func=_cmd_engines)
 
     p_t1 = sub.add_parser("table1", help="print the comparison matrix")
     p_t1.set_defaults(func=_cmd_table1)

@@ -19,6 +19,14 @@ Three backends ship:
     Glucose3, registered **only when the package is importable** (the
     repo does not depend on it).  Useful as an external cross-check and
     as the template for remote/compiled engines (ROADMAP item).
+``arena-jit``
+    :class:`repro.sat.compiled.CompiledSolver` — the arena hot loop as
+    numba-jitted kernels over flat numpy arrays.  Registered only when
+    numba is importable; elsewhere it appears in
+    :func:`unavailable_backends` with the import error, and
+    :func:`resolve_backend` **degrades it to ``arena``** instead of
+    raising, so portfolio configurations naming the compiled backend
+    stay runnable on minimal installs.
 
 Every backend object offers the :class:`~repro.sat.solver.Solver`
 surface the repo relies on: ``new_var/ensure_vars/add_clause/solve
@@ -41,6 +49,7 @@ from .solver import Solver
 
 __all__ = [
     "SAT_BACKENDS",
+    "BACKEND_FALLBACKS",
     "DEFAULT_BACKEND",
     "register_backend",
     "available_backends",
@@ -49,6 +58,7 @@ __all__ = [
     "backend_summary",
     "resolve_backend",
     "external_backend_available",
+    "compiled_backend_available",
 ]
 
 #: Name -> (solver factory, one-line summary).
@@ -61,6 +71,12 @@ UNAVAILABLE_BACKENDS: dict[str, str] = {}
 
 #: The backend used when callers pass ``backend=None``.
 DEFAULT_BACKEND = "arena"
+
+#: Optional backend -> the interpreted backend it degrades to when its
+#: dependency is missing.  Selection through :func:`resolve_backend`
+#: (every session/strategy/CLI path) falls back instead of raising, so
+#: e.g. ``--solver-backend arena-jit`` works — slower — without numba.
+BACKEND_FALLBACKS: dict[str, str] = {"arena-jit": "arena"}
 
 
 def register_backend(
@@ -98,10 +114,15 @@ def resolve_backend(name: str | None) -> str:
     """Canonical registered name for ``name`` (None = the default).
 
     Cache keys should use this so ``None`` and the default backend's
-    explicit name share one entry; raises for unknown backends.
+    explicit name share one entry.  An *optional* backend whose
+    dependency is missing resolves to its :data:`BACKEND_FALLBACKS`
+    entry (graceful degradation); truly unknown names raise.
     """
     resolved = DEFAULT_BACKEND if name is None else name
     if resolved not in SAT_BACKENDS:
+        fallback = BACKEND_FALLBACKS.get(resolved)
+        if fallback is not None and fallback in SAT_BACKENDS:
+            return fallback
         raise ValueError(
             f"unknown solver backend {resolved!r}; choose from "
             f"{available_backends()}"
@@ -272,3 +293,36 @@ def _try_register_pysat() -> None:
 
 
 _try_register_pysat()
+
+
+# ----------------------------------------------------------------------
+# optional compiled backend (numba), registered only if importable
+# ----------------------------------------------------------------------
+def compiled_backend_available() -> bool:
+    """True when the numba-compiled ``arena-jit`` backend is registered."""
+    return "arena-jit" in SAT_BACKENDS
+
+
+def _try_register_compiled() -> None:
+    from .compiled import NUMBA_AVAILABLE, NUMBA_IMPORT_ERROR
+
+    if not NUMBA_AVAILABLE:
+        UNAVAILABLE_BACKENDS["arena-jit"] = (
+            f"optional dependency not importable: {NUMBA_IMPORT_ERROR} "
+            f"(selection falls back to {BACKEND_FALLBACKS['arena-jit']!r})"
+        )
+        return
+
+    @register_backend(
+        "arena-jit",
+        "numba-compiled arena CDCL kernels (optional dependency; "
+        "per-process warm-up on first use)",
+    )
+    def _compiled_backend():
+        from .compiled import CompiledSolver, warm_up
+
+        warm_up()  # JIT compile outside any measured query
+        return CompiledSolver()
+
+
+_try_register_compiled()

@@ -46,14 +46,30 @@ Engine selection guide
   the fanout cone.  Backs the what-if loop of
   :mod:`repro.diagnosis.advanced_sim` and the ``engine="event"``
   candidate screen of :mod:`repro.diagnosis.validity`.
+* :mod:`repro.sim.codegen` (:func:`compile_kernel`,
+  :func:`codegen_detected`, :func:`codegen_fault_coverage`,
+  :func:`exact_match_faults_codegen`) — the compiled floor of the
+  batchfault sweep: one generated straight-line numpy kernel per
+  circuit (levelized fused ops, liveness-based slot reuse, grouped
+  fault forcing), cached on the circuit and invalidated with its
+  compiled form.  Pays one kernel build (~tens of ms) on first use,
+  then sweeps ~2× faster than ``batchfault``
+  (``benchmarks/bench_faultsim_engines.py`` gates the ratio).  The
+  engine of choice when many sweeps hit the *same* circuit —
+  ``FaultDictionary(engine="codegen")`` / ATPG ``sim_engine="codegen"``
+  opt in; bit-identical to every interpreted engine.  Pure numpy: no
+  optional dependency.
 
 Picking an engine: scalar/ternary for single oracles, ``simulate_words``
 (or its numpy twin) for many patterns on a *fixed* circuit configuration,
-batchfault when many faults must be swept anyway, deductive/-numpy when
-the per-signal fault lists themselves matter, and the event engines when
-changes arrive one at a time and fanout cones are small.  All fault
-engines are bit-identical — ``tests/sim/test_cross_engine.py`` holds the
-full differential matrix.
+batchfault when many faults must be swept anyway, codegen when those
+sweeps repeat on one circuit (dictionary builds, ATPG drop loops),
+deductive/-numpy when the per-signal fault lists themselves matter, and
+the event engines when changes arrive one at a time and fanout cones are
+small.  All fault engines are bit-identical —
+``tests/sim/test_cross_engine.py`` holds the full differential matrix —
+and :mod:`repro.sim.engines` lists them with availability (the
+simulation twin of ``python -m repro backends``).
 """
 
 from .compiled import CompiledCircuit, compile_circuit
@@ -102,6 +118,23 @@ from .batchfault import (
     batch_fault_coverage,
     exact_match_faults,
 )
+from .codegen import (
+    CodegenKernel,
+    compile_kernel,
+    codegen_source,
+    codegen_output_lanes,
+    fault_signatures_codegen,
+    codegen_detected,
+    codegen_fault_coverage,
+    exact_match_faults_codegen,
+)
+from .engines import (
+    SIM_ENGINES,
+    available_engines,
+    unavailable_engines,
+    engine_summary,
+    resolve_engine,
+)
 
 __all__ = [
     "CompiledCircuit",
@@ -143,4 +176,17 @@ __all__ = [
     "batch_detected",
     "batch_fault_coverage",
     "exact_match_faults",
+    "CodegenKernel",
+    "compile_kernel",
+    "codegen_source",
+    "codegen_output_lanes",
+    "fault_signatures_codegen",
+    "codegen_detected",
+    "codegen_fault_coverage",
+    "exact_match_faults_codegen",
+    "SIM_ENGINES",
+    "available_engines",
+    "unavailable_engines",
+    "engine_summary",
+    "resolve_engine",
 ]

@@ -1,0 +1,117 @@
+"""Fault-simulation engine registry with availability reporting.
+
+The SAT layer's :mod:`repro.sat.backends` registry taught the CLI to
+*list* optional backends that failed to import (with the reason) and to
+*degrade* selection instead of raising.  This module is the simulation
+twin: one place that names the fault-simulation engines the
+``engine=``/``sim_engine=`` parameters accept (``FaultDictionary``,
+:func:`repro.diagnosis.stuckat.diagnose_stuck_at`,
+:func:`repro.testgen.atpg.generate_tests`), with a one-line summary per
+engine, an unavailable-with-reason table for optional engines whose
+dependency is missing, and a fallback map consulted by
+:func:`resolve_engine` so selecting an unavailable engine degrades to
+its interpreted twin instead of raising.
+
+Every engine that ships in-tree is pure numpy/Python and therefore
+always available — including ``codegen``, whose generated kernels need
+no optional dependency — so :data:`UNAVAILABLE_ENGINES` is empty on a
+stock install; the mechanism exists so compiled variants gated on
+optional dependencies surface in ``python -m repro engines`` exactly
+like ``arena-jit`` does in ``python -m repro backends``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SIM_ENGINES",
+    "UNAVAILABLE_ENGINES",
+    "ENGINE_FALLBACKS",
+    "register_engine",
+    "available_engines",
+    "unavailable_engines",
+    "engine_summary",
+    "resolve_engine",
+]
+
+#: Engine name -> one-line summary (the ``python -m repro engines`` rows).
+SIM_ENGINES: dict[str, str] = {}
+
+#: Optional engines that could not register -> the reason (import error).
+UNAVAILABLE_ENGINES: dict[str, str] = {}
+
+#: Optional engine -> the always-available engine it degrades to when
+#: its dependency is missing (mirrors ``BACKEND_FALLBACKS``).
+ENGINE_FALLBACKS: dict[str, str] = {}
+
+#: The engine ``"auto"`` resolves to.
+DEFAULT_ENGINE = "batch"
+
+
+def register_engine(name: str, summary: str) -> None:
+    """Register an engine name for listing/selection."""
+    if name in SIM_ENGINES:
+        raise ValueError(f"sim engine {name!r} registered twice")
+    SIM_ENGINES[name] = summary
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted, the ``auto`` default first."""
+    names = sorted(SIM_ENGINES)
+    names.remove(DEFAULT_ENGINE)
+    return (DEFAULT_ENGINE, *names)
+
+
+def unavailable_engines() -> dict[str, str]:
+    """Optional engines that could not register -> why (import error)."""
+    return dict(UNAVAILABLE_ENGINES)
+
+
+def engine_summary(name: str) -> str:
+    """The registry's one-line summary for ``name``."""
+    return SIM_ENGINES[resolve_engine(name)]
+
+
+def resolve_engine(name: str | None) -> str:
+    """Canonical registered engine name (None / ``"auto"`` = default).
+
+    An *optional* engine whose dependency is missing resolves to its
+    :data:`ENGINE_FALLBACKS` entry instead of raising; truly unknown
+    names raise with the list of choices.
+    """
+    resolved = DEFAULT_ENGINE if name in (None, "auto") else name
+    if resolved not in SIM_ENGINES:
+        fallback = ENGINE_FALLBACKS.get(resolved)
+        if fallback is not None and fallback in SIM_ENGINES:
+            return fallback
+        raise ValueError(
+            f"unknown sim engine {resolved!r}; choose from "
+            f"{available_engines()}"
+        )
+    return resolved
+
+
+register_engine(
+    "serial",
+    "one forced-value simulation pass per fault (the oracle)",
+)
+register_engine(
+    "batch",
+    "fault-parallel x pattern-parallel numpy sweep (default)",
+)
+register_engine(
+    "codegen",
+    "per-circuit generated straight-line numpy kernel (opt-in fast "
+    "path; one kernel build per circuit, then ~2x the batch sweep)",
+)
+register_engine(
+    "deductive",
+    "pure-Python deductive fault-list propagation (second oracle)",
+)
+register_engine(
+    "deductive-numpy",
+    "deductive propagation on uint64 bitset matrices",
+)
+register_engine(
+    "event",
+    "batched event simulation: force/unforce fanout-cone updates",
+)

@@ -26,6 +26,7 @@ from ..faults.models import StuckAtFault
 from ..sat.cnf import CNF
 from ..sim.batchevent import event_detected, event_fault_coverage
 from ..sim.batchfault import batch_detected, batch_fault_coverage
+from ..sim.codegen import codegen_detected, codegen_fault_coverage
 from ..sim.deductive import FaultCoverage, deductive_coverage, deductive_detected
 from ..sim.deductive_numpy import (
     deductive_coverage_numpy,
@@ -50,11 +51,15 @@ __all__ = [
 #: propagator kept as the equivalence oracle; ``"deductive-numpy"`` is
 #: its bitset-matrix vectorization (:mod:`repro.sim.deductive_numpy`);
 #: ``"event"`` rides the batched event simulator
-#: (:mod:`repro.sim.batchevent`), re-evaluating only fanout cones.  All
-#: four produce identical coverage — the cross-engine differential
-#: matrix (``tests/sim/test_cross_engine.py``) pins this.
+#: (:mod:`repro.sim.batchevent`), re-evaluating only fanout cones;
+#: ``"codegen"`` runs the batch sweep through the per-circuit generated
+#: straight-line kernel (:mod:`repro.sim.codegen`) — the opt-in fast
+#: path when many sweeps hit the same circuit.  All engines produce
+#: identical coverage — the cross-engine differential matrix
+#: (``tests/sim/test_cross_engine.py``) pins this.
 _SIM_ENGINES = {
     "batch": (batch_detected, batch_fault_coverage),
+    "codegen": (codegen_detected, codegen_fault_coverage),
     "deductive": (deductive_detected, deductive_coverage),
     "deductive-numpy": (deductive_detected_numpy, deductive_coverage_numpy),
     "event": (event_detected, event_fault_coverage),
@@ -62,12 +67,20 @@ _SIM_ENGINES = {
 
 
 def _sim_engine(name: str):
-    try:
-        return _SIM_ENGINES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown sim_engine {name!r}; choose from {sorted(_SIM_ENGINES)}"
-        ) from None
+    if name not in _SIM_ENGINES:
+        # optional engines degrade to their interpreted twin instead of
+        # raising (mirrors repro.sat.backends.BACKEND_FALLBACKS)
+        from ..sim.engines import ENGINE_FALLBACKS
+
+        fallback = ENGINE_FALLBACKS.get(name)
+        if fallback in _SIM_ENGINES:
+            name = fallback
+        else:
+            raise ValueError(
+                f"unknown sim_engine {name!r}; choose from "
+                f"{sorted(_SIM_ENGINES)}"
+            )
+    return _SIM_ENGINES[name]
 
 
 @dataclass(frozen=True)

@@ -4,10 +4,13 @@ Three layers:
 
 * registry mechanics — names, summaries, creation, unknown-backend and
   duplicate-registration errors, ``CNF.to_solver(backend=)`` routing;
-* hypothesis differential — random small CNFs solved by the arena and
-  legacy backends must agree with each other *and* with brute force on
-  SAT/UNSAT, produce satisfying models, and report failed-assumption
-  cores that are genuinely unsatisfiable subsets of the assumptions;
+* hypothesis differential — random small CNFs solved by the arena,
+  legacy and compiled (arena-jit) backends must agree with each other
+  *and* with brute force on SAT/UNSAT, produce satisfying models, and
+  report failed-assumption cores that are genuinely unsatisfiable
+  subsets of the assumptions.  The compiled kernels run as plain Python
+  when numba is absent — same semantics, so the differential holds in
+  every environment;
 * incremental machinery — the arena solver's trail-reuse enumeration and
   minimal-backjump clause insertion must enumerate exactly the legacy
   solution sets under interleaved bounds/blocking, and the incremental
@@ -35,6 +38,7 @@ from repro.sat import (
     register_backend,
     totalizer,
 )
+from repro.sat.compiled import CompiledSolver
 
 
 def brute_force_sat(n_vars, clauses):
@@ -101,6 +105,48 @@ def test_external_backend_gated_on_import():
         assert set(solver.stats) >= {"conflicts", "decisions"}
 
 
+def test_compiled_backend_gated_on_import():
+    """``arena-jit`` registers only when numba imports; otherwise it is
+    listed as unavailable with the reason and *selection degrades* to
+    the interpreted arena instead of raising."""
+    from repro.sat.backends import (
+        BACKEND_FALLBACKS,
+        compiled_backend_available,
+        resolve_backend,
+        unavailable_backends,
+    )
+    from repro.sat.compiled import NUMBA_AVAILABLE
+
+    assert BACKEND_FALLBACKS["arena-jit"] == "arena"
+    if NUMBA_AVAILABLE:  # pragma: no cover - exercised in the numba lane
+        assert compiled_backend_available()
+        assert "arena-jit" in available_backends()
+        assert resolve_backend("arena-jit") == "arena-jit"
+        solver = create_solver("arena-jit")
+        assert isinstance(solver, CompiledSolver)
+        a = solver.new_var()
+        assert solver.add_clause([a])
+        assert solver.solve() is True
+        assert solver.solve([-a]) is False
+        assert set(solver.core()) <= {-a}
+    else:
+        assert not compiled_backend_available()
+        assert "arena-jit" not in available_backends()
+        reason = unavailable_backends()["arena-jit"]
+        assert "numba" in reason
+        assert "arena" in reason  # the fallback is named in the reason
+        # graceful degradation: every selection path falls back to the
+        # interpreted arena instead of raising
+        assert resolve_backend("arena-jit") == "arena"
+        assert isinstance(create_solver("arena-jit"), Solver)
+        cnf = CNF()
+        v = cnf.new_var()
+        cnf.add_clause([v])
+        solver = cnf.to_solver(backend="arena-jit")
+        assert isinstance(solver, Solver)
+        assert solver.solve() is True
+
+
 def test_unknown_backend_rejected():
     with pytest.raises(ValueError, match="unknown solver backend"):
         create_solver("no-such-backend")
@@ -162,14 +208,19 @@ def test_backends_agree_with_brute_force(instance):
     n_vars, clauses, assumptions = instance
     arena, ok_a = load(Solver, n_vars, clauses)
     legacy, ok_l = load(LegacySolver, n_vars, clauses)
+    # The compiled solver reports root contradictions at solve() rather
+    # than from add_clause, so its leg compares solve *outcomes* only.
+    compiled, _ = load(CompiledSolver, n_vars, clauses)
     assert ok_a == ok_l
     result_a = arena.solve() if ok_a else False
     result_l = legacy.solve() if ok_l else False
     expected = brute_force_sat(n_vars, clauses)
     assert result_a == result_l == expected
+    assert compiled.solve() == expected
     if result_a:
         assert model_satisfies(arena, n_vars, clauses)
         assert model_satisfies(legacy, n_vars, clauses)
+        assert model_satisfies(compiled, n_vars, clauses)
     # ... and under assumptions
     result_a = arena.solve(assumptions) if ok_a else False
     result_l = legacy.solve(assumptions) if ok_l else False
@@ -177,10 +228,13 @@ def test_backends_agree_with_brute_force(instance):
         n_vars, clauses + [[a] for a in assumptions]
     )
     assert result_a == result_l == expected
+    assert compiled.solve(assumptions) == expected
     if result_a:
         assert model_satisfies(arena, n_vars, clauses)
+        assert model_satisfies(compiled, n_vars, clauses)
         for a in assumptions:
             assert arena.value(abs(a)) in (None, a > 0)
+            assert compiled.value(abs(a)) in (None, a > 0)
 
 
 @pytest.mark.slow
@@ -188,7 +242,7 @@ def test_backends_agree_with_brute_force(instance):
 @settings(max_examples=80, deadline=None)
 def test_failed_assumption_cores_sound(instance):
     n_vars, clauses, assumptions = instance
-    for cls in (Solver, LegacySolver):
+    for cls in (Solver, LegacySolver, CompiledSolver):
         solver, ok = load(cls, n_vars, clauses)
         if not ok or solver.solve(assumptions) is not False:
             continue
@@ -208,7 +262,8 @@ def test_interleaved_growth_agrees(instance):
     n_vars, clauses, assumptions = instance
     arena = Solver()
     legacy = LegacySolver()
-    for s in (arena, legacy):
+    compiled = CompiledSolver()
+    for s in (arena, legacy, compiled):
         s.ensure_vars(n_vars)
     added: list[list[int]] = []
     ok_a = ok_l = True
@@ -216,12 +271,15 @@ def test_interleaved_growth_agrees(instance):
         added.append(clause)
         ok_a = arena.add_clause(clause) and ok_a
         ok_l = legacy.add_clause(clause) and ok_l
+        compiled.add_clause(clause)
         if i % 3 == 2:
             r_a = arena.solve(assumptions) if ok_a else False
             r_l = legacy.solve(assumptions) if ok_l else False
-            assert bool(r_a) == bool(r_l)
+            r_c = compiled.solve(assumptions)
+            assert bool(r_a) == bool(r_l) == bool(r_c)
             if r_a:
                 assert model_satisfies(arena, n_vars, added)
+                assert model_satisfies(compiled, n_vars, added)
 
 
 @st.composite
@@ -276,20 +334,32 @@ def test_assumption_prefix_churn_binary_heavy(instance):
     n_vars, clauses, rounds = instance
     arena, ok_a = load(Solver, n_vars, clauses)
     legacy, ok_l = load(LegacySolver, n_vars, clauses)
+    compiled, _ = load(CompiledSolver, n_vars, clauses)
     assert ok_a == ok_l
     grown = list(clauses)
     for i, assumptions in enumerate(rounds):
         result_a = arena.solve(assumptions) if ok_a else False
         result_l = legacy.solve(assumptions) if ok_l else False
+        result_c = compiled.solve(assumptions)
         expected = brute_force_sat(
             n_vars, grown + [[a] for a in assumptions]
         )
-        assert result_a == result_l == expected, (i, assumptions)
+        assert result_a == result_l == result_c == expected, (
+            i,
+            assumptions,
+        )
         if result_a:
             assert model_satisfies(arena, n_vars, grown)
+            assert model_satisfies(compiled, n_vars, grown)
             for a in assumptions:
                 assert arena.value(abs(a)) in (None, a > 0)
-        elif ok_a:
+        if result_c is False:
+            core_c = compiled.core()
+            assert set(core_c) <= set(assumptions)
+            assert not brute_force_sat(
+                n_vars, grown + [[a] for a in core_c]
+            )
+        if result_a is False and ok_a:
             # the failed-assumption core must be a genuinely
             # unsatisfiable subset even with the trail kept alive
             # (when ok_a is False solve() was never called, so core()
@@ -309,6 +379,7 @@ def test_assumption_prefix_churn_binary_heavy(instance):
             grown.append(extra)
             ok_a = arena.add_clause(extra) and ok_a
             ok_l = legacy.add_clause(extra) and ok_l
+            compiled.add_clause(extra)
             assert ok_a == ok_l
 
 

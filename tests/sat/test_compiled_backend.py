@@ -1,0 +1,200 @@
+"""The compiled (arena-jit) solver as a *backend*: unit surface plus
+pinned diagnosis-workload parity.
+
+``repro.sat.compiled`` runs its kernels as plain Python when numba is
+absent — identical semantics, just slower — so everything here holds in
+every environment; only registration under the ``arena-jit`` name is
+gated on the import (covered in ``test_backends.py``).  The diagnosis
+parity tests temp-register the solver under a scratch name and drive
+the full ``DiagnosisSession`` strategy stack through it, asserting the
+solution sets are bit-identical to the interpreted arena.
+"""
+
+import pytest
+
+from repro.circuits import library
+from repro.diagnosis import DiagnosisSession, diagnose
+from repro.sat.backends import SAT_BACKENDS, register_backend
+from repro.sat.compiled import CompiledSolver, warm_up
+from repro.serve import signature_seed
+
+from tests.serve._devices import make_device
+
+BACKEND = "compiled-under-test"
+
+
+def _canon(solutions):
+    """Order-insensitive canonical form: backends agree on the solution
+    *set*; discovery order tracks each solver's decision heuristic."""
+    return sorted(tuple(sorted(s)) for s in solutions)
+
+
+@pytest.fixture
+def compiled_backend():
+    """Temp-register the compiled solver so ``solver_backend=`` paths
+    route to it; always restore the registry."""
+    register_backend(BACKEND, "compiled kernels (test registration)")(
+        CompiledSolver
+    )
+    try:
+        yield BACKEND
+    finally:
+        SAT_BACKENDS.pop(BACKEND, None)
+
+
+# ----------------------------------------------------------------------
+# solver surface
+# ----------------------------------------------------------------------
+def test_basic_solve_and_model():
+    s = CompiledSolver()
+    a, b, c = s.new_var(), s.new_var(), s.new_var()
+    assert s.add_clause([a, b])
+    assert s.add_clause([-a, c])
+    assert s.solve() is True
+    model = {v: s.value(v) for v in (a, b, c)}
+    assert any(model[v] for v in (a, b))
+    if model[a]:
+        assert model[c]
+
+
+def test_root_contradiction_surfaces_at_solve():
+    """Unlike the arena solver, add_clause stays True on a root-level
+    contradiction; solve() reports the UNSAT."""
+    s = CompiledSolver()
+    a = s.new_var()
+    assert s.add_clause([a])
+    assert s.add_clause([-a])
+    assert s.solve() is False
+    assert s.solve() is False  # stable across repeated calls
+
+
+def test_empty_clause_rejected():
+    s = CompiledSolver()
+    s.new_var()
+    assert s.add_clause([]) is False
+    assert s.solve() is False
+
+
+def test_tautology_and_duplicates_normalized():
+    s = CompiledSolver()
+    a, b = s.new_var(), s.new_var()
+    assert s.add_clause([a, -a])  # tautology: dropped, stays SAT
+    assert s.add_clause([b, b, b])
+    assert s.solve() is True
+    assert s.value(b) is True
+
+
+def test_duplicate_assumptions_core():
+    s = CompiledSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([a, b])
+    s.add_clause([-a, b])
+    assert s.solve([a, a, -b]) is False
+    core = s.core()
+    assert set(core) <= {a, -b}
+    # the core alone must already be contradictory with the clauses
+    fresh = CompiledSolver()
+    fresh.ensure_vars(2)
+    fresh.add_clause([a, b])
+    fresh.add_clause([-a, b])
+    assert fresh.solve(core) is False
+
+
+def test_conflict_limit_returns_none():
+    s = CompiledSolver()
+    n_p, n_h = 7, 6
+    var = {}
+    for p in range(n_p):
+        for h in range(n_h):
+            var[p, h] = s.new_var()
+    for p in range(n_p):
+        s.add_clause([var[p, h] for h in range(n_h)])
+    for h in range(n_h):
+        for p1 in range(n_p):
+            for p2 in range(p1 + 1, n_p):
+                s.add_clause([-var[p1, h], -var[p2, h]])
+    assert s.solve(conflict_limit=1) is None
+    assert s.solve() is False  # and solvable to completion afterwards
+
+
+def test_stats_accumulate_across_solves():
+    s = CompiledSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([a, b])
+    assert s.solve() is True
+    first = dict(s.stats)
+    assert set(first) >= {
+        "conflicts",
+        "decisions",
+        "propagations",
+        "restarts",
+        "learned",
+    }
+    assert s.solve([-a]) is True
+    assert s.stats["decisions"] >= first["decisions"]
+
+
+def test_start_proof_not_supported():
+    with pytest.raises(NotImplementedError):
+        CompiledSolver().start_proof()
+
+
+def test_warm_up_idempotent():
+    warm_up()
+    warm_up()  # second call is a no-op (flag short-circuits)
+
+
+def test_phase_saving_and_activity_persist():
+    """Re-solving after growth reuses the persisted polarity/activity
+    buffers — same instance stays solvable and consistent."""
+    s = CompiledSolver()
+    lits = [s.new_var() for _ in range(6)]
+    for i in range(5):
+        s.add_clause([lits[i], lits[i + 1]])
+    for _ in range(4):
+        assert s.solve() is True
+    s.add_clause([-lits[0]])
+    assert s.solve() is True
+    assert s.value(lits[0]) is False or s.value(lits[1]) is True
+
+
+# ----------------------------------------------------------------------
+# pinned diagnosis workloads through the backend registry
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("design,seed", [("c17", 3), ("fig5a", 2)])
+def test_pinned_diagnosis_parity(compiled_backend, design, seed):
+    """The full session strategy stack (master encoding, auto-k sweep,
+    enumeration) through the compiled backend must reproduce the arena
+    solution sets bit-identically."""
+    device = make_device("d0", design=design, seed=seed, k=2)
+    circuit = library.get_circuit(device.design)
+
+    def solve(backend):
+        session = DiagnosisSession(
+            circuit,
+            device.tests,
+            seed=signature_seed(device.signature()),
+            solver_backend=backend,
+        )
+        return diagnose(session, k=2, strategy="bsat-auto-k")
+
+    reference = solve(None)
+    compiled = solve(compiled_backend)
+    assert _canon(compiled.solutions) == _canon(reference.solutions)
+    assert compiled.complete == reference.complete
+
+
+def test_session_override_per_query(compiled_backend):
+    """``solver_backend=`` at the session level routes every instance
+    checker through the compiled solver without touching defaults."""
+    device = make_device("d1", seed=7, k=2)
+    circuit = library.get_circuit(device.design)
+    session = DiagnosisSession(
+        circuit, device.tests, solver_backend=compiled_backend
+    )
+    assert session.solver_backend == compiled_backend
+    result = diagnose(session, k=2, strategy="bsat-auto-k")
+    reference = diagnose(
+        DiagnosisSession(circuit, device.tests), k=2, strategy="bsat-auto-k"
+    )
+    assert _canon(result.solutions) == _canon(reference.solutions)

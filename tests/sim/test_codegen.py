@@ -1,0 +1,178 @@
+"""Unit tests for the generated straight-line simulator kernel.
+
+The cross-engine matrix (``test_cross_engine.py``) proves codegen
+bit-identical to every interpreted engine; this file pins the pieces
+specific to the code generator: kernel caching + invalidation on
+netlist mutation, the generated source's shape, forcing-plan caching,
+and slot reuse actually shrinking the working set.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_circuit
+from repro.circuits.netlist import Circuit, GateType
+from repro.faults import full_stuck_at_universe
+from repro.sim import (
+    batch_fault_coverage,
+    codegen_detected,
+    codegen_fault_coverage,
+    codegen_source,
+    compile_kernel,
+    fault_signatures_batch,
+    fault_signatures_codegen,
+)
+from repro.sim.codegen import _PLAN_CACHE_LIMIT
+
+
+def _circuit(seed=11, n_gates=40):
+    return random_circuit(
+        n_inputs=6, n_outputs=3, n_gates=n_gates, seed=seed
+    )
+
+
+def _patterns(circuit, n, seed=5):
+    rng = random.Random(seed)
+    return [
+        {pi: rng.getrandbits(1) for pi in circuit.inputs} for _ in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# kernel caching and invalidation
+# ----------------------------------------------------------------------
+def test_kernel_cached_per_circuit():
+    circuit = _circuit()
+    k1 = compile_kernel(circuit)
+    k2 = compile_kernel(circuit)
+    assert k1 is k2
+    assert circuit._cache["codegen"] is k1
+
+
+def test_kernel_invalidated_on_mutation():
+    """Netlist mutation clears the circuit cache; the next sweep builds
+    a fresh kernel and the results track the *new* netlist."""
+    circuit = Circuit("mut")
+    for pi in ("a", "b"):
+        circuit.add_input(pi)
+    circuit.add_gate("g", GateType.AND, ("a", "b"))
+    circuit.add_output("g")
+    old = compile_kernel(circuit)
+    faults = full_stuck_at_universe(circuit)
+    patterns = [{"a": 1, "b": 1}, {"a": 0, "b": 1}]
+    before = fault_signatures_codegen(circuit, faults, patterns)
+    circuit.replace_gate("g", gtype=GateType.OR)
+    new = compile_kernel(circuit)
+    assert new is not old
+    after = fault_signatures_codegen(circuit, faults, patterns)
+    assert before != after  # AND vs OR differ on {a=0, b=1}
+    assert after == fault_signatures_batch(circuit, faults, patterns)
+
+
+# ----------------------------------------------------------------------
+# generated source
+# ----------------------------------------------------------------------
+def test_codegen_source_is_straight_line():
+    circuit = _circuit()
+    src = codegen_source(circuit)
+    assert "def kern(" in src
+    # straight-line: no loops inside the kernel body; the only branches
+    # are the one-line fault-forcing hooks
+    body = src.split("def kern(", 1)[1]
+    assert "for " not in body
+    assert "while " not in body
+    for line in body.splitlines():
+        if "if " in line:
+            assert "_f" in line, line
+
+
+def test_slot_reuse_bounds_working_set():
+    """Liveness-based slot reuse: the buffer holds far fewer slots than
+    the circuit has signals."""
+    circuit = _circuit(n_gates=120)
+    kernel = compile_kernel(circuit)
+    assert kernel.n_slots < len(list(circuit.nodes))
+
+
+# ----------------------------------------------------------------------
+# forcing plans
+# ----------------------------------------------------------------------
+def test_forcing_plan_cached_per_fault_tuple():
+    circuit = _circuit()
+    kernel = compile_kernel(circuit)
+    faults = tuple(full_stuck_at_universe(circuit))
+    p1 = kernel._forcing_plan(faults)
+    p2 = kernel._forcing_plan(faults)
+    assert p1 is p2
+
+
+def test_forcing_plan_cache_bounded():
+    circuit = _circuit()
+    kernel = compile_kernel(circuit)
+    universe = list(full_stuck_at_universe(circuit))
+    for i in range(_PLAN_CACHE_LIMIT + 4):
+        kernel._forcing_plan(tuple(universe[: i + 1]))
+    assert len(kernel._plans) <= _PLAN_CACHE_LIMIT + 1
+
+
+def test_partial_fault_lists_agree_with_batch():
+    """Sweeps over sliced fault lists (the ATPG drop-loop shape) hit
+    distinct forcing plans and must stay bit-identical to batchfault."""
+    circuit = _circuit(seed=7, n_gates=60)
+    universe = list(full_stuck_at_universe(circuit))
+    patterns = _patterns(circuit, 9)
+    rng = random.Random(3)
+    for _ in range(5):
+        subset = rng.sample(universe, rng.randint(1, len(universe)))
+        assert fault_signatures_codegen(
+            circuit, subset, patterns
+        ) == fault_signatures_batch(circuit, subset, patterns)
+
+
+# ----------------------------------------------------------------------
+# coverage options
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("drop", [True, False])
+def test_coverage_matches_batch_with_and_without_dropping(drop):
+    circuit = _circuit(seed=13, n_gates=80)
+    faults = list(full_stuck_at_universe(circuit))
+    patterns = _patterns(circuit, 70)  # crosses a uint64 lane boundary
+    cg = codegen_fault_coverage(
+        circuit, patterns, faults, drop_detected=drop
+    )
+    bf = batch_fault_coverage(circuit, patterns, faults, drop_detected=drop)
+    assert dict(cg.first_detection) == dict(bf.first_detection)
+    assert cg.detected == bf.detected
+
+
+def test_small_block_coverage_matches_whole():
+    circuit = _circuit(seed=17, n_gates=50)
+    faults = list(full_stuck_at_universe(circuit))
+    patterns = _patterns(circuit, 30)
+    small = codegen_fault_coverage(
+        circuit, patterns, faults, block_patterns=7
+    )
+    whole = codegen_fault_coverage(
+        circuit, patterns, faults, block_patterns=256
+    )
+    assert dict(small.first_detection) == dict(whole.first_detection)
+
+
+def test_detected_empty_fault_list():
+    circuit = _circuit()
+    vector = _patterns(circuit, 1)[0]
+    assert codegen_detected(circuit, vector, []) == frozenset()
+
+
+def test_workspace_reused_across_sweeps():
+    circuit = _circuit()
+    kernel = compile_kernel(circuit)
+    faults = tuple(full_stuck_at_universe(circuit))
+    patterns = _patterns(circuit, 4)
+    fault_signatures_codegen(circuit, faults, patterns)
+    ws1 = kernel._ws
+    fault_signatures_codegen(circuit, faults, patterns)
+    assert kernel._ws is ws1  # same (rows, lanes) -> same buffers
+    assert isinstance(ws1[2], np.ndarray)

@@ -7,8 +7,9 @@ Two layers:
   generates random circuits, vectors and forced-value sets and asserts
   they agree signal-for-signal.
 * **fault-engine matrix** — every pair of fault-simulation engines
-  (serial, pattern-parallel, batchfault, deductive, deductive-numpy,
-  event, batch-event) is compared on seeded random circuits from
+  (serial, pattern-parallel, batchfault, codegen, deductive,
+  deductive-numpy, event, batch-event) is compared on seeded random
+  circuits from
   :mod:`repro.circuits.generator` with seeded pattern sets: they must
   agree on per-pattern detected-fault sets, full output signatures and
   coverage (first-detection indices and counts).  Each engine computes
@@ -30,6 +31,8 @@ from repro.sim import (
     EventSimulator,
     batch_detected,
     batch_fault_coverage,
+    codegen_detected,
+    codegen_fault_coverage,
     deductive_coverage,
     deductive_coverage_numpy,
     deductive_detected,
@@ -38,6 +41,7 @@ from repro.sim import (
     event_detected,
     event_fault_coverage,
     fault_signatures_batch,
+    fault_signatures_codegen,
     output_values,
     pack_patterns,
     simulate,
@@ -217,6 +221,11 @@ def _sig_batchfault(i):
     return tuple(fault_signatures_batch(circuit, faults, list(patterns)))
 
 
+def _sig_codegen(i):
+    circuit, faults, patterns, _ = _case(i)
+    return tuple(fault_signatures_codegen(circuit, faults, list(patterns)))
+
+
 def _sig_deductive_common(i, lists_fn):
     """Signature from fault lists: a fault flips exactly the output bits
     whose per-pattern list contains it — sig = good XOR flips."""
@@ -335,6 +344,11 @@ ENGINES = {
         _sig_batchfault,
         lambda i: _detected_direct(i, batch_detected),
         lambda i: _coverage_direct(i, batch_fault_coverage),
+    ),
+    "codegen": (
+        _sig_codegen,
+        lambda i: _detected_direct(i, codegen_detected),
+        lambda i: _coverage_direct(i, codegen_fault_coverage),
     ),
     "deductive": (
         _sig_deductive,

@@ -1,0 +1,84 @@
+"""The fault-simulation engine registry: listing, selection, fallback.
+
+Mirrors ``tests/sat/test_backends.py``'s registry layer for the sim
+twin — the registry feeds ``python -m repro engines`` and the
+``engine=``/``sim_engine=`` selection paths in FaultDictionary,
+``diagnose_stuck_at``, and ATPG.
+"""
+
+import pytest
+
+from repro.sim.engines import (
+    DEFAULT_ENGINE,
+    ENGINE_FALLBACKS,
+    SIM_ENGINES,
+    available_engines,
+    engine_summary,
+    register_engine,
+    resolve_engine,
+    unavailable_engines,
+)
+
+
+def test_stock_engines_registered():
+    assert set(SIM_ENGINES) == {
+        "serial",
+        "batch",
+        "codegen",
+        "deductive",
+        "deductive-numpy",
+        "event",
+    }
+
+
+def test_available_engines_default_first_then_sorted():
+    names = available_engines()
+    assert names[0] == DEFAULT_ENGINE == "batch"
+    assert list(names[1:]) == sorted(set(SIM_ENGINES) - {DEFAULT_ENGINE})
+
+
+def test_unavailable_engines_empty_on_stock_install():
+    """Every in-tree engine is pure numpy/Python, codegen included."""
+    assert unavailable_engines() == {}
+
+
+def test_resolve_auto_and_none_give_default():
+    assert resolve_engine(None) == DEFAULT_ENGINE
+    assert resolve_engine("auto") == DEFAULT_ENGINE
+
+
+def test_resolve_registered_names_identity():
+    for name in SIM_ENGINES:
+        assert resolve_engine(name) == name
+
+
+def test_resolve_unknown_raises_with_choices():
+    with pytest.raises(ValueError, match="unknown sim engine"):
+        resolve_engine("hdl-cosim")
+
+
+def test_resolve_degrades_via_fallback_map():
+    ENGINE_FALLBACKS["ghost-jit"] = "batch"
+    try:
+        assert resolve_engine("ghost-jit") == "batch"
+    finally:
+        del ENGINE_FALLBACKS["ghost-jit"]
+
+
+def test_fallback_to_unregistered_engine_still_raises():
+    ENGINE_FALLBACKS["ghost-jit"] = "not-a-real-engine"
+    try:
+        with pytest.raises(ValueError, match="unknown sim engine"):
+            resolve_engine("ghost-jit")
+    finally:
+        del ENGINE_FALLBACKS["ghost-jit"]
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="registered twice"):
+        register_engine("batch", "second registration")
+
+
+def test_engine_summary_resolves_aliases():
+    assert engine_summary("auto") == SIM_ENGINES["batch"]
+    assert "straight-line" in engine_summary("codegen")
