@@ -25,7 +25,13 @@ Gates (all assert-or-fail):
   service's per-device answers are bit-identical to the sequential
   reference enumeration.
 
-Run directly (CI runs ``--smoke``)::
+``--chaos`` adds a robustness leg (the PR-9 serve-chaos CI job): the
+same fleet reruns under seeded shard-kill injection with a result
+journal attached, gating that throughput stays within 2x the clean
+service wall, every device still resolves ``ok``, and resuming from the
+journal replays the whole fleet bit-identically without re-diagnosis.
+
+Run directly (CI runs ``--smoke`` and ``--smoke --chaos``)::
 
     PYTHONPATH=../src python bench_serve.py --smoke
 
@@ -47,9 +53,13 @@ from repro.diagnosis import DiagnosisSession
 from repro.experiments import make_workload
 from repro.serve import (
     DEFAULT_STRATEGIES,
+    ChaosInjector,
     DesignCache,
     DeviceReport,
     DiagnosisService,
+    ResultJournal,
+    check_invariants,
+    read_journal,
     signature_seed,
 )
 from repro.serve.race import run_leg
@@ -244,7 +254,152 @@ def check_bsat_reference(
             )
 
 
-def run(smoke: bool, solver_backend: str | None = None) -> dict:
+#: Shard count for the chaos leg: killing one of three leaves two
+#: survivors, so the 2x-of-clean throughput gate measures re-routing
+#: cost, not the raw serialization of a lone surviving shard.
+CHAOS_SHARDS = 3
+
+#: Absolute allowance on the chaos throughput gate: one shard kill
+#: legitimately costs re-running a single device's race from scratch
+#: plus a watchdog tick — a fixed cost that dwarfs a sub-100ms smoke
+#: fleet's clean wall but is irrelevant at scale.  The gate still trips
+#: on what it guards: a killed shard parking devices until their full
+#: attempt deadline (a 120s hang, not a 0.x-second retry).
+CHAOS_WALL_SLACK = 0.75
+
+
+def run_chaos(
+    devices,
+    failures: list[str],
+    solver_backend: str | None = None,
+    seed: int = 0,
+    journal_path=None,
+) -> dict:
+    """Chaos leg: the same fleet under seeded shard-kills with a journal.
+
+    Gates (appended to ``failures``):
+
+    * the injections actually fired, and every device still resolved
+      ``ok`` (retried elsewhere — no lost or duplicated devices, per
+      :func:`repro.serve.check_invariants`);
+    * throughput under shard-kill stays within 2x of a clean reference
+      pass at the same shard count, plus the fixed
+      :data:`CHAOS_WALL_SLACK` cost of the one retried device
+      (re-routing a dead shard's backlog is bounded work — the gate
+      exists to catch devices parked until their attempt deadline);
+    * the journal written during the chaos run replays **bit-identically**
+      on resume: a fresh service serves the whole fleet from the WAL
+      without re-diagnosing a single device.
+    """
+    path = (
+        Path(journal_path)
+        if journal_path is not None
+        else OUT_DIR / "serve-chaos.wal"
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        path.unlink()  # the journal appends; each bench run starts clean
+
+    # Clean reference at the chaos shard count — measured back to back
+    # with the chaos pass so the 2x gate compares like with like.
+    clean = DiagnosisService(
+        n_shards=CHAOS_SHARDS,
+        timeout=120.0,
+        design_cache=DesignCache(),
+        solver_backend=solver_backend,
+    )
+    start = time.perf_counter()
+    clean.run(devices)
+    clean_wall = time.perf_counter() - start
+
+    injector = ChaosInjector(
+        seed=seed, kinds=("kill_shard",), max_per_kind=1, horizon=4
+    )
+    journal = ResultJournal(path)
+    service = DiagnosisService(
+        n_shards=CHAOS_SHARDS,
+        timeout=120.0,
+        max_attempts=3,
+        design_cache=DesignCache(),
+        solver_backend=solver_backend,
+        fault_hook=injector.fault_hook,
+        journal=journal,
+    )
+    start = time.perf_counter()
+    results = service.run(devices)
+    wall = time.perf_counter() - start
+    journal.close()
+
+    if injector.fired("kill_shard") == 0:
+        failures.append("chaos: no shard-kill injection fired")
+    for problem in check_invariants(
+        devices, results, service=service, journal_path=path
+    ):
+        failures.append(f"chaos: {problem}")
+    for result in results:
+        if result.status != "ok":
+            failures.append(
+                f"chaos: {result.device_id}: status {result.status} "
+                f"under shard-kill"
+            )
+    if wall > 2.0 * clean_wall + CHAOS_WALL_SLACK:
+        failures.append(
+            f"chaos: wall {wall:.3f}s exceeds 2x the clean service "
+            f"wall {clean_wall:.3f}s (+{CHAOS_WALL_SLACK}s retry slack)"
+        )
+
+    replay = read_journal(path)
+    resumed = DiagnosisService(
+        n_shards=CHAOS_SHARDS,
+        timeout=120.0,
+        design_cache=DesignCache(),
+        solver_backend=solver_backend,
+        resume_from=replay,
+    )
+    replayed = resumed.run(devices)
+    for original, again in zip(results, replayed):
+        if not again.journal_replayed:
+            failures.append(
+                f"chaos: {again.device_id}: re-diagnosed on resume "
+                f"instead of served from the journal"
+            )
+        elif again.answer != original.answer or tuple(
+            again.solutions
+        ) != tuple(original.solutions):
+            failures.append(
+                f"chaos: {again.device_id}: journal replay is not "
+                f"bit-identical"
+            )
+    return {
+        "seed": seed,
+        "n_shards": CHAOS_SHARDS,
+        "shard_kills_fired": injector.fired("kill_shard"),
+        "injections": [
+            {"kind": e.kind, "site": e.site, "occurrence": e.occurrence}
+            for e in injector.log
+        ],
+        "wall": wall,
+        "clean_wall": clean_wall,
+        "overhead_ratio": wall / clean_wall if clean_wall > 0 else None,
+        "shard_deaths": service.stats()["shard_deaths"],
+        "retries": service.stats()["retries"],
+        "journal": {
+            "path": str(path),
+            "records": replay.records,
+            "resolved": len(replay.resolved),
+            "stats": dict(journal.stats),
+        },
+        "replayed": sum(1 for r in replayed if r.journal_replayed),
+    }
+
+
+def run(
+    smoke: bool,
+    solver_backend: str | None = None,
+    chaos: bool = False,
+    chaos_seed: int = 0,
+    chaos_journal=None,
+) -> dict:
     fleet = list(SMOKE_FLEET)
     if not smoke:
         fleet += FULL_EXTRA_FLEET
@@ -311,6 +466,14 @@ def run(smoke: bool, solver_backend: str | None = None) -> dict:
         )
     check_parity(devices, results, failures, solver_backend)
     check_bsat_reference(devices, failures, solver_backend)
+    if chaos:
+        report["chaos"] = run_chaos(
+            devices,
+            failures,
+            solver_backend,
+            seed=chaos_seed,
+            journal_path=chaos_journal,
+        )
     report["failures"] = failures
     return report
 
@@ -324,6 +487,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=str(OUT_DIR / "serve.json"),
         help="JSON artifact path",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="add the chaos leg: rerun the fleet under seeded "
+        "shard-kills with a result journal, gating throughput (within "
+        "2x clean) and bit-identical journal replay on resume",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="injection-schedule seed for --chaos",
     )
     parser.add_argument(
         "--solver-backend", default=None, metavar="NAME",
@@ -350,7 +523,12 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-    report = run(smoke=args.smoke, solver_backend=args.solver_backend)
+    report = run(
+        smoke=args.smoke,
+        solver_backend=args.solver_backend,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
+    )
     out_path = Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=1) + "\n")
@@ -376,6 +554,14 @@ def main(argv=None) -> int:
         f"{serve['stats']['cancelled_legs']}  signature hits: "
         f"{serve['stats']['signature_hits']}"
     )
+    if "chaos" in report:
+        chaos = report["chaos"]
+        print(
+            f"chaos: {chaos['shard_kills_fired']} shard kills "
+            f"(seed {chaos['seed']})  wall {chaos['wall']:.3f}s "
+            f"({chaos['overhead_ratio']:.2f}x clean)  journal replayed "
+            f"{chaos['replayed']}/{report['n_devices']} devices"
+        )
     if report["failures"]:
         for failure in report["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -388,6 +574,17 @@ def test_serve_smoke():
     """Pytest entry point mirroring ``--smoke`` (bench suite style)."""
     report = run(smoke=True)
     assert not report["failures"], report["failures"]
+
+
+def test_serve_chaos_smoke(tmp_path):
+    """The chaos leg alone: seeded shard-kills with a journal, gated
+    exactly as ``--smoke --chaos``."""
+    devices = _make_devices(SMOKE_FLEET)
+    failures: list[str] = []
+    run_chaos(
+        devices, failures, journal_path=tmp_path / "serve-chaos.wal"
+    )
+    assert not failures, failures
 
 
 if __name__ == "__main__":

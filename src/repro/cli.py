@@ -422,7 +422,13 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import DesignCache, DiagnosisService, read_device_stream
+    from .serve import (
+        DesignCache,
+        DiagnosisService,
+        ResultJournal,
+        read_device_stream,
+        read_journal,
+    )
 
     cache = DesignCache()
     if args.devices == "-":
@@ -432,9 +438,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             lines = Path(args.devices).read_text().splitlines()
         except OSError as exc:
             raise SystemExit(f"error: {exc}")
+    # Skip-and-count intake: one malformed JSONL record is reported
+    # (with its line number) and dropped; the stream keeps flowing.
+    skipped: list[tuple[int, str]] = []
+
+    def on_error(lineno: int, message: str) -> None:
+        skipped.append((lineno, message))
+        print(f"warning: skipped {message}", file=sys.stderr)
+
     try:
         devices = list(
-            read_device_stream(lines, inputs_of=cache.inputs_of)
+            read_device_stream(
+                lines, inputs_of=cache.inputs_of, on_error=on_error
+            )
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -443,19 +459,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     strategies = tuple(
         s.strip() for s in args.strategies.split(",") if s.strip()
     )
+    if args.resume and not args.journal:
+        raise SystemExit("error: --resume requires --journal")
+    resume_from = None
+    if args.resume and Path(args.journal).exists():
+        resume_from = read_journal(args.journal)
+    journal = ResultJournal(args.journal) if args.journal else None
     try:
-        service = DiagnosisService(
-            n_shards=args.shards,
-            strategies=strategies,
-            policy=args.policy,
-            timeout=args.timeout,
-            max_attempts=args.retries + 1,
-            design_cache=cache,
-            solver_backend=args.solver_backend,
-        )
-        results = service.run(devices)
-    except ValueError as exc:
-        raise SystemExit(f"error: {exc}")
+        try:
+            service = DiagnosisService(
+                n_shards=args.shards,
+                strategies=strategies,
+                policy=args.policy,
+                timeout=args.timeout,
+                max_attempts=args.retries + 1,
+                degrade=not args.no_degrade,
+                journal=journal,
+                resume_from=resume_from,
+                design_cache=cache,
+                solver_backend=args.solver_backend,
+            )
+            results = service.run(devices)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    finally:
+        if journal is not None:
+            journal.close()
     payload = "\n".join(json.dumps(r.to_dict()) for r in results) + "\n"
     if args.out:
         try:
@@ -465,8 +494,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(payload)
     if args.stats:
-        print(json.dumps(service.stats(), indent=2), file=sys.stderr)
-    return 0 if all(r.status == "ok" for r in results) else 1
+        stats = service.stats()
+        stats["intake_skipped"] = len(skipped)
+        print(json.dumps(stats, indent=2), file=sys.stderr)
+    # Exit code: 0 whenever the stream was served end to end (every
+    # device resolved exactly once, possibly degraded).  --strict turns
+    # any non-ok resolution or skipped intake line into exit 1 with a
+    # one-line summary.
+    if args.strict:
+        by_status: dict[str, int] = {}
+        for r in results:
+            if r.status != "ok":
+                by_status[r.status] = by_status.get(r.status, 0) + 1
+        bad_devices = sum(by_status.values())
+        if bad_devices or skipped:
+            parts = []
+            if bad_devices:
+                breakdown = ", ".join(
+                    f"{n} {status}"
+                    for status, n in sorted(by_status.items())
+                )
+                parts.append(
+                    f"{bad_devices}/{len(results)} devices not ok "
+                    f"({breakdown})"
+                )
+            if skipped:
+                parts.append(f"{len(skipped)} intake lines skipped")
+            print("strict: " + "; ".join(parts), file=sys.stderr)
+            return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -590,8 +646,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write results here instead of stdout (JSON lines)"
     )
     p_serve.add_argument(
+        "--journal", metavar="PATH",
+        help="append accepted devices and resolved results to this "
+        "durable JSONL write-ahead log (fsync-batched off the latency "
+        "path)",
+    )
+    p_serve.add_argument(
+        "--resume", action="store_true",
+        help="replay already-resolved signatures from the --journal "
+        "file instead of re-diagnosing them (exactly-once across "
+        "process death); unresolved devices re-run",
+    )
+    p_serve.add_argument(
+        "--no-degrade", action="store_true",
+        help="disable the degradation ladder: devices that exhaust "
+        "every attempt report a plain timeout instead of a bounded "
+        "approximate/guidance answer",
+    )
+    p_serve.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero (with a one-line summary) when any device "
+        "resolved non-ok or any intake line was skipped; default exit "
+        "is 0 whenever the stream was served end to end",
+    )
+    p_serve.add_argument(
         "--stats", action="store_true",
-        help="print the service/shard/design-cache counters to stderr",
+        help="print the service/shard/design-cache counters to stderr "
+        "(includes degraded / journal_replayed / intake_skipped)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -154,6 +154,7 @@ def greedy_stochastic_diagnose(
     session: DiagnosisSession | None = None,
     solver_backend: str | None = None,
     should_stop: Callable[[], bool] | None = None,
+    budget=None,
 ) -> SolutionSetResult:
     """SAFARI-style greedy stochastic search for valid corrections.
 
@@ -188,6 +189,12 @@ def greedy_stochastic_diagnose(
         ``extras["cancelled"]=True``; the interrupted climb's partial
         candidate is discarded, so every reported solution is still a
         verified subset-minimal correction.
+    budget:
+        :class:`repro.sat.budget.Budget` polled at the same sites as
+        ``should_stop`` (the climbs are pure simulation — each
+        retraction is one bounded cover-word update, so per-retraction
+        polling already bounds the overrun); a budget stop marks
+        ``extras["interrupted"]``.
 
     Returns a :class:`SolutionSetResult` (``approach="SAFARI"``); every
     solution is a verified valid correction.  ``complete`` is always
@@ -201,6 +208,14 @@ def greedy_stochastic_diagnose(
                 "existing session"
             )
         session = DiagnosisSession(circuit, tests)
+    if budget is not None:
+        user_stop = should_stop
+
+        def should_stop() -> bool:  # noqa: F811 - deliberate rebind
+            return (
+                user_stop is not None and user_stop()
+            ) or budget.poll()
+
     if seed is None:
         seed = session.seed
     # Per-kind stream offset: 0 for circuits (preserving the historical
@@ -266,6 +281,11 @@ def greedy_stochastic_diagnose(
             "pool_consistent": pool_consistent,
             "distinct_minima": len(seen),
             **({"cancelled": True} if cancelled else {}),
+            **(
+                {"interrupted": True}
+                if budget is not None and budget.interrupted
+                else {}
+            ),
         },
     )
 

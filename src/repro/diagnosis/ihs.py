@@ -102,6 +102,7 @@ def ihs_diagnose(
     session: DiagnosisSession | None = None,
     solver_backend: str | None = None,
     should_stop: Callable[[], bool] | None = None,
+    budget=None,
 ) -> SolutionSetResult:
     """Implicit hitting set search for minimum-cardinality corrections.
 
@@ -131,6 +132,12 @@ def ihs_diagnose(
     cardinality that admits one; ``extras`` records the conflict and
     SAT-core counts.  ``complete`` is True when the enumeration of that
     cardinality was exhausted.
+
+    ``budget`` (:class:`repro.sat.budget.Budget`) is polled per round
+    like ``should_stop`` *and* threaded into the hitting-set solves, so
+    a hard hitting-set query cannot overrun a race deadline by more
+    than the budget's conflict-poll interval; a budget stop marks
+    ``extras["interrupted"]`` alongside ``cancelled``.
     """
     start = time.perf_counter()
     if session is None:
@@ -244,6 +251,7 @@ def ihs_diagnose(
     found_bound: int | None = None
     infeasible = False
     cancelled = False
+    interrupted = False
     try:
         for bound in range(1, k_max + 1):
             if found_bound is not None or infeasible or cancelled:
@@ -254,12 +262,28 @@ def ihs_diagnose(
                     complete = False
                     cancelled = True
                     break
+                if budget is not None and budget.poll():
+                    complete = False
+                    cancelled = True
+                    interrupted = True
+                    break
                 if rounds >= max_rounds:
                     complete = False
                     infeasible = True  # stop escalating the bound too
                     break
                 rounds += 1
-                if not hitter.solve(assumptions=assumptions):
+                if budget is None:
+                    feasible = hitter.solve(assumptions=assumptions)
+                else:
+                    feasible = hitter.solve(
+                        assumptions=assumptions, budget=budget
+                    )
+                    if feasible is None:
+                        complete = False
+                        cancelled = True
+                        interrupted = True
+                        break
+                if not feasible:
                     break  # no hitting set of this cardinality remains
                 h = tuple(
                     sorted(
@@ -319,6 +343,7 @@ def ihs_diagnose(
             "conflicts": len(conflicts),
             "sat_cores": cores,
             **({"cancelled": True} if cancelled else {}),
+            **({"interrupted": True} if interrupted else {}),
         },
     )
 

@@ -51,6 +51,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..circuits.netlist import Circuit
 from ..circuits.structure import fanin_cone
+from ..sat.budget import SearchInterrupted
 from ..sat.cardinality import IncrementalTotalizer
 from ..sat.cnf import CNF
 from ..sat.enumerate import enumerate_solutions
@@ -742,6 +743,7 @@ def basic_sat_diagnose(
     session: DiagnosisSession | None = None,
     solver_backend: str | None = None,
     should_stop: Callable[[], bool] | None = None,
+    budget=None,
 ) -> SolutionSetResult:
     """``BasicSATDiagnose(I, T, k)`` — Fig. 3 of the paper.
 
@@ -765,6 +767,14 @@ def basic_sat_diagnose(
     ``extras["cancelled"]=True``, closes its activation scope normally,
     and is **not** memoized — cancellation is external nondeterminism
     that must not poison the instance's result cache.
+
+    ``budget`` (:class:`repro.sat.budget.Budget`) tightens the check
+    interval from "one solver call" to "one conflict-poll interval":
+    it is threaded into every solve of the enumeration, so a deadline
+    or cancellation lands mid-query within
+    ``budget.conflict_poll_interval`` conflicts.  A budget-interrupted
+    run is treated exactly like a cancelled one (``complete=False``,
+    not memoized) and additionally sets ``extras["interrupted"]``.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
@@ -846,12 +856,18 @@ def basic_sat_diagnose(
     t_first: float | None = None
     complete = True
     cancelled = False
+    interrupted = False
     search_start = time.perf_counter()
     try:
         for bound in range(1, k + 1):
             if should_stop is not None and should_stop():
                 complete = False
                 cancelled = True
+                break
+            if budget is not None and budget.poll():
+                complete = False
+                cancelled = True
+                interrupted = True
                 break
             assumptions = (
                 base_assumptions
@@ -876,6 +892,7 @@ def basic_sat_diagnose(
                     conflict_limit=conflict_limit,
                     block_extra=block_extra,
                     stats_deltas=solution_stats,
+                    budget=budget,
                 ):
                     solution = frozenset(
                         instance.gate_of[v] for v in model_vars
@@ -890,6 +907,11 @@ def basic_sat_diagnose(
                     if should_stop is not None and should_stop():
                         cancelled = True
                         break
+            except SearchInterrupted:
+                complete = False
+                cancelled = True
+                interrupted = True
+                break
             except TimeoutError:
                 complete = False
                 break
@@ -919,6 +941,8 @@ def basic_sat_diagnose(
     }
     if cancelled:
         extras["cancelled"] = True
+    if interrupted:
+        extras["interrupted"] = True
     if collect_corrections:
         extras["corrections"] = corrections
     return SolutionSetResult(
@@ -984,8 +1008,14 @@ def auto_k_sat_diagnose(
         )
     solver = instance.solver
     should_stop = kwargs.get("should_stop")
+    budget = kwargs.get("budget")
     for k in range(1, k_max + 1):
-        if should_stop is not None and should_stop():
+        if (should_stop is not None and should_stop()) or (
+            budget is not None and budget.poll()
+        ):
+            extras = {"k_found": None, "cancelled": True}
+            if budget is not None and budget.interrupted:
+                extras["interrupted"] = True
             return SolutionSetResult(
                 approach="BSAT/auto-k",
                 k=k_max,
@@ -994,12 +1024,36 @@ def auto_k_sat_diagnose(
                 t_build=instance.build_time,
                 t_first=0.0,
                 t_all=0.0,
-                extras={"k_found": None, "cancelled": True},
+                extras=extras,
             )
-        feasible = solver.solve(
-            assumptions=instance.base_assumptions()
-            + instance.bound_assumptions(k)
-        )
+        if budget is None:
+            feasible = solver.solve(
+                assumptions=instance.base_assumptions()
+                + instance.bound_assumptions(k)
+            )
+        else:
+            # Budgeted probe: the feasibility solve is exactly the kind
+            # of unbounded query a race deadline used to hang on.
+            feasible = solver.solve(
+                assumptions=instance.base_assumptions()
+                + instance.bound_assumptions(k),
+                budget=budget,
+            )
+            if feasible is None:
+                return SolutionSetResult(
+                    approach="BSAT/auto-k",
+                    k=k_max,
+                    solutions=(),
+                    complete=False,
+                    t_build=instance.build_time,
+                    t_first=0.0,
+                    t_all=0.0,
+                    extras={
+                        "k_found": None,
+                        "cancelled": True,
+                        "interrupted": True,
+                    },
+                )
         if feasible:
             result = basic_sat_diagnose(
                 circuit, tests, k, instance=instance,

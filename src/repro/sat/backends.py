@@ -229,6 +229,7 @@ class _PySatSolver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
+        budget=None,
     ):
         # Mirror the native contract: witnesses are per-solve, never
         # carried over from an earlier call.
@@ -237,8 +238,24 @@ class _PySatSolver:
         self._core = []
         if not self._ok:
             return False
+        self.interrupted = False
+        if budget is not None:
+            # The external engine cannot poll mid-solve; approximate the
+            # budget with its conflict cap (checked up front and applied
+            # as a conf_budget) — coarse, but keeps portfolio configs
+            # naming this backend budget-safe.
+            if budget.poll():
+                self.interrupted = True
+                return None
+            remaining = budget.conflicts_remaining()
+            if remaining is not None and (
+                conflict_limit is None or remaining < conflict_limit
+            ):
+                conflict_limit = remaining
         for a in assumptions:
             self.ensure_vars(abs(a))
+        prev_conflicts = self.stats["conflicts"]
+        prev_props = self.stats["propagations"]
         if conflict_limit is not None:
             self._solver.conf_budget(conflict_limit)
             result = self._solver.solve_limited(
@@ -249,6 +266,12 @@ class _PySatSolver:
         acc = self._solver.accum_stats()
         for key in ("conflicts", "decisions", "propagations", "restarts"):
             self.stats[key] = int(acc.get(key, self.stats[key]))
+        if budget is not None:
+            if budget.charge(
+                self.stats["conflicts"] - prev_conflicts,
+                self.stats["propagations"] - prev_props,
+            ) and result is None:
+                self.interrupted = True
         if result is True:
             self._has_model = True
             self._model = {

@@ -185,12 +185,13 @@ def _solve_kernel(
     n_clauses,
     assumps,
     conflict_limit,
+    budget_conflicts,
     activity,
     polarity,
     model_out,
     stats_out,
 ):
-    """Run one complete CDCL search; returns ``(status, core)``.
+    """Run one CDCL search; returns ``(status, core, llits, lsizes, units)``.
 
     Internal literal encoding ``il = (var << 1) | sign`` (sign 1 =
     negative); clause ``c`` occupies ``lits[starts[c] : starts[c] +
@@ -199,8 +200,20 @@ def _solve_kernel(
     arena solver's invariant, which the core/analyze walks rely on).
     ``activity``/``polarity`` are views of the wrapper's persistent
     arrays, so VSIDS seeds and saved phases survive across calls.
+
+    ``budget_conflicts >= 0`` turns the call into one *chunk* of a
+    budgeted search: the kernel returns ``_UNKNOWN`` after exactly that
+    many conflicts (checked per conflict, unlike ``conflict_limit``'s
+    restart-boundary check), handing back the clauses it learnt
+    (``llits`` flat, ``lsizes`` per clause) and its root-level implied
+    literals (``units``) so the wrapper can poll Python-side stop
+    conditions and re-enter without losing search progress — learnt
+    clauses are implied, so re-feeding them as problem clauses is
+    sound.  The extra arrays are empty on every other return path.
     """
-    core = np.empty(0, np.int32)
+    empty = np.empty(0, np.int32)
+    core = empty
+    n_clauses_in = n_clauses
     # --- growable clause store (learnts append at the end) -----------
     cap_l = max(2 * lits0.shape[0], 64)
     lits = np.empty(cap_l, np.int32)
@@ -260,7 +273,7 @@ def _solve_kernel(
         v = il >> 1
         val = assigns[v] ^ (il & 1)
         if val == 0:  # contradicting root units: formula UNSAT
-            return _UNSAT, core
+            return _UNSAT, core, empty, empty, empty
         if val != 1:
             assigns[v] = (il & 1) ^ 1
             level[v] = 0
@@ -348,7 +361,7 @@ def _solve_kernel(
             conflicts_since_restart += 1
             stats_out[0] += 1
             if n_levels == 0:
-                return _UNSAT, core
+                return _UNSAT, core, empty, empty, empty
             # first-UIP resolution
             n_learnt = 1  # slot 0 reserved for the asserting literal
             n_seen = 0
@@ -480,9 +493,16 @@ def _solve_kernel(
                 trail[trail_len] = al
                 trail_len += 1
             var_inc /= 0.95
-            # restart / budget checks
-            if conflicts_since_restart >= restart_limit:
-                stats_out[3] += 1
+            # restart / budget checks.  The chunk budget is per-conflict
+            # (bounded-overrun re-entry point); conflict_limit keeps its
+            # historical restart-boundary granularity.
+            chunk_done = (
+                budget_conflicts >= 0
+                and total_conflicts >= budget_conflicts
+            )
+            if chunk_done or conflicts_since_restart >= restart_limit:
+                if not chunk_done:
+                    stats_out[3] += 1
                 lim0 = trail_lim[0] if n_levels > 0 else trail_len
                 if n_levels > 0:
                     for i in range(trail_len - 1, lim0 - 1, -1):
@@ -496,8 +516,27 @@ def _solve_kernel(
                     trail_len = lim0
                     qhead = lim0
                     n_levels = 0
+                if chunk_done:
+                    # Package search progress for kernel re-entry: the
+                    # learnt clauses appended past the input DB and the
+                    # root-level implied literals (as future units).
+                    n_new = n_clauses - n_clauses_in
+                    lsizes = np.empty(n_new, np.int32)
+                    total = 0
+                    for i in range(n_new):
+                        lsizes[i] = sizes[n_clauses_in + i]
+                        total += lsizes[i]
+                    llits = np.empty(total, np.int32)
+                    pos = 0
+                    for i in range(n_new):
+                        s = starts[n_clauses_in + i]
+                        for k in range(s, s + lsizes[i]):
+                            llits[pos] = lits[k]
+                            pos += 1
+                    units = trail[:trail_len].copy()
+                    return _UNKNOWN, core, llits, lsizes, units
                 if conflict_limit >= 0 and total_conflicts >= conflict_limit:
-                    return _UNKNOWN, core
+                    return _UNKNOWN, core, empty, empty, empty
                 restart_idx += 1
                 conflicts_since_restart = 0
                 restart_limit = 100 * _luby(restart_idx + 1)
@@ -542,7 +581,7 @@ def _solve_kernel(
                                     pending += 1
                         if pending == 0:
                             break
-                return _UNSAT, cbuf[:ncore].copy()
+                return _UNSAT, cbuf[:ncore].copy(), empty, empty, empty
             trail_lim[n_levels] = trail_len
             n_levels += 1
             pv = p >> 1
@@ -563,7 +602,7 @@ def _solve_kernel(
         if dv == 0:
             for v in range(1, n_vars + 1):
                 model_out[v] = assigns[v]
-            return _SAT, core
+            return _SAT, core, empty, empty, empty
         stats_out[1] += 1  # decisions
         trail_lim[n_levels] = trail_len
         n_levels += 1
@@ -604,6 +643,9 @@ class CompiledSolver:
         self._has_model = False
         self._model_buf: np.ndarray | None = None
         self._core: list[int] = []
+        #: True iff the last solve() returned None because its Budget
+        #: tripped (mirrors the arena solver's flag).
+        self.interrupted = False
         self.stats: dict[str, int] = {
             "conflicts": 0,
             "decisions": 0,
@@ -722,11 +764,25 @@ class CompiledSolver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
+        budget=None,
     ) -> bool | None:
+        """One-shot kernel call — or, with ``budget``, *chunked kernel
+        re-entry*: the jitted loop runs at most
+        ``budget.conflict_poll_interval`` conflicts per call, returns
+        its learnt clauses and root-level units to Python, the budget
+        is polled, and the kernel re-enters with the carried-over
+        clauses (sound: learnt clauses are implied).  Cancellation
+        overrun is therefore bounded by the poll interval even though
+        the compiled loop itself never calls back into Python.
+        """
         self._has_model = False
         self._core = []
+        self.interrupted = False
         if not self._ok:
             return False
+        if budget is not None and budget.poll():
+            self.interrupted = True
+            return None
         for a in assumptions:
             self.ensure_vars(abs(a))
         assumps = np.array(
@@ -734,32 +790,107 @@ class CompiledSolver:
         )
         n = self._num_vars
         model_out = np.full(n + 1, 2, np.int8)
-        stats_out = np.zeros(6, np.int64)
-        status, core = _solve_kernel(
-            n,
-            self._lit_buf[: self._n_lits],
-            self._starts,
-            self._sizes,
-            self._n_clauses,
-            assumps,
-            -1 if conflict_limit is None else conflict_limit,
-            self._activity[: n + 1],
-            self._polarity[: n + 1],
-            model_out,
-            stats_out,
-        )
-        for i, key in enumerate(
-            ("conflicts", "decisions", "propagations", "restarts", "learned")
-        ):
-            self.stats[key] += int(stats_out[i])
-        if status == _SAT:
-            self._has_model = True
-            self._model_buf = model_out
-            return True
-        if status == _UNSAT:
-            self._core = [int(x) for x in core]
-            return False
-        return None
+        # Chunk-local clause store: starts as views of the persistent
+        # buffers; learnt carry-over grows copies local to this solve so
+        # the persistent DB stays exactly the problem clauses.
+        lits = self._lit_buf[: self._n_lits]
+        starts = self._starts
+        sizes = self._sizes
+        n_clauses = self._n_clauses
+        n_lits = self._n_lits
+        seen_units: set[int] = set()
+        total_conflicts = 0
+        while True:
+            if budget is None:
+                chunk = -1
+            else:
+                chunk = budget.conflict_poll_interval
+                remaining = budget.conflicts_remaining()
+                if remaining is not None:
+                    chunk = min(chunk, max(1, remaining))
+            limit = -1 if conflict_limit is None else conflict_limit
+            if budget is not None:
+                # the wrapper enforces conflict_limit cumulatively
+                limit = -1
+            stats_out = np.zeros(6, np.int64)
+            status, core, llits, lsizes, units = _solve_kernel(
+                n,
+                lits[:n_lits],
+                starts,
+                sizes,
+                n_clauses,
+                assumps,
+                limit,
+                chunk,
+                self._activity[: n + 1],
+                self._polarity[: n + 1],
+                model_out,
+                stats_out,
+            )
+            for i, key in enumerate(
+                (
+                    "conflicts",
+                    "decisions",
+                    "propagations",
+                    "restarts",
+                    "learned",
+                )
+            ):
+                self.stats[key] += int(stats_out[i])
+            total_conflicts += int(stats_out[0])
+            tripped = budget is not None and budget.charge(
+                int(stats_out[0]), int(stats_out[2])
+            )
+            if status == _SAT:
+                self._has_model = True
+                self._model_buf = model_out
+                return True
+            if status == _UNSAT:
+                self._core = [int(x) for x in core]
+                return False
+            if budget is None:
+                return None  # conflict_limit hit inside the kernel
+            if tripped:
+                self.interrupted = True
+                return None
+            if (
+                conflict_limit is not None
+                and total_conflicts >= conflict_limit
+            ):
+                return None
+            # fold the chunk's progress into the local DB and re-enter
+            new_units = [u for u in units.tolist() if u not in seen_units]
+            seen_units.update(new_units)
+            n_new = lsizes.shape[0] + len(new_units)
+            if n_new:
+                grown = np.concatenate(
+                    [
+                        lits[:n_lits],
+                        llits,
+                        np.array(new_units, np.int32),
+                    ]
+                )
+                new_starts = np.empty(n_clauses + n_new, np.int32)
+                new_sizes = np.empty(n_clauses + n_new, np.int32)
+                new_starts[:n_clauses] = starts[:n_clauses]
+                new_sizes[:n_clauses] = sizes[:n_clauses]
+                pos = n_lits
+                idx = n_clauses
+                for i in range(lsizes.shape[0]):
+                    new_starts[idx] = pos
+                    new_sizes[idx] = int(lsizes[i])
+                    pos += int(lsizes[i])
+                    idx += 1
+                for _ in new_units:
+                    new_starts[idx] = pos
+                    new_sizes[idx] = 1
+                    pos += 1
+                    idx += 1
+                lits = grown
+                starts = new_starts
+                sizes = new_sizes
+                n_lits = pos
+                n_clauses = idx
 
     def value(self, var: int) -> bool | None:
         if not self._has_model:
@@ -800,9 +931,17 @@ def warm_up() -> None:
     global _WARMED
     if _WARMED:
         return
+    from .budget import Budget
+
     s = CompiledSolver()
     s.add_clauses([[1, 2], [-1, 2], [1, -2], [2, 3]])
     assert s.solve() is True
     assert s.solve(assumptions=[-2]) is False and s.core() == [-2]
     s.solve(assumptions=[1, 3], conflict_limit=0)
+    # chunked re-entry path (budgeted solve): learn-and-carry return
+    s2 = CompiledSolver()
+    s2.add_clauses(
+        [[1, 2], [-1, 2], [1, -2], [-2, 3], [-2, -3], [2, 3], [3, 1]]
+    )
+    s2.solve(budget=Budget(conflict_poll_interval=1))
     _WARMED = True

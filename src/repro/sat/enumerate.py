@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Sequence
 
+from .budget import SearchInterrupted
 from .solver import Solver
 
 __all__ = ["enumerate_solutions"]
@@ -53,6 +54,7 @@ def enumerate_solutions(
     on_solution: Callable[[frozenset[int]], None] | None = None,
     block_extra: Sequence[int] = (),
     stats_deltas: list | None = None,
+    budget=None,
 ) -> Iterator[frozenset[int]]:
     """Yield sets of true projection variables, blocking each one found.
 
@@ -70,6 +72,12 @@ def enumerate_solutions(
     conflict_limit:
         Per-solve conflict budget; raises :class:`TimeoutError` when hit so
         callers can distinguish exhaustion from completion.
+    budget:
+        :class:`repro.sat.budget.Budget` threaded into every solve call;
+        when it trips mid-search the enumerator raises
+        :class:`~repro.sat.budget.SearchInterrupted` (a
+        :class:`TimeoutError` subclass, so pre-budget handlers still
+        catch it) rather than the plain conflict-limit TimeoutError.
     block_extra:
         Literals appended to every blocking clause.  Pass the negation of
         an activation literal that is also assumed in ``assumptions`` to
@@ -100,10 +108,23 @@ def enumerate_solutions(
             if stats_deltas is not None
             else None
         )
-        result = solver.solve(
-            assumptions=assumptions, conflict_limit=conflict_limit
-        )
+        if budget is None:
+            result = solver.solve(
+                assumptions=assumptions, conflict_limit=conflict_limit
+            )
+        else:
+            result = solver.solve(
+                assumptions=assumptions,
+                conflict_limit=conflict_limit,
+                budget=budget,
+            )
         if result is None:
+            if budget is not None and getattr(
+                solver, "interrupted", False
+            ):
+                raise SearchInterrupted(
+                    f"enumeration interrupted by budget ({budget.reason})"
+                )
             raise TimeoutError(
                 f"enumeration hit the conflict limit ({conflict_limit})"
             )

@@ -233,16 +233,24 @@ class LegacySolver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
+        budget=None,
     ) -> SolveResult:
         """Run the CDCL search.
 
         Returns True (SAT; model available via :meth:`value`/:meth:`model`),
         False (UNSAT; :meth:`core` returns the failed assumptions), or None
-        if ``conflict_limit`` conflicts were exceeded.
+        if ``conflict_limit`` conflicts were exceeded.  ``budget``
+        (:class:`repro.sat.budget.Budget`) is polled at restart
+        boundaries only — the oracle solver keeps its loop simple; use
+        the arena backends where bounded overrun matters.
         """
+        self.interrupted = False
         if not self._ok:
             self._conflict_core = []
             return False
+        if budget is not None and budget.poll():
+            self.interrupted = True
+            return None
         self._cancel_until(0)
         if self._propagate() is not None:
             self._ok = False
@@ -254,6 +262,7 @@ class LegacySolver:
         self._conflict_core = []
         self._model = []
         start_conflicts = self.stats["conflicts"]
+        charged_conflicts = start_conflicts
         restart_idx = 0
         while True:
             restart_idx += 1
@@ -263,6 +272,15 @@ class LegacySolver:
                 self._cancel_until(0)
                 return status
             self.stats["restarts"] += 1
+            if budget is not None:
+                stop = budget.charge(
+                    conflicts=self.stats["conflicts"] - charged_conflicts
+                )
+                charged_conflicts = self.stats["conflicts"]
+                if stop:
+                    self.interrupted = True
+                    self._cancel_until(0)
+                    return None
             if (
                 conflict_limit is not None
                 and self.stats["conflicts"] - start_conflicts >= conflict_limit

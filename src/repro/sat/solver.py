@@ -145,6 +145,10 @@ class Solver:
         # descent (see also add_clause's minimal-backjump insertion).
         self._last_assumptions: tuple[int, ...] | None = None
         self._last_status: SolveResult = None
+        #: True iff the last solve() returned None because its Budget
+        #: tripped (deadline / cancel / cap) — distinct from a
+        #: conflict_limit stop, which leaves this False.
+        self.interrupted = False
         self._proof = None  # ProofLog when DRAT logging is active
         self.stats: dict[str, int] = {
             "conflicts": 0,
@@ -493,16 +497,29 @@ class Solver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
+        budget=None,
     ) -> SolveResult:
         """Run the CDCL search.
 
         Returns True (SAT; model available via :meth:`value`/:meth:`model`),
         False (UNSAT; :meth:`core` returns the failed assumptions), or None
-        if ``conflict_limit`` conflicts were exceeded.
+        if ``conflict_limit`` conflicts were exceeded — or if ``budget``
+        (a :class:`repro.sat.budget.Budget`) tripped, in which case
+        :attr:`interrupted` is additionally True.  The budget is polled
+        inside :meth:`_search` every ``budget.conflict_poll_interval``
+        conflicts (and every ``budget.propagation_poll_interval``
+        propagations on conflict-light stretches), so cancellation
+        overrun is bounded by the poll interval rather than by however
+        long the query takes.
         """
+        self.interrupted = False
         if not self._ok:
             self._conflict_core = []
             return False
+        if budget is not None and budget.poll():
+            self.interrupted = True
+            self._last_status = None
+            return None
         for a in assumptions:
             self.ensure_vars(abs(a))
         internal_assumptions = [to_internal(a) for a in assumptions]
@@ -543,7 +560,19 @@ class Solver:
         while True:
             restart_idx += 1
             limit = 100 * _luby(restart_idx)
-            status = self._search(limit, internal_assumptions)
+            status = self._search(limit, internal_assumptions, budget)
+            if self.interrupted:
+                self._last_status = None
+                return None
+            if status is None and budget is not None and budget.poll():
+                # Restart-boundary poll: _search notes its sub-interval
+                # remainder without polling, so without this check the
+                # poll grid drifts and overrun could reach ~2x the
+                # configured interval.
+                self.interrupted = True
+                self._cancel_until(0)
+                self._last_status = None
+                return None
             if status is not None:
                 # The trail survives SAT *and* assumption-level UNSAT
                 # answers: the next call backtracks only to the longest
@@ -584,7 +613,7 @@ class Solver:
     # CDCL machinery
     # ------------------------------------------------------------------
     def _search(
-        self, conflict_budget: int, assumptions: list[int]
+        self, conflict_budget: int, assumptions: list[int], budget=None
     ) -> SolveResult:
         # The whole hot path — two-watched-literal BCP, decision picking
         # and trail pushing — is fused into one loop over local variable
@@ -612,6 +641,14 @@ class Solver:
         props = 0
         decisions = 0
         qhead = self._qhead
+        # Budget polling cadence: every poll_every conflicts, plus every
+        # prop_poll propagations so conflict-light decision stretches
+        # still reach a poll.  charged_c/charged_p track what has been
+        # handed to the budget so the finally block can settle the rest.
+        poll_every = 0 if budget is None else budget.conflict_poll_interval
+        prop_poll = 0 if budget is None else budget.propagation_poll_interval
+        charged_c = 0
+        charged_p = 0
         try:
             while True:
                 # ---- inlined BCP -----------------------------------
@@ -741,12 +778,36 @@ class Solver:
                     # replaced these containers
                     arena = self._arena
                     heap = self._order_heap
+                    if poll_every and conflicts - charged_c >= poll_every:
+                        stop = budget.charge(
+                            conflicts - charged_c, props - charged_p
+                        )
+                        charged_c = conflicts
+                        charged_p = props
+                        if stop:
+                            self.interrupted = True
+                            self._qhead = qhead
+                            self._cancel_until(0)
+                            qhead = self._qhead
+                            return None
                     continue
                 if conflicts >= conflict_budget:
                     self._qhead = qhead
                     self._cancel_until(0)
                     qhead = self._qhead
                     return None
+                if prop_poll and props - charged_p >= prop_poll:
+                    stop = budget.charge(
+                        conflicts - charged_c, props - charged_p
+                    )
+                    charged_c = conflicts
+                    charged_p = props
+                    if stop:
+                        self.interrupted = True
+                        self._qhead = qhead
+                        self._cancel_until(0)
+                        qhead = self._qhead
+                        return None
                 # ---- decision --------------------------------------
                 decision = 0
                 if dlevel < n_assumptions:
@@ -794,6 +855,8 @@ class Solver:
         finally:
             stats["propagations"] += props
             stats["decisions"] += decisions
+            if budget is not None:
+                budget.note(conflicts - charged_c, props - charged_p)
 
     def _propagate(self) -> int:
         """Two-watched-literal BCP over the arena; returns the conflicting

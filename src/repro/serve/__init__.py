@@ -19,11 +19,24 @@ cancelled.  The service layers:
 ``service``
     :class:`DiagnosisService` — routing, deadline/retry, exactly-once
     result stream, observability counters.
+``journal``
+    :class:`ResultJournal` — fsync-batched JSONL WAL of accepted and
+    resolved devices; :func:`read_journal` replays it on resume for
+    exactly-once across process death.
+``degrade``
+    :func:`run_degradation_ladder` — bounded exact→approximate→guidance
+    fallbacks instead of empty timeouts.
+``chaos``
+    :class:`ChaosInjector` — seeded fault injection (shard kills, hung
+    legs, torn intake lines, journal-commit crashes) plus
+    :func:`check_invariants`.
 
 See ``ROADMAP.md`` ("Serving guide") for the policy rationale and
 ``benchmarks/bench_serve.py`` for the gated throughput trajectory.
 """
 
+from .chaos import ChaosInjector, JournalCrash, check_invariants
+from .degrade import DegradedAnswer, run_degradation_ladder
 from .design import DesignArtifacts, DesignCache, load_design
 from .intake import (
     DeviceReport,
@@ -31,6 +44,12 @@ from .intake import (
     parse_device_line,
     read_device_stream,
     signature_seed,
+)
+from .journal import (
+    JournalReplay,
+    ResultJournal,
+    read_journal,
+    signature_key,
 )
 from .race import DEFAULT_STRATEGIES, RaceOutcome, race_device
 from .service import DeviceResult, DiagnosisService
@@ -45,6 +64,15 @@ __all__ = [
     "parse_device_line",
     "read_device_stream",
     "signature_seed",
+    "JournalReplay",
+    "ResultJournal",
+    "read_journal",
+    "signature_key",
+    "DegradedAnswer",
+    "run_degradation_ladder",
+    "ChaosInjector",
+    "JournalCrash",
+    "check_invariants",
     "DEFAULT_STRATEGIES",
     "RaceOutcome",
     "race_device",

@@ -211,10 +211,23 @@ def parse_device_line(
 def read_device_stream(
     lines: Iterable[str],
     inputs_of: Callable[[str], Sequence[str]] | None = None,
+    on_error: Callable[[int, str], None] | None = None,
 ) -> Iterator[DeviceReport]:
-    """Devices from a JSON-lines stream (blank / ``#`` lines skipped)."""
+    """Devices from a JSON-lines stream (blank / ``#`` lines skipped).
+
+    By default a malformed line raises :class:`ValueError` (naming the
+    line).  Pass ``on_error`` to run in skip-and-count mode instead:
+    each bad line is reported as ``on_error(lineno, message)`` and the
+    stream continues — one corrupt record cannot poison the devices
+    behind it in the queue.
+    """
     for lineno, line in enumerate(lines, start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        yield parse_device_line(stripped, lineno, inputs_of=inputs_of)
+        try:
+            yield parse_device_line(stripped, lineno, inputs_of=inputs_of)
+        except ValueError as exc:
+            if on_error is None:
+                raise
+            on_error(lineno, str(exc))

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 from ..diagnosis.base import Correction, SolutionSetResult
 from ..diagnosis.core import DiagnosisSession, diagnose
+from ..sat.budget import Budget
 
 __all__ = ["RaceOutcome", "race_device", "DEFAULT_STRATEGIES"]
 
@@ -86,13 +87,21 @@ def run_leg(
     first_only: bool,
     should_stop,
     solver_backend: str | None = None,
+    budget: Budget | None = None,
 ) -> SolutionSetResult:
     """One strategy leg with race-appropriate limits.
 
     ``first_only`` runs each leg to its *first* solution (the racing
     mode); otherwise the leg runs to completion (the reference mode).
+    ``budget`` (one per leg — budgets are not thread-safe) threads
+    solver-level cancellation into the leg: the SAT search itself polls
+    every ``budget.conflict_poll_interval`` conflicts, so a cancelled
+    or past-deadline leg stops mid-solve instead of at the next
+    solver-call boundary.
     """
     options: dict = {"should_stop": should_stop}
+    if budget is not None:
+        options["budget"] = budget
     if solver_backend is not None:
         options["solver_backend"] = solver_backend
     if strategy == "greedy-stochastic":
@@ -163,6 +172,7 @@ def race_device(
     deadline: float | None = None,
     solver_backend: str | None = None,
     stagger: float = 0.0,
+    conflict_poll_interval: int = 64,
 ) -> RaceOutcome:
     """Race ``strategies`` on one prepared session, first valid answer
     wins.
@@ -182,6 +192,12 @@ def race_device(
     A slow first leg degrades gracefully into the full concurrent race,
     with each delayed leg on a private cloned session so the overlap
     shares no mutable state.
+
+    Every leg carries its own :class:`~repro.sat.budget.Budget`
+    (deadline + the race's stop signals, polled in the SAT search every
+    ``conflict_poll_interval`` conflicts), so cancellation lands
+    mid-solve within a bounded number of conflicts — an abandoned leg
+    does not burn CPU until its next solver-call boundary.
     """
     if not strategies:
         raise ValueError("the race needs at least one strategy")
@@ -193,11 +209,32 @@ def race_device(
             return True
         return deadline is not None and time.monotonic() >= deadline
 
+    def leg_budget(stop_check) -> Budget:
+        # One Budget per leg: the counters are mutated by the leg's own
+        # thread only.  The deadline is enforced inside the solver; the
+        # stop_check picks up race-level cancellation.
+        return Budget(
+            should_stop=stop_check,
+            deadline=deadline,
+            conflict_poll_interval=conflict_poll_interval,
+        )
+
     if len(strategies) == 1:
+        external = (
+            external_stop if (cancel or deadline) else None
+        )
         result = run_leg(
             session, strategies[0], k, first_only,
-            should_stop=external_stop if (cancel or deadline) else None,
+            should_stop=external,
             solver_backend=solver_backend,
+            budget=(
+                leg_budget(
+                    (lambda: cancel.is_set()) if cancel is not None
+                    else None
+                )
+                if (cancel is not None or deadline is not None)
+                else None
+            ),
         )
         outcome.legs[strategies[0]] = _leg_summary(result)
         if result.extras.get("cancelled"):
@@ -239,6 +276,7 @@ def race_device(
             result = run_leg(
                 leg_session, name, k, first_only, should_stop,
                 solver_backend=solver_backend,
+                budget=leg_budget(should_stop),
             )
         except Exception as exc:  # a dead leg must not kill the race
             with lock:

@@ -20,6 +20,15 @@ Orchestration only — the diagnosis itself happens in the shards
 * **Batching**: resolved answers are memoized per (design, failure
   signature); identical-signature devices collapse onto the first
   one's uint64-lane simulation and race.
+* **Degradation**: a device that exhausts every attempt does not
+  produce an empty ``timeout`` — the degradation ladder
+  (:mod:`repro.serve.degrade`) salvages a bounded approximate answer or
+  simulation-based guidance, stamped ``status="degraded"`` with its
+  validity class.
+* **Durability**: with a :class:`~repro.serve.journal.ResultJournal`
+  every accepted device and resolution is appended to a fsync-batched
+  WAL; resuming from its replay skips already-resolved signatures —
+  exactly-once across process death.
 * **Observability**: per-shard and service-wide counters
   (:meth:`DiagnosisService.stats`).
 """
@@ -32,8 +41,11 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..diagnosis.core import DiagnosisSession
+from .degrade import run_degradation_ladder
 from .design import DesignArtifacts, DesignCache
-from .intake import DeviceReport
+from .intake import DeviceReport, signature_seed
+from .journal import JournalReplay, ResultJournal, signature_key
 from .race import DEFAULT_STRATEGIES, RaceOutcome
 from .shard import ServiceShard
 
@@ -46,7 +58,7 @@ class DeviceResult:
 
     device_id: str
     design: str
-    status: str  # "ok" | "timeout" | "error"
+    status: str  # "ok" | "degraded" | "timeout" | "error"
     answer: tuple[str, ...] | None = None
     cardinality: int | None = None
     solutions: tuple = ()
@@ -56,6 +68,14 @@ class DeviceResult:
     latency: float = 0.0
     cached: bool = False
     error: str | None = None
+    #: Ladder rung that produced a ``"degraded"`` result
+    #: ("approximate" | "guidance"), with its validity class
+    #: ("valid-sampled" | "guidance") — see :mod:`repro.serve.degrade`.
+    degraded_rung: str | None = None
+    validity: str | None = None
+    #: True when the answer was replayed from the durable journal on
+    #: resume instead of being re-diagnosed.
+    journal_replayed: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -71,6 +91,9 @@ class DeviceResult:
             "latency": self.latency,
             "cached": self.cached,
             "error": self.error,
+            "degraded_rung": self.degraded_rung,
+            "validity": self.validity,
+            "journal_replayed": self.journal_replayed,
         }
 
 
@@ -120,10 +143,31 @@ class DiagnosisService:
         ``i * stagger`` after the first, and is skipped outright when a
         winner emerges first (see :func:`~repro.serve.race.race_device`).
         0 disables hedging (all legs start together).
+    conflict_poll_interval:
+        Solver-level cancellation granularity: every race leg carries a
+        :class:`~repro.sat.budget.Budget` polled at least this often
+        (in conflicts), so a deadline or cancellation lands mid-solve
+        within a bounded number of conflicts rather than at the next
+        solver-call boundary.
+    degrade:
+        When a device exhausts every attempt, walk the degradation
+        ladder (:mod:`repro.serve.degrade`) — a bounded approximate
+        search, then simulation-based guidance — and resolve
+        ``status="degraded"`` instead of an empty ``timeout``.
+        ``degrade_budget`` bounds the ladder's approximate rung in
+        seconds.
+    journal:
+        A :class:`~repro.serve.journal.ResultJournal`: every accepted
+        device and every resolution is appended to the durable WAL.
+        ``resume_from`` (a :class:`~repro.serve.journal.JournalReplay`,
+        usually ``read_journal(path)`` of the same file) replays
+        already-resolved signatures without re-diagnosing —
+        exactly-once across process death.
     fault_hook:
-        Test-only: ``hook(shard_index, attempt)`` called before each
-        attempt is processed; may sleep (hang) or raise
-        :class:`~repro.serve.shard.ShardKilled` (crash).
+        Chaos/test injection: ``hook(shard_index, attempt)`` called
+        before each attempt is processed; may sleep (hang) or raise
+        :class:`~repro.serve.shard.ShardKilled` (crash).  See
+        :mod:`repro.serve.chaos`.
     """
 
     def __init__(
@@ -135,6 +179,11 @@ class DiagnosisService:
         max_attempts: int = 2,
         queue_size: int = 2,
         stagger: float = 0.02,
+        conflict_poll_interval: int = 64,
+        degrade: bool = True,
+        degrade_budget: float = 0.25,
+        journal: ResultJournal | None = None,
+        resume_from: JournalReplay | None = None,
         design_cache: DesignCache | None = None,
         solver_backend: str | None = None,
         fault_hook=None,
@@ -154,11 +203,18 @@ class DiagnosisService:
                     f"unknown strategy {name!r} (expected one of "
                     f"{', '.join(DEFAULT_STRATEGIES)})"
                 )
+        if conflict_poll_interval < 1:
+            raise ValueError("conflict_poll_interval must be at least 1")
         self.policy = policy
         self.timeout = timeout
         self.max_attempts = max_attempts
         self.queue_size = queue_size
         self.stagger = stagger
+        self.conflict_poll_interval = conflict_poll_interval
+        self.degrade = degrade
+        self.degrade_budget = degrade_budget
+        self.journal = journal
+        self.resume_from = resume_from
         self.solver_backend = solver_backend
         self.design_cache = (
             design_cache if design_cache is not None else DesignCache()
@@ -185,6 +241,8 @@ class DiagnosisService:
             "duplicate_results_dropped": 0,
             "late_results_dropped": 0,
             "memo_stores": 0,
+            "degraded": 0,
+            "journal_replayed": 0,
             "race_winners": {},
         }
 
@@ -233,10 +291,20 @@ class DiagnosisService:
             for device in device_list:
                 state = self._states[device.device_id]
                 state.submitted_at = time.monotonic()
+                if self._replay_from_journal(state):
+                    continue
+                if self.journal is not None:
+                    self.journal.accepted(
+                        device.device_id,
+                        device.design,
+                        signature_key(device.signature()),
+                    )
                 self._dispatch(state)
             self._all_done.wait()
         finally:
             self._shutdown()
+            if self.journal is not None:
+                self.journal.flush()
         ordered = sorted(
             (s for s in self._states.values()), key=lambda s: s.order
         )
@@ -266,6 +334,11 @@ class DiagnosisService:
             "signature_hits": signature_hits,
             "cancelled_legs": cancelled_legs,
             "skipped_legs": skipped_legs,
+            **(
+                {"journal": dict(self.journal.stats)}
+                if self.journal is not None
+                else {}
+            ),
             "design_cache": {
                 "designs_built": self.design_cache.stats["designs_built"],
                 "design_hits": self.design_cache.stats["design_hits"],
@@ -275,6 +348,50 @@ class DiagnosisService:
             },
             "shards": shard_stats,
         }
+
+    # ------------------------------------------------------------------
+    # journal resume
+    # ------------------------------------------------------------------
+    def _replay_from_journal(self, state: _DeviceState) -> bool:
+        """Resolve ``state`` from the resume journal when its signature
+        already carries an answer-bearing resolution (exactly-once
+        across process death); ``timeout``/``error`` records re-run."""
+        if self.resume_from is None:
+            return False
+        device = state.device
+        record = self.resume_from.replayable(
+            signature_key(device.signature())
+        )
+        if record is None:
+            return False
+        from .journal import _decode_solutions
+
+        with self._lock:
+            self.counters["journal_replayed"] += 1
+        self._resolve(
+            state,
+            DeviceResult(
+                device_id=device.device_id,
+                design=device.design,
+                status=record["status"],
+                answer=(
+                    tuple(record["answer"])
+                    if record["answer"] is not None
+                    else None
+                ),
+                cardinality=record["cardinality"],
+                solutions=_decode_solutions(record["solutions"]),
+                winner=record["winner"],
+                attempts=0,
+                shard=None,
+                latency=time.monotonic() - state.submitted_at,
+                cached=True,
+                degraded_rung=record.get("degraded_rung"),
+                validity=record.get("validity"),
+                journal_replayed=True,
+            ),
+        )
+        return True
 
     # ------------------------------------------------------------------
     # routing and dispatch
@@ -480,7 +597,41 @@ class DiagnosisService:
                     error=f"deadline exceeded on shard "
                     f"{attempt.shard_index}",
                 )
+            self._rescue_dead_shard_stragglers()
             self._stopping.wait(interval)
+
+    def _rescue_dead_shard_stragglers(self) -> None:
+        """Re-route attempts parked in a dead shard's queue.
+
+        ``_shard_died`` drains the dead shard's backlog, but a submitter
+        blocked on that queue's backpressure can still land an attempt
+        *after* the drain (the death and the put race).  Whoever pops an
+        item off the queue owns it, so draining again here is safe — and
+        turns a straggler's worst case from its full attempt deadline
+        into one watchdog tick.
+        """
+        for shard in self._shards:
+            if shard.alive_for_routing:
+                continue
+            while True:
+                try:
+                    item = shard.queue.get_nowait()
+                except Exception:
+                    break
+                if not isinstance(item, _Attempt) or item.state.resolved:
+                    continue
+                try:
+                    target = self._route(
+                        item.device.design, item.number, shard.index
+                    )
+                except RuntimeError:  # no live shards remain
+                    self._retry_or_fail(
+                        item.state, item,
+                        error="no live shards remain",
+                    )
+                    continue
+                item.shard_index = target.index
+                self._submit(target, item)
 
     def _handle_timeout(self, state: _DeviceState, attempt: _Attempt) -> None:
         with self._lock:
@@ -506,6 +657,13 @@ class DiagnosisService:
                 return
             except RuntimeError as exc:  # no live shards remain
                 error = f"{error}; retry impossible ({exc})"
+        if self.degrade:
+            degraded = self._degrade(state, attempt, error)
+            if degraded is not None:
+                with self._lock:
+                    self.counters["degraded"] += 1
+                self._resolve(state, degraded)
+                return
         with self._lock:
             self.counters["failures"] += 1
         self._resolve(
@@ -519,6 +677,51 @@ class DiagnosisService:
                 latency=time.monotonic() - state.submitted_at,
                 error=error,
             ),
+        )
+
+    def _degrade(
+        self, state: _DeviceState, attempt: _Attempt, error: str
+    ) -> DeviceResult | None:
+        """Walk the degradation ladder after the last exact attempt
+        failed; None when the ladder also comes up empty.
+
+        Runs on the caller's thread (watchdog or shard) but is bounded:
+        the approximate rung carries its own ``degrade_budget`` deadline
+        Budget and the guidance rung is one vectorized sweep.
+        """
+        device = state.device
+        try:
+            artifacts = self.design_cache.get(device.design)
+            session = DiagnosisSession(
+                artifacts.circuit,
+                device.tests,
+                solver_backend=self.solver_backend,
+                seed=signature_seed(device.signature()),
+            )
+            session.master_skeleton = artifacts.skeleton
+            found = run_degradation_ladder(
+                session, k=device.k, budget_seconds=self.degrade_budget
+            )
+        except Exception:
+            return None
+        if found is None:
+            return None
+        return DeviceResult(
+            device_id=device.device_id,
+            design=device.design,
+            status="degraded",
+            answer=found.answer,
+            cardinality=(
+                len(found.answer) if found.answer is not None else None
+            ),
+            solutions=found.solutions,
+            winner=None,
+            attempts=attempt.number,
+            shard=attempt.shard_index,
+            latency=time.monotonic() - state.submitted_at,
+            error=error,
+            degraded_rung=found.rung,
+            validity=found.validity,
         )
 
     def _resolve(self, state: _DeviceState, result: DeviceResult) -> bool:
@@ -536,6 +739,15 @@ class DiagnosisService:
             self._resolved_count += 1
             if self._resolved_count >= len(self._states):
                 self._all_done.set()
+        # The winning resolution is journaled outside the service lock:
+        # the append is a buffered write (the fsync batch happens on the
+        # journal's flusher thread), so durability stays off the result
+        # path.  Replayed results came *from* the journal — re-appending
+        # them would grow the WAL on every resume.
+        if self.journal is not None and not result.journal_replayed:
+            self.journal.resolved(
+                signature_key(state.device.signature()), result
+            )
         return True
 
     # ------------------------------------------------------------------

@@ -74,6 +74,10 @@ class ServiceShard(threading.Thread):
     # ------------------------------------------------------------------
     def submit(self, attempt: "_Attempt", timeout: float | None = None):
         """Enqueue an attempt (blocking — the service's backpressure)."""
+        if not self.alive_for_routing:
+            # A dead worker never drains its queue; rejecting here makes
+            # the submitter re-route instead of parking the attempt.
+            raise RuntimeError(f"shard {self.index} is dead")
         self.queue.put(attempt, timeout=timeout)
         depth = self.queue.qsize()
         if depth > self.stats["queue_high_water"]:
@@ -130,6 +134,7 @@ class ServiceShard(threading.Thread):
             cancel=attempt.cancel,
             deadline=attempt.deadline,
             stagger=service.stagger,
+            conflict_poll_interval=service.conflict_poll_interval,
         )
         self.stats["cancelled_legs"] += outcome.cancelled_legs
         self.stats["skipped_legs"] += outcome.skipped_legs

@@ -97,6 +97,39 @@ def test_read_device_stream_skips_blanks_and_comments():
     assert [d.device_id for d in devices] == ["d0", "d1"]
 
 
+def test_read_device_stream_strict_raises_on_malformed_line():
+    lines = [
+        json.dumps(device_json(make_device("d0"))),
+        '{"id": "torn',
+    ]
+    with pytest.raises(ValueError, match="line 2: invalid JSON"):
+        list(read_device_stream(lines))
+
+
+def test_read_device_stream_skips_and_counts_malformed_midstream():
+    # One bad line mid-stream must cost exactly that line — counted,
+    # reported with its line number — while every device behind it in
+    # the queue still parses.
+    lines = [
+        "# tester log header",
+        json.dumps(device_json(make_device("d0"))),
+        '{"id": "torn-record", "design": "c17", "tests": [{"vec',
+        json.dumps(device_json(make_device("d1", seed=5))),
+        '{"id": "no-tests", "design": "c17"}',
+        json.dumps(device_json(make_device("d2", seed=7))),
+    ]
+    errors = []
+    devices = list(
+        read_device_stream(
+            lines, on_error=lambda n, msg: errors.append((n, msg))
+        )
+    )
+    assert [d.device_id for d in devices] == ["d0", "d1", "d2"]
+    assert [n for n, _ in errors] == [3, 5]
+    assert "line 3: invalid JSON" in errors[0][1]
+    assert "line 5: device is missing the 'tests' field" in errors[1][1]
+
+
 def test_signature_identity_and_seed():
     a = make_device("a", seed=3)
     b = make_device("b", seed=3)  # same workload, different device id

@@ -1,0 +1,221 @@
+"""The durable result journal: WAL roundtrip, torn tails, resume."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    DiagnosisService,
+    ResultJournal,
+    read_journal,
+    signature_key,
+)
+from repro.serve.service import DeviceResult
+
+from tests.serve._devices import make_device
+
+
+def _result(device_id="d0", status="ok", answer=("G10",)):
+    return DeviceResult(
+        device_id=device_id,
+        design="c17",
+        status=status,
+        answer=answer,
+        cardinality=len(answer) if answer is not None else None,
+        solutions=(frozenset(answer),) if answer is not None else (),
+        winner="bsat",
+    )
+
+
+# ----------------------------------------------------------------------
+# WAL roundtrip
+# ----------------------------------------------------------------------
+def test_roundtrip_accepted_and_resolved(tmp_path):
+    path = tmp_path / "serve.wal"
+    with ResultJournal(path) as journal:
+        journal.accepted("d0", "c17", "sig-0")
+        journal.resolved("sig-0", _result())
+    replay = read_journal(path)
+    assert replay.records == 2
+    assert replay.bad_records == 0
+    assert not replay.truncated
+    assert replay.accepted == {"sig-0"}
+    record = replay.resolved["sig-0"]
+    assert record["status"] == "ok"
+    assert record["answer"] == ["G10"]
+    assert record["solutions"] == [["G10"]]
+    assert record["winner"] == "bsat"
+
+
+def test_resolved_solutions_decode_bit_identically(tmp_path):
+    path = tmp_path / "serve.wal"
+    result = _result(answer=("G3", "G7"))
+    result.solutions = (frozenset(("G3", "G7")), frozenset(("G9",)))
+    with ResultJournal(path) as journal:
+        journal.resolved("sig-0", result)
+    from repro.serve.journal import _decode_solutions
+
+    record = read_journal(path).resolved["sig-0"]
+    assert _decode_solutions(record["solutions"]) == result.solutions
+
+
+def test_append_after_close_raises(tmp_path):
+    journal = ResultJournal(tmp_path / "serve.wal")
+    journal.close()
+    with pytest.raises(RuntimeError):
+        journal.accepted("d0", "c17", "sig-0")
+
+
+# ----------------------------------------------------------------------
+# crash-mid-record tolerance
+# ----------------------------------------------------------------------
+def test_torn_tail_is_skipped_not_fatal(tmp_path):
+    path = tmp_path / "serve.wal"
+    with ResultJournal(path) as journal:
+        journal.resolved("sig-0", _result())
+    with open(path, "ab") as fh:
+        fh.write(b'{"type":"resolved","sig":"sig-1","status"')
+    replay = read_journal(path)
+    assert replay.truncated
+    assert replay.bad_records == 0
+    assert set(replay.resolved) == {"sig-0"}
+    # A later run appending past the torn tail would start with a
+    # newline-terminated record; re-reading stays convergent.
+    assert read_journal(path).resolved == replay.resolved
+
+
+def test_corrupted_record_rejected_by_crc(tmp_path):
+    path = tmp_path / "serve.wal"
+    with ResultJournal(path) as journal:
+        journal.resolved("sig-0", _result())
+        journal.resolved("sig-1", _result("d1"))
+    lines = path.read_bytes().splitlines()
+    # Flip the answer inside record 0 without touching its CRC.
+    doctored = lines[0].replace(b'"G10"', b'"G11"')
+    assert doctored != lines[0]
+    path.write_bytes(b"\n".join([doctored, lines[1]]) + b"\n")
+    replay = read_journal(path)
+    assert replay.bad_records == 1
+    assert set(replay.resolved) == {"sig-1"}
+
+
+def test_unknown_record_type_counted_bad(tmp_path):
+    path = tmp_path / "serve.wal"
+    record = {"type": "mystery", "sig": "sig-0"}
+    from repro.serve.journal import _payload_crc
+
+    record["crc"] = _payload_crc(record)
+    path.write_text(json.dumps(record) + "\n")
+    replay = read_journal(path)
+    assert replay.bad_records == 1
+    assert replay.records == 0
+
+
+def test_missing_file_is_empty_replay(tmp_path):
+    replay = read_journal(tmp_path / "never-written.wal")
+    assert replay.records == 0
+    assert not replay.resolved and not replay.truncated
+
+
+# ----------------------------------------------------------------------
+# fsync batching
+# ----------------------------------------------------------------------
+def test_group_commit_batches_appends(tmp_path):
+    path = tmp_path / "serve.wal"
+    journal = ResultJournal(path, batch_size=1000, flush_interval=30.0)
+    try:
+        for i in range(10):
+            journal.accepted(f"d{i}", "c17", f"sig-{i}")
+        journal.flush()
+        stats = dict(journal.stats)
+    finally:
+        journal.close()
+    assert stats["appended"] == 10
+    assert stats["synced_records"] == 10
+    # One explicit commit covered all ten appends — no fsync per record.
+    assert stats["commits"] == 1
+
+
+# ----------------------------------------------------------------------
+# service integration: journal + resume
+# ----------------------------------------------------------------------
+def test_service_journals_and_resumes_exactly_once(tmp_path):
+    path = tmp_path / "serve.wal"
+    devices = [make_device(f"d{i}", seed=3 + i, k=2) for i in range(3)]
+
+    with ResultJournal(path) as journal:
+        first = DiagnosisService(
+            n_shards=2, timeout=30.0, journal=journal
+        ).run(devices)
+    assert all(r.status == "ok" for r in first)
+    assert not any(r.journal_replayed for r in first)
+
+    replay = read_journal(path)
+    assert len(replay.resolved) == len(
+        {d.signature() for d in devices}
+    )
+    for d in devices:
+        assert signature_key(d.signature()) in replay.accepted
+
+    with ResultJournal(path) as journal:
+        service = DiagnosisService(
+            n_shards=2,
+            timeout=30.0,
+            journal=journal,
+            resume_from=replay,
+        )
+        second = service.run(devices)
+    assert all(r.journal_replayed for r in second)
+    assert service.stats()["journal_replayed"] == len(devices)
+    for r1, r2 in zip(first, second):
+        # Bit-identical replay: the journal stores the answer, not a
+        # summary of it.
+        assert r2.answer == r1.answer
+        assert tuple(r2.solutions) == tuple(r1.solutions)
+        assert r2.winner == r1.winner
+        assert r2.cardinality == r1.cardinality
+    # Replayed results are not re-journaled: the WAL does not grow with
+    # resolved duplicates on every resume.
+    assert len(read_journal(path).resolved) == len(replay.resolved)
+
+
+def test_resume_reruns_accepted_but_unresolved_devices(tmp_path):
+    path = tmp_path / "serve.wal"
+    device = make_device("d0", seed=3, k=2)
+    key = signature_key(device.signature())
+    with ResultJournal(path) as journal:
+        journal.accepted("d0", "c17", key)
+    replay = read_journal(path)
+    assert replay.replayable(key) is None
+
+    with ResultJournal(path) as journal:
+        service = DiagnosisService(
+            n_shards=1, timeout=30.0, journal=journal, resume_from=replay
+        )
+        (result,) = service.run([device])
+    assert result.status == "ok"
+    assert not result.journal_replayed
+    assert service.stats()["journal_replayed"] == 0
+    # The re-run's resolution landed in the journal this time.
+    assert read_journal(path).replayable(key) is not None
+
+
+def test_timeout_records_are_not_replayed(tmp_path):
+    path = tmp_path / "serve.wal"
+    device = make_device("d0", seed=3, k=2)
+    key = signature_key(device.signature())
+    with ResultJournal(path) as journal:
+        journal.resolved(
+            key,
+            _result(status="timeout", answer=None),
+        )
+    replay = read_journal(path)
+    assert key in replay.resolved
+    # timeout/error resolutions re-run on resume — a restart is a fresh
+    # chance; only answer-bearing statuses replay.
+    assert replay.replayable(key) is None
+
+    service = DiagnosisService(n_shards=1, timeout=30.0, resume_from=replay)
+    (result,) = service.run([device])
+    assert result.status == "ok"
+    assert not result.journal_replayed

@@ -6,7 +6,11 @@ import pytest
 
 from repro.circuits import library
 from repro.diagnosis import DiagnosisSession, diagnose
+from repro.sat.backends import SAT_BACKENDS, register_backend
+from repro.sat.budget import Budget
+from repro.sat.compiled import CompiledSolver
 from repro.serve import DEFAULT_STRATEGIES, race_device, signature_seed
+from repro.serve.race import run_leg
 
 from tests.serve._devices import make_device
 
@@ -122,6 +126,68 @@ def test_cancelled_run_leaves_no_poisoned_session_state():
     assert full.extras.get("cached") is not True
     assert full.complete
     assert tuple(full.solutions) == tuple(fresh.solutions)
+
+
+# Thresholds are backend-specific because the bound is relative to each
+# solver's own conflict trajectory: the interpreted arena burns ~237
+# conflicts on this workload, the compiled kernels ~20.
+_BUDGET_CASES = [
+    ("arena", 100, 32),
+    ("arena-jit", 8, 4),
+    ("compiled-scratch", 8, 4),
+]
+
+
+@pytest.mark.parametrize(
+    "backend_kind, threshold, interval",
+    _BUDGET_CASES,
+    ids=[c[0] for c in _BUDGET_CASES],
+)
+def test_cancelled_bsat_leg_stops_within_poll_interval(
+    backend_kind, threshold, interval
+):
+    # The serving guarantee behind race deadlines: once the stop signal
+    # flips, a hung bsat leg stops inside the SAT search within one
+    # conflict-poll interval — not at the next solver-call boundary.
+    backend = None
+    scratch = None
+    if backend_kind == "arena-jit":
+        if "arena-jit" not in SAT_BACKENDS:
+            pytest.skip("numba unavailable: arena-jit is not registered")
+        backend = "arena-jit"
+    elif backend_kind == "compiled-scratch":
+        # Same kernels as arena-jit, minus the numba jit — registered
+        # under a scratch name so this path runs in every environment.
+        scratch = "compiled-budget-test"
+        register_backend(scratch, "compiled kernels (budget test)")(
+            CompiledSolver
+        )
+        backend = scratch
+    try:
+        device = make_device("d0", design="sim1423", seed=1, k=2)
+        session = _session(device)
+        budget = Budget(conflict_poll_interval=interval)
+        budget.should_stop = lambda: budget.conflicts >= threshold
+        result = run_leg(
+            session,
+            "bsat",
+            k=2,
+            first_only=False,
+            should_stop=None,
+            solver_backend=backend,
+            budget=budget,
+        )
+    finally:
+        if scratch is not None:
+            SAT_BACKENDS.pop(scratch, None)
+    assert budget.interrupted and budget.reason == "cancelled"
+    assert result.extras.get("cancelled") is True
+    assert result.extras.get("interrupted") is True
+    assert not result.complete
+    # The search ran up to the stop signal...
+    assert budget.conflicts >= threshold
+    # ...and overran it by at most one poll interval of conflicts.
+    assert budget.conflicts <= threshold + interval
 
 
 def test_cancelled_greedy_and_ihs_leave_session_reusable():

@@ -128,7 +128,8 @@ def test_deadline_exhausts_attempts_to_timeout_status():
         time.sleep(0.4)
 
     service = DiagnosisService(
-        n_shards=2, timeout=0.1, max_attempts=2, fault_hook=hook
+        n_shards=2, timeout=0.1, max_attempts=2, fault_hook=hook,
+        degrade=False,
     )
     results = service.run([make_device("d0", seed=3, k=2)])
     (d0,) = results
@@ -138,6 +139,33 @@ def test_deadline_exhausts_attempts_to_timeout_status():
     stats = service.stats()
     assert stats["timeouts"] == 2
     assert stats["failures"] == 1
+
+
+def test_deadline_exhaustion_degrades_instead_of_timing_out():
+    # Same hang as above, but with the default degradation ladder on:
+    # the device resolves with a degraded answer (and its validity
+    # class) instead of an empty timeout.
+    def hook(shard_index, attempt):
+        time.sleep(0.4)
+
+    service = DiagnosisService(
+        n_shards=2, timeout=0.1, max_attempts=2, fault_hook=hook
+    )
+    results = service.run([make_device("d0", seed=3, k=2)])
+    (d0,) = results
+    assert d0.status == "degraded"
+    assert d0.degraded_rung in ("approximate", "guidance")
+    assert d0.validity in ("valid-sampled", "guidance")
+    if d0.degraded_rung == "approximate":
+        # The approximate rung only reports verified valid corrections.
+        assert d0.answer is not None and d0.solutions
+    else:
+        assert d0.answer is None and d0.solutions
+    assert "deadline exceeded" in d0.error
+    stats = service.stats()
+    assert stats["degraded"] == 1
+    assert stats["failures"] == 0
+    assert stats["timeouts"] == 2
 
 
 def test_bsat_only_service_matches_sequential_baseline_bitwise():
