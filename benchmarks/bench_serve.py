@@ -31,7 +31,25 @@ journal attached, gating that throughput stays within 2x the clean
 service wall, every device still resolves ``ok``, and resuming from the
 journal replays the whole fleet bit-identically without re-diagnosis.
 
-Run directly (CI runs ``--smoke`` and ``--smoke --chaos``)::
+``--workers N`` adds the process-mode leg (the PR-10 acceptance, CI's
+``serve-procs`` job): a **core-bound** multi-design fleet — bsat-only,
+``policy="complete"``, unique signatures, so every device is genuinely
+GIL-bound solver work with no race cancellation or memo shortcut to
+hide behind — runs through the thread service (``--workers 0``
+semantics) and through :class:`repro.serve.ProcessDiagnosisService`
+with ``N`` design-sharded worker processes.  Gates: process mode is
+>=1.5x devices/sec over thread mode (enforced when >=2 cores are
+available — the whole point is core parallelism; on a single core the
+ratio is reported but the gate and its baseline entry are skipped with
+the reason), per-device result sets bit-identical to both thread mode
+and the sequential reference enumeration, skeletons built exactly once
+per design *per owning worker*, and a kill-worker chaos sub-leg
+(SIGKILL of a live worker mid-fleet, parent journal attached) where
+every device still resolves exactly once and the journal replays
+bit-identically on resume.
+
+Run directly (CI runs ``--smoke``, ``--smoke --chaos`` and
+``--smoke --workers 2``)::
 
     PYTHONPATH=../src python bench_serve.py --smoke
 
@@ -44,6 +62,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -57,6 +76,7 @@ from repro.serve import (
     DesignCache,
     DeviceReport,
     DiagnosisService,
+    ProcessDiagnosisService,
     ResultJournal,
     check_invariants,
     read_journal,
@@ -393,12 +413,316 @@ def run_chaos(
     }
 
 
+#: Core-bound fleet for the process-mode (`--workers N`) leg: bsat-only
+#: complete enumeration (the pure-Python CDCL solver holds the GIL for
+#: the whole solve), two mid-size designs whose crc32 routing lands
+#: them on *different* workers at ``--workers 2`` with near-equal
+#: aggregate solve time per worker (~2s each, so the ratio measures
+#: parallel speedup rather than the straggler), unique signatures only
+#: — no duplicate to serve from the memo, no fast approximate leg to
+#: cancel the tail.  Thread mode has nothing left to hide behind; a
+#: throughput win here is core parallelism or nothing.
+WORKERS_FLEET = [
+    ("sim6669", (1, 2, 3, 5, 7, 11, 13), 0),
+    ("sim38417", (1, 2, 3), 0),
+]
+
+#: Floor on process-mode devices/sec over thread mode at the same
+#: workload (the ISSUE acceptance bar).  Enforced only when the parent
+#: can actually schedule on >=2 cores — on a single core the process
+#: pool *cannot* beat threads (it pays spawn + IPC for the same serial
+#: CPU) and the ratio is reported ungated with the reason.
+WORKERS_GATE_RATIO = 1.5
+
+#: Solve deadline for the workers leg: generous, because the gate here
+#: is relative throughput of complete enumerations, not tail-cutting.
+WORKERS_TIMEOUT = 240.0
+
+#: Worker count for the kill-worker chaos sub-leg: killing one of three
+#: leaves two survivors to absorb the rerouted backlog.
+WORKERS_CHAOS_WORKERS = 3
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _workers_thread_reference(
+    devices, solver_backend: str | None
+) -> tuple[list, float]:
+    """The ``--workers 0`` side of the ratio: the thread service on the
+    identical bsat-only complete workload."""
+    service = DiagnosisService(
+        n_shards=N_SHARDS,
+        strategies=("bsat",),
+        policy="complete",
+        timeout=WORKERS_TIMEOUT,
+        design_cache=DesignCache(),
+        solver_backend=solver_backend,
+    )
+    start = time.perf_counter()
+    results = service.run(devices)
+    wall = time.perf_counter() - start
+    return results, wall
+
+
+def run_workers_leg(
+    n_workers: int,
+    failures: list[str],
+    solver_backend: str | None = None,
+    journal_path=None,
+) -> dict:
+    """Process-mode leg: design-sharded worker processes vs. threads.
+
+    Gates (appended to ``failures``):
+
+    * every device resolves ``ok`` in both modes;
+    * process-mode per-device solution sets are **bit-identical** to
+      thread mode *and* to the sequential reference enumeration
+      (``run_leg`` on a fresh single session);
+    * each design's master-encoding skeleton is built exactly once
+      fleet-wide, inside the one worker that owns the design;
+    * process mode is >= :data:`WORKERS_GATE_RATIO` x devices/sec over
+      thread mode — enforced only when >=2 cores are available (the
+      ratio is always reported; ``gated`` records whether it counted);
+    * the kill-worker chaos sub-leg (:func:`run_workers_chaos`).
+    """
+    devices = _make_devices(WORKERS_FLEET)
+    thread_results, thread_wall = _workers_thread_reference(
+        devices, solver_backend
+    )
+
+    # Spawn + per-worker warm-up happen before the timed window: the
+    # pool is a long-lived server, its startup is not per-fleet cost.
+    pool = ProcessDiagnosisService(
+        n_workers=n_workers,
+        worker_shards=1,
+        strategies=("bsat",),
+        policy="complete",
+        timeout=WORKERS_TIMEOUT,
+        solver_backend=solver_backend,
+    )
+    try:
+        start = time.perf_counter()
+        proc_results = pool.run(devices)
+        proc_wall = time.perf_counter() - start
+        stats = pool.stats()
+    finally:
+        pool.close()
+
+    by_id = {r.device_id: r for r in thread_results}
+    for result in proc_results:
+        if result.status != "ok":
+            failures.append(
+                f"workers: {result.device_id}: status {result.status} "
+                f"({result.error})"
+            )
+            continue
+        thread_result = by_id[result.device_id]
+        if thread_result.status != "ok":
+            failures.append(
+                f"workers: {result.device_id}: thread-mode status "
+                f"{thread_result.status}"
+            )
+            continue
+        if tuple(result.solutions) != tuple(thread_result.solutions):
+            failures.append(
+                f"workers: {result.device_id}: process-mode solutions "
+                f"differ from thread mode"
+            )
+        device = next(d for d in devices if d.device_id == result.device_id)
+        reference = run_leg(
+            _fresh_session(device, solver_backend),
+            "bsat",
+            device.k,
+            first_only=False,
+            should_stop=None,
+        )
+        if tuple(result.solutions) != tuple(reference.solutions):
+            failures.append(
+                f"workers: {result.device_id}: process mode not "
+                f"bit-identical to the sequential reference"
+            )
+
+    # Build-once per design *per owning worker*: fleet-wide each design
+    # skeleton is built exactly once, and only inside one worker.
+    builds_by_worker = {
+        name: (block.get("service") or {})
+        .get("design_cache", {})
+        .get("skeleton_builds", {})
+        for name, block in stats.get("workers", {}).items()
+    }
+    for design, _, _ in WORKERS_FLEET:
+        owners = {
+            name: builds[design]
+            for name, builds in builds_by_worker.items()
+            if builds.get(design)
+        }
+        if sum(owners.values()) != 1 or len(owners) != 1:
+            failures.append(
+                f"workers: {design}: skeleton builds {owners or 0} "
+                f"(must be exactly once in exactly one owning worker)"
+            )
+
+    cores = _available_cores()
+    gated = cores >= 2
+    throughput_ratio = thread_wall / proc_wall if proc_wall > 0 else None
+    if gated and (
+        throughput_ratio is None or throughput_ratio < WORKERS_GATE_RATIO
+    ):
+        failures.append(
+            f"workers: process mode {throughput_ratio:.2f}x thread mode "
+            f"(< {WORKERS_GATE_RATIO}x floor, {cores} cores)"
+        )
+
+    leg = {
+        "n_workers": n_workers,
+        "n_devices": len(devices),
+        "cores": cores,
+        "gated": gated,
+        "gate_skip_reason": (
+            None if gated else f"only {cores} core(s) available"
+        ),
+        "thread_wall": thread_wall,
+        "proc_wall": proc_wall,
+        "thread_devices_per_sec": len(devices) / thread_wall,
+        "proc_devices_per_sec": len(devices) / proc_wall,
+        "throughput_ratio": throughput_ratio,
+        "stats": stats,
+    }
+    leg["chaos"] = run_workers_chaos(
+        devices,
+        failures,
+        solver_backend=solver_backend,
+        journal_path=journal_path,
+    )
+    return leg
+
+
+def run_workers_chaos(
+    devices,
+    failures: list[str],
+    solver_backend: str | None = None,
+    seed: int = 0,
+    journal_path=None,
+) -> dict:
+    """Kill-worker chaos sub-leg: SIGKILL a live worker mid-fleet.
+
+    Gates (appended to ``failures``): the kill actually fired and a
+    worker actually died; every device still resolves ``ok`` exactly
+    once (rerouted to survivors, per
+    :func:`repro.serve.check_invariants`); and the parent-owned journal
+    replays the whole fleet **bit-identically** on resume — through a
+    *fresh* process pool at a different worker count, because the WAL
+    is topology-agnostic.
+    """
+    path = (
+        Path(journal_path)
+        if journal_path is not None
+        else OUT_DIR / "serve-procs.wal"
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.exists():
+        path.unlink()  # the journal appends; each bench run starts clean
+
+    injector = ChaosInjector(
+        seed=seed, kinds=("kill_worker",), max_per_kind=1, horizon=4
+    )
+    journal = ResultJournal(path)
+    pool = ProcessDiagnosisService(
+        n_workers=WORKERS_CHAOS_WORKERS,
+        worker_shards=1,
+        strategies=("bsat",),
+        policy="complete",
+        timeout=WORKERS_TIMEOUT,
+        solver_backend=solver_backend,
+        journal=journal,
+        worker_kill_hook=injector.worker_kill_hook,
+    )
+    try:
+        start = time.perf_counter()
+        results = pool.run(devices)
+        wall = time.perf_counter() - start
+        stats = pool.stats()
+        problems = check_invariants(
+            devices, results, service=pool, journal_path=path
+        )
+    finally:
+        pool.close()
+        journal.close()
+
+    if injector.fired("kill_worker") == 0:
+        failures.append("workers-chaos: no kill-worker injection fired")
+    if stats["worker_deaths"] == 0:
+        failures.append("workers-chaos: injection fired but no worker died")
+    for problem in problems:
+        failures.append(f"workers-chaos: {problem}")
+    for result in results:
+        if result.status != "ok":
+            failures.append(
+                f"workers-chaos: {result.device_id}: status "
+                f"{result.status} under worker-kill ({result.error})"
+            )
+
+    replay = read_journal(path)
+    resumed = ProcessDiagnosisService(
+        n_workers=2,
+        worker_shards=1,
+        strategies=("bsat",),
+        policy="complete",
+        timeout=WORKERS_TIMEOUT,
+        solver_backend=solver_backend,
+        resume_from=replay,
+    )
+    try:
+        replayed = resumed.run(devices)
+    finally:
+        resumed.close()
+    for original, again in zip(results, replayed):
+        if not again.journal_replayed:
+            failures.append(
+                f"workers-chaos: {again.device_id}: re-diagnosed on "
+                f"resume instead of served from the journal"
+            )
+        elif again.answer != original.answer or tuple(
+            again.solutions
+        ) != tuple(original.solutions):
+            failures.append(
+                f"workers-chaos: {again.device_id}: journal replay is "
+                f"not bit-identical"
+            )
+    return {
+        "seed": seed,
+        "n_workers": WORKERS_CHAOS_WORKERS,
+        "worker_kills_fired": injector.fired("kill_worker"),
+        "injections": [
+            {"kind": e.kind, "site": e.site, "occurrence": e.occurrence}
+            for e in injector.log
+        ],
+        "wall": wall,
+        "worker_deaths": stats["worker_deaths"],
+        "reroutes": stats["reroutes"],
+        "journal": {
+            "path": str(path),
+            "records": replay.records,
+            "resolved": len(replay.resolved),
+            "stats": dict(journal.stats),
+        },
+        "replayed": sum(1 for r in replayed if r.journal_replayed),
+    }
+
+
 def run(
     smoke: bool,
     solver_backend: str | None = None,
     chaos: bool = False,
     chaos_seed: int = 0,
     chaos_journal=None,
+    workers: int = 0,
+    workers_journal=None,
 ) -> dict:
     fleet = list(SMOKE_FLEET)
     if not smoke:
@@ -474,6 +798,21 @@ def run(
             seed=chaos_seed,
             journal_path=chaos_journal,
         )
+    if workers:
+        leg = run_workers_leg(
+            workers,
+            failures,
+            solver_backend,
+            journal_path=workers_journal,
+        )
+        report["workers"] = leg
+        if leg["gated"] and leg["throughput_ratio"] is not None:
+            # Published (and hence baseline-diffed) only when the >=2
+            # core gate applied: compare_baseline skips baseline-only
+            # keys, so single-core runs neither fail nor water it down.
+            report["gated_ratios"]["serve:procpool_throughput"] = leg[
+                "throughput_ratio"
+            ]
     report["failures"] = failures
     return report
 
@@ -497,6 +836,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--chaos-seed", type=int, default=0, metavar="N",
         help="injection-schedule seed for --chaos",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="add the process-mode leg: run the core-bound fleet "
+        "through ProcessDiagnosisService with N design-sharded worker "
+        "processes, gating >=1.5x devices/sec over thread mode (when "
+        ">=2 cores are available), bit-identical bsat-only results, "
+        "build-once per design per owning worker, and kill-worker "
+        "chaos with bit-identical journal replay on resume; 0 skips "
+        "the leg",
     )
     parser.add_argument(
         "--solver-backend", default=None, metavar="NAME",
@@ -528,6 +877,7 @@ def main(argv=None) -> int:
         solver_backend=args.solver_backend,
         chaos=args.chaos,
         chaos_seed=args.chaos_seed,
+        workers=args.workers,
     )
     out_path = Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -562,6 +912,26 @@ def main(argv=None) -> int:
             f"({chaos['overhead_ratio']:.2f}x clean)  journal replayed "
             f"{chaos['replayed']}/{report['n_devices']} devices"
         )
+    if "workers" in report:
+        leg = report["workers"]
+        gate = (
+            "gated"
+            if leg["gated"]
+            else f"ungated: {leg['gate_skip_reason']}"
+        )
+        print(
+            f"workers({leg['n_workers']}): "
+            f"{leg['proc_devices_per_sec']:.1f} dev/s vs thread "
+            f"{leg['thread_devices_per_sec']:.1f} dev/s = "
+            f"{leg['throughput_ratio']:.2f}x ({gate})"
+        )
+        wchaos = leg["chaos"]
+        print(
+            f"workers-chaos: {wchaos['worker_kills_fired']} worker kills  "
+            f"deaths {wchaos['worker_deaths']}  reroutes "
+            f"{wchaos['reroutes']}  journal replayed "
+            f"{wchaos['replayed']}/{leg['n_devices']} devices"
+        )
     if report["failures"]:
         for failure in report["failures"]:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -583,6 +953,17 @@ def test_serve_chaos_smoke(tmp_path):
     failures: list[str] = []
     run_chaos(
         devices, failures, journal_path=tmp_path / "serve-chaos.wal"
+    )
+    assert not failures, failures
+
+
+def test_serve_workers_smoke(tmp_path):
+    """The process-mode leg alone, gated exactly as
+    ``--smoke --workers 2`` (throughput gate auto-skips below 2
+    cores; bit-identity, build-once and kill-worker chaos always run)."""
+    failures: list[str] = []
+    run_workers_leg(
+        2, failures, journal_path=tmp_path / "serve-procs.wal"
     )
     assert not failures, failures
 

@@ -425,6 +425,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import (
         DesignCache,
         DiagnosisService,
+        ProcessDiagnosisService,
         ResultJournal,
         read_device_stream,
         read_journal,
@@ -465,24 +466,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and Path(args.journal).exists():
         resume_from = read_journal(args.journal)
     journal = ResultJournal(args.journal) if args.journal else None
+    service = None
     try:
         try:
-            service = DiagnosisService(
-                n_shards=args.shards,
-                strategies=strategies,
-                policy=args.policy,
-                timeout=args.timeout,
-                max_attempts=args.retries + 1,
-                degrade=not args.no_degrade,
-                journal=journal,
-                resume_from=resume_from,
-                design_cache=cache,
-                solver_backend=args.solver_backend,
-            )
+            if args.workers:
+                # Process mode: designs are sharded across worker
+                # processes, --shards becomes each worker's internal
+                # thread-shard count.
+                service = ProcessDiagnosisService(
+                    n_workers=args.workers,
+                    worker_shards=args.shards,
+                    strategies=strategies,
+                    policy=args.policy,
+                    timeout=args.timeout,
+                    max_attempts=args.retries + 1,
+                    degrade=not args.no_degrade,
+                    journal=journal,
+                    resume_from=resume_from,
+                    solver_backend=args.solver_backend,
+                )
+            else:
+                service = DiagnosisService(
+                    n_shards=args.shards,
+                    strategies=strategies,
+                    policy=args.policy,
+                    timeout=args.timeout,
+                    max_attempts=args.retries + 1,
+                    degrade=not args.no_degrade,
+                    journal=journal,
+                    resume_from=resume_from,
+                    design_cache=cache,
+                    solver_backend=args.solver_backend,
+                )
             results = service.run(devices)
         except ValueError as exc:
             raise SystemExit(f"error: {exc}")
     finally:
+        if isinstance(service, ProcessDiagnosisService):
+            service.close()
         if journal is not None:
             journal.close()
     payload = "\n".join(json.dumps(r.to_dict()) for r in results) + "\n"
@@ -619,6 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker shards, each with a bounded queue (default: 2)",
     )
     p_serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker processes sharding *designs* across cores; each "
+        "worker runs --shards thread shards over its design subset "
+        "(0: current in-process thread mode, the default)",
+    )
+    p_serve.add_argument(
         "--strategies", default=",".join(_SERVE_STRATEGIES),
         metavar="CSV",
         help="comma-separated race legs per device "
@@ -672,7 +699,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--stats", action="store_true",
         help="print the service/shard/design-cache counters to stderr "
-        "(includes degraded / journal_replayed / intake_skipped)",
+        "(includes degraded / journal_replayed / intake_skipped; in "
+        "process mode also per-worker processed and queue_high_water, "
+        "so routing skew is visible)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

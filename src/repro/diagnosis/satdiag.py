@@ -54,7 +54,7 @@ from ..circuits.structure import fanin_cone
 from ..sat.budget import SearchInterrupted
 from ..sat.cardinality import IncrementalTotalizer
 from ..sat.cnf import CNF
-from ..sat.enumerate import enumerate_solutions
+from ..sat.enumerate import _DELTA_KEYS, enumerate_solutions
 from ..sat.solver import Solver
 from ..sat.tseitin import encode_gate, encode_mux
 from ..testgen.testset import TestSet
@@ -859,7 +859,48 @@ def basic_sat_diagnose(
     interrupted = False
     search_start = time.perf_counter()
     try:
-        for bound in range(1, k + 1):
+        # The cardinality loop below starts at bound 1, so it never asks
+        # whether the *empty* candidate is consistent before enumerating
+        # singletons.  For a circuit with a failing test ∅ is trivially
+        # inconsistent, but system-style instances (e.g. grouped CNF with
+        # a satisfiable observation) admit it — and a selector no clause
+        # constrains can then ride along as a spurious singleton before
+        # ∅'s blocking clause lands.  ∅ consistent makes ∅ the unique
+        # subset-minimal solution, so probe it first (one cheap UNSAT
+        # call on circuit instances) and skip the loop when it holds.
+        probe_assumptions = (
+            base_assumptions + [-v for v in select_vars] + extra_assumptions
+        )
+        probe_before = {key: solver.stats[key] for key in _DELTA_KEYS}
+        if budget is None:
+            probe = solver.solve(
+                assumptions=probe_assumptions, conflict_limit=conflict_limit
+            )
+        else:
+            probe = solver.solve(
+                assumptions=probe_assumptions,
+                conflict_limit=conflict_limit,
+                budget=budget,
+            )
+        if probe is None:
+            complete = False
+            if budget is not None and getattr(solver, "interrupted", False):
+                cancelled = True
+                interrupted = True
+        elif probe:
+            solution: Correction = frozenset()
+            t_first = time.perf_counter() - search_start
+            solution_stats.append(
+                {
+                    key: solver.stats[key] - probe_before[key]
+                    for key in _DELTA_KEYS
+                }
+            )
+            if collect_corrections or instance.persistent:
+                corrections[solution] = instance.correction_values(solution)
+            solutions.append(solution)
+        empty_unsat = probe is not None and not probe
+        for bound in range(1, k + 1) if empty_unsat else ():
             if should_stop is not None and should_stop():
                 complete = False
                 cancelled = True

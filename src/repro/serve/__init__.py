@@ -19,6 +19,10 @@ cancelled.  The service layers:
 ``service``
     :class:`DiagnosisService` — routing, deadline/retry, exactly-once
     result stream, observability counters.
+``procpool``
+    :class:`ProcessDiagnosisService` — design-sharded worker
+    *processes* (each running the thread service over its design
+    subset) for core-bound workloads; ``serve --workers N``.
 ``journal``
     :class:`ResultJournal` — fsync-batched JSONL WAL of accepted and
     resolved devices; :func:`read_journal` replays it on resume for
@@ -40,6 +44,7 @@ from .degrade import DegradedAnswer, run_degradation_ladder
 from .design import DesignArtifacts, DesignCache, load_design
 from .intake import (
     DeviceReport,
+    device_to_wire,
     parse_device,
     parse_device_line,
     read_device_stream,
@@ -51,6 +56,7 @@ from .journal import (
     read_journal,
     signature_key,
 )
+from .procpool import ProcessDiagnosisService
 from .race import DEFAULT_STRATEGIES, RaceOutcome, race_device
 from .service import DeviceResult, DiagnosisService
 from .shard import ServiceShard, ShardKilled
@@ -60,6 +66,7 @@ __all__ = [
     "DesignCache",
     "load_design",
     "DeviceReport",
+    "device_to_wire",
     "parse_device",
     "parse_device_line",
     "read_device_stream",
@@ -78,6 +85,7 @@ __all__ = [
     "race_device",
     "DeviceResult",
     "DiagnosisService",
+    "ProcessDiagnosisService",
     "ServiceShard",
     "ShardKilled",
 ]

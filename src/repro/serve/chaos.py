@@ -25,6 +25,13 @@ surface the service claims to survive:
     group-commit boundary (:class:`JournalCrash` out of the journal's
     flush hooks) — replaying the journal must converge and resume must
     keep resolution exactly-once.
+``kill_worker``
+    Process mode only: a worker *process* is hard-killed (SIGKILL)
+    right after a device is routed to it — the parent must detect the
+    death, re-route the worker's unacknowledged devices to survivors,
+    and keep resolution exactly-once with a convergent journal.  The
+    :class:`~repro.serve.procpool.ProcessDiagnosisService` consults
+    :meth:`ChaosInjector.worker_kill_hook` on every submit.
 
 Injections fire on a **seeded schedule**: at construction the injector
 draws, per enabled kind, which occurrence of that kind's site fires.
@@ -62,6 +69,7 @@ ALL_INJECTION_KINDS = (
     "corrupt_intake_line",
     "crash_before_flush",
     "crash_after_flush",
+    "kill_worker",
 )
 
 #: Statuses a resolved device may legally carry.
@@ -177,6 +185,15 @@ class ChaosInjector:
             "hang_leg", f"shard{shard_index}", device=device_id
         ):
             time.sleep(self.hang_s)
+
+    def worker_kill_hook(self, worker_index: int, device_id: str) -> bool:
+        """Process-mode kill schedule: consulted by the parent on every
+        device submit; True means "hard-kill worker ``worker_index``
+        now" (the parent SIGKILLs the process, so the death is real —
+        no cooperation from the worker)."""
+        return self._fire(
+            "kill_worker", f"worker{worker_index}", device=device_id
+        )
 
     # ------------------------------------------------------------------
     # intake surface

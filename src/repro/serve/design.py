@@ -14,6 +14,9 @@ The cache also holds the per-design **result memo** keyed by failure
 signature: devices carrying an identical signature are the same
 diagnosis workload by construction, so the first one's uint64-lane
 simulation and race answer serve all of them (the batching path).
+The memo is an LRU bounded by ``memo_max_entries`` (per design) —
+million-device traffic with ever-fresh signatures evicts the coldest
+entries instead of growing without bound; evictions are counted.
 
 ``stats`` counts builds and hits; the serve benchmark asserts
 ``skeleton_builds[design] == 1`` however many devices of the design
@@ -24,6 +27,7 @@ independent half is built exactly once per design.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -33,7 +37,60 @@ from ..circuits.netlist import Circuit
 from ..diagnosis.satdiag import MasterEncodingSkeleton
 from ..sim.compiled import compile_circuit
 
-__all__ = ["DesignArtifacts", "DesignCache", "load_design"]
+__all__ = [
+    "DEFAULT_MEMO_MAX_ENTRIES",
+    "DesignArtifacts",
+    "DesignCache",
+    "SignatureMemo",
+    "load_design",
+]
+
+#: Default per-design LRU bound for the signature result memo.  Generous
+#: on purpose: a memo entry is a few answer tuples, so even thousands
+#: per design are cheap — the cap only exists so an endless stream of
+#: unique signatures cannot grow the map without bound.
+DEFAULT_MEMO_MAX_ENTRIES = 4096
+
+
+class SignatureMemo:
+    """Bounded LRU of failure signature -> resolved-answer memo.
+
+    The drop-in replacement for the unbounded dict the memo used to be:
+    ``get`` refreshes recency, ``store`` is first-writer-wins (the
+    service's exactly-once memo semantics) and evicts the least
+    recently used entries past ``max_entries``.  Not thread-safe on its
+    own — the service serializes access under its memo lock.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MEMO_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+
+    def get(self, signature: tuple) -> dict | None:
+        memo = self._entries.get(signature)
+        if memo is not None:
+            self._entries.move_to_end(signature)
+        return memo
+
+    def store(self, signature: tuple, memo: dict) -> bool:
+        """Insert unless present; True when this call stored the entry."""
+        if signature in self._entries:
+            self._entries.move_to_end(signature)
+            return False
+        self._entries[signature] = memo
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def __contains__(self, signature: tuple) -> bool:
+        return signature in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def load_design(spec: str) -> Circuit:
@@ -57,17 +114,22 @@ class DesignArtifacts:
     circuit: Circuit
     skeleton: MasterEncodingSkeleton
     #: Failure-signature -> resolved answer (the service fills this; one
-    #: entry serves every device carrying the signature).
-    result_memo: dict = field(default_factory=dict)
+    #: entry serves every device carrying the signature).  LRU-bounded.
+    result_memo: SignatureMemo = field(default_factory=SignatureMemo)
 
 
 class DesignCache:
     """Thread-safe once-per-design artifact store."""
 
     def __init__(
-        self, loader: Callable[[str], Circuit] | None = None
+        self,
+        loader: Callable[[str], Circuit] | None = None,
+        memo_max_entries: int = DEFAULT_MEMO_MAX_ENTRIES,
     ) -> None:
+        if memo_max_entries < 1:
+            raise ValueError("memo_max_entries must be at least 1")
         self._loader = loader if loader is not None else load_design
+        self.memo_max_entries = memo_max_entries
         self._lock = threading.Lock()
         self._designs: dict[str, DesignArtifacts] = {}
         self.stats = {
@@ -91,7 +153,10 @@ class DesignCache:
             circuit.topological_order()
             skeleton = MasterEncodingSkeleton(circuit)
             artifacts = DesignArtifacts(
-                name=name, circuit=circuit, skeleton=skeleton
+                name=name,
+                circuit=circuit,
+                skeleton=skeleton,
+                result_memo=SignatureMemo(self.memo_max_entries),
             )
             self._designs[name] = artifacts
             self.stats["designs_built"] += 1
@@ -102,6 +167,13 @@ class DesignCache:
     def inputs_of(self, name: str) -> tuple[str, ...]:
         """Primary-input order of ``name`` (for ``bits`` intake)."""
         return tuple(self.get(name).circuit.inputs)
+
+    def memo_evictions(self) -> int:
+        """Total LRU evictions across every design's result memo."""
+        with self._lock:
+            return sum(
+                a.result_memo.evictions for a in self._designs.values()
+            )
 
     def __len__(self) -> int:
         return len(self._designs)

@@ -36,6 +36,7 @@ from ..testgen.testset import Test, TestSet
 
 __all__ = [
     "DeviceReport",
+    "device_to_wire",
     "parse_device",
     "parse_device_line",
     "read_device_stream",
@@ -89,6 +90,32 @@ def signature_seed(signature: tuple) -> int:
     it — draws the identical stochastic-search stream.
     """
     return zlib.crc32(repr(signature).encode("utf-8")) & 0x7FFFFFFF
+
+
+def device_to_wire(device: DeviceReport) -> dict:
+    """The intake-JSON dict for ``device`` — the process-mode wire form.
+
+    The exact inverse of :func:`parse_device` (in ``vector`` shape):
+    only plain ``str``/``int`` containers, so the dict crosses a spawned
+    ``multiprocessing`` queue without pickling any repro object, and
+    re-parsing it yields a report with an identical failure signature
+    (hence identical seeds, memo keys and journal keys).
+    """
+    wire: dict = {
+        "id": device.device_id,
+        "design": device.design,
+        "tests": [
+            {
+                "vector": {k: int(v) for k, v in t.vector.items()},
+                "output": t.output,
+                "value": int(t.value),
+            }
+            for t in device.tests
+        ],
+    }
+    if device.k is not None:
+        wire["k"] = device.k
+    return wire
 
 
 def _require(data: Mapping, key: str, where: str):

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..diagnosis.core import DiagnosisSession
+from ..sat.backends import resolve_backend
 from .degrade import run_degradation_ladder
 from .design import DesignArtifacts, DesignCache
 from .intake import DeviceReport, signature_seed
@@ -50,6 +51,13 @@ from .race import DEFAULT_STRATEGIES, RaceOutcome
 from .shard import ServiceShard
 
 __all__ = ["DeviceResult", "DiagnosisService"]
+
+
+def _eager_warm_up() -> None:
+    """JIT-compile the arena-jit kernels now, off the device path."""
+    from ..sat import compiled
+
+    compiled.warm_up()
 
 
 @dataclass
@@ -68,6 +76,9 @@ class DeviceResult:
     latency: float = 0.0
     cached: bool = False
     error: str | None = None
+    #: Worker-process index in process mode (``serve --workers N``);
+    #: None for the in-process thread service.
+    worker: int | None = None
     #: Ladder rung that produced a ``"degraded"`` result
     #: ("approximate" | "guidance"), with its validity class
     #: ("valid-sampled" | "guidance") — see :mod:`repro.serve.degrade`.
@@ -91,10 +102,40 @@ class DeviceResult:
             "latency": self.latency,
             "cached": self.cached,
             "error": self.error,
+            "worker": self.worker,
             "degraded_rung": self.degraded_rung,
             "validity": self.validity,
             "journal_replayed": self.journal_replayed,
         }
+
+
+class _LinkedCancel:
+    """Event-shaped cancel flag linked to an externally owned event.
+
+    Process mode hands the service one external cancel event per device
+    (set by the parent's control message).  ``set()`` flips only the
+    local per-attempt flag — a retry gets a fresh local flag and must
+    not be pre-cancelled by its predecessor — while ``is_set()`` ORs in
+    the external event, so a parent-sent cancel reaches the race legs'
+    ``Budget.should_stop`` polls mid-solve exactly like a watchdog
+    deadline does.
+    """
+
+    __slots__ = ("_local", "_external")
+
+    def __init__(self, external: threading.Event) -> None:
+        self._local = threading.Event()
+        self._external = external
+
+    def set(self) -> None:
+        self._local.set()
+
+    def is_set(self) -> bool:
+        return self._local.is_set() or self._external.is_set()
+
+    @property
+    def external_set(self) -> bool:
+        return self._external.is_set()
 
 
 @dataclass(eq=False)
@@ -168,6 +209,19 @@ class DiagnosisService:
         before each attempt is processed; may sleep (hang) or raise
         :class:`~repro.serve.shard.ShardKilled` (crash).  See
         :mod:`repro.serve.chaos`.
+    external_cancels:
+        Mutable mapping ``device_id -> threading.Event`` consulted at
+        dispatch: when a device has an entry its attempts carry a
+        cancel flag linked to that event, and setting the event (the
+        process-mode parent does, on a cancel message) stops the
+        in-flight race mid-solve and resolves the device as
+        ``status="timeout"`` without retry or degradation — the parent
+        asked the device to be abandoned, not salvaged.
+
+    Constructing the service with an ``arena-jit`` backend eagerly
+    JIT-compiles the kernels (``sat.compiled.warm_up()``) so the
+    compile cost lands at construction time, never on the first
+    device's latency.
     """
 
     def __init__(
@@ -187,6 +241,7 @@ class DiagnosisService:
         design_cache: DesignCache | None = None,
         solver_backend: str | None = None,
         fault_hook=None,
+        external_cancels: dict[str, threading.Event] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -220,6 +275,11 @@ class DiagnosisService:
             design_cache if design_cache is not None else DesignCache()
         )
         self.fault_hook = fault_hook
+        self.external_cancels = external_cancels
+        if resolve_backend(solver_backend) == "arena-jit":
+            # Pay the JIT compile now, off every device's latency path
+            # (idempotent: a warm process returns immediately).
+            _eager_warm_up()
         self._shards = [
             ServiceShard(i, self, queue_size=queue_size)
             for i in range(n_shards)
@@ -345,6 +405,7 @@ class DiagnosisService:
                 "skeleton_builds": dict(
                     self.design_cache.stats["skeleton_builds"]
                 ),
+                "memo_evictions": self.design_cache.memo_evictions(),
             },
             "shards": shard_stats,
         }
@@ -431,6 +492,10 @@ class DiagnosisService:
             shard_index=shard.index,
             deadline=deadline,
         )
+        if self.external_cancels is not None:
+            external = self.external_cancels.get(state.device.device_id)
+            if external is not None:
+                attempt.cancel = _LinkedCancel(external)
         with self._lock:
             state.current_attempt = attempt
             if deadline is not None:
@@ -469,8 +534,7 @@ class DiagnosisService:
         self, artifacts: DesignArtifacts, signature: tuple, memo: dict
     ) -> None:
         with self._memo_lock:
-            if signature not in artifacts.result_memo:
-                artifacts.result_memo[signature] = memo
+            if artifacts.result_memo.store(signature, memo):
                 self.counters["memo_stores"] += 1
 
     def _attempt_finished(
@@ -645,19 +709,26 @@ class DiagnosisService:
         self, state: _DeviceState, attempt: _Attempt, error: str
     ) -> None:
         attempt.cancel.set()
+        # An externally cancelled device is abandoned on request — no
+        # retry (the next attempt would inherit the set external flag
+        # and spin) and no degradation ladder (the canceller wants the
+        # slot back now, not a salvaged answer later).
+        abandoned = getattr(attempt.cancel, "external_set", False)
         with self._lock:
             if state.resolved or state.current_attempt is not attempt:
                 return
-            retry = state.attempts < self.max_attempts
+            retry = not abandoned and state.attempts < self.max_attempts
             if retry:
                 self.counters["retries"] += 1
+        if abandoned:
+            error = "externally cancelled"
         if retry:
             try:
                 self._dispatch(state, exclude=attempt.shard_index)
                 return
             except RuntimeError as exc:  # no live shards remain
                 error = f"{error}; retry impossible ({exc})"
-        if self.degrade:
+        if self.degrade and not abandoned:
             degraded = self._degrade(state, attempt, error)
             if degraded is not None:
                 with self._lock:

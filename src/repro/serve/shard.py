@@ -1,17 +1,20 @@
 """One service shard: a worker thread owning a bounded device queue.
 
-Sharding is **thread-based**, deliberately.  The artifacts a shard needs
-— the design's compiled circuit, the master-encoding skeleton, the
-per-signature result memo — are large mutable object graphs living in
-the shared :class:`~repro.serve.design.DesignCache`; worker *processes*
-would have to pickle or rebuild them per worker, defeating the
-build-once-per-design contract, and the cooperative ``should_stop``
-cancellation the strategy legs poll only works with shared memory.  The
-service's throughput win is algorithmic (race cancellation of the
-complete-enumeration tail, signature batching, skeleton reuse), not
-core-parallelism, so the GIL is not the bottleneck it would be for a
-pure compute fan-out; scale-out across processes would shard *designs*,
-not devices, and remains future work (see ROADMAP).
+Sharding within one process is **thread-based**, deliberately.  The
+artifacts a shard needs — the design's compiled circuit, the
+master-encoding skeleton, the per-signature result memo — are large
+mutable object graphs living in the shared
+:class:`~repro.serve.design.DesignCache`; sharing them across threads
+keeps the build-once-per-design contract, and the cooperative
+``should_stop`` cancellation the strategy legs poll only works with
+shared memory.  The thread service's throughput win is algorithmic
+(race cancellation of the complete-enumeration tail, signature
+batching, skeleton reuse), not core-parallelism.  When the workload
+*is* core-bound — many designs, compute-heavy legs — the scale-out
+lever is one level up: :mod:`repro.serve.procpool` shards *designs*
+(not devices) across worker processes, each worker running this
+thread machinery over its design subset so every per-design contract
+stays process-local (``serve --workers N``).
 
 A shard dequeues one attempt at a time: memo lookup first (signature
 batching), else a fresh session stamped from the design skeleton and a

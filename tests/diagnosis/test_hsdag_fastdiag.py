@@ -74,6 +74,36 @@ def gcnf_systems(draw):
     return GroupedCNFSystem(gcnf, observations)
 
 
+def test_consistent_system_yields_only_the_empty_candidate():
+    """When ∅ is itself consistent it is the *unique* subset-minimal
+    diagnosis — every singleton remains satisfiable (dropping a group
+    cannot break satisfiability), so before bsat probed cardinality 0
+    first, solver ordering could surface a spurious singleton alongside
+    ``()``.  Both pins are found-in-the-wild counterexamples: one with a
+    clause-less group whose selector floats free, one where every group
+    is non-empty."""
+    free = GroupedCNF(num_vars=3)
+    free.add_clause(0, (-3, 2))
+    free.add_clause(0, (3, 2))
+    free.add_clause(2, (3, -2))  # auto-creates g1 with no clauses
+    session = DiagnosisSession(GroupedCNFSystem(free, [(-1,)]))
+    for strategy in ("bsat", "hsdag", "fastdiag"):
+        result = diagnose(session, k=1, strategy=strategy)
+        assert _canon(result.solutions) == [()], strategy
+
+    dense = GroupedCNF(num_vars=4)
+    dense.add_clause(0, (-2, 1))
+    dense.add_clause(1, (-4,))
+    dense.add_clause(2, (-4, -3))
+    dense.add_clause(2, (1, 2))
+    dense.add_clause(3, (2, -4))
+    dense.add_clause(3, (2, -1))
+    session = DiagnosisSession(GroupedCNFSystem(dense, [()]))
+    for strategy in ("bsat", "hsdag", "fastdiag"):
+        result = diagnose(session, k=2, strategy=strategy)
+        assert _canon(result.solutions) == [()], strategy
+
+
 @settings(max_examples=60, deadline=None)
 @given(system=gcnf_systems(), k=st.integers(min_value=1, max_value=3))
 def test_random_gcnf_matches_brute_force(system, k):

@@ -6,6 +6,7 @@ import pytest
 
 from repro.circuits import library
 from repro.serve import DesignCache, load_design
+from repro.serve.design import SignatureMemo
 
 
 def test_artifacts_built_once_per_design():
@@ -63,3 +64,50 @@ def test_bench_file_design(tmp_path):
     artifacts = cache.get(str(path))
     assert artifacts.circuit.num_gates == library.majority().num_gates
     assert cache.stats["skeleton_builds"] == {str(path): 1}
+
+
+def test_signature_memo_lru_caps_and_counts_evictions():
+    memo = SignatureMemo(max_entries=2)
+    assert memo.store(("a",), {"answer": 1}) is True
+    assert memo.store(("b",), {"answer": 2}) is True
+    assert memo.store(("c",), {"answer": 3}) is True  # evicts ("a",)
+    assert len(memo) == 2
+    assert memo.evictions == 1
+    assert ("a",) not in memo
+    assert memo.get(("a",)) is None
+    assert memo.get(("c",)) == {"answer": 3}
+
+
+def test_signature_memo_get_refreshes_recency():
+    memo = SignatureMemo(max_entries=2)
+    memo.store(("a",), {"answer": 1})
+    memo.store(("b",), {"answer": 2})
+    # Touch ("a",) so ("b",) becomes the LRU victim.
+    assert memo.get(("a",)) == {"answer": 1}
+    memo.store(("c",), {"answer": 3})
+    assert ("a",) in memo
+    assert ("b",) not in memo
+    assert memo.evictions == 1
+
+
+def test_signature_memo_store_is_first_writer_wins():
+    memo = SignatureMemo(max_entries=4)
+    first = {"answer": 1}
+    assert memo.store(("a",), first) is True
+    assert memo.store(("a",), {"answer": 999}) is False
+    assert memo.get(("a",)) is first
+    assert memo.evictions == 0
+    with pytest.raises(ValueError, match="max_entries"):
+        SignatureMemo(max_entries=0)
+
+
+def test_design_cache_wires_memo_cap_and_eviction_total():
+    cache = DesignCache(memo_max_entries=1)
+    artifacts = cache.get("c17")
+    artifacts.result_memo.store(("s1",), {"answer": 1})
+    artifacts.result_memo.store(("s2",), {"answer": 2})
+    other = cache.get("maj3")
+    other.result_memo.store(("s3",), {"answer": 3})
+    other.result_memo.store(("s4",), {"answer": 4})
+    assert artifacts.result_memo.max_entries == 1
+    assert cache.memo_evictions() == 2  # summed across designs

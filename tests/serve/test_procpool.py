@@ -1,0 +1,237 @@
+"""Process-pool service: design sharding, kills, cancels, journal.
+
+Every test here spawns real worker processes (~0.5s each), so the
+suite stays deliberately lean: one pool per scenario, small fleets,
+the heavy mid-solve-cancel device only where the test needs a solve
+long enough to cancel.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    ChaosInjector,
+    DiagnosisService,
+    ProcessDiagnosisService,
+    ResultJournal,
+    check_invariants,
+    read_journal,
+)
+
+from tests.serve._devices import make_device
+
+
+def _fleet():
+    """Two designs (crc32-routed to different workers at 2), one
+    duplicated signature to exercise the worker-local memo."""
+    return [
+        make_device("d0", design="c17", seed=3),
+        make_device("d1", design="sim1423", seed=1, k=2),
+        make_device("d2", design="c17", seed=5),
+        make_device("d3", design="c17", seed=3),  # same signature as d0
+    ]
+
+
+def test_exactly_once_order_and_memo():
+    devices = _fleet()
+    with ProcessDiagnosisService(n_workers=2, timeout=60.0) as pool:
+        results = pool.run(devices)
+        stats = pool.stats()
+    assert [r.device_id for r in results] == ["d0", "d1", "d2", "d3"]
+    assert all(r.status == "ok" for r in results)
+    by_id = {r.device_id: r for r in results}
+    # The duplicate signature is served from the owning worker's memo
+    # with the identical answer — the memo contract stays process-local.
+    assert by_id["d3"].cached is True
+    assert by_id["d3"].answer == by_id["d0"].answer
+    # Same design -> same owning worker (design sharding, not devices).
+    assert by_id["d3"].worker == by_id["d0"].worker == by_id["d2"].worker
+    assert by_id["d1"].worker != by_id["d0"].worker
+    assert stats["devices"] == 4
+    assert stats["signature_hits"] == 1
+    assert stats["failures"] == 0
+    assert stats["worker_deaths"] == 0
+
+
+def test_merged_stats_sum_per_worker_snapshots():
+    devices = _fleet()
+    with ProcessDiagnosisService(n_workers=2, timeout=60.0) as pool:
+        pool.run(devices)
+        stats = pool.stats()
+    snapshots = [
+        block["service"]
+        for block in stats["workers"].values()
+        if block["service"]
+    ]
+    # Parent totals are exactly the per-worker sums — the merge is
+    # lossless for every counter an operator reads off thread mode.
+    assert sum(s["devices"] for s in snapshots) == stats["devices"] == 4
+    assert sum(s["timeouts"] for s in snapshots) == stats["timeouts"]
+    assert sum(s["retries"] for s in snapshots) == stats["retries"]
+    assert sum(s["memo_stores"] for s in snapshots) == stats["memo_stores"]
+    assert (
+        sum(s["signature_hits"] for s in snapshots)
+        == stats["signature_hits"]
+        == 1
+    )
+    worker_wins: dict[str, int] = {}
+    for s in snapshots:
+        for name, count in s["race_winners"].items():
+            worker_wins[name] = worker_wins.get(name, 0) + count
+    assert worker_wins == stats["worker_race_winners"]
+    # The parent counts winners per resolution it accepted; clean run =
+    # every worker-side win surfaced exactly once.
+    assert sum(stats["race_winners"].values()) == 4
+    assert sum(worker_wins.values()) == 4
+    # --stats surfaces: per-worker processed and queue high-water.
+    assert sum(b["processed"] for b in stats["workers"].values()) == 4
+    assert set(stats["queue_high_water"]) == set(stats["workers"])
+    assert all(v >= 0 for v in stats["queue_high_water"].values())
+
+
+def test_bsat_only_bit_identical_to_thread_mode():
+    devices = [
+        make_device("b0", design="c17", seed=3, k=2),
+        make_device("b1", design="sim1423", seed=1, k=2),
+        make_device("b2", design="sim1423", seed=2, k=2),
+    ]
+    thread = DiagnosisService(
+        n_shards=2, strategies=("bsat",), policy="complete", timeout=60.0
+    )
+    expected = {r.device_id: r for r in thread.run(devices)}
+    with ProcessDiagnosisService(
+        n_workers=2, strategies=("bsat",), policy="complete", timeout=60.0
+    ) as pool:
+        results = pool.run(devices)
+    for result in results:
+        assert result.status == "ok"
+        reference = expected[result.device_id]
+        assert result.answer == reference.answer
+        assert tuple(result.solutions) == tuple(reference.solutions)
+
+
+def test_worker_death_reroutes_to_survivors():
+    devices = _fleet()
+    killed: list[int] = []
+
+    def kill_first(worker_index: int, device_id: str) -> bool:
+        if not killed:
+            killed.append(worker_index)
+            return True
+        return False
+
+    with ProcessDiagnosisService(
+        n_workers=2, timeout=60.0, worker_kill_hook=kill_first
+    ) as pool:
+        results = pool.run(devices)
+        stats = pool.stats()
+    assert killed, "kill hook never fired"
+    assert all(r.status == "ok" for r in results), [
+        (r.device_id, r.status, r.error) for r in results
+    ]
+    assert stats["worker_deaths"] == 1
+    assert stats["reroutes"] >= 1
+    assert stats["workers"][f"worker{killed[0]}"]["alive"] is False
+    assert len(results) == len(devices)
+
+
+def test_kill_worker_chaos_exactly_once_and_replay(tmp_path):
+    devices = _fleet()
+    path = tmp_path / "procs.wal"
+    injector = ChaosInjector(
+        seed=0, kinds=("kill_worker",), max_per_kind=1, horizon=4
+    )
+    journal = ResultJournal(path)
+    with ProcessDiagnosisService(
+        n_workers=2,
+        timeout=60.0,
+        journal=journal,
+        worker_kill_hook=injector.worker_kill_hook,
+    ) as pool:
+        results = pool.run(devices)
+        problems = check_invariants(
+            devices, results, service=pool, journal_path=path
+        )
+    journal.close()
+    assert injector.fired("kill_worker") == 1
+    assert problems == []
+    assert all(r.status == "ok" for r in results)
+    # Resume through a *fresh* pool at a different worker count: the
+    # parent-owned WAL is topology-agnostic and replays bit-identically
+    # without re-diagnosing a single device.
+    with ProcessDiagnosisService(
+        n_workers=1, timeout=60.0, resume_from=read_journal(path)
+    ) as resumed:
+        replayed = resumed.run(devices)
+        assert resumed.stats()["journal_replayed"] == len(devices)
+    for original, again in zip(results, replayed):
+        assert again.journal_replayed is True
+        assert again.answer == original.answer
+        assert tuple(again.solutions) == tuple(original.solutions)
+
+
+def test_cancel_device_mid_solve_abandons_without_killing_worker():
+    # A complete bsat enumeration long enough (~0.6s) to cancel midway.
+    heavy = make_device("heavy", design="sim6669", seed=5, k=2)
+    quick = make_device("after", design="sim6669", seed=1, k=2)
+    with ProcessDiagnosisService(
+        n_workers=1, strategies=("bsat",), policy="complete", timeout=60.0
+    ) as pool:
+        canceller = threading.Timer(
+            0.15, lambda: pool.cancel_device("heavy")
+        )
+        canceller.start()
+        t0 = time.monotonic()
+        (result,) = pool.run([heavy])
+        elapsed = time.monotonic() - t0
+        canceller.cancel()
+        assert result.status == "timeout"
+        assert "externally cancelled" in result.error
+        assert elapsed < 30.0  # resolved by the cancel, not the deadline
+        assert pool.stats()["cancels_sent"] == 1
+        # The worker survives the cancel and keeps serving.
+        (after,) = pool.run([quick])
+        assert after.status == "ok"
+
+
+def test_journal_resume_without_chaos(tmp_path):
+    devices = _fleet()
+    path = tmp_path / "clean.wal"
+    journal = ResultJournal(path)
+    with ProcessDiagnosisService(
+        n_workers=2, timeout=60.0, journal=journal
+    ) as pool:
+        results = pool.run(devices)
+    journal.close()
+    with ProcessDiagnosisService(
+        n_workers=2, timeout=60.0, resume_from=read_journal(path)
+    ) as resumed:
+        replayed = resumed.run(devices)
+        stats = resumed.stats()
+    assert all(r.journal_replayed for r in replayed)
+    assert stats["journal_replayed"] == len(devices)
+    assert [r.answer for r in replayed] == [r.answer for r in results]
+
+
+def test_invalid_configuration_rejected_before_spawn():
+    with pytest.raises(ValueError, match="n_workers"):
+        ProcessDiagnosisService(n_workers=0)
+    with pytest.raises(ValueError, match="unknown strategy"):
+        ProcessDiagnosisService(strategies=("bsat", "nope"))
+    with pytest.raises(ValueError, match="policy"):
+        ProcessDiagnosisService(policy="sometimes")
+    with pytest.raises(ValueError, match="at least one strategy"):
+        ProcessDiagnosisService(strategies=())
+
+
+def test_duplicate_device_ids_rejected():
+    with ProcessDiagnosisService(n_workers=1, timeout=60.0) as pool:
+        with pytest.raises(ValueError, match="duplicate device id"):
+            pool.run(
+                [make_device("x", seed=3), make_device("x", seed=5)]
+            )
+        # The rejection leaves the pool serviceable.
+        (result,) = pool.run([make_device("x", seed=3)])
+        assert result.status == "ok"

@@ -1,5 +1,6 @@
 """The sharded service: exactly-once, batching, faults, retries."""
 
+import threading
 import time
 
 import pytest
@@ -7,6 +8,7 @@ import pytest
 from repro.circuits import library
 from repro.diagnosis import DiagnosisSession, diagnose
 from repro.serve import (
+    DesignCache,
     DeviceReport,
     DiagnosisService,
     ShardKilled,
@@ -197,3 +199,92 @@ def test_service_run_is_reusable():
     # Same signature across runs: the memo survives in the design cache.
     assert second[0].cached is True
     assert second[0].answer == first[0].answer
+
+
+def test_arena_jit_warm_up_paid_at_construction_not_first_device(
+    monkeypatch,
+):
+    """No warm-up cliff on the first device: constructing the service
+    with a JIT backend pays the compile up front."""
+    import repro.serve.service as service_mod
+    from repro.sat import compiled
+
+    calls: list[float] = []
+
+    def fake_warm_up():
+        calls.append(time.perf_counter())
+        if len(calls) == 1:
+            time.sleep(0.25)  # the compile cliff, first call only
+
+    monkeypatch.setattr(compiled, "warm_up", fake_warm_up)
+    monkeypatch.setattr(
+        service_mod, "resolve_backend", lambda backend: "arena-jit"
+    )
+    t0 = time.perf_counter()
+    service = DiagnosisService(n_shards=1, timeout=30.0)
+    construction = time.perf_counter() - t0
+    assert len(calls) == 1
+    assert construction >= 0.25  # the cliff landed here...
+    (result,) = service.run([make_device("w0", seed=3)])
+    assert result.status == "ok"
+    assert result.latency < 0.25  # ...not on the first device
+    assert len(calls) == 1  # and is never re-paid on the device path
+
+
+def test_non_jit_backends_skip_eager_warm_up(monkeypatch):
+    import repro.serve.service as service_mod
+    from repro.sat import compiled
+
+    calls: list[int] = []
+    monkeypatch.setattr(compiled, "warm_up", lambda: calls.append(1))
+    monkeypatch.setattr(
+        service_mod, "resolve_backend", lambda backend: "arena"
+    )
+    DiagnosisService(n_shards=1, timeout=30.0)
+    assert calls == []
+
+
+def test_external_cancel_abandons_without_retry_or_degrade():
+    # A complete bsat enumeration long enough (~0.6s) to cancel midway.
+    heavy = make_device("heavy", design="sim6669", seed=5, k=2)
+    cancels: dict[str, threading.Event] = {"heavy": threading.Event()}
+    service = DiagnosisService(
+        n_shards=1,
+        strategies=("bsat",),
+        policy="complete",
+        timeout=30.0,
+        max_attempts=3,
+        external_cancels=cancels,
+    )
+    timer = threading.Timer(0.15, cancels["heavy"].set)
+    timer.start()
+    t0 = time.perf_counter()
+    (result,) = service.run([heavy])
+    elapsed = time.perf_counter() - t0
+    timer.cancel()
+    assert result.status == "timeout"
+    assert "externally cancelled" in result.error
+    # Abandonment, not failure handling: no retry, no degraded answer.
+    assert result.attempts == 1
+    assert result.degraded_rung is None
+    assert service.stats()["retries"] == 0
+    assert service.stats()["degraded"] == 0
+    assert elapsed < 10.0  # resolved by the cancel, not the deadline
+
+
+def test_memo_cap_evictions_surface_in_stats():
+    service = DiagnosisService(
+        n_shards=1,
+        timeout=30.0,
+        design_cache=DesignCache(memo_max_entries=1),
+    )
+    devices = [
+        make_device("m0", seed=3),
+        make_device("m1", seed=5),
+        make_device("m2", seed=7),
+    ]
+    results = service.run(devices)
+    assert all(r.status == "ok" for r in results)
+    # Three unique signatures through a one-entry memo: two evictions.
+    assert service.stats()["design_cache"]["memo_evictions"] == 2
+    assert service.stats()["memo_stores"] == 3

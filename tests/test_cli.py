@@ -413,6 +413,30 @@ def test_serve_out_file_and_stats(tmp_path, capsys):
     assert stats["design_cache"]["skeleton_builds"] == {"c17": 1}
 
 
+def test_serve_workers_process_mode_with_stats(tmp_path, capsys):
+    stream = tmp_path / "devices.jsonl"
+    stream.write_text("\n".join(_serve_device_lines()) + "\n")
+    code = main([
+        "serve", str(stream), "--workers", "2", "--shards", "1",
+        "--timeout", "30", "--stats",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    records = [json.loads(line) for line in captured.out.splitlines()]
+    assert [r["id"] for r in records] == ["d0", "d1"]
+    assert all(r["status"] == "ok" and r["answer"] for r in records)
+    # Design sharding: both c17 devices served by the one owning worker.
+    assert len({r["worker"] for r in records}) == 1
+    assert records[0]["worker"] is not None
+    stats = json.loads(captured.err)
+    assert set(stats["queue_high_water"]) == {"worker0", "worker1"}
+    assert sum(
+        block["processed"] for block in stats["workers"].values()
+    ) == 2
+    assert stats["devices"] == 2
+    assert stats["worker_deaths"] == 0
+
+
 def test_serve_skips_malformed_line_midstream(tmp_path, capsys):
     # Skip-and-count intake: the torn line is dropped with a warning
     # naming its line number, the devices behind it still serve.
